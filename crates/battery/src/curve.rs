@@ -1,0 +1,118 @@
+//! The load-vs-delivered-capacity curve of §5.
+//!
+//! "We can evaluate these values by plotting a load vs delivered capacity
+//! curve for the battery and extrapolating the ends": the low-current end
+//! extrapolates to the **maximum capacity** (2000 mAh for the paper's cell),
+//! the high-current end to the charge of the **available well** alone.
+
+use crate::model::BatteryModel;
+use crate::lifetime::delivered_at_constant_current;
+
+/// One point of the capacity curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Constant discharge current, amperes.
+    pub current: f64,
+    /// Charge delivered until exhaustion, coulombs.
+    pub delivered: f64,
+}
+
+/// Delivered capacity at each of `currents` (each from a fresh cell).
+pub fn capacity_curve(model: &mut dyn BatteryModel, currents: &[f64]) -> Vec<CurvePoint> {
+    currents
+        .iter()
+        .map(|&current| CurvePoint {
+            current,
+            delivered: delivered_at_constant_current(model, current),
+        })
+        .collect()
+}
+
+/// Logarithmically spaced currents from `lo` to `hi` inclusive.
+pub fn log_spaced_currents(lo: f64, hi: f64, points: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo && points >= 2, "invalid sweep spec");
+    let llo = lo.ln();
+    let lhi = hi.ln();
+    (0..points)
+        .map(|i| (llo + (lhi - llo) * i as f64 / (points - 1) as f64).exp())
+        .collect()
+}
+
+/// End-point extrapolations of a (current-ascending) capacity curve:
+/// `(maximum_capacity, available_well_charge)` — the §5 definitions.
+///
+/// The curve is flat at both ends (delivered capacity saturates), so the
+/// extrapolation simply reads the extreme points; callers should sweep at
+/// least two decades on each side to be in the flat regions.
+pub fn extrapolate_ends(curve: &[CurvePoint]) -> Option<(f64, f64)> {
+    if curve.len() < 2 {
+        return None;
+    }
+    debug_assert!(
+        curve.windows(2).all(|w| w[0].current < w[1].current),
+        "curve must be current-ascending"
+    );
+    Some((curve[0].delivered, curve[curve.len() - 1].delivered))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ideal::IdealModel;
+    use crate::kibam::{Kibam, KibamParams};
+
+    #[test]
+    fn log_spacing_hits_both_ends() {
+        let c = log_spaced_currents(0.01, 10.0, 7);
+        assert_eq!(c.len(), 7);
+        assert!((c[0] - 0.01).abs() < 1e-12);
+        assert!((c[6] - 10.0).abs() < 1e-9);
+        assert!(c.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sweep spec")]
+    fn log_spacing_rejects_bad_range() {
+        log_spaced_currents(1.0, 0.5, 5);
+    }
+
+    #[test]
+    fn ideal_curve_is_flat() {
+        let mut b = IdealModel::new(100.0);
+        let curve = capacity_curve(&mut b, &log_spaced_currents(0.01, 10.0, 5));
+        for p in &curve {
+            assert!((p.delivered - 100.0).abs() < 1e-6, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn kibam_curve_decreases_with_current() {
+        let mut b = Kibam::new(KibamParams { capacity: 100.0, c: 0.5, k_prime: 0.01 });
+        let curve = capacity_curve(&mut b, &log_spaced_currents(0.01, 50.0, 8));
+        for w in curve.windows(2) {
+            assert!(
+                w[0].delivered >= w[1].delivered - 1e-6,
+                "rate-capacity: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn extrapolation_recovers_both_wells() {
+        let params = KibamParams { capacity: 100.0, c: 0.5, k_prime: 0.01 };
+        let mut b = Kibam::new(params);
+        let curve = capacity_curve(&mut b, &log_spaced_currents(0.001, 1000.0, 10));
+        let (max_cap, available) = extrapolate_ends(&curve).unwrap();
+        assert!((max_cap - 100.0).abs() < 2.0, "max capacity ≈ total: {max_cap}");
+        assert!(
+            (available - 50.0).abs() < 2.0,
+            "infinite-load capacity ≈ available well: {available}"
+        );
+    }
+
+    #[test]
+    fn extrapolation_needs_two_points() {
+        assert!(extrapolate_ends(&[]).is_none());
+        assert!(extrapolate_ends(&[CurvePoint { current: 1.0, delivered: 1.0 }]).is_none());
+    }
+}

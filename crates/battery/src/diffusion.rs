@@ -1,0 +1,341 @@
+//! The Rakhmatov–Vrudhula analytical diffusion model (the paper's \[14\]).
+//!
+//! Models one-dimensional diffusion of the electroactive species toward the
+//! electrode. The *apparent* charge consumed by a load `i(τ)` up to time `T`
+//! is
+//!
+//! ```text
+//!   σ(T) = ∫₀ᵀ i(τ) dτ  +  2 Σ_{m=1}^∞ ∫₀ᵀ i(τ) e^{−β²m²(T−τ)} dτ
+//!          └── drawn ──┘   └────────── unavailable (diffusion lag) ───────┘
+//! ```
+//!
+//! and the battery is exhausted when `σ(T)` reaches the capacity parameter
+//! `α`. The second term *decays* while the load is light — that is the
+//! recovery effect; it *grows* with recent high-rate load — that is the
+//! rate-capacity effect. As `β → ∞` diffusion is instantaneous and the model
+//! degenerates to an ideal charge bucket.
+//!
+//! ## Incremental evaluation
+//!
+//! Each series term needs only the running value
+//! `S_m(T) = ∫₀ᵀ i(τ) e^{−β²m²(T−τ)} dτ`, which over a constant-current step
+//! of length `Δ` updates in O(1):
+//!
+//! ```text
+//!   S_m(T+Δ) = S_m(T)·e^{−β²m²Δ} + I·(1 − e^{−β²m²Δ})/(β²m²)
+//! ```
+//!
+//! so stepping is O(M) with M truncation terms (10 by default, the number
+//! used by Rakhmatov & Vrudhula), independent of profile history length.
+
+use crate::model::{BatteryModel, StepOutcome};
+use crate::units::mah_to_coulombs;
+
+/// Parameters of the diffusion model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DiffusionParams {
+    /// Capacity parameter `α`, in coulombs: the charge deliverable under an
+    /// infinitesimal load (the paper's "maximum capacity").
+    pub alpha: f64,
+    /// Diffusion rate `β²`, in 1/s. Smaller values mean slower diffusion:
+    /// stronger rate-capacity penalty and slower recovery.
+    pub beta_squared: f64,
+    /// Number of series terms retained.
+    pub terms: usize,
+}
+
+impl DiffusionParams {
+    /// Calibrated to the paper's AAA NiMH anchor points (2000 mAh maximum,
+    /// ≈ 1600 mAh nominal at ampere-scale loads); see EXPERIMENTS.md.
+    pub fn paper_aaa_nimh() -> Self {
+        DiffusionParams {
+            alpha: mah_to_coulombs(2000.0),
+            // Sized so the steady diffusion lag at ampere-scale loads
+            // (2·I·Σ1/m²/β² ≈ 1.5 kC at 1.3 A) leaves ≈ 1600 mAh deliverable
+            // — the cell's nominal rating. See EXPERIMENTS.md calibration.
+            beta_squared: 2.7e-3,
+            terms: 10,
+        }
+    }
+
+    /// Validate parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.alpha.is_finite() && self.alpha > 0.0) {
+            return Err(format!("alpha {} must be positive", self.alpha));
+        }
+        if !(self.beta_squared.is_finite() && self.beta_squared > 0.0) {
+            return Err(format!("beta² {} must be positive", self.beta_squared));
+        }
+        if self.terms == 0 {
+            return Err("terms must be >= 1".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// The Rakhmatov–Vrudhula diffusion model with O(terms) stepping.
+#[derive(Debug, Clone)]
+pub struct DiffusionModel {
+    params: DiffusionParams,
+    /// Charge actually drawn so far, `∫ i dτ` (coulombs).
+    drawn: f64,
+    /// Per-term running convolutions `S_m`.
+    series: Vec<f64>,
+    exhausted: bool,
+}
+
+impl DiffusionModel {
+    /// A fresh cell with the given parameters.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters.
+    pub fn new(params: DiffusionParams) -> Self {
+        params.validate().expect("invalid diffusion parameters");
+        DiffusionModel {
+            params,
+            drawn: 0.0,
+            series: vec![0.0; params.terms],
+            exhausted: false,
+        }
+    }
+
+    /// The paper's AAA NiMH cell.
+    pub fn paper_cell() -> Self {
+        DiffusionModel::new(DiffusionParams::paper_aaa_nimh())
+    }
+
+    /// Model parameters.
+    pub fn params(&self) -> &DiffusionParams {
+        &self.params
+    }
+
+    /// Apparent consumed charge `σ` at the current instant.
+    pub fn sigma(&self) -> f64 {
+        self.drawn + 2.0 * self.series.iter().sum::<f64>()
+    }
+
+    /// The "unavailable" charge — the part of σ that will become available
+    /// again if the battery rests (the diffusion lag term).
+    pub fn unavailable(&self) -> f64 {
+        2.0 * self.series.iter().sum::<f64>()
+    }
+
+    /// σ after hypothetically applying `current` for `t` more seconds (state
+    /// untouched). Used for death-time bisection.
+    fn sigma_after(&self, current: f64, t: f64) -> f64 {
+        let b2 = self.params.beta_squared;
+        let mut sum = 0.0;
+        for (m_ix, &s) in self.series.iter().enumerate() {
+            let rate = b2 * ((m_ix + 1) as f64).powi(2);
+            let decay = (-rate * t).exp();
+            sum += s * decay + current * (1.0 - decay) / rate;
+        }
+        self.drawn + current * t + 2.0 * sum
+    }
+
+    fn advance(&mut self, current: f64, t: f64) {
+        let b2 = self.params.beta_squared;
+        for (m_ix, s) in self.series.iter_mut().enumerate() {
+            let rate = b2 * ((m_ix + 1) as f64).powi(2);
+            let decay = (-rate * t).exp();
+            *s = *s * decay + current * (1.0 - decay) / rate;
+        }
+        self.drawn += current * t;
+    }
+}
+
+impl BatteryModel for DiffusionModel {
+    fn name(&self) -> &'static str {
+        "diffusion"
+    }
+
+    fn step(&mut self, current: f64, dt: f64) -> StepOutcome {
+        assert!(current >= 0.0 && dt >= 0.0, "negative current or time");
+        if self.exhausted {
+            return StepOutcome::Exhausted { survived: 0.0 };
+        }
+        if dt == 0.0 {
+            return StepOutcome::Alive;
+        }
+        // Under zero load σ only decays, so death needs current > 0. After a
+        // load transition σ(t) within the step is a constant-plus-decaying-
+        // exponentials curve and need not be monotone, so find the *first*
+        // crossing by scanning coarse subintervals, then refine by bisection
+        // inside the crossing subinterval (where σ passes α exactly once up
+        // to physically negligible overshoots).
+        if current > 0.0 {
+            const SCAN: usize = 64;
+            let alpha = self.params.alpha;
+            let mut prev_t = 0.0;
+            for i in 1..=SCAN {
+                let t = dt * i as f64 / SCAN as f64;
+                if self.sigma_after(current, t) >= alpha {
+                    let (mut a, mut b) = (prev_t, t);
+                    for _ in 0..64 {
+                        let m = 0.5 * (a + b);
+                        if self.sigma_after(current, m) < alpha {
+                            a = m;
+                        } else {
+                            b = m;
+                        }
+                    }
+                    let t_death = 0.5 * (a + b);
+                    self.advance(current, t_death);
+                    self.exhausted = true;
+                    return StepOutcome::Exhausted { survived: t_death };
+                }
+                prev_t = t;
+            }
+        }
+        self.advance(current, dt);
+        StepOutcome::Alive
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    fn charge_delivered(&self) -> f64 {
+        self.drawn
+    }
+
+    fn state_of_charge(&self) -> f64 {
+        // Theoretical charge still inside the cell (drawn charge is gone for
+        // good; the diffusion-lag part is *not* lost, merely unavailable).
+        ((self.params.alpha - self.drawn) / self.params.alpha).clamp(0.0, 1.0)
+    }
+
+    fn reset(&mut self) {
+        self.drawn = 0.0;
+        self.series.iter_mut().for_each(|s| *s = 0.0);
+        self.exhausted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cell() -> DiffusionModel {
+        // β² sized so ampere-scale loads on a 100 C cell leave a moderate
+        // diffusion lag (unavailable ≈ 2I·Σ1/m² / β² ≈ 6 C at 1 A).
+        DiffusionModel::new(DiffusionParams { alpha: 100.0, beta_squared: 0.5, terms: 10 })
+    }
+
+    #[test]
+    fn fresh_cell_has_zero_sigma() {
+        let b = small_cell();
+        assert_eq!(b.sigma(), 0.0);
+        assert_eq!(b.charge_delivered(), 0.0);
+        assert_eq!(b.state_of_charge(), 1.0);
+    }
+
+    #[test]
+    fn sigma_exceeds_drawn_under_load() {
+        let mut b = small_cell();
+        b.step(1.0, 10.0);
+        assert!(b.sigma() > b.charge_delivered(), "diffusion lag adds apparent charge");
+        assert!(b.unavailable() > 0.0);
+    }
+
+    #[test]
+    fn rest_recovers_unavailable_charge() {
+        let mut b = small_cell();
+        b.step(2.0, 10.0);
+        let lag_before = b.unavailable();
+        b.step(0.0, 100.0);
+        let lag_after = b.unavailable();
+        assert!(lag_after < 0.1 * lag_before, "{lag_after} vs {lag_before}");
+        // Drawn charge is not refunded.
+        assert!((b.charge_delivered() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_capacity_effect_lower_current_delivers_more() {
+        let deliver = |current: f64| {
+            let mut b = small_cell();
+            while !b.is_exhausted() {
+                b.step(current, 0.5);
+            }
+            b.charge_delivered()
+        };
+        let hi = deliver(10.0);
+        let mid = deliver(1.0);
+        let lo = deliver(0.05);
+        assert!(hi < mid && mid < lo, "hi={hi} mid={mid} lo={lo}");
+        assert!(lo > 95.0, "infinitesimal load approaches alpha");
+    }
+
+    #[test]
+    fn death_time_is_found_within_step() {
+        let mut b = small_cell();
+        let out = b.step(10.0, 1000.0);
+        let StepOutcome::Exhausted { survived } = out else {
+            panic!("10 A must kill a 100 C cell inside the step");
+        };
+        assert!(survived > 0.0 && survived < 1000.0);
+        // At the death instant sigma == alpha (to bisection tolerance).
+        assert!((b.sigma() - 100.0).abs() < 1e-6, "sigma={}", b.sigma());
+        assert!(b.is_exhausted());
+    }
+
+    #[test]
+    fn exhausted_cell_stays_exhausted() {
+        let mut b = small_cell();
+        b.step(10.0, 1000.0);
+        assert_eq!(b.step(1.0, 1.0), StepOutcome::Exhausted { survived: 0.0 });
+    }
+
+    #[test]
+    fn large_beta_approaches_ideal_bucket() {
+        // Nearly-instant diffusion: delivered charge ~ alpha at any rate.
+        let mut b = DiffusionModel::new(DiffusionParams {
+            alpha: 100.0,
+            beta_squared: 1e4,
+            terms: 10,
+        });
+        while !b.is_exhausted() {
+            b.step(10.0, 0.01);
+        }
+        assert!((b.charge_delivered() - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn stepping_is_step_size_invariant() {
+        let mut coarse = small_cell();
+        coarse.step(1.0, 10.0);
+        let mut fine = small_cell();
+        for _ in 0..1000 {
+            fine.step(1.0, 0.01);
+        }
+        assert!((coarse.sigma() - fine.sigma()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut b = small_cell();
+        b.step(10.0, 1000.0);
+        b.reset();
+        assert!(!b.is_exhausted());
+        assert_eq!(b.sigma(), 0.0);
+        assert_eq!(b.charge_delivered(), 0.0);
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        for bad in [
+            DiffusionParams { alpha: 0.0, beta_squared: 0.01, terms: 10 },
+            DiffusionParams { alpha: 100.0, beta_squared: 0.0, terms: 10 },
+            DiffusionParams { alpha: 100.0, beta_squared: 0.01, terms: 0 },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn paper_cell_alpha_is_2000_mah() {
+        let b = DiffusionModel::paper_cell();
+        assert!((b.params().alpha - 7200.0).abs() < 1e-9);
+    }
+}

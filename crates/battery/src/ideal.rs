@@ -1,0 +1,132 @@
+//! The ideal charge bucket — the battery model early DVS work implicitly
+//! assumed ("a fixed amount of energy at a constant output voltage", §1).
+//!
+//! Load shape is irrelevant: the cell delivers exactly `capacity` coulombs
+//! no matter how they are drawn. Comparing any scheduler's lifetime under
+//! [`IdealModel`] vs a physical model isolates how much of the improvement
+//! comes from *battery awareness* rather than plain energy savings.
+
+use crate::model::{BatteryModel, StepOutcome};
+use crate::units::mah_to_coulombs;
+
+/// An ideal energy bucket of fixed charge capacity.
+#[derive(Debug, Clone)]
+pub struct IdealModel {
+    capacity: f64,
+    delivered: f64,
+    exhausted: bool,
+}
+
+impl IdealModel {
+    /// A bucket of `capacity` coulombs.
+    ///
+    /// # Panics
+    /// Panics unless `capacity` is positive and finite.
+    pub fn new(capacity: f64) -> Self {
+        assert!(capacity.is_finite() && capacity > 0.0, "capacity must be > 0");
+        IdealModel { capacity, delivered: 0.0, exhausted: false }
+    }
+
+    /// A 2000 mAh bucket, matching the paper cell's *maximum* capacity.
+    pub fn paper_cell() -> Self {
+        IdealModel::new(mah_to_coulombs(2000.0))
+    }
+
+    /// Bucket capacity in coulombs.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+}
+
+impl BatteryModel for IdealModel {
+    fn name(&self) -> &'static str {
+        "ideal"
+    }
+
+    fn step(&mut self, current: f64, dt: f64) -> StepOutcome {
+        assert!(current >= 0.0 && dt >= 0.0, "negative current or time");
+        if self.exhausted {
+            return StepOutcome::Exhausted { survived: 0.0 };
+        }
+        let draw = current * dt;
+        if self.delivered + draw >= self.capacity && current > 0.0 {
+            let survived = (self.capacity - self.delivered) / current;
+            self.delivered = self.capacity;
+            self.exhausted = true;
+            return StepOutcome::Exhausted { survived: survived.clamp(0.0, dt) };
+        }
+        self.delivered += draw;
+        StepOutcome::Alive
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    fn charge_delivered(&self) -> f64 {
+        self.delivered
+    }
+
+    fn state_of_charge(&self) -> f64 {
+        (1.0 - self.delivered / self.capacity).clamp(0.0, 1.0)
+    }
+
+    fn reset(&mut self) {
+        self.delivered = 0.0;
+        self.exhausted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_exactly_capacity_regardless_of_rate() {
+        for current in [0.1, 1.0, 50.0] {
+            let mut b = IdealModel::new(10.0);
+            let mut t = 0.0;
+            loop {
+                match b.step(current, 0.3) {
+                    StepOutcome::Alive => t += 0.3,
+                    StepOutcome::Exhausted { survived } => {
+                        t += survived;
+                        break;
+                    }
+                }
+            }
+            assert!((b.charge_delivered() - 10.0).abs() < 1e-9);
+            assert!((t - 10.0 / current).abs() < 1e-9, "lifetime = Q/I");
+        }
+    }
+
+    #[test]
+    fn soc_decreases_linearly() {
+        let mut b = IdealModel::new(10.0);
+        b.step(1.0, 5.0);
+        assert!((b.state_of_charge() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_load_lasts_forever() {
+        let mut b = IdealModel::new(10.0);
+        for _ in 0..1000 {
+            assert_eq!(b.step(0.0, 1e6), StepOutcome::Alive);
+        }
+    }
+
+    #[test]
+    fn reset_refills_bucket() {
+        let mut b = IdealModel::new(10.0);
+        b.step(100.0, 1.0);
+        assert!(b.is_exhausted());
+        b.reset();
+        assert_eq!(b.state_of_charge(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be > 0")]
+    fn zero_capacity_panics() {
+        IdealModel::new(0.0);
+    }
+}

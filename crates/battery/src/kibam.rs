@@ -1,0 +1,475 @@
+//! The Kinetic Battery Model (KiBaM) of Manwell & McGowan — the two-well
+//! model the paper uses to explain both scheduling guidelines (§3).
+//!
+//! Charge lives in two wells:
+//!
+//! ```text
+//!      bound (y2)   k'·[c·y2 − (1−c)·y1]   available (y1)
+//!    ┌───────────┐ ────────────────────▶ ┌─────────────┐ ──▶ load I
+//!    │  1−c of C │   (recovery flux)     │   c of C    │
+//!    └───────────┘                       └─────────────┘
+//! ```
+//!
+//! Only the available well feeds the load; the bound well replenishes it at a
+//! rate proportional to the difference in well *heights* (`h1 = y1/c`,
+//! `h2 = y2/(1−c)`). The battery is exhausted when the available well empties
+//! — possibly with plenty of charge still bound, which is exactly the
+//! capacity loss battery-aware scheduling avoids.
+//!
+//! The ODEs
+//!
+//! ```text
+//!   dy1/dt = −I + k'·[c·y2 − (1−c)·y1]
+//!   dy2/dt =      −k'·[c·y2 − (1−c)·y1]
+//! ```
+//!
+//! have a closed-form solution for constant `I`, which [`Kibam::step`] uses —
+//! one evaluation per step regardless of step length. [`rk4_step`] provides
+//! an independent numerical integrator; a property test cross-validates the
+//! two.
+
+use crate::model::{BatteryModel, StepOutcome};
+use crate::units::mah_to_coulombs;
+
+/// Parameters of a KiBaM cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct KibamParams {
+    /// Total (theoretical/maximum) capacity of both wells, in coulombs.
+    /// This is the charge delivered under infinitesimal load — the paper's
+    /// "maximum capacity" (2000 mAh for its AAA cell).
+    pub capacity: f64,
+    /// Fraction of capacity in the available well, `c ∈ (0, 1)`.
+    pub c: f64,
+    /// Rate constant `k'` in 1/s: how fast the wells equalize.
+    pub k_prime: f64,
+}
+
+impl KibamParams {
+    /// The paper's 1.2 V Panasonic AAA NiMH cell: 2000 mAh maximum capacity,
+    /// calibrated so the nominal (~A-scale load) delivered capacity is about
+    /// 1600 mAh, matching §5. See EXPERIMENTS.md "Battery calibration".
+    pub fn paper_aaa_nimh() -> Self {
+        KibamParams {
+            capacity: mah_to_coulombs(2000.0),
+            c: 0.625,
+            k_prime: 4.5e-4,
+        }
+    }
+
+    /// Validate parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.capacity.is_finite() && self.capacity > 0.0) {
+            return Err(format!("capacity {} must be positive", self.capacity));
+        }
+        if !(self.c.is_finite() && self.c > 0.0 && self.c < 1.0) {
+            return Err(format!("c {} must be in (0,1)", self.c));
+        }
+        if !(self.k_prime.is_finite() && self.k_prime > 0.0) {
+            return Err(format!("k' {} must be positive", self.k_prime));
+        }
+        Ok(())
+    }
+}
+
+/// Well state of a KiBaM cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KibamState {
+    /// Available charge (feeds the load directly), coulombs.
+    pub available: f64,
+    /// Bound charge, coulombs.
+    pub bound: f64,
+}
+
+/// The Kinetic Battery Model with closed-form constant-current stepping.
+#[derive(Debug, Clone)]
+pub struct Kibam {
+    params: KibamParams,
+    state: KibamState,
+    delivered: f64,
+    exhausted: bool,
+}
+
+impl Kibam {
+    /// A fully-charged cell with the given parameters.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters; construct params via
+    /// [`KibamParams::validate`] first if they are untrusted.
+    pub fn new(params: KibamParams) -> Self {
+        params.validate().expect("invalid KiBaM parameters");
+        Kibam {
+            params,
+            state: KibamState {
+                available: params.c * params.capacity,
+                bound: (1.0 - params.c) * params.capacity,
+            },
+            delivered: 0.0,
+            exhausted: false,
+        }
+    }
+
+    /// The paper's AAA NiMH cell, fully charged.
+    pub fn paper_cell() -> Self {
+        Kibam::new(KibamParams::paper_aaa_nimh())
+    }
+
+    /// Model parameters.
+    pub fn params(&self) -> &KibamParams {
+        &self.params
+    }
+
+    /// Current well state.
+    pub fn state(&self) -> KibamState {
+        self.state
+    }
+
+    /// Closed-form well contents after drawing constant `current` for `t`
+    /// seconds from state `s0` (no exhaustion handling — may go negative).
+    fn wells_at(&self, s0: KibamState, current: f64, t: f64) -> KibamState {
+        let KibamParams { c, k_prime: kp, .. } = self.params;
+        let q0 = s0.available + s0.bound;
+        let r = (-kp * t).exp();
+        let ramp = (kp * t - 1.0 + r) / kp;
+        let available =
+            s0.available * r + (q0 * kp * c - current) * (1.0 - r) / kp - current * c * ramp;
+        let bound = s0.bound * r + q0 * (1.0 - c) * (1.0 - r) - current * (1.0 - c) * ramp;
+        KibamState { available, bound }
+    }
+
+    /// First `t ∈ (0, dt]` at which the available well empties, if any.
+    ///
+    /// `y1(t)` under constant current has at most one interior stationary
+    /// point, so the first zero can be bracketed exactly and bisected.
+    fn first_empty(&self, current: f64, dt: f64) -> Option<f64> {
+        let s0 = self.state;
+        let y1 = |t: f64| self.wells_at(s0, current, t).available;
+        debug_assert!(y1(0.0) > 0.0);
+        // Derivative sign analysis: y1'(t) = k'·[r·(B−A+D) − D] with
+        //   A = y1(0), B = q0·c − I/k' + ...; rather than juggling the
+        // antiderivative constants, evaluate the ODE derivative directly.
+        let kp = self.params.k_prime;
+        let c = self.params.c;
+        let flux = |s: KibamState| kp * (c * s.bound - (1.0 - c) * s.available);
+        let dy1 = |t: f64| {
+            let s = self.wells_at(s0, current, t);
+            -current + flux(s)
+        };
+        // y1' is monotone in t (its sign changes at most once) because the
+        // flux relaxes exponentially toward the constant −I equilibrium. Find
+        // the monotone-decreasing region's end by bisecting y1' if needed.
+        let (lo, hi) = if dy1(0.0) < 0.0 {
+            if dy1(dt) <= 0.0 {
+                // Decreasing throughout: zero iff y1(dt) <= 0.
+                if y1(dt) > 0.0 {
+                    return None;
+                }
+                (0.0, dt)
+            } else {
+                // Decreasing then increasing: minimum at the sign change.
+                let mut a = 0.0;
+                let mut b = dt;
+                for _ in 0..64 {
+                    let m = 0.5 * (a + b);
+                    if dy1(m) < 0.0 {
+                        a = m;
+                    } else {
+                        b = m;
+                    }
+                }
+                let t_min = 0.5 * (a + b);
+                if y1(t_min) > 0.0 {
+                    return None; // dipped but stayed positive; recovers after
+                }
+                (0.0, t_min)
+            }
+        } else {
+            // Increasing first (recovery exceeds load): y1 grows, then may
+            // decrease once the wells equalize. Check the end state.
+            if y1(dt) > 0.0 {
+                return None;
+            }
+            (0.0, dt)
+        };
+        // Bisect the first crossing within [lo, hi]: y1(lo) > 0 ≥ y1(hi).
+        let (mut a, mut b) = (lo, hi);
+        for _ in 0..64 {
+            let m = 0.5 * (a + b);
+            if y1(m) > 0.0 {
+                a = m;
+            } else {
+                b = m;
+            }
+        }
+        Some(0.5 * (a + b))
+    }
+}
+
+impl BatteryModel for Kibam {
+    fn name(&self) -> &'static str {
+        "kibam"
+    }
+
+    fn step(&mut self, current: f64, dt: f64) -> StepOutcome {
+        assert!(current >= 0.0 && dt >= 0.0, "negative current or time");
+        if self.exhausted {
+            return StepOutcome::Exhausted { survived: 0.0 };
+        }
+        if dt == 0.0 {
+            return StepOutcome::Alive;
+        }
+        if current > 0.0 {
+            if let Some(t_death) = self.first_empty(current, dt) {
+                let s = self.wells_at(self.state, current, t_death);
+                self.state = KibamState { available: 0.0, bound: s.bound.max(0.0) };
+                self.delivered += current * t_death;
+                self.exhausted = true;
+                return StepOutcome::Exhausted { survived: t_death };
+            }
+        }
+        let s = self.wells_at(self.state, current, dt);
+        // Clamp tiny negative round-off; real negatives were caught above.
+        self.state = KibamState {
+            available: s.available.max(0.0),
+            bound: s.bound.max(0.0),
+        };
+        self.delivered += current * dt;
+        StepOutcome::Alive
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    fn charge_delivered(&self) -> f64 {
+        self.delivered
+    }
+
+    fn state_of_charge(&self) -> f64 {
+        ((self.state.available + self.state.bound) / self.params.capacity).clamp(0.0, 1.0)
+    }
+
+    fn reset(&mut self) {
+        self.state = KibamState {
+            available: self.params.c * self.params.capacity,
+            bound: (1.0 - self.params.c) * self.params.capacity,
+        };
+        self.delivered = 0.0;
+        self.exhausted = false;
+    }
+}
+
+/// One classical RK4 step of the KiBaM ODEs — the independent integrator used
+/// to cross-validate the closed form (and by the stochastic model to anchor
+/// its expectation tests).
+pub fn rk4_step(params: &KibamParams, state: KibamState, current: f64, dt: f64) -> KibamState {
+    let f = |s: KibamState| {
+        let flux = params.k_prime * (params.c * s.bound - (1.0 - params.c) * s.available);
+        (-current + flux, -flux)
+    };
+    let add = |s: KibamState, d: (f64, f64), h: f64| KibamState {
+        available: s.available + d.0 * h,
+        bound: s.bound + d.1 * h,
+    };
+    let k1 = f(state);
+    let k2 = f(add(state, k1, dt / 2.0));
+    let k3 = f(add(state, k2, dt / 2.0));
+    let k4 = f(add(state, k3, dt));
+    KibamState {
+        available: state.available
+            + dt / 6.0 * (k1.0 + 2.0 * k2.0 + 2.0 * k3.0 + k4.0),
+        bound: state.bound + dt / 6.0 * (k1.1 + 2.0 * k2.1 + 2.0 * k3.1 + k4.1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cell() -> Kibam {
+        Kibam::new(KibamParams { capacity: 100.0, c: 0.5, k_prime: 0.01 })
+    }
+
+    #[test]
+    fn full_cell_splits_capacity_by_c() {
+        let b = small_cell();
+        assert_eq!(b.state().available, 50.0);
+        assert_eq!(b.state().bound, 50.0);
+        assert_eq!(b.state_of_charge(), 1.0);
+        assert!(!b.is_exhausted());
+    }
+
+    #[test]
+    fn charge_is_conserved_while_alive() {
+        let mut b = small_cell();
+        b.step(1.0, 10.0);
+        let s = b.state();
+        let total = s.available + s.bound + b.charge_delivered();
+        assert!((total - 100.0).abs() < 1e-9, "conservation: {total}");
+    }
+
+    #[test]
+    fn zero_current_recovers_available_well() {
+        let mut b = small_cell();
+        b.step(2.0, 10.0); // drain available well
+        let drained = b.state().available;
+        b.step(0.0, 200.0); // rest
+        let rested = b.state().available;
+        assert!(rested > drained, "recovery must refill available well");
+        // Equilibrium: heights equalize, y1 -> c * total.
+        b.step(0.0, 1e6);
+        let s = b.state();
+        let expected = 0.5 * (s.available + s.bound + 0.0);
+        assert!((s.available - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn death_occurs_when_available_well_empties() {
+        let mut b = small_cell();
+        // 50 C available; at 10 A with weak recovery it lasts ~5 s.
+        let out = b.step(10.0, 100.0);
+        match out {
+            StepOutcome::Exhausted { survived } => {
+                assert!(survived > 4.0 && survived < 7.0, "survived = {survived}");
+            }
+            StepOutcome::Alive => panic!("cell must die under 10 A"),
+        }
+        assert!(b.is_exhausted());
+        assert!(b.state_of_charge() > 0.0, "bound charge remains at death");
+        // Steps after death deliver nothing.
+        let again = b.step(1.0, 1.0);
+        assert_eq!(again, StepOutcome::Exhausted { survived: 0.0 });
+    }
+
+    #[test]
+    fn delivered_charge_counts_only_survived_time() {
+        let mut b = small_cell();
+        let out = b.step(10.0, 100.0);
+        let StepOutcome::Exhausted { survived } = out else {
+            panic!("must die");
+        };
+        assert!((b.charge_delivered() - 10.0 * survived).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_capacity_effect_lower_current_delivers_more() {
+        let deliver = |current: f64| {
+            let mut b = small_cell();
+            while !b.is_exhausted() {
+                b.step(current, 1.0);
+            }
+            b.charge_delivered()
+        };
+        let hi = deliver(10.0);
+        let mid = deliver(1.0);
+        let lo = deliver(0.01);
+        assert!(hi < mid && mid < lo, "hi={hi} mid={mid} lo={lo}");
+        // At death the bound well must still sustain I (k'·c·y2 ≥ I), so the
+        // unextractable residue shrinks linearly with the load: ~2 C at 10 mA.
+        assert!(lo > 95.0, "infinitesimal load approaches full capacity: {lo}");
+        assert!(hi < 60.0, "harsh load barely exceeds the available well: {hi}");
+    }
+
+    #[test]
+    fn recovery_extends_lifetime_for_pulsed_load() {
+        // Same average current, one continuous vs pulsed with rests.
+        let continuous = {
+            let mut b = small_cell();
+            let mut t = 0.0;
+            while !b.is_exhausted() {
+                b.step(5.0, 0.5);
+                t += 0.5;
+            }
+            (t, b.charge_delivered())
+        };
+        let pulsed = {
+            let mut b = small_cell();
+            let mut t = 0.0;
+            let mut delivered_time = 0.0;
+            while !b.is_exhausted() {
+                if b.step(10.0, 0.5) == StepOutcome::Alive {
+                    delivered_time += 0.5;
+                    b.step(0.0, 0.5);
+                    t += 1.0;
+                } else {
+                    break;
+                }
+            }
+            let _ = (t, delivered_time);
+            b.charge_delivered()
+        };
+        assert!(
+            pulsed > continuous.1,
+            "pulsed {pulsed} must deliver more than continuous {:?}",
+            continuous
+        );
+    }
+
+    #[test]
+    fn closed_form_matches_rk4() {
+        let params = KibamParams { capacity: 100.0, c: 0.4, k_prime: 0.02 };
+        let mut analytic = Kibam::new(params);
+        let mut numeric = KibamState { available: 40.0, bound: 60.0 };
+        let current = 0.7;
+        let dt = 0.01;
+        for _ in 0..5_000 {
+            analytic.step(current, dt);
+            numeric = rk4_step(&params, numeric, current, dt);
+        }
+        let s = analytic.state();
+        assert!((s.available - numeric.available).abs() < 1e-6, "{s:?} vs {numeric:?}");
+        assert!((s.bound - numeric.bound).abs() < 1e-6);
+    }
+
+    #[test]
+    fn closed_form_is_step_size_invariant() {
+        let params = KibamParams { capacity: 100.0, c: 0.5, k_prime: 0.01 };
+        let mut coarse = Kibam::new(params);
+        coarse.step(1.0, 30.0);
+        let mut fine = Kibam::new(params);
+        for _ in 0..3000 {
+            fine.step(1.0, 0.01);
+        }
+        assert!((coarse.state().available - fine.state().available).abs() < 1e-9);
+        assert!((coarse.state().bound - fine.state().bound).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_restores_full_charge() {
+        let mut b = small_cell();
+        b.step(10.0, 100.0);
+        assert!(b.is_exhausted());
+        b.reset();
+        assert!(!b.is_exhausted());
+        assert_eq!(b.charge_delivered(), 0.0);
+        assert_eq!(b.state().available, 50.0);
+    }
+
+    #[test]
+    fn paper_cell_has_2000mah_capacity() {
+        let b = Kibam::paper_cell();
+        let total = b.state().available + b.state().bound;
+        assert!((total - 7200.0).abs() < 1e-9, "2000 mAh = 7200 C, got {total}");
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        for bad in [
+            KibamParams { capacity: 0.0, c: 0.5, k_prime: 0.01 },
+            KibamParams { capacity: 100.0, c: 0.0, k_prime: 0.01 },
+            KibamParams { capacity: 100.0, c: 1.0, k_prime: 0.01 },
+            KibamParams { capacity: 100.0, c: 0.5, k_prime: 0.0 },
+            KibamParams { capacity: f64::NAN, c: 0.5, k_prime: 0.01 },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn zero_duration_step_is_a_noop() {
+        let mut b = small_cell();
+        let before = b.state();
+        assert_eq!(b.step(5.0, 0.0), StepOutcome::Alive);
+        assert_eq!(b.state(), before);
+    }
+}

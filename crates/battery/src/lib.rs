@@ -1,0 +1,67 @@
+//! # bas-battery — battery models, load profiles and lifetime estimation
+//!
+//! The paper's central premise: the charge a battery delivers depends on the
+//! **shape** of the load-current profile, not only its integral. Two effects
+//! matter (§3):
+//!
+//! * **Recovery effect** — at low/zero load, charge migrates from the bulk of
+//!   the cell ("bound charge") back toward the electrode ("available
+//!   charge"), partially undoing earlier high-rate discharge.
+//! * **Rate-capacity effect** — the higher the discharge current, the less
+//!   total charge can be extracted before the terminal voltage collapses.
+//!
+//! This crate implements the battery substrate the paper's evaluation rests
+//! on:
+//!
+//! * [`profile`] — piecewise-constant load-current profiles (what a schedule
+//!   execution trace reduces to, from the battery's point of view);
+//! * [`kibam`] — the **Kinetic Battery Model** (Manwell–McGowan), the two-well
+//!   model the paper uses to explain its guidelines; closed-form constant-
+//!   current stepping plus an RK4 integrator used to cross-validate it;
+//! * [`diffusion`] — the **Rakhmatov–Vrudhula diffusion model** (the paper's
+//!   \[14\]), implemented with incrementally-updated series state so stepping
+//!   is O(terms) instead of O(history);
+//! * [`stochastic`] — a **stochastic KiBaM**: charge quantized into units,
+//!   recovery drawn binomially with the KiBaM flux as its mean. This stands
+//!   in for the authors' stochastic model \[13\] (see DESIGN.md §3); its
+//!   expectation *is* KiBaM, and a deterministic-expectation mode is provided
+//!   for tests;
+//! * [`peukert`] and [`ideal`] — classical reference models bracketing the
+//!   physics (Peukert over-penalizes sustained load; the ideal bucket ignores
+//!   shape entirely);
+//! * [`lifetime`] — drivers that run a (possibly repeating) profile against a
+//!   model and report lifetime and delivered charge;
+//! * [`curve`] — the load-vs-delivered-capacity curve of §5, whose end-point
+//!   extrapolations define *maximum capacity* (infinitesimal load) and the
+//!   *available-charge well* (infinite load).
+//!
+//! ## The paper's cell
+//!
+//! A 1.2 V Panasonic AAA NiMH cell with **maximum capacity 2000 mAh** and
+//! nominal capacity ≈ 1600 mAh. [`kibam::KibamParams::paper_aaa_nimh`] and
+//! the matching constructors of the other models are calibrated to those two
+//! anchor points (see EXPERIMENTS.md for the calibration runs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod curve;
+pub mod diffusion;
+pub mod ideal;
+pub mod kibam;
+pub mod lifetime;
+pub mod model;
+pub mod peukert;
+pub mod profile;
+pub mod sampling;
+pub mod stochastic;
+pub mod units;
+
+pub use diffusion::{DiffusionModel, DiffusionParams};
+pub use ideal::IdealModel;
+pub use kibam::{Kibam, KibamParams};
+pub use lifetime::{run_profile, LifetimeReport, RunOptions};
+pub use model::{BatteryModel, StepOutcome};
+pub use peukert::{PeukertModel, PeukertParams};
+pub use profile::{LoadProfile, ProfileSegment};
+pub use stochastic::{StochasticKibam, StochasticMode};

@@ -1,0 +1,78 @@
+//! The common battery-model interface.
+//!
+//! Every model advances in *steps* of constant current. A step either
+//! completes with the battery still alive, or reports the instant within the
+//! step at which the battery became exhausted (its "available charge" hit
+//! zero / its apparent charge crossed capacity). The co-simulation driver in
+//! `bas-sim` relies on that sub-step death time to cut schedules off at the
+//! right instant.
+
+/// Result of applying one constant-current step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepOutcome {
+    /// The battery survived the whole step.
+    Alive,
+    /// The battery became exhausted `survived` seconds into the step
+    /// (`0 ≤ survived ≤ dt`). State is frozen at the death instant; further
+    /// steps keep reporting death with `survived = 0`.
+    Exhausted {
+        /// Seconds of the step that elapsed before exhaustion.
+        survived: f64,
+    },
+}
+
+impl StepOutcome {
+    /// True when the outcome is [`StepOutcome::Exhausted`].
+    #[inline]
+    pub fn is_exhausted(&self) -> bool {
+        matches!(self, StepOutcome::Exhausted { .. })
+    }
+}
+
+/// A discharge-only battery model.
+///
+/// Implementations must uphold:
+/// * `charge_delivered` grows by exactly `current · elapsed` for the portion
+///   of each step the battery survived;
+/// * after the first `Exhausted` outcome, the model stays exhausted until
+///   [`reset`](BatteryModel::reset);
+/// * `reset` restores the exact initial state (for stochastic models, the
+///   RNG is *not* reset unless documented — repeated runs are independent
+///   trials).
+pub trait BatteryModel: Send {
+    /// Short human-readable model name for reports (e.g. `"kibam"`).
+    fn name(&self) -> &'static str;
+
+    /// Apply `current` amperes for `dt` seconds.
+    ///
+    /// # Panics
+    /// Implementations may panic on negative `current` or `dt`; the
+    /// simulator never produces them.
+    fn step(&mut self, current: f64, dt: f64) -> StepOutcome;
+
+    /// True once the battery has been exhausted.
+    fn is_exhausted(&self) -> bool;
+
+    /// Total charge delivered so far, in coulombs.
+    fn charge_delivered(&self) -> f64;
+
+    /// Remaining fraction of the battery's *theoretical* capacity, in
+    /// `[0, 1]`. For well models this counts all wells — a battery can be
+    /// exhausted (empty available well) with `state_of_charge() > 0`, which
+    /// is precisely the unexploited-capacity loss the paper fights.
+    fn state_of_charge(&self) -> f64;
+
+    /// Restore the initial (full) state.
+    fn reset(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_queries() {
+        assert!(!StepOutcome::Alive.is_exhausted());
+        assert!(StepOutcome::Exhausted { survived: 0.5 }.is_exhausted());
+    }
+}

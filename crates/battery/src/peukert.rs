@@ -1,0 +1,225 @@
+//! Peukert's-law battery model — the classical empirical rate-capacity law,
+//! used by early battery-aware work (the paper's \[7\] schedules DAGs against
+//! it). Included as a reference point bracketing the physical models.
+//!
+//! Peukert: a constant discharge at current `I` lasts
+//! `L = Cp / I^b` with exponent `b ≳ 1`. Equivalently the battery sustains a
+//! fixed budget of `∫ I(τ)^b dτ` — which is how we extend it to varying
+//! loads. Note Peukert has **no recovery effect**: rests do not refund
+//! anything, which is exactly why the field moved to KiBaM/diffusion models.
+
+use crate::model::{BatteryModel, StepOutcome};
+use crate::units::mah_to_coulombs;
+
+/// Parameters of the Peukert model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PeukertParams {
+    /// Peukert capacity `Cp` in `A^b·s`: the budget of `∫ I^b dτ`.
+    pub peukert_capacity: f64,
+    /// Peukert exponent `b ≥ 1`; `b = 1` is the ideal bucket.
+    pub exponent: f64,
+}
+
+impl PeukertParams {
+    /// Calibrated to the paper's AAA NiMH cell: delivers 2000 mAh at a 0.1 A
+    /// reference load with exponent 1.15 (typical for NiMH).
+    pub fn paper_aaa_nimh() -> Self {
+        let i_ref: f64 = 0.1;
+        let capacity_c = mah_to_coulombs(2000.0);
+        // Lifetime at i_ref: L = capacity_c / i_ref; budget = i_ref^b · L.
+        let exponent = 1.15;
+        let lifetime = capacity_c / i_ref;
+        PeukertParams {
+            peukert_capacity: i_ref.powf(exponent) * lifetime,
+            exponent,
+        }
+    }
+
+    /// Validate parameter ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.peukert_capacity.is_finite() && self.peukert_capacity > 0.0) {
+            return Err(format!("capacity {} must be positive", self.peukert_capacity));
+        }
+        if !(self.exponent.is_finite() && self.exponent >= 1.0) {
+            return Err(format!("exponent {} must be >= 1", self.exponent));
+        }
+        Ok(())
+    }
+}
+
+/// Peukert's-law model state.
+#[derive(Debug, Clone)]
+pub struct PeukertModel {
+    params: PeukertParams,
+    consumed: f64,
+    delivered: f64,
+    exhausted: bool,
+}
+
+impl PeukertModel {
+    /// A fresh cell.
+    ///
+    /// # Panics
+    /// Panics on invalid parameters.
+    pub fn new(params: PeukertParams) -> Self {
+        params.validate().expect("invalid Peukert parameters");
+        PeukertModel { params, consumed: 0.0, delivered: 0.0, exhausted: false }
+    }
+
+    /// The paper's AAA NiMH cell.
+    pub fn paper_cell() -> Self {
+        PeukertModel::new(PeukertParams::paper_aaa_nimh())
+    }
+
+    /// Remaining `∫ I^b dτ` budget.
+    pub fn remaining_budget(&self) -> f64 {
+        (self.params.peukert_capacity - self.consumed).max(0.0)
+    }
+
+    /// Lifetime under a constant current, from full charge.
+    pub fn constant_current_lifetime(params: &PeukertParams, current: f64) -> f64 {
+        assert!(current > 0.0);
+        params.peukert_capacity / current.powf(params.exponent)
+    }
+}
+
+impl BatteryModel for PeukertModel {
+    fn name(&self) -> &'static str {
+        "peukert"
+    }
+
+    fn step(&mut self, current: f64, dt: f64) -> StepOutcome {
+        assert!(current >= 0.0 && dt >= 0.0, "negative current or time");
+        if self.exhausted {
+            return StepOutcome::Exhausted { survived: 0.0 };
+        }
+        if dt == 0.0 || current == 0.0 {
+            // No recovery in Peukert: zero load simply costs nothing.
+            return StepOutcome::Alive;
+        }
+        let rate = current.powf(self.params.exponent);
+        let cost = rate * dt;
+        if self.consumed + cost >= self.params.peukert_capacity {
+            let survived = (self.params.peukert_capacity - self.consumed) / rate;
+            self.consumed = self.params.peukert_capacity;
+            self.delivered += current * survived;
+            self.exhausted = true;
+            return StepOutcome::Exhausted { survived: survived.clamp(0.0, dt) };
+        }
+        self.consumed += cost;
+        self.delivered += current * dt;
+        StepOutcome::Alive
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    fn charge_delivered(&self) -> f64 {
+        self.delivered
+    }
+
+    fn state_of_charge(&self) -> f64 {
+        (1.0 - self.consumed / self.params.peukert_capacity).clamp(0.0, 1.0)
+    }
+
+    fn reset(&mut self) {
+        self.consumed = 0.0;
+        self.delivered = 0.0;
+        self.exhausted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell() -> PeukertModel {
+        PeukertModel::new(PeukertParams { peukert_capacity: 100.0, exponent: 1.2 })
+    }
+
+    #[test]
+    fn constant_current_lifetime_follows_power_law() {
+        let p = PeukertParams { peukert_capacity: 100.0, exponent: 1.2 };
+        let l1 = PeukertModel::constant_current_lifetime(&p, 1.0);
+        let l2 = PeukertModel::constant_current_lifetime(&p, 2.0);
+        assert!((l1 - 100.0).abs() < 1e-12);
+        assert!((l1 / l2 - 2.0f64.powf(1.2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stepped_death_matches_closed_form() {
+        let mut b = cell();
+        let mut t = 0.0;
+        loop {
+            match b.step(2.0, 0.7) {
+                StepOutcome::Alive => t += 0.7,
+                StepOutcome::Exhausted { survived } => {
+                    t += survived;
+                    break;
+                }
+            }
+        }
+        let expected = PeukertModel::constant_current_lifetime(
+            &PeukertParams { peukert_capacity: 100.0, exponent: 1.2 },
+            2.0,
+        );
+        assert!((t - expected).abs() < 1e-9, "{t} vs {expected}");
+    }
+
+    #[test]
+    fn higher_current_delivers_less_charge() {
+        let deliver = |current: f64| {
+            let mut b = cell();
+            while !b.is_exhausted() {
+                b.step(current, 0.1);
+            }
+            b.charge_delivered()
+        };
+        assert!(deliver(4.0) < deliver(1.0));
+    }
+
+    #[test]
+    fn no_recovery_on_rest() {
+        let mut b = cell();
+        b.step(2.0, 10.0);
+        let before = b.state_of_charge();
+        b.step(0.0, 1000.0);
+        assert_eq!(b.state_of_charge(), before, "Peukert has no recovery");
+    }
+
+    #[test]
+    fn exponent_one_is_ideal_bucket() {
+        let p = PeukertParams { peukert_capacity: 100.0, exponent: 1.0 };
+        let mut b = PeukertModel::new(p);
+        while !b.is_exhausted() {
+            b.step(5.0, 0.1);
+        }
+        assert!((b.charge_delivered() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_cell_delivers_2000mah_at_reference_load() {
+        let p = PeukertParams::paper_aaa_nimh();
+        let lifetime = PeukertModel::constant_current_lifetime(&p, 0.1);
+        let delivered_mah = 0.1 * lifetime / 3.6;
+        assert!((delivered_mah - 2000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(PeukertParams { peukert_capacity: 0.0, exponent: 1.1 }.validate().is_err());
+        assert!(PeukertParams { peukert_capacity: 10.0, exponent: 0.9 }.validate().is_err());
+    }
+
+    #[test]
+    fn reset_restores_budget() {
+        let mut b = cell();
+        b.step(10.0, 100.0);
+        assert!(b.is_exhausted());
+        b.reset();
+        assert_eq!(b.state_of_charge(), 1.0);
+        assert!(!b.is_exhausted());
+    }
+}

@@ -1,0 +1,299 @@
+//! Piecewise-constant load-current profiles.
+//!
+//! From the battery's point of view, an executed schedule is nothing but a
+//! sequence of `(current, duration)` segments — the *load profile* the paper
+//! keeps referring to. The scheduling simulator emits one of these; the
+//! battery models consume it.
+
+use std::fmt;
+
+/// One constant-current stretch of a load profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ProfileSegment {
+    /// Discharge current in amperes (≥ 0; charging is out of scope).
+    pub current: f64,
+    /// Duration in seconds (> 0).
+    pub duration: f64,
+}
+
+/// A piecewise-constant discharge-current profile.
+///
+/// Invariants (enforced by [`LoadProfile::push`]): non-negative finite
+/// currents, strictly positive finite durations. Adjacent segments with equal
+/// current are merged so profile length reflects actual current *changes* —
+/// the quantity guideline G1 constrains.
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LoadProfile {
+    segments: Vec<ProfileSegment>,
+}
+
+impl LoadProfile {
+    /// Empty profile.
+    pub fn new() -> Self {
+        LoadProfile { segments: Vec::new() }
+    }
+
+    /// Build from `(current, duration)` pairs.
+    ///
+    /// # Panics
+    /// Panics on invalid segments (see [`push`](Self::push)).
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (f64, f64)>) -> Self {
+        let mut p = LoadProfile::new();
+        for (i, d) in pairs {
+            p.push(i, d);
+        }
+        p
+    }
+
+    /// Append `duration` seconds at `current` amperes, merging with the tail
+    /// segment when the current is identical.
+    ///
+    /// # Panics
+    /// Panics if `current` is negative/non-finite or `duration` is
+    /// non-positive/non-finite; profiles are produced by trusted code (the
+    /// simulator), so malformed segments are programming errors.
+    pub fn push(&mut self, current: f64, duration: f64) {
+        assert!(
+            current.is_finite() && current >= 0.0,
+            "segment current {current} must be finite and >= 0"
+        );
+        assert!(
+            duration.is_finite() && duration > 0.0,
+            "segment duration {duration} must be finite and > 0"
+        );
+        if let Some(last) = self.segments.last_mut() {
+            if last.current == current {
+                last.duration += duration;
+                return;
+            }
+        }
+        self.segments.push(ProfileSegment { current, duration });
+    }
+
+    /// The segments in time order.
+    #[inline]
+    pub fn segments(&self) -> &[ProfileSegment] {
+        &self.segments
+    }
+
+    /// Number of (merged) segments.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True when the profile has no segments.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Total duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.segments.iter().map(|s| s.duration).sum()
+    }
+
+    /// Total charge `∫ i dt` in coulombs.
+    pub fn total_charge(&self) -> f64 {
+        self.segments.iter().map(|s| s.current * s.duration).sum()
+    }
+
+    /// Time-averaged current in amperes (0 for an empty profile).
+    pub fn average_current(&self) -> f64 {
+        let d = self.duration();
+        if d == 0.0 {
+            0.0
+        } else {
+            self.total_charge() / d
+        }
+    }
+
+    /// Peak current in amperes (0 for an empty profile).
+    pub fn peak_current(&self) -> f64 {
+        self.segments.iter().map(|s| s.current).fold(0.0, f64::max)
+    }
+
+    /// Current at absolute time `t` (seconds from profile start); `None`
+    /// beyond the end.
+    pub fn current_at(&self, t: f64) -> Option<f64> {
+        if t < 0.0 {
+            return None;
+        }
+        let mut acc = 0.0;
+        for s in &self.segments {
+            acc += s.duration;
+            if t < acc {
+                return Some(s.current);
+            }
+        }
+        None
+    }
+
+    /// True when currents are non-increasing over time — the shape guideline
+    /// G1 declares optimal.
+    pub fn is_non_increasing(&self) -> bool {
+        self.segments.windows(2).all(|w| w[0].current >= w[1].current)
+    }
+
+    /// The same total-charge profile with segments in reverse order; turns a
+    /// non-increasing profile into the pessimal non-decreasing one (used by
+    /// the guideline experiments).
+    pub fn reversed(&self) -> LoadProfile {
+        let mut p = LoadProfile::new();
+        for s in self.segments.iter().rev() {
+            p.push(s.current, s.duration);
+        }
+        p
+    }
+
+    /// A constant-current profile with the same total charge and duration —
+    /// the shape-free control in the guideline experiments.
+    pub fn flattened(&self) -> LoadProfile {
+        let d = self.duration();
+        if d == 0.0 {
+            return LoadProfile::new();
+        }
+        LoadProfile::from_pairs([(self.total_charge() / d, d)])
+    }
+
+    /// Concatenate another profile after this one.
+    pub fn extend(&mut self, other: &LoadProfile) {
+        for s in other.segments() {
+            self.push(s.current, s.duration);
+        }
+    }
+
+    /// This profile repeated `n` times (the periodic schedules of the paper
+    /// produce one hyperperiod, then repeat it until the battery dies).
+    pub fn repeated(&self, n: usize) -> LoadProfile {
+        let mut p = LoadProfile::new();
+        for _ in 0..n {
+            p.extend(self);
+        }
+        p
+    }
+}
+
+impl fmt::Display for LoadProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, s) in self.segments.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{:.3}A×{:.3}s", s.current, s.duration)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_merges_equal_currents() {
+        let mut p = LoadProfile::new();
+        p.push(1.0, 2.0);
+        p.push(1.0, 3.0);
+        p.push(0.5, 1.0);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.segments()[0], ProfileSegment { current: 1.0, duration: 5.0 });
+    }
+
+    #[test]
+    fn totals_integrate_correctly() {
+        let p = LoadProfile::from_pairs([(2.0, 1.0), (1.0, 2.0)]);
+        assert!((p.duration() - 3.0).abs() < 1e-12);
+        assert!((p.total_charge() - 4.0).abs() < 1e-12);
+        assert!((p.average_current() - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p.peak_current(), 2.0);
+    }
+
+    #[test]
+    fn empty_profile_has_zero_stats() {
+        let p = LoadProfile::new();
+        assert!(p.is_empty());
+        assert_eq!(p.duration(), 0.0);
+        assert_eq!(p.total_charge(), 0.0);
+        assert_eq!(p.average_current(), 0.0);
+        assert_eq!(p.peak_current(), 0.0);
+    }
+
+    #[test]
+    fn current_at_walks_segments() {
+        let p = LoadProfile::from_pairs([(2.0, 1.0), (1.0, 2.0)]);
+        assert_eq!(p.current_at(0.0), Some(2.0));
+        assert_eq!(p.current_at(0.999), Some(2.0));
+        assert_eq!(p.current_at(1.0), Some(1.0));
+        assert_eq!(p.current_at(2.9), Some(1.0));
+        assert_eq!(p.current_at(3.0), None);
+        assert_eq!(p.current_at(-0.1), None);
+    }
+
+    #[test]
+    fn non_increasing_detection() {
+        assert!(LoadProfile::from_pairs([(3.0, 1.0), (2.0, 1.0), (2.0, 1.0), (1.0, 1.0)])
+            .is_non_increasing());
+        assert!(!LoadProfile::from_pairs([(1.0, 1.0), (2.0, 1.0)]).is_non_increasing());
+        assert!(LoadProfile::new().is_non_increasing());
+    }
+
+    #[test]
+    fn reversed_preserves_charge_and_duration() {
+        let p = LoadProfile::from_pairs([(3.0, 1.0), (1.0, 2.0)]);
+        let r = p.reversed();
+        assert!((r.total_charge() - p.total_charge()).abs() < 1e-12);
+        assert!((r.duration() - p.duration()).abs() < 1e-12);
+        assert!(p.is_non_increasing());
+        assert!(!r.is_non_increasing());
+    }
+
+    #[test]
+    fn flattened_is_constant_with_same_integral() {
+        let p = LoadProfile::from_pairs([(3.0, 1.0), (1.0, 3.0)]);
+        let f = p.flattened();
+        assert_eq!(f.len(), 1);
+        assert!((f.total_charge() - p.total_charge()).abs() < 1e-12);
+        assert!((f.duration() - p.duration()).abs() < 1e-12);
+        assert!((f.average_current() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn repeated_scales_totals() {
+        let p = LoadProfile::from_pairs([(1.0, 1.0), (0.5, 1.0)]);
+        let r = p.repeated(3);
+        assert!((r.duration() - 6.0).abs() < 1e-12);
+        assert!((r.total_charge() - 4.5).abs() < 1e-12);
+        // Boundary merging: tail 0.5 A then head 1.0 A — no merge, so 6 segs.
+        assert_eq!(r.len(), 6);
+    }
+
+    #[test]
+    fn repeated_merges_across_boundary_when_equal() {
+        let p = LoadProfile::from_pairs([(1.0, 1.0)]);
+        let r = p.repeated(4);
+        assert_eq!(r.len(), 1);
+        assert!((r.duration() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and >= 0")]
+    fn negative_current_panics() {
+        LoadProfile::new().push(-1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and > 0")]
+    fn zero_duration_panics() {
+        LoadProfile::new().push(1.0, 0.0);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let p = LoadProfile::from_pairs([(1.5, 2.0)]);
+        assert_eq!(p.to_string(), "[1.500A×2.000s]");
+    }
+}

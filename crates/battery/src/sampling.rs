@@ -1,0 +1,144 @@
+//! Small discrete samplers used by the stochastic battery model.
+//!
+//! Only `rand` core is in the approved dependency set (no `rand_distr`), so
+//! the binomial sampler the stochastic KiBaM needs is implemented here:
+//! exact Bernoulli summation for small `n`, BTPE-free normal approximation
+//! with continuity correction for large `n` (the regime the battery model
+//! lives in, where `n` is tens of thousands of charge units).
+
+use rand::Rng;
+
+/// Threshold below which binomial sampling falls back to exact Bernoulli
+/// summation.
+const EXACT_LIMIT: u64 = 64;
+
+/// Sample `Binomial(n, p)`.
+///
+/// * `p` is clamped into `[0, 1]`;
+/// * `n ≤ 64` uses exact Bernoulli summation;
+/// * larger `n` uses the normal approximation with continuity correction,
+///   clamped into `[0, n]` — with `n·p·(1−p)` in the thousands (the battery
+///   regime) the approximation error is far below the model's own noise.
+pub fn binomial(rng: &mut impl Rng, n: u64, p: f64) -> u64 {
+    let p = p.clamp(0.0, 1.0);
+    if n == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return n;
+    }
+    if n <= EXACT_LIMIT {
+        let mut k = 0;
+        for _ in 0..n {
+            if rng.gen::<f64>() < p {
+                k += 1;
+            }
+        }
+        return k;
+    }
+    let mean = n as f64 * p;
+    let var = mean * (1.0 - p);
+    let z = standard_normal(rng);
+    let sample = (mean + z * var.sqrt() + 0.5).floor();
+    sample.clamp(0.0, n as f64) as u64
+}
+
+/// Standard normal via Box–Muller (one deviate per call; the discarded
+/// second deviate keeps the sampler stateless).
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    // Avoid ln(0): u1 ∈ (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut r = rng(0);
+        assert_eq!(binomial(&mut r, 0, 0.5), 0);
+        assert_eq!(binomial(&mut r, 100, 0.0), 0);
+        assert_eq!(binomial(&mut r, 100, 1.0), 100);
+        assert_eq!(binomial(&mut r, 100, -0.5), 0, "p clamped up");
+        assert_eq!(binomial(&mut r, 100, 1.5), 100, "p clamped down");
+    }
+
+    #[test]
+    fn binomial_small_n_matches_mean_and_bounds() {
+        let mut r = rng(1);
+        let n = 20;
+        let p = 0.3;
+        let trials = 20_000;
+        let mut sum = 0u64;
+        for _ in 0..trials {
+            let k = binomial(&mut r, n, p);
+            assert!(k <= n);
+            sum += k;
+        }
+        let mean = sum as f64 / trials as f64;
+        assert!((mean - 6.0).abs() < 0.1, "mean {mean} should be ~6");
+    }
+
+    #[test]
+    fn binomial_large_n_matches_mean_and_variance() {
+        let mut r = rng(2);
+        let n = 10_000;
+        let p = 0.25;
+        let trials = 5_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..trials {
+            let k = binomial(&mut r, n, p) as f64;
+            assert!(k <= n as f64);
+            sum += k;
+            sumsq += k * k;
+        }
+        let mean = sum / trials as f64;
+        let var = sumsq / trials as f64 - mean * mean;
+        assert!((mean - 2500.0).abs() < 10.0, "mean {mean}");
+        let expected_var = 2500.0 * 0.75;
+        assert!(
+            (var / expected_var - 1.0).abs() < 0.1,
+            "var {var} vs {expected_var}"
+        );
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng(3);
+        let trials = 100_000;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..trials {
+            let z = standard_normal(&mut r);
+            sum += z;
+            sumsq += z * z;
+        }
+        let mean = sum / trials as f64;
+        let var = sumsq / trials as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_seed() {
+        let a: Vec<u64> = {
+            let mut r = rng(7);
+            (0..10).map(|_| binomial(&mut r, 1000, 0.4)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = rng(7);
+            (0..10).map(|_| binomial(&mut r, 1000, 0.4)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,394 @@
+//! A stochastic KiBaM — the stand-in for the paper's evaluation battery
+//! simulator (its reference \[13\], "Battery model for embedded systems").
+//!
+//! The authors' model tracks quantized charge with probabilistic recovery;
+//! \[13\] itself is calibrated against the same KiBaM/diffusion dynamics the
+//! paper proves coherent in §3. We therefore quantize the KiBaM: charge is
+//! carried in discrete *units* (default 1 mC); each fixed time slot
+//!
+//! 1. the load drains `I·Δt` from the available well (fractional carry kept
+//!    exactly, so no drift),
+//! 2. the bound→available transfer is drawn `Binomial(n_bound, p)` with `p`
+//!    chosen so the mean equals the deterministic KiBaM flux
+//!    `k'·[c·y2 − (1−c)·y1]·Δt` (negative flux flows the other way).
+//!
+//! The expectation of this process is exactly KiBaM — asserted by tests
+//! running [`StochasticMode::Expectation`] against [`crate::kibam::Kibam`] —
+//! while sampled runs reproduce the run-to-run lifetime variance a Monte
+//! Carlo battery evaluation (like the paper's) exhibits.
+
+use crate::kibam::KibamParams;
+use crate::model::{BatteryModel, StepOutcome};
+use crate::sampling::binomial;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Noise behaviour of the stochastic model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StochasticMode {
+    /// Draw the recovery transfer at each slot (Monte Carlo).
+    Sampled,
+    /// Use the expected transfer — the model degenerates to a discretized
+    /// KiBaM; used to validate the implementation.
+    Expectation,
+}
+
+/// Stochastic charge-unit KiBaM.
+#[derive(Debug, Clone)]
+pub struct StochasticKibam {
+    params: KibamParams,
+    /// Charge per unit, in coulombs.
+    quantum: f64,
+    /// Time slot length, in seconds.
+    slot: f64,
+    mode: StochasticMode,
+    rng: StdRng,
+    /// Whole units in each well.
+    available_units: u64,
+    bound_units: u64,
+    /// Sub-unit drain carry (0 ≤ carry < quantum), exact load accounting.
+    drain_carry: f64,
+    /// Sub-slot time carry for steps that are not slot multiples.
+    time_carry: f64,
+    delivered: f64,
+    exhausted: bool,
+}
+
+impl StochasticKibam {
+    /// Construct with explicit quantum and slot length.
+    ///
+    /// # Panics
+    /// Panics on invalid KiBaM parameters or non-positive quantum/slot.
+    pub fn new(
+        params: KibamParams,
+        quantum: f64,
+        slot: f64,
+        mode: StochasticMode,
+        seed: u64,
+    ) -> Self {
+        params.validate().expect("invalid KiBaM parameters");
+        assert!(quantum.is_finite() && quantum > 0.0, "quantum must be > 0");
+        assert!(slot.is_finite() && slot > 0.0, "slot must be > 0");
+        let available_units = (params.c * params.capacity / quantum).round() as u64;
+        let bound_units = ((1.0 - params.c) * params.capacity / quantum).round() as u64;
+        StochasticKibam {
+            params,
+            quantum,
+            slot,
+            mode,
+            rng: StdRng::seed_from_u64(seed),
+            available_units,
+            bound_units,
+            drain_carry: 0.0,
+            time_carry: 0.0,
+            delivered: 0.0,
+            exhausted: false,
+        }
+    }
+
+    /// The paper's AAA NiMH cell with 1 mC units and 100 ms slots.
+    pub fn paper_cell(seed: u64) -> Self {
+        StochasticKibam::new(
+            KibamParams::paper_aaa_nimh(),
+            1e-3,
+            0.1,
+            StochasticMode::Sampled,
+            seed,
+        )
+    }
+
+    /// Charge in the available well, coulombs.
+    pub fn available(&self) -> f64 {
+        self.available_units as f64 * self.quantum - self.drain_carry
+    }
+
+    /// Charge in the bound well, coulombs.
+    pub fn bound(&self) -> f64 {
+        self.bound_units as f64 * self.quantum
+    }
+
+    /// KiBaM parameters.
+    pub fn params(&self) -> &KibamParams {
+        &self.params
+    }
+
+    /// Drain `current · dt` from the available well — exact, per caller
+    /// step, regardless of slot alignment (billing a whole slot at whichever
+    /// current happens to cross its boundary would systematically misprice
+    /// alternating busy/idle loads). Returns seconds survived when the well
+    /// runs dry inside the step.
+    fn drain(&mut self, current: f64, dt: f64) -> Option<f64> {
+        let demand = current * dt + self.drain_carry;
+        let whole = (demand / self.quantum).floor();
+        let need_units = whole as u64;
+        if need_units > self.available_units {
+            let have = self.available_units as f64 * self.quantum - self.drain_carry;
+            let survived =
+                if current > 0.0 { (have / current).clamp(0.0, dt) } else { dt };
+            self.delivered += have.max(0.0);
+            self.available_units = 0;
+            self.drain_carry = 0.0;
+            self.exhausted = true;
+            return Some(survived);
+        }
+        self.available_units -= need_units;
+        self.drain_carry = demand - whole * self.quantum;
+        self.delivered += current * dt;
+        if self.available_units == 0 && self.drain_carry > 0.0 {
+            self.exhausted = true;
+            return Some(dt);
+        }
+        None
+    }
+
+    /// One slot's bound↔available recovery transfer with KiBaM-flux mean.
+    fn recover_one_slot(&mut self) {
+        let y1 = self.available();
+        let y2 = self.bound();
+        let c = self.params.c;
+        let flux = self.params.k_prime * (c * y2 - (1.0 - c) * y1) * self.slot; // coulombs
+        let units_mean = flux / self.quantum;
+        let transferred: i64 = match self.mode {
+            StochasticMode::Expectation => units_mean.round() as i64,
+            StochasticMode::Sampled => {
+                if units_mean >= 0.0 {
+                    let n = self.bound_units;
+                    let p = if n == 0 { 0.0 } else { units_mean / n as f64 };
+                    binomial(&mut self.rng, n, p) as i64
+                } else {
+                    let n = self.available_units;
+                    let p = if n == 0 { 0.0 } else { -units_mean / n as f64 };
+                    -(binomial(&mut self.rng, n, p) as i64)
+                }
+            }
+        };
+        if transferred >= 0 {
+            let t = (transferred as u64).min(self.bound_units);
+            self.bound_units -= t;
+            self.available_units += t;
+        } else {
+            let t = ((-transferred) as u64).min(self.available_units);
+            self.available_units -= t;
+            self.bound_units += t;
+        }
+    }
+}
+
+impl BatteryModel for StochasticKibam {
+    fn name(&self) -> &'static str {
+        "stochastic-kibam"
+    }
+
+    fn step(&mut self, current: f64, dt: f64) -> StepOutcome {
+        assert!(current >= 0.0 && dt >= 0.0, "negative current or time");
+        if self.exhausted {
+            return StepOutcome::Exhausted { survived: 0.0 };
+        }
+        // Drain exactly for this step's current and duration; recovery
+        // transfers happen once per elapsed slot (time accumulated across
+        // steps via the carry). Long steps are split so recovery interleaves
+        // with drain at slot resolution.
+        let mut remaining = dt;
+        let mut elapsed = 0.0;
+        while remaining > 0.0 {
+            let until_slot = (self.slot - self.time_carry).max(0.0);
+            let chunk = remaining.min(until_slot.max(self.slot * 1e-9));
+            if let Some(survived) = self.drain(current, chunk) {
+                return StepOutcome::Exhausted {
+                    survived: (elapsed + survived).clamp(0.0, dt),
+                };
+            }
+            elapsed += chunk;
+            remaining -= chunk;
+            self.time_carry += chunk;
+            if self.time_carry >= self.slot - 1e-12 {
+                self.recover_one_slot();
+                self.time_carry -= self.slot;
+            }
+        }
+        StepOutcome::Alive
+    }
+
+    fn is_exhausted(&self) -> bool {
+        self.exhausted
+    }
+
+    fn charge_delivered(&self) -> f64 {
+        self.delivered
+    }
+
+    fn state_of_charge(&self) -> f64 {
+        ((self.available() + self.bound()) / self.params.capacity).clamp(0.0, 1.0)
+    }
+
+    fn reset(&mut self) {
+        self.available_units = (self.params.c * self.params.capacity / self.quantum).round() as u64;
+        self.bound_units =
+            ((1.0 - self.params.c) * self.params.capacity / self.quantum).round() as u64;
+        self.drain_carry = 0.0;
+        self.time_carry = 0.0;
+        self.delivered = 0.0;
+        self.exhausted = false;
+        // RNG deliberately NOT reset: reset() starts an independent trial.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kibam::Kibam;
+
+    fn params() -> KibamParams {
+        KibamParams { capacity: 100.0, c: 0.5, k_prime: 0.01 }
+    }
+
+    fn expectation_cell() -> StochasticKibam {
+        StochasticKibam::new(params(), 1e-3, 0.05, StochasticMode::Expectation, 0)
+    }
+
+    fn sampled_cell(seed: u64) -> StochasticKibam {
+        StochasticKibam::new(params(), 1e-3, 0.05, StochasticMode::Sampled, seed)
+    }
+
+    #[test]
+    fn initial_wells_match_kibam_split() {
+        let b = expectation_cell();
+        assert!((b.available() - 50.0).abs() < 1e-9);
+        assert!((b.bound() - 50.0).abs() < 1e-9);
+        assert_eq!(b.state_of_charge(), 1.0);
+    }
+
+    #[test]
+    fn expectation_mode_tracks_closed_form_kibam() {
+        let mut stoch = expectation_cell();
+        let mut exact = Kibam::new(params());
+        let current = 0.2; // 40 C over the run: well within the 50 C well
+        for _ in 0..200 {
+            stoch.step(current, 1.0);
+            exact.step(current, 1.0);
+        }
+        assert!(!stoch.is_exhausted() && !exact.is_exhausted());
+        let (sa, ea) = (stoch.available(), exact.state().available);
+        let (sb, eb) = (stoch.bound(), exact.state().bound);
+        // Quantization + Euler-vs-exact: within 1 % of well contents.
+        assert!((sa - ea).abs() < 1.0, "available {sa} vs {ea}");
+        assert!((sb - eb).abs() < 1.0, "bound {sb} vs {eb}");
+    }
+
+    #[test]
+    fn expectation_lifetime_matches_kibam_lifetime() {
+        let mut stoch = expectation_cell();
+        let mut exact = Kibam::new(params());
+        let current = 2.0;
+        let mut t_stoch = 0.0;
+        while !stoch.is_exhausted() {
+            match stoch.step(current, 0.5) {
+                StepOutcome::Alive => t_stoch += 0.5,
+                StepOutcome::Exhausted { survived } => t_stoch += survived,
+            }
+        }
+        let mut t_exact = 0.0;
+        while !exact.is_exhausted() {
+            match exact.step(current, 0.5) {
+                StepOutcome::Alive => t_exact += 0.5,
+                StepOutcome::Exhausted { survived } => t_exact += survived,
+            }
+        }
+        assert!(
+            (t_stoch - t_exact).abs() / t_exact < 0.02,
+            "stochastic {t_stoch} vs kibam {t_exact}"
+        );
+    }
+
+    #[test]
+    fn sampled_runs_vary_but_cluster_around_expectation() {
+        let expected_lifetime = {
+            let mut b = expectation_cell();
+            let mut t = 0.0;
+            loop {
+                match b.step(2.0, 0.5) {
+                    StepOutcome::Alive => t += 0.5,
+                    StepOutcome::Exhausted { survived } => break t + survived,
+                }
+            }
+        };
+        let mut lifetimes = Vec::new();
+        for seed in 0..10 {
+            let mut b = sampled_cell(seed);
+            let mut t = 0.0;
+            loop {
+                match b.step(2.0, 0.5) {
+                    StepOutcome::Alive => t += 0.5,
+                    StepOutcome::Exhausted { survived } => {
+                        t += survived;
+                        break;
+                    }
+                }
+            }
+            lifetimes.push(t);
+        }
+        let mean: f64 = lifetimes.iter().sum::<f64>() / lifetimes.len() as f64;
+        assert!(
+            (mean - expected_lifetime).abs() / expected_lifetime < 0.05,
+            "mean {mean} vs expectation {expected_lifetime}"
+        );
+        let min = lifetimes.iter().cloned().fold(f64::MAX, f64::min);
+        let max = lifetimes.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > min, "sampled trials must differ");
+    }
+
+    #[test]
+    fn recovery_happens_at_zero_load() {
+        let mut b = expectation_cell();
+        b.step(2.0, 20.0);
+        let before = b.available();
+        b.step(0.0, 100.0);
+        assert!(b.available() > before);
+    }
+
+    #[test]
+    fn rate_capacity_effect_holds() {
+        let deliver = |current: f64| {
+            let mut b = sampled_cell(42);
+            while !b.is_exhausted() {
+                b.step(current, 0.5);
+            }
+            b.charge_delivered()
+        };
+        let hi = deliver(10.0);
+        let lo = deliver(0.5);
+        assert!(hi < lo, "hi={hi} lo={lo}");
+    }
+
+    #[test]
+    fn sub_slot_steps_accumulate_via_time_carry() {
+        let mut a = expectation_cell();
+        for _ in 0..100 {
+            a.step(1.0, 0.01); // 100 × 10 ms = 1 s in sub-slot steps
+        }
+        let mut b = expectation_cell();
+        b.step(1.0, 1.0);
+        assert!((a.available() - b.available()).abs() < 0.06, "{} vs {}", a.available(), b.available());
+        assert!((a.charge_delivered() - b.charge_delivered()).abs() < 0.06);
+    }
+
+    #[test]
+    fn reset_restores_wells_but_not_rng() {
+        let mut b = sampled_cell(5);
+        b.step(5.0, 30.0);
+        b.reset();
+        assert!(!b.is_exhausted());
+        assert!((b.available() - 50.0).abs() < 1e-9);
+        assert_eq!(b.charge_delivered(), 0.0);
+    }
+
+    #[test]
+    fn death_reports_partial_slot_survival() {
+        let mut b = expectation_cell();
+        let out = b.step(1000.0, 10.0);
+        let StepOutcome::Exhausted { survived } = out else {
+            panic!("1000 A must exhaust instantly");
+        };
+        assert!(survived < 0.2, "survived = {survived}");
+    }
+}

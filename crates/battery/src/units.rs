@@ -1,0 +1,55 @@
+//! Unit conversions used throughout the battery crate.
+//!
+//! Internally everything is SI: charge in coulombs, current in amperes, time
+//! in seconds. The paper (and battery datasheets) speak in mAh and minutes;
+//! these helpers keep the conversions single-sourced.
+
+/// Coulombs per milliamp-hour.
+pub const COULOMBS_PER_MAH: f64 = 3.6;
+
+/// Convert milliamp-hours to coulombs.
+#[inline]
+pub fn mah_to_coulombs(mah: f64) -> f64 {
+    mah * COULOMBS_PER_MAH
+}
+
+/// Convert coulombs to milliamp-hours.
+#[inline]
+pub fn coulombs_to_mah(c: f64) -> f64 {
+    c / COULOMBS_PER_MAH
+}
+
+/// Convert seconds to minutes.
+#[inline]
+pub fn seconds_to_minutes(s: f64) -> f64 {
+    s / 60.0
+}
+
+/// Convert minutes to seconds.
+#[inline]
+pub fn minutes_to_seconds(m: f64) -> f64 {
+    m * 60.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mah_round_trip() {
+        let c = mah_to_coulombs(2000.0);
+        assert!((c - 7200.0).abs() < 1e-12, "2000 mAh = 7200 C");
+        assert!((coulombs_to_mah(c) - 2000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_amp_hour_is_3600_coulombs() {
+        assert!((mah_to_coulombs(1000.0) - 3600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn minutes_round_trip() {
+        assert_eq!(seconds_to_minutes(minutes_to_seconds(74.0)), 74.0);
+        assert_eq!(seconds_to_minutes(90.0), 1.5);
+    }
+}

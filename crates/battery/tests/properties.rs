@@ -1,0 +1,165 @@
+//! Crate-level property tests for the battery models.
+
+use bas_battery::lifetime::delivered_at_constant_current;
+use bas_battery::{
+    kibam, BatteryModel, DiffusionModel, DiffusionParams, IdealModel, Kibam, KibamParams,
+    LoadProfile, PeukertModel, PeukertParams, RunOptions, StepOutcome, StochasticKibam,
+    StochasticMode,
+};
+use proptest::prelude::*;
+
+fn arb_kibam() -> impl Strategy<Value = KibamParams> {
+    (10.0f64..1000.0, 0.2f64..0.8, 1e-4f64..1e-1)
+        .prop_map(|(capacity, c, k_prime)| KibamParams { capacity, c, k_prime })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kibam_closed_form_matches_rk4_on_random_paths(
+        params in arb_kibam(),
+        currents in prop::collection::vec(0.0f64..5.0, 1..10),
+        dt in 0.01f64..2.0,
+    ) {
+        let mut analytic = Kibam::new(params);
+        let mut numeric = analytic.state();
+        for &i in &currents {
+            if analytic.step(i, dt).is_exhausted() {
+                return Ok(()); // death paths are compared elsewhere
+            }
+            // RK4 with substeps for accuracy at large k'·dt.
+            let sub = 50;
+            for _ in 0..sub {
+                numeric = kibam::rk4_step(&params, numeric, i, dt / sub as f64);
+            }
+        }
+        let s = analytic.state();
+        let scale = params.capacity.max(1.0);
+        prop_assert!((s.available - numeric.available).abs() / scale < 1e-4);
+        prop_assert!((s.bound - numeric.bound).abs() / scale < 1e-4);
+    }
+
+    #[test]
+    fn kibam_death_time_shrinks_with_current(
+        params in arb_kibam(),
+        i_lo in 0.5f64..2.0,
+        factor in 1.5f64..5.0,
+    ) {
+        let life = |i: f64| {
+            let mut cell = Kibam::new(params);
+            let mut t = 0.0;
+            loop {
+                match cell.step(i, 1.0) {
+                    StepOutcome::Alive => t += 1.0,
+                    StepOutcome::Exhausted { survived } => break t + survived,
+                }
+            }
+        };
+        prop_assert!(life(i_lo) > life(i_lo * factor));
+    }
+
+    #[test]
+    fn all_models_never_deliver_more_than_theoretical_capacity(
+        current in 0.05f64..5.0,
+        seed in 0u64..500,
+    ) {
+        let cap = 100.0;
+        let mut models: Vec<Box<dyn BatteryModel>> = vec![
+            Box::new(Kibam::new(KibamParams { capacity: cap, c: 0.5, k_prime: 1e-2 })),
+            Box::new(DiffusionModel::new(DiffusionParams {
+                alpha: cap,
+                beta_squared: 0.05,
+                terms: 10,
+            })),
+            Box::new(StochasticKibam::new(
+                KibamParams { capacity: cap, c: 0.5, k_prime: 1e-2 },
+                1e-3,
+                0.05,
+                StochasticMode::Sampled,
+                seed,
+            )),
+            Box::new(IdealModel::new(cap)),
+        ];
+        for m in models.iter_mut() {
+            let q = delivered_at_constant_current(m.as_mut(), current);
+            prop_assert!(q <= cap + 1e-6, "{} delivered {q} of {cap}", m.name());
+            prop_assert!(q > 0.0, "{} delivered nothing", m.name());
+        }
+    }
+
+    #[test]
+    fn exhausted_models_stay_exhausted_and_deliver_nothing(
+        current in 1.0f64..5.0,
+    ) {
+        let mut models: Vec<Box<dyn BatteryModel>> = vec![
+            Box::new(Kibam::new(KibamParams { capacity: 20.0, c: 0.5, k_prime: 1e-3 })),
+            Box::new(DiffusionModel::new(DiffusionParams {
+                alpha: 20.0,
+                beta_squared: 0.05,
+                terms: 10,
+            })),
+            Box::new(PeukertModel::new(PeukertParams {
+                peukert_capacity: 20.0,
+                exponent: 1.1,
+            })),
+            Box::new(IdealModel::new(20.0)),
+        ];
+        for m in models.iter_mut() {
+            while !m.is_exhausted() {
+                m.step(current, 0.5);
+            }
+            let q = m.charge_delivered();
+            for _ in 0..5 {
+                let out = m.step(current, 1.0);
+                prop_assert!(out.is_exhausted(), "{}", m.name());
+            }
+            prop_assert_eq!(m.charge_delivered(), q, "{} delivered after death", m.name());
+        }
+    }
+
+    #[test]
+    fn survived_time_is_within_step_bounds(
+        params in arb_kibam(),
+        current in 0.5f64..10.0,
+        dt in 0.1f64..1e4,
+    ) {
+        let mut cell = Kibam::new(params);
+        match cell.step(current, dt) {
+            StepOutcome::Alive => {}
+            StepOutcome::Exhausted { survived } => {
+                prop_assert!((0.0..=dt).contains(&survived));
+                // Delivered charge equals current × survived exactly.
+                prop_assert!((cell.charge_delivered() - current * survived).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn profile_reversal_is_involutive_and_charge_preserving(
+        pairs in prop::collection::vec((0.0f64..3.0, 0.1f64..10.0), 1..8),
+    ) {
+        let p = LoadProfile::from_pairs(pairs);
+        let r = p.reversed();
+        prop_assert!((p.total_charge() - r.total_charge()).abs() < 1e-9);
+        prop_assert!((p.duration() - r.duration()).abs() < 1e-9);
+        let rr = r.reversed();
+        prop_assert_eq!(p.segments().len(), rr.segments().len());
+        for (a, b) in p.segments().iter().zip(rr.segments()) {
+            prop_assert!((a.current - b.current).abs() < 1e-12);
+            prop_assert!((a.duration - b.duration).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn run_profile_lifetime_equals_charge_over_current_for_ideal(
+        capacity in 1.0f64..1000.0,
+        current in 0.01f64..10.0,
+    ) {
+        let mut cell = IdealModel::new(capacity);
+        let profile = LoadProfile::from_pairs([(current, 1.0)]);
+        let r = bas_battery::run_profile(&mut cell, &profile, RunOptions::default());
+        prop_assert!(r.died);
+        prop_assert!((r.lifetime - capacity / current).abs() / (capacity / current) < 1e-9);
+    }
+}

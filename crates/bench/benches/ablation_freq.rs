@@ -1,0 +1,78 @@
+//! Simulation-speed cost of the frequency-realization policies and of OPP
+//! table density.
+//!
+//! Interpolation emits up to two trace slices per execution slice (two legs);
+//! round-up emits one; the dense ideal-DVS grid stresses the OPP bracketing.
+//! This bench shows the executor overhead of each choice — the *energy*
+//! consequences are measured by `cargo run --bin ablation`.
+
+use bas_core::runner::{simulate_lean_custom, SamplerKind, SchedulerSpec};
+use bas_cpu::presets::{dense_dvs_processor, unit_processor};
+use bas_cpu::FreqPolicy;
+use bas_taskgraph::{GeneratorConfig, GraphShape, TaskSet, TaskSetConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn test_set() -> TaskSet {
+    let cfg = TaskSetConfig {
+        graphs: 4,
+        graph: GeneratorConfig {
+            nodes: (5, 15),
+            wcet: (10, 100),
+            shape: GraphShape::Layered { layers: 3, edge_prob: 0.2 },
+        },
+        utilization: 0.7,
+        fmax: 1.0,
+        period_quantum: None,
+    };
+    cfg.generate(&mut StdRng::seed_from_u64(9)).unwrap()
+}
+
+fn bench_freq_policies(c: &mut Criterion) {
+    let set = test_set();
+    let mut group = c.benchmark_group("executor-300s");
+    for (name, freq) in [
+        ("3-opp/interpolate", FreqPolicy::Interpolate),
+        ("3-opp/round-up", FreqPolicy::RoundUp),
+    ] {
+        let proc = unit_processor();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    simulate_lean_custom(
+                        &set,
+                        &SchedulerSpec::bas2(),
+                        &proc,
+                        7,
+                        300.0,
+                        freq,
+                        SamplerKind::Persistent,
+                    )
+                    .expect("feasible"),
+                )
+            })
+        });
+    }
+    let dense = dense_dvs_processor(20, 0.05);
+    group.bench_function("dense-20-opp/interpolate", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                simulate_lean_custom(
+                    &set,
+                    &SchedulerSpec::bas2(),
+                    &dense,
+                    7,
+                    300.0,
+                    FreqPolicy::Interpolate,
+                    SamplerKind::Persistent,
+                )
+                .expect("feasible"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_freq_policies);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Step throughput of the battery models.
+//!
+//! Co-simulation calls `step` once per trace slice; Table-2-scale runs take
+//! hundreds of thousands of steps, so per-step cost is what bounds sweep
+//! sizes.
+
+use bas_battery::{
+    BatteryModel, DiffusionModel, IdealModel, Kibam, PeukertModel, StochasticKibam,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("battery-step");
+    let pulse = [(1.2, 0.05), (0.3, 0.05)];
+
+    macro_rules! bench_model {
+        ($name:literal, $make:expr) => {
+            group.bench_function($name, |b| {
+                let mut cell = $make;
+                b.iter(|| {
+                    for &(i, dt) in &pulse {
+                        if cell.step(i, dt).is_exhausted() {
+                            cell.reset();
+                        }
+                    }
+                    std::hint::black_box(cell.charge_delivered())
+                })
+            });
+        };
+    }
+    bench_model!("kibam-closed-form", Kibam::paper_cell());
+    bench_model!("diffusion-10-terms", DiffusionModel::paper_cell());
+    bench_model!("stochastic-kibam", StochasticKibam::paper_cell(3));
+    bench_model!("peukert", PeukertModel::paper_cell());
+    bench_model!("ideal", IdealModel::paper_cell());
+    group.finish();
+}
+
+fn bench_death_detection(c: &mut Criterion) {
+    // The expensive path: a step that kills the cell (bisection / scan).
+    c.bench_function("battery-step/kibam-death-bisection", |b| {
+        b.iter(|| {
+            let mut cell = Kibam::paper_cell();
+            std::hint::black_box(cell.step(10.0, 10_000.0))
+        })
+    });
+    c.bench_function("battery-step/diffusion-death-scan", |b| {
+        b.iter(|| {
+            let mut cell = DiffusionModel::paper_cell();
+            std::hint::black_box(cell.step(10.0, 10_000.0))
+        })
+    });
+}
+
+criterion_group!(benches, bench_steps, bench_death_detection);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! End-to-end simulation throughput: scheduler + battery co-simulation per
+//! simulated second, for each Table-2 scheduler.
+
+use bas_battery::Kibam;
+use bas_core::runner::{simulate_lean, simulate_with_battery, SchedulerSpec};
+use bas_cpu::presets::unit_processor;
+use bas_taskgraph::{GeneratorConfig, GraphShape, TaskSet, TaskSetConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn test_set() -> TaskSet {
+    let cfg = TaskSetConfig {
+        graphs: 4,
+        graph: GeneratorConfig {
+            nodes: (5, 15),
+            wcet: (10, 100),
+            shape: GraphShape::Layered { layers: 3, edge_prob: 0.2 },
+        },
+        utilization: 0.7,
+        fmax: 1.0,
+        period_quantum: None,
+    };
+    cfg.generate(&mut StdRng::seed_from_u64(5)).unwrap()
+}
+
+fn bench_horizon_sims(c: &mut Criterion) {
+    let set = test_set();
+    let proc = unit_processor();
+    let mut group = c.benchmark_group("simulate-500s-horizon");
+    for (name, spec) in SchedulerSpec::table2_lineup() {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    simulate_lean(&set, &spec, &proc, 7, 500.0).expect("feasible"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_battery_cosim(c: &mut Criterion) {
+    let set = test_set();
+    let proc = unit_processor();
+    c.bench_function("cosim-until-battery-death", |b| {
+        b.iter(|| {
+            // Small cell so each iteration stays short.
+            let mut cell = Kibam::new(bas_battery::KibamParams {
+                capacity: 200.0,
+                c: 0.6,
+                k_prime: 1e-3,
+            });
+            std::hint::black_box(
+                simulate_with_battery(&set, &SchedulerSpec::bas2(), &proc, &mut cell, 7, 1e6)
+                    .expect("feasible"),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_horizon_sims, bench_battery_cosim);
+criterion_main!(benches);

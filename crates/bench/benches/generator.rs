@@ -1,0 +1,59 @@
+//! Task-graph and task-set generation throughput — the sweeps generate
+//! hundreds of sets, so this must stay negligible next to simulation time.
+
+use bas_taskgraph::{GeneratorConfig, GraphShape, TaskSetConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_graph_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate-graph-15-nodes");
+    for (name, shape) in [
+        ("fan-in-fan-out", GraphShape::FanInFanOut { max_out: 3, max_in: 3 }),
+        ("layered-sparse", GraphShape::Layered { layers: 3, edge_prob: 0.2 }),
+        ("independent", GraphShape::Independent),
+    ] {
+        group.bench_function(name, |b| {
+            let cfg = GeneratorConfig { nodes: (15, 15), wcet: (10, 100), shape };
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| std::hint::black_box(cfg.generate("g", &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_task_set(c: &mut Criterion) {
+    c.bench_function("generate-task-set-8-graphs", |b| {
+        let cfg = TaskSetConfig {
+            graphs: 8,
+            graph: GeneratorConfig {
+                nodes: (5, 15),
+                wcet: (10, 100),
+                shape: GraphShape::Layered { layers: 3, edge_prob: 0.2 },
+            },
+            utilization: 0.7,
+            fmax: 1.0,
+            period_quantum: None,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| std::hint::black_box(cfg.generate(&mut rng).unwrap()))
+    });
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let cfg = GeneratorConfig {
+        nodes: (15, 15),
+        wcet: (10, 100),
+        shape: GraphShape::Layered { layers: 3, edge_prob: 0.2 },
+    };
+    let g = cfg.generate("g", &mut StdRng::seed_from_u64(3));
+    c.bench_function("algo/critical-path-15", |b| {
+        b.iter(|| std::hint::black_box(g.critical_path()))
+    });
+    c.bench_function("algo/count-linear-extensions-15", |b| {
+        b.iter(|| std::hint::black_box(bas_taskgraph::algo::count_linear_extensions(&g)))
+    });
+}
+
+criterion_group!(benches, bench_graph_shapes, bench_task_set, bench_algorithms);
+criterion_main!(benches);

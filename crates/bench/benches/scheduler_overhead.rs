@@ -1,0 +1,128 @@
+//! Per-decision cost of the scheduling components.
+//!
+//! The paper's motivation for heuristics over cost-function optimization is
+//! that scheduling decisions must be cheap enough for "a dynamically changing
+//! environment" (§1). These benches pin the cost of one governor evaluation,
+//! one priority ranking, and one feasibility check on a live mid-simulation
+//! state.
+
+use bas_core::estimator::EmaEstimator;
+use bas_core::feasibility::{is_feasible, FeasibilityVariant};
+use bas_core::priority::{Ltf, Priority, Pubs, RandomPriority};
+use bas_dvs::{CcEdf, LaEdf};
+use bas_sim::{FrequencyGovernor, SimState, TaskRef};
+use bas_taskgraph::{GeneratorConfig, GraphShape, TaskSetConfig};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A released 8-graph state with everything pending (worst case for the
+/// algorithms: maximal ready lists and EDF chains).
+fn busy_state() -> (SimState, Vec<TaskRef>) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let cfg = TaskSetConfig {
+        graphs: 8,
+        graph: GeneratorConfig {
+            nodes: (10, 10),
+            wcet: (10, 100),
+            shape: GraphShape::Layered { layers: 3, edge_prob: 0.2 },
+        },
+        utilization: 0.7,
+        fmax: 1.0,
+        period_quantum: None,
+    };
+    let set = cfg.generate(&mut rng).unwrap();
+    let mut state = SimState::new(set);
+    for gid in state.set().graph_ids().collect::<Vec<_>>() {
+        let actuals: Vec<f64> = state.set()[gid]
+            .graph()
+            .node_ids()
+            .map(|n| state.set()[gid].graph().wcet(n) as f64 * 0.6)
+            .collect();
+        state.release(gid, actuals);
+    }
+    state.refresh_edf();
+    let mut ready = Vec::new();
+    state.ready_tasks(&mut ready);
+    (state, ready)
+}
+
+fn bench_governors(c: &mut Criterion) {
+    let (state, _) = busy_state();
+    c.bench_function("governor/ccEDF", |b| {
+        let mut g = CcEdf;
+        b.iter(|| std::hint::black_box(g.frequency(&state)))
+    });
+    c.bench_function("governor/laEDF", |b| {
+        let mut g = LaEdf::with_fmax(1.0);
+        b.iter(|| std::hint::black_box(g.frequency(&state)))
+    });
+}
+
+fn bench_priorities(c: &mut Criterion) {
+    let (state, ready) = busy_state();
+    let mut out = Vec::new();
+    c.bench_function("priority/random", |b| {
+        let mut p = RandomPriority::new(7);
+        b.iter(|| {
+            p.rank(&state, &ready, 0.7, &mut out);
+            std::hint::black_box(out.len())
+        })
+    });
+    c.bench_function("priority/LTF", |b| {
+        let mut p = Ltf;
+        b.iter(|| {
+            p.rank(&state, &ready, 0.7, &mut out);
+            std::hint::black_box(out.len())
+        })
+    });
+    c.bench_function("priority/pUBS", |b| {
+        let mut p = Pubs::new(EmaEstimator::paper());
+        b.iter(|| {
+            p.rank(&state, &ready, 0.7, &mut out);
+            std::hint::black_box(out.len())
+        })
+    });
+}
+
+fn bench_feasibility(c: &mut Criterion) {
+    let (state, ready) = busy_state();
+    // A candidate from the last graph in EDF order: maximal number of checks.
+    let candidate = *ready
+        .iter()
+        .find(|t| Some(t.graph) == state.edf_order().last().copied())
+        .expect("last graph has a ready node");
+    c.bench_function("feasibility/cumulative-worst-position", |b| {
+        b.iter(|| {
+            std::hint::black_box(is_feasible(
+                &state,
+                candidate,
+                0.7,
+                FeasibilityVariant::Cumulative,
+            ))
+        })
+    });
+}
+
+fn bench_ready_list(c: &mut Criterion) {
+    let (state, _) = busy_state();
+    c.bench_function("state/ready-tasks", |b| {
+        b.iter_batched(
+            Vec::new,
+            |mut buf| {
+                state.ready_tasks(&mut buf);
+                std::hint::black_box(buf.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_governors,
+    bench_priorities,
+    bench_feasibility,
+    bench_ready_list
+);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Minimal `--key value` flag parsing for the experiment binaries.
+//!
+//! No CLI crate is in the approved offline dependency set, and the binaries
+//! only need a handful of numeric flags with defaults.
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parse `--key value` pairs from `std::env::args` (skipping the binary
+    /// name and a possible `--` separator cargo inserts).
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed input (a `--key` without a
+    /// value, or a bare token).
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    pub fn from_args(iter: impl IntoIterator<Item = String>) -> Self {
+        let mut flags = BTreeMap::new();
+        let mut it = iter.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            if tok == "--" {
+                continue;
+            }
+            let key = tok
+                .strip_prefix("--")
+                .unwrap_or_else(|| panic!("expected --flag, got {tok:?}"));
+            let val = it
+                .next()
+                .unwrap_or_else(|| panic!("flag --{key} needs a value"));
+            flags.insert(key.to_string(), val);
+        }
+        Args { flags }
+    }
+
+    /// A u64 flag with default.
+    pub fn u64(&self, key: &str, default: u64) -> u64 {
+        self.flags
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// A usize flag with default.
+    pub fn usize(&self, key: &str, default: usize) -> usize {
+        self.u64(key, default as u64) as usize
+    }
+
+    /// An f64 flag with default.
+    pub fn f64(&self, key: &str, default: f64) -> f64 {
+        self.flags
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// A string flag with default.
+    pub fn str(&self, key: &str, default: &str) -> String {
+        self.flags.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// A boolean flag (`--key true|false`), default given.
+    pub fn bool(&self, key: &str, default: bool) -> bool {
+        self.flags
+            .get(key)
+            .map(|v| matches!(v.as_str(), "true" | "1" | "yes"))
+            .unwrap_or(default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::from_args(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let a = args(&["--trials", "50", "--seed", "7", "--out", "x.csv"]);
+        assert_eq!(a.u64("trials", 1), 50);
+        assert_eq!(a.u64("seed", 0), 7);
+        assert_eq!(a.str("out", "-"), "x.csv");
+    }
+
+    #[test]
+    fn defaults_apply_when_missing() {
+        let a = args(&[]);
+        assert_eq!(a.u64("trials", 100), 100);
+        assert_eq!(a.f64("util", 0.7), 0.7);
+        assert!(!a.bool("verbose", false));
+    }
+
+    #[test]
+    fn double_dash_separator_is_skipped() {
+        let a = args(&["--", "--n", "3"]);
+        assert_eq!(a.u64("n", 0), 3);
+    }
+
+    #[test]
+    fn bool_parsing() {
+        assert!(args(&["--x", "true"]).bool("x", false));
+        assert!(args(&["--x", "1"]).bool("x", false));
+        assert!(!args(&["--x", "no"]).bool("x", true));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a value")]
+    fn missing_value_panics() {
+        args(&["--trials"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn non_numeric_panics() {
+        args(&["--trials", "many"]).u64("trials", 0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Design-choice ablations for the choices DESIGN.md §5 calls out.
+//!
+//! 1. **Frequency realization** — optimal two-point interpolation (\[4\])
+//!    vs round-up quantization, measured as battery lifetime under ccEDF
+//!    and BAS-2cc.
+//! 2. **Xk estimator** — EMA history vs static mean fraction vs worst-case,
+//!    and i.i.d. vs persistent actuals: the estimator only earns its keep
+//!    when actuals are predictable.
+//! 3. **Feasibility-check variant** — the cumulative prefix sum vs the
+//!    paper's literal pseudocode (`sumWC` reset each iteration): the literal
+//!    reading admits an out-of-order run that misses a deadline.
+//! 4. **Processor current calibration (`Ceff`)** — the paper does not state
+//!    its current scale; this sweep shows the *relative* Table-2 results are
+//!    stable across a 4× band of `Ceff`.
+//!
+//! Usage: `cargo run -p bas-bench --release --bin ablation -- [--trials 6]`
+
+use bas_battery::StochasticKibam;
+use bas_bench::workloads::paper_scale_config;
+use bas_bench::{parallel_map, Args, Summary, TextTable};
+use bas_core::estimator::{EmaEstimator, MeanFraction, WorstCaseEstimate};
+use bas_core::feasibility::FeasibilityVariant;
+use bas_core::policy::BasPolicy;
+use bas_core::priority::{Priority, Pubs};
+use bas_core::runner::{
+    simulate_with_battery_custom, GovernorKind, PriorityKind, SamplerKind, SchedulerSpec,
+    ScopeKind,
+};
+use bas_cpu::presets::paper_processor;
+use bas_cpu::FreqPolicy;
+use bas_dvs::CcEdf;
+use bas_sim::{
+    DeadlineMode, Executor, FrequencyGovernor, PersistentFraction, SimConfig, SimState,
+    WorstCase,
+};
+use bas_taskgraph::{PeriodicTaskGraph, TaskGraphBuilder, TaskSet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bas2cc() -> SchedulerSpec {
+    SchedulerSpec {
+        governor: GovernorKind::CcEdf,
+        priority: PriorityKind::Pubs,
+        scope: ScopeKind::AllReleased,
+    }
+}
+
+fn lifetime_minutes(
+    trials: usize,
+    spec: SchedulerSpec,
+    freq: FreqPolicy,
+    sampler: SamplerKind,
+    base_seed: u64,
+) -> Summary {
+    let results = parallel_map(trials, 0, |trial| {
+        let seed = base_seed.wrapping_add(trial as u64).wrapping_mul(0x9e37_79b9);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let set = paper_scale_config(4, 0.7).generate(&mut rng).expect("valid");
+        let mut battery = StochasticKibam::paper_cell(seed ^ 0xb);
+        let out = simulate_with_battery_custom(
+            &set,
+            &spec,
+            &paper_processor(),
+            &mut battery,
+            seed,
+            86_400.0,
+            freq,
+            sampler,
+        )
+        .expect("feasible");
+        out.battery.expect("report").lifetime_minutes()
+    });
+    Summary::of(&results)
+}
+
+fn main() {
+    let args = Args::parse();
+    let trials = args.usize("trials", 6);
+    let seed = args.u64("seed", 1);
+
+    // ------------------------------------------------------------------
+    println!("Ablation 1 — frequency realization (battery lifetime, minutes)\n");
+    let mut t = TextTable::new(&["scheduler", "interpolated (opt., [4])", "round-up"]);
+    for (name, spec) in [("ccEDF", SchedulerSpec::cc_edf()), ("BAS-2cc", bas2cc())] {
+        let interp =
+            lifetime_minutes(trials, spec, FreqPolicy::Interpolate, SamplerKind::Persistent, seed);
+        let round =
+            lifetime_minutes(trials, spec, FreqPolicy::RoundUp, SamplerKind::Persistent, seed);
+        t.row(&[
+            name.to_string(),
+            format!("{:.0} ± {:.0}", interp.mean, interp.std),
+            format!("{:.0} ± {:.0}", round.mean, round.std),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("interpolation dominates round-up (it realizes fref exactly instead of");
+    println!("overshooting to the next OPP) — the claim of [4] the paper builds on.\n");
+
+    // ------------------------------------------------------------------
+    println!("Ablation 2 — Xk estimator × actual-computation model (BAS-2cc lifetime, minutes)\n");
+    let mut t = TextTable::new(&["estimator", "persistent actuals", "i.i.d. actuals"]);
+    // The runner wires an EMA pUBS; for the other estimators, run manually.
+    for (label, which) in [("EMA history", 0usize), ("mean fraction (0.6)", 1), ("worst case", 2)] {
+        let mut cells = vec![label.to_string()];
+        for sampler_kind in [SamplerKind::Persistent, SamplerKind::IidUniform] {
+            let results = parallel_map(trials, 0, |trial| {
+                let s = seed.wrapping_add(trial as u64).wrapping_mul(0x517c_c1b7);
+                let mut rng = StdRng::seed_from_u64(s);
+                let set = paper_scale_config(4, 0.7).generate(&mut rng).expect("valid");
+                let mut governor = CcEdf;
+                let mut sampler = sampler_kind.build(s);
+                let mut battery = StochasticKibam::paper_cell(s ^ 0xb);
+                let mut cfg = SimConfig::new(paper_processor());
+                cfg.record_trace = false;
+                cfg.freq_policy = FreqPolicy::RoundUp;
+                let run = |policy: &mut dyn bas_sim::TaskPolicy,
+                           governor: &mut dyn FrequencyGovernor,
+                           sampler: &mut dyn bas_sim::ActualSampler,
+                           battery: &mut StochasticKibam| {
+                    let mut ex =
+                        Executor::new(set.clone(), cfg.clone(), governor, policy, sampler)
+                            .expect("feasible");
+                    ex.run_until_battery_dead(battery, 86_400.0)
+                        .expect("no misses")
+                        .battery
+                        .expect("report")
+                        .lifetime_minutes()
+                };
+                match which {
+                    0 => {
+                        let mut p = BasPolicy::all_released(Pubs::new(EmaEstimator::paper()));
+                        run(&mut p, &mut governor, sampler.as_mut(), &mut battery)
+                    }
+                    1 => {
+                        let mut p = BasPolicy::all_released(Pubs::new(MeanFraction::paper()));
+                        run(&mut p, &mut governor, sampler.as_mut(), &mut battery)
+                    }
+                    _ => {
+                        let mut p = BasPolicy::all_released(Pubs::new(WorstCaseEstimate));
+                        run(&mut p, &mut governor, sampler.as_mut(), &mut battery)
+                    }
+                }
+            });
+            let s = Summary::of(&results);
+            cells.push(format!("{:.0} ± {:.0}", s.mean, s.std));
+        }
+        t.row(&cells);
+    }
+    println!("{}", t.render());
+    println!("the EMA estimator only beats the static mean when actuals are predictable");
+    println!("across instances — the premise of the paper's history technique (§4.2).\n");
+
+    // ------------------------------------------------------------------
+    println!("Ablation 3 — feasibility-check variant (crafted tight set)\n");
+    // Three single-node graphs: 4/D10, 4/D11, 4/D100 at a fixed fref = 0.8:
+    // the cumulative check refuses to run T2 out of order; the literal
+    // pseudocode admits it and a deadline is missed.
+    struct FixedF(f64);
+    impl FrequencyGovernor for FixedF {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn frequency(&mut self, _: &SimState) -> f64 {
+            self.0
+        }
+    }
+    /// Rank T2's node first to force the out-of-order attempt.
+    struct T2First;
+    impl Priority for T2First {
+        fn name(&self) -> &'static str {
+            "T2-first"
+        }
+        fn rank(
+            &mut self,
+            _: &SimState,
+            candidates: &[bas_sim::TaskRef],
+            _: f64,
+            out: &mut Vec<bas_sim::TaskRef>,
+        ) {
+            out.clear();
+            out.extend_from_slice(candidates);
+            out.sort_by(|a, b| b.graph.cmp(&a.graph).then(a.node.cmp(&b.node)));
+        }
+    }
+    let mut set = TaskSet::new();
+    for (wc, d) in [(4u64, 10.0), (4, 11.0), (4, 100.0)] {
+        let mut b = TaskGraphBuilder::new(format!("T{d}"));
+        b.add_node("t", wc);
+        set.push(PeriodicTaskGraph::new(b.build().unwrap(), d).unwrap());
+    }
+    let mut t = TextTable::new(&["variant", "deadline misses (one hyperperiod-ish window)"]);
+    for (label, variant) in [
+        ("cumulative (intended)", FeasibilityVariant::Cumulative),
+        ("paper literal (sumWC reset)", FeasibilityVariant::PaperLiteral),
+    ] {
+        let mut governor = FixedF(0.8);
+        let mut policy = BasPolicy::all_released(T2First).with_feasibility_variant(variant);
+        let mut sampler = WorstCase;
+        let mut cfg = SimConfig::new(bas_cpu::presets::unit_processor());
+        cfg.deadline_mode = DeadlineMode::DropAndCount;
+        let mut ex = Executor::new(set.clone(), cfg, &mut governor, &mut policy, &mut sampler)
+            .expect("feasible at fmax");
+        let out = ex.run_for(100.0).expect("lenient mode");
+        t.row(&[label.to_string(), out.metrics.deadline_misses.to_string()]);
+        match variant {
+            FeasibilityVariant::Cumulative => assert_eq!(
+                out.metrics.deadline_misses, 0,
+                "cumulative check must protect every deadline"
+            ),
+            FeasibilityVariant::PaperLiteral => assert!(
+                out.metrics.deadline_misses > 0,
+                "the literal pseudocode should admit an unsafe pick here"
+            ),
+        }
+    }
+    println!("{}", t.render());
+    println!("the literal pseudocode (sumWC <- 0 inside the loop) under-counts earlier-");
+    println!("deadline work and admits an unsafe out-of-order execution; the cumulative");
+    println!("reading (our default) preserves the paper's no-deadline-violation claim.");
+
+    // ------------------------------------------------------------------
+    println!("\nAblation 4 — Ceff calibration sensitivity (lifetime ratios vs EDF)\n");
+    // Scale the effective capacitance (hence every current) by 0.5x..2x and
+    // show the scheme-vs-EDF lifetime ratios barely move: the paper's
+    // unstated current calibration does not drive the comparisons.
+    use bas_cpu::{OperatingPoint, OppTable, Processor, SupplyConfig};
+    let mut t = TextTable::new(&["Ceff scale", "ccEDF/EDF", "BAS-2cc/EDF"]);
+    for scale in [0.5, 1.0, 2.0] {
+        let proc = Processor::new(
+            OppTable::new(vec![
+                OperatingPoint::new(0.5e9, 3.0),
+                OperatingPoint::new(0.75e9, 4.0),
+                OperatingPoint::new(1.0e9, 5.0),
+            ])
+            .expect("valid"),
+            SupplyConfig {
+                ceff: bas_cpu::presets::PAPER_CEFF * scale,
+                efficiency: bas_cpu::presets::PAPER_EFFICIENCY,
+                vbat: bas_cpu::presets::PAPER_VBAT,
+                idle_current: bas_cpu::presets::PAPER_IDLE_CURRENT * scale,
+            },
+        )
+        .expect("valid");
+        let life = |spec: SchedulerSpec| {
+            let results = parallel_map(trials, 0, |trial| {
+                let s = seed.wrapping_add(trial as u64).wrapping_mul(0x2ca5_9bbd);
+                let mut rng = StdRng::seed_from_u64(s);
+                let set = paper_scale_config(4, 0.7).generate(&mut rng).expect("valid");
+                let mut battery = StochasticKibam::paper_cell(s ^ 0xc);
+                simulate_with_battery_custom(
+                    &set,
+                    &spec,
+                    &proc,
+                    &mut battery,
+                    s,
+                    4.0 * 86_400.0,
+                    FreqPolicy::RoundUp,
+                    SamplerKind::Persistent,
+                )
+                .expect("feasible")
+                .battery
+                .expect("report")
+                .lifetime_minutes()
+            });
+            Summary::of(&results).mean
+        };
+        let edf = life(SchedulerSpec::edf());
+        let cc = life(SchedulerSpec::cc_edf());
+        let bas = life(bas2cc());
+        t.row(&[
+            format!("{scale:.1}x"),
+            format!("{:.2}", cc / edf),
+            format!("{:.2}", bas / edf),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("halving or doubling every current rescales absolute lifetimes but leaves");
+    println!("the scheme-vs-EDF ratios within a narrow band: the reproduction's relative");
+    println!("claims do not hinge on the unstated calibration (DESIGN.md §3).");
+
+    // Sampler sanity note for ablation 2's i.i.d. column.
+    let _ = PersistentFraction::paper(0);
+}

@@ -1,0 +1,77 @@
+//! Figure 4 — the motivational example: execution order affects slack
+//! recovery.
+//!
+//! Two tasks with a common deadline of 10: task1 (wc 4) and task2 (wc 6).
+//!
+//! * **Case 1**: actuals are 40 % and 60 % of wc (task1 = 1.6, task2 = 3.6);
+//!   the paper's trace shows **STF** recovering slack better.
+//! * **Case 2**: actuals are 60 % and 40 % (task1 = 2.4, task2 = 2.4);
+//!   **LTF** wins.
+//!
+//! The binary prints all four traces (LTF/STF × case 1/2) with the realized
+//! frequency of each execution and the resulting energies, and checks the
+//! paper's win/loss pattern.
+//!
+//! Usage: `cargo run -p bas-bench --release --bin fig4`
+
+use bas_core::single_dag::Scenario;
+use bas_cpu::presets::unit_processor;
+use bas_taskgraph::TaskGraphBuilder;
+
+fn scenario(a1: f64, a2: f64) -> Scenario {
+    let mut b = TaskGraphBuilder::new("fig4");
+    b.add_node("task1", 4);
+    b.add_node("task2", 6);
+    Scenario::new(b.build().unwrap(), 10.0, vec![a1, a2], unit_processor())
+        .expect("fig4 scenario is feasible")
+}
+
+fn show(label: &str, s: &Scenario, order_ltf: bool) -> f64 {
+    let out = if order_ltf { s.run_ltf() } else { s.run_stf() };
+    let timeline = s.timeline_of_order(&out.order).expect("valid order");
+    println!("  {label}:");
+    for e in &timeline {
+        let name = &s.graph().node(e.node).name;
+        println!(
+            "    [{:5.2} – {:5.2}] {:6} @ f = {:.3}  (energy {:.3} J)",
+            e.start, e.end, name, e.frequency, e.energy
+        );
+    }
+    println!("    total energy {:.4} J, finished at t = {:.2} (deadline 10)\n", out.energy, out.finish);
+    out.energy
+}
+
+fn main() {
+    println!("Figure 4 reproduction — order affects slack recovery");
+    println!("two tasks, deadline 10, wc = 4 and 6; unit 3-OPP processor\n");
+
+    println!("Case 1: actual computation 40% / 60% of wc (task1 = 1.6, task2 = 3.6)");
+    let c1 = scenario(1.6, 3.6);
+    let c1_ltf = show("A: LTF (task2 first)", &c1, true);
+    let c1_stf = show("B: STF (task1 first)", &c1, false);
+
+    println!("Case 2: actual computation 60% / 40% of wc (task1 = 2.4, task2 = 2.4)");
+    let c2 = scenario(2.4, 2.4);
+    let c2_ltf = show("A: LTF (task2 first)", &c2, true);
+    let c2_stf = show("B: STF (task1 first)", &c2, false);
+
+    println!("checks:");
+    let ok1 = c1_stf < c1_ltf;
+    let ok2 = c2_ltf < c2_stf;
+    println!(
+        "  case 1: STF better ({:.4} < {:.4})? {}",
+        c1_stf,
+        c1_ltf,
+        if ok1 { "YES (matches paper)" } else { "NO (mismatch!)" }
+    );
+    println!(
+        "  case 2: LTF better ({:.4} < {:.4})? {}",
+        c2_ltf,
+        c2_stf,
+        if ok2 { "YES (matches paper)" } else { "NO (mismatch!)" }
+    );
+    println!("\nconclusion (paper §4.2): no fixed wc-based order wins in all cases —");
+    println!("the winner depends on where the slack actually materializes, which is");
+    println!("exactly what pUBS estimates per task.");
+    assert!(ok1 && ok2, "figure 4 win/loss pattern must hold");
+}

@@ -1,0 +1,124 @@
+//! Figure 5 — canonical EDF ordering vs pUBS-based ordering with the
+//! feasibility check, on the paper's worked 3-graph example.
+//!
+//! Task set: T1 (one task, wc 5, D = 20), T2 (one task, wc 5, D = 50),
+//! T3 (three tasks, wc 5 each, D = 100); everything released at t = 0, all
+//! tasks take their WCET, so U = 0.5 and `fref = 0.5 · fmax` throughout.
+//! The paper assumes the pUBS priority ranks T3's tasks ahead of T2's ahead
+//! of T1's — the trace then interleaves T3/T2 work ahead of later T1
+//! instances *without* missing any deadline or ever exceeding `fref`.
+//!
+//! Usage: `cargo run -p bas-bench --release --bin fig5_trace -- [--horizon 100]`
+
+use bas_bench::workloads::fig5_set;
+use bas_bench::Args;
+use bas_core::policy::BasPolicy;
+use bas_core::priority::Priority;
+use bas_cpu::presets::unit_processor;
+use bas_dvs::CcEdf;
+use bas_sim::policy::EdfTopo;
+use bas_sim::trace::SliceKind;
+use bas_sim::{Executor, SimConfig, SimState, TaskRef, WorstCase};
+
+/// The paper's assumed priority for the example: "tasks from taskgraph3 >
+/// taskgraph2 > taskgraph1 according to the pUBS priority function".
+struct PaperAssumedOrder;
+
+impl Priority for PaperAssumedOrder {
+    fn name(&self) -> &'static str {
+        "paper-assumed (T3 > T2 > T1)"
+    }
+
+    fn rank(
+        &mut self,
+        _state: &SimState,
+        candidates: &[TaskRef],
+        _fref_hz: f64,
+        out: &mut Vec<TaskRef>,
+    ) {
+        out.clear();
+        out.extend_from_slice(candidates);
+        // Higher graph index first; node order within a graph preserved.
+        out.sort_by(|a, b| b.graph.cmp(&a.graph).then(a.node.cmp(&b.node)));
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let horizon = args.f64("horizon", 100.0);
+    println!("Figure 5 reproduction — canonical EDF vs pUBS ordering + feasibility check");
+    println!("T1(wc 5, D 20), T2(wc 5, D 50), T3(3×5, D 100); all tasks at WCET; fref = 0.5\n");
+
+    // (a) canonical EDF ordering.
+    let mut governor = CcEdf;
+    let mut policy = EdfTopo;
+    let mut sampler = WorstCase;
+    let mut ex = Executor::new(
+        fig5_set(),
+        SimConfig::new(unit_processor()),
+        &mut governor,
+        &mut policy,
+        &mut sampler,
+    )
+    .expect("fig5 set is feasible");
+    let a = ex.run_for(horizon).expect("no deadline misses");
+    println!("(a) Trace using canonical EDF ordering:");
+    println!("{}", a.trace.as_ref().unwrap().render());
+
+    // (b) pUBS-style ordering over all released graphs with the feasibility
+    // check (the paper's assumed T3 > T2 > T1 ranking).
+    let mut governor = CcEdf;
+    let mut policy = BasPolicy::all_released(PaperAssumedOrder);
+    let mut sampler = WorstCase;
+    let mut ex = Executor::new(
+        fig5_set(),
+        SimConfig::new(unit_processor()),
+        &mut governor,
+        &mut policy,
+        &mut sampler,
+    )
+    .expect("fig5 set is feasible");
+    let b = ex.run_for(horizon).expect("no deadline misses");
+    println!("(b) Trace using pUBS-based ordering with feasibility check:");
+    println!("{}", b.trace.as_ref().unwrap().render());
+
+    // Checks the paper's example asserts.
+    for (label, out) in [("canonical EDF", &a), ("pUBS+feasibility", &b)] {
+        assert_eq!(out.metrics.deadline_misses, 0, "{label} missed a deadline");
+        let max_f = out
+            .trace
+            .as_ref()
+            .unwrap()
+            .slices()
+            .iter()
+            .filter_map(|s| match s.kind {
+                SliceKind::Run { frequency, .. } => Some(frequency),
+                SliceKind::Idle => None,
+            })
+            .fold(0.0, f64::max);
+        println!("{label}: deadline misses = 0, max frequency used = {max_f} (fref = 0.5)");
+        assert!(max_f <= 0.5 + 1e-9, "{label} exceeded fref");
+    }
+    let order_b = b.trace.as_ref().unwrap().execution_order();
+    println!("\n(b) first executions in order: {:?}", order_b);
+    println!("note how T3/T2 tasks run ahead of later T1 work wherever the feasibility");
+    println!("check allows it, without ever forcing a frequency above fref — the");
+    println!("methodology's guarantee (§4.2).");
+    // The out-of-order property: in (b) some T3 or T2 task must run before
+    // the *second* instance of T1 completes its work window.
+    let first_t3_start = b
+        .trace
+        .as_ref()
+        .unwrap()
+        .slices()
+        .iter()
+        .find_map(|s| match s.kind {
+            SliceKind::Run { task, .. } if task.graph.index() == 2 => Some(s.start),
+            _ => None,
+        })
+        .expect("T3 must run");
+    assert!(
+        first_t3_start < 20.0,
+        "pUBS ordering should pull T3 work ahead of T1's second instance (got {first_t3_start})"
+    );
+}

@@ -1,0 +1,155 @@
+//! Figure 6 — energy consumption of the ordering schemes, normalized to the
+//! near-optimal schedule, as the number of task graphs grows.
+//!
+//! "They compare the resulting energy consumption of the various ordering
+//! schemes … in scheduling increasing number of taskgraphs with nodes varying
+//! from 5 to 15. … The results have been normalized with respect to near
+//! optimal schedule obtained by removing precedence constraints within the
+//! taskgraphs." (§5) The paper's series start near 1 and diverge as graphs
+//! are added, with **pUBS over all released tasks closest to near-optimal**.
+//!
+//! Setup notes (EXPERIMENTS.md discusses both): the energy comparison runs
+//! on the ideal-DVS (dense-grid) processor — on the 3-OPP grid the laEDF
+//! governor pins at the lowest OPP and all orderings collapse — and actual
+//! computations use persistent per-task fractions so the pUBS estimator has
+//! something to learn, mirroring its premise.
+//!
+//! Usage: `cargo run -p bas-bench --release --bin fig6 -- [--trials 40]
+//! [--max-graphs 8] [--horizon-periods 4] [--seed 1] [--threads 0]`
+
+use bas_bench::workloads::unit_scale_config;
+use bas_bench::{parallel_map, Args, Summary, TextTable};
+use bas_core::baseline::strip_precedence;
+use bas_core::runner::{
+    simulate_lean_custom, GovernorKind, PriorityKind, SamplerKind, SchedulerSpec, ScopeKind,
+};
+use bas_cpu::presets::dense_dvs_processor;
+use bas_cpu::FreqPolicy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn spec(governor: GovernorKind, priority: PriorityKind, scope: ScopeKind) -> SchedulerSpec {
+    SchedulerSpec { governor, priority, scope }
+}
+
+fn main() {
+    let args = Args::parse();
+    let trials = args.usize("trials", 40);
+    let max_graphs = args.usize("max-graphs", 8);
+    let horizon_periods = args.f64("horizon-periods", 4.0);
+    let base_seed = args.u64("seed", 1);
+    let threads = args.usize("threads", 0);
+    let util = args.f64("util", 0.7);
+    // Default ccEDF: the §4.2 mechanism (earlier slack discovery -> lower
+    // frequency for the remaining window) presumes a governor that spreads
+    // remaining work. Under full Pillai-Shin laEDF deferral the effect
+    // inverts (early slack recovery concentrates deferred worst cases into
+    // high-frequency tail windows); `--governor laedf` reproduces that
+    // inversion, discussed in EXPERIMENTS.md.
+    let governor = match args.str("governor", "ccedf").as_str() {
+        "ccedf" => GovernorKind::CcEdf,
+        "laedf" => GovernorKind::LaEdf,
+        other => panic!("--governor must be ccedf|laedf, got {other}"),
+    };
+
+    // Each added graph contributes a fixed utilization share, so the system
+    // load grows with the graph count and reaches `util` at `max_graphs` —
+    // the reading under which the paper's "schemes start diverging from the
+    // near optimal [as graphs are added]" emerges: an almost idle system is
+    // easy for every ordering; a loaded one separates them.
+    let per_graph_util = util / max_graphs as f64;
+    println!("Figure 6 reproduction — ordering schemes normalized to near-optimal");
+    println!(
+        "trials {trials}, graphs 1..={max_graphs} at {per_graph_util:.3} utilization each (total {util} at k={max_graphs}), governor {governor:?}, ideal-DVS processor\n"
+    );
+
+    let schemes = [
+        ("Random/imminent", spec(governor, PriorityKind::Random, ScopeKind::MostImminent)),
+        ("LTF/imminent", spec(governor, PriorityKind::Ltf, ScopeKind::MostImminent)),
+        ("pUBS/imminent", spec(governor, PriorityKind::Pubs, ScopeKind::MostImminent)),
+        ("pUBS/all-released", spec(governor, PriorityKind::Pubs, ScopeKind::AllReleased)),
+    ];
+
+    let mut table = TextTable::new(&[
+        "# graphs",
+        "Random/imm",
+        "LTF/imm",
+        "pUBS/imm (BAS-1)",
+        "pUBS/all (BAS-2)",
+        "near-opt vs fluid bound",
+    ]);
+
+    let processor = dense_dvs_processor(20, 0.05);
+    for k in 1..=max_graphs {
+        let rows = parallel_map(trials, threads, |trial| {
+            let seed = base_seed
+                .wrapping_mul(0x5851_f42d_4c95_7f2d)
+                .wrapping_add((k as u64) << 40)
+                .wrapping_add(trial as u64);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let set = unit_scale_config(k, per_graph_util * k as f64)
+                .generate(&mut rng)
+                .expect("valid config");
+            let horizon = set
+                .iter()
+                .map(|(_, g)| g.period())
+                .fold(0.0, f64::max)
+                * horizon_periods;
+            // Near-optimal normalizer. The paper normalizes by the
+            // precedence-relaxed pUBS schedule; that heuristic loses its
+            // near-optimality guarantee in the periodic multi-deadline
+            // setting (we measured schemes *beating* it), so the reported
+            // normalizer is the true fluid lower bound: all executed cycles
+            // at the constant effective speed (convexity => no schedule does
+            // better). The relaxed-pUBS schedule is also run and printed as
+            // its own series for fidelity to the paper.
+            let relaxed = strip_precedence(&set);
+            let run = |set: &bas_taskgraph::TaskSet, s: &SchedulerSpec| {
+                simulate_lean_custom(
+                    set,
+                    s,
+                    &processor,
+                    seed,
+                    horizon,
+                    FreqPolicy::Interpolate,
+                    SamplerKind::Persistent,
+                )
+                .expect("set feasible")
+                .metrics
+            };
+            let relaxed_metrics =
+                run(&relaxed, &spec(governor, PriorityKind::Pubs, ScopeKind::AllReleased));
+            let fluid = |m: &bas_sim::Metrics| {
+                let f_eff = (m.cycles_executed / horizon).clamp(processor.fmin(), processor.fmax());
+                let r = processor.realize(f_eff, FreqPolicy::Interpolate);
+                let e_exec = m.cycles_executed * processor.battery_current_of(&r)
+                    * processor.supply().vbat
+                    / r.average_frequency;
+                // Remaining wall-clock idles at the idle draw.
+                let idle = (horizon - m.cycles_executed / f_eff).max(0.0);
+                e_exec + idle * processor.supply().idle_current * processor.supply().vbat
+            };
+            // Scheme columns use the paper's normalizer (the relaxed-pUBS
+            // schedule); the last column reports that normalizer against the
+            // fluid bound so its own quality is visible.
+            let relaxed_energy = relaxed_metrics.energy;
+            let mut row: Vec<f64> = schemes
+                .iter()
+                .map(|(_, s)| run(&set, s).energy / relaxed_energy)
+                .collect();
+            row.push(relaxed_energy / fluid(&relaxed_metrics));
+            row
+        });
+        let mut cells = vec![k.to_string()];
+        for i in 0..schemes.len() + 1 {
+            let s = Summary::of(&rows.iter().map(|r| r[i]).collect::<Vec<_>>());
+            cells.push(format!("{:.3}", s.mean));
+        }
+        table.row(&cells);
+    }
+    println!("{}", table.render());
+    println!("scheme columns are normalized by the paper's near-optimal (precedence-");
+    println!("relaxed pUBS) schedule; the last column shows that normalizer against the");
+    println!("fluid lower bound (constant effective speed). expected shape (paper Fig. 6):");
+    println!("pUBS over all released tasks closest to near-optimal, Random farthest.");
+}

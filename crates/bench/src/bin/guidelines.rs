@@ -1,0 +1,155 @@
+//! §3's two scheduling guidelines, demonstrated on the battery models.
+//!
+//! * **G1** — "A non-increasing discharge current profile is optimal for
+//!   maximizing battery lifetime": the same total charge drawn as a
+//!   decreasing staircase, an increasing staircase, and a constant load.
+//!   The battery delivers the most running charge before exhaustion under
+//!   the non-increasing shape (the constant profile is the infinitesimal
+//!   ideal's limit).
+//! * **G2** — "it is better to lower the frequency and execute the task than
+//!   to leave an idle slot and execute at a higher frequency": a task of C
+//!   cycles due by deadline D, run (a) at the stretched frequency `C/D`,
+//!   (b) at fmax after idling, (c) at fmax immediately, then idle. Battery
+//!   charge consumed orders (a) < (c) < (b)-equal... — (a) wins on *energy*
+//!   (the dominant effect the guideline names) and (c) beats (b) on battery
+//!   *shape* (work-then-idle is non-increasing).
+//!
+//! Usage: `cargo run -p bas-bench --release --bin guidelines`
+
+use bas_battery::{
+    run_profile, BatteryModel, DiffusionModel, Kibam, LoadProfile, RunOptions, StochasticKibam,
+};
+use bas_bench::TextTable;
+use bas_cpu::presets::unit_processor;
+use bas_cpu::FreqPolicy;
+
+fn fresh_models() -> Vec<Box<dyn BatteryModel>> {
+    vec![
+        Box::new(Kibam::paper_cell()),
+        Box::new(DiffusionModel::paper_cell()),
+        Box::new(StochasticKibam::paper_cell(11)),
+    ]
+}
+
+fn main() {
+    println!("Guideline experiments (§3)\n");
+
+    // ---------------- G1: profile shape --------------------------------
+    // The operational meaning of "a non-increasing profile is optimal": after
+    // delivering the SAME charge over the SAME span, the battery that saw the
+    // non-increasing shape has the most charge still extractable. We deliver
+    // 1200 mAh as three shapes (well within capacity), then probe with a
+    // constant 1.5 A load until exhaustion and compare the extra extraction.
+    let steps = [1.8, 1.2, 0.6];
+    let step_time = 1200.0;
+    let decreasing = LoadProfile::from_pairs(steps.iter().map(|&i| (i, step_time)));
+    let increasing = decreasing.reversed();
+    let flat = decreasing.flattened();
+    let probe = 1.5;
+
+    println!(
+        "G1 — {:.0} mAh drawn as decreasing / constant / increasing stairs, then a",
+        decreasing.total_charge() / 3.6
+    );
+    println!("constant {probe} A probe until exhaustion (extra mAh extracted):
+");
+    let mut table = TextTable::new(&[
+        "model",
+        "after decreasing",
+        "after constant",
+        "after increasing",
+        "dec vs inc",
+    ]);
+    for model in fresh_models().iter_mut() {
+        let mut extra = |p: &LoadProfile| {
+            model.reset();
+            let shaped =
+                run_profile(model.as_mut(), p, RunOptions { repeat: false, ..RunOptions::default() });
+            assert!(!shaped.died, "{}: shaping profile must fit capacity", model.name());
+            let probe_profile = LoadProfile::from_pairs([(probe, 1.0)]);
+            let cont = run_profile(model.as_mut(), &probe_profile, RunOptions::default());
+            cont.delivered_mah()
+        };
+        let dec = extra(&decreasing);
+        let flat_d = extra(&flat);
+        let inc = extra(&increasing);
+        table.row(&[
+            model.name().to_string(),
+            format!("{dec:.0}"),
+            format!("{flat_d:.0}"),
+            format!("{inc:.0}"),
+            format!("{:+.1}%", (dec / inc - 1.0) * 100.0),
+        ]);
+        assert!(
+            dec >= inc,
+            "{}: non-increasing history must leave at least as much extractable charge",
+            model.name()
+        );
+    }
+    println!("{}", table.render());
+
+    // ---------------- G2: no gratuitous idling --------------------------
+    // One task: C cycles due by D on the unit 3-OPP processor.
+    let proc = unit_processor();
+    let d = 10.0;
+    let cycles = 5.0; // fits at f = 0.5 exactly
+    let stretched = proc.realize(cycles / d, FreqPolicy::Interpolate);
+    let fast = proc.realize(proc.fmax(), FreqPolicy::Interpolate);
+    let i_slow = proc.battery_current_of(&stretched);
+    let i_fast = proc.battery_current_of(&fast);
+    let i_idle = proc.supply().idle_current;
+    let t_slow = stretched.time_for_cycles(cycles);
+    let t_fast = fast.time_for_cycles(cycles);
+
+    // (a) stretch to the deadline; (b) idle first, run at fmax at the end;
+    // (c) run at fmax immediately, idle after.
+    let stretch = LoadProfile::from_pairs([(i_slow, t_slow.min(d))]);
+    let idle_then_fast =
+        LoadProfile::from_pairs([(i_idle, d - t_fast), (i_fast, t_fast)]);
+    let fast_then_idle =
+        LoadProfile::from_pairs([(i_fast, t_fast), (i_idle, d - t_fast)]);
+
+    println!("G2 — {cycles} cycles due by t = {d} (unit 3-OPP processor):");
+    let mut table = TextTable::new(&["strategy", "charge/period (C)", "KiBaM lifetime (min)"]);
+    for (name, profile) in [
+        ("(a) stretch to deadline (f = 0.5)", &stretch),
+        ("(b) idle, then fmax at the end", &idle_then_fast),
+        ("(c) fmax now, then idle", &fast_then_idle),
+    ] {
+        let mut cell = Kibam::paper_cell();
+        let r = run_profile(&mut cell, profile, RunOptions::default());
+        table.row(&[
+            name.to_string(),
+            format!("{:.3}", profile.total_charge()),
+            format!("{:.1}", r.lifetime / 60.0),
+        ]);
+    }
+    println!("{}", table.render());
+    let q_stretch = stretch.total_charge();
+    let q_idle_fast = idle_then_fast.total_charge();
+    assert!(
+        q_stretch < q_idle_fast,
+        "stretching must consume less charge than idling then sprinting"
+    );
+    println!("checks: (a) uses the least charge per period — G2's primary claim");
+    println!("('minimize net charge consumed is primary, §3'); between the two fmax");
+    println!("variants, (c) work-first is the locally non-increasing shape G1 prefers.");
+
+    // And the battery agrees on (b) vs (c): same charge, different shape.
+    let mut cell_b = Kibam::paper_cell();
+    let life_b = run_profile(&mut cell_b, &idle_then_fast, RunOptions::default()).lifetime;
+    let mut cell_c = Kibam::paper_cell();
+    let life_c = run_profile(&mut cell_c, &fast_then_idle, RunOptions::default()).lifetime;
+    println!(
+        "\nshape-only comparison at equal charge: work-then-idle lives {:.1} min vs idle-then-work {:.1} min",
+        life_c / 60.0,
+        life_b / 60.0
+    );
+    // Under cyclic repetition (b) and (c) are phase shifts of one another, so
+    // their long-run lifetimes nearly coincide — the pure shape effect shows
+    // in the G1 probe experiment above; here we only require no regression.
+    assert!(
+        life_c >= life_b * 0.99,
+        "work-first (non-increasing) must not lose to idle-first"
+    );
+}

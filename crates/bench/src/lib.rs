@@ -1,0 +1,35 @@
+//! # bas-bench — the benchmark harness regenerating every table and figure
+//!
+//! One binary per experiment (see DESIGN.md §4 for the index):
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — single-DAG ordering vs exhaustive optimum |
+//! | `table2` | Table 2 — charge delivered & battery lifetime per scheduler |
+//! | `fig4` | Figure 4 — LTF vs STF motivational traces |
+//! | `fig5_trace` | Figure 5 — canonical EDF vs pUBS+feasibility traces |
+//! | `fig6` | Figure 6 — ordering schemes normalized to near-optimal |
+//! | `capacity_curve` | §5 load-vs-delivered-capacity curve + extrapolation |
+//! | `guidelines` | §3 guideline experiments (G1 shape, G2 no-idle) |
+//! | `ablation` | design-choice ablations (freq realization, estimators, feasibility variant) |
+//!
+//! Run e.g. `cargo run -p bas-bench --release --bin table2 -- --trials 100 --seed 1`.
+//!
+//! The library half holds the shared pieces: a tiny flag parser, seeded
+//! parallel sweeps (crossbeam scoped threads, one RNG stream per job —
+//! parallelism never changes results), text-table rendering, and summary
+//! statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod parallel;
+pub mod stats;
+pub mod table;
+pub mod workloads;
+
+pub use args::Args;
+pub use parallel::parallel_map;
+pub use stats::Summary;
+pub use table::TextTable;

@@ -1,0 +1,77 @@
+//! Evaluation-only workload transforms.
+//!
+//! Figure 6 normalizes every ordering scheme against a "near optimal schedule
+//! obtained by removing precedence constraints within the taskgraphs" (§5):
+//! with no precedence, every node is immediately ready, so the UBS priority
+//! operates on the full instance — the setting in which Gruian proved it
+//! within 1 % of optimal. [`strip_precedence`] builds that relaxed task set.
+
+use bas_taskgraph::{PeriodicTaskGraph, TaskGraphBuilder, TaskSet};
+
+/// The same task set with every precedence edge removed (same nodes, WCETs,
+/// periods and phases).
+///
+/// Releases and (for a fixed seed) sampled actuals are identical to the
+/// original set's, so energies are directly comparable.
+pub fn strip_precedence(set: &TaskSet) -> TaskSet {
+    let mut out = TaskSet::new();
+    for (_, pg) in set.iter() {
+        let g = pg.graph();
+        let mut b = TaskGraphBuilder::with_capacity(g.name(), g.node_count(), 0);
+        for (_, node) in g.nodes() {
+            b.add_node(node.name.clone(), node.wcet);
+        }
+        let stripped = b.build().expect("same nodes, no edges: always valid");
+        out.push(
+            PeriodicTaskGraph::with_phase(stripped, pg.period(), pg.phase())
+                .expect("period/phase already validated"),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bas_taskgraph::{GeneratorConfig, TaskSetConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stripping_removes_edges_and_keeps_everything_else() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let set = TaskSetConfig {
+            graphs: 3,
+            graph: GeneratorConfig::default(),
+            ..TaskSetConfig::default()
+        }
+        .generate(&mut rng)
+        .unwrap();
+        let stripped = strip_precedence(&set);
+        assert_eq!(stripped.len(), set.len());
+        for (gid, pg) in set.iter() {
+            let spg = &stripped[gid];
+            assert_eq!(spg.period(), pg.period());
+            assert_eq!(spg.graph().node_count(), pg.graph().node_count());
+            assert_eq!(spg.graph().total_wcet(), pg.graph().total_wcet());
+            assert_eq!(spg.graph().edge_count(), 0);
+            for (nid, node) in pg.graph().nodes() {
+                assert_eq!(spg.graph().node(nid).wcet, node.wcet);
+                assert_eq!(spg.graph().node(nid).name, node.name);
+            }
+        }
+        // Utilization is untouched.
+        assert!((stripped.utilization(1.0) - set.utilization(1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stripping_is_idempotent() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let set = TaskSetConfig::default().generate(&mut rng).unwrap();
+        let once = strip_precedence(&set);
+        let twice = strip_precedence(&once);
+        for (gid, pg) in once.iter() {
+            assert_eq!(pg.graph(), twice[gid].graph());
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Estimators for `Xk` — the expected actual cycle demand of a task.
+//!
+//! The pUBS priority needs an estimate of how many cycles a task will
+//! *really* take. "Even if the estimate is wrong no deadlines are violated.
+//! However, the accuracy of the estimate definitely determines the optimality
+//! of the schedule. … One \[technique\] is to keep history of previous
+//! instances of each task" (§4.2). Three estimators:
+//!
+//! * [`EmaEstimator`] — per-task exponential moving average of observed
+//!   actuals (the history technique the paper suggests);
+//! * [`MeanFraction`] — a static fraction of WCET (the distribution mean,
+//!   0.6 for the paper's U(0.2, 1.0) workload) — no learning;
+//! * [`WorstCaseEstimate`] — `Xk = wcet`: deliberately uninformative; with
+//!   it pUBS degenerates toward a WCET-driven order, which the ablation
+//!   benches use to show how much the estimate quality matters.
+
+use bas_sim::TaskRef;
+use std::collections::HashMap;
+
+/// An online estimator of per-task actual cycle demand.
+pub trait CycleEstimator: Send {
+    /// Estimator name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Estimated *total* actual cycles of the task's current instance, given
+    /// the task's static WCET. Must lie in `(0, wcet]`.
+    fn estimate(&self, task: TaskRef, wcet: f64) -> f64;
+
+    /// Feed an observed completion (actual cycles used by an instance).
+    fn observe(&mut self, task: TaskRef, actual: f64);
+}
+
+/// Per-task exponential moving average with a cold-start fraction.
+#[derive(Debug, Clone)]
+pub struct EmaEstimator {
+    alpha: f64,
+    cold_fraction: f64,
+    history: HashMap<TaskRef, f64>,
+}
+
+impl EmaEstimator {
+    /// `alpha` is the smoothing factor in `(0, 1]` (1 = keep only the last
+    /// observation); `cold_fraction` (of WCET) seeds unseen tasks.
+    ///
+    /// # Panics
+    /// Panics when parameters are out of range.
+    pub fn new(alpha: f64, cold_fraction: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha {alpha} out of (0,1]");
+        assert!(
+            cold_fraction > 0.0 && cold_fraction <= 1.0,
+            "cold_fraction {cold_fraction} out of (0,1]"
+        );
+        EmaEstimator { alpha, cold_fraction, history: HashMap::new() }
+    }
+
+    /// The configuration used throughout the experiments: α = 0.25, cold
+    /// start at the U(0.2, 1.0) mean of 0.6·WCET.
+    pub fn paper() -> Self {
+        EmaEstimator::new(0.25, 0.6)
+    }
+
+    /// Number of tasks with learned history.
+    pub fn tracked(&self) -> usize {
+        self.history.len()
+    }
+}
+
+impl CycleEstimator for EmaEstimator {
+    fn name(&self) -> &'static str {
+        "ema"
+    }
+
+    fn estimate(&self, task: TaskRef, wcet: f64) -> f64 {
+        let raw = self
+            .history
+            .get(&task)
+            .copied()
+            .unwrap_or(self.cold_fraction * wcet);
+        raw.clamp(1e-9, wcet)
+    }
+
+    fn observe(&mut self, task: TaskRef, actual: f64) {
+        let alpha = self.alpha;
+        self.history
+            .entry(task)
+            .and_modify(|e| *e += alpha * (actual - *e))
+            .or_insert(actual);
+    }
+}
+
+/// Static `Xk = fraction · wcet` (no learning).
+#[derive(Debug, Clone, Copy)]
+pub struct MeanFraction(f64);
+
+impl MeanFraction {
+    /// A fixed fraction in `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics when outside that range.
+    pub fn new(fraction: f64) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction {fraction} out of (0,1]");
+        MeanFraction(fraction)
+    }
+
+    /// Mean of the paper's U(0.2, 1.0) actual-fraction distribution.
+    pub fn paper() -> Self {
+        MeanFraction(0.6)
+    }
+}
+
+impl CycleEstimator for MeanFraction {
+    fn name(&self) -> &'static str {
+        "mean-fraction"
+    }
+
+    fn estimate(&self, _task: TaskRef, wcet: f64) -> f64 {
+        self.0 * wcet
+    }
+
+    fn observe(&mut self, _task: TaskRef, _actual: f64) {}
+}
+
+/// Pessimistic `Xk = wcet`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorstCaseEstimate;
+
+impl CycleEstimator for WorstCaseEstimate {
+    fn name(&self) -> &'static str {
+        "worst-case"
+    }
+
+    fn estimate(&self, _task: TaskRef, wcet: f64) -> f64 {
+        wcet
+    }
+
+    fn observe(&mut self, _task: TaskRef, _actual: f64) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bas_taskgraph::{GraphId, NodeId};
+
+    fn task(g: usize, n: usize) -> TaskRef {
+        TaskRef::new(GraphId::from_index(g), NodeId::from_index(n))
+    }
+
+    #[test]
+    fn ema_cold_start_uses_fraction() {
+        let e = EmaEstimator::new(0.5, 0.6);
+        assert!((e.estimate(task(0, 0), 100.0) - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ema_first_observation_replaces_cold_start() {
+        let mut e = EmaEstimator::new(0.5, 0.6);
+        e.observe(task(0, 0), 30.0);
+        assert!((e.estimate(task(0, 0), 100.0) - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ema_converges_toward_stationary_actuals() {
+        let mut e = EmaEstimator::new(0.25, 0.6);
+        for _ in 0..50 {
+            e.observe(task(0, 0), 42.0);
+        }
+        assert!((e.estimate(task(0, 0), 100.0) - 42.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ema_tracks_tasks_independently() {
+        let mut e = EmaEstimator::paper();
+        e.observe(task(0, 0), 10.0);
+        e.observe(task(1, 0), 90.0);
+        assert_eq!(e.tracked(), 2);
+        assert!(e.estimate(task(0, 0), 100.0) < e.estimate(task(1, 0), 100.0));
+    }
+
+    #[test]
+    fn ema_estimate_is_clamped_to_wcet() {
+        let mut e = EmaEstimator::new(1.0, 0.6);
+        e.observe(task(0, 0), 500.0); // bogus observation beyond wcet
+        assert_eq!(e.estimate(task(0, 0), 100.0), 100.0);
+    }
+
+    #[test]
+    fn mean_fraction_scales_wcet() {
+        let e = MeanFraction::paper();
+        assert!((e.estimate(task(0, 0), 50.0) - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_case_returns_wcet() {
+        let e = WorstCaseEstimate;
+        assert_eq!(e.estimate(task(0, 0), 77.0), 77.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ema_rejects_bad_alpha() {
+        EmaEstimator::new(0.0, 0.6);
+    }
+}

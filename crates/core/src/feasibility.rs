@@ -1,0 +1,180 @@
+//! Algorithm 2 — the feasibility check guarding out-of-EDF-order execution.
+//!
+//! Executing a task whose graph sits at position `k` of the EDF order "can
+//! only jeopardize the meeting of the deadlines of k−1 taskgraphs before it"
+//! (§4.2), so k−1 conditions suffice: for every earlier deadline `Dj`, all
+//! worst-case work due by `Dj` **plus the candidate** must fit at the current
+//! `fref` — "use of fref in these checks ensures that we are not forced to
+//! run at higher frequencies even if tasks take their worst case (locally
+//! non-increasing voltage assignments)".
+//!
+//! ## The `sumWC` reset
+//!
+//! The paper's pseudocode resets `sumWC ← 0` *inside* the loop, which would
+//! make the accumulator always zero — each check would compare only the
+//! j-th graph's own remaining work. That cannot be intended: two
+//! earlier-deadline graphs would each individually fit while their union does
+//! not, and a deadline would be missed. We implement the evidently intended
+//! **cumulative prefix sum** as the default ([`FeasibilityVariant::Cumulative`]),
+//! keep the literal reading available ([`FeasibilityVariant::PaperLiteral`])
+//! for comparison, and prove in the property tests (and the workspace
+//! integration tests) that the cumulative variant never misses deadlines.
+
+use bas_sim::{SimState, TaskRef};
+
+/// Which reading of Algorithm 2 to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FeasibilityVariant {
+    /// Cumulative prefix sums — the intended check (default).
+    #[default]
+    Cumulative,
+    /// The literal pseudocode with `sumWC` reset each iteration — unsafe;
+    /// provided only so the ablation bench can demonstrate the miss it
+    /// causes.
+    PaperLiteral,
+}
+
+/// Can `candidate` be run next, out of EDF order, at `fref_hz`, without
+/// endangering any earlier-deadline graph?
+///
+/// The candidate's own graph's deadline (and later ones) need no check: once
+/// earlier deadlines pass, the candidate's graph becomes most imminent and
+/// plain EDF would run it anyway (§4.2).
+pub fn is_feasible(
+    state: &SimState,
+    candidate: TaskRef,
+    fref_hz: f64,
+    variant: FeasibilityVariant,
+) -> bool {
+    let now = state.now();
+    let wc_candidate = state.remaining_wc_node(candidate);
+    let mut sum_wc = 0.0;
+    for &gj in state.edf_order() {
+        if gj == candidate.graph {
+            // Reached the candidate's EDF position: all k−1 checks passed.
+            return true;
+        }
+        match variant {
+            FeasibilityVariant::Cumulative => sum_wc += state.remaining_wc(gj),
+            FeasibilityVariant::PaperLiteral => sum_wc = state.remaining_wc(gj),
+        }
+        let dj = state.deadline(gj).expect("EDF order holds active graphs");
+        // Work due by Dj plus the candidate must fit at fref.
+        if sum_wc + wc_candidate > fref_hz * (dj - now) + 1e-9 {
+            return false;
+        }
+    }
+    // Candidate's graph not in the EDF order — not active; never feasible.
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bas_taskgraph::{GraphId, NodeId, PeriodicTaskGraph, TaskGraphBuilder, TaskSet};
+
+    fn gid(i: usize) -> GraphId {
+        GraphId::from_index(i)
+    }
+    fn tref(g: usize, n: usize) -> TaskRef {
+        TaskRef::new(gid(g), NodeId::from_index(n))
+    }
+
+    fn single(wc: u64, period: f64) -> PeriodicTaskGraph {
+        let mut b = TaskGraphBuilder::new("T");
+        b.add_node("t", wc);
+        PeriodicTaskGraph::new(b.build().unwrap(), period).unwrap()
+    }
+
+    /// The paper's Figure 5 set: T1(5, D20), T2(5, D50), T3(3×5, D100).
+    /// U = 0.5, fref = 0.5.
+    fn fig5_state() -> SimState {
+        let mut set = TaskSet::new();
+        set.push(single(5, 20.0));
+        set.push(single(5, 50.0));
+        let mut b = TaskGraphBuilder::new("T3");
+        for i in 0..3 {
+            b.add_node(format!("t{i}"), 5);
+        }
+        set.push(PeriodicTaskGraph::new(b.build().unwrap(), 100.0).unwrap());
+        let mut s = SimState::new(set);
+        s.release(gid(0), vec![5.0]);
+        s.release(gid(1), vec![5.0]);
+        s.release(gid(2), vec![5.0, 5.0, 5.0]);
+        s.refresh_edf();
+        s
+    }
+
+    #[test]
+    fn most_imminent_graph_needs_no_checks() {
+        let s = fig5_state();
+        assert!(is_feasible(&s, tref(0, 0), 0.5, FeasibilityVariant::Cumulative));
+    }
+
+    #[test]
+    fn paper_fig5_t3_task_is_feasible_at_fref_half() {
+        // Running one T3 node (wc 5) at t=0, fref=0.5: check against
+        // D1=20: 5 + 5 = 10 ≤ 0.5·20 = 10 ✓ (tight!)
+        // D2=50: 5+5 + 5 = 15 ≤ 0.5·50 = 25 ✓
+        let s = fig5_state();
+        assert!(is_feasible(&s, tref(2, 0), 0.5, FeasibilityVariant::Cumulative));
+    }
+
+    #[test]
+    fn t3_infeasible_once_fref_too_low() {
+        let s = fig5_state();
+        // At fref = 0.4: 5 + 5 = 10 > 0.4·20 = 8 -> infeasible.
+        assert!(!is_feasible(&s, tref(2, 0), 0.4, FeasibilityVariant::Cumulative));
+    }
+
+    #[test]
+    fn second_graph_task_checks_only_first_deadline() {
+        let s = fig5_state();
+        // T2's node at fref 0.5: 5 (T1) + 5 (cand) = 10 ≤ 10 ✓.
+        assert!(is_feasible(&s, tref(1, 0), 0.5, FeasibilityVariant::Cumulative));
+    }
+
+    #[test]
+    fn cumulative_is_stricter_than_paper_literal() {
+        // Two tight graphs before the candidate: each alone fits by D2, but
+        // their sum does not. T0: 4/D10, T1: 4/D11, T2 (cand): 4/D100 at
+        // fref = 0.8: D1 check: 4+4=8 ≤ 8 ✓; D2: cumulative 8+4=12 > 8.8 ✗,
+        // literal 4+4=8 ≤ 8.8 ✓ — the literal reading wrongly admits it.
+        let mut set = TaskSet::new();
+        set.push(single(4, 10.0));
+        set.push(single(4, 11.0));
+        set.push(single(4, 100.0));
+        let mut s = SimState::new(set);
+        s.release(gid(0), vec![4.0]);
+        s.release(gid(1), vec![4.0]);
+        s.release(gid(2), vec![4.0]);
+        s.refresh_edf();
+        let cand = tref(2, 0);
+        assert!(!is_feasible(&s, cand, 0.8, FeasibilityVariant::Cumulative));
+        assert!(is_feasible(&s, cand, 0.8, FeasibilityVariant::PaperLiteral));
+    }
+
+    #[test]
+    fn inactive_graph_candidate_is_infeasible() {
+        let mut set = TaskSet::new();
+        set.push(single(4, 10.0));
+        set.push(single(4, 20.0));
+        let mut s = SimState::new(set);
+        s.release(gid(0), vec![4.0]);
+        s.refresh_edf();
+        // Graph 1 has no released instance.
+        assert!(!is_feasible(&s, tref(1, 0), 1.0, FeasibilityVariant::Cumulative));
+    }
+
+    #[test]
+    fn progress_frees_feasibility() {
+        let mut s = fig5_state();
+        // Initially T3 at fref 0.45 fails the D1 check (5+5=10 > 9).
+        assert!(!is_feasible(&s, tref(2, 0), 0.45, FeasibilityVariant::Cumulative));
+        // Execute 3 cycles of T1: its remaining wc drops to 2.
+        s.advance(tref(0, 0), 3.0);
+        s.refresh_edf();
+        // Now 2+5 = 7 ≤ 9 and the D2 check also passes.
+        assert!(is_feasible(&s, tref(2, 0), 0.45, FeasibilityVariant::Cumulative));
+    }
+}

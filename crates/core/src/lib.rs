@@ -1,0 +1,57 @@
+//! # bas-core — the battery-aware scheduling methodology
+//!
+//! The paper's contribution (§4), assembled from the substrates in the other
+//! crates:
+//!
+//! * [`estimator`] — `Xk` estimators for the expected actual cycle demand of
+//!   a task: history-based exponential moving average (the paper suggests
+//!   "keep history of previous instances of each task"), the distribution
+//!   mean, and the pessimistic worst case.
+//! * [`priority`] — the ready-list priority functions of the evaluation:
+//!   **Random**, **LTF** (largest task first), **STF** (shortest task first)
+//!   and **pUBS** (Gruian's near-optimal priority,
+//!   `pubs(o, τk) = Xk / (s_o² − s_{o,k}²)`, minimized).
+//! * [`feasibility`] — Algorithm 2: the O(k) check that lets a task be run
+//!   *out of EDF order* without endangering any earlier deadline, never
+//!   requiring more than the current `fref`.
+//! * [`policy`] — the composed [`policy::BasPolicy`]: a priority function
+//!   plus a ready-list scope (most-imminent graph = **BAS-1**, all released
+//!   graphs guarded by the feasibility check = **BAS-2**).
+//! * [`single_dag`] — the offline single-DAG scenario of Table 1: energy of
+//!   a given execution order, branch-and-bound exhaustive optimum, and
+//!   selector-driven heuristic orders.
+//! * [`baseline`] — evaluation-only transforms: precedence stripping (the
+//!   near-optimal normalizer of Figure 6).
+//! * [`runner`] — one-call experiment façade: build any scheduler of the
+//!   paper's Table 2 by name and run it (with or without a battery).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use bas_core::runner::{simulate, SchedulerSpec};
+//! use bas_cpu::presets::unit_processor;
+//! use bas_taskgraph::{GeneratorConfig, TaskSetConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let set = TaskSetConfig::default().generate(&mut rng).unwrap();
+//! let out = simulate(&set, &SchedulerSpec::bas2(), &unit_processor(), 42, 200.0).unwrap();
+//! assert_eq!(out.metrics.deadline_misses, 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod estimator;
+pub mod feasibility;
+pub mod policy;
+pub mod priority;
+pub mod runner;
+pub mod single_dag;
+
+pub use estimator::{CycleEstimator, EmaEstimator, MeanFraction, WorstCaseEstimate};
+pub use feasibility::{is_feasible, FeasibilityVariant};
+pub use policy::{BasPolicy, ReadyScope};
+pub use priority::{Ltf, Priority, Pubs, RandomPriority, Stf};
+pub use runner::SchedulerSpec;

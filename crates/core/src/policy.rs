@@ -1,0 +1,262 @@
+//! The composed battery-aware task policy: priority function × ready-list
+//! scope × feasibility check.
+//!
+//! * **BAS-1** — "Ready list comprising of nodes of one graph only": the
+//!   priority function chooses among the precedence-free nodes of the *most
+//!   imminent* released graph. Plain EDF at the graph level, so no
+//!   feasibility checks are needed.
+//! * **BAS-2** — "Ready list comprising of nodes of all released graphs":
+//!   candidates from every released graph, ranked by the priority function;
+//!   the first candidate passing Algorithm 2's feasibility check runs.
+//!   Most-imminent-graph candidates need no check (§4.2).
+
+use crate::feasibility::{is_feasible, FeasibilityVariant};
+use crate::priority::Priority;
+use bas_sim::{SimState, TaskPolicy, TaskRef};
+
+/// Which tasks are allowed into the ready list the priority function sees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReadyScope {
+    /// Only the most imminent released graph's independent nodes (BAS-1).
+    #[default]
+    MostImminent,
+    /// Independent nodes of all released graphs, guarded by the feasibility
+    /// check (BAS-2).
+    AllReleased,
+}
+
+/// A task policy assembled from a priority function and a ready-list scope.
+pub struct BasPolicy<P: Priority> {
+    priority: P,
+    scope: ReadyScope,
+    variant: FeasibilityVariant,
+    /// Scratch buffers reused across decisions.
+    candidates: Vec<TaskRef>,
+    ranked: Vec<TaskRef>,
+    /// Count of decisions where the feasibility check rejected the top-ranked
+    /// candidate (observable in tests/benches).
+    demotions: u64,
+}
+
+impl<P: Priority> BasPolicy<P> {
+    /// BAS-1: `priority` over the most imminent graph only.
+    pub fn most_imminent(priority: P) -> Self {
+        BasPolicy {
+            priority,
+            scope: ReadyScope::MostImminent,
+            variant: FeasibilityVariant::Cumulative,
+            candidates: Vec::new(),
+            ranked: Vec::new(),
+            demotions: 0,
+        }
+    }
+
+    /// BAS-2: `priority` over all released graphs with the (cumulative)
+    /// feasibility check.
+    pub fn all_released(priority: P) -> Self {
+        BasPolicy {
+            priority,
+            scope: ReadyScope::AllReleased,
+            variant: FeasibilityVariant::Cumulative,
+            candidates: Vec::new(),
+            ranked: Vec::new(),
+            demotions: 0,
+        }
+    }
+
+    /// Override the feasibility variant (ablation only — the literal paper
+    /// pseudocode is unsafe; see [`FeasibilityVariant`]).
+    pub fn with_feasibility_variant(mut self, variant: FeasibilityVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// The configured scope.
+    pub fn scope(&self) -> ReadyScope {
+        self.scope
+    }
+
+    /// How often the top-ranked candidate failed the feasibility check and a
+    /// lower-ranked one ran instead.
+    pub fn demotions(&self) -> u64 {
+        self.demotions
+    }
+
+    /// Access the priority function.
+    pub fn priority(&self) -> &P {
+        &self.priority
+    }
+}
+
+impl<P: Priority> TaskPolicy for BasPolicy<P> {
+    fn name(&self) -> &'static str {
+        match self.scope {
+            ReadyScope::MostImminent => "BAS/most-imminent",
+            ReadyScope::AllReleased => "BAS/all-released",
+        }
+    }
+
+    fn pick(&mut self, state: &SimState, ready: &[TaskRef], fref_hz: f64) -> Option<TaskRef> {
+        self.candidates.clear();
+        match self.scope {
+            ReadyScope::MostImminent => {
+                let imminent = state.most_imminent()?;
+                self.candidates
+                    .extend(ready.iter().copied().filter(|t| t.graph == imminent));
+            }
+            ReadyScope::AllReleased => {
+                self.candidates.extend_from_slice(ready);
+            }
+        }
+        if self.candidates.is_empty() {
+            return None;
+        }
+        self.priority
+            .rank(state, &self.candidates, fref_hz, &mut self.ranked);
+        debug_assert_eq!(self.ranked.len(), self.candidates.len());
+        match self.scope {
+            ReadyScope::MostImminent => self.ranked.first().copied(),
+            ReadyScope::AllReleased => {
+                // "The checks are conducted in the increasing order of pUBS
+                // value and stopped as soon as a valid candidate is found."
+                let imminent = state.most_imminent();
+                for (i, &cand) in self.ranked.iter().enumerate() {
+                    let exempt = Some(cand.graph) == imminent;
+                    if exempt || is_feasible(state, cand, fref_hz, self.variant) {
+                        if i > 0 {
+                            self.demotions += 1;
+                        }
+                        return Some(cand);
+                    }
+                }
+                // Everything out-of-order is infeasible and the most imminent
+                // graph has no ready node (can happen transiently only if its
+                // ready nodes are all blocked — impossible for a DAG instance,
+                // so in practice unreachable). Fall back to EDF to stay safe.
+                self.demotions += 1;
+                self.ranked
+                    .iter()
+                    .copied()
+                    .find(|t| Some(t.graph) == imminent)
+            }
+        }
+    }
+
+    fn on_completion(&mut self, state: &SimState, task: TaskRef, actual: f64) {
+        self.priority.on_completion(state, task, actual);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::{CycleEstimator, EmaEstimator};
+    use crate::priority::{Ltf, Pubs, RandomPriority};
+    use bas_taskgraph::{GraphId, NodeId, PeriodicTaskGraph, TaskGraphBuilder, TaskSet};
+
+    fn gid(i: usize) -> GraphId {
+        GraphId::from_index(i)
+    }
+    fn tref(g: usize, n: usize) -> TaskRef {
+        TaskRef::new(gid(g), NodeId::from_index(n))
+    }
+
+    fn single(wc: u64, period: f64) -> PeriodicTaskGraph {
+        let mut b = TaskGraphBuilder::new("T");
+        b.add_node("t", wc);
+        PeriodicTaskGraph::new(b.build().unwrap(), period).unwrap()
+    }
+
+    /// Fig-5 style: T0(5, D20), T1(5, D50), T2: 3 independent ×5, D100.
+    fn fig5() -> (SimState, Vec<TaskRef>) {
+        let mut set = TaskSet::new();
+        set.push(single(5, 20.0));
+        set.push(single(5, 50.0));
+        let mut b = TaskGraphBuilder::new("T2");
+        for i in 0..3 {
+            b.add_node(format!("t{i}"), 5);
+        }
+        set.push(PeriodicTaskGraph::new(b.build().unwrap(), 100.0).unwrap());
+        let mut s = SimState::new(set);
+        s.release(gid(0), vec![5.0]);
+        s.release(gid(1), vec![5.0]);
+        s.release(gid(2), vec![5.0, 5.0, 5.0]);
+        s.refresh_edf();
+        let mut ready = Vec::new();
+        s.ready_tasks(&mut ready);
+        (s, ready)
+    }
+
+    #[test]
+    fn most_imminent_scope_restricts_to_earliest_deadline_graph() {
+        let (s, ready) = fig5();
+        let mut p = BasPolicy::most_imminent(Ltf);
+        let pick = p.pick(&s, &ready, 0.5).unwrap();
+        assert_eq!(pick.graph, gid(0), "must pick from T0 (D=20)");
+    }
+
+    #[test]
+    fn all_released_scope_can_go_out_of_edf_order_when_feasible() {
+        let (s, ready) = fig5();
+        // LTF ties on wc=5; tie-break by id puts T0 first — teach pUBS that
+        // T2's nodes have slack so they rank first instead.
+        let mut est = EmaEstimator::new(1.0, 0.6);
+        for n in 0..3 {
+            est.observe(tref(2, n), 1.0);
+        }
+        est.observe(tref(0, 0), 5.0);
+        est.observe(tref(1, 0), 5.0);
+        let mut p = BasPolicy::all_released(Pubs::new(est));
+        let pick = p.pick(&s, &ready, 0.5).unwrap();
+        // At fref = 0.5, a T2 node is feasible (see feasibility tests).
+        assert_eq!(pick.graph, gid(2), "out-of-order run of slack-rich T2");
+    }
+
+    #[test]
+    fn infeasible_top_candidate_is_demoted() {
+        let (s, ready) = fig5();
+        let mut est = EmaEstimator::new(1.0, 0.6);
+        for n in 0..3 {
+            est.observe(tref(2, n), 1.0);
+        }
+        est.observe(tref(0, 0), 5.0);
+        est.observe(tref(1, 0), 5.0);
+        let mut p = BasPolicy::all_released(Pubs::new(est));
+        // At fref = 0.45 the T2 nodes fail the D0 check (10 > 9): the policy
+        // must fall back down the ranking.
+        let pick = p.pick(&s, &ready, 0.45).unwrap();
+        assert_ne!(pick.graph, gid(2));
+        assert_eq!(p.demotions(), 1);
+    }
+
+    #[test]
+    fn empty_ready_list_returns_none() {
+        let (s, _) = fig5();
+        let mut p = BasPolicy::all_released(Ltf);
+        assert_eq!(p.pick(&s, &[], 1.0), None);
+    }
+
+    #[test]
+    fn completion_feedback_reaches_the_estimator() {
+        let (s, _) = fig5();
+        let mut p = BasPolicy::most_imminent(Pubs::new(EmaEstimator::new(1.0, 0.6)));
+        p.on_completion(&s, tref(0, 0), 2.0);
+        assert!((p.priority().estimator().estimate(tref(0, 0), 5.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_policy_only_picks_ready_tasks() {
+        let (s, ready) = fig5();
+        let mut p = BasPolicy::all_released(RandomPriority::new(11));
+        for _ in 0..50 {
+            let pick = p.pick(&s, &ready, 1.0).unwrap();
+            assert!(ready.contains(&pick));
+        }
+    }
+
+    #[test]
+    fn names_reflect_scope() {
+        assert_eq!(BasPolicy::most_imminent(Ltf).name(), "BAS/most-imminent");
+        assert_eq!(BasPolicy::all_released(Ltf).name(), "BAS/all-released");
+    }
+}

@@ -1,0 +1,334 @@
+//! Ready-list priority functions: Random, LTF, STF and pUBS.
+//!
+//! A priority function *ranks* the candidate tasks; the BAS policy then runs
+//! the best-ranked candidate that passes the feasibility check ("the checks
+//! are conducted in the increasing order of pUBS value and stopped as soon as
+//! a valid candidate is found", §4.2).
+//!
+//! ## pUBS
+//!
+//! Gruian's near-optimal priority for tasks sharing a deadline:
+//!
+//! ```text
+//!   pubs(o, τk) = Xk / (s_o² − s_{o,k}²)        (minimize)
+//! ```
+//!
+//! `Xk` is the estimated actual cycle demand of `τk`, `s_o` the processor
+//! speed required after the executed partial order `o`, and `s_{o,k}` the
+//! required speed after additionally running `τk` (which spends only `Xk`
+//! cycles but retires `wc_k` of worst-case obligation). A task whose actual
+//! is likely far below its worst case gives a large speed drop per cycle
+//! invested — the slack-recovery potential the methodology maximizes.
+//!
+//! For candidates from different graphs (BAS-2) the speeds are evaluated in
+//! the candidate's own EDF scope: work due by the candidate's deadline over
+//! time to that deadline. For a single graph this reduces exactly to
+//! Gruian's common-deadline setting; DESIGN.md §5 records the choice.
+
+use crate::estimator::CycleEstimator;
+use bas_sim::{SimState, TaskRef};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A ranking over ready candidates (best first).
+pub trait Priority: Send {
+    /// Name for reports (e.g. `"pUBS"`).
+    fn name(&self) -> &'static str;
+
+    /// Write the candidates into `out`, best-first. `candidates` is sorted
+    /// `(graph, node)`; implementations must be deterministic given their own
+    /// state (Random owns a seeded RNG).
+    fn rank(
+        &mut self,
+        state: &SimState,
+        candidates: &[TaskRef],
+        fref_hz: f64,
+        out: &mut Vec<TaskRef>,
+    );
+
+    /// Completion feedback for learning estimators.
+    fn on_completion(&mut self, state: &SimState, task: TaskRef, actual: f64) {
+        let _ = (state, task, actual);
+    }
+}
+
+/// Uniformly random order — the baseline priority of the paper's Table 2
+/// rows "EDF", "Cycle Conserving" and "Look Ahead".
+#[derive(Debug)]
+pub struct RandomPriority {
+    rng: StdRng,
+}
+
+impl RandomPriority {
+    /// Seeded for reproducibility.
+    pub fn new(seed: u64) -> Self {
+        RandomPriority { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Priority for RandomPriority {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn rank(&mut self, _: &SimState, candidates: &[TaskRef], _: f64, out: &mut Vec<TaskRef>) {
+        out.clear();
+        out.extend_from_slice(candidates);
+        out.shuffle(&mut self.rng);
+    }
+}
+
+/// Largest (remaining worst-case) task first — the heuristic of Zhu, Melhem
+/// & Childers the paper compares against in Table 1.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Ltf;
+
+impl Priority for Ltf {
+    fn name(&self) -> &'static str {
+        "LTF"
+    }
+
+    fn rank(&mut self, state: &SimState, candidates: &[TaskRef], _: f64, out: &mut Vec<TaskRef>) {
+        out.clear();
+        out.extend_from_slice(candidates);
+        out.sort_by(|a, b| {
+            state
+                .remaining_wc_node(*b)
+                .partial_cmp(&state.remaining_wc_node(*a))
+                .expect("finite")
+                .then(a.cmp(b))
+        });
+    }
+}
+
+/// Shortest (remaining worst-case) task first — LTF's mirror, shown in the
+/// paper's Figure 4 to win in the complementary cases.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Stf;
+
+impl Priority for Stf {
+    fn name(&self) -> &'static str {
+        "STF"
+    }
+
+    fn rank(&mut self, state: &SimState, candidates: &[TaskRef], _: f64, out: &mut Vec<TaskRef>) {
+        out.clear();
+        out.extend_from_slice(candidates);
+        out.sort_by(|a, b| {
+            state
+                .remaining_wc_node(*a)
+                .partial_cmp(&state.remaining_wc_node(*b))
+                .expect("finite")
+                .then(a.cmp(b))
+        });
+    }
+}
+
+/// Gruian's pUBS priority with a pluggable `Xk` estimator.
+pub struct Pubs<E: CycleEstimator> {
+    estimator: E,
+}
+
+impl<E: CycleEstimator> Pubs<E> {
+    /// pUBS over the given estimator.
+    pub fn new(estimator: E) -> Self {
+        Pubs { estimator }
+    }
+
+    /// Access the estimator (e.g. to inspect learning in tests).
+    pub fn estimator(&self) -> &E {
+        &self.estimator
+    }
+
+    /// The pUBS value of one candidate; lower runs first. `f64::INFINITY`
+    /// encodes "no speed reduction achievable" (denominator ≤ 0).
+    pub fn value(&self, state: &SimState, task: TaskRef, _fref_hz: f64) -> f64 {
+        let now = state.now();
+        let Some(d_k) = state.deadline(task.graph) else {
+            return f64::INFINITY;
+        };
+        let horizon = d_k - now;
+        if horizon <= 1e-12 {
+            return f64::INFINITY;
+        }
+        // Work due by the candidate's deadline: remaining worst case of every
+        // active graph at or before it in EDF order (its common-deadline
+        // scope). For a single graph this is the graph's remaining work —
+        // exactly Gruian's setting.
+        let mut due = 0.0;
+        for &g in state.edf_order() {
+            due += state.remaining_wc(g);
+            if g == task.graph {
+                break;
+            }
+        }
+        let wc_k = state.remaining_wc_node(task);
+        // Remaining actual estimate: the estimator predicts the instance
+        // total; subtract what already ran (wcet − remaining tracks executed
+        // cycles one-for-one).
+        let executed = state.wcet(task) - wc_k;
+        let x_k = (self.estimator.estimate(task, state.wcet(task)) - executed)
+            .clamp(1e-9, wc_k.max(1e-9));
+        let s_o = due / horizon;
+        if s_o <= 0.0 {
+            return f64::INFINITY;
+        }
+        let time_after = horizon - x_k / s_o;
+        if time_after <= 1e-12 {
+            return f64::INFINITY;
+        }
+        let s_ok = (due - wc_k) / time_after;
+        let denom = s_o * s_o - s_ok * s_ok;
+        if denom <= 0.0 {
+            return f64::INFINITY;
+        }
+        x_k / denom
+    }
+}
+
+impl<E: CycleEstimator> Priority for Pubs<E> {
+    fn name(&self) -> &'static str {
+        "pUBS"
+    }
+
+    fn rank(
+        &mut self,
+        state: &SimState,
+        candidates: &[TaskRef],
+        fref_hz: f64,
+        out: &mut Vec<TaskRef>,
+    ) {
+        out.clear();
+        out.extend_from_slice(candidates);
+        let mut keyed: Vec<(f64, TaskRef)> = out
+            .iter()
+            .map(|&t| (self.value(state, t, fref_hz), t))
+            .collect();
+        keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN priorities").then(a.1.cmp(&b.1)));
+        out.clear();
+        out.extend(keyed.into_iter().map(|(_, t)| t));
+    }
+
+    fn on_completion(&mut self, _state: &SimState, task: TaskRef, actual: f64) {
+        self.estimator.observe(task, actual);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::{CycleEstimator, EmaEstimator, MeanFraction};
+    use bas_taskgraph::{GraphId, NodeId, PeriodicTaskGraph, TaskGraphBuilder, TaskSet};
+
+    fn gid(i: usize) -> GraphId {
+        GraphId::from_index(i)
+    }
+    fn tref(g: usize, n: usize) -> TaskRef {
+        TaskRef::new(gid(g), NodeId::from_index(n))
+    }
+
+    /// One graph, three independent nodes with wc 4, 6, 8, deadline 30.
+    fn state() -> (SimState, Vec<TaskRef>) {
+        let mut b = TaskGraphBuilder::new("T0");
+        b.add_node("a", 4);
+        b.add_node("b", 6);
+        b.add_node("c", 8);
+        let mut set = TaskSet::new();
+        set.push(PeriodicTaskGraph::new(b.build().unwrap(), 30.0).unwrap());
+        let mut s = SimState::new(set);
+        s.release(gid(0), vec![4.0, 6.0, 8.0]);
+        s.refresh_edf();
+        let mut ready = Vec::new();
+        s.ready_tasks(&mut ready);
+        (s, ready)
+    }
+
+    #[test]
+    fn ltf_orders_largest_first() {
+        let (s, ready) = state();
+        let mut out = Vec::new();
+        Ltf.rank(&s, &ready, 1.0, &mut out);
+        assert_eq!(out, vec![tref(0, 2), tref(0, 1), tref(0, 0)]);
+    }
+
+    #[test]
+    fn stf_orders_smallest_first() {
+        let (s, ready) = state();
+        let mut out = Vec::new();
+        Stf.rank(&s, &ready, 1.0, &mut out);
+        assert_eq!(out, vec![tref(0, 0), tref(0, 1), tref(0, 2)]);
+    }
+
+    #[test]
+    fn random_is_a_permutation_and_seed_deterministic() {
+        let (s, ready) = state();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        RandomPriority::new(3).rank(&s, &ready, 1.0, &mut a);
+        RandomPriority::new(3).rank(&s, &ready, 1.0, &mut b);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort();
+        assert_eq!(sorted, ready);
+    }
+
+    #[test]
+    fn pubs_prefers_high_slack_ratio_tasks() {
+        // Teach the estimator: node a usually takes ~100% of wc, node c ~25%.
+        let (s, ready) = state();
+        let mut est = EmaEstimator::new(1.0, 0.6);
+        est.observe(tref(0, 0), 4.0); // a: no slack expected
+        est.observe(tref(0, 1), 6.0); // b: no slack expected
+        est.observe(tref(0, 2), 2.0); // c: 6 cycles of expected slack
+        let mut pubs = Pubs::new(est);
+        let mut out = Vec::new();
+        pubs.rank(&s, &ready, 1.0, &mut out);
+        assert_eq!(out[0], tref(0, 2), "task with most expected slack first: {out:?}");
+    }
+
+    #[test]
+    fn pubs_value_decreases_with_expected_slack() {
+        let (s, _) = state();
+        let mut est = EmaEstimator::new(1.0, 0.6);
+        est.observe(tref(0, 2), 2.0);
+        let pubs = Pubs::new(est);
+        let v_slacky = pubs.value(&s, tref(0, 2), 1.0);
+        let mut est2 = EmaEstimator::new(1.0, 0.6);
+        est2.observe(tref(0, 2), 8.0);
+        let pubs2 = Pubs::new(est2);
+        let v_tight = pubs2.value(&s, tref(0, 2), 1.0);
+        assert!(v_slacky < v_tight, "{v_slacky} vs {v_tight}");
+    }
+
+    #[test]
+    fn pubs_learns_through_completion_hook() {
+        let (s, _) = state();
+        let mut pubs = Pubs::new(EmaEstimator::new(1.0, 0.6));
+        pubs.on_completion(&s, tref(0, 0), 1.0);
+        assert!((pubs.estimator().estimate(tref(0, 0), 4.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pubs_handles_inactive_graph_gracefully() {
+        let mut b = TaskGraphBuilder::new("T0");
+        b.add_node("a", 4);
+        let mut set = TaskSet::new();
+        set.push(PeriodicTaskGraph::new(b.build().unwrap(), 30.0).unwrap());
+        let s = SimState::new(set);
+        let pubs = Pubs::new(MeanFraction::paper());
+        assert_eq!(pubs.value(&s, tref(0, 0), 1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn pubs_ranking_is_deterministic() {
+        let (s, ready) = state();
+        let mut pubs = Pubs::new(MeanFraction::paper());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        pubs.rank(&s, &ready, 1.0, &mut a);
+        pubs.rank(&s, &ready, 1.0, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+    }
+}

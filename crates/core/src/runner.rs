@@ -1,0 +1,409 @@
+//! One-call experiment façade.
+//!
+//! Builds any scheduler of the paper's Table 2 from a compact
+//! [`SchedulerSpec`] and runs it against a task set — with a plain horizon
+//! (energy experiments) or co-simulated with a battery (lifetime
+//! experiments). All stochastic pieces (random priority, actual-computation
+//! sampling) derive from the single `seed` argument, so runs are exactly
+//! reproducible and different schedulers see identical workloads.
+
+use crate::estimator::EmaEstimator;
+use crate::policy::BasPolicy;
+use crate::priority::{Ltf, Pubs, RandomPriority, Stf};
+use bas_battery::BatteryModel;
+use bas_cpu::Processor;
+use bas_dvs::{CcEdf, LaEdf, NoDvs};
+use bas_sim::{
+    ActualSampler, DeadlineMode, Executor, FrequencyGovernor, PersistentFraction, SimConfig,
+    SimError, SimOutcome, TaskPolicy, UniformFraction,
+};
+use bas_taskgraph::TaskSet;
+
+/// Which DVS governor drives the frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GovernorKind {
+    /// No DVS: always fmax.
+    None,
+    /// Cycle-conserving EDF.
+    CcEdf,
+    /// Look-ahead EDF.
+    LaEdf,
+}
+
+/// Which priority function orders the ready list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriorityKind {
+    /// Uniformly random.
+    Random,
+    /// Largest task first.
+    Ltf,
+    /// Shortest task first.
+    Stf,
+    /// Gruian's pUBS over an EMA estimator.
+    Pubs,
+}
+
+/// How actual computations are drawn (see `bas_sim::workload`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplerKind {
+    /// U(0.2, 1.0)·WCET redrawn independently per instance — the literal
+    /// reading of §5. No estimator can beat the mean here.
+    IidUniform,
+    /// Persistent per-task fractions ~ U(0.2, 1.0) with 5 % jitter — the
+    /// reading under which the paper's history-based `Xk` works.
+    Persistent,
+}
+
+impl SamplerKind {
+    /// Instantiate the sampler.
+    pub fn build(&self, seed: u64) -> Box<dyn ActualSampler> {
+        match self {
+            SamplerKind::IidUniform => Box::new(UniformFraction::paper(seed)),
+            SamplerKind::Persistent => Box::new(PersistentFraction::paper(seed)),
+        }
+    }
+}
+
+/// Which tasks the priority function may choose from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// Most imminent released graph only.
+    MostImminent,
+    /// All released graphs, with the feasibility check.
+    AllReleased,
+}
+
+/// A complete scheduler description — one row of the paper's Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerSpec {
+    /// The DVS algorithm.
+    pub governor: GovernorKind,
+    /// The priority function.
+    pub priority: PriorityKind,
+    /// The ready-list scope.
+    pub scope: ScopeKind,
+}
+
+impl SchedulerSpec {
+    /// Table 2 row 1: EDF without DVS, random order, most imminent graph.
+    pub fn edf() -> Self {
+        SchedulerSpec {
+            governor: GovernorKind::None,
+            priority: PriorityKind::Random,
+            scope: ScopeKind::MostImminent,
+        }
+    }
+
+    /// Table 2 row 2: ccEDF with random order.
+    pub fn cc_edf() -> Self {
+        SchedulerSpec {
+            governor: GovernorKind::CcEdf,
+            priority: PriorityKind::Random,
+            scope: ScopeKind::MostImminent,
+        }
+    }
+
+    /// Table 2 row 3: laEDF with random order.
+    pub fn la_edf() -> Self {
+        SchedulerSpec {
+            governor: GovernorKind::LaEdf,
+            priority: PriorityKind::Random,
+            scope: ScopeKind::MostImminent,
+        }
+    }
+
+    /// Table 2 row 4: BAS-1 — laEDF + pUBS over the most imminent graph.
+    pub fn bas1() -> Self {
+        SchedulerSpec {
+            governor: GovernorKind::LaEdf,
+            priority: PriorityKind::Pubs,
+            scope: ScopeKind::MostImminent,
+        }
+    }
+
+    /// Table 2 row 5: BAS-2 — laEDF + pUBS over all released graphs.
+    pub fn bas2() -> Self {
+        SchedulerSpec {
+            governor: GovernorKind::LaEdf,
+            priority: PriorityKind::Pubs,
+            scope: ScopeKind::AllReleased,
+        }
+    }
+
+    /// All five Table 2 rows in paper order, with their display names.
+    pub fn table2_lineup() -> [(&'static str, SchedulerSpec); 5] {
+        [
+            ("EDF", SchedulerSpec::edf()),
+            ("ccEDF", SchedulerSpec::cc_edf()),
+            ("laEDF", SchedulerSpec::la_edf()),
+            ("BAS-1", SchedulerSpec::bas1()),
+            ("BAS-2", SchedulerSpec::bas2()),
+        ]
+    }
+
+    /// Short display name, e.g. `laEDF+pUBS/all`.
+    pub fn label(&self) -> String {
+        let g = match self.governor {
+            GovernorKind::None => "noDVS",
+            GovernorKind::CcEdf => "ccEDF",
+            GovernorKind::LaEdf => "laEDF",
+        };
+        let p = match self.priority {
+            PriorityKind::Random => "random",
+            PriorityKind::Ltf => "LTF",
+            PriorityKind::Stf => "STF",
+            PriorityKind::Pubs => "pUBS",
+        };
+        let s = match self.scope {
+            ScopeKind::MostImminent => "imminent",
+            ScopeKind::AllReleased => "all",
+        };
+        format!("{g}+{p}/{s}")
+    }
+
+    /// Instantiate the governor for a processor with peak `fmax` (Hz).
+    pub fn build_governor(&self, fmax: f64) -> Box<dyn FrequencyGovernor> {
+        match self.governor {
+            GovernorKind::None => Box::new(NoDvs),
+            GovernorKind::CcEdf => Box::new(CcEdf),
+            GovernorKind::LaEdf => Box::new(LaEdf::with_fmax(fmax)),
+        }
+    }
+
+    /// Instantiate the task policy; `seed` feeds the random priority.
+    pub fn build_policy(&self, seed: u64) -> Box<dyn TaskPolicy> {
+        macro_rules! scoped {
+            ($prio:expr) => {
+                match self.scope {
+                    ScopeKind::MostImminent => {
+                        Box::new(BasPolicy::most_imminent($prio)) as Box<dyn TaskPolicy>
+                    }
+                    ScopeKind::AllReleased => {
+                        Box::new(BasPolicy::all_released($prio)) as Box<dyn TaskPolicy>
+                    }
+                }
+            };
+        }
+        match self.priority {
+            PriorityKind::Random => scoped!(RandomPriority::new(seed ^ 0x9e37_79b9_7f4a_7c15)),
+            PriorityKind::Ltf => scoped!(Ltf),
+            PriorityKind::Stf => scoped!(Stf),
+            PriorityKind::Pubs => scoped!(Pubs::new(EmaEstimator::paper())),
+        }
+    }
+}
+
+/// Simulate `set` under `spec` for `horizon` seconds (no battery). The
+/// sampler is the paper's U(0.2, 1.0) seeded with `seed`, so every spec run
+/// with the same seed sees the same actual computations.
+pub fn simulate(
+    set: &TaskSet,
+    spec: &SchedulerSpec,
+    processor: &Processor,
+    seed: u64,
+    horizon: f64,
+) -> Result<SimOutcome, SimError> {
+    let mut governor = spec.build_governor(processor.fmax());
+    let mut policy = spec.build_policy(seed);
+    let mut sampler = UniformFraction::paper(seed);
+    let cfg = SimConfig::new(processor.clone());
+    let mut ex = Executor::new(set.clone(), cfg, governor.as_mut(), policy.as_mut(), &mut sampler)?;
+    ex.run_for(horizon)
+}
+
+/// Like [`simulate`] but without trace recording (fast path for sweeps).
+pub fn simulate_lean(
+    set: &TaskSet,
+    spec: &SchedulerSpec,
+    processor: &Processor,
+    seed: u64,
+    horizon: f64,
+) -> Result<SimOutcome, SimError> {
+    let mut governor = spec.build_governor(processor.fmax());
+    let mut policy = spec.build_policy(seed);
+    let mut sampler = UniformFraction::paper(seed);
+    let mut cfg = SimConfig::new(processor.clone());
+    cfg.record_trace = false;
+    let mut ex = Executor::new(set.clone(), cfg, governor.as_mut(), policy.as_mut(), &mut sampler)?;
+    ex.run_for(horizon)
+}
+
+/// Co-simulate with a battery until it dies (or `max_time`); trace recording
+/// off (these runs span battery lifetimes — hours of simulated time).
+pub fn simulate_with_battery(
+    set: &TaskSet,
+    spec: &SchedulerSpec,
+    processor: &Processor,
+    battery: &mut dyn BatteryModel,
+    seed: u64,
+    max_time: f64,
+) -> Result<SimOutcome, SimError> {
+    simulate_with_battery_freq(
+        set,
+        spec,
+        processor,
+        battery,
+        seed,
+        max_time,
+        bas_cpu::FreqPolicy::Interpolate,
+    )
+}
+
+/// [`simulate_with_battery`] with an explicit frequency-realization policy
+/// (interpolated pair vs round-up quantization) — the Table 2 binary and the
+/// frequency ablation sweep this knob.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_with_battery_freq(
+    set: &TaskSet,
+    spec: &SchedulerSpec,
+    processor: &Processor,
+    battery: &mut dyn BatteryModel,
+    seed: u64,
+    max_time: f64,
+    freq_policy: bas_cpu::FreqPolicy,
+) -> Result<SimOutcome, SimError> {
+    simulate_with_battery_custom(
+        set,
+        spec,
+        processor,
+        battery,
+        seed,
+        max_time,
+        freq_policy,
+        SamplerKind::IidUniform,
+    )
+}
+
+/// Fully-parameterized battery co-simulation: frequency realization policy
+/// and actual-computation model both explicit.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_with_battery_custom(
+    set: &TaskSet,
+    spec: &SchedulerSpec,
+    processor: &Processor,
+    battery: &mut dyn BatteryModel,
+    seed: u64,
+    max_time: f64,
+    freq_policy: bas_cpu::FreqPolicy,
+    sampler_kind: SamplerKind,
+) -> Result<SimOutcome, SimError> {
+    let mut governor = spec.build_governor(processor.fmax());
+    let mut policy = spec.build_policy(seed);
+    let mut sampler = sampler_kind.build(seed);
+    let mut cfg = SimConfig::new(processor.clone());
+    cfg.record_trace = false;
+    cfg.deadline_mode = DeadlineMode::Fail;
+    cfg.freq_policy = freq_policy;
+    let mut ex = Executor::new(
+        set.clone(),
+        cfg,
+        governor.as_mut(),
+        policy.as_mut(),
+        sampler.as_mut(),
+    )?;
+    ex.run_until_battery_dead(battery, max_time)
+}
+
+/// Fully-parameterized horizon simulation (no battery), lean (no trace).
+pub fn simulate_lean_custom(
+    set: &TaskSet,
+    spec: &SchedulerSpec,
+    processor: &Processor,
+    seed: u64,
+    horizon: f64,
+    freq_policy: bas_cpu::FreqPolicy,
+    sampler_kind: SamplerKind,
+) -> Result<SimOutcome, SimError> {
+    let mut governor = spec.build_governor(processor.fmax());
+    let mut policy = spec.build_policy(seed);
+    let mut sampler = sampler_kind.build(seed);
+    let mut cfg = SimConfig::new(processor.clone());
+    cfg.record_trace = false;
+    cfg.freq_policy = freq_policy;
+    let mut ex = Executor::new(
+        set.clone(),
+        cfg,
+        governor.as_mut(),
+        policy.as_mut(),
+        sampler.as_mut(),
+    )?;
+    ex.run_for(horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bas_battery::{BatteryModel, Kibam, KibamParams};
+    use bas_cpu::presets::unit_processor;
+    use bas_taskgraph::TaskSetConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_set(seed: u64) -> TaskSet {
+        let mut rng = StdRng::seed_from_u64(seed);
+        TaskSetConfig::default().generate(&mut rng).unwrap()
+    }
+
+    #[test]
+    fn all_table2_specs_run_without_misses() {
+        let set = test_set(1);
+        for (name, spec) in SchedulerSpec::table2_lineup() {
+            let out = simulate(&set, &spec, &unit_processor(), 7, 500.0)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(out.metrics.deadline_misses, 0, "{name}");
+            assert!(out.metrics.nodes_completed > 0, "{name}");
+            out.trace.expect("trace").validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn dvs_schedulers_use_less_energy_than_edf() {
+        let set = test_set(2);
+        let proc = unit_processor();
+        let edf = simulate_lean(&set, &SchedulerSpec::edf(), &proc, 7, 500.0).unwrap();
+        let cc = simulate_lean(&set, &SchedulerSpec::cc_edf(), &proc, 7, 500.0).unwrap();
+        let la = simulate_lean(&set, &SchedulerSpec::la_edf(), &proc, 7, 500.0).unwrap();
+        assert!(cc.metrics.energy < edf.metrics.energy, "ccEDF must save energy");
+        assert!(la.metrics.energy < edf.metrics.energy, "laEDF must save energy");
+    }
+
+    #[test]
+    fn same_seed_same_result() {
+        let set = test_set(3);
+        let a = simulate_lean(&set, &SchedulerSpec::bas2(), &unit_processor(), 9, 300.0).unwrap();
+        let b = simulate_lean(&set, &SchedulerSpec::bas2(), &unit_processor(), 9, 300.0).unwrap();
+        assert_eq!(a.metrics, b.metrics);
+    }
+
+    #[test]
+    fn battery_cosim_reports_lifetime() {
+        let set = test_set(4);
+        // Small unit-scale cell so the test is quick.
+        let mut cell = Kibam::new(KibamParams { capacity: 200.0, c: 0.6, k_prime: 1e-3 });
+        let out = simulate_with_battery(
+            &set,
+            &SchedulerSpec::bas2(),
+            &unit_processor(),
+            &mut cell,
+            11,
+            1e6,
+        )
+        .unwrap();
+        let report = out.battery.unwrap();
+        assert!(report.died, "cell must be exhausted");
+        assert!(report.lifetime > 0.0);
+        assert!((report.charge_delivered - cell.charge_delivered()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> = SchedulerSpec::table2_lineup()
+            .iter()
+            .map(|(_, s)| s.label())
+            .collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len(), "{labels:?}");
+    }
+}

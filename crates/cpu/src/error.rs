@@ -1,0 +1,63 @@
+//! Error type for processor-model construction.
+
+use std::fmt;
+
+/// Errors raised while building a processor model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CpuError {
+    /// The operating-point table is empty.
+    NoOperatingPoints,
+    /// Frequencies must be strictly increasing and positive.
+    NonMonotonicFrequencies { /// index of the offending entry
+        index: usize },
+    /// Voltages must be positive and non-decreasing with frequency
+    /// (a higher frequency can never need a *lower* supply voltage).
+    NonMonotonicVoltages { /// index of the offending entry
+        index: usize },
+    /// A physical parameter (capacitance, efficiency, battery voltage,
+    /// idle current) is out of its valid range.
+    InvalidParameter {
+        /// parameter name
+        name: &'static str,
+        /// offending value
+        value: f64,
+    },
+}
+
+impl fmt::Display for CpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuError::NoOperatingPoints => write!(f, "operating-point table is empty"),
+            CpuError::NonMonotonicFrequencies { index } => {
+                write!(f, "frequencies must be positive and strictly increasing (entry {index})")
+            }
+            CpuError::NonMonotonicVoltages { index } => {
+                write!(f, "voltages must be positive and non-decreasing (entry {index})")
+            }
+            CpuError::InvalidParameter { name, value } => {
+                write!(f, "parameter {name} = {value} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_problem() {
+        assert!(CpuError::NoOperatingPoints.to_string().contains("empty"));
+        assert!(CpuError::NonMonotonicFrequencies { index: 2 }
+            .to_string()
+            .contains("entry 2"));
+        assert!(CpuError::NonMonotonicVoltages { index: 1 }
+            .to_string()
+            .contains("entry 1"));
+        assert!(CpuError::InvalidParameter { name: "ceff", value: -1.0 }
+            .to_string()
+            .contains("ceff"));
+    }
+}

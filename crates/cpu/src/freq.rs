@@ -1,0 +1,208 @@
+//! Realizing a continuous requested frequency on discrete hardware.
+//!
+//! DVS governors compute a continuous `fref` (e.g. `U · fmax`), but "generally
+//! voltage scalable processors can run on a selected set of frequencies. …
+//! using a linear combination of two adjacent available frequencies
+//! (fi < fref < fi+1) is optimal for realizing the running of the processor
+//! at fref" (paper §2, citing Gaujal–Navet–Walsh). This module computes that
+//! combination, plus the naive round-up quantization used as an ablation
+//! baseline.
+
+use crate::opp::OppTable;
+
+/// How a continuous `fref` is mapped onto the discrete operating points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FreqPolicy {
+    /// Optimal: time-share the two operating points adjacent to `fref` so the
+    /// *average* frequency equals `fref` exactly.
+    #[default]
+    Interpolate,
+    /// Conservative: run entirely at the smallest discrete frequency
+    /// ≥ `fref`. Always meets deadlines but wastes energy — the ablation
+    /// benches quantify how much of the paper's gain comes from
+    /// interpolation.
+    RoundUp,
+}
+
+/// One leg of a realization: an operating-point index plus the fraction of
+/// wall-clock time spent there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Index into the [`OppTable`].
+    pub opp: usize,
+    /// Fraction of the wall-clock time spent at this point, in `[0, 1]`.
+    pub time_fraction: f64,
+}
+
+/// A realization of a continuous frequency: at most two segments whose
+/// time fractions sum to 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Realization {
+    /// Low-frequency leg (always present).
+    pub lo: Segment,
+    /// High-frequency leg (absent when a single discrete point suffices).
+    pub hi: Option<Segment>,
+    /// The average frequency actually delivered. Equals the requested `fref`
+    /// under [`FreqPolicy::Interpolate`] (clamped to the table's range);
+    /// ≥ `fref` under [`FreqPolicy::RoundUp`].
+    pub average_frequency: f64,
+}
+
+impl Realization {
+    /// Realize `fref` on `table` under `policy`.
+    ///
+    /// `fref` is clamped into `[fmin, fmax]`: EDF-style governors never ask
+    /// for more than `fmax` on feasible sets, and anything below `fmin` can
+    /// only be realized by running at `fmin` (G2: prefer running slow over
+    /// inserting idle, so we do *not* insert idle to emulate sub-fmin
+    /// averages — finishing early and idling is the scheduler's decision).
+    pub fn of(fref: f64, table: &OppTable, policy: FreqPolicy) -> Realization {
+        let f = fref.clamp(table.fmin(), table.fmax());
+        match policy {
+            FreqPolicy::RoundUp => {
+                let idx = table.round_up(f);
+                Realization {
+                    lo: Segment { opp: idx, time_fraction: 1.0 },
+                    hi: None,
+                    average_frequency: table.get(idx).frequency,
+                }
+            }
+            FreqPolicy::Interpolate => {
+                let (lo, hi) = table.bracket(f);
+                if lo == hi {
+                    return Realization {
+                        lo: Segment { opp: lo, time_fraction: 1.0 },
+                        hi: None,
+                        average_frequency: table.get(lo).frequency,
+                    };
+                }
+                let flo = table.get(lo).frequency;
+                let fhi = table.get(hi).frequency;
+                // Time-weighted average: f = w·fhi + (1-w)·flo  =>  w below.
+                let w = (f - flo) / (fhi - flo);
+                Realization {
+                    lo: Segment { opp: lo, time_fraction: 1.0 - w },
+                    hi: Some(Segment { opp: hi, time_fraction: w }),
+                    average_frequency: f,
+                }
+            }
+        }
+    }
+
+    /// Iterate the (at most two) segments.
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        std::iter::once(self.lo).chain(self.hi)
+    }
+
+    /// Cycles executed over `duration` seconds of this realization.
+    #[inline]
+    pub fn cycles_in(&self, duration: f64) -> f64 {
+        self.average_frequency * duration
+    }
+
+    /// Wall-clock time to execute `cycles` cycles.
+    #[inline]
+    pub fn time_for_cycles(&self, cycles: f64) -> f64 {
+        cycles / self.average_frequency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opp::OperatingPoint;
+
+    fn table() -> OppTable {
+        OppTable::new(vec![
+            OperatingPoint::new(0.5, 3.0),
+            OperatingPoint::new(0.75, 4.0),
+            OperatingPoint::new(1.0, 5.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn interpolation_hits_requested_average() {
+        let t = table();
+        for fref in [0.5, 0.6, 0.7, 0.75, 0.8, 0.99, 1.0] {
+            let r = Realization::of(fref, &t, FreqPolicy::Interpolate);
+            assert!((r.average_frequency - fref).abs() < 1e-12, "fref={fref}");
+            let total: f64 = r.segments().map(|s| s.time_fraction).sum();
+            assert!((total - 1.0).abs() < 1e-12);
+            // Average of the table frequencies weighted by time fractions.
+            let avg: f64 = r
+                .segments()
+                .map(|s| s.time_fraction * t.get(s.opp).frequency)
+                .sum();
+            assert!((avg - fref).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exact_opp_uses_single_segment() {
+        let t = table();
+        for f in [0.5, 0.75, 1.0] {
+            let r = Realization::of(f, &t, FreqPolicy::Interpolate);
+            assert!(r.hi.is_none(), "f={f} should be a single point");
+            assert_eq!(r.lo.time_fraction, 1.0);
+        }
+    }
+
+    #[test]
+    fn sub_fmin_requests_clamp_to_fmin() {
+        let t = table();
+        let r = Realization::of(0.2, &t, FreqPolicy::Interpolate);
+        assert_eq!(r.average_frequency, 0.5);
+        assert!(r.hi.is_none());
+        assert_eq!(r.lo.opp, 0);
+    }
+
+    #[test]
+    fn super_fmax_requests_clamp_to_fmax() {
+        let t = table();
+        for policy in [FreqPolicy::Interpolate, FreqPolicy::RoundUp] {
+            let r = Realization::of(1.7, &t, policy);
+            assert_eq!(r.average_frequency, 1.0);
+            assert_eq!(r.lo.opp, 2);
+            assert!(r.hi.is_none());
+        }
+    }
+
+    #[test]
+    fn round_up_never_under_delivers() {
+        let t = table();
+        for fref in [0.4, 0.5, 0.51, 0.6, 0.75, 0.8, 1.0] {
+            let r = Realization::of(fref, &t, FreqPolicy::RoundUp);
+            assert!(r.average_frequency >= fref.clamp(0.5, 1.0) - 1e-12);
+            assert!(r.hi.is_none(), "round-up is a single point");
+        }
+    }
+
+    #[test]
+    fn round_up_overshoot_is_bounded_by_gap() {
+        let t = table();
+        let r = Realization::of(0.51, &t, FreqPolicy::RoundUp);
+        assert_eq!(r.average_frequency, 0.75);
+    }
+
+    #[test]
+    fn cycle_time_round_trips() {
+        let t = table();
+        let r = Realization::of(0.6, &t, FreqPolicy::Interpolate);
+        let dur = r.time_for_cycles(30.0);
+        assert!((r.cycles_in(dur) - 30.0).abs() < 1e-9);
+        assert!((dur - 50.0).abs() < 1e-9, "30 cycles at 0.6 Hz = 50 s");
+    }
+
+    #[test]
+    fn interpolation_weights_match_closed_form() {
+        let t = table();
+        // fref = 0.6 between 0.5 and 0.75: w = (0.6-0.5)/0.25 = 0.4 on hi.
+        let r = Realization::of(0.6, &t, FreqPolicy::Interpolate);
+        let hi = r.hi.unwrap();
+        assert!((hi.time_fraction - 0.4).abs() < 1e-12);
+        assert!((r.lo.time_fraction - 0.6).abs() < 1e-12);
+        assert_eq!(r.lo.opp, 0);
+        assert_eq!(hi.opp, 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! # bas-cpu — the DVS processor and power-delivery model
+//!
+//! Models the voltage-scalable single processor of the paper's Figure 1:
+//!
+//! ```text
+//!   battery (Vbat) ──> DC-DC converter (efficiency η) ──> CPU core (Vproc, f)
+//! ```
+//!
+//! * [`OperatingPoint`] / [`OppTable`] — the discrete frequency-voltage pairs
+//!   the hardware supports. The paper's evaluation processor is
+//!   `[(0.5 GHz, 3 V), (0.75 GHz, 4 V), (1.0 GHz, 5 V)]`
+//!   ([`presets::paper_processor`]).
+//! * [`power`] — dynamic CMOS power `P = Ceff · V² · f` plus a constant idle
+//!   draw; with the converter equation `η · Vbat · Ibat = Vproc · Iproc`
+//!   (§2), scaling the core voltage by `s` scales the battery current by
+//!   roughly `s³`, the effect all battery-aware scheduling exploits.
+//! * [`freq`] — realization of a *continuous* requested frequency `fref` on
+//!   discrete hardware: the optimal scheme is a time-weighted combination of
+//!   the two adjacent operating points (Gaujal, Navet & Walsh, TECS 2005 —
+//!   reference \[4\] of the paper); a round-up quantizer is provided for the
+//!   ablation benches.
+//!
+//! Frequencies are in cycles per second (Hz) and work in cycles, so
+//! durations come out in seconds; the "unit" preset (`fmax = 1`) reproduces
+//! the dimensionless examples of the paper's Figures 4 and 5 directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod freq;
+pub mod opp;
+pub mod power;
+pub mod presets;
+
+pub use error::CpuError;
+pub use freq::{FreqPolicy, Realization, Segment};
+pub use opp::{OperatingPoint, OppTable};
+pub use power::{PowerModel, Processor, SupplyConfig};

@@ -1,0 +1,217 @@
+//! Operating points: the discrete frequency/voltage pairs of the hardware.
+
+use crate::error::CpuError;
+
+/// One frequency-voltage pair the processor can run at.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OperatingPoint {
+    /// Clock frequency in cycles per second.
+    pub frequency: f64,
+    /// Core supply voltage in volts at this frequency.
+    pub voltage: f64,
+}
+
+impl OperatingPoint {
+    /// Convenience constructor.
+    pub fn new(frequency: f64, voltage: f64) -> Self {
+        OperatingPoint { frequency, voltage }
+    }
+}
+
+/// A validated, frequency-sorted table of operating points.
+///
+/// Invariants enforced at construction:
+/// * at least one entry,
+/// * frequencies strictly increasing and positive,
+/// * voltages positive and non-decreasing (physics: higher f needs ≥ V).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct OppTable {
+    opps: Vec<OperatingPoint>,
+}
+
+impl OppTable {
+    /// Validate and build a table. Input must already be sorted by frequency
+    /// (keeping the caller's explicit order makes config files reviewable).
+    pub fn new(opps: Vec<OperatingPoint>) -> Result<Self, CpuError> {
+        if opps.is_empty() {
+            return Err(CpuError::NoOperatingPoints);
+        }
+        for (i, o) in opps.iter().enumerate() {
+            if !(o.frequency.is_finite() && o.frequency > 0.0)
+                || (i > 0 && o.frequency <= opps[i - 1].frequency)
+            {
+                return Err(CpuError::NonMonotonicFrequencies { index: i });
+            }
+            if !(o.voltage.is_finite() && o.voltage > 0.0)
+                || (i > 0 && o.voltage < opps[i - 1].voltage)
+            {
+                return Err(CpuError::NonMonotonicVoltages { index: i });
+            }
+        }
+        Ok(OppTable { opps })
+    }
+
+    /// Number of operating points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.opps.len()
+    }
+
+    /// Always false (construction rejects empty tables); provided for API
+    /// completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.opps.is_empty()
+    }
+
+    /// All points, ascending by frequency.
+    #[inline]
+    pub fn as_slice(&self) -> &[OperatingPoint] {
+        &self.opps
+    }
+
+    /// The point at `index` (ascending frequency order).
+    #[inline]
+    pub fn get(&self, index: usize) -> OperatingPoint {
+        self.opps[index]
+    }
+
+    /// Lowest supported frequency.
+    #[inline]
+    pub fn fmin(&self) -> f64 {
+        self.opps[0].frequency
+    }
+
+    /// Highest supported frequency — the `fmax` in `fref = U · fmax`.
+    #[inline]
+    pub fn fmax(&self) -> f64 {
+        self.opps[self.opps.len() - 1].frequency
+    }
+
+    /// Index of the pair of adjacent points bracketing `f`:
+    /// returns `(lo, hi)` with `freq(lo) ≤ f ≤ freq(hi)` where possible,
+    /// clamping to the table's ends otherwise.
+    pub fn bracket(&self, f: f64) -> (usize, usize) {
+        if f <= self.fmin() {
+            return (0, 0);
+        }
+        let last = self.opps.len() - 1;
+        if f >= self.fmax() {
+            return (last, last);
+        }
+        // partition_point: first index whose frequency is >= f.
+        let hi = self.opps.partition_point(|o| o.frequency < f);
+        debug_assert!(hi > 0 && hi <= last);
+        if (self.opps[hi].frequency - f).abs() == 0.0 {
+            (hi, hi)
+        } else {
+            (hi - 1, hi)
+        }
+    }
+
+    /// Smallest operating point whose frequency is ≥ `f` (clamped to fmax) —
+    /// the "round-up" quantization policy.
+    pub fn round_up(&self, f: f64) -> usize {
+        if f >= self.fmax() {
+            return self.opps.len() - 1;
+        }
+        self.opps.partition_point(|o| o.frequency < f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_table() -> OppTable {
+        OppTable::new(vec![
+            OperatingPoint::new(0.5e9, 3.0),
+            OperatingPoint::new(0.75e9, 4.0),
+            OperatingPoint::new(1.0e9, 5.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_table_builds_and_reports_extremes() {
+        let t = paper_table();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.fmin(), 0.5e9);
+        assert_eq!(t.fmax(), 1.0e9);
+    }
+
+    #[test]
+    fn empty_table_is_rejected() {
+        assert_eq!(OppTable::new(vec![]).unwrap_err(), CpuError::NoOperatingPoints);
+    }
+
+    #[test]
+    fn unsorted_frequencies_are_rejected() {
+        let r = OppTable::new(vec![
+            OperatingPoint::new(1.0e9, 5.0),
+            OperatingPoint::new(0.5e9, 3.0),
+        ]);
+        assert_eq!(r.unwrap_err(), CpuError::NonMonotonicFrequencies { index: 1 });
+    }
+
+    #[test]
+    fn duplicate_frequencies_are_rejected() {
+        let r = OppTable::new(vec![
+            OperatingPoint::new(0.5e9, 3.0),
+            OperatingPoint::new(0.5e9, 4.0),
+        ]);
+        assert_eq!(r.unwrap_err(), CpuError::NonMonotonicFrequencies { index: 1 });
+    }
+
+    #[test]
+    fn decreasing_voltage_is_rejected() {
+        let r = OppTable::new(vec![
+            OperatingPoint::new(0.5e9, 4.0),
+            OperatingPoint::new(1.0e9, 3.0),
+        ]);
+        assert_eq!(r.unwrap_err(), CpuError::NonMonotonicVoltages { index: 1 });
+    }
+
+    #[test]
+    fn nonpositive_values_are_rejected() {
+        assert!(OppTable::new(vec![OperatingPoint::new(0.0, 3.0)]).is_err());
+        assert!(OppTable::new(vec![OperatingPoint::new(1.0, 0.0)]).is_err());
+        assert!(OppTable::new(vec![OperatingPoint::new(f64::NAN, 3.0)]).is_err());
+    }
+
+    #[test]
+    fn bracket_inside_returns_adjacent_pair() {
+        let t = paper_table();
+        assert_eq!(t.bracket(0.6e9), (0, 1));
+        assert_eq!(t.bracket(0.9e9), (1, 2));
+    }
+
+    #[test]
+    fn bracket_clamps_below_and_above() {
+        let t = paper_table();
+        assert_eq!(t.bracket(0.1e9), (0, 0));
+        assert_eq!(t.bracket(2.0e9), (2, 2));
+    }
+
+    #[test]
+    fn bracket_hits_exact_points() {
+        let t = paper_table();
+        assert_eq!(t.bracket(0.5e9), (0, 0));
+        assert_eq!(t.bracket(0.75e9), (1, 1));
+        assert_eq!(t.bracket(1.0e9), (2, 2));
+    }
+
+    #[test]
+    fn round_up_selects_next_discrete_point() {
+        let t = paper_table();
+        assert_eq!(t.round_up(0.4e9), 0);
+        assert_eq!(t.round_up(0.5e9), 0);
+        assert_eq!(t.round_up(0.51e9), 1);
+        assert_eq!(t.round_up(0.75e9), 1);
+        assert_eq!(t.round_up(0.76e9), 2);
+        assert_eq!(t.round_up(5.0e9), 2);
+    }
+}

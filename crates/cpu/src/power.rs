@@ -1,0 +1,286 @@
+//! Power, current and energy model of the processor + DC-DC converter.
+//!
+//! The core draws dynamic CMOS power `P = Ceff · V² · f`. The battery feeds
+//! the core through a DC-DC converter of efficiency `η` (paper §2):
+//!
+//! ```text
+//!   η · Vbat · Ibat = Vproc · Iproc = P_proc
+//!   =>  Ibat = P_proc / (η · Vbat)
+//! ```
+//!
+//! With `V ∝ f` (true to good approximation in the paper's OPP table),
+//! scaling the speed by `s` scales `Ibat` by `s³` — the paper's headline
+//! hardware fact. Idle draws a small constant battery current: real systems
+//! never reach zero, and a free idle state would let the no-DVS baseline
+//! cheat on battery lifetime.
+
+use crate::error::CpuError;
+use crate::freq::{FreqPolicy, Realization};
+use crate::opp::{OperatingPoint, OppTable};
+
+/// Electrical parameters of the power-delivery path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SupplyConfig {
+    /// Effective switched capacitance of the core, in farads.
+    pub ceff: f64,
+    /// DC-DC converter efficiency `η ∈ (0, 1]`, assumed constant over the
+    /// voltage range (paper §2 assumption).
+    pub efficiency: f64,
+    /// Battery terminal voltage in volts (1.2 V for the paper's NiMH AAA).
+    pub vbat: f64,
+    /// Constant battery current drawn while idle, in amperes.
+    pub idle_current: f64,
+}
+
+impl SupplyConfig {
+    fn validate(&self) -> Result<(), CpuError> {
+        let checks: [(&'static str, f64, bool); 4] = [
+            ("ceff", self.ceff, self.ceff.is_finite() && self.ceff > 0.0),
+            (
+                "efficiency",
+                self.efficiency,
+                self.efficiency.is_finite() && self.efficiency > 0.0 && self.efficiency <= 1.0,
+            ),
+            ("vbat", self.vbat, self.vbat.is_finite() && self.vbat > 0.0),
+            (
+                "idle_current",
+                self.idle_current,
+                self.idle_current.is_finite() && self.idle_current >= 0.0,
+            ),
+        ];
+        for (name, value, ok) in checks {
+            if !ok {
+                return Err(CpuError::InvalidParameter { name, value });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Power/current queries for a single operating point.
+pub trait PowerModel {
+    /// Core power at `opp`, in watts.
+    fn core_power(&self, opp: OperatingPoint) -> f64;
+    /// Battery current at `opp`, in amperes.
+    fn battery_current(&self, opp: OperatingPoint) -> f64;
+    /// Battery current while idle, in amperes.
+    fn idle_current(&self) -> f64;
+}
+
+/// The complete DVS processor: operating points + supply electricals.
+///
+/// This is the object the simulator and all schedulers share; it is immutable
+/// and cheap to clone (the OPP table is tiny).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Processor {
+    opps: OppTable,
+    supply: SupplyConfig,
+}
+
+impl Processor {
+    /// Build a processor, validating the supply parameters.
+    pub fn new(opps: OppTable, supply: SupplyConfig) -> Result<Self, CpuError> {
+        supply.validate()?;
+        Ok(Processor { opps, supply })
+    }
+
+    /// The operating-point table.
+    #[inline]
+    pub fn opps(&self) -> &OppTable {
+        &self.opps
+    }
+
+    /// The supply parameters.
+    #[inline]
+    pub fn supply(&self) -> &SupplyConfig {
+        &self.supply
+    }
+
+    /// Peak frequency (cycles per second).
+    #[inline]
+    pub fn fmax(&self) -> f64 {
+        self.opps.fmax()
+    }
+
+    /// Minimum frequency.
+    #[inline]
+    pub fn fmin(&self) -> f64 {
+        self.opps.fmin()
+    }
+
+    /// Realize a continuous frequency request under `policy`.
+    #[inline]
+    pub fn realize(&self, fref: f64, policy: FreqPolicy) -> Realization {
+        Realization::of(fref, &self.opps, policy)
+    }
+
+    /// Battery current at a discrete operating point (by table index).
+    #[inline]
+    pub fn battery_current_at(&self, opp_index: usize) -> f64 {
+        self.battery_current(self.opps.get(opp_index))
+    }
+
+    /// Average battery current over a realization (time-weighted over its
+    /// segments).
+    pub fn battery_current_of(&self, r: &Realization) -> f64 {
+        r.segments()
+            .map(|s| s.time_fraction * self.battery_current_at(s.opp))
+            .sum()
+    }
+
+    /// Battery **charge** (coulombs) consumed to execute `cycles` cycles at
+    /// realization `r`.
+    pub fn charge_for_cycles(&self, r: &Realization, cycles: f64) -> f64 {
+        let t = r.time_for_cycles(cycles);
+        self.battery_current_of(r) * t
+    }
+
+    /// Battery-side **energy** (joules) to execute `cycles` cycles at `r`.
+    pub fn energy_for_cycles(&self, r: &Realization, cycles: f64) -> f64 {
+        self.charge_for_cycles(r, cycles) * self.supply.vbat
+    }
+
+    /// Battery-side energy of `duration` seconds of idling.
+    pub fn idle_energy(&self, duration: f64) -> f64 {
+        self.supply.idle_current * duration * self.supply.vbat
+    }
+}
+
+impl PowerModel for Processor {
+    fn core_power(&self, opp: OperatingPoint) -> f64 {
+        self.supply.ceff * opp.voltage * opp.voltage * opp.frequency
+    }
+
+    fn battery_current(&self, opp: OperatingPoint) -> f64 {
+        self.core_power(opp) / (self.supply.efficiency * self.supply.vbat)
+    }
+
+    fn idle_current(&self) -> f64 {
+        self.supply.idle_current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A processor whose voltage is exactly proportional to frequency, so
+    /// the s³ current law holds exactly.
+    fn proportional() -> Processor {
+        let opps = OppTable::new(vec![
+            OperatingPoint::new(0.25, 1.25),
+            OperatingPoint::new(0.5, 2.5),
+            OperatingPoint::new(1.0, 5.0),
+        ])
+        .unwrap();
+        Processor::new(
+            opps,
+            SupplyConfig { ceff: 1.0, efficiency: 1.0, vbat: 1.0, idle_current: 0.0 },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn core_power_is_cv2f() {
+        let p = proportional();
+        let opp = OperatingPoint::new(1.0, 5.0);
+        assert!((p.core_power(opp) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn battery_current_scales_as_s_cubed_for_proportional_voltage() {
+        let p = proportional();
+        let i_full = p.battery_current(OperatingPoint::new(1.0, 5.0));
+        let i_half = p.battery_current(OperatingPoint::new(0.5, 2.5));
+        let i_quarter = p.battery_current(OperatingPoint::new(0.25, 1.25));
+        assert!((i_half / i_full - 0.125).abs() < 1e-12, "s=1/2 -> s³=1/8");
+        assert!((i_quarter / i_full - 0.015625).abs() < 1e-12, "s=1/4 -> s³=1/64");
+    }
+
+    #[test]
+    fn converter_efficiency_raises_battery_current() {
+        let opps = OppTable::new(vec![OperatingPoint::new(1.0, 2.0)]).unwrap();
+        let mk = |eta: f64| {
+            Processor::new(
+                opps.clone(),
+                SupplyConfig { ceff: 1.0, efficiency: eta, vbat: 1.0, idle_current: 0.0 },
+            )
+            .unwrap()
+        };
+        let ideal = mk(1.0).battery_current(OperatingPoint::new(1.0, 2.0));
+        let lossy = mk(0.8).battery_current(OperatingPoint::new(1.0, 2.0));
+        assert!((lossy / ideal - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_supply_parameters_are_rejected() {
+        let opps = OppTable::new(vec![OperatingPoint::new(1.0, 1.0)]).unwrap();
+        let base = SupplyConfig { ceff: 1.0, efficiency: 0.9, vbat: 1.2, idle_current: 0.0 };
+        for bad in [
+            SupplyConfig { ceff: 0.0, ..base },
+            SupplyConfig { ceff: -1.0, ..base },
+            SupplyConfig { efficiency: 0.0, ..base },
+            SupplyConfig { efficiency: 1.5, ..base },
+            SupplyConfig { vbat: 0.0, ..base },
+            SupplyConfig { idle_current: -0.1, ..base },
+            SupplyConfig { ceff: f64::NAN, ..base },
+        ] {
+            assert!(Processor::new(opps.clone(), bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn running_slow_beats_idle_then_fast_in_energy() {
+        // Guideline 2 at the CPU level: execute C cycles within deadline T.
+        // Option A: run at f = C/T the whole window (realized by the table).
+        // Option B: idle, then run at fmax.
+        let p = proportional();
+        let cycles = 0.5; // needs f = 0.5 over T = 1
+        let slow = p.realize(0.5, FreqPolicy::Interpolate);
+        let e_slow = p.energy_for_cycles(&slow, cycles);
+        let fast = p.realize(1.0, FreqPolicy::Interpolate);
+        let e_fast = p.energy_for_cycles(&fast, cycles); // idle part is free here
+        assert!(
+            e_slow < e_fast,
+            "energy at half speed {e_slow} must undercut full speed {e_fast}"
+        );
+        // Even with idle current charged to option B the ordering only widens.
+    }
+
+    #[test]
+    fn interpolated_current_is_convex_combination() {
+        let p = proportional();
+        let r = p.realize(0.75, FreqPolicy::Interpolate);
+        let i = p.battery_current_of(&r);
+        let i_lo = p.battery_current_at(1);
+        let i_hi = p.battery_current_at(2);
+        assert!(i > i_lo && i < i_hi);
+        // Exactly the time-weighted mix: w = (0.75-0.5)/(0.5) = 0.5.
+        assert!((i - 0.5 * (i_lo + i_hi)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_and_energy_account_for_duration() {
+        let p = proportional();
+        let r = p.realize(0.5, FreqPolicy::Interpolate);
+        // 1 cycle at 0.5 Hz takes 2 s at I = 0.125·25/(1·1)... compute directly:
+        let i = p.battery_current_of(&r);
+        let q = p.charge_for_cycles(&r, 1.0);
+        assert!((q - i * 2.0).abs() < 1e-12);
+        let e = p.energy_for_cycles(&r, 1.0);
+        assert!((e - q * p.supply().vbat).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_energy_uses_idle_current() {
+        let opps = OppTable::new(vec![OperatingPoint::new(1.0, 1.0)]).unwrap();
+        let p = Processor::new(
+            opps,
+            SupplyConfig { ceff: 1.0, efficiency: 1.0, vbat: 2.0, idle_current: 0.05 },
+        )
+        .unwrap();
+        assert!((p.idle_energy(10.0) - 0.05 * 10.0 * 2.0).abs() < 1e-12);
+        assert_eq!(p.idle_current(), 0.05);
+    }
+}

@@ -1,0 +1,131 @@
+//! Crate-level property tests for the processor model.
+
+use bas_cpu::presets::{dense_dvs_processor, paper_processor, unit_processor};
+use bas_cpu::{FreqPolicy, OperatingPoint, OppTable, PowerModel, Processor, SupplyConfig};
+use proptest::prelude::*;
+
+fn arb_table() -> impl Strategy<Value = OppTable> {
+    // 2..6 strictly increasing frequencies with non-decreasing voltages.
+    prop::collection::vec((0.1f64..2.0, 0.1f64..2.0), 2..6).prop_map(|steps| {
+        let mut f = 0.0;
+        let mut v = 0.5;
+        let opps = steps
+            .into_iter()
+            .map(|(df, dv)| {
+                f += df;
+                v += dv;
+                OperatingPoint::new(f, v)
+            })
+            .collect();
+        OppTable::new(opps).expect("monotone by construction")
+    })
+}
+
+fn arb_processor() -> impl Strategy<Value = Processor> {
+    (arb_table(), 0.5f64..1.0, 0.5f64..5.0, 0.0f64..0.2).prop_map(|(t, eta, vbat, idle)| {
+        Processor::new(
+            t,
+            SupplyConfig { ceff: 0.1, efficiency: eta, vbat, idle_current: idle },
+        )
+        .expect("valid supply")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn interpolation_realizes_any_in_range_frequency_exactly(
+        p in arb_processor(),
+        frac in 0.0f64..1.0,
+    ) {
+        let fref = p.fmin() + frac * (p.fmax() - p.fmin());
+        let r = p.realize(fref, FreqPolicy::Interpolate);
+        prop_assert!((r.average_frequency - fref).abs() < 1e-9 * p.fmax());
+        let weight: f64 = r.segments().map(|s| s.time_fraction).sum();
+        prop_assert!((weight - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_up_never_under_delivers_and_uses_one_segment(
+        p in arb_processor(),
+        frac in 0.0f64..1.2,
+    ) {
+        let fref = p.fmin() + frac * (p.fmax() - p.fmin());
+        let r = p.realize(fref, FreqPolicy::RoundUp);
+        prop_assert!(r.hi.is_none());
+        prop_assert!(r.average_frequency >= fref.min(p.fmax()) - 1e-12);
+    }
+
+    #[test]
+    fn interpolated_current_is_between_leg_currents(
+        p in arb_processor(),
+        frac in 0.01f64..0.99,
+    ) {
+        let fref = p.fmin() + frac * (p.fmax() - p.fmin());
+        let r = p.realize(fref, FreqPolicy::Interpolate);
+        let i = p.battery_current_of(&r);
+        let i_min = p.battery_current_at(0);
+        let i_max = p.battery_current_at(p.opps().len() - 1);
+        prop_assert!(i >= i_min - 1e-12 && i <= i_max + 1e-12);
+    }
+
+    #[test]
+    fn energy_per_cycle_is_monotone_in_frequency(
+        p in arb_processor(),
+        f1 in 0.0f64..1.0,
+        f2 in 0.0f64..1.0,
+    ) {
+        // V non-decreasing in f means battery energy per cycle (∝ V²·extras)
+        // is non-decreasing in the realized frequency.
+        let lo = p.fmin() + f1.min(f2) * (p.fmax() - p.fmin());
+        let hi = p.fmin() + f1.max(f2) * (p.fmax() - p.fmin());
+        let e = |fref: f64| {
+            let r = p.realize(fref, FreqPolicy::Interpolate);
+            p.energy_for_cycles(&r, 1.0)
+        };
+        prop_assert!(e(lo) <= e(hi) + 1e-12);
+    }
+
+    #[test]
+    fn charge_scales_linearly_with_cycles(
+        p in arb_processor(),
+        frac in 0.0f64..1.0,
+        cycles in 1.0f64..1e6,
+    ) {
+        let fref = p.fmin() + frac * (p.fmax() - p.fmin());
+        let r = p.realize(fref, FreqPolicy::Interpolate);
+        let q1 = p.charge_for_cycles(&r, cycles);
+        let q2 = p.charge_for_cycles(&r, 2.0 * cycles);
+        prop_assert!((q2 - 2.0 * q1).abs() < 1e-9 * q2.abs().max(1.0));
+    }
+}
+
+#[test]
+fn presets_are_mutually_consistent() {
+    let unit = unit_processor();
+    let paper = paper_processor();
+    // Same relative current ladder.
+    for i in 0..3 {
+        let ru = unit.battery_current_at(i) / unit.battery_current_at(2);
+        let rp = paper.battery_current_at(i) / paper.battery_current_at(2);
+        assert!((ru - rp).abs() < 1e-12, "opp {i}");
+    }
+    // Dense preset brackets the paper's OPP line.
+    let dense = dense_dvs_processor(20, 0.05);
+    assert!(dense.fmin() < unit.fmin());
+    assert_eq!(dense.fmax(), unit.fmax());
+    // On the shared line V(f) = 4f+1, currents agree at f = 1.0.
+    let i_dense_top = dense.battery_current_at(19);
+    let i_unit_top = unit.battery_current_at(2);
+    assert!((i_dense_top - i_unit_top).abs() < 1e-9);
+}
+
+#[test]
+fn power_model_trait_exposes_core_power() {
+    let p = unit_processor();
+    let opp = OperatingPoint::new(1.0, 5.0);
+    let watts = p.core_power(opp);
+    // I_bat = P/(η·Vbat) ⇒ P = 1.8 · 0.9 · 1.2 = 1.944 W at full speed.
+    assert!((watts - 1.944).abs() < 1e-9, "{watts}");
+}

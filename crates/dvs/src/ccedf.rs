@@ -1,0 +1,101 @@
+//! Cycle-conserving EDF (Pillai & Shin), extended to task graphs (§4.1).
+//!
+//! The algorithm is the paper's Algorithm 1 verbatim:
+//!
+//! ```text
+//! upon release(Ti):        WCi = Σ wcij;              select_frequency()
+//! upon endofnode(Ti, τij): WCi = WCi + acij − wcij;   select_frequency()
+//! select_frequency():      U = Σ WCi/Di; fref = U · fmax
+//! ```
+//!
+//! `bas-sim` maintains `WCi` (the "effective WCi") with exactly these
+//! updates, so the governor itself is a stateless read of
+//! [`SimState::effective_utilization_hz`] — with cycles in the numerator and
+//! seconds in the denominator the sum *is* the frequency in Hz, which equals
+//! the paper's `U · fmax` in its normalized units.
+
+use bas_sim::{FrequencyGovernor, SimState};
+
+/// Cycle-conserving EDF governor.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CcEdf;
+
+impl FrequencyGovernor for CcEdf {
+    fn name(&self) -> &'static str {
+        "ccEDF"
+    }
+
+    fn frequency(&mut self, state: &SimState) -> f64 {
+        state.effective_utilization_hz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bas_sim::TaskRef;
+    use bas_taskgraph::{GraphId, NodeId, PeriodicTaskGraph, TaskGraphBuilder, TaskSet};
+
+    fn gid(i: usize) -> GraphId {
+        GraphId::from_index(i)
+    }
+
+    /// T0: a(4), b(6) chain, D = 20; T1: c(5), D = 10. Static U = 1.0 Hz.
+    fn state() -> SimState {
+        let mut b = TaskGraphBuilder::new("T0");
+        let a = b.add_node("a", 4);
+        let c = b.add_node("b", 6);
+        b.add_edge(a, c).unwrap();
+        let g0 = PeriodicTaskGraph::new(b.build().unwrap(), 20.0).unwrap();
+        let mut b = TaskGraphBuilder::new("T1");
+        b.add_node("c", 5);
+        let g1 = PeriodicTaskGraph::new(b.build().unwrap(), 10.0).unwrap();
+        let mut set = TaskSet::new();
+        set.push(g0);
+        set.push(g1);
+        SimState::new(set)
+    }
+
+    #[test]
+    fn frequency_equals_static_utilization_at_release() {
+        let mut s = state();
+        s.release(gid(0), vec![4.0, 6.0]);
+        s.release(gid(1), vec![5.0]);
+        s.refresh_edf();
+        let mut g = CcEdf;
+        assert!((g.frequency(&s) - 1.0).abs() < 1e-12, "10/20 + 5/10");
+    }
+
+    #[test]
+    fn early_completion_lowers_frequency() {
+        let mut s = state();
+        s.release(gid(0), vec![2.0, 6.0]); // node a actually takes 2 of 4
+        s.release(gid(1), vec![5.0]);
+        s.refresh_edf();
+        let mut g = CcEdf;
+        let before = g.frequency(&s);
+        s.advance(TaskRef::new(gid(0), NodeId::from_index(0)), 2.0);
+        s.refresh_edf();
+        let after = g.frequency(&s);
+        // WC0: 10 -> 8, so U drops from 1.0 to 8/20 + 0.5 = 0.9.
+        assert!((before - 1.0).abs() < 1e-12);
+        assert!((after - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completed_instance_keeps_actual_until_next_release() {
+        let mut s = state();
+        s.release(gid(1), vec![1.0]); // actual far below wc = 5
+        s.refresh_edf();
+        s.advance(TaskRef::new(gid(1), NodeId::from_index(0)), 1.0);
+        s.refresh_edf();
+        let mut g = CcEdf;
+        // §4.1: between completion and the next release WCi = Σ ac, so
+        // U = 10/20 + 1/10 = 0.6 (T0 unreleased still budgets worst case).
+        assert!((g.frequency(&s) - 0.6).abs() < 1e-12);
+        // The next release switches back to the worst-case specification.
+        s.release(gid(1), vec![5.0]);
+        s.refresh_edf();
+        assert!((g.frequency(&s) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,227 @@
+//! Look-ahead EDF (Pillai & Shin), extended to task graphs.
+//!
+//! Where ccEDF spreads the *remaining worst case* evenly, laEDF "aggressively
+//! reduces processor frequency by estimating the minimum amount of work that
+//! needs to be completed by the next deadline while ensuring all subsequent
+//! deadlines" (§2). Work is deferred past the earliest deadline `d_n` as far
+//! as later deadlines allow; only the un-deferrable remainder `s` must run
+//! before `d_n`, at `fref = s / (d_n − now)`.
+//!
+//! Pillai & Shin's `defer()` adapted to graphs (each graph is one deferrable
+//! unit, with `c_left_i` its remaining worst-case cycles and `d_i` its
+//! current — or, when between instances, upcoming — absolute deadline):
+//!
+//! ```text
+//! U = Σ Ci/Ti                       (static, cycles/s)
+//! s = 0
+//! for τi in reverse-EDF order (latest deadline first):
+//!     U = U − Ci/Ti
+//!     x = max(0, c_left_i − (fmax − U)·(d_i − d_n))
+//!     if d_i > d_n: U = U + (c_left_i − x)/(d_i − d_n)
+//!     s = s + x
+//! fref = s / (d_n − now)
+//! ```
+//!
+//! The governor needs `fmax` (the deferral headroom is whatever the
+//! processor can still give later), so it is constructed with it.
+
+use bas_sim::{FrequencyGovernor, SimState};
+use bas_taskgraph::GraphId;
+
+/// Look-ahead EDF governor.
+#[derive(Debug, Clone)]
+pub struct LaEdf {
+    /// Processor peak frequency in Hz; deferral assumes later work can run at
+    /// up to this speed. Set automatically from the first observed state when
+    /// constructed via [`LaEdf::default`] is impossible — pass it explicitly.
+    fmax: f64,
+    /// Scratch buffer (graph, deadline, c_left), reused across calls.
+    scratch: Vec<(GraphId, f64, f64)>,
+}
+
+impl LaEdf {
+    /// Governor for a processor with the given peak frequency (Hz).
+    ///
+    /// # Panics
+    /// Panics unless `fmax` is positive and finite.
+    pub fn with_fmax(fmax: f64) -> Self {
+        assert!(fmax.is_finite() && fmax > 0.0, "fmax must be positive");
+        LaEdf { fmax, scratch: Vec::new() }
+    }
+
+    /// Governor for the paper's 1 GHz processor.
+    pub fn paper() -> Self {
+        LaEdf::with_fmax(1.0e9)
+    }
+}
+
+impl Default for LaEdf {
+    /// Defaults to the dimensionless unit processor (`fmax = 1`).
+    fn default() -> Self {
+        LaEdf::with_fmax(1.0)
+    }
+}
+
+impl FrequencyGovernor for LaEdf {
+    fn name(&self) -> &'static str {
+        "laEDF"
+    }
+
+    fn frequency(&mut self, state: &SimState) -> f64 {
+        let now = state.now();
+        // Deadline of the most imminent *active* graph; nothing active means
+        // nothing to run before the next release.
+        let Some(d_n) = state.most_imminent().and_then(|g| state.deadline(g)) else {
+            return 0.0;
+        };
+        let window = (d_n - now).max(1e-12);
+
+        // Gather every graph with its (current or upcoming) deadline and its
+        // remaining worst case (0 when between instances).
+        self.scratch.clear();
+        for (gid, pg) in state.set().iter() {
+            let (deadline, c_left) = if state.is_active(gid) {
+                (state.deadline(gid).expect("active"), state.remaining_wc(gid))
+            } else {
+                // Next instance's deadline; no work owed before it arrives.
+                (state.next_release(gid) + pg.period(), 0.0)
+            };
+            self.scratch.push((gid, deadline, c_left));
+        }
+        // Reverse EDF order: latest deadline first.
+        self.scratch
+            .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(b.0.cmp(&a.0)));
+
+        let mut u: f64 = state.static_utilization_hz();
+        let mut s = 0.0;
+        for &(gid, d_i, c_left) in &self.scratch {
+            let pg = &state.set()[gid];
+            u -= pg.graph().total_wcet() as f64 / pg.period();
+            let room = d_i - d_n;
+            if room > 1e-12 {
+                // Cycles that fit between d_n and d_i if the processor gives
+                // this graph all capacity beyond what earlier-deadline work
+                // (still counted in U) reserves.
+                let deferrable = (self.fmax - u).max(0.0) * room;
+                let x = (c_left - deferrable).max(0.0);
+                u += (c_left - x) / room;
+                s += x;
+            } else {
+                // Due by d_n itself: nothing can be deferred.
+                s += c_left;
+            }
+        }
+        s / window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ccedf::CcEdf;
+    use bas_sim::TaskRef;
+    use bas_taskgraph::{GraphId, NodeId, PeriodicTaskGraph, TaskGraphBuilder, TaskSet};
+
+    fn gid(i: usize) -> GraphId {
+        GraphId::from_index(i)
+    }
+
+    fn single(wc: u64, period: f64) -> PeriodicTaskGraph {
+        let mut b = TaskGraphBuilder::new("T");
+        b.add_node("t", wc);
+        PeriodicTaskGraph::new(b.build().unwrap(), period).unwrap()
+    }
+
+    /// T0: C=1, D=4; T1: C=2, D=8 on a unit processor. Static U = 0.5.
+    fn half_loaded() -> SimState {
+        let mut set = TaskSet::new();
+        set.push(single(1, 4.0));
+        set.push(single(2, 8.0));
+        SimState::new(set)
+    }
+
+    #[test]
+    fn laedf_defers_later_deadline_work() {
+        let mut s = half_loaded();
+        s.release(gid(0), vec![1.0]);
+        s.release(gid(1), vec![2.0]);
+        s.refresh_edf();
+        let mut la = LaEdf::with_fmax(1.0);
+        let mut cc = CcEdf;
+        // ccEDF spreads everything: U = 1/4 + 2/8 = 0.5.
+        assert!((cc.frequency(&s) - 0.5).abs() < 1e-12);
+        // laEDF: T1's 2 cycles fit entirely into [4, 8] at (1 − 0.25)·4 = 3
+        // available cycles, so only T0's 1 cycle is due by t = 4:
+        // fref = 1/4 = 0.25.
+        assert!((la.frequency(&s) - 0.25).abs() < 1e-12, "{}", la.frequency(&s));
+    }
+
+    #[test]
+    fn laedf_equals_ccedf_at_full_utilization() {
+        let mut set = TaskSet::new();
+        set.push(single(2, 4.0));
+        set.push(single(4, 8.0));
+        let mut s = SimState::new(set);
+        s.release(gid(0), vec![2.0]);
+        s.release(gid(1), vec![4.0]);
+        s.refresh_edf();
+        let mut la = LaEdf::with_fmax(1.0);
+        // U = 1: nothing can be deferred, s = 2 (T0) + 2 (T1's undeferrable
+        // part: 4 − (1−0.5)·4 = 2) -> fref = 4/4 = 1.
+        assert!((la.frequency(&s) - 1.0).abs() < 1e-12, "{}", la.frequency(&s));
+    }
+
+    #[test]
+    fn laedf_accounts_for_partial_progress() {
+        let mut s = half_loaded();
+        s.release(gid(0), vec![1.0]);
+        s.release(gid(1), vec![2.0]);
+        s.refresh_edf();
+        // Run T0 to completion: only T1's deferred work remains.
+        s.advance(TaskRef::new(gid(0), NodeId::from_index(0)), 1.0);
+        s.refresh_edf();
+        let mut la = LaEdf::with_fmax(1.0);
+        // Now d_n = 8 (T1); T1's 2 cycles due by then from t=0: any deferral
+        // window is gone, s = 2, window = 8 -> 0.25.
+        assert!((la.frequency(&s) - 0.25).abs() < 1e-12, "{}", la.frequency(&s));
+    }
+
+    #[test]
+    fn laedf_with_nothing_active_asks_for_zero() {
+        let mut s = half_loaded();
+        s.refresh_edf();
+        let mut la = LaEdf::with_fmax(1.0);
+        assert_eq!(la.frequency(&s), 0.0);
+    }
+
+    #[test]
+    fn laedf_never_exceeds_fmax_on_feasible_sets() {
+        // Several random-ish feasible configurations; laEDF must stay ≤ fmax.
+        for (wcs, periods) in [
+            (vec![3u64, 5, 2], vec![10.0, 20.0, 8.0]),
+            (vec![1, 1, 1, 1], vec![4.0, 5.0, 6.0, 7.0]),
+            (vec![7, 3], vec![10.0, 10.0]),
+        ] {
+            let mut set = TaskSet::new();
+            for (w, p) in wcs.iter().zip(&periods) {
+                set.push(single(*w, *p));
+            }
+            assert!(set.utilization(1.0) <= 1.0 + 1e-9);
+            let mut s = SimState::new(set);
+            for (i, &wc) in wcs.iter().enumerate() {
+                s.release(gid(i), vec![wc as f64]);
+            }
+            s.refresh_edf();
+            let mut la = LaEdf::with_fmax(1.0);
+            let f = la.frequency(&s);
+            assert!(f <= 1.0 + 1e-9, "fref {f} exceeds fmax");
+            assert!(f >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fmax must be positive")]
+    fn invalid_fmax_panics() {
+        LaEdf::with_fmax(0.0);
+    }
+}

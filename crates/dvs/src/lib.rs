@@ -1,0 +1,60 @@
+//! # bas-dvs — DVS frequency governors
+//!
+//! The "global frequency selection" half of the paper's methodology (§4.1):
+//! EDF-based dynamic voltage scaling algorithms that return the minimum
+//! reference frequency `fref` guaranteeing all future deadlines. All three
+//! governors of the paper's evaluation are here, extended from independent
+//! periodic tasks (Pillai & Shin, SOSP 2001 — the paper's \[10\]) to periodic
+//! task *graphs* exactly as §4.1 prescribes: a graph's worst case is
+//! `WCi = Σ wcij`, updated to the actual `acij` as each node completes, and
+//! reverting to the worst case at the next release.
+//!
+//! * [`NoDvs`] — always `fmax` (Table 2's "EDF, no DVS" row);
+//! * [`CcEdf`] — cycle-conserving EDF: `fref = Σ WCi(effective)/Di`;
+//! * [`LaEdf`] — look-ahead EDF: defers work past the earliest deadline as
+//!   far as subsequent deadlines allow, running as slowly as possible now.
+//!
+//! Governors return Hz (cycles per second); the executor clamps into the
+//! processor's range and realizes the value on discrete operating points.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ccedf;
+pub mod laedf;
+pub mod nodvs;
+pub mod static_util;
+
+pub use ccedf::CcEdf;
+pub use laedf::LaEdf;
+pub use nodvs::NoDvs;
+pub use static_util::StaticUtilization;
+
+use bas_sim::FrequencyGovernor;
+
+/// Governor lookup by name (`"none"`, `"static"`, `"ccEDF"`, `"laEDF"`).
+/// `fmax` is the processor peak frequency in Hz, which laEDF's deferral math
+/// needs. Returns `None` for unknown names.
+pub fn governor_by_name(name: &str, fmax: f64) -> Option<Box<dyn FrequencyGovernor>> {
+    match name {
+        "none" => Some(Box::new(NoDvs)),
+        "static" => Some(Box::new(StaticUtilization)),
+        "ccEDF" => Some(Box::new(CcEdf)),
+        "laEDF" => Some(Box::new(LaEdf::with_fmax(fmax))),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name_finds_every_governor() {
+        assert_eq!(governor_by_name("none", 1.0).unwrap().name(), "none(fmax)");
+        assert_eq!(governor_by_name("static", 1.0).unwrap().name(), "static-EDF");
+        assert_eq!(governor_by_name("ccEDF", 1.0).unwrap().name(), "ccEDF");
+        assert_eq!(governor_by_name("laEDF", 1.0).unwrap().name(), "laEDF");
+        assert!(governor_by_name("bogus", 1.0).is_none());
+    }
+}

@@ -1,0 +1,32 @@
+//! The no-DVS baseline: always run at peak frequency.
+
+use bas_sim::{FrequencyGovernor, SimState};
+
+/// Always request `fmax` (the executor clamps `∞` down to it). This is the
+/// "EDF / None" row of the paper's Table 2: energy-oblivious scheduling that
+/// finishes everything early and idles.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoDvs;
+
+impl FrequencyGovernor for NoDvs {
+    fn name(&self) -> &'static str {
+        "none(fmax)"
+    }
+
+    fn frequency(&mut self, _state: &SimState) -> f64 {
+        f64::INFINITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bas_taskgraph::TaskSet;
+
+    #[test]
+    fn requests_infinite_frequency() {
+        let mut g = NoDvs;
+        let state = SimState::new(TaskSet::new());
+        assert_eq!(g.frequency(&state), f64::INFINITY);
+    }
+}

@@ -1,0 +1,83 @@
+//! Static utilization-based DVS — the classical baseline between "no DVS"
+//! and the dynamic reclaiming governors.
+//!
+//! Runs at the constant frequency `U · fmax` computed from the task set's
+//! *static* worst-case utilization (Pillai & Shin call this "statically
+//! scaled EDF"). It never exploits early completions, so it brackets the
+//! dynamic governors from above: any reasonable ccEDF/laEDF run should use
+//! no more energy than this, and the gap *is* the value of slack
+//! reclamation.
+
+use bas_sim::{FrequencyGovernor, SimState};
+
+/// Statically scaled EDF: constant `fref = Σ WCi/Di` (worst case).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticUtilization;
+
+impl FrequencyGovernor for StaticUtilization {
+    fn name(&self) -> &'static str {
+        "static-EDF"
+    }
+
+    fn frequency(&mut self, state: &SimState) -> f64 {
+        state.static_utilization_hz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CcEdf;
+    use bas_sim::TaskRef;
+    use bas_taskgraph::{GraphId, NodeId, PeriodicTaskGraph, TaskGraphBuilder, TaskSet};
+
+    fn state() -> SimState {
+        // T0: 6 cycles / D 12; T1: 3 cycles / D 6. U = 1.0.
+        let mut set = TaskSet::new();
+        let mut b = TaskGraphBuilder::new("T0");
+        b.add_node("a", 6);
+        set.push(PeriodicTaskGraph::new(b.build().unwrap(), 12.0).unwrap());
+        let mut b = TaskGraphBuilder::new("T1");
+        b.add_node("b", 3);
+        set.push(PeriodicTaskGraph::new(b.build().unwrap(), 6.0).unwrap());
+        SimState::new(set)
+    }
+
+    #[test]
+    fn frequency_is_static_worst_case_utilization() {
+        let mut s = state();
+        s.release(GraphId::from_index(0), vec![6.0]);
+        s.release(GraphId::from_index(1), vec![3.0]);
+        s.refresh_edf();
+        let mut g = StaticUtilization;
+        assert!((g.frequency(&s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ignores_early_completions_unlike_ccedf() {
+        let mut s = state();
+        s.release(GraphId::from_index(0), vec![2.0]); // actual 2 of 6
+        s.release(GraphId::from_index(1), vec![3.0]);
+        s.refresh_edf();
+        s.advance(TaskRef::new(GraphId::from_index(0), NodeId::from_index(0)), 2.0);
+        s.refresh_edf();
+        let mut stat = StaticUtilization;
+        let mut cc = CcEdf;
+        // ccEDF reclaims T0's slack; static scaling does not.
+        assert!((stat.frequency(&s) - 1.0).abs() < 1e-12);
+        assert!(cc.frequency(&s) < 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn constant_across_time_and_progress() {
+        let mut s = state();
+        s.release(GraphId::from_index(0), vec![6.0]);
+        s.refresh_edf();
+        let mut g = StaticUtilization;
+        let f0 = g.frequency(&s);
+        s.set_now(3.0);
+        s.advance(TaskRef::new(GraphId::from_index(0), NodeId::from_index(0)), 1.0);
+        s.refresh_edf();
+        assert_eq!(g.frequency(&s), f0);
+    }
+}

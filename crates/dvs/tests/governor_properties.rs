@@ -1,0 +1,94 @@
+//! Governor-level properties, checked through live executor runs.
+
+use bas_cpu::presets::unit_processor;
+use bas_dvs::{CcEdf, LaEdf, NoDvs};
+use bas_sim::policy::EdfTopo;
+use bas_sim::{Executor, FrequencyGovernor, SimConfig, SimState, UniformFraction};
+use bas_taskgraph::{GeneratorConfig, GraphShape, TaskSetConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_set(seed: u64, graphs: usize, util: f64) -> bas_taskgraph::TaskSet {
+    TaskSetConfig {
+        graphs,
+        graph: GeneratorConfig {
+            nodes: (2, 8),
+            wcet: (5, 50),
+            shape: GraphShape::Layered { layers: 2, edge_prob: 0.3 },
+        },
+        utilization: util,
+        fmax: 1.0,
+        period_quantum: None,
+    }
+    .generate(&mut StdRng::seed_from_u64(seed))
+    .unwrap()
+}
+
+fn run(governor: &mut dyn FrequencyGovernor, seed: u64, util: f64) -> bas_sim::Metrics {
+    let set = random_set(seed, 3, util);
+    let horizon = 1.5 * set.iter().map(|(_, g)| g.period()).fold(0.0, f64::max);
+    let mut policy = EdfTopo;
+    let mut sampler = UniformFraction::paper(seed);
+    let mut cfg = SimConfig::new(unit_processor());
+    cfg.record_trace = false;
+    let mut ex = Executor::new(set, cfg, governor, &mut policy, &mut sampler).unwrap();
+    ex.run_for(horizon).unwrap().metrics
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn no_governor_ever_misses_deadlines(
+        seed in 0u64..3_000,
+        util in 0.2f64..0.95,
+        which in 0usize..3,
+    ) {
+        let mut governors: Vec<Box<dyn FrequencyGovernor>> = vec![
+            Box::new(NoDvs),
+            Box::new(CcEdf),
+            Box::new(LaEdf::with_fmax(1.0)),
+        ];
+        let m = run(governors[which].as_mut(), seed, util);
+        prop_assert_eq!(m.deadline_misses, 0);
+    }
+
+    #[test]
+    fn dvs_governors_save_energy_over_no_dvs(
+        seed in 0u64..3_000,
+        util in 0.3f64..0.9,
+    ) {
+        let e_none = run(&mut NoDvs, seed, util).energy;
+        let e_cc = run(&mut CcEdf, seed, util).energy;
+        let e_la = run(&mut LaEdf::with_fmax(1.0), seed, util).energy;
+        prop_assert!(e_cc <= e_none + 1e-9);
+        prop_assert!(e_la <= e_none + 1e-9);
+    }
+
+    #[test]
+    fn laedf_request_never_exceeds_ccedf_at_release_instants(
+        seed in 0u64..3_000,
+        util in 0.2f64..0.95,
+    ) {
+        // At a synchronized release with no progress yet, laEDF's deferral
+        // can only lower the request relative to ccEDF's utilization spread.
+        let set = random_set(seed, 3, util);
+        let mut state = SimState::new(set);
+        for gid in state.set().graph_ids().collect::<Vec<_>>() {
+            let actuals: Vec<f64> = state.set()[gid]
+                .graph()
+                .node_ids()
+                .map(|n| state.set()[gid].graph().wcet(n) as f64)
+                .collect();
+            state.release(gid, actuals);
+        }
+        state.refresh_edf();
+        let f_cc = CcEdf.frequency(&state);
+        let f_la = LaEdf::with_fmax(1.0).frequency(&state);
+        prop_assert!(
+            f_la <= f_cc + 1e-9,
+            "laEDF {f_la} must not exceed ccEDF {f_cc} at synchronized release"
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Simulator error type.
+
+use crate::types::TaskRef;
+use std::fmt;
+
+/// Errors raised by simulation configuration or execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The task set is empty — nothing to schedule.
+    EmptyTaskSet,
+    /// The task set's worst-case utilization exceeds the processor
+    /// (`Σ WCi/(Di·fmax) > 1`): EDF cannot schedule it, so every run would
+    /// just be a parade of deadline misses.
+    Overutilized {
+        /// The offending utilization.
+        utilization: f64,
+    },
+    /// Some graph's critical path cannot fit inside its period even at fmax.
+    StructurallyInfeasible {
+        /// Index of the offending graph.
+        graph: usize,
+    },
+    /// A deadline was missed while [`DeadlineMode::Fail`] was selected.
+    ///
+    /// [`DeadlineMode::Fail`]: crate::executor::DeadlineMode::Fail
+    DeadlineMiss {
+        /// The graph whose instance missed.
+        graph: usize,
+        /// The absolute deadline that passed.
+        deadline: f64,
+    },
+    /// The policy picked a task that is not in the ready list.
+    InvalidPick {
+        /// The offending pick.
+        task: TaskRef,
+    },
+    /// A non-finite or non-positive horizon was configured.
+    InvalidHorizon(f64),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EmptyTaskSet => write!(f, "task set is empty"),
+            SimError::Overutilized { utilization } => {
+                write!(f, "task set utilization {utilization:.3} exceeds 1.0 at fmax")
+            }
+            SimError::StructurallyInfeasible { graph } => {
+                write!(f, "graph {graph}: critical path exceeds period at fmax")
+            }
+            SimError::DeadlineMiss { graph, deadline } => {
+                write!(f, "graph {graph} missed its deadline at t = {deadline}")
+            }
+            SimError::InvalidPick { task } => {
+                write!(f, "policy picked {task} which is not ready")
+            }
+            SimError::InvalidHorizon(h) => write!(f, "invalid horizon {h}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        assert!(SimError::EmptyTaskSet.to_string().contains("empty"));
+        assert!(SimError::Overutilized { utilization: 1.25 }
+            .to_string()
+            .contains("1.25"));
+        assert!(SimError::DeadlineMiss { graph: 3, deadline: 40.0 }
+            .to_string()
+            .contains("t = 40"));
+        assert!(SimError::InvalidHorizon(-1.0).to_string().contains("-1"));
+    }
+}

@@ -1,0 +1,624 @@
+//! The event-driven execution engine.
+//!
+//! Scheduling points are instance releases and node completions — exactly the
+//! points at which the paper's pseudocode re-evaluates `fref` and re-picks a
+//! task. Between points the chosen node runs at the governor's `fref`,
+//! realized as (at most) two discrete-operating-point segments, high leg
+//! first so the current is non-increasing *within* the slice (guideline G1's
+//! "locally non-increasing" shape at the finest granularity we control).
+//!
+//! A release arriving while a node runs preempts it (preemptive EDF model);
+//! the node keeps its progress and re-enters the ready list.
+
+use crate::error::SimError;
+use crate::metrics::Metrics;
+use crate::state::SimState;
+use crate::time;
+use crate::trace::{SliceKind, Trace, TraceSlice};
+use crate::traits::{FrequencyGovernor, TaskPolicy};
+use crate::types::TaskRef;
+use crate::workload::ActualSampler;
+use bas_battery::{BatteryModel, LifetimeReport, StepOutcome};
+use bas_cpu::{FreqPolicy, Processor};
+use bas_taskgraph::TaskSet;
+
+/// What to do when an instance is still unfinished at its deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeadlineMode {
+    /// Abort the simulation with [`SimError::DeadlineMiss`] — the right mode
+    /// for experiments, where every scheduler is supposed to be miss-free.
+    #[default]
+    Fail,
+    /// Record the miss, drop the stale instance, release the new one. Useful
+    /// for deliberately-overloaded what-if runs.
+    DropAndCount,
+}
+
+/// Static configuration of a simulation.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The DVS processor model.
+    pub processor: Processor,
+    /// How continuous `fref` maps onto discrete operating points.
+    pub freq_policy: FreqPolicy,
+    /// Deadline-miss behaviour.
+    pub deadline_mode: DeadlineMode,
+    /// Record the full execution trace (costs memory on long runs; metrics
+    /// and battery accounting are always exact regardless).
+    pub record_trace: bool,
+    /// Reject task sets that are over-utilized or structurally infeasible
+    /// before running.
+    pub check_feasibility: bool,
+}
+
+impl SimConfig {
+    /// Config with the given processor and all defaults (interpolated
+    /// frequencies, fail on miss, trace recording on, feasibility checked).
+    pub fn new(processor: Processor) -> Self {
+        SimConfig {
+            processor,
+            freq_policy: FreqPolicy::Interpolate,
+            deadline_mode: DeadlineMode::Fail,
+            record_trace: true,
+            check_feasibility: true,
+        }
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Aggregate counters and integrals.
+    pub metrics: Metrics,
+    /// The execution trace when `record_trace` was set.
+    pub trace: Option<Trace>,
+    /// Battery lifetime report for co-simulated runs.
+    pub battery: Option<LifetimeReport>,
+}
+
+/// The discrete-event executor binding a task set, a governor and a policy.
+pub struct Executor<'a> {
+    cfg: SimConfig,
+    state: SimState,
+    governor: &'a mut dyn FrequencyGovernor,
+    policy: &'a mut dyn TaskPolicy,
+    sampler: &'a mut dyn ActualSampler,
+    trace: Trace,
+    metrics: Metrics,
+    ready: Vec<TaskRef>,
+    running: Option<TaskRef>,
+}
+
+impl<'a> Executor<'a> {
+    /// Bind a simulation. Fails fast on infeasible input when configured to.
+    pub fn new(
+        set: TaskSet,
+        cfg: SimConfig,
+        governor: &'a mut dyn FrequencyGovernor,
+        policy: &'a mut dyn TaskPolicy,
+        sampler: &'a mut dyn ActualSampler,
+    ) -> Result<Self, SimError> {
+        if set.is_empty() {
+            return Err(SimError::EmptyTaskSet);
+        }
+        if cfg.check_feasibility {
+            let fmax = cfg.processor.fmax();
+            let u = set.utilization(fmax);
+            if u > 1.0 + 1e-9 {
+                return Err(SimError::Overutilized { utilization: u });
+            }
+            for (gid, g) in set.iter() {
+                if !g.is_structurally_feasible(fmax) {
+                    return Err(SimError::StructurallyInfeasible { graph: gid.index() });
+                }
+            }
+        }
+        Ok(Executor {
+            cfg,
+            state: SimState::new(set),
+            governor,
+            policy,
+            sampler,
+            trace: Trace::new(),
+            metrics: Metrics::default(),
+            ready: Vec::new(),
+            running: None,
+        })
+    }
+
+    /// The live scheduler-visible state (for inspection in tests).
+    pub fn state(&self) -> &SimState {
+        &self.state
+    }
+
+    /// Simulate until `horizon` seconds with no battery attached.
+    pub fn run_for(&mut self, horizon: f64) -> Result<SimOutcome, SimError> {
+        if !(horizon.is_finite() && horizon > 0.0) {
+            return Err(SimError::InvalidHorizon(horizon));
+        }
+        self.run(horizon, None)?;
+        Ok(SimOutcome {
+            metrics: self.metrics.clone(),
+            trace: self.cfg.record_trace.then(|| self.trace.clone()),
+            battery: None,
+        })
+    }
+
+    /// Co-simulate with `battery` until it is exhausted (or `max_time` as a
+    /// guard). The returned report carries lifetime and delivered charge —
+    /// the two columns of the paper's Table 2.
+    pub fn run_until_battery_dead(
+        &mut self,
+        battery: &mut dyn BatteryModel,
+        max_time: f64,
+    ) -> Result<SimOutcome, SimError> {
+        if !(max_time.is_finite() && max_time > 0.0) {
+            return Err(SimError::InvalidHorizon(max_time));
+        }
+        self.run(max_time, Some(battery))?;
+        let report = LifetimeReport {
+            lifetime: self.state.now(),
+            charge_delivered: battery.charge_delivered(),
+            died: battery.is_exhausted(),
+        };
+        Ok(SimOutcome {
+            metrics: self.metrics.clone(),
+            trace: self.cfg.record_trace.then(|| self.trace.clone()),
+            battery: Some(report),
+        })
+    }
+
+    // ------------------------------------------------------------------
+
+    fn run(&mut self, horizon: f64, mut battery: Option<&mut dyn BatteryModel>) -> Result<(), SimError> {
+        loop {
+            let t = self.state.now();
+            if time::approx_ge(t, horizon) {
+                break; // horizon is exclusive: events at exactly `horizon` are not processed
+            }
+            self.process_releases(t)?;
+            let t_next = self.state.next_release_any().min(horizon);
+            self.state.ready_tasks(&mut self.ready);
+
+            // Governor first (fref feeds the policy's feasibility checks).
+            let fmin = self.cfg.processor.fmin();
+            let fmax = self.cfg.processor.fmax();
+            let fref = if self.ready.is_empty() {
+                fmin // nothing to run; value is irrelevant
+            } else {
+                self.governor.frequency(&self.state).clamp(fmin, fmax)
+            };
+
+            self.metrics.decisions += 1;
+            let pick = if self.ready.is_empty() {
+                None
+            } else {
+                self.policy.pick(&self.state, &self.ready, fref)
+            };
+
+            match pick {
+                None => {
+                    let dt = t_next - t;
+                    if time::negligible(dt) {
+                        self.state.set_now(t_next);
+                        continue;
+                    }
+                    if let Some(stop) =
+                        self.emit(t, dt, self.cfg.processor.supply().idle_current, SliceKind::Idle, &mut battery)
+                    {
+                        self.metrics.idle_time += stop - t;
+                        self.state.set_now(stop);
+                        break;
+                    }
+                    self.metrics.idle_time += dt;
+                    self.running = None;
+                    self.state.set_now(t_next);
+                }
+                Some(task) => {
+                    if self.ready.binary_search(&task).is_err() {
+                        return Err(SimError::InvalidPick { task });
+                    }
+                    if let Some(prev) = self.running {
+                        if prev != task && self.state.remaining_wc_node(prev) > 0.0 {
+                            self.metrics.preemptions += 1;
+                        }
+                    }
+                    let rem_actual = self
+                        .state
+                        .graph_ref(task.graph)
+                        .nodes[task.node.index()]
+                        .remaining_actual();
+                    let realization = self.cfg.processor.realize(fref, self.cfg.freq_policy);
+                    let dur_complete = rem_actual / realization.average_frequency;
+                    if time::negligible(dur_complete) {
+                        // Residual below time resolution: complete in place.
+                        self.complete_if_done(task, rem_actual);
+                        continue;
+                    }
+                    let slack_to_event = t_next - t;
+                    let (dt, completing) = if dur_complete <= slack_to_event + time::eps_for(t_next)
+                    {
+                        (dur_complete, true)
+                    } else {
+                        (slack_to_event, false)
+                    };
+                    if time::negligible(dt) {
+                        // Release boundary reached; go process it.
+                        self.state.set_now(t_next);
+                        continue;
+                    }
+                    // Execute: high-frequency leg first, then low (locally
+                    // non-increasing current within the slice).
+                    let mut died_at = None;
+                    let mut elapsed = 0.0;
+                    let mut cycles_done = 0.0;
+                    let mut legs: [Option<(usize, f64)>; 2] = [None, None];
+                    match realization.hi {
+                        Some(hi) => {
+                            legs[0] = Some((hi.opp, dt * hi.time_fraction));
+                            legs[1] = Some((realization.lo.opp, dt * realization.lo.time_fraction));
+                        }
+                        None => legs[0] = Some((realization.lo.opp, dt)),
+                    }
+                    for leg in legs.into_iter().flatten() {
+                        let (opp_ix, leg_dt) = leg;
+                        if time::negligible(leg_dt) {
+                            continue;
+                        }
+                        let opp = self.cfg.processor.opps().get(opp_ix);
+                        let current = self.cfg.processor.battery_current_at(opp_ix);
+                        let kind = SliceKind::Run { task, opp: opp_ix, frequency: opp.frequency };
+                        if let Some(stop) = self.emit(t + elapsed, leg_dt, current, kind, &mut battery) {
+                            let survived = stop - (t + elapsed);
+                            cycles_done += opp.frequency * survived;
+                            elapsed += survived;
+                            died_at = Some(t + elapsed);
+                            break;
+                        }
+                        cycles_done += opp.frequency * leg_dt;
+                        elapsed += leg_dt;
+                    }
+                    self.metrics.busy_time += elapsed;
+                    self.metrics.cycles_executed += cycles_done.min(rem_actual);
+                    if let Some(stop) = died_at {
+                        self.state.advance(task, cycles_done.min(rem_actual));
+                        self.state.set_now(stop);
+                        break;
+                    }
+                    self.running = Some(task);
+                    if completing {
+                        self.complete_if_done(task, rem_actual);
+                    } else {
+                        self.state.advance(task, cycles_done.min(rem_actual - 1e-3));
+                    }
+                    self.state.set_now(t + dt);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Process all releases due at or before the current time.
+    fn process_releases(&mut self, t: f64) -> Result<(), SimError> {
+        let ids: Vec<_> = self.state.set().graph_ids().collect();
+        for gid in ids {
+            while time::approx_le(self.state.next_release(gid), t) {
+                if self.state.is_active(gid) {
+                    // Deadline == release time of the next instance.
+                    let deadline = self.state.deadline(gid).expect("active");
+                    match self.cfg.deadline_mode {
+                        DeadlineMode::Fail => {
+                            return Err(SimError::DeadlineMiss { graph: gid.index(), deadline });
+                        }
+                        DeadlineMode::DropAndCount => {
+                            self.metrics.deadline_misses += 1;
+                            self.state.abandon(gid);
+                        }
+                    }
+                }
+                let instance = self.state.graph_ref(gid).next_instance;
+                let graph = self.state.set()[gid].graph_arc();
+                let actuals: Vec<f64> = graph
+                    .node_ids()
+                    .map(|n| self.sampler.sample(gid, n, instance, graph.wcet(n)))
+                    .collect();
+                self.state.release(gid, actuals);
+                self.metrics.instances_released += 1;
+                self.state.refresh_edf();
+                self.governor.on_release(&self.state, gid);
+            }
+        }
+        self.state.refresh_edf();
+        Ok(())
+    }
+
+    /// Mark `task` complete after having run its full actual demand, and fire
+    /// the completion hooks.
+    fn complete_if_done(&mut self, task: TaskRef, rem_actual: f64) {
+        let actual = self
+            .state
+            .advance(task, rem_actual)
+            .expect("executing the full remaining actual must complete the node");
+        self.metrics.nodes_completed += 1;
+        if !self.state.is_active(task.graph) {
+            self.metrics.instances_completed += 1;
+        }
+        self.state.refresh_edf();
+        self.running = None;
+        self.governor.on_completion(&self.state, task, actual);
+        self.policy.on_completion(&self.state, task, actual);
+    }
+
+    /// Emit one constant-current slice: metrics, optional trace, optional
+    /// battery. Returns `Some(stop_time)` when the battery died inside it.
+    fn emit(
+        &mut self,
+        start: f64,
+        dt: f64,
+        current: f64,
+        kind: SliceKind,
+        battery: &mut Option<&mut dyn BatteryModel>,
+    ) -> Option<f64> {
+        let vbat = self.cfg.processor.supply().vbat;
+        let mut effective_dt = dt;
+        let mut died = None;
+        if let Some(b) = battery.as_deref_mut() {
+            match b.step(current, dt) {
+                StepOutcome::Alive => {}
+                StepOutcome::Exhausted { survived } => {
+                    effective_dt = survived;
+                    died = Some(start + survived);
+                }
+            }
+        }
+        self.metrics.sim_time += effective_dt;
+        self.metrics.charge += current * effective_dt;
+        self.metrics.energy += current * effective_dt * vbat;
+        if self.cfg.record_trace && !time::negligible(effective_dt) {
+            self.trace.push(TraceSlice { start, end: start + effective_dt, current, kind });
+        }
+        died
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::EdfTopo;
+    use crate::traits::MaxSpeed;
+    use crate::workload::{FixedFraction, WorstCase};
+    use bas_battery::IdealModel;
+    use bas_cpu::presets::unit_processor;
+    use bas_taskgraph::{PeriodicTaskGraph, TaskGraphBuilder, TaskSet};
+
+    fn single_task_set(wc: u64, period: f64) -> TaskSet {
+        let mut b = TaskGraphBuilder::new("T0");
+        b.add_node("t", wc);
+        let mut set = TaskSet::new();
+        set.push(PeriodicTaskGraph::new(b.build().unwrap(), period).unwrap());
+        set
+    }
+
+    fn chain_set() -> TaskSet {
+        // T0: a(2) -> b(3), period 10; T1: c(2), period 5. U = 0.5 + 0.4 = 0.9.
+        let mut b = TaskGraphBuilder::new("T0");
+        let a = b.add_node("a", 2);
+        let c = b.add_node("b", 3);
+        b.add_edge(a, c).unwrap();
+        let g0 = PeriodicTaskGraph::new(b.build().unwrap(), 10.0).unwrap();
+        let mut b = TaskGraphBuilder::new("T1");
+        b.add_node("c", 2);
+        let g1 = PeriodicTaskGraph::new(b.build().unwrap(), 5.0).unwrap();
+        let mut set = TaskSet::new();
+        set.push(g0);
+        set.push(g1);
+        set
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig::new(unit_processor())
+    }
+
+    #[test]
+    fn empty_set_is_rejected() {
+        let mut g = MaxSpeed;
+        let mut p = EdfTopo;
+        let mut s = WorstCase;
+        let err = Executor::new(TaskSet::new(), cfg(), &mut g, &mut p, &mut s).err().unwrap();
+        assert_eq!(err, SimError::EmptyTaskSet);
+    }
+
+    #[test]
+    fn overutilized_set_is_rejected() {
+        let set = single_task_set(20, 10.0); // U = 2
+        let mut g = MaxSpeed;
+        let mut p = EdfTopo;
+        let mut s = WorstCase;
+        let err = Executor::new(set, cfg(), &mut g, &mut p, &mut s).err().unwrap();
+        assert!(matches!(err, SimError::Overutilized { .. }));
+    }
+
+    #[test]
+    fn single_task_at_fmax_completes_and_idles() {
+        let set = single_task_set(4, 10.0);
+        let mut g = MaxSpeed;
+        let mut p = EdfTopo;
+        let mut s = WorstCase;
+        let mut ex = Executor::new(set, cfg(), &mut g, &mut p, &mut s).unwrap();
+        let out = ex.run_for(10.0).unwrap();
+        let m = &out.metrics;
+        assert_eq!(m.instances_released, 1);
+        assert_eq!(m.instances_completed, 1);
+        assert_eq!(m.nodes_completed, 1);
+        assert!((m.busy_time - 4.0).abs() < 1e-9, "4 cycles at f=1");
+        assert!((m.idle_time - 6.0).abs() < 1e-9);
+        assert_eq!(m.deadline_misses, 0);
+        let trace = out.trace.unwrap();
+        trace.validate().unwrap();
+        assert!((trace.duration() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn actual_fraction_shortens_execution() {
+        let set = single_task_set(4, 10.0);
+        let mut g = MaxSpeed;
+        let mut p = EdfTopo;
+        let mut s = FixedFraction::new(0.5);
+        let mut ex = Executor::new(set, cfg(), &mut g, &mut p, &mut s).unwrap();
+        let out = ex.run_for(10.0).unwrap();
+        assert!((out.metrics.busy_time - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn precedence_is_respected_in_trace() {
+        let set = chain_set();
+        let mut g = MaxSpeed;
+        let mut p = EdfTopo;
+        let mut s = WorstCase;
+        let mut ex = Executor::new(set, cfg(), &mut g, &mut p, &mut s).unwrap();
+        let out = ex.run_for(10.0).unwrap();
+        let trace = out.trace.unwrap();
+        trace.validate().unwrap();
+        // T0.b must never run before T0.a completes: in execution order, a
+        // precedes b.
+        let order = trace.execution_order();
+        let pos =
+            |t: TaskRef| order.iter().position(|&x| x == t).expect("both ran");
+        use bas_taskgraph::{GraphId, NodeId};
+        let a = TaskRef::new(GraphId::from_index(0), NodeId::from_index(0));
+        let b = TaskRef::new(GraphId::from_index(0), NodeId::from_index(1));
+        assert!(pos(a) < pos(b));
+        assert_eq!(out.metrics.deadline_misses, 0);
+    }
+
+    #[test]
+    fn periodic_releases_recur() {
+        let set = single_task_set(2, 5.0);
+        let mut g = MaxSpeed;
+        let mut p = EdfTopo;
+        let mut s = WorstCase;
+        let mut ex = Executor::new(set, cfg(), &mut g, &mut p, &mut s).unwrap();
+        let out = ex.run_for(20.0).unwrap();
+        assert_eq!(out.metrics.instances_released, 4);
+        assert_eq!(out.metrics.instances_completed, 4);
+        assert!((out.metrics.busy_time - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn battery_death_cuts_the_run() {
+        let set = single_task_set(5, 10.0);
+        let mut g = MaxSpeed;
+        let mut p = EdfTopo;
+        let mut s = WorstCase;
+        let mut ex = Executor::new(set, cfg(), &mut g, &mut p, &mut s).unwrap();
+        // unit_processor full-speed draw is 1.8 A; 9 C dies after 5 s busy.
+        let mut battery = IdealModel::new(9.0);
+        let out = ex.run_until_battery_dead(&mut battery, 1e6).unwrap();
+        let report = out.battery.unwrap();
+        assert!(report.died);
+        assert!(report.lifetime > 0.0 && report.lifetime < 20.0);
+        assert!((report.charge_delivered - 9.0).abs() < 1e-6);
+        let trace = out.trace.unwrap();
+        trace.validate().unwrap();
+    }
+
+    #[test]
+    fn deadline_miss_fails_or_counts_by_mode() {
+        // Worst case 5 every 5 at fmax=1 is exactly feasible; make it
+        // infeasible by idling: use a policy that refuses to run.
+        struct Lazy;
+        impl TaskPolicy for Lazy {
+            fn name(&self) -> &'static str {
+                "lazy"
+            }
+            fn pick(&mut self, _: &SimState, _: &[TaskRef], _: f64) -> Option<TaskRef> {
+                None
+            }
+        }
+        let mut g = MaxSpeed;
+        let mut s = WorstCase;
+        // Fail mode:
+        let mut p = Lazy;
+        let mut ex = Executor::new(single_task_set(5, 5.0), cfg(), &mut g, &mut p, &mut s).unwrap();
+        let err = ex.run_for(20.0).unwrap_err();
+        assert!(matches!(err, SimError::DeadlineMiss { .. }));
+        // Lenient mode:
+        let mut cfg2 = cfg();
+        cfg2.deadline_mode = DeadlineMode::DropAndCount;
+        let mut p = Lazy;
+        let mut g = MaxSpeed;
+        let mut s = WorstCase;
+        let mut ex = Executor::new(single_task_set(5, 5.0), cfg2, &mut g, &mut p, &mut s).unwrap();
+        let out = ex.run_for(20.0).unwrap();
+        assert!(out.metrics.deadline_misses >= 3);
+        assert_eq!(out.metrics.nodes_completed, 0);
+    }
+
+    #[test]
+    fn invalid_pick_is_rejected() {
+        struct Rogue;
+        impl TaskPolicy for Rogue {
+            fn name(&self) -> &'static str {
+                "rogue"
+            }
+            fn pick(&mut self, _: &SimState, _: &[TaskRef], _: f64) -> Option<TaskRef> {
+                use bas_taskgraph::{GraphId, NodeId};
+                Some(TaskRef::new(GraphId::from_index(0), NodeId::from_index(7)))
+            }
+        }
+        let mut g = MaxSpeed;
+        let mut p = Rogue;
+        let mut s = WorstCase;
+        let mut ex = Executor::new(single_task_set(2, 10.0), cfg(), &mut g, &mut p, &mut s).unwrap();
+        let err = ex.run_for(10.0).unwrap_err();
+        assert!(matches!(err, SimError::InvalidPick { .. }));
+    }
+
+    #[test]
+    fn invalid_horizon_is_rejected() {
+        let mut g = MaxSpeed;
+        let mut p = EdfTopo;
+        let mut s = WorstCase;
+        let mut ex = Executor::new(single_task_set(2, 10.0), cfg(), &mut g, &mut p, &mut s).unwrap();
+        assert!(ex.run_for(0.0).is_err());
+        assert!(ex.run_for(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn charge_accounting_matches_trace_integral() {
+        let set = chain_set();
+        let mut g = MaxSpeed;
+        let mut p = EdfTopo;
+        let mut s = WorstCase;
+        let mut ex = Executor::new(set, cfg(), &mut g, &mut p, &mut s).unwrap();
+        let out = ex.run_for(10.0).unwrap();
+        let profile = out.trace.as_ref().unwrap().to_load_profile();
+        assert!(
+            (profile.total_charge() - out.metrics.charge).abs() < 1e-9,
+            "trace integral {} vs metrics {}",
+            profile.total_charge(),
+            out.metrics.charge
+        );
+    }
+
+    #[test]
+    fn preemption_on_release_is_counted() {
+        // T0 runs 8 cycles over period 20; T1 (period 5, wc 1) preempts it.
+        let mut b = TaskGraphBuilder::new("T0");
+        b.add_node("long", 8);
+        let g0 = PeriodicTaskGraph::new(b.build().unwrap(), 20.0).unwrap();
+        let mut b = TaskGraphBuilder::new("T1");
+        b.add_node("short", 1);
+        let g1 = PeriodicTaskGraph::new(b.build().unwrap(), 5.0).unwrap();
+        let mut set = TaskSet::new();
+        set.push(g0);
+        set.push(g1);
+        let mut g = MaxSpeed;
+        let mut p = EdfTopo;
+        let mut s = WorstCase;
+        let mut ex = Executor::new(set, cfg(), &mut g, &mut p, &mut s).unwrap();
+        let out = ex.run_for(20.0).unwrap();
+        assert!(out.metrics.preemptions >= 1, "{:?}", out.metrics);
+        assert_eq!(out.metrics.deadline_misses, 0);
+    }
+}

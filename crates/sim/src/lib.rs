@@ -1,0 +1,55 @@
+//! # bas-sim — discrete-event simulator for DVS scheduling of periodic task graphs
+//!
+//! This crate is the execution substrate of the reproduction: it plays the
+//! role of the authors' C simulator (§5). It advances a set of periodic task
+//! graphs through time on one DVS processor, driven by two pluggable pieces
+//! exactly mirroring the paper's two-level methodology:
+//!
+//! * a [`FrequencyGovernor`] — computes the reference frequency `fref` at
+//!   every scheduling point (release or node completion). Implementations
+//!   live in `bas-dvs` (ccEDF, laEDF, no-DVS).
+//! * a [`TaskPolicy`] — picks which ready node runs next. Implementations
+//!   live in `bas-core` (Random, LTF, STF, pUBS; BAS-1/BAS-2 ready lists with
+//!   the feasibility check).
+//!
+//! The executor ([`executor::Executor`]) is event-driven: the only scheduling
+//! points are instance releases and node completions (plus battery death in
+//! co-simulation). Between points it runs the chosen node at the governor's
+//! `fref`, realized on the discrete operating points per `bas-cpu` (the
+//! two-adjacent-frequencies scheme), emitting an execution [`trace::Trace`]
+//! whose battery-facing reduction is a [`bas_battery::LoadProfile`].
+//!
+//! Per the paper's workload model (§5), each node's *actual* computation is
+//! sampled per instance — uniformly in 20 %–100 % of its WCET by default
+//! ([`workload::UniformFraction`]) — and schedulers only learn a node's
+//! actual demand when it completes (slack reclamation).
+//!
+//! Deadline handling: the model has deadline = period, so at most one
+//! instance of a graph is ever active. If an instance is incomplete at its
+//! deadline the simulator records a miss and (configurably) panics or drops
+//! the stale instance. Every scheduler shipped in this workspace is proven
+//! miss-free by property tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod executor;
+pub mod metrics;
+pub mod policy;
+pub mod state;
+pub mod time;
+pub mod trace;
+pub mod traits;
+pub mod types;
+pub mod workload;
+
+pub use error::SimError;
+pub use executor::{DeadlineMode, Executor, SimConfig, SimOutcome};
+pub use metrics::Metrics;
+pub use state::SimState;
+pub use traits::{FrequencyGovernor, TaskPolicy};
+pub use types::TaskRef;
+pub use workload::{
+    ActualSampler, FixedFraction, FractionTable, PersistentFraction, UniformFraction, WorstCase,
+};

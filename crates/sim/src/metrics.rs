@@ -1,0 +1,88 @@
+//! Aggregate metrics of a simulation run.
+
+/// Counters and integrals accumulated by the executor.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Simulated time covered, seconds.
+    pub sim_time: f64,
+    /// Time spent executing tasks, seconds.
+    pub busy_time: f64,
+    /// Time spent idle, seconds.
+    pub idle_time: f64,
+    /// Battery charge consumed, coulombs.
+    pub charge: f64,
+    /// Processor cycles executed (actual work retired).
+    pub cycles_executed: f64,
+    /// Battery-side energy consumed, joules.
+    pub energy: f64,
+    /// Completed node executions.
+    pub nodes_completed: u64,
+    /// Completed graph instances.
+    pub instances_completed: u64,
+    /// Released graph instances.
+    pub instances_released: u64,
+    /// Deadline misses observed (only in lenient mode; fail mode errors out).
+    pub deadline_misses: u64,
+    /// Scheduling decisions taken (policy invocations).
+    pub decisions: u64,
+    /// Preemptions (a running node was interrupted by a release).
+    pub preemptions: u64,
+}
+
+impl Metrics {
+    /// Average battery current over the run, amperes.
+    pub fn average_current(&self) -> f64 {
+        if self.sim_time > 0.0 {
+            self.charge / self.sim_time
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of time the processor was busy.
+    pub fn busy_fraction(&self) -> f64 {
+        if self.sim_time > 0.0 {
+            self.busy_time / self.sim_time
+        } else {
+            0.0
+        }
+    }
+
+    /// Energy per completed node, joules (∞ when nothing completed).
+    pub fn energy_per_node(&self) -> f64 {
+        if self.nodes_completed > 0 {
+            self.energy / self.nodes_completed as f64
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios() {
+        let m = Metrics {
+            sim_time: 10.0,
+            busy_time: 7.0,
+            idle_time: 3.0,
+            charge: 5.0,
+            energy: 6.0,
+            nodes_completed: 3,
+            ..Metrics::default()
+        };
+        assert!((m.average_current() - 0.5).abs() < 1e-12);
+        assert!((m.busy_fraction() - 0.7).abs() < 1e-12);
+        assert!((m.energy_per_node() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_well_defined() {
+        let m = Metrics::default();
+        assert_eq!(m.average_current(), 0.0);
+        assert_eq!(m.busy_fraction(), 0.0);
+        assert_eq!(m.energy_per_node(), f64::INFINITY);
+    }
+}

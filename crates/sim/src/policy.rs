@@ -1,0 +1,89 @@
+//! Built-in reference policies.
+//!
+//! Only the *canonical EDF* order lives here (the simulator's own tests and
+//! the paper's Figure 5(a) baseline need it); the paper's priority functions
+//! (Random, LTF, STF, pUBS) and the BAS ready-list policies live in
+//! `bas-core`, on top of this crate.
+
+use crate::state::SimState;
+use crate::traits::TaskPolicy;
+use crate::types::TaskRef;
+
+/// Canonical EDF ordering: always serve the most imminent released graph,
+/// and within it run ready nodes in the graph's (deterministic) topological
+/// order. This is the "Trace using Canonical EDF ordering" of the paper's
+/// Figure 5(a).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EdfTopo;
+
+impl TaskPolicy for EdfTopo {
+    fn name(&self) -> &'static str {
+        "canonical-EDF"
+    }
+
+    fn pick(&mut self, state: &SimState, ready: &[TaskRef], _fref_hz: f64) -> Option<TaskRef> {
+        let imminent = state.most_imminent()?;
+        let graph = state.set()[imminent].graph();
+        let topo = graph.topological_order();
+        ready
+            .iter()
+            .filter(|t| t.graph == imminent)
+            .min_by_key(|t| {
+                topo.iter()
+                    .position(|&n| n == t.node)
+                    .expect("ready node belongs to the graph")
+            })
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bas_taskgraph::{GraphId, NodeId, PeriodicTaskGraph, TaskGraphBuilder, TaskSet};
+
+    fn tref(g: usize, n: usize) -> TaskRef {
+        TaskRef::new(GraphId::from_index(g), NodeId::from_index(n))
+    }
+
+    #[test]
+    fn edf_topo_picks_most_imminent_graph_in_topo_order() {
+        // T0 (D=20): two independent nodes; T1 (D=10): one node.
+        let mut b = TaskGraphBuilder::new("T0");
+        b.add_node("a", 2);
+        b.add_node("b", 2);
+        let g0 = PeriodicTaskGraph::new(b.build().unwrap(), 20.0).unwrap();
+        let mut b = TaskGraphBuilder::new("T1");
+        b.add_node("c", 2);
+        let g1 = PeriodicTaskGraph::new(b.build().unwrap(), 10.0).unwrap();
+        let mut set = TaskSet::new();
+        set.push(g0);
+        set.push(g1);
+        let mut state = SimState::new(set);
+        state.release(GraphId::from_index(0), vec![2.0, 2.0]);
+        state.release(GraphId::from_index(1), vec![2.0]);
+        state.refresh_edf();
+        let mut ready = Vec::new();
+        state.ready_tasks(&mut ready);
+        let mut p = EdfTopo;
+        // T1 has the earlier deadline.
+        assert_eq!(p.pick(&state, &ready, 1.0), Some(tref(1, 0)));
+        // Finish T1; now T0's first topo node wins.
+        state.advance(tref(1, 0), 2.0);
+        state.refresh_edf();
+        state.ready_tasks(&mut ready);
+        assert_eq!(p.pick(&state, &ready, 1.0), Some(tref(0, 0)));
+    }
+
+    #[test]
+    fn edf_topo_returns_none_when_nothing_released() {
+        let mut b = TaskGraphBuilder::new("T0");
+        b.add_node("a", 2);
+        let mut set = TaskSet::new();
+        set.push(PeriodicTaskGraph::new(b.build().unwrap(), 10.0).unwrap());
+        let mut state = SimState::new(set);
+        state.refresh_edf();
+        let mut p = EdfTopo;
+        assert_eq!(p.pick(&state, &[], 1.0), None);
+    }
+}

@@ -1,0 +1,489 @@
+//! Simulation state — the scheduler-visible view of the world.
+//!
+//! [`SimState`] tracks, for every periodic graph, its active instance (if
+//! any): per-node progress, the instance's absolute deadline, and the
+//! bookkeeping the paper's algorithms need — remaining worst-case work for
+//! laEDF/feasibility checks, and the ccEDF `WCi` (instance total with actuals
+//! substituted for completed nodes, §4.1).
+//!
+//! The executor mutates this state; governors and policies receive `&SimState`
+//! and can only observe. Observation deliberately excludes each node's
+//! sampled *actual* demand — schedulers learn it only at completion, exactly
+//! like the systems the paper models.
+
+use crate::time;
+use crate::types::TaskRef;
+use bas_taskgraph::{GraphId, TaskSet};
+
+/// Progress of one node within the active instance.
+#[derive(Debug, Clone)]
+pub(crate) struct NodeProgress {
+    /// WCET in cycles (copied from the graph for cache friendliness).
+    pub wcet: f64,
+    /// Sampled actual demand in cycles — executor-private.
+    pub actual: f64,
+    /// Cycles executed so far in this instance.
+    pub executed: f64,
+    /// Completed flag.
+    pub done: bool,
+}
+
+impl NodeProgress {
+    /// Worst-case cycles still to run, from the scheduler's viewpoint.
+    #[inline]
+    pub fn remaining_wc(&self) -> f64 {
+        if self.done {
+            0.0
+        } else {
+            (self.wcet - self.executed).max(0.0)
+        }
+    }
+
+    /// Actual cycles still to run — executor-private truth.
+    #[inline]
+    pub fn remaining_actual(&self) -> f64 {
+        if self.done {
+            0.0
+        } else {
+            (self.actual - self.executed).max(0.0)
+        }
+    }
+}
+
+/// State of one periodic graph.
+#[derive(Debug, Clone)]
+pub(crate) struct GraphProgress {
+    /// Index of the next instance to release.
+    pub next_instance: u64,
+    /// True while an instance is released and unfinished.
+    pub active: bool,
+    /// Absolute deadline of the active instance (valid while `active`).
+    pub deadline: f64,
+    /// Per-node progress (valid while `active`).
+    pub nodes: Vec<NodeProgress>,
+    /// Count of incomplete nodes in the active instance.
+    pub unfinished: usize,
+    /// ccEDF's `WCi`: Σ (done ? actual : wcet) over the instance (§4.1).
+    pub wci_effective: f64,
+}
+
+/// The scheduler-visible simulation state.
+#[derive(Debug, Clone)]
+pub struct SimState {
+    set: TaskSet,
+    now: f64,
+    graphs: Vec<GraphProgress>,
+    /// Scratch: EDF-ordered active graphs (rebuilt when dirty).
+    edf_order: Vec<GraphId>,
+    edf_dirty: bool,
+}
+
+impl SimState {
+    /// Fresh state at t = 0 with no instance released yet.
+    ///
+    /// Public so governor/policy unit tests (in `bas-dvs` / `bas-core`) can
+    /// drive states directly; simulations should use the executor.
+    pub fn new(set: TaskSet) -> Self {
+        let graphs = set
+            .iter()
+            .map(|(_, pg)| GraphProgress {
+                next_instance: 0,
+                active: false,
+                deadline: 0.0,
+                nodes: Vec::new(),
+                unfinished: 0,
+                // Before the first release the scheduler must budget the
+                // full worst case.
+                wci_effective: pg.graph().total_wcet() as f64,
+            })
+            .collect();
+        SimState { set, now: 0.0, graphs, edf_order: Vec::new(), edf_dirty: true }
+    }
+
+    // ------------------------------------------------------------------
+    // Observation API (for governors & policies)
+    // ------------------------------------------------------------------
+
+    /// Current simulation time, seconds.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The task set being scheduled.
+    #[inline]
+    pub fn set(&self) -> &TaskSet {
+        &self.set
+    }
+
+    /// True while `graph` has a released, unfinished instance.
+    #[inline]
+    pub fn is_active(&self, graph: GraphId) -> bool {
+        self.graphs[graph.index()].active
+    }
+
+    /// Absolute deadline of the active instance of `graph`.
+    #[inline]
+    pub fn deadline(&self, graph: GraphId) -> Option<f64> {
+        let g = &self.graphs[graph.index()];
+        g.active.then_some(g.deadline)
+    }
+
+    /// Remaining worst-case cycles of the active instance of `graph`
+    /// (0 when inactive) — the `WCj` of the feasibility check and laEDF's
+    /// `c_left`.
+    pub fn remaining_wc(&self, graph: GraphId) -> f64 {
+        let g = &self.graphs[graph.index()];
+        if !g.active {
+            return 0.0;
+        }
+        g.nodes.iter().map(NodeProgress::remaining_wc).sum()
+    }
+
+    /// Remaining worst-case cycles of one node (0 if done or inactive).
+    pub fn remaining_wc_node(&self, task: TaskRef) -> f64 {
+        let g = &self.graphs[task.graph.index()];
+        if !g.active {
+            return 0.0;
+        }
+        g.nodes[task.node.index()].remaining_wc()
+    }
+
+    /// The node's static WCET in cycles.
+    pub fn wcet(&self, task: TaskRef) -> f64 {
+        self.set[task.graph].graph().wcet(task.node) as f64
+    }
+
+    /// True when the node has completed within the active instance.
+    pub fn is_done(&self, task: TaskRef) -> bool {
+        let g = &self.graphs[task.graph.index()];
+        g.active && g.nodes[task.node.index()].done
+    }
+
+    /// ccEDF's effective `WCi` of `graph`: the instance's worst case with
+    /// actuals substituted for completed nodes (§4.1). After the whole
+    /// instance completes this stays at `Σ acij` — "as long as the new
+    /// instance of the taskgraph Ti is not released, whereupon we switch
+    /// back to the worst case specification" — which is what lets ccEDF keep
+    /// the frequency low between an early finish and the next release.
+    pub fn wci_effective(&self, graph: GraphId) -> f64 {
+        self.graphs[graph.index()].wci_effective
+    }
+
+    /// ccEDF's effective utilization `Σ WCi/Di` in Hz (cycles per second).
+    pub fn effective_utilization_hz(&self) -> f64 {
+        self.set
+            .graph_ids()
+            .map(|g| self.wci_effective(g) / self.set[g].period())
+            .sum()
+    }
+
+    /// Static worst-case utilization in Hz.
+    pub fn static_utilization_hz(&self) -> f64 {
+        self.set
+            .iter()
+            .map(|(_, g)| g.graph().total_wcet() as f64 / g.period())
+            .sum()
+    }
+
+    /// Active graphs ordered by absolute deadline (ties broken by id) — the
+    /// "EDF order" the feasibility check indexes into.
+    pub fn edf_order(&self) -> &[GraphId] {
+        debug_assert!(!self.edf_dirty, "executor must refresh EDF order");
+        &self.edf_order
+    }
+
+    /// The active graph with the earliest absolute deadline.
+    pub fn most_imminent(&self) -> Option<GraphId> {
+        self.edf_order().first().copied()
+    }
+
+    /// Collect the ready tasks: nodes of active instances whose predecessors
+    /// are all complete and which are themselves incomplete. Output is sorted
+    /// (graph, node) for determinism.
+    pub fn ready_tasks(&self, out: &mut Vec<TaskRef>) {
+        out.clear();
+        for (gid, pg) in self.set.iter() {
+            let g = &self.graphs[gid.index()];
+            if !g.active {
+                continue;
+            }
+            let graph = pg.graph();
+            for node in graph.node_ids() {
+                let np = &g.nodes[node.index()];
+                if np.done {
+                    continue;
+                }
+                let ready = graph
+                    .predecessors(node)
+                    .iter()
+                    .all(|p| g.nodes[p.index()].done);
+                if ready {
+                    out.push(TaskRef::new(gid, node));
+                }
+            }
+        }
+    }
+
+    /// Release time of the next instance of `graph`.
+    pub fn next_release(&self, graph: GraphId) -> f64 {
+        self.set[graph].release_time(self.graphs[graph.index()].next_instance)
+    }
+
+    /// Earliest upcoming release across all graphs.
+    pub fn next_release_any(&self) -> f64 {
+        self.set
+            .graph_ids()
+            .map(|g| self.next_release(g))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    // ------------------------------------------------------------------
+    // Mutation API (executor-internal)
+    // ------------------------------------------------------------------
+
+    /// Advance the clock (monotone). Executor/test API.
+    pub fn set_now(&mut self, t: f64) {
+        debug_assert!(t >= self.now - time::ABS_EPS, "time went backwards");
+        self.now = t;
+    }
+
+    pub(crate) fn graph_ref(&self, graph: GraphId) -> &GraphProgress {
+        &self.graphs[graph.index()]
+    }
+
+    /// Release the next instance of `graph` with pre-sampled actuals.
+    /// Returns the instance index released. Executor/test API.
+    pub fn release(&mut self, graph: GraphId, actuals: Vec<f64>) -> u64 {
+        let period = self.set[graph].period();
+        let pg = &self.set[graph];
+        let g = &mut self.graphs[graph.index()];
+        debug_assert!(!g.active, "release over an active instance");
+        let instance = g.next_instance;
+        let release_t = pg.release_time(instance);
+        let graph_ref = self.set[graph].graph();
+        g.deadline = release_t + period;
+        g.nodes = graph_ref
+            .node_ids()
+            .zip(actuals)
+            .map(|(n, actual)| {
+                let wcet = graph_ref.wcet(n) as f64;
+                debug_assert!(actual > 0.0 && actual <= wcet + 1e-9);
+                NodeProgress { wcet, actual, executed: 0.0, done: false }
+            })
+            .collect();
+        g.unfinished = g.nodes.len();
+        g.wci_effective = graph_ref.total_wcet() as f64;
+        g.active = true;
+        g.next_instance += 1;
+        self.edf_dirty = true;
+        instance
+    }
+
+    /// Drop the active instance (deadline-miss recovery in lenient mode).
+    /// Executor/test API.
+    pub fn abandon(&mut self, graph: GraphId) {
+        let g = &mut self.graphs[graph.index()];
+        g.active = false;
+        g.nodes.clear();
+        g.unfinished = 0;
+        self.edf_dirty = true;
+    }
+
+    /// Advance `task` by `cycles` executed cycles; marks completion when the
+    /// actual demand is reached. Returns `Some(actual)` on completion.
+    /// Executor/test API.
+    pub fn advance(&mut self, task: TaskRef, cycles: f64) -> Option<f64> {
+        let g = &mut self.graphs[task.graph.index()];
+        debug_assert!(g.active);
+        let np = &mut g.nodes[task.node.index()];
+        debug_assert!(!np.done);
+        np.executed += cycles;
+        if np.executed + 1e-6 >= np.actual {
+            np.executed = np.actual;
+            np.done = true;
+            let actual = np.actual;
+            let wcet = np.wcet;
+            g.unfinished -= 1;
+            // ccEDF §4.1: WCi := WCi + ac − wc on node completion.
+            g.wci_effective += actual - wcet;
+            if g.unfinished == 0 {
+                g.active = false;
+                g.nodes.clear();
+                self.edf_dirty = true;
+            }
+            Some(actual)
+        } else {
+            None
+        }
+    }
+
+    /// Rebuild the EDF order if any release/completion invalidated it.
+    /// Executor/test API (call after `release`/`advance` before observing).
+    pub fn refresh_edf(&mut self) {
+        if !self.edf_dirty {
+            return;
+        }
+        self.edf_order.clear();
+        for (gid, _) in self.set.iter() {
+            if self.graphs[gid.index()].active {
+                self.edf_order.push(gid);
+            }
+        }
+        let graphs = &self.graphs;
+        self.edf_order.sort_by(|a, b| {
+            graphs[a.index()]
+                .deadline
+                .partial_cmp(&graphs[b.index()].deadline)
+                .expect("deadlines are finite")
+                .then(a.cmp(b))
+        });
+        self.edf_dirty = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bas_taskgraph::{NodeId, PeriodicTaskGraph, TaskGraphBuilder};
+
+    fn two_graph_state() -> SimState {
+        // T0: chain a(4)->b(6), D=20. T1: single c(5), D=10.
+        let mut b = TaskGraphBuilder::new("T0");
+        let a = b.add_node("a", 4);
+        let c = b.add_node("b", 6);
+        b.add_edge(a, c).unwrap();
+        let g0 = PeriodicTaskGraph::new(b.build().unwrap(), 20.0).unwrap();
+        let mut b = TaskGraphBuilder::new("T1");
+        b.add_node("c", 5);
+        let g1 = PeriodicTaskGraph::new(b.build().unwrap(), 10.0).unwrap();
+        let mut set = TaskSet::new();
+        set.push(g0);
+        set.push(g1);
+        SimState::new(set)
+    }
+
+    fn gid(i: usize) -> GraphId {
+        GraphId::from_index(i)
+    }
+    fn tref(g: usize, n: usize) -> TaskRef {
+        TaskRef::new(gid(g), NodeId::from_index(n))
+    }
+
+    #[test]
+    fn fresh_state_has_no_active_instances() {
+        let mut s = two_graph_state();
+        s.refresh_edf();
+        assert!(!s.is_active(gid(0)));
+        assert_eq!(s.deadline(gid(0)), None);
+        assert!(s.edf_order().is_empty());
+        assert_eq!(s.most_imminent(), None);
+        let mut ready = Vec::new();
+        s.ready_tasks(&mut ready);
+        assert!(ready.is_empty());
+    }
+
+    #[test]
+    fn release_activates_and_orders_by_deadline() {
+        let mut s = two_graph_state();
+        s.release(gid(0), vec![4.0, 6.0]);
+        s.release(gid(1), vec![5.0]);
+        s.refresh_edf();
+        assert_eq!(s.edf_order(), &[gid(1), gid(0)], "D=10 before D=20");
+        assert_eq!(s.most_imminent(), Some(gid(1)));
+        assert_eq!(s.deadline(gid(0)), Some(20.0));
+        assert_eq!(s.deadline(gid(1)), Some(10.0));
+    }
+
+    #[test]
+    fn ready_tasks_respect_precedence() {
+        let mut s = two_graph_state();
+        s.release(gid(0), vec![4.0, 6.0]);
+        s.release(gid(1), vec![5.0]);
+        s.refresh_edf();
+        let mut ready = Vec::new();
+        s.ready_tasks(&mut ready);
+        // T0.b waits on T0.a; T0.a and T1.c are ready.
+        assert_eq!(ready, vec![tref(0, 0), tref(1, 0)]);
+    }
+
+    #[test]
+    fn completion_unlocks_successors_and_updates_wci() {
+        let mut s = two_graph_state();
+        s.release(gid(0), vec![2.0, 6.0]); // node a actually needs 2 of 4
+        s.refresh_edf();
+        assert_eq!(s.wci_effective(gid(0)), 10.0);
+        let done = s.advance(tref(0, 0), 2.0);
+        assert_eq!(done, Some(2.0));
+        // WCi = 10 + (2 - 4) = 8 per the ccEDF update rule.
+        assert_eq!(s.wci_effective(gid(0)), 8.0);
+        let mut ready = Vec::new();
+        s.refresh_edf();
+        s.ready_tasks(&mut ready);
+        assert_eq!(ready, vec![tref(0, 1)]);
+    }
+
+    #[test]
+    fn partial_execution_reduces_remaining_wc() {
+        let mut s = two_graph_state();
+        s.release(gid(0), vec![4.0, 6.0]);
+        assert_eq!(s.remaining_wc(gid(0)), 10.0);
+        let done = s.advance(tref(0, 0), 1.5);
+        assert_eq!(done, None);
+        assert_eq!(s.remaining_wc(gid(0)), 8.5);
+        assert_eq!(s.remaining_wc_node(tref(0, 0)), 2.5);
+    }
+
+    #[test]
+    fn finishing_all_nodes_deactivates_the_graph() {
+        let mut s = two_graph_state();
+        s.release(gid(1), vec![5.0]);
+        assert!(s.is_active(gid(1)));
+        s.advance(tref(1, 0), 5.0);
+        assert!(!s.is_active(gid(1)));
+        assert_eq!(s.remaining_wc(gid(1)), 0.0);
+        // WCi keeps the actual (= 5 here) until the next release (§4.1).
+        assert_eq!(s.wci_effective(gid(1)), 5.0);
+    }
+
+    #[test]
+    fn next_release_advances_with_instances() {
+        let mut s = two_graph_state();
+        assert_eq!(s.next_release(gid(1)), 0.0);
+        s.release(gid(1), vec![5.0]);
+        assert_eq!(s.next_release(gid(1)), 10.0);
+        assert_eq!(s.next_release_any(), 0.0, "graph 0 still pending release");
+    }
+
+    #[test]
+    fn effective_utilization_tracks_completions() {
+        let mut s = two_graph_state();
+        // Static: 10/20 + 5/10 = 1.0 Hz.
+        assert!((s.static_utilization_hz() - 1.0).abs() < 1e-12);
+        s.release(gid(0), vec![2.0, 3.0]);
+        s.release(gid(1), vec![5.0]);
+        assert!((s.effective_utilization_hz() - 1.0).abs() < 1e-12);
+        s.advance(tref(0, 0), 2.0);
+        // WC0 = 10 + (2-4) = 8 -> U = 8/20 + 5/10 = 0.9.
+        assert!((s.effective_utilization_hz() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abandon_clears_the_instance() {
+        let mut s = two_graph_state();
+        s.release(gid(0), vec![4.0, 6.0]);
+        s.abandon(gid(0));
+        assert!(!s.is_active(gid(0)));
+        assert_eq!(s.remaining_wc(gid(0)), 0.0);
+    }
+
+    #[test]
+    fn wcet_and_done_queries() {
+        let mut s = two_graph_state();
+        s.release(gid(0), vec![4.0, 6.0]);
+        assert_eq!(s.wcet(tref(0, 1)), 6.0);
+        assert!(!s.is_done(tref(0, 0)));
+        s.advance(tref(0, 0), 4.0);
+        assert!(s.is_done(tref(0, 0)));
+    }
+}

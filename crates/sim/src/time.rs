@@ -1,0 +1,70 @@
+//! Tolerant time comparison for the event-driven simulator.
+//!
+//! Simulation time is `f64` seconds. Event times are recomputed from exact
+//! integer instance counts (`phase + k·period`) rather than accumulated, so
+//! drift cannot build up; the tolerances here only have to absorb the
+//! round-off of single arithmetic expressions (durations from cycle counts
+//! divided by interpolated frequencies).
+
+/// Absolute tolerance floor, seconds.
+pub const ABS_EPS: f64 = 1e-9;
+
+/// Relative tolerance applied to the larger magnitude.
+pub const REL_EPS: f64 = 1e-12;
+
+/// Tolerance for comparing times near magnitude `scale`.
+#[inline]
+pub fn eps_for(scale: f64) -> f64 {
+    ABS_EPS.max(scale.abs() * REL_EPS)
+}
+
+/// `a ≈ b` under the combined tolerance.
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= eps_for(a.abs().max(b.abs()))
+}
+
+/// `a ≤ b` allowing tolerance overshoot.
+#[inline]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b + eps_for(a.abs().max(b.abs()))
+}
+
+/// `a ≥ b` allowing tolerance undershoot.
+#[inline]
+pub fn approx_ge(a: f64, b: f64) -> bool {
+    a >= b - eps_for(a.abs().max(b.abs()))
+}
+
+/// True when a duration is too small to schedule (treated as zero).
+#[inline]
+pub fn negligible(duration: f64) -> bool {
+    duration <= ABS_EPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_tolerates_round_off() {
+        let a = 0.1 + 0.2;
+        assert!(approx_eq(a, 0.3));
+        assert!(!approx_eq(0.3, 0.31));
+    }
+
+    #[test]
+    fn approx_le_ge_are_tolerant_at_scale() {
+        let big = 1.0e6;
+        assert!(approx_le(big + big * REL_EPS / 2.0, big));
+        assert!(approx_ge(big - big * REL_EPS / 2.0, big));
+        assert!(!approx_le(big + 1.0, big));
+    }
+
+    #[test]
+    fn negligible_catches_tiny_slices() {
+        assert!(negligible(0.0));
+        assert!(negligible(1e-12));
+        assert!(!negligible(1e-6));
+    }
+}

@@ -1,0 +1,270 @@
+//! Execution traces: what ran, when, at which operating point, drawing how
+//! much current — and the reduction to a battery [`LoadProfile`].
+
+use crate::types::TaskRef;
+use bas_battery::LoadProfile;
+use std::fmt;
+
+/// What the processor was doing during a slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SliceKind {
+    /// Executing a task at the operating point with the given table index.
+    Run {
+        /// The task being executed.
+        task: TaskRef,
+        /// Index into the processor's operating-point table.
+        opp: usize,
+        /// The clock frequency of that operating point, Hz.
+        frequency: f64,
+    },
+    /// Idle (no ready work, or policy chose to idle).
+    Idle,
+}
+
+/// One maximal stretch of constant behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSlice {
+    /// Start time, seconds.
+    pub start: f64,
+    /// End time, seconds (`end > start`).
+    pub end: f64,
+    /// Battery current drawn during the slice, amperes.
+    pub current: f64,
+    /// Activity.
+    pub kind: SliceKind,
+}
+
+impl TraceSlice {
+    /// Slice duration in seconds.
+    #[inline]
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A complete execution trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    slices: Vec<TraceSlice>,
+}
+
+impl Trace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        Trace { slices: Vec::new() }
+    }
+
+    /// Append a slice; merges with the tail when both the activity and the
+    /// current are unchanged (keeps traces compact across event boundaries
+    /// that did not change anything).
+    pub(crate) fn push(&mut self, slice: TraceSlice) {
+        debug_assert!(slice.end > slice.start, "empty slice");
+        if let Some(last) = self.slices.last_mut() {
+            debug_assert!(
+                slice.start >= last.end - crate::time::eps_for(last.end),
+                "slices must be time-ordered"
+            );
+            if last.kind == slice.kind && last.current == slice.current {
+                last.end = slice.end;
+                return;
+            }
+        }
+        self.slices.push(slice);
+    }
+
+    /// The slices in time order.
+    #[inline]
+    pub fn slices(&self) -> &[TraceSlice] {
+        &self.slices
+    }
+
+    /// Number of slices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// True when no slice was recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.slices.is_empty()
+    }
+
+    /// Total traced time, seconds.
+    pub fn duration(&self) -> f64 {
+        self.slices.last().map_or(0.0, |s| s.end) - self.slices.first().map_or(0.0, |s| s.start)
+    }
+
+    /// Total busy (non-idle) time, seconds.
+    pub fn busy_time(&self) -> f64 {
+        self.slices
+            .iter()
+            .filter(|s| matches!(s.kind, SliceKind::Run { .. }))
+            .map(TraceSlice::duration)
+            .sum()
+    }
+
+    /// Reduce to the battery-facing load profile.
+    pub fn to_load_profile(&self) -> LoadProfile {
+        let mut p = LoadProfile::new();
+        for s in &self.slices {
+            p.push(s.current, s.duration());
+        }
+        p
+    }
+
+    /// Check structural well-formedness: time-ordered, gap-free, positive
+    /// durations. Returns the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, s) in self.slices.iter().enumerate() {
+            if s.end <= s.start {
+                return Err(format!("slice {i} has non-positive duration"));
+            }
+            if s.current < 0.0 || !s.current.is_finite() {
+                return Err(format!("slice {i} has invalid current {}", s.current));
+            }
+            if i > 0 {
+                let prev = &self.slices[i - 1];
+                let gap = (s.start - prev.end).abs();
+                if gap > crate::time::eps_for(s.start) {
+                    return Err(format!(
+                        "gap/overlap of {gap} s between slices {} and {i}",
+                        i - 1
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Tasks in first-execution order (for comparing schedules in tests and
+    /// the worked-example binaries).
+    pub fn execution_order(&self) -> Vec<TaskRef> {
+        let mut seen = Vec::new();
+        for s in &self.slices {
+            if let SliceKind::Run { task, .. } = s.kind {
+                if !seen.contains(&task) {
+                    seen.push(task);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Render an ASCII Gantt-like listing (one line per slice) — used by the
+    /// figure binaries to print the paper's example traces.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.slices {
+            use fmt::Write;
+            match s.kind {
+                SliceKind::Run { task, frequency, .. } => writeln!(
+                    out,
+                    "  [{:8.3} – {:8.3}] run {:<8} @ {:6.3} Hz  ({:.3} A)",
+                    s.start, s.end, task.to_string(), frequency, s.current
+                )
+                .unwrap(),
+                SliceKind::Idle => writeln!(
+                    out,
+                    "  [{:8.3} – {:8.3}] idle                        ({:.3} A)",
+                    s.start, s.end, s.current
+                )
+                .unwrap(),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bas_taskgraph::{GraphId, NodeId};
+
+    fn task(g: usize, n: usize) -> TaskRef {
+        TaskRef::new(GraphId::from_index(g), NodeId::from_index(n))
+    }
+
+    fn run_slice(start: f64, end: f64, current: f64, g: usize) -> TraceSlice {
+        TraceSlice {
+            start,
+            end,
+            current,
+            kind: SliceKind::Run { task: task(g, 0), opp: 0, frequency: 1.0 },
+        }
+    }
+
+    #[test]
+    fn push_merges_identical_neighbors() {
+        let mut t = Trace::new();
+        t.push(run_slice(0.0, 1.0, 0.5, 0));
+        t.push(run_slice(1.0, 2.0, 0.5, 0));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.slices()[0].end, 2.0);
+    }
+
+    #[test]
+    fn push_keeps_distinct_neighbors() {
+        let mut t = Trace::new();
+        t.push(run_slice(0.0, 1.0, 0.5, 0));
+        t.push(run_slice(1.0, 2.0, 0.7, 0)); // different current
+        t.push(run_slice(2.0, 3.0, 0.7, 1)); // different task
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn durations_and_busy_time() {
+        let mut t = Trace::new();
+        t.push(run_slice(0.0, 2.0, 0.5, 0));
+        t.push(TraceSlice { start: 2.0, end: 5.0, current: 0.05, kind: SliceKind::Idle });
+        assert!((t.duration() - 5.0).abs() < 1e-12);
+        assert!((t.busy_time() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn load_profile_preserves_charge() {
+        let mut t = Trace::new();
+        t.push(run_slice(0.0, 2.0, 0.5, 0));
+        t.push(TraceSlice { start: 2.0, end: 3.0, current: 0.05, kind: SliceKind::Idle });
+        let p = t.to_load_profile();
+        assert!((p.total_charge() - (1.0 + 0.05)).abs() < 1e-12);
+        assert!((p.duration() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_accepts_contiguous_traces() {
+        let mut t = Trace::new();
+        t.push(run_slice(0.0, 1.0, 0.5, 0));
+        t.push(run_slice(1.0, 2.0, 0.7, 0));
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_gaps() {
+        let t = Trace {
+            slices: vec![run_slice(0.0, 1.0, 0.5, 0), run_slice(1.5, 2.0, 0.7, 0)],
+        };
+        let err = t.validate().unwrap_err();
+        assert!(err.contains("gap"), "{err}");
+    }
+
+    #[test]
+    fn execution_order_reports_first_touch() {
+        let mut t = Trace::new();
+        t.push(run_slice(0.0, 1.0, 0.5, 1));
+        t.push(run_slice(1.0, 2.0, 0.7, 0));
+        t.push(run_slice(2.0, 3.0, 0.5, 1));
+        assert_eq!(t.execution_order(), vec![task(1, 0), task(0, 0)]);
+    }
+
+    #[test]
+    fn render_mentions_tasks_and_idle() {
+        let mut t = Trace::new();
+        t.push(run_slice(0.0, 1.0, 0.5, 0));
+        t.push(TraceSlice { start: 1.0, end: 2.0, current: 0.05, kind: SliceKind::Idle });
+        let s = t.render();
+        assert!(s.contains("run"));
+        assert!(s.contains("idle"));
+        assert!(s.contains("T0.n0"));
+    }
+}

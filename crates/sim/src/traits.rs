@@ -1,0 +1,92 @@
+//! The two pluggable scheduler components.
+//!
+//! The paper's methodology is exactly this factoring (§4): "One deals with
+//! the global frequency selection (which also determines the current profile)
+//! and the other deals with choosing the local order of tasks". Both traits
+//! receive the scheduler-visible [`SimState`]; neither can observe sampled
+//! actuals before completion.
+
+use crate::state::SimState;
+use crate::types::TaskRef;
+use bas_taskgraph::GraphId;
+
+/// Global frequency selection — the DVS algorithm.
+///
+/// `frequency` is consulted at every scheduling point; the executor clamps
+/// the result into the processor's `[fmin, fmax]` and realizes it on the
+/// discrete operating points. The event hooks mirror the paper's
+/// `upon release` / `upon endofnode` pseudocode (§4.1) for governors that
+/// keep internal state; stateless governors can compute everything from the
+/// state view.
+pub trait FrequencyGovernor: Send {
+    /// Governor name for reports (e.g. `"ccEDF"`).
+    fn name(&self) -> &'static str;
+
+    /// The reference frequency, in Hz (cycles per second).
+    fn frequency(&mut self, state: &SimState) -> f64;
+
+    /// Called after an instance of `graph` is released.
+    fn on_release(&mut self, state: &SimState, graph: GraphId) {
+        let _ = (state, graph);
+    }
+
+    /// Called after a node completes having used `actual` cycles.
+    fn on_completion(&mut self, state: &SimState, task: TaskRef, actual: f64) {
+        let _ = (state, task, actual);
+    }
+}
+
+/// Local order selection — which ready node runs next.
+///
+/// `ready` is the full precedence-satisfied ready list across *all* released
+/// graphs, sorted by `(graph, node)`. Policies that model the paper's
+/// "most imminent graph only" ready list filter it down themselves (via
+/// [`SimState::most_imminent`]); BAS-2-style policies consider everything but
+/// must apply the feasibility check before going out of EDF order.
+///
+/// Returning `None` idles the processor until the next event. Returning a
+/// task not present in `ready` is an error the executor rejects.
+pub trait TaskPolicy: Send {
+    /// Policy name for reports (e.g. `"pUBS/all-released"`).
+    fn name(&self) -> &'static str;
+
+    /// Pick the next task to run at reference frequency `fref_hz`.
+    fn pick(&mut self, state: &SimState, ready: &[TaskRef], fref_hz: f64) -> Option<TaskRef>;
+
+    /// Called after a node completes having used `actual` cycles — the hook
+    /// history-based Xk estimators (pUBS) learn from.
+    fn on_completion(&mut self, state: &SimState, task: TaskRef, actual: f64) {
+        let _ = (state, task, actual);
+    }
+}
+
+/// A trivial governor that always runs flat out — the "EDF, no DVS" baseline
+/// row of Table 2 uses this (it lives here rather than `bas-dvs` because the
+/// executor's own tests need a governor below the dvs crate in the
+/// dependency tree).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxSpeed;
+
+impl FrequencyGovernor for MaxSpeed {
+    fn name(&self) -> &'static str {
+        "none(fmax)"
+    }
+
+    fn frequency(&mut self, _state: &SimState) -> f64 {
+        f64::INFINITY // clamped to fmax by the executor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bas_taskgraph::TaskSet;
+
+    #[test]
+    fn max_speed_asks_for_infinity() {
+        let mut g = MaxSpeed;
+        let state = SimState::new(TaskSet::new());
+        assert_eq!(g.frequency(&state), f64::INFINITY);
+        assert_eq!(g.name(), "none(fmax)");
+    }
+}

@@ -1,0 +1,54 @@
+//! Small shared types of the simulator.
+
+use bas_taskgraph::{GraphId, NodeId};
+use std::fmt;
+
+/// A task within a task set: one node of one periodic graph. Instances are
+/// implicit — with deadline = period at most one instance of a graph is
+/// active at a time, so `(graph, node)` identifies the runnable work.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskRef {
+    /// The owning periodic task graph.
+    pub graph: GraphId,
+    /// The node within that graph.
+    pub node: NodeId,
+}
+
+impl TaskRef {
+    /// Convenience constructor.
+    pub fn new(graph: GraphId, node: NodeId) -> Self {
+        TaskRef { graph, node }
+    }
+}
+
+impl fmt::Debug for TaskRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.graph, self.node)
+    }
+}
+
+impl fmt::Display for TaskRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.graph, self.node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bas_taskgraph::{GraphId, NodeId};
+
+    #[test]
+    fn task_ref_formats_as_graph_dot_node() {
+        let t = TaskRef::new(GraphId::from_index(1), NodeId::from_index(2));
+        assert_eq!(t.to_string(), "T1.n2");
+        assert_eq!(format!("{t:?}"), "T1.n2");
+    }
+
+    #[test]
+    fn task_refs_order_by_graph_then_node() {
+        let a = TaskRef::new(GraphId::from_index(0), NodeId::from_index(5));
+        let b = TaskRef::new(GraphId::from_index(1), NodeId::from_index(0));
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,290 @@
+//! Actual-computation sampling.
+//!
+//! The paper (§5): "Actual computation of a task is assumed to be chosen at
+//! random between 20% and 100% of the WCET." The sampler is consulted once
+//! per node per instance, at release time; schedulers never see the value —
+//! they discover it when the node completes early (slack reclamation).
+
+use bas_taskgraph::{Cycles, GraphId, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Supplies each node instance's actual cycle demand.
+pub trait ActualSampler: Send {
+    /// Actual cycles for `(graph, node)` at instance `instance`, given the
+    /// node's WCET. Must return a value in `(0, wcet]`.
+    fn sample(&mut self, graph: GraphId, node: NodeId, instance: u64, wcet: Cycles) -> f64;
+}
+
+/// Uniform fraction of WCET — the paper's default U(0.2, 1.0).
+#[derive(Debug, Clone)]
+pub struct UniformFraction {
+    lo: f64,
+    hi: f64,
+    rng: StdRng,
+}
+
+impl UniformFraction {
+    /// Sample in `U(lo, hi)·wcet`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < lo ≤ hi ≤ 1`.
+    pub fn new(lo: f64, hi: f64, seed: u64) -> Self {
+        assert!(
+            lo > 0.0 && lo <= hi && hi <= 1.0,
+            "fraction range ({lo}, {hi}) must satisfy 0 < lo <= hi <= 1"
+        );
+        UniformFraction { lo, hi, rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The paper's U(0.2, 1.0).
+    pub fn paper(seed: u64) -> Self {
+        UniformFraction::new(0.2, 1.0, seed)
+    }
+}
+
+impl ActualSampler for UniformFraction {
+    fn sample(&mut self, _g: GraphId, _n: NodeId, _k: u64, wcet: Cycles) -> f64 {
+        let f = self.rng.gen_range(self.lo..=self.hi);
+        (wcet as f64 * f).max(1.0).min(wcet as f64)
+    }
+}
+
+/// Every instance takes exactly `fraction` of its WCET — used by the worked
+/// examples (Figure 4's 40 %/60 % cases) and by deterministic tests.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedFraction {
+    fraction: f64,
+}
+
+impl FixedFraction {
+    /// A fixed fraction in `(0, 1]`.
+    ///
+    /// # Panics
+    /// Panics when outside that range.
+    pub fn new(fraction: f64) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction {fraction} out of (0,1]");
+        FixedFraction { fraction }
+    }
+}
+
+impl ActualSampler for FixedFraction {
+    fn sample(&mut self, _g: GraphId, _n: NodeId, _k: u64, wcet: Cycles) -> f64 {
+        (wcet as f64 * self.fraction).max(1.0).min(wcet as f64)
+    }
+}
+
+/// Worst case: actual = WCET always (the paper's Figure 5 trace assumption).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorstCase;
+
+impl ActualSampler for WorstCase {
+    fn sample(&mut self, _g: GraphId, _n: NodeId, _k: u64, wcet: Cycles) -> f64 {
+        wcet as f64
+    }
+}
+
+/// Per-task **persistent** fractions: each task draws its characteristic
+/// actual/WCET fraction once, uniformly from `U(lo, hi)`, and every instance
+/// jitters around it.
+///
+/// This is the workload under which the paper's history-based `Xk`
+/// estimation is meaningful at all: "one \[technique\] is to keep history of
+/// previous instances of each task" (§4.2) presumes a task's demand is
+/// predictable across instances (real tasks have characteristic behaviour —
+/// a parser is always light, a DCT always heavy). With fractions redrawn
+/// i.i.d. per instance, no estimator can beat the distribution mean and
+/// pUBS degenerates to a WCET-driven order; EXPERIMENTS.md quantifies both
+/// regimes.
+#[derive(Debug, Clone)]
+pub struct PersistentFraction {
+    lo: f64,
+    hi: f64,
+    jitter: f64,
+    rng: StdRng,
+    fractions: HashMap<(GraphId, NodeId), f64>,
+}
+
+impl PersistentFraction {
+    /// Characteristic fractions ~ `U(lo, hi)`; per-instance actual =
+    /// `wcet · clamp(fraction ± U(0, jitter), lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics unless `0 < lo ≤ hi ≤ 1` and `jitter ≥ 0`.
+    pub fn new(lo: f64, hi: f64, jitter: f64, seed: u64) -> Self {
+        assert!(
+            lo > 0.0 && lo <= hi && hi <= 1.0,
+            "fraction range ({lo}, {hi}) must satisfy 0 < lo <= hi <= 1"
+        );
+        assert!(jitter >= 0.0 && jitter.is_finite(), "jitter {jitter} must be >= 0");
+        PersistentFraction {
+            lo,
+            hi,
+            jitter,
+            rng: StdRng::seed_from_u64(seed),
+            fractions: HashMap::new(),
+        }
+    }
+
+    /// The paper's U(0.2, 1.0) range with 5 % per-instance jitter.
+    pub fn paper(seed: u64) -> Self {
+        PersistentFraction::new(0.2, 1.0, 0.05, seed)
+    }
+}
+
+impl ActualSampler for PersistentFraction {
+    fn sample(&mut self, g: GraphId, n: NodeId, _k: u64, wcet: Cycles) -> f64 {
+        let (lo, hi) = (self.lo, self.hi);
+        let rng = &mut self.rng;
+        let base = *self
+            .fractions
+            .entry((g, n))
+            .or_insert_with(|| rng.gen_range(lo..=hi));
+        let jittered = if self.jitter > 0.0 {
+            (base + rng.gen_range(-self.jitter..=self.jitter)).clamp(lo, hi)
+        } else {
+            base
+        };
+        (wcet as f64 * jittered).max(1.0).min(wcet as f64)
+    }
+}
+
+/// Per-node fractions with a default — exact control for worked examples
+/// (e.g. Figure 4: task1 at 40 %, task2 at 60 %).
+#[derive(Debug, Clone)]
+pub struct FractionTable {
+    fractions: HashMap<(GraphId, NodeId), f64>,
+    default: f64,
+}
+
+impl FractionTable {
+    /// Start with a default fraction for unlisted nodes.
+    ///
+    /// # Panics
+    /// Panics when `default` is outside `(0, 1]`.
+    pub fn with_default(default: f64) -> Self {
+        assert!(default > 0.0 && default <= 1.0, "fraction {default} out of (0,1]");
+        FractionTable { fractions: HashMap::new(), default }
+    }
+
+    /// Set one node's fraction.
+    ///
+    /// # Panics
+    /// Panics when `fraction` is outside `(0, 1]`.
+    pub fn set(mut self, graph: GraphId, node: NodeId, fraction: f64) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction {fraction} out of (0,1]");
+        self.fractions.insert((graph, node), fraction);
+        self
+    }
+}
+
+impl ActualSampler for FractionTable {
+    fn sample(&mut self, g: GraphId, n: NodeId, _k: u64, wcet: Cycles) -> f64 {
+        let f = self.fractions.get(&(g, n)).copied().unwrap_or(self.default);
+        (wcet as f64 * f).max(1.0).min(wcet as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gid(i: usize) -> GraphId {
+        GraphId::from_index(i)
+    }
+    fn nid(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn uniform_fraction_stays_in_range() {
+        let mut s = UniformFraction::paper(1);
+        for k in 0..1000 {
+            let a = s.sample(gid(0), nid(0), k, 100);
+            assert!((20.0..=100.0).contains(&a), "{a}");
+        }
+    }
+
+    #[test]
+    fn uniform_fraction_is_seed_deterministic() {
+        let mut a = UniformFraction::paper(9);
+        let mut b = UniformFraction::paper(9);
+        for k in 0..50 {
+            assert_eq!(a.sample(gid(0), nid(0), k, 77), b.sample(gid(0), nid(0), k, 77));
+        }
+    }
+
+    #[test]
+    fn uniform_fraction_covers_the_range() {
+        let mut s = UniformFraction::paper(2);
+        let samples: Vec<f64> = (0..2000).map(|k| s.sample(gid(0), nid(0), k, 1000)).collect();
+        let min = samples.iter().cloned().fold(f64::MAX, f64::min);
+        let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(min < 250.0, "min {min} should approach 200");
+        assert!(max > 950.0, "max {max} should approach 1000");
+    }
+
+    #[test]
+    #[should_panic(expected = "must satisfy")]
+    fn uniform_fraction_rejects_bad_range() {
+        UniformFraction::new(0.0, 0.5, 0);
+    }
+
+    #[test]
+    fn fixed_fraction_is_exact() {
+        let mut s = FixedFraction::new(0.4);
+        assert_eq!(s.sample(gid(0), nid(0), 0, 10), 4.0);
+        assert_eq!(s.sample(gid(0), nid(1), 5, 100), 40.0);
+    }
+
+    #[test]
+    fn tiny_wcet_never_rounds_to_zero() {
+        let mut s = FixedFraction::new(0.2);
+        let a = s.sample(gid(0), nid(0), 0, 1);
+        assert_eq!(a, 1.0, "clamped to [1, wcet]");
+    }
+
+    #[test]
+    fn worst_case_returns_wcet() {
+        let mut s = WorstCase;
+        assert_eq!(s.sample(gid(0), nid(0), 3, 55), 55.0);
+    }
+
+    #[test]
+    fn persistent_fraction_is_stable_across_instances() {
+        let mut s = PersistentFraction::new(0.2, 1.0, 0.0, 4);
+        let first = s.sample(gid(0), nid(0), 0, 1000);
+        for k in 1..20 {
+            assert_eq!(s.sample(gid(0), nid(0), k, 1000), first);
+        }
+        // A different task gets its own (almost surely different) fraction.
+        let other = s.sample(gid(0), nid(1), 0, 1000);
+        assert_ne!(first, other);
+    }
+
+    #[test]
+    fn persistent_fraction_jitters_within_range() {
+        let mut s = PersistentFraction::paper(5);
+        let mut values = Vec::new();
+        for k in 0..50 {
+            let a = s.sample(gid(1), nid(2), k, 1000);
+            assert!((200.0..=1000.0).contains(&a), "{a}");
+            values.push(a);
+        }
+        let min = values.iter().cloned().fold(f64::MAX, f64::min);
+        let max = values.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > min, "jitter must vary instances");
+        assert!(max - min <= 2.0 * 0.05 * 1000.0 + 1e-9, "spread {}", max - min);
+    }
+
+    #[test]
+    fn fraction_table_uses_entries_then_default() {
+        let mut s = FractionTable::with_default(1.0)
+            .set(gid(0), nid(0), 0.4)
+            .set(gid(0), nid(1), 0.6);
+        assert_eq!(s.sample(gid(0), nid(0), 0, 10), 4.0);
+        assert_eq!(s.sample(gid(0), nid(1), 0, 10), 6.0);
+        assert_eq!(s.sample(gid(1), nid(0), 0, 10), 10.0);
+    }
+}

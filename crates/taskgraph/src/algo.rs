@@ -1,0 +1,342 @@
+//! Graph algorithms over task graphs.
+//!
+//! Everything here is deterministic: ties are always broken towards the
+//! smallest [`NodeId`], so a given graph produces identical results across
+//! runs and platforms — a requirement for reproducible experiment tables.
+
+use crate::dag::TaskGraph;
+use crate::error::GraphError;
+use crate::ids::NodeId;
+use crate::Cycles;
+use std::collections::VecDeque;
+
+/// Kahn's algorithm over raw adjacency, used by the builder before a
+/// [`TaskGraph`] value exists. Returns the canonical (smallest-id-first)
+/// topological order, or the offending node if a cycle exists.
+pub(crate) fn topological_sort(
+    n: usize,
+    succs: &[Vec<NodeId>],
+    preds: &[Vec<NodeId>],
+) -> Result<Vec<NodeId>, GraphError> {
+    let mut indeg: Vec<usize> = preds.iter().map(Vec::len).collect();
+    // A binary heap would give O(E log V); for the graph sizes of the paper
+    // (≤ ~15 nodes, experiments sweep to a few hundred) a sorted scan of a
+    // small frontier is faster in practice and trivially deterministic.
+    let mut frontier: Vec<NodeId> = (0..n)
+        .filter(|&i| indeg[i] == 0)
+        .map(NodeId::from_index)
+        .collect();
+    frontier.sort_unstable_by(|a, b| b.cmp(a)); // max-at-front so pop() yields min
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = frontier.pop() {
+        order.push(v);
+        for &s in &succs[v.index()] {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                // Keep `frontier` sorted descending by insertion.
+                let pos = frontier
+                    .binary_search_by(|probe| s.cmp(probe))
+                    .unwrap_or_else(|p| p);
+                frontier.insert(pos, s);
+            }
+        }
+    }
+    if order.len() != n {
+        // Any node with a remaining in-degree is on (or downstream of) a cycle.
+        let culprit = indeg
+            .iter()
+            .position(|&d| d > 0)
+            .map(NodeId::from_index)
+            .expect("cycle implies a node with nonzero in-degree");
+        return Err(GraphError::CycleDetected(culprit));
+    }
+    Ok(order)
+}
+
+/// WCET-weighted longest path through the DAG, in cycles.
+///
+/// This is the minimum cycle demand any schedule must serialize, so
+/// `critical_path(g) / fmax` lower-bounds the response time of one instance.
+pub fn critical_path(g: &TaskGraph) -> Cycles {
+    let mut longest: Vec<Cycles> = vec![0; g.node_count()];
+    for &v in g.topological_order() {
+        let base = g
+            .predecessors(v)
+            .iter()
+            .map(|&p| longest[p.index()])
+            .max()
+            .unwrap_or(0);
+        longest[v.index()] = base + g.wcet(v);
+    }
+    longest.into_iter().max().unwrap_or(0)
+}
+
+/// Per-node earliest start offsets (in cycles at unit speed): the longest
+/// WCET-weighted path from any source to — but excluding — each node.
+pub fn earliest_start_cycles(g: &TaskGraph) -> Vec<Cycles> {
+    let mut est: Vec<Cycles> = vec![0; g.node_count()];
+    for &v in g.topological_order() {
+        est[v.index()] = g
+            .predecessors(v)
+            .iter()
+            .map(|&p| est[p.index()] + g.wcet(p))
+            .max()
+            .unwrap_or(0);
+    }
+    est
+}
+
+/// Set of all ancestors (transitive predecessors) of `v`, as a bitmask-backed
+/// boolean vector indexed by node.
+pub fn ancestors(g: &TaskGraph, v: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; g.node_count()];
+    let mut queue = VecDeque::new();
+    queue.push_back(v);
+    while let Some(x) = queue.pop_front() {
+        for &p in g.predecessors(x) {
+            if !seen[p.index()] {
+                seen[p.index()] = true;
+                queue.push_back(p);
+            }
+        }
+    }
+    seen
+}
+
+/// Set of all descendants (transitive successors) of `v`.
+pub fn descendants(g: &TaskGraph, v: NodeId) -> Vec<bool> {
+    let mut seen = vec![false; g.node_count()];
+    let mut queue = VecDeque::new();
+    queue.push_back(v);
+    while let Some(x) = queue.pop_front() {
+        for &s in g.successors(x) {
+            if !seen[s.index()] {
+                seen[s.index()] = true;
+                queue.push_back(s);
+            }
+        }
+    }
+    seen
+}
+
+/// True if `a` can reach `b` through precedence edges (`a` is an ancestor of
+/// `b`). A node does not reach itself.
+pub fn reaches(g: &TaskGraph, a: NodeId, b: NodeId) -> bool {
+    ancestors(g, b)[a.index()]
+}
+
+/// Edges that are implied by transitivity (there is an alternative directed
+/// path from `from` to `to` avoiding the direct edge).
+///
+/// Removing them (see [`transitive_reduction`]) does not change the
+/// precedence *relation*, only the edge list; the generator uses this to
+/// report how redundant its random graphs are.
+pub fn redundant_edges(g: &TaskGraph) -> Vec<(NodeId, NodeId)> {
+    let mut redundant = Vec::new();
+    for (from, to) in g.edges() {
+        // Is there a path from -> ... -> to of length >= 2?
+        let through_other = g
+            .successors(from)
+            .iter()
+            .filter(|&&s| s != to)
+            .any(|&s| s == to || reaches(g, s, to));
+        if through_other {
+            redundant.push((from, to));
+        }
+    }
+    redundant
+}
+
+/// The transitive reduction of the precedence relation: the unique minimal
+/// edge set with the same reachability (unique for DAGs).
+pub fn transitive_reduction(g: &TaskGraph) -> Vec<(NodeId, NodeId)> {
+    let redundant = redundant_edges(g);
+    g.edges().filter(|e| !redundant.contains(e)).collect()
+}
+
+/// Count the linear extensions (valid sequential schedules) of the DAG.
+///
+/// Exact dynamic program over subsets — O(2ⁿ·n). Only callable for graphs of
+/// at most [`MAX_LINEAR_EXTENSION_NODES`] nodes; the exhaustive-optimal
+/// scheduler in `bas-core` uses this to refuse hopeless inputs up front, the
+/// same reason the paper stops Table 1 at 15 tasks.
+///
+/// Returns `None` when the graph is too large, and saturates at `u128::MAX`.
+pub fn count_linear_extensions(g: &TaskGraph) -> Option<u128> {
+    let n = g.node_count();
+    if n > MAX_LINEAR_EXTENSION_NODES {
+        return None;
+    }
+    // pred_mask[v] = bitmask of direct predecessors of v.
+    let pred_mask: Vec<u32> = g
+        .node_ids()
+        .map(|v| {
+            g.predecessors(v)
+                .iter()
+                .fold(0u32, |m, p| m | (1 << p.index()))
+        })
+        .collect();
+    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    // ways[s] = number of orders of exactly the tasks in s that respect
+    // precedence (tasks outside s untouched). ways[0] = 1 (empty order).
+    let mut ways: Vec<u128> = vec![0; (full as usize) + 1];
+    ways[0] = 1;
+    for s in 0..=full {
+        let w = ways[s as usize];
+        if w == 0 {
+            continue;
+        }
+        for (v, &pm) in pred_mask.iter().enumerate() {
+            let bit = 1u32 << v;
+            if s & bit == 0 && pm & s == pm {
+                let t = (s | bit) as usize;
+                ways[t] = ways[t].saturating_add(w);
+            }
+        }
+    }
+    Some(ways[full as usize])
+}
+
+/// Upper bound on node count accepted by [`count_linear_extensions`]
+/// (the subset DP allocates `2^n` entries).
+pub const MAX_LINEAR_EXTENSION_NODES: usize = 24;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::TaskGraphBuilder;
+
+    fn diamond() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new("diamond");
+        let a = b.add_node("a", 10);
+        let x = b.add_node("b", 20);
+        let y = b.add_node("c", 30);
+        let z = b.add_node("d", 40);
+        b.add_edge(a, x).unwrap();
+        b.add_edge(a, y).unwrap();
+        b.add_edge(x, z).unwrap();
+        b.add_edge(y, z).unwrap();
+        b.build().unwrap()
+    }
+
+    fn chain(lens: &[Cycles]) -> TaskGraph {
+        let mut b = TaskGraphBuilder::new("chain");
+        let ids: Vec<_> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| b.add_node(format!("t{i}"), w))
+            .collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn critical_path_of_chain_is_total() {
+        let g = chain(&[1, 2, 3, 4]);
+        assert_eq!(critical_path(&g), 10);
+        assert_eq!(g.total_wcet(), 10);
+    }
+
+    #[test]
+    fn earliest_start_accumulates_along_chain() {
+        let g = chain(&[1, 2, 3]);
+        assert_eq!(earliest_start_cycles(&g), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn earliest_start_takes_max_over_predecessors() {
+        let g = diamond();
+        // d's EST = max(a+b, a+c) = max(30, 40) = 40.
+        assert_eq!(earliest_start_cycles(&g)[3], 40);
+    }
+
+    #[test]
+    fn ancestors_and_descendants_of_diamond() {
+        let g = diamond();
+        let a = NodeId::from_index(0);
+        let d = NodeId::from_index(3);
+        let anc_d = ancestors(&g, d);
+        assert_eq!(anc_d, vec![true, true, true, false]);
+        let desc_a = descendants(&g, a);
+        assert_eq!(desc_a, vec![false, true, true, true]);
+    }
+
+    #[test]
+    fn reaches_is_transitive_and_irreflexive() {
+        let g = chain(&[1, 1, 1]);
+        let n0 = NodeId::from_index(0);
+        let n2 = NodeId::from_index(2);
+        assert!(reaches(&g, n0, n2));
+        assert!(!reaches(&g, n2, n0));
+        assert!(!reaches(&g, n0, n0), "a node does not reach itself");
+    }
+
+    #[test]
+    fn redundant_edge_is_detected() {
+        // a -> b -> c plus shortcut a -> c: shortcut is redundant.
+        let mut b = TaskGraphBuilder::new("r");
+        let x = b.add_node("a", 1);
+        let y = b.add_node("b", 1);
+        let z = b.add_node("c", 1);
+        b.add_edge(x, y).unwrap();
+        b.add_edge(y, z).unwrap();
+        b.add_edge(x, z).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(redundant_edges(&g), vec![(x, z)]);
+        let reduced = transitive_reduction(&g);
+        assert_eq!(reduced.len(), 2);
+        assert!(!reduced.contains(&(x, z)));
+    }
+
+    #[test]
+    fn diamond_has_no_redundant_edges() {
+        assert!(redundant_edges(&diamond()).is_empty());
+    }
+
+    #[test]
+    fn linear_extensions_of_chain_is_one() {
+        assert_eq!(count_linear_extensions(&chain(&[1, 1, 1, 1])), Some(1));
+    }
+
+    #[test]
+    fn linear_extensions_of_independent_tasks_is_factorial() {
+        let mut b = TaskGraphBuilder::new("ind");
+        for i in 0..5 {
+            b.add_node(format!("t{i}"), 1);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(count_linear_extensions(&g), Some(120));
+    }
+
+    #[test]
+    fn linear_extensions_of_diamond_is_two() {
+        // a first, d last, b/c in either order.
+        assert_eq!(count_linear_extensions(&diamond()), Some(2));
+    }
+
+    #[test]
+    fn linear_extensions_refuses_oversized_graphs() {
+        let mut b = TaskGraphBuilder::new("big");
+        for i in 0..(MAX_LINEAR_EXTENSION_NODES + 1) {
+            b.add_node(format!("t{i}"), 1);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(count_linear_extensions(&g), None);
+    }
+
+    #[test]
+    fn topological_sort_is_canonical_smallest_first() {
+        // Two independent components: order must interleave by smallest id.
+        let mut b = TaskGraphBuilder::new("two");
+        let a0 = b.add_node("a0", 1);
+        let a1 = b.add_node("a1", 1);
+        let b0 = b.add_node("b0", 1);
+        let b1 = b.add_node("b1", 1);
+        b.add_edge(a0, a1).unwrap();
+        b.add_edge(b0, b1).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.topological_order(), &[a0, a1, b0, b1]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Graphviz DOT export for task graphs and task sets.
+//!
+//! Purely a debugging/documentation aid: `dot -Tpng` renders the generated
+//! workloads so experiment write-ups can show what a "TGFF-like graph with 12
+//! nodes" actually looks like.
+
+use crate::dag::TaskGraph;
+use crate::periodic::TaskSet;
+use std::fmt::Write;
+
+/// Render one task graph as a DOT digraph. Node labels show `name (wcet)`.
+pub fn graph_to_dot(g: &TaskGraph) -> String {
+    let mut out = String::with_capacity(64 * g.node_count());
+    writeln!(out, "digraph \"{}\" {{", escape(g.name())).unwrap();
+    writeln!(out, "  rankdir=TB;").unwrap();
+    writeln!(out, "  node [shape=box, fontname=\"monospace\"];").unwrap();
+    for (id, node) in g.nodes() {
+        writeln!(
+            out,
+            "  {} [label=\"{} ({})\"];",
+            id.index(),
+            escape(&node.name),
+            node.wcet
+        )
+        .unwrap();
+    }
+    for (from, to) in g.edges() {
+        writeln!(out, "  {} -> {};", from.index(), to.index()).unwrap();
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a whole task set as one DOT file with a cluster per graph,
+/// annotated with its period.
+pub fn taskset_to_dot(set: &TaskSet) -> String {
+    let mut out = String::from("digraph taskset {\n  rankdir=TB;\n  node [shape=box];\n");
+    for (gid, pg) in set.iter() {
+        let g = pg.graph();
+        writeln!(out, "  subgraph cluster_{} {{", gid.index()).unwrap();
+        writeln!(
+            out,
+            "    label=\"{} (D = {})\";",
+            escape(g.name()),
+            pg.period()
+        )
+        .unwrap();
+        for (id, node) in g.nodes() {
+            writeln!(
+                out,
+                "    g{}_{} [label=\"{} ({})\"];",
+                gid.index(),
+                id.index(),
+                escape(&node.name),
+                node.wcet
+            )
+            .unwrap();
+        }
+        for (from, to) in g.edges() {
+            writeln!(
+                out,
+                "    g{}_{} -> g{}_{};",
+                gid.index(),
+                from.index(),
+                gid.index(),
+                to.index()
+            )
+            .unwrap();
+        }
+        out.push_str("  }\n");
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::TaskGraphBuilder;
+    use crate::periodic::{PeriodicTaskGraph, TaskSet};
+
+    fn tiny() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new("tiny");
+        let a = b.add_node("a", 3);
+        let c = b.add_node("b", 4);
+        b.add_edge(a, c).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_nodes_edges_and_wcets() {
+        let dot = graph_to_dot(&tiny());
+        assert!(dot.starts_with("digraph \"tiny\""));
+        assert!(dot.contains("a (3)"));
+        assert!(dot.contains("b (4)"));
+        assert!(dot.contains("0 -> 1;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn quotes_in_names_are_escaped() {
+        let mut b = TaskGraphBuilder::new("we\"ird");
+        b.add_node("n\"ode", 1);
+        let dot = graph_to_dot(&b.build().unwrap());
+        assert!(dot.contains("we\\\"ird"));
+        assert!(dot.contains("n\\\"ode"));
+    }
+
+    #[test]
+    fn taskset_dot_emits_one_cluster_per_graph() {
+        let mut set = TaskSet::new();
+        set.push(PeriodicTaskGraph::new(tiny(), 10.0).unwrap());
+        set.push(PeriodicTaskGraph::new(tiny(), 20.0).unwrap());
+        let dot = taskset_to_dot(&set);
+        assert!(dot.contains("cluster_0"));
+        assert!(dot.contains("cluster_1"));
+        assert!(dot.contains("D = 10"));
+        assert!(dot.contains("D = 20"));
+        assert!(dot.contains("g0_0 -> g0_1;"));
+        assert!(dot.contains("g1_0 -> g1_1;"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Error types for task-graph construction and validation.
+
+use crate::ids::NodeId;
+use std::fmt;
+
+/// Errors raised while building or validating a task graph or task set.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge endpoint does not exist in the graph under construction.
+    UnknownNode(NodeId),
+    /// An edge `(from, to)` with `from == to` was added.
+    SelfLoop(NodeId),
+    /// The same precedence edge was added twice.
+    DuplicateEdge(NodeId, NodeId),
+    /// The edge set contains a cycle, so the graph is not a DAG.
+    ///
+    /// Carries one node known to be on a cycle, for diagnostics.
+    CycleDetected(NodeId),
+    /// The graph has no nodes; an empty task graph cannot be scheduled.
+    EmptyGraph,
+    /// A node was declared with a zero worst-case execution time.
+    ///
+    /// Zero-WCET nodes would make utilization and priority arithmetic
+    /// degenerate (division by the remaining-work term), so they are
+    /// rejected at construction.
+    ZeroWcet(NodeId),
+    /// A period/deadline that is not strictly positive and finite.
+    InvalidPeriod(f64),
+    /// Requested utilization split is impossible (e.g. zero graphs,
+    /// utilization outside `(0, 1]`).
+    InvalidUtilization(f64),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            GraphError::SelfLoop(n) => write!(f, "self-loop on node {n}"),
+            GraphError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+            GraphError::CycleDetected(n) => {
+                write!(f, "cycle detected involving node {n}; task graphs must be DAGs")
+            }
+            GraphError::EmptyGraph => write!(f, "task graph has no nodes"),
+            GraphError::ZeroWcet(n) => write!(f, "node {n} has zero WCET"),
+            GraphError::InvalidPeriod(p) => {
+                write!(f, "period {p} is not strictly positive and finite")
+            }
+            GraphError::InvalidUtilization(u) => {
+                write!(f, "utilization {u} is not in (0, 1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let n = NodeId::from_index(3);
+        let m = NodeId::from_index(5);
+        assert!(GraphError::UnknownNode(n).to_string().contains("n3"));
+        assert!(GraphError::SelfLoop(n).to_string().contains("self-loop"));
+        assert!(GraphError::DuplicateEdge(n, m).to_string().contains("n3 -> n5"));
+        assert!(GraphError::CycleDetected(m).to_string().contains("cycle"));
+        assert!(GraphError::EmptyGraph.to_string().contains("no nodes"));
+        assert!(GraphError::ZeroWcet(n).to_string().contains("zero WCET"));
+        assert!(GraphError::InvalidPeriod(-1.0).to_string().contains("-1"));
+        assert!(GraphError::InvalidUtilization(2.0).to_string().contains('2'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&GraphError::EmptyGraph);
+    }
+}

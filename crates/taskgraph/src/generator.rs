@@ -1,0 +1,451 @@
+//! Seeded random task-graph generation — the TGFF stand-in.
+//!
+//! The paper generated its workloads with Princeton's *Task Graphs For Free*
+//! (TGFF) tool: "Task graphs were generated from TGFF with random dependencies
+//! and the worst case computation of each node was chosen randomly following a
+//! uniform distribution" (§5). TGFF is a C program we do not depend on; this
+//! module reproduces the same statistical family of workloads:
+//!
+//! * [`GraphShape::FanInFanOut`] — TGFF's construction: grow a single-rooted
+//!   DAG by alternating fan-out steps (give a node a new child) and fan-in
+//!   steps (create a node joining several existing ones);
+//! * [`GraphShape::Layered`] — the Tobita–Kasahara "same-probability" layered
+//!   DAG, a second common random-DAG family used to check that results do not
+//!   hinge on TGFF's particular shape;
+//! * [`GraphShape::Independent`] — no edges; the workload of Gruian's UBS
+//!   setting, used by the Table-1 and near-optimal baselines.
+//!
+//! Periods for task *sets* are assigned by the UUniFast algorithm (Bini &
+//! Buttazzo) so that per-graph utilizations are an unbiased uniform split of
+//! the configured total — the paper keeps total utilization at 70 %.
+//!
+//! Everything is driven by a caller-provided [`rand::Rng`], so a fixed seed
+//! regenerates identical workloads (the experiment tables depend on this).
+
+use crate::dag::{TaskGraph, TaskGraphBuilder};
+use crate::error::GraphError;
+use crate::periodic::{PeriodicTaskGraph, TaskSet};
+use crate::Cycles;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Structural family of the generated DAG.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GraphShape {
+    /// TGFF-style growth from a single root.
+    FanInFanOut {
+        /// Maximum out-degree any node may reach during growth.
+        max_out: usize,
+        /// Maximum in-degree of a join node created by a fan-in step.
+        max_in: usize,
+    },
+    /// Nodes are spread over `layers` ranks; an edge is drawn from each node
+    /// of an earlier rank to each node of a strictly later rank with
+    /// probability `edge_prob`.
+    Layered {
+        /// Number of ranks (clamped to the node count).
+        layers: usize,
+        /// Independent probability of each forward edge.
+        edge_prob: f64,
+    },
+    /// No precedence edges at all.
+    Independent,
+}
+
+impl Default for GraphShape {
+    /// TGFF's own defaults are small degrees; 3-out/3-in matches the shapes
+    /// in the paper's examples.
+    fn default() -> Self {
+        GraphShape::FanInFanOut { max_out: 3, max_in: 3 }
+    }
+}
+
+/// Parameters for generating one task graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Inclusive range of node counts; the actual count is drawn uniformly.
+    pub nodes: (usize, usize),
+    /// Inclusive range of node WCETs in cycles, drawn uniformly per node
+    /// (the paper: "chosen randomly following a uniform distribution").
+    pub wcet: (Cycles, Cycles),
+    /// Structural family.
+    pub shape: GraphShape,
+}
+
+impl Default for GeneratorConfig {
+    /// The paper's sweep: 5–15 nodes per graph.
+    fn default() -> Self {
+        GeneratorConfig {
+            nodes: (5, 15),
+            wcet: (10, 100),
+            shape: GraphShape::default(),
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// Fixed node count helper.
+    pub fn with_nodes(mut self, n: usize) -> Self {
+        self.nodes = (n, n);
+        self
+    }
+
+    /// Set the WCET range.
+    pub fn with_wcet(mut self, lo: Cycles, hi: Cycles) -> Self {
+        self.wcet = (lo, hi);
+        self
+    }
+
+    /// Set the structural family.
+    pub fn with_shape(mut self, shape: GraphShape) -> Self {
+        self.shape = shape;
+        self
+    }
+
+    /// Generate one task graph.
+    ///
+    /// # Panics
+    /// Panics if the configured ranges are inverted or the node range
+    /// contains 0 (a task graph must have at least one node).
+    pub fn generate(&self, name: impl Into<String>, rng: &mut impl Rng) -> TaskGraph {
+        assert!(
+            self.nodes.0 >= 1 && self.nodes.0 <= self.nodes.1,
+            "node range {:?} invalid",
+            self.nodes
+        );
+        assert!(
+            self.wcet.0 >= 1 && self.wcet.0 <= self.wcet.1,
+            "wcet range {:?} invalid",
+            self.wcet
+        );
+        let n = rng.gen_range(self.nodes.0..=self.nodes.1);
+        let mut b = TaskGraphBuilder::with_capacity(name, n, 2 * n);
+        for i in 0..n {
+            let w = rng.gen_range(self.wcet.0..=self.wcet.1);
+            b.add_node(format!("t{i}"), w);
+        }
+        match self.shape {
+            GraphShape::Independent => {}
+            GraphShape::FanInFanOut { max_out, max_in } => {
+                fan_in_fan_out_edges(&mut b, n, max_out.max(1), max_in.max(2), rng);
+            }
+            GraphShape::Layered { layers, edge_prob } => {
+                layered_edges(&mut b, n, layers.max(1), edge_prob.clamp(0.0, 1.0), rng);
+            }
+        }
+        b.build().expect("generator produced an invalid graph")
+    }
+}
+
+/// TGFF-style growth, expressed over pre-created nodes: node 0 is the root;
+/// each further node i is attached either by a fan-out step (one parent) or a
+/// fan-in step (several parents), with parents drawn among nodes `< i` that
+/// still have spare out-degree. Attaching only to earlier nodes guarantees
+/// acyclicity by construction.
+fn fan_in_fan_out_edges(
+    b: &mut TaskGraphBuilder,
+    n: usize,
+    max_out: usize,
+    max_in: usize,
+    rng: &mut impl Rng,
+) {
+    if n <= 1 {
+        return;
+    }
+    let mut out_deg = vec![0usize; n];
+    let mut scratch: Vec<usize> = Vec::with_capacity(n);
+    for child in 1..n {
+        // Candidate parents: earlier nodes with spare out-degree. The root
+        // always exists; if everything is saturated, fall back to the least
+        // loaded earlier node so the graph stays connected (TGFF widens
+        // degrees the same way when it runs out of room).
+        scratch.clear();
+        scratch.extend((0..child).filter(|&v| out_deg[v] < max_out));
+        if scratch.is_empty() {
+            let v = (0..child).min_by_key(|&v| out_deg[v]).expect("child >= 1");
+            scratch.push(v);
+        }
+        let fan_in_possible = scratch.len() >= 2;
+        let do_fan_in = fan_in_possible && rng.gen_bool(0.5);
+        let parents = if do_fan_in {
+            let k = rng.gen_range(2..=max_in.min(scratch.len()));
+            scratch.partial_shuffle(rng, k).0.to_vec()
+        } else {
+            vec![scratch[rng.gen_range(0..scratch.len())]]
+        };
+        for p in parents {
+            out_deg[p] += 1;
+            b.add_edge(crate::NodeId::from_index(p), crate::NodeId::from_index(child))
+                .expect("edges to fresh child cannot duplicate");
+        }
+    }
+}
+
+/// Tobita–Kasahara layered random DAG over pre-created nodes.
+fn layered_edges(
+    b: &mut TaskGraphBuilder,
+    n: usize,
+    layers: usize,
+    edge_prob: f64,
+    rng: &mut impl Rng,
+) {
+    let layers = layers.min(n);
+    // Round-robin assignment keeps layer sizes balanced; the rank of node i
+    // is i % layers, then we sort by rank so edges always point forward.
+    let mut rank = vec![0usize; n];
+    for (i, r) in rank.iter_mut().enumerate() {
+        *r = i % layers;
+    }
+    for from in 0..n {
+        for to in 0..n {
+            if rank[from] < rank[to] && rng.gen_bool(edge_prob) {
+                b.add_edge(crate::NodeId::from_index(from), crate::NodeId::from_index(to))
+                    .expect("forward edges cannot self-loop or duplicate");
+            }
+        }
+    }
+}
+
+/// Parameters for generating a whole periodic task set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskSetConfig {
+    /// Number of task graphs in the set.
+    pub graphs: usize,
+    /// Per-graph generation parameters.
+    pub graph: GeneratorConfig,
+    /// Target total worst-case utilization `Σ WCi/(Di·fmax)`; the paper uses
+    /// 0.70 throughout.
+    pub utilization: f64,
+    /// Processor peak speed in cycles per time unit, used to translate the
+    /// utilization split into periods.
+    pub fmax: f64,
+    /// When `Some(q)`, periods are rounded **up** to a multiple of `q`
+    /// (rounding up can only lower utilization, preserving schedulability)
+    /// so hyperperiods stay finite and traces align on a grid.
+    pub period_quantum: Option<f64>,
+}
+
+impl Default for TaskSetConfig {
+    fn default() -> Self {
+        TaskSetConfig {
+            graphs: 4,
+            graph: GeneratorConfig::default(),
+            utilization: 0.70,
+            fmax: 1.0,
+            period_quantum: None,
+        }
+    }
+}
+
+impl TaskSetConfig {
+    /// Generate a periodic task set whose total utilization is (up to period
+    /// quantization) the configured target, split across graphs by UUniFast.
+    ///
+    /// Each graph's period is also widened, if necessary, so that its
+    /// critical path fits within one period at `fmax` — otherwise the set
+    /// would be structurally unschedulable regardless of scheduler.
+    pub fn generate(&self, rng: &mut impl Rng) -> Result<TaskSet, GraphError> {
+        if self.graphs == 0 || !(self.utilization > 0.0 && self.utilization <= 1.0) {
+            return Err(GraphError::InvalidUtilization(self.utilization));
+        }
+        if !(self.fmax.is_finite() && self.fmax > 0.0) {
+            return Err(GraphError::InvalidPeriod(self.fmax));
+        }
+        let shares = uunifast(self.graphs, self.utilization, rng);
+        let mut set = TaskSet::new();
+        for (i, share) in shares.into_iter().enumerate() {
+            let g = self.graph.generate(format!("T{i}"), rng);
+            let wc = g.total_wcet() as f64;
+            let mut period = wc / (share * self.fmax);
+            // Structural feasibility: one instance must fit in one period.
+            let min_period = g.critical_path() as f64 / self.fmax;
+            if period < min_period {
+                period = min_period;
+            }
+            if let Some(q) = self.period_quantum {
+                period = (period / q).ceil() * q;
+            }
+            set.push(PeriodicTaskGraph::new(g, period)?);
+        }
+        Ok(set)
+    }
+}
+
+/// UUniFast (Bini & Buttazzo 2005): draw `n` utilizations uniformly from the
+/// simplex `{u: Σu = total, u > 0}`.
+pub fn uunifast(n: usize, total: f64, rng: &mut impl Rng) -> Vec<f64> {
+    assert!(n >= 1, "need at least one task");
+    let mut shares = Vec::with_capacity(n);
+    let mut sum = total;
+    for i in 1..n {
+        let r: f64 = rng.gen::<f64>();
+        let next = sum * r.powf(1.0 / (n - i) as f64);
+        shares.push(sum - next);
+        sum = next;
+    }
+    shares.push(sum);
+    shares
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn generator_is_deterministic_under_seed() {
+        let cfg = GeneratorConfig::default();
+        let a = cfg.generate("g", &mut rng(42));
+        let b = cfg.generate("g", &mut rng(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_graphs() {
+        let cfg = GeneratorConfig::default();
+        let a = cfg.generate("g", &mut rng(1));
+        let b = cfg.generate("g", &mut rng(2));
+        assert_ne!(a, b, "astronomically unlikely to collide");
+    }
+
+    #[test]
+    fn node_count_stays_in_range() {
+        let cfg = GeneratorConfig::default().with_wcet(1, 10);
+        for seed in 0..50 {
+            let g = cfg.generate("g", &mut rng(seed));
+            assert!((5..=15).contains(&g.node_count()), "{}", g.node_count());
+        }
+    }
+
+    #[test]
+    fn wcets_stay_in_range() {
+        let cfg = GeneratorConfig::default().with_wcet(7, 9);
+        let g = cfg.generate("g", &mut rng(3));
+        for (_, node) in g.nodes() {
+            assert!((7..=9).contains(&node.wcet));
+        }
+    }
+
+    #[test]
+    fn fan_in_fan_out_is_single_rooted_and_connected() {
+        let cfg = GeneratorConfig::default().with_nodes(12);
+        for seed in 0..30 {
+            let g = cfg.generate("g", &mut rng(seed));
+            assert_eq!(g.sources().len(), 1, "TGFF growth has a unique root");
+            // Every non-root node must be reachable from the root.
+            let root = g.sources()[0];
+            let desc = crate::algo::descendants(&g, root);
+            for v in g.node_ids() {
+                assert!(v == root || desc[v.index()], "{v} disconnected");
+            }
+        }
+    }
+
+    #[test]
+    fn fan_in_fan_out_respects_max_in_degree() {
+        let cfg = GeneratorConfig::default()
+            .with_nodes(15)
+            .with_shape(GraphShape::FanInFanOut { max_out: 2, max_in: 3 });
+        for seed in 0..20 {
+            let g = cfg.generate("g", &mut rng(seed));
+            for v in g.node_ids() {
+                assert!(g.in_degree(v) <= 3, "{v} in-degree {}", g.in_degree(v));
+            }
+        }
+    }
+
+    #[test]
+    fn independent_shape_has_no_edges() {
+        let cfg = GeneratorConfig::default().with_shape(GraphShape::Independent);
+        let g = cfg.generate("g", &mut rng(5));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn layered_edges_point_forward_only() {
+        let cfg = GeneratorConfig::default()
+            .with_nodes(12)
+            .with_shape(GraphShape::Layered { layers: 4, edge_prob: 0.5 });
+        let g = cfg.generate("g", &mut rng(9));
+        // Build succeeded => acyclic; also check ranks really order edges.
+        for (from, to) in g.edges() {
+            assert!(from.index() % 4 < to.index() % 4);
+        }
+    }
+
+    #[test]
+    fn single_node_graph_generates() {
+        let cfg = GeneratorConfig::default().with_nodes(1);
+        let g = cfg.generate("g", &mut rng(0));
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn uunifast_sums_to_total() {
+        for n in [1usize, 2, 5, 20] {
+            let shares = uunifast(n, 0.7, &mut rng(n as u64));
+            let sum: f64 = shares.iter().sum();
+            assert!((sum - 0.7).abs() < 1e-12, "n={n} sum={sum}");
+            assert!(shares.iter().all(|&u| u > 0.0 && u < 0.7 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn task_set_hits_target_utilization() {
+        let cfg = TaskSetConfig::default();
+        let set = cfg.generate(&mut rng(11)).unwrap();
+        assert_eq!(set.len(), 4);
+        let u = set.utilization(1.0);
+        // Periods are exact (no quantum), only the critical-path widening can
+        // lower utilization below target.
+        assert!(u <= 0.70 + 1e-9, "u={u}");
+        assert!(u > 0.35, "u={u} suspiciously low");
+    }
+
+    #[test]
+    fn task_set_with_quantum_has_finite_hyperperiod() {
+        let cfg = TaskSetConfig {
+            period_quantum: Some(10.0),
+            ..TaskSetConfig::default()
+        };
+        let set = cfg.generate(&mut rng(13)).unwrap();
+        let h = set.hyperperiod(10.0);
+        assert!(h.is_some(), "quantized periods must have a hyperperiod");
+        assert!(set.utilization(1.0) <= 0.70 + 1e-9);
+    }
+
+    #[test]
+    fn generated_sets_are_structurally_feasible() {
+        let cfg = TaskSetConfig {
+            utilization: 0.95,
+            graph: GeneratorConfig::default().with_nodes(15),
+            ..TaskSetConfig::default()
+        };
+        for seed in 0..20 {
+            let set = cfg.generate(&mut rng(seed)).unwrap();
+            for (_, g) in set.iter() {
+                assert!(g.is_structurally_feasible(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_graphs_is_rejected() {
+        let cfg = TaskSetConfig { graphs: 0, ..TaskSetConfig::default() };
+        assert!(cfg.generate(&mut rng(0)).is_err());
+    }
+
+    #[test]
+    fn out_of_range_utilization_is_rejected() {
+        for bad in [0.0, -0.1, 1.5] {
+            let cfg = TaskSetConfig { utilization: bad, ..TaskSetConfig::default() };
+            assert!(cfg.generate(&mut rng(0)).is_err(), "u={bad}");
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Strongly-typed identifiers for nodes and graphs.
+//!
+//! Plain `usize` indices invite cross-container mixups (a node index used to
+//! index a graph list and vice versa). These newtypes are `Copy`, order well,
+//! hash cheaply and cost nothing at runtime.
+
+use std::fmt;
+
+/// Identifier of a node (task) **within one task graph**.
+///
+/// `NodeId`s are dense indices assigned in insertion order by
+/// [`TaskGraphBuilder`](crate::TaskGraphBuilder); they index directly into the
+/// graph's node table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Construct from a raw index.
+    ///
+    /// Only meaningful for indices previously handed out by the owning
+    /// graph's builder; out-of-range ids are caught by the graph accessors.
+    #[inline]
+    pub fn from_index(ix: usize) -> Self {
+        NodeId(u32::try_from(ix).expect("node index exceeds u32 range"))
+    }
+
+    /// The dense index of this node inside its graph's node table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a task graph **within one task set**.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GraphId(pub(crate) u32);
+
+impl GraphId {
+    /// Construct from a raw index into the task set.
+    #[inline]
+    pub fn from_index(ix: usize) -> Self {
+        GraphId(u32::try_from(ix).expect("graph index exceeds u32 range"))
+    }
+
+    /// The dense index of this graph inside its task set.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for GraphId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for GraphId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips_through_index() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(format!("{id}"), "n42");
+        assert_eq!(format!("{id:?}"), "n42");
+    }
+
+    #[test]
+    fn graph_id_round_trips_through_index() {
+        let id = GraphId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(format!("{id}"), "T7");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+        assert!(GraphId::from_index(0) < GraphId::from_index(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "node index exceeds u32 range")]
+    fn node_id_rejects_huge_indices() {
+        let _ = NodeId::from_index(usize::MAX);
+    }
+}

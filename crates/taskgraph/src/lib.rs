@@ -1,0 +1,70 @@
+//! # bas-taskgraph — task-graph data model and generator
+//!
+//! This crate provides the workload substrate for the battery-aware scheduling
+//! methodology of Rao et al. (WPDRTS 2006): **periodic task graphs**.
+//!
+//! A *task graph* is a directed acyclic graph (DAG) whose nodes are tasks with
+//! a worst-case execution time expressed in **processor cycles** and whose
+//! edges are precedence constraints. Task graphs arrive periodically; every
+//! node of an instance must complete before the instance's deadline, and the
+//! deadline equals the period (implicit-deadline model, exactly as in the
+//! paper).
+//!
+//! The crate contains:
+//!
+//! * [`TaskGraph`] / [`TaskGraphBuilder`] — the immutable DAG model with
+//!   validated construction (acyclicity, duplicate-edge and self-loop checks);
+//! * graph algorithms in [`algo`] — topological orders, critical path,
+//!   ancestor/descendant closures, transitive reduction, linear-extension
+//!   counting (used by the exhaustive-optimal scheduler to bound search);
+//! * [`PeriodicTaskGraph`] and [`TaskSet`] in [`periodic`] — periodic wrappers
+//!   with utilization and hyperperiod arithmetic;
+//! * a seeded, TGFF-like random generator in [`generator`] — the stand-in for
+//!   the Princeton *Task Graphs For Free* tool the paper generated its
+//!   workloads with;
+//! * DOT export in [`dot`] for debugging and documentation.
+//!
+//! ## Example
+//!
+//! ```
+//! use bas_taskgraph::{TaskGraphBuilder, PeriodicTaskGraph};
+//!
+//! // Build the three-node task graph T3 of the paper's Figure 5 trace:
+//! // two independent tasks feeding a third, every node 5 cycles of WCET.
+//! let mut b = TaskGraphBuilder::new("T3");
+//! let a = b.add_node("a", 5);
+//! let c = b.add_node("b", 5);
+//! let d = b.add_node("c", 5);
+//! b.add_edge(a, d).unwrap();
+//! b.add_edge(c, d).unwrap();
+//! let g = b.build().unwrap();
+//! assert_eq!(g.total_wcet(), 15);
+//!
+//! // Make it periodic with deadline = period = 100 time units.
+//! let pg = PeriodicTaskGraph::new(g, 100.0).unwrap();
+//! assert!((pg.utilization(1.0) - 0.15).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algo;
+pub mod dag;
+pub mod dot;
+pub mod error;
+pub mod generator;
+pub mod ids;
+pub mod periodic;
+
+pub use dag::{TaskGraph, TaskGraphBuilder, TaskNode};
+pub use error::GraphError;
+pub use generator::{GeneratorConfig, GraphShape, TaskSetConfig};
+pub use ids::{GraphId, NodeId};
+pub use periodic::{PeriodicTaskGraph, TaskSet};
+
+/// Worst-case execution demand of a task, in processor cycles.
+///
+/// Wall-clock duration of a task is `cycles / frequency`; the scheduler
+/// controls the frequency, so cycles are the frequency-independent unit of
+/// work used throughout the workspace.
+pub type Cycles = u64;

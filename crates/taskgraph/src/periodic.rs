@@ -1,0 +1,333 @@
+//! Periodic task graphs and task sets.
+//!
+//! The paper's workload model (§4): task graphs arrive periodically, the
+//! deadline of every instance equals its period, and *all* nodes of an
+//! instance must complete by that deadline.
+
+use crate::dag::TaskGraph;
+use crate::error::GraphError;
+use crate::ids::GraphId;
+use std::sync::Arc;
+
+/// A task graph released every `period` time units with deadline = period.
+///
+/// The underlying [`TaskGraph`] is held behind `Arc`: parameter sweeps clone
+/// task sets across worker threads, and the graph structure itself is
+/// immutable and shareable.
+#[derive(Debug, Clone)]
+pub struct PeriodicTaskGraph {
+    graph: Arc<TaskGraph>,
+    period: f64,
+    /// Release time of the first instance (phase); the paper releases all
+    /// graphs at t = 0.
+    phase: f64,
+}
+
+impl PeriodicTaskGraph {
+    /// Wrap a graph with its period (= relative deadline), phase 0.
+    pub fn new(graph: TaskGraph, period: f64) -> Result<Self, GraphError> {
+        Self::with_phase(graph, period, 0.0)
+    }
+
+    /// Wrap a graph with its period and an initial release offset.
+    pub fn with_phase(graph: TaskGraph, period: f64, phase: f64) -> Result<Self, GraphError> {
+        if !(period.is_finite() && period > 0.0) {
+            return Err(GraphError::InvalidPeriod(period));
+        }
+        if !(phase.is_finite() && phase >= 0.0) {
+            return Err(GraphError::InvalidPeriod(phase));
+        }
+        Ok(PeriodicTaskGraph {
+            graph: Arc::new(graph),
+            period,
+            phase,
+        })
+    }
+
+    /// The task graph released at every period boundary.
+    #[inline]
+    pub fn graph(&self) -> &TaskGraph {
+        &self.graph
+    }
+
+    /// Shared handle to the graph.
+    #[inline]
+    pub fn graph_arc(&self) -> Arc<TaskGraph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// Period between releases; also every instance's relative deadline.
+    #[inline]
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// First release time.
+    #[inline]
+    pub fn phase(&self) -> f64 {
+        self.phase
+    }
+
+    /// Release time of instance `k` (0-based).
+    #[inline]
+    pub fn release_time(&self, k: u64) -> f64 {
+        self.phase + self.period * k as f64
+    }
+
+    /// Absolute deadline of instance `k` (0-based).
+    #[inline]
+    pub fn deadline(&self, k: u64) -> f64 {
+        self.release_time(k) + self.period
+    }
+
+    /// Worst-case utilization of this graph on a processor of `fmax` cycles
+    /// per time unit: `WCi / (Di · fmax)`.
+    #[inline]
+    pub fn utilization(&self, fmax: f64) -> f64 {
+        self.graph.total_wcet() as f64 / (self.period * fmax)
+    }
+
+    /// True if one instance can possibly finish within its deadline at
+    /// `fmax`: the critical path fits in the period.
+    pub fn is_structurally_feasible(&self, fmax: f64) -> bool {
+        self.graph.critical_path() as f64 <= self.period * fmax
+    }
+}
+
+/// An ordered collection of periodic task graphs scheduled together on one
+/// processor — the `(T1 … Tn)` of the paper's problem definition.
+#[derive(Debug, Clone, Default)]
+pub struct TaskSet {
+    graphs: Vec<PeriodicTaskGraph>,
+}
+
+impl TaskSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        TaskSet { graphs: Vec::new() }
+    }
+
+    /// Build from a vector of periodic graphs.
+    pub fn from_graphs(graphs: Vec<PeriodicTaskGraph>) -> Self {
+        TaskSet { graphs }
+    }
+
+    /// Append a graph; returns its [`GraphId`].
+    pub fn push(&mut self, g: PeriodicTaskGraph) -> GraphId {
+        let id = GraphId::from_index(self.graphs.len());
+        self.graphs.push(g);
+        id
+    }
+
+    /// Number of graphs.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// True when the set has no graphs.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.graphs.is_empty()
+    }
+
+    /// Access one periodic graph.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn graph(&self, id: GraphId) -> &PeriodicTaskGraph {
+        &self.graphs[id.index()]
+    }
+
+    /// Iterate over `(GraphId, &PeriodicTaskGraph)`.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (GraphId, &PeriodicTaskGraph)> + '_ {
+        self.graphs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GraphId::from_index(i), g))
+    }
+
+    /// All graph ids.
+    pub fn graph_ids(&self) -> impl ExactSizeIterator<Item = GraphId> + '_ {
+        (0..self.graphs.len()).map(GraphId::from_index)
+    }
+
+    /// Total worst-case utilization `Σ WCi/(Di·fmax)` — the `U` driving
+    /// ccEDF's frequency selection. EDF schedulability on a unit-speed
+    /// processor requires `U ≤ 1`.
+    pub fn utilization(&self, fmax: f64) -> f64 {
+        self.graphs.iter().map(|g| g.utilization(fmax)).sum()
+    }
+
+    /// Total node count across all graphs.
+    pub fn total_nodes(&self) -> usize {
+        self.graphs.iter().map(|g| g.graph().node_count()).sum()
+    }
+
+    /// Hyperperiod (least common multiple of periods) when all periods are
+    /// integral multiples of `resolution`; `None` if any period is not (to a
+    /// 1e-9 relative tolerance) or the LCM overflows.
+    ///
+    /// The experiment binaries simulate whole hyperperiods so that per-cycle
+    /// energy numbers are comparable across schedulers.
+    pub fn hyperperiod(&self, resolution: f64) -> Option<f64> {
+        if self.graphs.is_empty() {
+            return None;
+        }
+        let mut lcm: u128 = 1;
+        for g in &self.graphs {
+            let ratio = g.period() / resolution;
+            let ticks = ratio.round();
+            if ticks < 1.0 || ((ratio - ticks).abs() > 1e-9 * ratio.max(1.0)) {
+                return None;
+            }
+            let t = ticks as u128;
+            lcm = lcm.checked_div(gcd(lcm, t)).and_then(|l| l.checked_mul(t))?;
+            if lcm > (1u128 << 100) {
+                return None; // would overflow f64 precision anyway
+            }
+        }
+        Some(lcm as f64 * resolution)
+    }
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl std::ops::Index<GraphId> for TaskSet {
+    type Output = PeriodicTaskGraph;
+    fn index(&self, id: GraphId) -> &Self::Output {
+        &self.graphs[id.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::TaskGraphBuilder;
+
+    fn single(name: &str, wcet: u64, period: f64) -> PeriodicTaskGraph {
+        let mut b = TaskGraphBuilder::new(name);
+        b.add_node("t", wcet);
+        PeriodicTaskGraph::new(b.build().unwrap(), period).unwrap()
+    }
+
+    #[test]
+    fn release_and_deadline_arithmetic() {
+        let g = single("T", 5, 20.0);
+        assert_eq!(g.release_time(0), 0.0);
+        assert_eq!(g.release_time(3), 60.0);
+        assert_eq!(g.deadline(0), 20.0);
+        assert_eq!(g.deadline(3), 80.0);
+    }
+
+    #[test]
+    fn phase_shifts_releases() {
+        let mut b = TaskGraphBuilder::new("T");
+        b.add_node("t", 5);
+        let g = PeriodicTaskGraph::with_phase(b.build().unwrap(), 20.0, 7.0).unwrap();
+        assert_eq!(g.release_time(0), 7.0);
+        assert_eq!(g.deadline(0), 27.0);
+    }
+
+    #[test]
+    fn utilization_matches_paper_formula() {
+        // wc 5, D 20, fmax 1 -> U = 0.25
+        let g = single("T", 5, 20.0);
+        assert!((g.utilization(1.0) - 0.25).abs() < 1e-12);
+        // fmax 2 halves it.
+        assert!((g.utilization(2.0) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_periods_are_rejected() {
+        let mut b = TaskGraphBuilder::new("T");
+        b.add_node("t", 5);
+        let g = b.build().unwrap();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let r = PeriodicTaskGraph::new(g.clone(), bad);
+            assert!(r.is_err(), "period {bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn negative_phase_is_rejected() {
+        let mut b = TaskGraphBuilder::new("T");
+        b.add_node("t", 5);
+        assert!(PeriodicTaskGraph::with_phase(b.build().unwrap(), 10.0, -2.0).is_err());
+    }
+
+    #[test]
+    fn structural_feasibility_uses_critical_path() {
+        let mut b = TaskGraphBuilder::new("chain");
+        let x = b.add_node("x", 6);
+        let y = b.add_node("y", 6);
+        b.add_edge(x, y).unwrap();
+        let g = PeriodicTaskGraph::new(b.build().unwrap(), 10.0).unwrap();
+        // critical path 12 > 10 * fmax(1) -> infeasible even though U > 1 too
+        assert!(!g.is_structurally_feasible(1.0));
+        assert!(g.is_structurally_feasible(2.0));
+    }
+
+    #[test]
+    fn taskset_paper_fig5_setup() {
+        // T1: wc 5 D 20; T2: wc 5 D 50; T3: 3 nodes wc 5 each, D 100.
+        let mut set = TaskSet::new();
+        set.push(single("T1", 5, 20.0));
+        set.push(single("T2", 5, 50.0));
+        let mut b = TaskGraphBuilder::new("T3");
+        for i in 0..3 {
+            b.add_node(format!("t{i}"), 5);
+        }
+        set.push(PeriodicTaskGraph::new(b.build().unwrap(), 100.0).unwrap());
+        // U = 5/20 + 5/50 + 15/100 = 0.25 + 0.10 + 0.15 = 0.5 (paper: fref = 0.5 fmax)
+        assert!((set.utilization(1.0) - 0.5).abs() < 1e-12);
+        assert_eq!(set.total_nodes(), 5);
+        assert_eq!(set.hyperperiod(1.0), Some(100.0));
+    }
+
+    #[test]
+    fn hyperperiod_of_coprime_periods() {
+        let mut set = TaskSet::new();
+        set.push(single("a", 1, 3.0));
+        set.push(single("b", 1, 4.0));
+        set.push(single("c", 1, 5.0));
+        assert_eq!(set.hyperperiod(1.0), Some(60.0));
+    }
+
+    #[test]
+    fn hyperperiod_respects_resolution() {
+        let mut set = TaskSet::new();
+        set.push(single("a", 1, 0.3));
+        set.push(single("b", 1, 0.4));
+        let h = set.hyperperiod(0.1).unwrap();
+        assert!((h - 1.2).abs() < 1e-9);
+        // At integral resolution the fractional periods do not fit.
+        assert_eq!(set.hyperperiod(1.0), None);
+    }
+
+    #[test]
+    fn hyperperiod_of_empty_set_is_none() {
+        assert_eq!(TaskSet::new().hyperperiod(1.0), None);
+    }
+
+    #[test]
+    fn index_and_iter_agree() {
+        let mut set = TaskSet::new();
+        let a = set.push(single("a", 1, 3.0));
+        let b = set.push(single("b", 2, 4.0));
+        assert_eq!(set[a].graph().name(), "a");
+        assert_eq!(set[b].graph().name(), "b");
+        let names: Vec<_> = set.iter().map(|(_, g)| g.graph().name().to_string()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+    }
+}

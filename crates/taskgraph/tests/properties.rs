@@ -1,0 +1,172 @@
+//! Crate-level property tests for the task-graph substrate.
+
+use bas_taskgraph::{algo, GeneratorConfig, GraphShape, NodeId, TaskSetConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_shape() -> impl Strategy<Value = GraphShape> {
+    prop_oneof![
+        Just(GraphShape::Independent),
+        (2usize..=5, 2usize..=5)
+            .prop_map(|(o, i)| GraphShape::FanInFanOut { max_out: o, max_in: i }),
+        (1usize..=5, 0.0f64..0.9)
+            .prop_map(|(l, p)| GraphShape::Layered { layers: l, edge_prob: p }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transitive_reduction_preserves_reachability(
+        seed in 0u64..10_000,
+        n in 2usize..12,
+    ) {
+        let cfg = GeneratorConfig {
+            nodes: (n, n),
+            wcet: (1, 20),
+            shape: GraphShape::Layered { layers: 3, edge_prob: 0.5 },
+        };
+        let g = cfg.generate("g", &mut StdRng::seed_from_u64(seed));
+        let reduced = algo::transitive_reduction(&g);
+        // Rebuild a graph from the reduced edge set and compare reachability.
+        let mut b = bas_taskgraph::TaskGraphBuilder::new("reduced");
+        for (_, node) in g.nodes() {
+            b.add_node(node.name.clone(), node.wcet);
+        }
+        for (from, to) in reduced {
+            b.add_edge(from, to).unwrap();
+        }
+        let r = b.build().unwrap();
+        for a in g.node_ids() {
+            for z in g.node_ids() {
+                if a != z {
+                    prop_assert_eq!(
+                        algo::reaches(&g, a, z),
+                        algo::reaches(&r, a, z),
+                        "reachability {} -> {} changed", a, z
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ancestors_and_descendants_are_duals(
+        seed in 0u64..10_000,
+        n in 2usize..12,
+        shape in arb_shape(),
+    ) {
+        let cfg = GeneratorConfig { nodes: (n, n), wcet: (1, 20), shape };
+        let g = cfg.generate("g", &mut StdRng::seed_from_u64(seed));
+        for a in g.node_ids() {
+            let desc = algo::descendants(&g, a);
+            for z in g.node_ids() {
+                if desc[z.index()] {
+                    prop_assert!(algo::ancestors(&g, z)[a.index()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linear_extension_count_matches_brute_force(
+        seed in 0u64..10_000,
+        n in 1usize..7,
+    ) {
+        let cfg = GeneratorConfig {
+            nodes: (n, n),
+            wcet: (1, 9),
+            shape: GraphShape::Layered { layers: 3, edge_prob: 0.4 },
+        };
+        let g = cfg.generate("g", &mut StdRng::seed_from_u64(seed));
+        let dp = algo::count_linear_extensions(&g).unwrap();
+        // Brute force: DFS over all valid sequences.
+        fn dfs(g: &bas_taskgraph::TaskGraph, done: &mut Vec<bool>, placed: usize) -> u128 {
+            if placed == g.node_count() {
+                return 1;
+            }
+            let mut total = 0;
+            for v in g.node_ids() {
+                if !done[v.index()]
+                    && g.predecessors(v).iter().all(|p| done[p.index()])
+                {
+                    done[v.index()] = true;
+                    total += dfs(g, done, placed + 1);
+                    done[v.index()] = false;
+                }
+            }
+            total
+        }
+        let brute = dfs(&g, &mut vec![false; n], 0);
+        prop_assert_eq!(dp, brute);
+    }
+
+    #[test]
+    fn earliest_start_is_monotone_along_edges(
+        seed in 0u64..10_000,
+        n in 2usize..14,
+        shape in arb_shape(),
+    ) {
+        let cfg = GeneratorConfig { nodes: (n, n), wcet: (1, 30), shape };
+        let g = cfg.generate("g", &mut StdRng::seed_from_u64(seed));
+        let est = algo::earliest_start_cycles(&g);
+        for (from, to) in g.edges() {
+            prop_assert!(
+                est[to.index()] >= est[from.index()] + g.wcet(from),
+                "EST not monotone across {} -> {}", from, to
+            );
+        }
+    }
+
+    #[test]
+    fn generated_sets_are_edf_schedulable(
+        seed in 0u64..10_000,
+        graphs in 1usize..6,
+        util in 0.05f64..1.0,
+    ) {
+        let cfg = TaskSetConfig {
+            graphs,
+            graph: GeneratorConfig {
+                nodes: (2, 10),
+                wcet: (5, 50),
+                shape: GraphShape::Layered { layers: 2, edge_prob: 0.3 },
+            },
+            utilization: util,
+            fmax: 1.0,
+            period_quantum: None,
+        };
+        let set = cfg.generate(&mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert!(set.utilization(1.0) <= util + 1e-9);
+        for (_, pg) in set.iter() {
+            prop_assert!(pg.is_structurally_feasible(1.0));
+        }
+    }
+
+    #[test]
+    fn dot_export_is_syntactically_closed(
+        seed in 0u64..10_000,
+        n in 1usize..10,
+        shape in arb_shape(),
+    ) {
+        let cfg = GeneratorConfig { nodes: (n, n), wcet: (1, 9), shape };
+        let g = cfg.generate("g", &mut StdRng::seed_from_u64(seed));
+        let dot = bas_taskgraph::dot::graph_to_dot(&g);
+        prop_assert!(dot.starts_with("digraph"));
+        prop_assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+        prop_assert_eq!(dot.matches(" -> ").count(), g.edge_count());
+    }
+}
+
+#[test]
+fn node_ids_are_stable_across_clone() {
+    let cfg = GeneratorConfig::default();
+    let g = cfg.generate("g", &mut StdRng::seed_from_u64(1));
+    let g2 = g.clone();
+    for v in g.node_ids() {
+        assert_eq!(g.wcet(v), g2.wcet(v));
+        assert_eq!(g.successors(v), g2.successors(v));
+    }
+    let _ = NodeId::from_index(0);
+}

@@ -1,0 +1,81 @@
+//! Explore the battery models directly: the recovery effect, the
+//! rate-capacity effect, and how the models agree (§3's "the battery models
+//! point in the same direction").
+//!
+//! Run with: `cargo run --release --example battery_explorer`
+
+use battery_aware_scheduling::battery::units::coulombs_to_mah;
+use battery_aware_scheduling::prelude::*;
+
+fn main() {
+    // ---- rate-capacity effect -----------------------------------------
+    println!("rate-capacity effect — delivered capacity at constant load:");
+    println!("{:>9}  {:>10}  {:>10}", "load (A)", "KiBaM", "diffusion");
+    for current in [0.1, 0.5, 1.0, 2.0, 5.0] {
+        let mut kibam = Kibam::paper_cell();
+        let mut diff = DiffusionModel::paper_cell();
+        let q_k = bas_delivered(&mut kibam, current);
+        let q_d = bas_delivered(&mut diff, current);
+        println!(
+            "{current:>9.1}  {:>7.0} mAh  {:>7.0} mAh",
+            coulombs_to_mah(q_k),
+            coulombs_to_mah(q_d)
+        );
+    }
+
+    // ---- recovery effect ----------------------------------------------
+    println!("\nrecovery effect — 1.5 A bursts with and without rest gaps:");
+    let continuous = LoadProfile::from_pairs([(1.5, 60.0)]);
+    let pulsed = LoadProfile::from_pairs([(1.5, 60.0), (0.06, 60.0)]);
+    for (name, profile) in [("continuous 1.5 A", &continuous), ("1 min on / 1 min rest", &pulsed)] {
+        let mut cell = Kibam::paper_cell();
+        let r = run_profile(&mut cell, profile, RunOptions::default());
+        println!(
+            "  {name:22}: {:6.0} mAh delivered over {:5.1} min of load time",
+            r.delivered_mah(),
+            // count only the high-load time for the pulsed profile
+            if name.starts_with("continuous") {
+                r.lifetime / 60.0
+            } else {
+                r.lifetime / 2.0 / 60.0
+            }
+        );
+    }
+    println!("  rest periods let bound charge migrate to the electrode: the same cell");
+    println!("  sustains the bursts for longer and surrenders more total charge.");
+
+    // ---- model coherence ------------------------------------------------
+    println!("\nmodel coherence — both models prefer the same profile shapes:");
+    let shapes = [
+        ("decreasing", LoadProfile::from_pairs([(1.8, 1000.0), (1.0, 1000.0), (0.4, 1000.0)])),
+        ("increasing", LoadProfile::from_pairs([(0.4, 1000.0), (1.0, 1000.0), (1.8, 1000.0)])),
+    ];
+    for (name, profile) in &shapes {
+        let mut kibam = Kibam::paper_cell();
+        run_profile(&mut kibam, profile, RunOptions { repeat: false, ..RunOptions::default() });
+        let probe_k = bas_delivered_from(&mut kibam, 1.5);
+        let mut diff = DiffusionModel::paper_cell();
+        run_profile(&mut diff, profile, RunOptions { repeat: false, ..RunOptions::default() });
+        let probe_d = bas_delivered_from(&mut diff, 1.5);
+        println!(
+            "  after {name} history: extra extractable {:4.0} mAh (KiBaM) / {:4.0} mAh (diffusion)",
+            coulombs_to_mah(probe_k),
+            coulombs_to_mah(probe_d)
+        );
+    }
+    println!("  the ranking agrees — the formal coherence §3 leans on (proved in [12]).");
+}
+
+/// Fresh-cell delivered charge at a constant current.
+fn bas_delivered(model: &mut dyn BatteryModel, current: f64) -> f64 {
+    model.reset();
+    bas_delivered_from(model, current)
+}
+
+/// Delivered charge from the model's current state at a constant current.
+fn bas_delivered_from(model: &mut dyn BatteryModel, current: f64) -> f64 {
+    let before = model.charge_delivered();
+    let profile = LoadProfile::from_pairs([(current, 1.0)]);
+    run_profile(model, &profile, RunOptions::default());
+    model.charge_delivered() - before
+}

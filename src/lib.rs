@@ -1,0 +1,87 @@
+//! # battery-aware-scheduling
+//!
+//! A complete Rust reproduction of **"Battery Aware Dynamic Scheduling for
+//! Periodic Task Graphs"** (V. Rao, N. Navet, G. Singhal, A. Kumar,
+//! G.S. Visweswaran — WPDRTS 2006): battery-aware dynamic scheduling of
+//! periodic task graphs on a DVS processor, together with every substrate
+//! the paper's evaluation depends on — task-graph generation (TGFF-like),
+//! the DVS processor and power-delivery model, four battery models, a
+//! discrete-event scheduling simulator, the ccEDF/laEDF governors, and the
+//! pUBS/BAS-1/BAS-2 methodology itself.
+//!
+//! This facade crate re-exports the workspace libraries under one roof:
+//!
+//! * [`taskgraph`] — DAG workload model and random generator;
+//! * [`cpu`] — operating points, power/current model, frequency realization;
+//! * [`battery`] — KiBaM, diffusion, stochastic and Peukert models;
+//! * [`sim`] — the discrete-event executor and its traits;
+//! * [`dvs`] — ccEDF / laEDF / no-DVS frequency governors;
+//! * [`core`] — priority functions, feasibility check, BAS policies, the
+//!   single-DAG optimal search and the experiment runner.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use battery_aware_scheduling::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // A random periodic task set at 70 % utilization (the paper's setup).
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let set = TaskSetConfig::default().generate(&mut rng).unwrap();
+//!
+//! // Battery-aware scheduling (BAS-2) vs plain EDF, same workload and seed.
+//! let proc = unit_processor();
+//! let bas = simulate(&set, &SchedulerSpec::bas2(), &proc, 7, 300.0).unwrap();
+//! let edf = simulate(&set, &SchedulerSpec::edf(), &proc, 7, 300.0).unwrap();
+//! assert_eq!(bas.metrics.deadline_misses, 0);
+//! assert!(bas.metrics.energy < edf.metrics.energy);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bas_battery as battery;
+pub use bas_core as core;
+pub use bas_cpu as cpu;
+pub use bas_dvs as dvs;
+pub use bas_sim as sim;
+pub use bas_taskgraph as taskgraph;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use bas_battery::{
+        run_profile, BatteryModel, DiffusionModel, Kibam, LoadProfile, RunOptions,
+        StochasticKibam,
+    };
+    pub use bas_core::runner::{
+        simulate, simulate_lean, simulate_with_battery, SchedulerSpec,
+    };
+    pub use bas_core::{BasPolicy, EmaEstimator, Ltf, Pubs, RandomPriority, Stf};
+    pub use bas_cpu::presets::{dense_dvs_processor, paper_processor, unit_processor};
+    pub use bas_cpu::{FreqPolicy, Processor};
+    pub use bas_dvs::{CcEdf, LaEdf, NoDvs};
+    pub use bas_sim::{
+        DeadlineMode, Executor, SimConfig, TaskRef, UniformFraction, WorstCase,
+    };
+    pub use bas_taskgraph::{
+        GeneratorConfig, GraphShape, PeriodicTaskGraph, TaskGraph, TaskGraphBuilder, TaskSet,
+        TaskSetConfig,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_compose() {
+        let mut b = TaskGraphBuilder::new("t");
+        b.add_node("only", 5);
+        let g = b.build().unwrap();
+        assert_eq!(g.total_wcet(), 5);
+        let p = unit_processor();
+        assert_eq!(p.fmax(), 1.0);
+        let cell = Kibam::paper_cell();
+        assert!(!cell.is_exhausted());
+    }
+}

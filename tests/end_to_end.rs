@@ -1,0 +1,162 @@
+//! End-to-end integration: workload generation → scheduling → trace →
+//! battery, across every scheduler of the paper's lineup.
+
+use battery_aware_scheduling::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_set(seed: u64, graphs: usize, util: f64) -> TaskSet {
+    let cfg = TaskSetConfig {
+        graphs,
+        graph: GeneratorConfig {
+            nodes: (5, 15),
+            wcet: (10, 100),
+            shape: GraphShape::Layered { layers: 3, edge_prob: 0.2 },
+        },
+        utilization: util,
+        fmax: 1.0,
+        period_quantum: None,
+    };
+    cfg.generate(&mut StdRng::seed_from_u64(seed)).expect("valid config")
+}
+
+/// Horizon long enough that every graph releases and completes instances
+/// (UUniFast can hand a graph a tiny utilization share => a huge period).
+fn horizon_for(set: &TaskSet) -> f64 {
+    2.0 * set.iter().map(|(_, g)| g.period()).fold(0.0, f64::max)
+}
+
+#[test]
+fn every_scheme_meets_every_deadline_across_seeds() {
+    for seed in 0..10 {
+        let set = random_set(seed, 4, 0.7);
+        let horizon = horizon_for(&set);
+        for (name, spec) in SchedulerSpec::table2_lineup() {
+            let out = simulate_lean(&set, &spec, &unit_processor(), seed, horizon)
+                .unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
+            assert_eq!(out.metrics.deadline_misses, 0, "{name} seed {seed}");
+            assert!(out.metrics.instances_completed > 0, "{name} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn traces_are_well_formed_and_account_charge_exactly() {
+    let set = random_set(3, 4, 0.7);
+    for (name, spec) in SchedulerSpec::table2_lineup() {
+        let out = simulate(&set, &spec, &unit_processor(), 11, 300.0)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let trace = out.trace.expect("trace recorded");
+        trace.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let profile = trace.to_load_profile();
+        assert!(
+            (profile.total_charge() - out.metrics.charge).abs() < 1e-6,
+            "{name}: trace integral {} vs metrics {}",
+            profile.total_charge(),
+            out.metrics.charge
+        );
+        assert!(
+            (profile.duration() - out.metrics.sim_time).abs() < 1e-6,
+            "{name}: trace duration vs sim time"
+        );
+    }
+}
+
+#[test]
+fn identical_seeds_give_bit_identical_runs() {
+    let set = random_set(5, 3, 0.6);
+    for (_, spec) in SchedulerSpec::table2_lineup() {
+        let a = simulate_lean(&set, &spec, &unit_processor(), 21, 300.0).unwrap();
+        let b = simulate_lean(&set, &spec, &unit_processor(), 21, 300.0).unwrap();
+        assert_eq!(a.metrics, b.metrics);
+    }
+}
+
+#[test]
+fn energy_ordering_no_dvs_worst() {
+    // DVS always beats running flat out, for any seed.
+    for seed in 0..5 {
+        let set = random_set(seed + 100, 4, 0.7);
+        let horizon = horizon_for(&set);
+        let edf = simulate_lean(&set, &SchedulerSpec::edf(), &unit_processor(), 9, horizon)
+            .unwrap()
+            .metrics
+            .energy;
+        for spec in [SchedulerSpec::cc_edf(), SchedulerSpec::la_edf(), SchedulerSpec::bas2()] {
+            let e = simulate_lean(&set, &spec, &unit_processor(), 9, horizon)
+                .unwrap()
+                .metrics
+                .energy;
+            assert!(
+                e < edf,
+                "seed {seed}: {} J must undercut EDF's {edf} J",
+                e
+            );
+        }
+    }
+}
+
+#[test]
+fn battery_cosim_agrees_with_metrics_integral() {
+    // The battery's delivered charge must equal the executor's charge
+    // accounting for every model (this pinned down a real bug in the
+    // stochastic model's slot billing).
+    let set = random_set(7, 4, 0.7);
+    let proc = unit_processor();
+    let models: Vec<Box<dyn BatteryModel>> = vec![
+        Box::new(Kibam::new(bas_battery::KibamParams { capacity: 400.0, c: 0.6, k_prime: 1e-3 })),
+        Box::new(DiffusionModel::new(bas_battery::DiffusionParams {
+            alpha: 400.0,
+            beta_squared: 5e-3,
+            terms: 10,
+        })),
+        Box::new(StochasticKibam::new(
+            bas_battery::KibamParams { capacity: 400.0, c: 0.6, k_prime: 1e-3 },
+            1e-3,
+            0.1,
+            bas_battery::StochasticMode::Sampled,
+            3,
+        )),
+    ];
+    for mut cell in models {
+        let out = simulate_with_battery(&set, &SchedulerSpec::bas2(), &proc, cell.as_mut(), 13, 1e5)
+            .expect("feasible");
+        let report = out.battery.expect("report");
+        assert!(report.died, "{}", cell.name());
+        assert!(
+            (report.charge_delivered - out.metrics.charge).abs()
+                < 1e-3 * report.charge_delivered.max(1.0),
+            "{}: battery {} C vs metrics {} C",
+            cell.name(),
+            report.charge_delivered,
+            out.metrics.charge
+        );
+    }
+}
+
+use battery_aware_scheduling::battery as bas_battery;
+use bas_battery::BatteryModel;
+
+#[test]
+fn lifetimes_order_edf_ccedf_laedf() {
+    // The Table-2 backbone on a reduced sweep: EDF < ccEDF < laEDF lifetime.
+    let mut lifetimes = Vec::new();
+    let lineup = SchedulerSpec::table2_lineup();
+    for (name, spec) in &lineup[..3] {
+        let mut total = 0.0;
+        for seed in 0..3 {
+            let set = random_set(seed + 50, 4, 0.7);
+            let mut cell =
+                Kibam::new(bas_battery::KibamParams { capacity: 2000.0, c: 0.625, k_prime: 4.5e-4 });
+            let out =
+                simulate_with_battery(&set, spec, &unit_processor(), &mut cell, seed, 1e6)
+                    .unwrap_or_else(|e| panic!("{name}: {e}"));
+            total += out.battery.expect("report").lifetime;
+        }
+        lifetimes.push((name, total));
+    }
+    assert!(
+        lifetimes[0].1 < lifetimes[1].1 && lifetimes[1].1 < lifetimes[2].1,
+        "lifetime order violated: {lifetimes:?}"
+    );
+}

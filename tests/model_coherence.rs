@@ -1,0 +1,140 @@
+//! §3's model-coherence claim: "the battery models point in the same
+//! direction" — KiBaM, the diffusion model and the stochastic KiBaM must
+//! agree on rankings, effects, and (for KiBaM vs its quantization) numbers.
+
+use battery_aware_scheduling::battery::lifetime::delivered_at_constant_current;
+use battery_aware_scheduling::battery::{
+    run_profile, BatteryModel, DiffusionModel, Kibam, KibamParams, LoadProfile, RunOptions,
+    StochasticKibam, StochasticMode,
+};
+
+fn models() -> Vec<Box<dyn BatteryModel>> {
+    vec![
+        Box::new(Kibam::paper_cell()),
+        Box::new(DiffusionModel::paper_cell()),
+        Box::new(StochasticKibam::paper_cell(5)),
+    ]
+}
+
+#[test]
+fn all_models_show_rate_capacity_effect() {
+    for mut m in models() {
+        let lo = delivered_at_constant_current(m.as_mut(), 0.2);
+        let hi = delivered_at_constant_current(m.as_mut(), 2.0);
+        assert!(lo > hi, "{}: {lo} C at 0.2 A vs {hi} C at 2 A", m.name());
+    }
+}
+
+#[test]
+fn all_models_show_recovery_effect() {
+    // Pulsed load with rests vs the same load continuous: pulsed must
+    // extract more total charge.
+    let continuous = LoadProfile::from_pairs([(1.5, 30.0)]);
+    let pulsed = LoadProfile::from_pairs([(1.5, 30.0), (0.0, 30.0)]);
+    for mut m in models() {
+        m.reset();
+        let qc = run_profile(m.as_mut(), &continuous, RunOptions::default()).charge_delivered;
+        m.reset();
+        let qp = run_profile(m.as_mut(), &pulsed, RunOptions::default()).charge_delivered;
+        assert!(qp > qc, "{}: pulsed {qp} C vs continuous {qc} C", m.name());
+    }
+}
+
+#[test]
+fn all_models_rank_profile_shapes_identically() {
+    // G1 probe experiment: after equal-charge histories, decreasing leaves
+    // at least as much extractable as increasing — in every model.
+    let dec = LoadProfile::from_pairs([(1.8, 1000.0), (1.0, 1000.0), (0.4, 1000.0)]);
+    let inc = dec.reversed();
+    for mut m in models() {
+        let mut probe_after = |history: &LoadProfile| {
+            m.reset();
+            let shaped = run_profile(
+                m.as_mut(),
+                history,
+                RunOptions { repeat: false, ..RunOptions::default() },
+            );
+            assert!(!shaped.died, "{}: history fits capacity", m.name());
+            run_profile(
+                m.as_mut(),
+                &LoadProfile::from_pairs([(1.5, 1.0)]),
+                RunOptions::default(),
+            )
+            .charge_delivered
+        };
+        let after_dec = probe_after(&dec);
+        let after_inc = probe_after(&inc);
+        assert!(
+            after_dec >= after_inc,
+            "{}: dec {after_dec} C vs inc {after_inc} C",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn stochastic_expectation_equals_kibam_within_tolerance() {
+    let params = KibamParams { capacity: 500.0, c: 0.5, k_prime: 2e-3 };
+    let mut exact = Kibam::new(params);
+    let mut quantized = StochasticKibam::new(params, 1e-3, 0.05, StochasticMode::Expectation, 0);
+    // A varied profile: bursts, rests, moderate load.
+    let profile = LoadProfile::from_pairs([(2.0, 5.0), (0.0, 5.0), (0.7, 10.0)]);
+    let opts = RunOptions { repeat: true, max_time: 1e5, max_step: 0.25 };
+    let re = run_profile(&mut exact, &profile, opts);
+    let rq = run_profile(&mut quantized, &profile, opts);
+    assert!(re.died && rq.died);
+    let rel = (re.lifetime - rq.lifetime).abs() / re.lifetime;
+    assert!(rel < 0.02, "lifetimes {} vs {} ({}%)", re.lifetime, rq.lifetime, rel * 100.0);
+    let rel_q = (re.charge_delivered - rq.charge_delivered).abs() / re.charge_delivered;
+    assert!(rel_q < 0.02, "charges {} vs {}", re.charge_delivered, rq.charge_delivered);
+}
+
+#[test]
+fn sampled_stochastic_clusters_on_its_expectation() {
+    let params = KibamParams { capacity: 300.0, c: 0.5, k_prime: 2e-3 };
+    let profile = LoadProfile::from_pairs([(1.5, 2.0), (0.2, 2.0)]);
+    let opts = RunOptions::default();
+    let mut expectation =
+        StochasticKibam::new(params, 1e-3, 0.05, StochasticMode::Expectation, 0);
+    let e = run_profile(&mut expectation, &profile, opts).lifetime;
+    let mut sum = 0.0;
+    let n = 12;
+    for seed in 0..n {
+        let mut cell = StochasticKibam::new(params, 1e-3, 0.05, StochasticMode::Sampled, seed);
+        sum += run_profile(&mut cell, &profile, opts).lifetime;
+    }
+    let mean = sum / n as f64;
+    assert!(
+        (mean - e).abs() / e < 0.03,
+        "sampled mean {mean} vs expectation {e}"
+    );
+}
+
+#[test]
+fn capacity_curves_are_monotone_for_all_models() {
+    use battery_aware_scheduling::battery::curve::{capacity_curve, log_spaced_currents};
+    let currents = log_spaced_currents(0.05, 10.0, 8);
+    for mut m in models() {
+        let curve = capacity_curve(m.as_mut(), &currents);
+        for w in curve.windows(2) {
+            assert!(
+                w[0].delivered >= w[1].delivered - 2.0, // stochastic noise allowance (C)
+                "{}: {w:?}",
+                m.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_cell_nominal_capacity_near_1600mah_at_ampere_loads() {
+    // The §5 anchor: ~1600 mAh nominal at the currents the platform draws.
+    for mut m in models() {
+        let q = delivered_at_constant_current(m.as_mut(), 1.3) / 3.6;
+        assert!(
+            (1450.0..1750.0).contains(&q),
+            "{}: {q} mAh at 1.3 A should be near the 1600 mAh nominal",
+            m.name()
+        );
+    }
+}

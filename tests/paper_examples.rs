@@ -1,0 +1,191 @@
+//! The paper's worked examples, reproduced exactly.
+
+use battery_aware_scheduling::core::policy::BasPolicy;
+use battery_aware_scheduling::core::priority::Priority;
+use battery_aware_scheduling::core::single_dag::{Scenario, XSource};
+use battery_aware_scheduling::prelude::*;
+use battery_aware_scheduling::sim::policy::EdfTopo;
+use battery_aware_scheduling::sim::trace::SliceKind;
+use battery_aware_scheduling::sim::SimState;
+
+/// Figure 4's two tasks (wc 4 and 6, deadline 10).
+fn fig4(a1: f64, a2: f64) -> Scenario {
+    let mut b = TaskGraphBuilder::new("fig4");
+    b.add_node("task1", 4);
+    b.add_node("task2", 6);
+    Scenario::new(b.build().unwrap(), 10.0, vec![a1, a2], unit_processor()).unwrap()
+}
+
+#[test]
+fn figure4_case1_stf_wins() {
+    let s = fig4(1.6, 3.6); // 40 % and 60 % of wc
+    assert!(s.run_stf().energy < s.run_ltf().energy);
+}
+
+#[test]
+fn figure4_case2_ltf_wins() {
+    let s = fig4(2.4, 2.4); // 60 % and 40 % of wc
+    assert!(s.run_ltf().energy < s.run_stf().energy);
+}
+
+#[test]
+fn figure4_pubs_with_oracle_wins_both_cases() {
+    for (a1, a2) in [(1.6, 3.6), (2.4, 2.4)] {
+        let s = fig4(a1, a2);
+        let pubs = s.run_pubs(XSource::Oracle).energy;
+        assert!(pubs <= s.run_ltf().energy + 1e-9, "case ({a1},{a2})");
+        assert!(pubs <= s.run_stf().energy + 1e-9, "case ({a1},{a2})");
+    }
+}
+
+/// Figure 5's task set: T1 (5, D20), T2 (5, D50), T3 (3×5, D100); U = 0.5.
+fn fig5_set() -> TaskSet {
+    let mut set = TaskSet::new();
+    let mut b = TaskGraphBuilder::new("T1");
+    b.add_node("t1", 5);
+    set.push(PeriodicTaskGraph::new(b.build().unwrap(), 20.0).unwrap());
+    let mut b = TaskGraphBuilder::new("T2");
+    b.add_node("t2", 5);
+    set.push(PeriodicTaskGraph::new(b.build().unwrap(), 50.0).unwrap());
+    let mut b = TaskGraphBuilder::new("T3");
+    for i in 0..3 {
+        b.add_node(format!("t3{i}"), 5);
+    }
+    set.push(PeriodicTaskGraph::new(b.build().unwrap(), 100.0).unwrap());
+    set
+}
+
+struct T3First;
+impl Priority for T3First {
+    fn name(&self) -> &'static str {
+        "T3>T2>T1"
+    }
+    fn rank(&mut self, _: &SimState, c: &[TaskRef], _: f64, out: &mut Vec<TaskRef>) {
+        out.clear();
+        out.extend_from_slice(c);
+        out.sort_by(|a, b| b.graph.cmp(&a.graph).then(a.node.cmp(&b.node)));
+    }
+}
+
+#[test]
+fn figure5_both_orderings_meet_deadlines_at_fref_half() {
+    let run = |use_pubs: bool| {
+        let mut governor = CcEdf;
+        let mut sampler = WorstCase;
+        let cfg = SimConfig::new(unit_processor());
+        let out = if use_pubs {
+            let mut policy = BasPolicy::all_released(T3First);
+            Executor::new(fig5_set(), cfg, &mut governor, &mut policy, &mut sampler)
+                .unwrap()
+                .run_for(100.0)
+                .unwrap()
+        } else {
+            let mut policy = EdfTopo;
+            Executor::new(fig5_set(), cfg, &mut governor, &mut policy, &mut sampler)
+                .unwrap()
+                .run_for(100.0)
+                .unwrap()
+        };
+        assert_eq!(out.metrics.deadline_misses, 0);
+        let trace = out.trace.unwrap();
+        trace.validate().unwrap();
+        // fref = U = 0.5 throughout (all tasks at wcet): never exceeded.
+        for s in trace.slices() {
+            if let SliceKind::Run { frequency, .. } = s.kind {
+                assert!(frequency <= 0.5 + 1e-9, "frequency {frequency} above fref");
+            }
+        }
+        trace
+    };
+    let canonical = run(false);
+    let pubs = run(true);
+    // The pUBS variant pulls T3 work ahead of T1's later instances; canonical
+    // EDF never runs T3 before the most imminent graph is exhausted of work.
+    let first_t3 = |t: &battery_aware_scheduling::sim::trace::Trace| {
+        t.slices()
+            .iter()
+            .find_map(|s| match s.kind {
+                SliceKind::Run { task, .. } if task.graph.index() == 2 => Some(s.start),
+                _ => None,
+            })
+            .expect("T3 runs eventually")
+    };
+    assert!(first_t3(&pubs) < first_t3(&canonical));
+    // Both execute the same total work over the hyperperiod.
+    assert!((canonical.busy_time() - pubs.busy_time()).abs() < 1e-6);
+}
+
+#[test]
+fn figure5_out_of_order_is_blocked_when_infeasible() {
+    // Same set but a tighter fref (drop T1's period to 11 so U ≈ 0.7):
+    // at t = 0 running T3 (5 cycles) before T1 would need
+    // 5 + 5 = 10 > 0.7·11 = 7.7 — the feasibility check must refuse and the
+    // policy must fall back to T1.
+    let mut set = TaskSet::new();
+    let mut b = TaskGraphBuilder::new("T1");
+    b.add_node("t1", 5);
+    set.push(PeriodicTaskGraph::new(b.build().unwrap(), 11.0).unwrap());
+    let mut b = TaskGraphBuilder::new("T3");
+    for i in 0..3 {
+        b.add_node(format!("t3{i}"), 5);
+    }
+    set.push(PeriodicTaskGraph::new(b.build().unwrap(), 100.0).unwrap());
+    let mut governor = CcEdf;
+    let mut policy = BasPolicy::all_released(T3First);
+    let mut sampler = WorstCase;
+    let out = Executor::new(
+        set,
+        SimConfig::new(unit_processor()),
+        &mut governor,
+        &mut policy,
+        &mut sampler,
+    )
+    .unwrap()
+    .run_for(100.0)
+    .unwrap();
+    assert_eq!(out.metrics.deadline_misses, 0, "feasibility check must protect T1");
+    let trace = out.trace.unwrap();
+    // T1 must run first even though the priority ranked T3 higher.
+    let first = trace.execution_order()[0];
+    assert_eq!(first.graph.index(), 0, "infeasible out-of-order pick must be demoted");
+}
+
+#[test]
+fn table1_shape_pubs_closest_to_optimal() {
+    // One compact Table-1 row: pUBS(oracle) must beat LTF/STF/Random and sit
+    // within a few percent of the exhaustive optimum.
+    use battery_aware_scheduling::taskgraph::GeneratorConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut totals = [0.0f64; 4]; // random, ltf, pubs_oracle, optimal
+    let trials = 20;
+    for seed in 0..trials {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = GeneratorConfig {
+            nodes: (8, 8),
+            wcet: (10, 100),
+            shape: GraphShape::Layered { layers: 3, edge_prob: 0.2 },
+        };
+        let g = cfg.generate("g", &mut rng);
+        let s = Scenario::with_utilization(
+            g,
+            0.7,
+            dense_dvs_processor(20, 0.05),
+            (0.2, 1.0),
+            &mut rng,
+        )
+        .unwrap();
+        totals[0] += s.run_random(&mut rng).energy;
+        totals[1] += s.run_ltf().energy;
+        totals[2] += s.run_pubs(XSource::Oracle).energy;
+        totals[3] += s.optimal().energy;
+    }
+    let opt = totals[3];
+    assert!(totals[2] < totals[1], "pUBS(oracle) must beat LTF");
+    assert!(totals[2] < totals[0], "pUBS(oracle) must beat Random");
+    assert!(
+        totals[2] / opt < 1.05,
+        "pUBS(oracle) must be within 5% of optimal, got {}",
+        totals[2] / opt
+    );
+}

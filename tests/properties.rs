@@ -1,0 +1,179 @@
+//! Property-based tests over the whole stack (proptest).
+
+use battery_aware_scheduling::battery::{
+    BatteryModel, Kibam, KibamParams, StochasticKibam, StochasticMode,
+};
+use battery_aware_scheduling::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_shape() -> impl Strategy<Value = GraphShape> {
+    prop_oneof![
+        Just(GraphShape::Independent),
+        (2usize..=4, 2usize..=4)
+            .prop_map(|(o, i)| GraphShape::FanInFanOut { max_out: o, max_in: i }),
+        (2usize..=4, 0.05f64..0.5)
+            .prop_map(|(l, p)| GraphShape::Layered { layers: l, edge_prob: p }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_graphs_satisfy_dag_invariants(
+        seed in 0u64..10_000,
+        n in 1usize..20,
+        shape in arb_shape(),
+    ) {
+        let cfg = GeneratorConfig { nodes: (n, n), wcet: (1, 50), shape };
+        let g = cfg.generate("g", &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g.node_count(), n);
+        // Topological order covers every node exactly once and respects edges.
+        let topo = g.topological_order();
+        prop_assert_eq!(topo.len(), n);
+        let mut pos = vec![usize::MAX; n];
+        for (i, &v) in topo.iter().enumerate() {
+            pos[v.index()] = i;
+        }
+        for (from, to) in g.edges() {
+            prop_assert!(pos[from.index()] < pos[to.index()]);
+        }
+        // Critical path bounds: heaviest node <= cp <= total.
+        let heaviest = g.nodes().map(|(_, t)| t.wcet).max().unwrap();
+        prop_assert!(g.critical_path() >= heaviest);
+        prop_assert!(g.critical_path() <= g.total_wcet());
+    }
+
+    #[test]
+    fn schedulable_sets_never_miss_deadlines(
+        seed in 0u64..5_000,
+        graphs in 1usize..5,
+        util in 0.2f64..0.95,
+        scheme in 0usize..5,
+    ) {
+        let cfg = TaskSetConfig {
+            graphs,
+            graph: GeneratorConfig {
+                nodes: (3, 10),
+                wcet: (5, 60),
+                shape: GraphShape::Layered { layers: 3, edge_prob: 0.25 },
+            },
+            utilization: util,
+            fmax: 1.0,
+            period_quantum: None,
+        };
+        let set = cfg.generate(&mut StdRng::seed_from_u64(seed)).unwrap();
+        let (_, spec) = SchedulerSpec::table2_lineup()[scheme];
+        let out = simulate_lean(&set, &spec, &unit_processor(), seed, 200.0).unwrap();
+        prop_assert_eq!(out.metrics.deadline_misses, 0);
+    }
+
+    #[test]
+    fn time_accounting_is_exact(
+        seed in 0u64..5_000,
+        graphs in 1usize..4,
+    ) {
+        let cfg = TaskSetConfig {
+            graphs,
+            graph: GeneratorConfig {
+                nodes: (3, 8),
+                wcet: (5, 60),
+                shape: GraphShape::Layered { layers: 2, edge_prob: 0.3 },
+            },
+            utilization: 0.7,
+            fmax: 1.0,
+            period_quantum: None,
+        };
+        let set = cfg.generate(&mut StdRng::seed_from_u64(seed)).unwrap();
+        let out = simulate_lean(&set, &SchedulerSpec::bas2(), &unit_processor(), seed, 150.0)
+            .unwrap();
+        let m = &out.metrics;
+        prop_assert!((m.busy_time + m.idle_time - m.sim_time).abs() < 1e-6);
+        prop_assert!((m.sim_time - 150.0).abs() < 1e-6);
+        // Charge is bounded by running flat-out the whole horizon.
+        let i_max = unit_processor().battery_current_at(2);
+        prop_assert!(m.charge <= i_max * m.sim_time + 1e-6);
+    }
+
+    #[test]
+    fn kibam_conserves_charge(
+        c in 0.2f64..0.8,
+        k_prime in 1e-4f64..1e-1,
+        current in 0.01f64..5.0,
+        dt in 0.01f64..50.0,
+        steps in 1usize..40,
+    ) {
+        let params = KibamParams { capacity: 100.0, c, k_prime };
+        let mut cell = Kibam::new(params);
+        for _ in 0..steps {
+            if cell.step(current, dt).is_exhausted() {
+                break;
+            }
+        }
+        let s = cell.state();
+        let total = s.available + s.bound + cell.charge_delivered();
+        prop_assert!((total - 100.0).abs() < 1e-6, "conservation violated: {}", total);
+    }
+
+    #[test]
+    fn kibam_delivered_capacity_is_monotone_in_load(
+        c in 0.3f64..0.8,
+        k_prime in 1e-4f64..1e-2,
+        i_lo in 0.05f64..1.0,
+        factor in 1.1f64..10.0,
+    ) {
+        let params = KibamParams { capacity: 100.0, c, k_prime };
+        let mut cell = Kibam::new(params);
+        let q_lo = battery_aware_scheduling::battery::lifetime::delivered_at_constant_current(
+            &mut cell, i_lo,
+        );
+        let q_hi = battery_aware_scheduling::battery::lifetime::delivered_at_constant_current(
+            &mut cell,
+            i_lo * factor,
+        );
+        prop_assert!(q_lo >= q_hi - 1e-9, "q({i_lo}) = {q_lo} < q({}) = {q_hi}", i_lo * factor);
+    }
+
+    #[test]
+    fn stochastic_kibam_never_exceeds_capacity(
+        seed in 0u64..1_000,
+        current in 0.1f64..5.0,
+    ) {
+        let params = KibamParams { capacity: 50.0, c: 0.5, k_prime: 1e-2 };
+        let mut cell = StochasticKibam::new(params, 1e-3, 0.05, StochasticMode::Sampled, seed);
+        while !cell.is_exhausted() {
+            cell.step(current, 0.5);
+        }
+        prop_assert!(cell.charge_delivered() <= 50.0 + 1e-6);
+        prop_assert!(cell.charge_delivered() > 0.0);
+    }
+
+    #[test]
+    fn realization_always_delivers_requested_average(
+        fref in 0.0f64..2.0,
+    ) {
+        let p = unit_processor();
+        let r = p.realize(fref, FreqPolicy::Interpolate);
+        let clamped = fref.clamp(p.fmin(), p.fmax());
+        prop_assert!((r.average_frequency - clamped).abs() < 1e-12);
+        let total: f64 = r.segments().map(|s| s.time_fraction).sum();
+        prop_assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uunifast_always_sums_to_target(
+        n in 1usize..30,
+        total in 0.05f64..1.0,
+        seed in 0u64..1_000,
+    ) {
+        let shares = battery_aware_scheduling::taskgraph::generator::uunifast(
+            n, total, &mut StdRng::seed_from_u64(seed),
+        );
+        prop_assert_eq!(shares.len(), n);
+        let sum: f64 = shares.iter().sum();
+        prop_assert!((sum - total).abs() < 1e-9);
+        prop_assert!(shares.iter().all(|&u| u >= 0.0));
+    }
+}
