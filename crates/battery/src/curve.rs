@@ -5,8 +5,8 @@
 //! extrapolates to the **maximum capacity** (2000 mAh for the paper's cell),
 //! the high-current end to the charge of the **available well** alone.
 
-use crate::model::BatteryModel;
 use crate::lifetime::delivered_at_constant_current;
+use crate::model::BatteryModel;
 
 /// One point of the capacity curve.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,9 +33,7 @@ pub fn log_spaced_currents(lo: f64, hi: f64, points: usize) -> Vec<f64> {
     assert!(lo > 0.0 && hi > lo && points >= 2, "invalid sweep spec");
     let llo = lo.ln();
     let lhi = hi.ln();
-    (0..points)
-        .map(|i| (llo + (lhi - llo) * i as f64 / (points - 1) as f64).exp())
-        .collect()
+    (0..points).map(|i| (llo + (lhi - llo) * i as f64 / (points - 1) as f64).exp()).collect()
 }
 
 /// End-point extrapolations of a (current-ascending) capacity curve:
@@ -90,10 +88,7 @@ mod tests {
         let mut b = Kibam::new(KibamParams { capacity: 100.0, c: 0.5, k_prime: 0.01 });
         let curve = capacity_curve(&mut b, &log_spaced_currents(0.01, 50.0, 8));
         for w in curve.windows(2) {
-            assert!(
-                w[0].delivered >= w[1].delivered - 1e-6,
-                "rate-capacity: {w:?}"
-            );
+            assert!(w[0].delivered >= w[1].delivered - 1e-6, "rate-capacity: {w:?}");
         }
     }
 

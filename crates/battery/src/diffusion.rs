@@ -92,12 +92,7 @@ impl DiffusionModel {
     /// Panics on invalid parameters.
     pub fn new(params: DiffusionParams) -> Self {
         params.validate().expect("invalid diffusion parameters");
-        DiffusionModel {
-            params,
-            drawn: 0.0,
-            series: vec![0.0; params.terms],
-            exhausted: false,
-        }
+        DiffusionModel { params, drawn: 0.0, series: vec![0.0; params.terms], exhausted: false }
     }
 
     /// The paper's AAA NiMH cell.
@@ -290,11 +285,8 @@ mod tests {
     #[test]
     fn large_beta_approaches_ideal_bucket() {
         // Nearly-instant diffusion: delivered charge ~ alpha at any rate.
-        let mut b = DiffusionModel::new(DiffusionParams {
-            alpha: 100.0,
-            beta_squared: 1e4,
-            terms: 10,
-        });
+        let mut b =
+            DiffusionModel::new(DiffusionParams { alpha: 100.0, beta_squared: 1e4, terms: 10 });
         while !b.is_exhausted() {
             b.step(10.0, 0.01);
         }

@@ -50,11 +50,7 @@ impl KibamParams {
     /// calibrated so the nominal (~A-scale load) delivered capacity is about
     /// 1600 mAh, matching §5. See EXPERIMENTS.md "Battery calibration".
     pub fn paper_aaa_nimh() -> Self {
-        KibamParams {
-            capacity: mah_to_coulombs(2000.0),
-            c: 0.625,
-            k_prime: 4.5e-4,
-        }
+        KibamParams { capacity: mah_to_coulombs(2000.0), c: 0.625, k_prime: 4.5e-4 }
     }
 
     /// Validate parameter ranges.
@@ -229,10 +225,7 @@ impl BatteryModel for Kibam {
         }
         let s = self.wells_at(self.state, current, dt);
         // Clamp tiny negative round-off; real negatives were caught above.
-        self.state = KibamState {
-            available: s.available.max(0.0),
-            bound: s.bound.max(0.0),
-        };
+        self.state = KibamState { available: s.available.max(0.0), bound: s.bound.max(0.0) };
         self.delivered += current * dt;
         StepOutcome::Alive
     }
@@ -276,8 +269,7 @@ pub fn rk4_step(params: &KibamParams, state: KibamState, current: f64, dt: f64) 
     let k3 = f(add(state, k2, dt / 2.0));
     let k4 = f(add(state, k3, dt));
     KibamState {
-        available: state.available
-            + dt / 6.0 * (k1.0 + 2.0 * k2.0 + 2.0 * k3.0 + k4.0),
+        available: state.available + dt / 6.0 * (k1.0 + 2.0 * k2.0 + 2.0 * k3.0 + k4.0),
         bound: state.bound + dt / 6.0 * (k1.1 + 2.0 * k2.1 + 2.0 * k3.1 + k4.1),
     }
 }

@@ -138,11 +138,7 @@ mod tests {
     fn max_time_caps_the_run() {
         let mut b = IdealModel::new(1e9);
         let p = LoadProfile::from_pairs([(1.0, 1.0)]);
-        let r = run_profile(
-            &mut b,
-            &p,
-            RunOptions { repeat: true, max_time: 12.5, max_step: 1.0 },
-        );
+        let r = run_profile(&mut b, &p, RunOptions { repeat: true, max_time: 12.5, max_step: 1.0 });
         assert!(!r.died);
         assert!((r.lifetime - 12.5).abs() < 1e-9);
     }

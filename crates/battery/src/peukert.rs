@@ -30,10 +30,7 @@ impl PeukertParams {
         // Lifetime at i_ref: L = capacity_c / i_ref; budget = i_ref^b · L.
         let exponent = 1.15;
         let lifetime = capacity_c / i_ref;
-        PeukertParams {
-            peukert_capacity: i_ref.powf(exponent) * lifetime,
-            exponent,
-        }
+        PeukertParams { peukert_capacity: i_ref.powf(exponent) * lifetime, exponent }
     }
 
     /// Validate parameter ranges.

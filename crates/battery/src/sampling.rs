@@ -106,10 +106,7 @@ mod tests {
         let var = sumsq / trials as f64 - mean * mean;
         assert!((mean - 2500.0).abs() < 10.0, "mean {mean}");
         let expected_var = 2500.0 * 0.75;
-        assert!(
-            (var / expected_var - 1.0).abs() < 0.1,
-            "var {var} vs {expected_var}"
-        );
+        assert!((var / expected_var - 1.0).abs() < 0.1, "var {var} vs {expected_var}");
     }
 
     #[test]

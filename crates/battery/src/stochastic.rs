@@ -123,8 +123,7 @@ impl StochasticKibam {
         let need_units = whole as u64;
         if need_units > self.available_units {
             let have = self.available_units as f64 * self.quantum - self.drain_carry;
-            let survived =
-                if current > 0.0 { (have / current).clamp(0.0, dt) } else { dt };
+            let survived = if current > 0.0 { (have / current).clamp(0.0, dt) } else { dt };
             self.delivered += have.max(0.0);
             self.available_units = 0;
             self.drain_carry = 0.0;
@@ -194,9 +193,7 @@ impl BatteryModel for StochasticKibam {
             let until_slot = (self.slot - self.time_carry).max(0.0);
             let chunk = remaining.min(until_slot.max(self.slot * 1e-9));
             if let Some(survived) = self.drain(current, chunk) {
-                return StepOutcome::Exhausted {
-                    survived: (elapsed + survived).clamp(0.0, dt),
-                };
+                return StepOutcome::Exhausted { survived: (elapsed + survived).clamp(0.0, dt) };
             }
             elapsed += chunk;
             remaining -= chunk;
@@ -368,7 +365,12 @@ mod tests {
         }
         let mut b = expectation_cell();
         b.step(1.0, 1.0);
-        assert!((a.available() - b.available()).abs() < 0.06, "{} vs {}", a.available(), b.available());
+        assert!(
+            (a.available() - b.available()).abs() < 0.06,
+            "{} vs {}",
+            a.available(),
+            b.available()
+        );
         assert!((a.charge_delivered() - b.charge_delivered()).abs() < 0.06);
     }
 

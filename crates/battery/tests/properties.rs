@@ -9,8 +9,11 @@ use bas_battery::{
 use proptest::prelude::*;
 
 fn arb_kibam() -> impl Strategy<Value = KibamParams> {
-    (10.0f64..1000.0, 0.2f64..0.8, 1e-4f64..1e-1)
-        .prop_map(|(capacity, c, k_prime)| KibamParams { capacity, c, k_prime })
+    (10.0f64..1000.0, 0.2f64..0.8, 1e-4f64..1e-1).prop_map(|(capacity, c, k_prime)| KibamParams {
+        capacity,
+        c,
+        k_prime,
+    })
 }
 
 proptest! {

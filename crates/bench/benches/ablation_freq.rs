@@ -6,7 +6,7 @@
 //! This bench shows the executor overhead of each choice — the *energy*
 //! consequences are measured by `cargo run --bin ablation`.
 
-use bas_core::runner::{simulate_lean_custom, SamplerKind, SchedulerSpec};
+use bas_core::{Experiment, SamplerKind, SchedulerSpec};
 use bas_cpu::presets::{dense_dvs_processor, unit_processor};
 use bas_cpu::FreqPolicy;
 use bas_taskgraph::{GeneratorConfig, GraphShape, TaskSet, TaskSetConfig};
@@ -32,24 +32,22 @@ fn test_set() -> TaskSet {
 fn bench_freq_policies(c: &mut Criterion) {
     let set = test_set();
     let mut group = c.benchmark_group("executor-300s");
-    for (name, freq) in [
-        ("3-opp/interpolate", FreqPolicy::Interpolate),
-        ("3-opp/round-up", FreqPolicy::RoundUp),
-    ] {
+    for (name, freq) in
+        [("3-opp/interpolate", FreqPolicy::Interpolate), ("3-opp/round-up", FreqPolicy::RoundUp)]
+    {
         let proc = unit_processor();
         group.bench_function(name, |b| {
             b.iter(|| {
                 std::hint::black_box(
-                    simulate_lean_custom(
-                        &set,
-                        &SchedulerSpec::bas2(),
-                        &proc,
-                        7,
-                        300.0,
-                        freq,
-                        SamplerKind::Persistent,
-                    )
-                    .expect("feasible"),
+                    Experiment::new(&set)
+                        .spec(SchedulerSpec::bas2())
+                        .processor(&proc)
+                        .seed(7)
+                        .horizon(300.0)
+                        .freq_policy(freq)
+                        .sampler(SamplerKind::Persistent)
+                        .run()
+                        .expect("feasible"),
                 )
             })
         });
@@ -58,16 +56,15 @@ fn bench_freq_policies(c: &mut Criterion) {
     group.bench_function("dense-20-opp/interpolate", |b| {
         b.iter(|| {
             std::hint::black_box(
-                simulate_lean_custom(
-                    &set,
-                    &SchedulerSpec::bas2(),
-                    &dense,
-                    7,
-                    300.0,
-                    FreqPolicy::Interpolate,
-                    SamplerKind::Persistent,
-                )
-                .expect("feasible"),
+                Experiment::new(&set)
+                    .spec(SchedulerSpec::bas2())
+                    .processor(&dense)
+                    .seed(7)
+                    .horizon(300.0)
+                    .freq_policy(FreqPolicy::Interpolate)
+                    .sampler(SamplerKind::Persistent)
+                    .run()
+                    .expect("feasible"),
             )
         })
     });

@@ -4,9 +4,7 @@
 //! hundreds of thousands of steps, so per-step cost is what bounds sweep
 //! sizes.
 
-use bas_battery::{
-    BatteryModel, DiffusionModel, IdealModel, Kibam, PeukertModel, StochasticKibam,
-};
+use bas_battery::{BatteryModel, DiffusionModel, IdealModel, Kibam, PeukertModel, StochasticKibam};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_steps(c: &mut Criterion) {

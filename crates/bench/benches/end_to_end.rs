@@ -2,7 +2,7 @@
 //! simulated second, for each Table-2 scheduler.
 
 use bas_battery::Kibam;
-use bas_core::runner::{simulate_lean, simulate_with_battery, SchedulerSpec};
+use bas_core::{Experiment, SchedulerSpec};
 use bas_cpu::presets::unit_processor;
 use bas_taskgraph::{GeneratorConfig, GraphShape, TaskSet, TaskSetConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -32,7 +32,13 @@ fn bench_horizon_sims(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 std::hint::black_box(
-                    simulate_lean(&set, &spec, &proc, 7, 500.0).expect("feasible"),
+                    Experiment::new(&set)
+                        .spec(spec)
+                        .processor(&proc)
+                        .seed(7)
+                        .horizon(500.0)
+                        .run()
+                        .expect("feasible"),
                 )
             })
         });
@@ -46,13 +52,16 @@ fn bench_battery_cosim(c: &mut Criterion) {
     c.bench_function("cosim-until-battery-death", |b| {
         b.iter(|| {
             // Small cell so each iteration stays short.
-            let mut cell = Kibam::new(bas_battery::KibamParams {
-                capacity: 200.0,
-                c: 0.6,
-                k_prime: 1e-3,
-            });
+            let mut cell =
+                Kibam::new(bas_battery::KibamParams { capacity: 200.0, c: 0.6, k_prime: 1e-3 });
             std::hint::black_box(
-                simulate_with_battery(&set, &SchedulerSpec::bas2(), &proc, &mut cell, 7, 1e6)
+                Experiment::new(&set)
+                    .spec(SchedulerSpec::bas2())
+                    .processor(&proc)
+                    .seed(7)
+                    .horizon(1e6)
+                    .battery(&mut cell)
+                    .run()
                     .expect("feasible"),
             )
         })

@@ -118,11 +118,5 @@ fn bench_ready_list(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_governors,
-    bench_priorities,
-    bench_feasibility,
-    bench_ready_list
-);
+criterion_group!(benches, bench_governors, bench_priorities, bench_feasibility, bench_ready_list);
 criterion_main!(benches);

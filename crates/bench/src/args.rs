@@ -30,12 +30,9 @@ impl Args {
             if tok == "--" {
                 continue;
             }
-            let key = tok
-                .strip_prefix("--")
-                .unwrap_or_else(|| panic!("expected --flag, got {tok:?}"));
-            let val = it
-                .next()
-                .unwrap_or_else(|| panic!("flag --{key} needs a value"));
+            let key =
+                tok.strip_prefix("--").unwrap_or_else(|| panic!("expected --flag, got {tok:?}"));
+            let val = it.next().unwrap_or_else(|| panic!("flag --{key} needs a value"));
             flags.insert(key.to_string(), val);
         }
         Args { flags }
@@ -69,10 +66,7 @@ impl Args {
 
     /// A boolean flag (`--key true|false`), default given.
     pub fn bool(&self, key: &str, default: bool) -> bool {
-        self.flags
-            .get(key)
-            .map(|v| matches!(v.as_str(), "true" | "1" | "yes"))
-            .unwrap_or(default)
+        self.flags.get(key).map(|v| matches!(v.as_str(), "true" | "1" | "yes")).unwrap_or(default)
     }
 }
 

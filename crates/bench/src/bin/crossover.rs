@@ -15,15 +15,10 @@
 
 use bas_battery::StochasticKibam;
 use bas_bench::workloads::paper_scale_config;
-use bas_bench::{parallel_map, Args, Summary, TextTable};
-use bas_core::runner::{
-    simulate_with_battery_custom, GovernorKind, PriorityKind, SamplerKind, SchedulerSpec,
-    ScopeKind,
-};
+use bas_bench::{Args, TextTable};
+use bas_core::{SamplerKind, SchedulerSpec, Sweep};
 use bas_cpu::presets::paper_processor;
 use bas_cpu::FreqPolicy;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let args = Args::parse();
@@ -34,58 +29,48 @@ fn main() {
     let schemes: Vec<(&str, SchedulerSpec)> = vec![
         ("EDF", SchedulerSpec::edf()),
         ("ccEDF", SchedulerSpec::cc_edf()),
-        ("BAS-2cc", SchedulerSpec {
-            governor: GovernorKind::CcEdf,
-            priority: PriorityKind::Pubs,
-            scope: ScopeKind::AllReleased,
-        }),
+        ("BAS-2cc", SchedulerSpec::bas2cc()),
         ("laEDF", SchedulerSpec::la_edf()),
         ("BAS-2", SchedulerSpec::bas2()),
     ];
 
     println!("Utilization sweep — battery lifetime (min), {trials} trials per cell\n");
     let mut table = TextTable::new(&[
-        "U", "EDF", "ccEDF", "BAS-2cc", "laEDF", "BAS-2 (laEDF)", "BAS-2cc vs ccEDF", "BAS-2 vs laEDF",
+        "U",
+        "EDF",
+        "ccEDF",
+        "BAS-2cc",
+        "laEDF",
+        "BAS-2 (laEDF)",
+        "BAS-2cc vs ccEDF",
+        "BAS-2 vs laEDF",
     ]);
+    let processor = paper_processor();
     for util in [0.5, 0.6, 0.7, 0.8, 0.9] {
-        let rows = parallel_map(trials, threads, |trial| {
-            let seed = base_seed
-                .wrapping_mul(0x0b67_3e9a)
-                .wrapping_add((util * 1000.0) as u64)
-                .wrapping_add(trial as u64);
-            let mut rng = StdRng::seed_from_u64(seed);
-            let set = paper_scale_config(4, util).generate(&mut rng).expect("valid");
-            schemes
-                .iter()
-                .map(|(name, spec)| {
-                    let mut cell = StochasticKibam::paper_cell(seed ^ 5);
-                    simulate_with_battery_custom(
-                        &set,
-                        spec,
-                        &paper_processor(),
-                        &mut cell,
-                        seed,
-                        86_400.0,
-                        FreqPolicy::RoundUp,
-                        SamplerKind::Persistent,
-                    )
-                    .unwrap_or_else(|e| panic!("{name} at U={util}: {e}"))
-                    .battery
-                    .expect("report")
-                    .lifetime_minutes()
-                })
-                .collect::<Vec<f64>>()
-        });
-        let mean = |i: usize| Summary::of(&rows.iter().map(|r| r[i]).collect::<Vec<_>>()).mean;
+        // One sweep per utilization point; shift the base seed so points use
+        // unrelated trial streams.
+        let report = Sweep::over_seeds(base_seed.wrapping_add((util * 1000.0) as u64), trials)
+            .specs(schemes.iter().map(|(n, s)| (*n, *s)))
+            .workload(paper_scale_config(4, util))
+            .processor(&processor)
+            .horizon(86_400.0)
+            .threads(threads)
+            .freq_policy(FreqPolicy::RoundUp)
+            .sampler(SamplerKind::Persistent)
+            .battery(|seed| Box::new(StochasticKibam::paper_cell(seed ^ 5)))
+            .run()
+            .unwrap_or_else(|e| panic!("U={util}: {e}"));
+        let mean =
+            |label: &str| report.spec(label).unwrap().lifetime_min.expect("battery sweep").mean;
         table.row(&[
             format!("{util:.1}"),
-            format!("{:.0}", mean(0)),
-            format!("{:.0}", mean(1)),
-            format!("{:.0}", mean(2)),
-            format!("{:.0}", mean(3)),
-            format!("{:.0}", mean(4)),
-            format!("{:+.1}%", (mean(2) / mean(1) - 1.0) * 100.0),
-            format!("{:+.1}%", (mean(4) / mean(3) - 1.0) * 100.0),
+            format!("{:.0}", mean("EDF")),
+            format!("{:.0}", mean("ccEDF")),
+            format!("{:.0}", mean("BAS-2cc")),
+            format!("{:.0}", mean("laEDF")),
+            format!("{:.0}", mean("BAS-2")),
+            format!("{:+.1}%", (mean("BAS-2cc") / mean("ccEDF") - 1.0) * 100.0),
+            format!("{:+.1}%", (mean("BAS-2") / mean("laEDF") - 1.0) * 100.0),
         ]);
     }
     println!("{}", table.render());

@@ -37,7 +37,10 @@ fn show(label: &str, s: &Scenario, order_ltf: bool) -> f64 {
             e.start, e.end, name, e.frequency, e.energy
         );
     }
-    println!("    total energy {:.4} J, finished at t = {:.2} (deadline 10)\n", out.energy, out.finish);
+    println!(
+        "    total energy {:.4} J, finished at t = {:.2} (deadline 10)\n",
+        out.energy, out.finish
+    );
     out.energy
 }
 

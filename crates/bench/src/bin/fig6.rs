@@ -14,15 +14,17 @@
 //! computations use persistent per-task fractions so the pUBS estimator has
 //! something to learn, mirroring its premise.
 //!
+//! Each trial normalizes its schemes against the trial's own
+//! precedence-relaxed twin set, so this binary drives per-trial
+//! [`Experiment`]s under `parallel_map` rather than a plain [`Sweep`].
+//!
 //! Usage: `cargo run -p bas-bench --release --bin fig6 -- [--trials 40]
 //! [--max-graphs 8] [--horizon-periods 4] [--seed 1] [--threads 0]`
 
 use bas_bench::workloads::unit_scale_config;
 use bas_bench::{parallel_map, Args, Summary, TextTable};
 use bas_core::baseline::strip_precedence;
-use bas_core::runner::{
-    simulate_lean_custom, GovernorKind, PriorityKind, SamplerKind, SchedulerSpec, ScopeKind,
-};
+use bas_core::{Experiment, GovernorKind, PriorityKind, SamplerKind, SchedulerSpec, ScopeKind};
 use bas_cpu::presets::dense_dvs_processor;
 use bas_cpu::FreqPolicy;
 use rand::rngs::StdRng;
@@ -90,11 +92,7 @@ fn main() {
             let set = unit_scale_config(k, per_graph_util * k as f64)
                 .generate(&mut rng)
                 .expect("valid config");
-            let horizon = set
-                .iter()
-                .map(|(_, g)| g.period())
-                .fold(0.0, f64::max)
-                * horizon_periods;
+            let horizon = set.iter().map(|(_, g)| g.period()).fold(0.0, f64::max) * horizon_periods;
             // Near-optimal normalizer. The paper normalizes by the
             // precedence-relaxed pUBS schedule; that heuristic loses its
             // near-optimality guarantee in the periodic multi-deadline
@@ -105,26 +103,24 @@ fn main() {
             // its own series for fidelity to the paper.
             let relaxed = strip_precedence(&set);
             let run = |set: &bas_taskgraph::TaskSet, s: &SchedulerSpec| {
-                simulate_lean_custom(
-                    set,
-                    s,
-                    &processor,
-                    seed,
-                    horizon,
-                    FreqPolicy::Interpolate,
-                    SamplerKind::Persistent,
-                )
-                .expect("set feasible")
-                .metrics
+                Experiment::new(set)
+                    .spec(*s)
+                    .processor(&processor)
+                    .seed(seed)
+                    .horizon(horizon)
+                    .sampler(SamplerKind::Persistent)
+                    .run()
+                    .expect("set feasible")
+                    .metrics
             };
             let relaxed_metrics =
                 run(&relaxed, &spec(governor, PriorityKind::Pubs, ScopeKind::AllReleased));
             let fluid = |m: &bas_sim::Metrics| {
                 let f_eff = (m.cycles_executed / horizon).clamp(processor.fmin(), processor.fmax());
                 let r = processor.realize(f_eff, FreqPolicy::Interpolate);
-                let e_exec = m.cycles_executed * processor.battery_current_of(&r)
-                    * processor.supply().vbat
-                    / r.average_frequency;
+                let e_exec =
+                    m.cycles_executed * processor.battery_current_of(&r) * processor.supply().vbat
+                        / r.average_frequency;
                 // Remaining wall-clock idles at the idle draw.
                 let idle = (horizon - m.cycles_executed / f_eff).max(0.0);
                 e_exec + idle * processor.supply().idle_current * processor.supply().vbat
@@ -133,10 +129,8 @@ fn main() {
             // schedule); the last column reports that normalizer against the
             // fluid bound so its own quality is visible.
             let relaxed_energy = relaxed_metrics.energy;
-            let mut row: Vec<f64> = schemes
-                .iter()
-                .map(|(_, s)| run(&set, s).energy / relaxed_energy)
-                .collect();
+            let mut row: Vec<f64> =
+                schemes.iter().map(|(_, s)| run(&set, s).energy / relaxed_energy).collect();
             row.push(relaxed_energy / fluid(&relaxed_metrics));
             row
         });

@@ -51,8 +51,10 @@ fn main() {
         "G1 — {:.0} mAh drawn as decreasing / constant / increasing stairs, then a",
         decreasing.total_charge() / 3.6
     );
-    println!("constant {probe} A probe until exhaustion (extra mAh extracted):
-");
+    println!(
+        "constant {probe} A probe until exhaustion (extra mAh extracted):
+"
+    );
     let mut table = TextTable::new(&[
         "model",
         "after decreasing",
@@ -63,8 +65,11 @@ fn main() {
     for model in fresh_models().iter_mut() {
         let mut extra = |p: &LoadProfile| {
             model.reset();
-            let shaped =
-                run_profile(model.as_mut(), p, RunOptions { repeat: false, ..RunOptions::default() });
+            let shaped = run_profile(
+                model.as_mut(),
+                p,
+                RunOptions { repeat: false, ..RunOptions::default() },
+            );
             assert!(!shaped.died, "{}: shaping profile must fit capacity", model.name());
             let probe_profile = LoadProfile::from_pairs([(probe, 1.0)]);
             let cont = run_profile(model.as_mut(), &probe_profile, RunOptions::default());
@@ -104,10 +109,8 @@ fn main() {
     // (a) stretch to the deadline; (b) idle first, run at fmax at the end;
     // (c) run at fmax immediately, idle after.
     let stretch = LoadProfile::from_pairs([(i_slow, t_slow.min(d))]);
-    let idle_then_fast =
-        LoadProfile::from_pairs([(i_idle, d - t_fast), (i_fast, t_fast)]);
-    let fast_then_idle =
-        LoadProfile::from_pairs([(i_fast, t_fast), (i_idle, d - t_fast)]);
+    let idle_then_fast = LoadProfile::from_pairs([(i_idle, d - t_fast), (i_fast, t_fast)]);
+    let fast_then_idle = LoadProfile::from_pairs([(i_fast, t_fast), (i_idle, d - t_fast)]);
 
     println!("G2 — {cycles} cycles due by t = {d} (unit 3-OPP processor):");
     let mut table = TextTable::new(&["strategy", "charge/period (C)", "KiBaM lifetime (min)"]);
@@ -148,8 +151,5 @@ fn main() {
     // Under cyclic repetition (b) and (c) are phase shifts of one another, so
     // their long-run lifetimes nearly coincide — the pure shape effect shows
     // in the G1 probe experiment above; here we only require no regression.
-    assert!(
-        life_c >= life_b * 0.99,
-        "work-first (non-increasing) must not lose to idle-first"
-    );
+    assert!(life_c >= life_b * 0.99, "work-first (non-increasing) must not lose to idle-first");
 }

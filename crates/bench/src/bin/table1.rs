@@ -83,7 +83,9 @@ fn main() {
     println!(
         "trials per row: {trials}, utilization {util}, base seed {base_seed}, freq {freq:?}, processor {proc_name}, shape {shape_name}"
     );
-    println!("(columns show mean energy normalized to the optimal schedule; paper values in parens)\n");
+    println!(
+        "(columns show mean energy normalized to the optimal schedule; paper values in parens)\n"
+    );
 
     // pUBS(est) models a history-trained estimator: Xk = actual · U(1−ε, 1+ε).
     let noise = args.f64("noise", 0.25);
@@ -120,15 +122,10 @@ fn main() {
             };
             let cfg = GeneratorConfig { nodes: (n, n), wcet: (10, 100), shape };
             let graph = cfg.generate(format!("dag{n}"), &mut rng);
-            let scenario = Scenario::with_utilization(
-                graph,
-                util,
-                processor.clone(),
-                (0.2, 1.0),
-                &mut rng,
-            )
-            .expect("feasible by construction")
-            .with_freq_policy(freq);
+            let scenario =
+                Scenario::with_utilization(graph, util, processor.clone(), (0.2, 1.0), &mut rng)
+                    .expect("feasible by construction")
+                    .with_freq_policy(freq);
             let opt = scenario.optimal_with_budget(OPTIMAL_BUDGET)?.energy;
             // Noisy-oracle Xk: what a per-task history estimator of ~ε
             // relative accuracy would predict for this instance.

@@ -22,12 +22,10 @@
 
 use bas_battery::{BatteryModel, DiffusionModel, Kibam, StochasticKibam};
 use bas_bench::workloads::paper_scale_config;
-use bas_bench::{parallel_map, Args, Summary, TextTable};
-use bas_core::runner::{simulate_with_battery_custom, SamplerKind, SchedulerSpec};
+use bas_bench::{Args, TextTable};
+use bas_core::{SamplerKind, SchedulerSpec, SpecReport, Sweep};
 use bas_cpu::presets::paper_processor;
 use bas_cpu::FreqPolicy;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const PAPER: &[(&str, f64, f64)] = &[
     ("EDF", 1567.0, 74.0),
@@ -80,68 +78,44 @@ fn main() {
     println!(
         "trials: {trials}, {graphs} graphs/set, utilization {util}, battery {battery_kind}, base seed {base_seed}"
     );
-    println!("cell: 1.2 V AAA NiMH, 2000 mAh max capacity; processor: 1 GHz 3-OPP, ~1.8 A at fmax\n");
+    println!(
+        "cell: 1.2 V AAA NiMH, 2000 mAh max capacity; processor: 1 GHz 3-OPP, ~1.8 A at fmax\n"
+    );
 
     // Paper lineup + two supplementary rows pairing pUBS with ccEDF: at the
     // paper's 70 % utilization laEDF is already pinned at the lowest OPP
     // (nothing for ordering to win), so the ordering effect is demonstrated
     // on the governor that retains frequency headroom. At `--util 0.9` the
     // laEDF-based BAS rows separate as in the paper (see EXPERIMENTS.md).
-    use bas_core::runner::{GovernorKind, PriorityKind, ScopeKind};
     let mut lineup: Vec<(&str, SchedulerSpec)> = SchedulerSpec::table2_lineup().to_vec();
-    lineup.push((
-        "BAS-1cc",
-        SchedulerSpec {
-            governor: GovernorKind::CcEdf,
-            priority: PriorityKind::Pubs,
-            scope: ScopeKind::MostImminent,
-        },
-    ));
-    lineup.push((
-        "BAS-2cc",
-        SchedulerSpec {
-            governor: GovernorKind::CcEdf,
-            priority: PriorityKind::Pubs,
-            scope: ScopeKind::AllReleased,
-        },
-    ));
-    // results[scheme][trial] = (mAh, minutes)
-    let per_trial = parallel_map(trials, threads, |trial| {
-        let seed = base_seed
-            .wrapping_mul(0x2545_f491_4f6c_dd1d)
-            .wrapping_add(trial as u64);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let set = paper_scale_config(graphs, util)
-            .generate(&mut rng)
-            .expect("valid config");
-        let processor = paper_processor();
-        lineup
-            .iter()
-            .map(|(name, spec)| {
-                let mut battery = make_battery(&battery_kind, seed ^ 0xba77_e4ee);
-                let out = simulate_with_battery_custom(
-                    &set,
-                    spec,
-                    &processor,
-                    battery.as_mut(),
-                    seed,
-                    max_time,
-                    freq,
-                    sampler,
-                )
-                .unwrap_or_else(|e| panic!("{name} trial {trial}: {e}"));
-                assert_eq!(out.metrics.deadline_misses, 0, "{name} missed a deadline");
-                let report = out.battery.expect("battery report");
-                if !report.died {
-                    eprintln!(
-                        "warning: {name} trial {trial} censored at {:.0} min",
-                        report.lifetime_minutes()
-                    );
-                }
-                (report.delivered_mah(), report.lifetime_minutes())
-            })
-            .collect::<Vec<(f64, f64)>>()
-    });
+    lineup.push(("BAS-1cc", SchedulerSpec::bas1cc()));
+    lineup.push(("BAS-2cc", SchedulerSpec::bas2cc()));
+
+    let processor = paper_processor();
+    let report = Sweep::over_seeds(base_seed, trials)
+        .specs(lineup)
+        .workload(paper_scale_config(graphs, util))
+        .processor(&processor)
+        .horizon(max_time)
+        .threads(threads)
+        .freq_policy(freq)
+        .sampler(sampler)
+        .battery(|seed| make_battery(&battery_kind, seed ^ 0xba77_e4ee))
+        .run()
+        .unwrap_or_else(|e| panic!("sweep failed: {e}"));
+    for spec in &report.specs {
+        for t in &spec.trials {
+            assert_eq!(t.deadline_misses, 0, "{} missed a deadline", spec.label);
+            if t.battery_died == Some(false) {
+                eprintln!(
+                    "warning: {} seed {} censored at {:.0} min",
+                    spec.label,
+                    t.seed,
+                    t.lifetime_minutes().unwrap_or(0.0)
+                );
+            }
+        }
+    }
 
     let mut table = TextTable::new(&[
         "Scheme",
@@ -161,23 +135,19 @@ fn main() {
         ("BAS-1cc", "ccEDF", "pUBS", "most imminent"),
         ("BAS-2cc", "ccEDF", "pUBS", "all released"),
     ];
-    let mut lifetimes: Vec<Summary> = Vec::new();
-    for (i, (name, _)) in lineup.iter().enumerate() {
-        let mah: Vec<f64> = per_trial.iter().map(|t| t[i].0).collect();
-        let min: Vec<f64> = per_trial.iter().map(|t| t[i].1).collect();
-        let mah_s = Summary::of(&mah);
-        let min_s = Summary::of(&min);
-        lifetimes.push(min_s);
+    for (i, spec) in report.specs.iter().enumerate() {
+        let mah_s = spec.delivered_mah.expect("battery sweep");
+        let min_s = spec.lifetime_min.expect("battery sweep");
         let (_, dvs, prio, ready) = meta[i];
         let paper_col = if i < PAPER.len() {
             let (pname, pmah, pmin) = PAPER[i];
-            assert_eq!(*name, pname);
+            assert_eq!(spec.label, pname);
             format!("{pmah:.0}/{pmin:.0}")
         } else {
             "—".to_string()
         };
         table.row(&[
-            name.to_string(),
+            spec.label.clone(),
             dvs.to_string(),
             prio.to_string(),
             ready.to_string(),
@@ -189,38 +159,41 @@ fn main() {
     println!("{}", table.render());
 
     // §6 headline numbers: improvements in battery lifetime.
-    let life = |i: usize| lifetimes[i].mean;
+    let life = |label: &str| report.spec(label).unwrap().lifetime_min.expect("battery sweep").mean;
     let pct = |a: f64, b: f64| (a / b - 1.0) * 100.0;
     println!("battery-lifetime improvements (mean):");
     println!(
         "  BAS-2 vs laEDF : {:+.1}%   (paper: up to +23.3%)",
-        pct(life(4), life(2))
+        pct(life("BAS-2"), life("laEDF"))
     );
-    println!(
-        "  BAS-2 vs ccEDF : {:+.1}%   (paper: up to +47%)",
-        pct(life(4), life(1))
-    );
-    println!(
-        "  BAS-2 vs no-DVS: {:+.1}%   (paper: up to +100%)",
-        pct(life(4), life(0))
-    );
-    // Per-trial maxima — the paper's "up to" phrasing.
-    let mut max_vs_la = f64::MIN;
-    let mut max_vs_cc = f64::MIN;
-    let mut max_vs_edf = f64::MIN;
-    for t in &per_trial {
-        max_vs_la = max_vs_la.max(pct(t[4].1, t[2].1));
-        max_vs_cc = max_vs_cc.max(pct(t[4].1, t[1].1));
-        max_vs_edf = max_vs_edf.max(pct(t[4].1, t[0].1));
-    }
+    println!("  BAS-2 vs ccEDF : {:+.1}%   (paper: up to +47%)", pct(life("BAS-2"), life("ccEDF")));
+    println!("  BAS-2 vs no-DVS: {:+.1}%   (paper: up to +100%)", pct(life("BAS-2"), life("EDF")));
+    // Per-trial maxima — the paper's "up to" phrasing. Trials are aligned by
+    // seed across specs, so per-trial ratios compare like with like.
+    let lifetimes = |label: &str| -> Vec<f64> {
+        report
+            .spec(label)
+            .unwrap()
+            .trials
+            .iter()
+            .map(|t| t.lifetime_minutes().expect("battery sweep"))
+            .collect()
+    };
+    let bas2 = lifetimes("BAS-2");
+    let max_vs = |other: &SpecReport| {
+        bas2.iter()
+            .zip(&other.trials)
+            .map(|(b, t)| pct(*b, t.lifetime_minutes().expect("battery sweep")))
+            .fold(f64::MIN, f64::max)
+    };
     println!("per-set maxima ('up to'):");
-    println!("  BAS-2 vs laEDF : {max_vs_la:+.1}%");
-    println!("  BAS-2 vs ccEDF : {max_vs_cc:+.1}%");
-    println!("  BAS-2 vs no-DVS: {max_vs_edf:+.1}%");
+    println!("  BAS-2 vs laEDF : {:+.1}%", max_vs(report.spec("laEDF").unwrap()));
+    println!("  BAS-2 vs ccEDF : {:+.1}%", max_vs(report.spec("ccEDF").unwrap()));
+    println!("  BAS-2 vs no-DVS: {:+.1}%", max_vs(report.spec("EDF").unwrap()));
     println!("ordering effect at constant governor (ccEDF):");
     println!(
         "  BAS-1cc vs ccEDF: {:+.1}%   BAS-2cc vs ccEDF: {:+.1}%   (BAS-2cc > BAS-1cc expected)",
-        pct(life(5), life(1)),
-        pct(life(6), life(1))
+        pct(life("BAS-1cc"), life("ccEDF")),
+        pct(life("BAS-2cc"), life("ccEDF"))
     );
 }

@@ -11,14 +11,35 @@
 //! | `fig6` | Figure 6 — ordering schemes normalized to near-optimal |
 //! | `capacity_curve` | §5 load-vs-delivered-capacity curve + extrapolation |
 //! | `guidelines` | §3 guideline experiments (G1 shape, G2 no-idle) |
+//! | `crossover` | utilization sweep — where the battery-aware gains appear |
 //! | `ablation` | design-choice ablations (freq realization, estimators, feasibility variant) |
 //!
 //! Run e.g. `cargo run -p bas-bench --release --bin table2 -- --trials 100 --seed 1`.
 //!
-//! The library half holds the shared pieces: a tiny flag parser, seeded
-//! parallel sweeps (crossbeam scoped threads, one RNG stream per job —
-//! parallelism never changes results), text-table rendering, and summary
-//! statistics.
+//! ## Running experiments
+//!
+//! Since the `Experiment`/`Sweep` redesign the binaries are thin wrappers
+//! over `bas_core`'s batch API; each paper artifact maps to one sweep:
+//!
+//! * **Table 2** (`table2`) — `Sweep::over_seeds(seed, trials)
+//!   .specs(table2_lineup()).workload(paper_scale_config(..))
+//!   .battery(..)` on the 1 GHz processor; per-spec lifetime and charge
+//!   summaries drop straight out of the [`bas_core::SweepReport`].
+//! * **Crossover** (`crossover`) — one such sweep per utilization point.
+//! * **Ablations 1 & 4** (`ablation`) — the same sweep with the
+//!   `.freq_policy(..)` / `.sampler(..)` knobs (and a rescaled processor)
+//!   varied between runs.
+//! * **Figure 6** (`fig6`) — per-trial [`bas_core::Experiment`]s under
+//!   [`bas_core::parallel_map`], because each trial normalizes against its
+//!   own precedence-relaxed twin.
+//! * **Table 1 / Figure 4** — offline single-DAG scenarios
+//!   (`bas_core::single_dag`), no simulator in the loop.
+//!
+//! The library half holds what is genuinely bench-specific: a tiny flag
+//! parser ([`Args`]), text-table rendering ([`TextTable`]) and the standard
+//! workload families ([`workloads`]). Parallel sweeps and summary statistics
+//! moved into `bas-core` with the experiment API; [`parallel_map`] and
+//! [`Summary`] are re-exported here for compatibility.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +51,6 @@ pub mod table;
 pub mod workloads;
 
 pub use args::Args;
-pub use parallel::parallel_map;
-pub use stats::Summary;
+pub use bas_core::parallel::parallel_map;
+pub use bas_core::stats::Summary;
 pub use table::TextTable;

@@ -1,101 +1,27 @@
-//! Deterministic parallel sweeps.
+//! Deprecated home of the deterministic parallel fan-out.
 //!
-//! Experiments are embarrassingly parallel over trial seeds. Jobs are
-//! distributed over crossbeam scoped threads through a shared atomic cursor;
-//! results land in a preallocated slot per job, so the output order (and
-//! therefore every downstream average) is identical to a sequential run —
-//! parallelism is purely a wall-clock optimization, per the reproducibility
-//! policy in DESIGN.md §5.
-
-use std::sync::atomic::{AtomicUsize, Ordering};
+//! `parallel_map` moved to [`bas_core::parallel`] when the `Sweep` layer
+//! absorbed batch execution; this module remains one release as a shim.
 
 /// Map `f` over `0..jobs` in parallel, preserving index order in the output.
 ///
-/// `f` must be `Sync` (it is shared by worker threads) and is called exactly
-/// once per index. `threads = 0` means "number of available cores".
+/// Moved to `bas_core::parallel::parallel_map` (also re-exported as
+/// `bas_bench::parallel_map`); this shim forwards to it.
+#[deprecated(since = "0.2.0", note = "moved to bas_core::parallel::parallel_map")]
 pub fn parallel_map<T, F>(jobs: usize, threads: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    } else {
-        threads
-    };
-    let threads = threads.min(jobs.max(1));
-    let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
-    if threads <= 1 {
-        for (i, slot) in slots.iter_mut().enumerate() {
-            *slot = Some(f(i));
-        }
-    } else {
-        let cursor = AtomicUsize::new(0);
-        // Hand each worker a disjoint view of the slots via split_at_mut
-        // chains? Simpler: collect into per-worker vecs then scatter. We use
-        // a mutex-free scatter: each worker owns the indices it claims and
-        // writes into raw slot pointers would need unsafe — instead collect
-        // (index, value) pairs per worker and merge afterwards.
-        let mut buckets: Vec<Vec<(usize, T)>> = Vec::with_capacity(threads);
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(threads);
-            for _ in 0..threads {
-                let cursor = &cursor;
-                let f = &f;
-                handles.push(scope.spawn(move |_| {
-                    let mut mine = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= jobs {
-                            break;
-                        }
-                        mine.push((i, f(i)));
-                    }
-                    mine
-                }));
-            }
-            for h in handles {
-                buckets.push(h.join().expect("worker panicked"));
-            }
-        })
-        .expect("scope panicked");
-        for (i, v) in buckets.into_iter().flatten() {
-            slots[i] = Some(v);
-        }
-    }
-    slots
-        .into_iter()
-        .map(|s| s.expect("every job filled its slot"))
-        .collect()
+    bas_core::parallel::parallel_map(jobs, threads, f)
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-
     #[test]
-    fn preserves_index_order() {
-        let out = parallel_map(100, 4, |i| i * 2);
-        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn sequential_and_parallel_agree() {
-        let seq = parallel_map(37, 1, |i| (i as f64).sqrt());
-        let par = parallel_map(37, 8, |i| (i as f64).sqrt());
-        assert_eq!(seq, par);
-    }
-
-    #[test]
-    fn zero_jobs_is_empty() {
-        let out: Vec<usize> = parallel_map(0, 4, |i| i);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn zero_threads_uses_available_cores() {
-        let out = parallel_map(10, 0, |i| i + 1);
-        assert_eq!(out.len(), 10);
-        assert_eq!(out[9], 10);
+    #[allow(deprecated)]
+    fn shim_forwards_to_core() {
+        let out = super::parallel_map(10, 2, |i| i * 3);
+        assert_eq!(out, (0..10).map(|i| i * 3).collect::<Vec<_>>());
     }
 }

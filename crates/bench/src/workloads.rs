@@ -99,10 +99,7 @@ mod tests {
         for (_, pg) in set.iter() {
             for (id, node) in pg.graph().nodes() {
                 let dur_at_fmax = node.wcet as f64 / 1.0e9;
-                assert!(
-                    (0.009..=0.101).contains(&dur_at_fmax),
-                    "node {id}: {dur_at_fmax} s"
-                );
+                assert!((0.009..=0.101).contains(&dur_at_fmax), "node {id}: {dur_at_fmax} s");
             }
         }
     }

@@ -1,0 +1,203 @@
+//! Offline stand-in for the subset of the `criterion` crate this workspace
+//! uses.
+//!
+//! The build environment has no registry access, so this crate provides an
+//! API-compatible miniature benchmark harness: [`Criterion`],
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical analysis it runs a short calibrated
+//! loop and prints mean wall-clock time per iteration — enough to compare
+//! hot paths locally and to keep `cargo build --benches` honest in CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (departed to `std::hint`).
+pub use std::hint::black_box;
+
+/// How per-iteration setup output is batched (subset; sizes only steer the
+/// batch count upstream, which this stand-in does not need).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher {
+    /// Measured mean time per iteration, filled by `iter*`.
+    elapsed: Duration,
+    iters: u64,
+}
+
+/// Target wall-clock budget per benchmark (keeps `cargo bench` quick).
+const BUDGET: Duration = Duration::from_millis(300);
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher { elapsed: Duration::ZERO, iters: 0 }
+    }
+
+    /// Time `routine` over a calibrated number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: run once to estimate cost, then fill the budget.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let iters = (BUDGET.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = t0.elapsed();
+        self.iters = iters;
+    }
+
+    /// Time `routine` with a fresh `setup()` input per iteration; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let t0 = Instant::now();
+        black_box(routine(input));
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let iters = (BUDGET.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            total += t0.elapsed();
+        }
+        self.elapsed = total;
+        self.iters = iters;
+    }
+
+    fn report(&self, name: &str) {
+        if self.iters == 0 {
+            println!("{name:50} (no measurement)");
+            return;
+        }
+        let per_iter = self.elapsed.as_nanos() as f64 / self.iters as f64;
+        let (value, unit) = if per_iter >= 1e9 {
+            (per_iter / 1e9, "s")
+        } else if per_iter >= 1e6 {
+            (per_iter / 1e6, "ms")
+        } else if per_iter >= 1e3 {
+            (per_iter / 1e3, "µs")
+        } else {
+            (per_iter, "ns")
+        };
+        println!("{name:50} {value:10.3} {unit}/iter  ({} iters)", self.iters);
+    }
+}
+
+/// A named group of benchmarks (prefixes its members' names).
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark within the group.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: impl std::fmt::Display, f: R) {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(full, f);
+    }
+
+    /// Upstream requires an explicit finish; a no-op here.
+    pub fn finish(self) {}
+}
+
+/// The benchmark context (subset of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: R,
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&id.to_string());
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self }
+    }
+}
+
+/// Declare a group of benchmark functions, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let _ = $cfg;
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group!(benches, quick);
+
+    #[test]
+    fn group_macro_produces_callable() {
+        benches();
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::new();
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.iters >= 1);
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("x", |b| b.iter(|| 2 * 2));
+        g.finish();
+    }
+}

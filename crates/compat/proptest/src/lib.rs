@@ -1,0 +1,416 @@
+//! Offline stand-in for the subset of the `proptest` crate this workspace
+//! uses.
+//!
+//! The build environment has no registry access, so this crate implements
+//! just enough of proptest's API for the workspace's property tests to
+//! compile and run: the [`proptest!`] macro (with
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`), [`Strategy`] with
+//! `prop_map`, range and tuple strategies, `Just`, `prop_oneof!`,
+//! `prop::collection::vec`, and the `prop_assert*` macros.
+//!
+//! Differences from upstream: inputs are drawn from a deterministic
+//! per-test RNG (derived from the test name), there is **no shrinking** on
+//! failure, and no persisted regression files. A failing case panics with
+//! the drawn inputs' debug representation where available.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Error type carried by `prop_assert!` failures inside a test case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    /// A failed-assertion error.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Result type of a property body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (subset: number of cases).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is run with.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of values of an associated type.
+///
+/// Upstream proptest separates strategies from value trees (for shrinking);
+/// this stand-in generates values directly.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Box the strategy (type erasure, used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe helper behind [`BoxedStrategy`].
+trait DynStrategy<V> {
+    fn dyn_generate(&self, rng: &mut StdRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut StdRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy producing one fixed value (clone per case).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Union of same-valued strategies, chosen uniformly (see [`prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Build from boxed arms. Panics on an empty arm list.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// `prop::` namespace mirror.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{StdRngAlias, Strategy};
+        use rand::Rng;
+
+        /// Strategy for `Vec`s with element strategy `S` and a length range.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: std::ops::Range<usize>,
+        }
+
+        /// `vec(element, len_range)` — upstream signature subset.
+        pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "vec(): empty length range");
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRngAlias) -> Vec<S::Value> {
+                let n = rng.gen_range(self.len.clone());
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+// Internal alias so the `prop` module can name the RNG without a public dep.
+use rand::rngs::StdRng as StdRngAlias;
+
+/// Derive a stable per-test seed from the test's module path and name.
+pub fn seed_for(name: &str) -> u64 {
+    // FNV-1a.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Run `cases` iterations of a property body with a deterministic RNG.
+///
+/// This is the engine behind the [`proptest!`] macro; it is public so the
+/// macro can expand to calls into it.
+pub fn run_property<F>(name: &str, cases: u32, mut body: F)
+where
+    F: FnMut(&mut StdRng, u32) -> TestCaseResult,
+{
+    let mut rng = StdRng::seed_from_u64(seed_for(name));
+    for case in 0..cases {
+        if let Err(e) = body(&mut rng, case) {
+            panic!("property '{name}' failed at case {case}: {e}");
+        }
+    }
+}
+
+/// The proptest entry-point macro (subset).
+///
+/// Supports an optional leading
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` and any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            #[allow(unreachable_code, unused_mut)]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                $crate::run_property(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    config.cases,
+                    |prop_rng, _case| {
+                        $(
+                            let $arg = $crate::Strategy::generate(&($strat), prop_rng);
+                        )+
+                        let mut run = || -> $crate::TestCaseResult { $body Ok(()) };
+                        run()
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {{
+        let cond: bool = $cond;
+        if !cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    }};
+    ($cond:expr, $($fmt:tt)*) => {{
+        let cond: bool = $cond;
+        if !cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+/// `prop_assert_eq!(a, b)` / with trailing format message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                a,
+                b,
+                format!($($fmt)*)
+            )));
+        }
+    }};
+}
+
+/// `prop_oneof![s1, s2, ...]` — uniform choice among strategies of one
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (u64, f64)> {
+        (1u64..100, 0.5f64..2.0)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            x in 3u64..10,
+            y in 0.25f64..0.75,
+            n in 2usize..=5,
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y));
+            prop_assert!((2..=5).contains(&n));
+        }
+
+        #[test]
+        fn maps_and_tuples_compose(
+            p in arb_pair().prop_map(|(a, b)| a as f64 * b),
+        ) {
+            prop_assert!(p > 0.0, "got {p}");
+        }
+
+        #[test]
+        fn oneof_and_vec_work(
+            choice in prop_oneof![Just(1u8), Just(2u8)],
+            xs in prop::collection::vec(0.0f64..5.0, 1..10),
+        ) {
+            prop_assert!(choice == 1 || choice == 2);
+            prop_assert!(!xs.is_empty() && xs.len() < 10);
+            prop_assert!(xs.iter().all(|&x| (0.0..5.0).contains(&x)));
+        }
+
+        #[test]
+        fn early_ok_return_is_allowed(a in 0u64..10) {
+            if a > 100 {
+                return Ok(());
+            }
+            prop_assert_eq!(a, a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_number() {
+        crate::run_property("always-fails", 5, |_rng, _case| {
+            Err(crate::TestCaseError::fail("nope"))
+        });
+    }
+
+    #[test]
+    fn deterministic_per_test_seed() {
+        assert_eq!(crate::seed_for("a::b"), crate::seed_for("a::b"));
+        assert_ne!(crate::seed_for("a::b"), crate::seed_for("a::c"));
+    }
+}

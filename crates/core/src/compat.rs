@@ -1,0 +1,196 @@
+//! Deprecated one-call simulation façade.
+//!
+//! These free functions were the original experiment API; they are kept for
+//! one release as thin shims over the [`crate::experiment::Experiment`]
+//! builder so out-of-tree callers get a compile-time nudge instead of
+//! breakage. Each shim reproduces its historical behaviour exactly
+//! (including `simulate`/`simulate_lean` hardcoding the i.i.d. uniform
+//! sampler — the builder's `.sampler(..)` knob is how you actually choose).
+
+use crate::experiment::Experiment;
+use crate::runner::{SamplerKind, SchedulerSpec};
+use bas_battery::BatteryModel;
+use bas_cpu::Processor;
+use bas_sim::{SimError, SimOutcome};
+use bas_taskgraph::TaskSet;
+
+/// Simulate `set` under `spec` for `horizon` seconds (no battery), with
+/// trace recording on.
+#[deprecated(
+    since = "0.2.0",
+    note = "use Experiment::new(set).spec(..).processor(..).seed(..).horizon(..).trace(true).run()"
+)]
+pub fn simulate(
+    set: &TaskSet,
+    spec: &SchedulerSpec,
+    processor: &Processor,
+    seed: u64,
+    horizon: f64,
+) -> Result<SimOutcome, SimError> {
+    Experiment::new(set)
+        .spec(*spec)
+        .processor(processor)
+        .seed(seed)
+        .horizon(horizon)
+        .trace(true)
+        .run()
+}
+
+/// Like [`simulate`] but without trace recording (fast path for sweeps).
+#[deprecated(
+    since = "0.2.0",
+    note = "use Experiment::new(set).spec(..).processor(..).seed(..).horizon(..).run()"
+)]
+pub fn simulate_lean(
+    set: &TaskSet,
+    spec: &SchedulerSpec,
+    processor: &Processor,
+    seed: u64,
+    horizon: f64,
+) -> Result<SimOutcome, SimError> {
+    Experiment::new(set).spec(*spec).processor(processor).seed(seed).horizon(horizon).run()
+}
+
+/// Co-simulate with a battery until it dies (or `max_time`).
+#[deprecated(
+    since = "0.2.0",
+    note = "use Experiment::new(set).spec(..).processor(..).seed(..).horizon(..).battery(..).run()"
+)]
+pub fn simulate_with_battery(
+    set: &TaskSet,
+    spec: &SchedulerSpec,
+    processor: &Processor,
+    battery: &mut dyn BatteryModel,
+    seed: u64,
+    max_time: f64,
+) -> Result<SimOutcome, SimError> {
+    Experiment::new(set)
+        .spec(*spec)
+        .processor(processor)
+        .seed(seed)
+        .horizon(max_time)
+        .battery(battery)
+        .run()
+}
+
+/// [`simulate_with_battery`] with an explicit frequency-realization policy.
+#[deprecated(since = "0.2.0", note = "use the Experiment builder's .freq_policy(..) knob")]
+pub fn simulate_with_battery_freq(
+    set: &TaskSet,
+    spec: &SchedulerSpec,
+    processor: &Processor,
+    battery: &mut dyn BatteryModel,
+    seed: u64,
+    max_time: f64,
+    freq_policy: bas_cpu::FreqPolicy,
+) -> Result<SimOutcome, SimError> {
+    Experiment::new(set)
+        .spec(*spec)
+        .processor(processor)
+        .seed(seed)
+        .horizon(max_time)
+        .battery(battery)
+        .freq_policy(freq_policy)
+        .run()
+}
+
+/// Fully-parameterized battery co-simulation.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the Experiment builder's .freq_policy(..) and .sampler(..) knobs"
+)]
+#[allow(clippy::too_many_arguments)] // frozen legacy signature
+pub fn simulate_with_battery_custom(
+    set: &TaskSet,
+    spec: &SchedulerSpec,
+    processor: &Processor,
+    battery: &mut dyn BatteryModel,
+    seed: u64,
+    max_time: f64,
+    freq_policy: bas_cpu::FreqPolicy,
+    sampler_kind: SamplerKind,
+) -> Result<SimOutcome, SimError> {
+    Experiment::new(set)
+        .spec(*spec)
+        .processor(processor)
+        .seed(seed)
+        .horizon(max_time)
+        .battery(battery)
+        .freq_policy(freq_policy)
+        .sampler(sampler_kind)
+        .run()
+}
+
+/// Fully-parameterized horizon simulation (no battery), lean (no trace).
+#[deprecated(
+    since = "0.2.0",
+    note = "use the Experiment builder's .freq_policy(..) and .sampler(..) knobs"
+)]
+#[allow(clippy::too_many_arguments)] // frozen legacy signature
+pub fn simulate_lean_custom(
+    set: &TaskSet,
+    spec: &SchedulerSpec,
+    processor: &Processor,
+    seed: u64,
+    horizon: f64,
+    freq_policy: bas_cpu::FreqPolicy,
+    sampler_kind: SamplerKind,
+) -> Result<SimOutcome, SimError> {
+    Experiment::new(set)
+        .spec(*spec)
+        .processor(processor)
+        .seed(seed)
+        .horizon(horizon)
+        .freq_policy(freq_policy)
+        .sampler(sampler_kind)
+        .run()
+}
+
+#[cfg(test)]
+#[allow(deprecated)]
+mod tests {
+    use super::*;
+    use bas_cpu::presets::unit_processor;
+    use bas_cpu::FreqPolicy;
+    use bas_taskgraph::TaskSetConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The shims must reproduce the builder bit-for-bit — this is the
+    /// contract that lets callers migrate without result drift.
+    #[test]
+    fn shims_match_builder_exactly() {
+        let set = TaskSetConfig::default().generate(&mut StdRng::seed_from_u64(3)).unwrap();
+        let proc = unit_processor();
+        let old = simulate_lean(&set, &SchedulerSpec::bas2(), &proc, 9, 300.0).unwrap();
+        let new = Experiment::new(&set)
+            .spec(SchedulerSpec::bas2())
+            .processor(&proc)
+            .seed(9)
+            .horizon(300.0)
+            .run()
+            .unwrap();
+        assert_eq!(old.metrics, new.metrics);
+
+        let old = simulate_lean_custom(
+            &set,
+            &SchedulerSpec::bas1(),
+            &proc,
+            9,
+            300.0,
+            FreqPolicy::RoundUp,
+            SamplerKind::Persistent,
+        )
+        .unwrap();
+        let new = Experiment::new(&set)
+            .spec(SchedulerSpec::bas1())
+            .processor(&proc)
+            .seed(9)
+            .horizon(300.0)
+            .freq_policy(FreqPolicy::RoundUp)
+            .sampler(SamplerKind::Persistent)
+            .run()
+            .unwrap();
+        assert_eq!(old.metrics, new.metrics);
+    }
+}

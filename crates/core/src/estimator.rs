@@ -71,20 +71,13 @@ impl CycleEstimator for EmaEstimator {
     }
 
     fn estimate(&self, task: TaskRef, wcet: f64) -> f64 {
-        let raw = self
-            .history
-            .get(&task)
-            .copied()
-            .unwrap_or(self.cold_fraction * wcet);
+        let raw = self.history.get(&task).copied().unwrap_or(self.cold_fraction * wcet);
         raw.clamp(1e-9, wcet)
     }
 
     fn observe(&mut self, task: TaskRef, actual: f64) {
         let alpha = self.alpha;
-        self.history
-            .entry(task)
-            .and_modify(|e| *e += alpha * (actual - *e))
-            .or_insert(actual);
+        self.history.entry(task).and_modify(|e| *e += alpha * (actual - *e)).or_insert(actual);
     }
 }
 

@@ -1,0 +1,822 @@
+//! The builder-style experiment API.
+//!
+//! The paper's whole evaluation is one experiment shape — a scheduler spec ×
+//! workload × processor × battery × sampler, repeated over seeds — so the
+//! workspace expresses it with two composable types instead of a zoo of free
+//! functions:
+//!
+//! * [`Experiment`] — one run. Configure a [`SchedulerSpec`], a workload, a
+//!   processor and a seed, optionally attach a battery, and `run()`:
+//!
+//!   ```
+//!   use bas_core::{Experiment, SchedulerSpec};
+//!   use bas_cpu::presets::unit_processor;
+//!   use bas_taskgraph::TaskSetConfig;
+//!   use rand::{rngs::StdRng, SeedableRng};
+//!
+//!   let set = TaskSetConfig::default()
+//!       .generate(&mut StdRng::seed_from_u64(7))
+//!       .unwrap();
+//!   let proc = unit_processor();
+//!   let out = Experiment::new(&set)
+//!       .spec(SchedulerSpec::bas2())
+//!       .processor(&proc)
+//!       .seed(42)
+//!       .horizon(200.0)
+//!       .run()
+//!       .unwrap();
+//!   assert_eq!(out.metrics.deadline_misses, 0);
+//!   ```
+//!
+//! * [`Sweep`] — a batch of experiments over trial seeds × scheduler specs,
+//!   with deterministic parallel fan-out (see [`crate::parallel`]) and
+//!   per-spec [`Summary`] statistics:
+//!
+//!   ```no_run
+//!   use bas_core::{SchedulerSpec, Sweep};
+//!   use bas_cpu::presets::unit_processor;
+//!   use bas_taskgraph::TaskSetConfig;
+//!
+//!   let proc = unit_processor();
+//!   let report = Sweep::over_seeds(1, 20)
+//!       .specs(SchedulerSpec::table2_lineup())
+//!       .workload(TaskSetConfig::default())
+//!       .processor(&proc)
+//!       .horizon(300.0)
+//!       .threads(0)
+//!       .run()
+//!       .unwrap();
+//!   for spec in &report.specs {
+//!       println!("{}: {}", spec.label, spec.energy);
+//!   }
+//!   ```
+//!
+//! ## Determinism
+//!
+//! Every stochastic piece of a trial (workload generation, random priority,
+//! actual-computation sampling, stochastic battery) derives from the trial
+//! seed, and [`parallel_map`] scatters results back into trial order, so a
+//! sweep's [`SweepReport`] is **bit-identical** for any `threads` setting —
+//! parallelism is purely a wall-clock optimization.
+
+use crate::parallel::parallel_map;
+use crate::runner::{SamplerKind, SchedulerSpec};
+use crate::stats::Summary;
+use bas_battery::BatteryModel;
+use bas_cpu::{FreqPolicy, Processor};
+use bas_sim::{DeadlineMode, Executor, SimConfig, SimError, SimOutcome};
+use bas_taskgraph::{TaskSet, TaskSetConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// A single configured experiment run: scheduler spec × workload ×
+/// processor × seed, optionally co-simulated with a battery.
+///
+/// Construct with [`Experiment::new`], chain setters, finish with
+/// [`Experiment::run`]. Required pieces: [`spec`](Self::spec),
+/// [`processor`](Self::processor) and [`horizon`](Self::horizon) — `run`
+/// returns [`SimError::Unconfigured`] when one is missing. Everything else
+/// defaults to the paper's evaluation setup: i.i.d. uniform actuals,
+/// interpolated frequency realization, fail on deadline miss, no trace.
+pub struct Experiment<'a> {
+    set: &'a TaskSet,
+    spec: Option<SchedulerSpec>,
+    processor: Option<&'a Processor>,
+    seed: u64,
+    horizon: Option<f64>,
+    battery: Option<&'a mut dyn BatteryModel>,
+    sampler: SamplerKind,
+    freq_policy: FreqPolicy,
+    deadline_mode: DeadlineMode,
+    trace: bool,
+    check_feasibility: bool,
+}
+
+impl<'a> Experiment<'a> {
+    /// Start configuring an experiment over `set`.
+    pub fn new(set: &'a TaskSet) -> Self {
+        Experiment {
+            set,
+            spec: None,
+            processor: None,
+            seed: 0,
+            horizon: None,
+            battery: None,
+            sampler: SamplerKind::IidUniform,
+            freq_policy: FreqPolicy::Interpolate,
+            deadline_mode: DeadlineMode::Fail,
+            trace: false,
+            check_feasibility: true,
+        }
+    }
+
+    /// The scheduler to run (required).
+    pub fn spec(mut self, spec: SchedulerSpec) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// The DVS processor model (required).
+    pub fn processor(mut self, processor: &'a Processor) -> Self {
+        self.processor = Some(processor);
+        self
+    }
+
+    /// Seed for every stochastic piece (random priority, sampler). Two runs
+    /// with equal configuration and seed are bit-identical. Default 0.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Simulated-time bound, seconds (required). Without a battery this is
+    /// the exact horizon; with one it caps the co-simulation (censoring runs
+    /// that outlive it).
+    pub fn horizon(mut self, horizon: f64) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Co-simulate against `battery` until it dies (or the horizon passes).
+    pub fn battery(mut self, battery: &'a mut dyn BatteryModel) -> Self {
+        self.battery = Some(battery);
+        self
+    }
+
+    /// How actual computations are drawn. This is the **only** sampler knob —
+    /// the deprecated `simulate`/`simulate_lean` façade hardcoded
+    /// [`SamplerKind::IidUniform`] and silently ignored the concept.
+    /// Default [`SamplerKind::IidUniform`] (the literal reading of §5).
+    pub fn sampler(mut self, sampler: SamplerKind) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
+    /// How continuous `fref` maps onto discrete operating points. Default
+    /// [`FreqPolicy::Interpolate`] (the optimal two-point scheme of \[4\]).
+    pub fn freq_policy(mut self, policy: FreqPolicy) -> Self {
+        self.freq_policy = policy;
+        self
+    }
+
+    /// Deadline-miss behaviour. Default [`DeadlineMode::Fail`] — every
+    /// scheduler of the paper is supposed to be miss-free, so a miss aborts.
+    pub fn deadline_mode(mut self, mode: DeadlineMode) -> Self {
+        self.deadline_mode = mode;
+        self
+    }
+
+    /// Record the full execution trace. Default `false` (traces cost memory
+    /// on long runs; metrics and battery accounting are exact regardless).
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Reject over-utilized / structurally infeasible sets up front.
+    /// Default `true`.
+    pub fn check_feasibility(mut self, check: bool) -> Self {
+        self.check_feasibility = check;
+        self
+    }
+
+    /// Run the experiment.
+    pub fn run(self) -> Result<SimOutcome, SimError> {
+        let spec = self.spec.ok_or(SimError::Unconfigured("spec"))?;
+        let processor = self.processor.ok_or(SimError::Unconfigured("processor"))?;
+        let horizon = self.horizon.ok_or(SimError::Unconfigured("horizon"))?;
+        let mut governor = spec.build_governor(processor.fmax());
+        let mut policy = spec.build_policy(self.seed);
+        let mut sampler = self.sampler.build(self.seed);
+        let mut cfg = SimConfig::new(processor.clone());
+        cfg.record_trace = self.trace;
+        cfg.deadline_mode = self.deadline_mode;
+        cfg.freq_policy = self.freq_policy;
+        cfg.check_feasibility = self.check_feasibility;
+        let mut ex = Executor::new(
+            self.set.clone(),
+            cfg,
+            governor.as_mut(),
+            policy.as_mut(),
+            sampler.as_mut(),
+        )?;
+        match self.battery {
+            Some(battery) => ex.run_until_battery_dead(battery, horizon),
+            None => ex.run_for(horizon),
+        }
+    }
+}
+
+/// Where a sweep's per-trial task sets come from.
+enum Workload<'a> {
+    /// The same fixed set for every trial.
+    Fixed(&'a TaskSet),
+    /// A fresh set generated per trial from the trial seed.
+    Generated(TaskSetConfig),
+}
+
+/// Per-trial battery factory: trial seed → fresh model.
+type BatteryFactory<'a> = Box<dyn Fn(u64) -> Box<dyn BatteryModel> + Sync + 'a>;
+
+/// A batch of [`Experiment`]s: `trials` seeds × a lineup of scheduler specs,
+/// run with deterministic parallel fan-out.
+///
+/// Construct with [`Sweep::over_seeds`], add [`specs`](Self::specs), a
+/// workload ([`set`](Self::set) or [`workload`](Self::workload)), a
+/// [`processor`](Self::processor) and a [`horizon`](Self::horizon), then
+/// [`run`](Self::run). Every trial's seed comes from
+/// [`Sweep::seed_for`], so results do not depend on
+/// [`threads`](Self::threads).
+pub struct Sweep<'a> {
+    base_seed: u64,
+    trials: usize,
+    specs: Vec<(String, SchedulerSpec)>,
+    threads: usize,
+    workload: Option<Workload<'a>>,
+    processor: Option<&'a Processor>,
+    horizon: Option<f64>,
+    sampler: SamplerKind,
+    freq_policy: FreqPolicy,
+    deadline_mode: DeadlineMode,
+    battery: Option<BatteryFactory<'a>>,
+}
+
+impl<'a> Sweep<'a> {
+    /// A sweep of `trials` trials whose seeds derive from `base_seed`.
+    pub fn over_seeds(base_seed: u64, trials: usize) -> Self {
+        Sweep {
+            base_seed,
+            trials,
+            specs: Vec::new(),
+            threads: 0,
+            workload: None,
+            processor: None,
+            horizon: None,
+            sampler: SamplerKind::IidUniform,
+            freq_policy: FreqPolicy::Interpolate,
+            deadline_mode: DeadlineMode::Fail,
+            battery: None,
+        }
+    }
+
+    /// The canonical trial-seed derivation: a fixed odd multiplier spreads
+    /// `base_seed` across the seed space, then the trial index is added, so
+    /// neighbouring base seeds give unrelated trial streams while trial
+    /// seeds stay enumerable.
+    pub fn seed_for(base_seed: u64, trial: usize) -> u64 {
+        base_seed.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(trial as u64)
+    }
+
+    /// Add labelled scheduler specs, e.g.
+    /// `.specs(SchedulerSpec::table2_lineup())`. Labels name rows in the
+    /// report; call repeatedly to extend the lineup.
+    pub fn specs<S, I>(mut self, specs: I) -> Self
+    where
+        S: Into<String>,
+        I: IntoIterator<Item = (S, SchedulerSpec)>,
+    {
+        self.specs.extend(specs.into_iter().map(|(label, spec)| (label.into(), spec)));
+        self
+    }
+
+    /// Add one spec, labelled by its canonical `Display` form.
+    pub fn spec(mut self, spec: SchedulerSpec) -> Self {
+        self.specs.push((spec.to_string(), spec));
+        self
+    }
+
+    /// Run every trial against this fixed task set.
+    pub fn set(mut self, set: &'a TaskSet) -> Self {
+        self.workload = Some(Workload::Fixed(set));
+        self
+    }
+
+    /// Generate a fresh task set per trial from `config`, seeded with the
+    /// trial seed — the paper's "many random task-graph sets" protocol.
+    pub fn workload(mut self, config: TaskSetConfig) -> Self {
+        self.workload = Some(Workload::Generated(config));
+        self
+    }
+
+    /// The DVS processor model (required).
+    pub fn processor(mut self, processor: &'a Processor) -> Self {
+        self.processor = Some(processor);
+        self
+    }
+
+    /// Per-trial simulated-time bound, seconds (required); see
+    /// [`Experiment::horizon`].
+    pub fn horizon(mut self, horizon: f64) -> Self {
+        self.horizon = Some(horizon);
+        self
+    }
+
+    /// Worker threads for the fan-out; `0` = available cores (default).
+    /// Results are bit-identical for every setting.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// How actual computations are drawn; see [`Experiment::sampler`].
+    pub fn sampler(mut self, sampler: SamplerKind) -> Self {
+        self.sampler = sampler;
+        self
+    }
+
+    /// Frequency realization policy; see [`Experiment::freq_policy`].
+    pub fn freq_policy(mut self, policy: FreqPolicy) -> Self {
+        self.freq_policy = policy;
+        self
+    }
+
+    /// Deadline-miss behaviour; see [`Experiment::deadline_mode`].
+    pub fn deadline_mode(mut self, mode: DeadlineMode) -> Self {
+        self.deadline_mode = mode;
+        self
+    }
+
+    /// Attach a battery co-simulation: `factory` builds a fresh cell per
+    /// trial from the trial seed (stochastic models should fold the seed in
+    /// so trials stay independent yet reproducible).
+    pub fn battery<F>(mut self, factory: F) -> Self
+    where
+        F: Fn(u64) -> Box<dyn BatteryModel> + Sync + 'a,
+    {
+        self.battery = Some(Box::new(factory));
+        self
+    }
+
+    /// Run the sweep: `trials × specs` experiments, fanned out over
+    /// [`threads`](Self::threads) workers, folded into per-spec summaries.
+    ///
+    /// Within a trial every spec sees the same task set and seed, so
+    /// per-trial cross-spec ratios (the paper's "up to" numbers) are
+    /// meaningful.
+    pub fn run(self) -> Result<SweepReport, SweepError> {
+        let workload = self
+            .workload
+            .as_ref()
+            .ok_or_else(|| SweepError::unconfigured("workload (call .set(..) or .workload(..))"))?;
+        let processor = self.processor.ok_or_else(|| SweepError::unconfigured("processor"))?;
+        let horizon = self.horizon.ok_or_else(|| SweepError::unconfigured("horizon"))?;
+        if self.specs.is_empty() {
+            return Err(SweepError::unconfigured("specs"));
+        }
+        if self.trials == 0 {
+            return Err(SweepError::unconfigured("trials (must be >= 1)"));
+        }
+
+        // Once any trial fails, remaining workers skip their (potentially
+        // day-long simulated) trials so the error surfaces promptly instead
+        // of after the whole batch. Skipped slots are placeholders; the
+        // first *real* error in trial order is reported.
+        let failed = std::sync::atomic::AtomicBool::new(false);
+        let per_trial: Vec<Result<Vec<TrialRecord>, SweepError>> =
+            parallel_map(self.trials, self.threads, |trial| {
+                let seed = Self::seed_for(self.base_seed, trial);
+                if failed.load(std::sync::atomic::Ordering::Relaxed) {
+                    return Err(SweepError {
+                        label: "<skipped>".to_string(),
+                        seed,
+                        message: "trial skipped after an earlier failure".to_string(),
+                    });
+                }
+                let fail_fast = |e: SweepError| {
+                    failed.store(true, std::sync::atomic::Ordering::Relaxed);
+                    e
+                };
+                let set: TaskSet = match workload {
+                    Workload::Fixed(set) => (*set).clone(),
+                    Workload::Generated(cfg) => {
+                        cfg.generate(&mut StdRng::seed_from_u64(seed)).map_err(|e| {
+                            fail_fast(SweepError {
+                                label: "<workload generation>".to_string(),
+                                seed,
+                                message: e.to_string(),
+                            })
+                        })?
+                    }
+                };
+                self.specs
+                    .iter()
+                    .map(|(label, spec)| {
+                        let mut cell = self.battery.as_ref().map(|f| f(seed));
+                        let mut experiment = Experiment::new(&set)
+                            .spec(*spec)
+                            .processor(processor)
+                            .seed(seed)
+                            .horizon(horizon)
+                            .sampler(self.sampler)
+                            .freq_policy(self.freq_policy)
+                            .deadline_mode(self.deadline_mode);
+                        if let Some(cell) = cell.as_mut() {
+                            experiment = experiment.battery(cell.as_mut());
+                        }
+                        let out = experiment.run().map_err(|e| {
+                            fail_fast(SweepError {
+                                label: label.clone(),
+                                seed,
+                                message: e.to_string(),
+                            })
+                        })?;
+                        Ok(TrialRecord::from_outcome(seed, &out))
+                    })
+                    .collect()
+            });
+
+        // On failure, report the first real error in trial order (skipped
+        // placeholders are only fallbacks in case of unlucky interleaving).
+        if failed.load(std::sync::atomic::Ordering::Relaxed) {
+            let mut first: Option<SweepError> = None;
+            for r in per_trial {
+                if let Err(e) = r {
+                    if e.label != "<skipped>" {
+                        return Err(e);
+                    }
+                    first.get_or_insert(e);
+                }
+            }
+            return Err(first.expect("failed flag implies at least one error"));
+        }
+
+        // Transpose trial-major results into spec-major reports.
+        let mut rows: Vec<Vec<TrialRecord>> =
+            self.specs.iter().map(|_| Vec::with_capacity(self.trials)).collect();
+        for trial in per_trial {
+            let records = trial.expect("failure path handled above");
+            for (row, record) in rows.iter_mut().zip(records) {
+                row.push(record);
+            }
+        }
+        let specs = self
+            .specs
+            .into_iter()
+            .zip(rows)
+            .map(|((label, spec), trials)| SpecReport::new(label, spec, trials))
+            .collect();
+        Ok(SweepReport { base_seed: self.base_seed, trials: self.trials, specs })
+    }
+}
+
+/// One experiment's scalar results inside a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialRecord {
+    /// The trial seed (shared by every spec in the trial).
+    pub seed: u64,
+    /// Battery-side energy consumed, joules.
+    pub energy: f64,
+    /// Battery charge consumed, coulombs.
+    pub charge: f64,
+    /// Deadline misses (0 unless [`DeadlineMode::DropAndCount`]).
+    pub deadline_misses: u64,
+    /// Completed graph instances.
+    pub instances_completed: u64,
+    /// Battery lifetime, seconds — co-simulated runs only.
+    pub lifetime: Option<f64>,
+    /// Charge the battery delivered, mAh — co-simulated runs only.
+    pub delivered_mah: Option<f64>,
+    /// Whether the battery actually died (`Some(false)` = censored at the
+    /// horizon) — co-simulated runs only.
+    pub battery_died: Option<bool>,
+}
+
+impl TrialRecord {
+    fn from_outcome(seed: u64, out: &SimOutcome) -> Self {
+        TrialRecord {
+            seed,
+            energy: out.metrics.energy,
+            charge: out.metrics.charge,
+            deadline_misses: out.metrics.deadline_misses,
+            instances_completed: out.metrics.instances_completed,
+            lifetime: out.battery.as_ref().map(|b| b.lifetime),
+            delivered_mah: out.battery.as_ref().map(|b| b.delivered_mah()),
+            battery_died: out.battery.as_ref().map(|b| b.died),
+        }
+    }
+
+    /// Battery lifetime in minutes; `None` without a battery.
+    pub fn lifetime_minutes(&self) -> Option<f64> {
+        self.lifetime.map(|s| s / 60.0)
+    }
+}
+
+/// One scheduler spec's results across all trials of a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecReport {
+    /// The row label handed to [`Sweep::specs`].
+    pub label: String,
+    /// The spec itself.
+    pub spec: SchedulerSpec,
+    /// Per-trial records, in trial (seed) order.
+    pub trials: Vec<TrialRecord>,
+    /// Summary of battery-side energy, joules.
+    pub energy: Summary,
+    /// Summary of charge consumed, coulombs.
+    pub charge: Summary,
+    /// Summary of battery lifetime in **minutes**; `None` without a battery.
+    pub lifetime_min: Option<Summary>,
+    /// Summary of delivered charge in mAh; `None` without a battery.
+    pub delivered_mah: Option<Summary>,
+}
+
+impl SpecReport {
+    fn new(label: String, spec: SchedulerSpec, trials: Vec<TrialRecord>) -> Self {
+        let energy = Summary::of(&trials.iter().map(|t| t.energy).collect::<Vec<_>>());
+        let charge = Summary::of(&trials.iter().map(|t| t.charge).collect::<Vec<_>>());
+        let lifetimes: Vec<f64> = trials.iter().filter_map(|t| t.lifetime_minutes()).collect();
+        let delivered: Vec<f64> = trials.iter().filter_map(|t| t.delivered_mah).collect();
+        SpecReport {
+            label,
+            spec,
+            lifetime_min: (!lifetimes.is_empty()).then(|| Summary::of(&lifetimes)),
+            delivered_mah: (!delivered.is_empty()).then(|| Summary::of(&delivered)),
+            energy,
+            charge,
+            trials,
+        }
+    }
+
+    /// Summarize any per-trial metric, e.g.
+    /// `report.metric(|t| t.energy / baseline)`.
+    pub fn metric(&self, f: impl Fn(&TrialRecord) -> f64) -> Summary {
+        Summary::of(&self.trials.iter().map(f).collect::<Vec<_>>())
+    }
+}
+
+/// Everything a [`Sweep`] produced. Bit-identical across `threads` settings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// The sweep's base seed.
+    pub base_seed: u64,
+    /// Number of trials per spec.
+    pub trials: usize,
+    /// Per-spec reports, in lineup order.
+    pub specs: Vec<SpecReport>,
+}
+
+impl SweepReport {
+    /// Look a spec report up by its label.
+    pub fn spec(&self, label: &str) -> Option<&SpecReport> {
+        self.specs.iter().find(|s| s.label == label)
+    }
+}
+
+/// A sweep failure, carrying which spec and trial seed failed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepError {
+    /// The spec label (or pseudo-stage) that failed.
+    pub label: String,
+    /// The trial seed being run; 0 for configuration errors.
+    pub seed: u64,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl SweepError {
+    fn unconfigured(what: &str) -> Self {
+        SweepError {
+            label: "<configuration>".to_string(),
+            seed: 0,
+            message: format!("sweep is missing its {what}"),
+        }
+    }
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (seed {}): {}", self.label, self.seed, self.message)
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bas_battery::{Kibam, KibamParams};
+    use bas_cpu::presets::unit_processor;
+    use bas_taskgraph::TaskSetConfig;
+
+    fn test_set(seed: u64) -> TaskSet {
+        TaskSetConfig::default().generate(&mut StdRng::seed_from_u64(seed)).unwrap()
+    }
+
+    #[test]
+    fn experiment_requires_spec_processor_horizon() {
+        let set = test_set(1);
+        let proc = unit_processor();
+        let e = Experiment::new(&set).processor(&proc).horizon(10.0).run();
+        assert_eq!(e.unwrap_err(), SimError::Unconfigured("spec"));
+        let e = Experiment::new(&set).spec(SchedulerSpec::edf()).horizon(10.0).run();
+        assert_eq!(e.unwrap_err(), SimError::Unconfigured("processor"));
+        let e = Experiment::new(&set).spec(SchedulerSpec::edf()).processor(&proc).run();
+        assert_eq!(e.unwrap_err(), SimError::Unconfigured("horizon"));
+    }
+
+    #[test]
+    fn experiment_runs_all_table2_specs() {
+        let set = test_set(1);
+        let proc = unit_processor();
+        for (name, spec) in SchedulerSpec::table2_lineup() {
+            let out = Experiment::new(&set)
+                .spec(spec)
+                .processor(&proc)
+                .seed(7)
+                .horizon(500.0)
+                .trace(true)
+                .run()
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(out.metrics.deadline_misses, 0, "{name}");
+            assert!(out.metrics.nodes_completed > 0, "{name}");
+            out.trace.expect("trace").validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn trace_defaults_off() {
+        let set = test_set(2);
+        let proc = unit_processor();
+        let out = Experiment::new(&set)
+            .spec(SchedulerSpec::edf())
+            .processor(&proc)
+            .horizon(100.0)
+            .run()
+            .unwrap();
+        assert!(out.trace.is_none());
+    }
+
+    #[test]
+    fn sampler_kind_changes_drawn_actuals() {
+        // Regression: the old `simulate` façade hardcoded UniformFraction
+        // and silently ignored SamplerKind. The builder's sampler knob must
+        // actually steer the workload: with the same seed, persistent
+        // actuals must produce a different execution than i.i.d. actuals.
+        //
+        // Short periods so many instances complete inside the horizon — the
+        // EDF busy time is then exactly the sum of drawn actuals at fmax.
+        use bas_taskgraph::{PeriodicTaskGraph, TaskGraphBuilder};
+        let mut set = TaskSet::new();
+        let mut b = TaskGraphBuilder::new("g");
+        let a = b.add_node("a", 5);
+        let c = b.add_node("b", 7);
+        b.add_edge(a, c).unwrap();
+        set.push(PeriodicTaskGraph::new(b.build().unwrap(), 30.0).unwrap());
+        let proc = unit_processor();
+        let run = |sampler| {
+            Experiment::new(&set)
+                .spec(SchedulerSpec::edf())
+                .processor(&proc)
+                .seed(11)
+                .horizon(300.0)
+                .sampler(sampler)
+                .run()
+                .unwrap()
+                .metrics
+        };
+        let iid = run(SamplerKind::IidUniform);
+        let persistent = run(SamplerKind::Persistent);
+        assert!(iid.instances_completed >= 9, "{}", iid.instances_completed);
+        assert_ne!(
+            iid.cycles_executed, persistent.cycles_executed,
+            "sampler knob must change the drawn actual computations"
+        );
+    }
+
+    #[test]
+    fn experiment_with_battery_reports_lifetime() {
+        let set = test_set(4);
+        let proc = unit_processor();
+        let mut cell = Kibam::new(KibamParams { capacity: 200.0, c: 0.6, k_prime: 1e-3 });
+        let out = Experiment::new(&set)
+            .spec(SchedulerSpec::bas2())
+            .processor(&proc)
+            .seed(11)
+            .horizon(1e6)
+            .battery(&mut cell)
+            .run()
+            .unwrap();
+        let report = out.battery.unwrap();
+        assert!(report.died);
+        assert!(report.lifetime > 0.0);
+        assert!((report.charge_delivered - cell.charge_delivered()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_requires_workload_processor_horizon_specs() {
+        let proc = unit_processor();
+        let set = test_set(1);
+        let err = Sweep::over_seeds(1, 2).run().unwrap_err();
+        assert!(err.message.contains("workload"), "{err}");
+        let err = Sweep::over_seeds(1, 2).set(&set).run().unwrap_err();
+        assert!(err.message.contains("processor"), "{err}");
+        let err = Sweep::over_seeds(1, 2).set(&set).processor(&proc).run().unwrap_err();
+        assert!(err.message.contains("horizon"), "{err}");
+        let err =
+            Sweep::over_seeds(1, 2).set(&set).processor(&proc).horizon(100.0).run().unwrap_err();
+        assert!(err.message.contains("specs"), "{err}");
+        let err = Sweep::over_seeds(1, 0)
+            .spec(SchedulerSpec::edf())
+            .set(&set)
+            .processor(&proc)
+            .horizon(100.0)
+            .run()
+            .unwrap_err();
+        assert!(err.message.contains("trials"), "{err}");
+    }
+
+    #[test]
+    fn sweep_surfaces_a_real_error_not_a_skip_placeholder() {
+        // An over-utilized workload fails every trial up front; the reported
+        // error must be a real one, with its spec label and seed, not the
+        // internal "<skipped>" marker.
+        use bas_taskgraph::{PeriodicTaskGraph, TaskGraphBuilder};
+        let mut set = TaskSet::new();
+        let mut b = TaskGraphBuilder::new("too-big");
+        b.add_node("t", 100);
+        set.push(PeriodicTaskGraph::new(b.build().unwrap(), 10.0).unwrap());
+        let proc = unit_processor();
+        let err = Sweep::over_seeds(1, 8)
+            .spec(SchedulerSpec::edf())
+            .set(&set)
+            .processor(&proc)
+            .horizon(100.0)
+            .threads(4)
+            .run()
+            .unwrap_err();
+        assert_ne!(err.label, "<skipped>", "{err}");
+        assert!(err.message.contains("utilization"), "{err}");
+    }
+
+    #[test]
+    fn sweep_is_thread_count_invariant() {
+        let proc = unit_processor();
+        let sweep = |threads| {
+            Sweep::over_seeds(5, 6)
+                .specs(SchedulerSpec::table2_lineup())
+                .workload(TaskSetConfig::default())
+                .processor(&proc)
+                .horizon(200.0)
+                .threads(threads)
+                .run()
+                .unwrap()
+        };
+        let sequential = sweep(1);
+        let parallel = sweep(4);
+        assert_eq!(sequential, parallel, "threads must not change results");
+        assert_eq!(sequential.specs.len(), 5);
+        assert_eq!(sequential.specs[0].trials.len(), 6);
+    }
+
+    #[test]
+    fn sweep_trials_share_seed_across_specs() {
+        let proc = unit_processor();
+        let report = Sweep::over_seeds(2, 3)
+            .spec(SchedulerSpec::edf())
+            .spec(SchedulerSpec::bas2())
+            .workload(TaskSetConfig::default())
+            .processor(&proc)
+            .horizon(150.0)
+            .run()
+            .unwrap();
+        for trial in 0..3 {
+            assert_eq!(report.specs[0].trials[trial].seed, report.specs[1].trials[trial].seed);
+            assert_eq!(report.specs[0].trials[trial].seed, Sweep::seed_for(2, trial));
+        }
+    }
+
+    #[test]
+    fn sweep_with_battery_summarizes_lifetime() {
+        let proc = unit_processor();
+        let report = Sweep::over_seeds(3, 2)
+            .spec(SchedulerSpec::bas2())
+            .workload(TaskSetConfig::default())
+            .processor(&proc)
+            .horizon(1e6)
+            .battery(|_seed| {
+                Box::new(Kibam::new(KibamParams { capacity: 200.0, c: 0.6, k_prime: 1e-3 }))
+            })
+            .run()
+            .unwrap();
+        let spec = &report.specs[0];
+        let life = spec.lifetime_min.expect("battery sweep has lifetimes");
+        assert_eq!(life.n, 2);
+        assert!(life.mean > 0.0);
+        assert!(spec.trials.iter().all(|t| t.battery_died == Some(true)));
+    }
+
+    #[test]
+    fn spec_lookup_by_label() {
+        let proc = unit_processor();
+        let report = Sweep::over_seeds(1, 1)
+            .specs(SchedulerSpec::table2_lineup())
+            .workload(TaskSetConfig::default())
+            .processor(&proc)
+            .horizon(100.0)
+            .run()
+            .unwrap();
+        assert!(report.spec("BAS-2").is_some());
+        assert!(report.spec("nonsense").is_none());
+    }
+}

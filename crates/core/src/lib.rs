@@ -22,36 +22,81 @@
 //!   selector-driven heuristic orders.
 //! * [`baseline`] — evaluation-only transforms: precedence stripping (the
 //!   near-optimal normalizer of Figure 6).
-//! * [`runner`] — one-call experiment façade: build any scheduler of the
-//!   paper's Table 2 by name and run it (with or without a battery).
+//! * [`runner`] — the scheduler vocabulary: [`SchedulerSpec`] names any
+//!   Table 2 scheduler and round-trips through strings.
+//! * [`experiment`] — the builder-style experiment API: [`Experiment`] for
+//!   one run, [`Sweep`] for deterministic parallel batches.
+//! * [`parallel`] / [`stats`] — the deterministic fan-out primitive and
+//!   [`Summary`] statistics backing [`Sweep`].
+//! * [`compat`] — the deprecated `simulate_*` free functions (one release of
+//!   grace before removal).
 //!
 //! ## Quick start
 //!
+//! One experiment — builder in, [`bas_sim::SimOutcome`] out:
+//!
 //! ```
-//! use bas_core::runner::{simulate, SchedulerSpec};
+//! use bas_core::{Experiment, SchedulerSpec};
 //! use bas_cpu::presets::unit_processor;
-//! use bas_taskgraph::{GeneratorConfig, TaskSetConfig};
+//! use bas_taskgraph::TaskSetConfig;
 //! use rand::{rngs::StdRng, SeedableRng};
 //!
-//! let mut rng = StdRng::seed_from_u64(7);
-//! let set = TaskSetConfig::default().generate(&mut rng).unwrap();
-//! let out = simulate(&set, &SchedulerSpec::bas2(), &unit_processor(), 42, 200.0).unwrap();
+//! let set = TaskSetConfig::default()
+//!     .generate(&mut StdRng::seed_from_u64(7))
+//!     .unwrap();
+//! let proc = unit_processor();
+//! let out = Experiment::new(&set)
+//!     .spec(SchedulerSpec::bas2())
+//!     .processor(&proc)
+//!     .seed(42)
+//!     .horizon(200.0)
+//!     .run()
+//!     .unwrap();
 //! assert_eq!(out.metrics.deadline_misses, 0);
+//! ```
+//!
+//! A batch — the paper's protocol of many random task sets per scheduler,
+//! fanned out over worker threads with bit-identical results:
+//!
+//! ```
+//! use bas_core::{SchedulerSpec, Sweep};
+//! use bas_cpu::presets::unit_processor;
+//! use bas_taskgraph::TaskSetConfig;
+//!
+//! let proc = unit_processor();
+//! let report = Sweep::over_seeds(1, 4)
+//!     .specs(SchedulerSpec::table2_lineup())
+//!     .workload(TaskSetConfig::default())
+//!     .processor(&proc)
+//!     .horizon(200.0)
+//!     .run()
+//!     .unwrap();
+//! assert!(report.spec("BAS-2").unwrap().energy.mean
+//!     < report.spec("EDF").unwrap().energy.mean);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod compat;
 pub mod estimator;
+pub mod experiment;
 pub mod feasibility;
+pub mod parallel;
 pub mod policy;
 pub mod priority;
 pub mod runner;
 pub mod single_dag;
+pub mod stats;
 
 pub use estimator::{CycleEstimator, EmaEstimator, MeanFraction, WorstCaseEstimate};
+pub use experiment::{Experiment, SpecReport, Sweep, SweepError, SweepReport, TrialRecord};
 pub use feasibility::{is_feasible, FeasibilityVariant};
+pub use parallel::parallel_map;
 pub use policy::{BasPolicy, ReadyScope};
 pub use priority::{Ltf, Priority, Pubs, RandomPriority, Stf};
-pub use runner::SchedulerSpec;
+pub use runner::{
+    all_specs, GovernorKind, ParseSpecError, PriorityKind, SamplerKind, SchedulerSpec, ScopeKind,
+};
+pub use stats::Summary;

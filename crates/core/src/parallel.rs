@@ -1,0 +1,103 @@
+//! Deterministic parallel fan-out for experiment sweeps.
+//!
+//! Experiments are embarrassingly parallel over trial seeds. Jobs are
+//! distributed over `std::thread::scope` workers through a shared atomic
+//! cursor; each worker collects `(index, value)` pairs which are scattered
+//! back into index order afterwards, so the output order (and therefore every
+//! downstream average) is identical to a sequential run — parallelism is
+//! purely a wall-clock optimization, per the reproducibility policy in
+//! DESIGN.md §5.
+//!
+//! This module moved here from `bas-bench` when the [`crate::experiment`]
+//! layer absorbed batch execution; `bas_bench::parallel::parallel_map`
+//! remains as a deprecated shim.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Map `f` over `0..jobs` in parallel, preserving index order in the output.
+///
+/// `f` must be `Sync` (it is shared by worker threads) and is called exactly
+/// once per index. `threads = 0` means "number of available cores".
+pub fn parallel_map<T, F>(jobs: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    let threads = threads.min(jobs.max(1));
+    let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+    if threads <= 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(f(i));
+        }
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let mut buckets: Vec<Vec<(usize, T)>> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(threads);
+            for _ in 0..threads {
+                let cursor = &cursor;
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            break;
+                        }
+                        mine.push((i, f(i)));
+                    }
+                    mine
+                }));
+            }
+            for h in handles {
+                buckets.push(h.join().expect("worker panicked"));
+            }
+        });
+        for (i, v) in buckets.into_iter().flatten() {
+            slots[i] = Some(v);
+        }
+    }
+    slots.into_iter().map(|s| s.expect("every job filled its slot")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order() {
+        let out = parallel_map(100, 4, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let seq = parallel_map(37, 1, |i| (i as f64).sqrt());
+        let par = parallel_map(37, 8, |i| (i as f64).sqrt());
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn zero_jobs_is_empty() {
+        let out: Vec<usize> = parallel_map(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn zero_threads_uses_available_cores() {
+        let out = parallel_map(10, 0, |i| i + 1);
+        assert_eq!(out.len(), 10);
+        assert_eq!(out[9], 10);
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let out = parallel_map(3, 64, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+}

@@ -101,8 +101,7 @@ impl<P: Priority> TaskPolicy for BasPolicy<P> {
         match self.scope {
             ReadyScope::MostImminent => {
                 let imminent = state.most_imminent()?;
-                self.candidates
-                    .extend(ready.iter().copied().filter(|t| t.graph == imminent));
+                self.candidates.extend(ready.iter().copied().filter(|t| t.graph == imminent));
             }
             ReadyScope::AllReleased => {
                 self.candidates.extend_from_slice(ready);
@@ -111,8 +110,7 @@ impl<P: Priority> TaskPolicy for BasPolicy<P> {
         if self.candidates.is_empty() {
             return None;
         }
-        self.priority
-            .rank(state, &self.candidates, fref_hz, &mut self.ranked);
+        self.priority.rank(state, &self.candidates, fref_hz, &mut self.ranked);
         debug_assert_eq!(self.ranked.len(), self.candidates.len());
         match self.scope {
             ReadyScope::MostImminent => self.ranked.first().copied(),
@@ -134,10 +132,7 @@ impl<P: Priority> TaskPolicy for BasPolicy<P> {
                 // ready nodes are all blocked — impossible for a DAG instance,
                 // so in practice unreachable). Fall back to EDF to stay safe.
                 self.demotions += 1;
-                self.ranked
-                    .iter()
-                    .copied()
-                    .find(|t| Some(t.graph) == imminent)
+                self.ranked.iter().copied().find(|t| Some(t.graph) == imminent)
             }
         }
     }

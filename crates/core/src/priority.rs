@@ -201,10 +201,8 @@ impl<E: CycleEstimator> Priority for Pubs<E> {
     ) {
         out.clear();
         out.extend_from_slice(candidates);
-        let mut keyed: Vec<(f64, TaskRef)> = out
-            .iter()
-            .map(|&t| (self.value(state, t, fref_hz), t))
-            .collect();
+        let mut keyed: Vec<(f64, TaskRef)> =
+            out.iter().map(|&t| (self.value(state, t, fref_hz), t)).collect();
         keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN priorities").then(a.1.cmp(&b.1)));
         out.clear();
         out.extend(keyed.into_iter().map(|(_, t)| t));

@@ -1,28 +1,58 @@
-//! One-call experiment façade.
+//! Scheduler specifications — the vocabulary of the experiment API.
 //!
-//! Builds any scheduler of the paper's Table 2 from a compact
-//! [`SchedulerSpec`] and runs it against a task set — with a plain horizon
-//! (energy experiments) or co-simulated with a battery (lifetime
-//! experiments). All stochastic pieces (random priority, actual-computation
-//! sampling) derive from the single `seed` argument, so runs are exactly
-//! reproducible and different schedulers see identical workloads.
+//! A [`SchedulerSpec`] names one complete scheduler of the paper's Table 2
+//! (a DVS governor × a priority function × a ready-list scope) and knows how
+//! to instantiate its pieces. Specs round-trip through strings
+//! (`Display`/`FromStr`, e.g. `"laEDF+pUBS/all"` or the paper aliases
+//! `"BAS-2"`), so CLIs and configs name schedulers uniformly.
+//!
+//! Experiments are *run* through the builder API in [`crate::experiment`]:
+//!
+//! ```
+//! use bas_core::{Experiment, SchedulerSpec};
+//! use bas_cpu::presets::unit_processor;
+//! use bas_taskgraph::TaskSetConfig;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let set = TaskSetConfig::default()
+//!     .generate(&mut StdRng::seed_from_u64(7))
+//!     .unwrap();
+//! let spec: SchedulerSpec = "laEDF+pUBS/all".parse().unwrap();
+//! assert_eq!(spec, SchedulerSpec::bas2());
+//! let proc = unit_processor();
+//! let out = Experiment::new(&set)
+//!     .spec(spec)
+//!     .processor(&proc)
+//!     .seed(42)
+//!     .horizon(200.0)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(out.metrics.deadline_misses, 0);
+//! ```
+//!
+//! The old `simulate_*` free functions live on as deprecated shims in
+//! [`crate::compat`] (re-exported here) for one release.
 
 use crate::estimator::EmaEstimator;
 use crate::policy::BasPolicy;
 use crate::priority::{Ltf, Pubs, RandomPriority, Stf};
-use bas_battery::BatteryModel;
-use bas_cpu::Processor;
 use bas_dvs::{CcEdf, LaEdf, NoDvs};
-use bas_sim::{
-    ActualSampler, DeadlineMode, Executor, FrequencyGovernor, PersistentFraction, SimConfig,
-    SimError, SimOutcome, TaskPolicy, UniformFraction,
+use bas_sim::{ActualSampler, FrequencyGovernor, PersistentFraction, TaskPolicy, UniformFraction};
+use std::fmt;
+use std::str::FromStr;
+
+// Deprecated one-call façade, kept importable from its historical paths.
+#[allow(deprecated)]
+pub use crate::compat::{
+    simulate, simulate_lean, simulate_lean_custom, simulate_with_battery,
+    simulate_with_battery_custom, simulate_with_battery_freq,
 };
-use bas_taskgraph::TaskSet;
 
 /// Which DVS governor drives the frequency.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GovernorKind {
-    /// No DVS: always fmax.
+    /// No DVS: always fmax (the canonical [`bas_sim::MaxSpeed`], re-exported
+    /// as [`NoDvs`]).
     None,
     /// Cycle-conserving EDF.
     CcEdf,
@@ -31,7 +61,7 @@ pub enum GovernorKind {
 }
 
 /// Which priority function orders the ready list.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PriorityKind {
     /// Uniformly random.
     Random,
@@ -44,7 +74,7 @@ pub enum PriorityKind {
 }
 
 /// How actual computations are drawn (see `bas_sim::workload`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SamplerKind {
     /// U(0.2, 1.0)·WCET redrawn independently per instance — the literal
     /// reading of §5. No estimator can beat the mean here.
@@ -65,7 +95,7 @@ impl SamplerKind {
 }
 
 /// Which tasks the priority function may choose from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ScopeKind {
     /// Most imminent released graph only.
     MostImminent,
@@ -74,7 +104,7 @@ pub enum ScopeKind {
 }
 
 /// A complete scheduler description — one row of the paper's Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SchedulerSpec {
     /// The DVS algorithm.
     pub governor: GovernorKind,
@@ -130,7 +160,27 @@ impl SchedulerSpec {
         }
     }
 
-    /// All five Table 2 rows in paper order, with their display names.
+    /// BAS-1 paired with ccEDF instead of laEDF — the workspace's
+    /// supplementary row showing the ordering effect on a governor with
+    /// frequency headroom (see EXPERIMENTS.md).
+    pub fn bas1cc() -> Self {
+        SchedulerSpec {
+            governor: GovernorKind::CcEdf,
+            priority: PriorityKind::Pubs,
+            scope: ScopeKind::MostImminent,
+        }
+    }
+
+    /// BAS-2 paired with ccEDF instead of laEDF (see [`Self::bas1cc`]).
+    pub fn bas2cc() -> Self {
+        SchedulerSpec {
+            governor: GovernorKind::CcEdf,
+            priority: PriorityKind::Pubs,
+            scope: ScopeKind::AllReleased,
+        }
+    }
+
+    /// All five Table 2 rows in paper order, with their paper names.
     pub fn table2_lineup() -> [(&'static str, SchedulerSpec); 5] {
         [
             ("EDF", SchedulerSpec::edf()),
@@ -141,7 +191,8 @@ impl SchedulerSpec {
         ]
     }
 
-    /// Short display name, e.g. `laEDF+pUBS/all`.
+    /// Short display name, e.g. `laEDF+pUBS/all`. Also available through
+    /// `Display`, and parseable back through `FromStr`.
     pub fn label(&self) -> String {
         let g = match self.governor {
             GovernorKind::None => "noDVS",
@@ -193,217 +244,138 @@ impl SchedulerSpec {
     }
 }
 
-/// Simulate `set` under `spec` for `horizon` seconds (no battery). The
-/// sampler is the paper's U(0.2, 1.0) seeded with `seed`, so every spec run
-/// with the same seed sees the same actual computations.
-pub fn simulate(
-    set: &TaskSet,
-    spec: &SchedulerSpec,
-    processor: &Processor,
-    seed: u64,
-    horizon: f64,
-) -> Result<SimOutcome, SimError> {
-    let mut governor = spec.build_governor(processor.fmax());
-    let mut policy = spec.build_policy(seed);
-    let mut sampler = UniformFraction::paper(seed);
-    let cfg = SimConfig::new(processor.clone());
-    let mut ex = Executor::new(set.clone(), cfg, governor.as_mut(), policy.as_mut(), &mut sampler)?;
-    ex.run_for(horizon)
+impl fmt::Display for SchedulerSpec {
+    /// The canonical `governor+priority/scope` label, e.g. `laEDF+pUBS/all`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
 }
 
-/// Like [`simulate`] but without trace recording (fast path for sweeps).
-pub fn simulate_lean(
-    set: &TaskSet,
-    spec: &SchedulerSpec,
-    processor: &Processor,
-    seed: u64,
-    horizon: f64,
-) -> Result<SimOutcome, SimError> {
-    let mut governor = spec.build_governor(processor.fmax());
-    let mut policy = spec.build_policy(seed);
-    let mut sampler = UniformFraction::paper(seed);
-    let mut cfg = SimConfig::new(processor.clone());
-    cfg.record_trace = false;
-    let mut ex = Executor::new(set.clone(), cfg, governor.as_mut(), policy.as_mut(), &mut sampler)?;
-    ex.run_for(horizon)
+/// Error parsing a [`SchedulerSpec`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpecError {
+    input: String,
 }
 
-/// Co-simulate with a battery until it dies (or `max_time`); trace recording
-/// off (these runs span battery lifetimes — hours of simulated time).
-pub fn simulate_with_battery(
-    set: &TaskSet,
-    spec: &SchedulerSpec,
-    processor: &Processor,
-    battery: &mut dyn BatteryModel,
-    seed: u64,
-    max_time: f64,
-) -> Result<SimOutcome, SimError> {
-    simulate_with_battery_freq(
-        set,
-        spec,
-        processor,
-        battery,
-        seed,
-        max_time,
-        bas_cpu::FreqPolicy::Interpolate,
-    )
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid scheduler spec {:?}: expected `governor+priority/scope` \
+             (noDVS|ccEDF|laEDF + random|LTF|STF|pUBS / imminent|all) or a \
+             paper alias (EDF, ccEDF, laEDF, BAS-1, BAS-2, BAS-1cc, BAS-2cc)",
+            self.input
+        )
+    }
 }
 
-/// [`simulate_with_battery`] with an explicit frequency-realization policy
-/// (interpolated pair vs round-up quantization) — the Table 2 binary and the
-/// frequency ablation sweep this knob.
-#[allow(clippy::too_many_arguments)]
-pub fn simulate_with_battery_freq(
-    set: &TaskSet,
-    spec: &SchedulerSpec,
-    processor: &Processor,
-    battery: &mut dyn BatteryModel,
-    seed: u64,
-    max_time: f64,
-    freq_policy: bas_cpu::FreqPolicy,
-) -> Result<SimOutcome, SimError> {
-    simulate_with_battery_custom(
-        set,
-        spec,
-        processor,
-        battery,
-        seed,
-        max_time,
-        freq_policy,
-        SamplerKind::IidUniform,
-    )
+impl std::error::Error for ParseSpecError {}
+
+impl FromStr for SchedulerSpec {
+    type Err = ParseSpecError;
+
+    /// Parse the canonical `governor+priority/scope` label produced by
+    /// `Display`, or one of the paper row aliases.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "EDF" => return Ok(SchedulerSpec::edf()),
+            "ccEDF" => return Ok(SchedulerSpec::cc_edf()),
+            "laEDF" => return Ok(SchedulerSpec::la_edf()),
+            "BAS-1" => return Ok(SchedulerSpec::bas1()),
+            "BAS-2" => return Ok(SchedulerSpec::bas2()),
+            "BAS-1cc" => return Ok(SchedulerSpec::bas1cc()),
+            "BAS-2cc" => return Ok(SchedulerSpec::bas2cc()),
+            _ => {}
+        }
+        let err = || ParseSpecError { input: s.to_string() };
+        let (head, scope) = s.split_once('/').ok_or_else(err)?;
+        let (governor, priority) = head.split_once('+').ok_or_else(err)?;
+        let governor = match governor {
+            "noDVS" => GovernorKind::None,
+            "ccEDF" => GovernorKind::CcEdf,
+            "laEDF" => GovernorKind::LaEdf,
+            _ => return Err(err()),
+        };
+        let priority = match priority {
+            "random" => PriorityKind::Random,
+            "LTF" => PriorityKind::Ltf,
+            "STF" => PriorityKind::Stf,
+            "pUBS" => PriorityKind::Pubs,
+            _ => return Err(err()),
+        };
+        let scope = match scope {
+            "imminent" => ScopeKind::MostImminent,
+            "all" => ScopeKind::AllReleased,
+            _ => return Err(err()),
+        };
+        Ok(SchedulerSpec { governor, priority, scope })
+    }
 }
 
-/// Fully-parameterized battery co-simulation: frequency realization policy
-/// and actual-computation model both explicit.
-#[allow(clippy::too_many_arguments)]
-pub fn simulate_with_battery_custom(
-    set: &TaskSet,
-    spec: &SchedulerSpec,
-    processor: &Processor,
-    battery: &mut dyn BatteryModel,
-    seed: u64,
-    max_time: f64,
-    freq_policy: bas_cpu::FreqPolicy,
-    sampler_kind: SamplerKind,
-) -> Result<SimOutcome, SimError> {
-    let mut governor = spec.build_governor(processor.fmax());
-    let mut policy = spec.build_policy(seed);
-    let mut sampler = sampler_kind.build(seed);
-    let mut cfg = SimConfig::new(processor.clone());
-    cfg.record_trace = false;
-    cfg.deadline_mode = DeadlineMode::Fail;
-    cfg.freq_policy = freq_policy;
-    let mut ex = Executor::new(
-        set.clone(),
-        cfg,
-        governor.as_mut(),
-        policy.as_mut(),
-        sampler.as_mut(),
-    )?;
-    ex.run_until_battery_dead(battery, max_time)
-}
-
-/// Fully-parameterized horizon simulation (no battery), lean (no trace).
-pub fn simulate_lean_custom(
-    set: &TaskSet,
-    spec: &SchedulerSpec,
-    processor: &Processor,
-    seed: u64,
-    horizon: f64,
-    freq_policy: bas_cpu::FreqPolicy,
-    sampler_kind: SamplerKind,
-) -> Result<SimOutcome, SimError> {
-    let mut governor = spec.build_governor(processor.fmax());
-    let mut policy = spec.build_policy(seed);
-    let mut sampler = sampler_kind.build(seed);
-    let mut cfg = SimConfig::new(processor.clone());
-    cfg.record_trace = false;
-    cfg.freq_policy = freq_policy;
-    let mut ex = Executor::new(
-        set.clone(),
-        cfg,
-        governor.as_mut(),
-        policy.as_mut(),
-        sampler.as_mut(),
-    )?;
-    ex.run_for(horizon)
+/// Every expressible spec (3 governors × 4 priorities × 2 scopes), for
+/// exhaustive round-trip checks and enumerating sweeps.
+pub fn all_specs() -> Vec<SchedulerSpec> {
+    let mut out = Vec::with_capacity(24);
+    for governor in [GovernorKind::None, GovernorKind::CcEdf, GovernorKind::LaEdf] {
+        for priority in
+            [PriorityKind::Random, PriorityKind::Ltf, PriorityKind::Stf, PriorityKind::Pubs]
+        {
+            for scope in [ScopeKind::MostImminent, ScopeKind::AllReleased] {
+                out.push(SchedulerSpec { governor, priority, scope });
+            }
+        }
+    }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bas_battery::{BatteryModel, Kibam, KibamParams};
-    use bas_cpu::presets::unit_processor;
-    use bas_taskgraph::TaskSetConfig;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-
-    fn test_set(seed: u64) -> TaskSet {
-        let mut rng = StdRng::seed_from_u64(seed);
-        TaskSetConfig::default().generate(&mut rng).unwrap()
-    }
-
-    #[test]
-    fn all_table2_specs_run_without_misses() {
-        let set = test_set(1);
-        for (name, spec) in SchedulerSpec::table2_lineup() {
-            let out = simulate(&set, &spec, &unit_processor(), 7, 500.0)
-                .unwrap_or_else(|e| panic!("{name}: {e}"));
-            assert_eq!(out.metrics.deadline_misses, 0, "{name}");
-            assert!(out.metrics.nodes_completed > 0, "{name}");
-            out.trace.expect("trace").validate().unwrap();
-        }
-    }
-
-    #[test]
-    fn dvs_schedulers_use_less_energy_than_edf() {
-        let set = test_set(2);
-        let proc = unit_processor();
-        let edf = simulate_lean(&set, &SchedulerSpec::edf(), &proc, 7, 500.0).unwrap();
-        let cc = simulate_lean(&set, &SchedulerSpec::cc_edf(), &proc, 7, 500.0).unwrap();
-        let la = simulate_lean(&set, &SchedulerSpec::la_edf(), &proc, 7, 500.0).unwrap();
-        assert!(cc.metrics.energy < edf.metrics.energy, "ccEDF must save energy");
-        assert!(la.metrics.energy < edf.metrics.energy, "laEDF must save energy");
-    }
-
-    #[test]
-    fn same_seed_same_result() {
-        let set = test_set(3);
-        let a = simulate_lean(&set, &SchedulerSpec::bas2(), &unit_processor(), 9, 300.0).unwrap();
-        let b = simulate_lean(&set, &SchedulerSpec::bas2(), &unit_processor(), 9, 300.0).unwrap();
-        assert_eq!(a.metrics, b.metrics);
-    }
-
-    #[test]
-    fn battery_cosim_reports_lifetime() {
-        let set = test_set(4);
-        // Small unit-scale cell so the test is quick.
-        let mut cell = Kibam::new(KibamParams { capacity: 200.0, c: 0.6, k_prime: 1e-3 });
-        let out = simulate_with_battery(
-            &set,
-            &SchedulerSpec::bas2(),
-            &unit_processor(),
-            &mut cell,
-            11,
-            1e6,
-        )
-        .unwrap();
-        let report = out.battery.unwrap();
-        assert!(report.died, "cell must be exhausted");
-        assert!(report.lifetime > 0.0);
-        assert!((report.charge_delivered - cell.charge_delivered()).abs() < 1e-9);
-    }
 
     #[test]
     fn labels_are_distinct() {
-        let labels: Vec<String> = SchedulerSpec::table2_lineup()
-            .iter()
-            .map(|(_, s)| s.label())
-            .collect();
+        let labels: Vec<String> = all_specs().iter().map(|s| s.label()).collect();
         let mut dedup = labels.clone();
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), labels.len(), "{labels:?}");
+    }
+
+    #[test]
+    fn display_matches_label() {
+        for spec in all_specs() {
+            assert_eq!(spec.to_string(), spec.label());
+        }
+    }
+
+    #[test]
+    fn every_spec_round_trips_through_strings() {
+        for spec in all_specs() {
+            let parsed: SchedulerSpec = spec.to_string().parse().unwrap();
+            assert_eq!(parsed, spec, "{}", spec);
+        }
+    }
+
+    #[test]
+    fn paper_aliases_parse() {
+        for (name, spec) in SchedulerSpec::table2_lineup() {
+            assert_eq!(name.parse::<SchedulerSpec>().unwrap(), spec, "{name}");
+        }
+        assert_eq!("BAS-1cc".parse::<SchedulerSpec>().unwrap(), SchedulerSpec::bas1cc());
+        assert_eq!("BAS-2cc".parse::<SchedulerSpec>().unwrap(), SchedulerSpec::bas2cc());
+    }
+
+    #[test]
+    fn junk_fails_to_parse_with_helpful_message() {
+        for junk in ["", "EDF2", "laEDF+pUBS", "laEDF/all", "x+y/z", "laEDF+pUBS/everything"] {
+            let e = junk.parse::<SchedulerSpec>().unwrap_err();
+            assert!(e.to_string().contains("expected"), "{junk}: {e}");
+        }
+    }
+
+    #[test]
+    fn bas2_label_matches_issue_grammar() {
+        assert_eq!(SchedulerSpec::bas2().to_string(), "laEDF+pUBS/all");
+        assert_eq!(SchedulerSpec::edf().to_string(), "noDVS+random/imminent");
     }
 }

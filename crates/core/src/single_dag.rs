@@ -78,11 +78,7 @@ impl Scenario {
         processor: Processor,
     ) -> Result<Self, String> {
         if actuals.len() != graph.node_count() {
-            return Err(format!(
-                "{} actuals for {} nodes",
-                actuals.len(),
-                graph.node_count()
-            ));
+            return Err(format!("{} actuals for {} nodes", actuals.len(), graph.node_count()));
         }
         for (i, &a) in actuals.iter().enumerate() {
             let wc = graph.wcet(NodeId::from_index(i)) as f64;
@@ -226,12 +222,10 @@ impl Scenario {
     ) -> OrderOutcome {
         let n = self.graph.node_count();
         let mut done = vec![false; n];
-        let mut indeg: Vec<usize> = self.graph.node_ids().map(|v| self.graph.in_degree(v)).collect();
-        let mut ready: Vec<NodeId> = self
-            .graph
-            .node_ids()
-            .filter(|&v| indeg[v.index()] == 0)
-            .collect();
+        let mut indeg: Vec<usize> =
+            self.graph.node_ids().map(|v| self.graph.in_degree(v)).collect();
+        let mut ready: Vec<NodeId> =
+            self.graph.node_ids().filter(|&v| indeg[v.index()] == 0).collect();
         let mut order = Vec::with_capacity(n);
         let mut t = 0.0;
         let mut w_rem: f64 = self.graph.total_wcet() as f64;
@@ -239,10 +233,8 @@ impl Scenario {
         while !ready.is_empty() {
             let view = SelectorView { scenario: self, elapsed: t, remaining_wc: w_rem };
             let node = select(&view, &ready);
-            let pos = ready
-                .iter()
-                .position(|&v| v == node)
-                .expect("selector must choose a ready node");
+            let pos =
+                ready.iter().position(|&v| v == node).expect("selector must choose a ready node");
             ready.swap_remove(pos);
             let (e, dur) = self.exec_cost(w_rem, t, self.actuals[node.index()]);
             energy += e;
@@ -361,8 +353,7 @@ impl Scenario {
     /// Panics when the graph exceeds [`MAX_OPTIMAL_NODES`] (use the paper's
     /// own cutoff reasoning: the search space explodes).
     pub fn optimal(&self) -> OrderOutcome {
-        self.optimal_with_budget(u64::MAX)
-            .expect("unbounded budget always completes")
+        self.optimal_with_budget(u64::MAX).expect("unbounded budget always completes")
     }
 
     /// [`Scenario::optimal`] with an expansion budget: returns `None` when
@@ -384,12 +375,7 @@ impl Scenario {
         let pred_mask: Vec<u32> = self
             .graph
             .node_ids()
-            .map(|v| {
-                self.graph
-                    .predecessors(v)
-                    .iter()
-                    .fold(0u32, |m, p| m | (1 << p.index()))
-            })
+            .map(|v| self.graph.predecessors(v).iter().fold(0u32, |m, p| m | (1 << p.index())))
             .collect();
         let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
 
@@ -436,10 +422,7 @@ impl Scenario {
                 continue; // bound
             }
             let front = fronts.entry(frame.mask).or_default();
-            if front
-                .iter()
-                .any(|&(e, t)| e <= frame.energy + 1e-12 && t <= frame.t + 1e-12)
-            {
+            if front.iter().any(|&(e, t)| e <= frame.energy + 1e-12 && t <= frame.t + 1e-12) {
                 continue; // dominated
             }
             front.retain(|&(e, t)| !(frame.energy <= e && frame.t <= t));
@@ -619,8 +602,8 @@ mod tests {
         for seed in 0..10u64 {
             let mut rng = StdRng::seed_from_u64(seed);
             let g = cfg.generate("g", &mut rng);
-            let s = Scenario::with_utilization(g, 0.7, unit_processor(), (0.2, 1.0), &mut rng)
-                .unwrap();
+            let s =
+                Scenario::with_utilization(g, 0.7, unit_processor(), (0.2, 1.0), &mut rng).unwrap();
             let opt = s.optimal();
             for heur in [
                 s.run_ltf(),
@@ -664,8 +647,7 @@ mod tests {
         let cfg = GeneratorConfig::default().with_nodes(10).with_wcet(5, 40);
         let mut rng = StdRng::seed_from_u64(3);
         let g = cfg.generate("g", &mut rng);
-        let s =
-            Scenario::with_utilization(g, 0.7, unit_processor(), (0.2, 1.0), &mut rng).unwrap();
+        let s = Scenario::with_utilization(g, 0.7, unit_processor(), (0.2, 1.0), &mut rng).unwrap();
         for out in [s.run_ltf(), s.run_stf(), s.run_pubs(XSource::Oracle)] {
             assert!(out.finish <= s.deadline() + 1e-6, "{} > {}", out.finish, s.deadline());
         }
@@ -679,8 +661,8 @@ mod tests {
         b.add_node("a", 5);
         b.add_node("b", 5);
         b.add_node("c", 5);
-        let s = Scenario::new(b.build().unwrap(), 30.0, vec![5.0, 5.0, 5.0], unit_processor())
-            .unwrap();
+        let s =
+            Scenario::new(b.build().unwrap(), 30.0, vec![5.0, 5.0, 5.0], unit_processor()).unwrap();
         let e1 = s.energy_of_order(&[nid(0), nid(1), nid(2)]).unwrap().energy;
         let e2 = s.energy_of_order(&[nid(2), nid(0), nid(1)]).unwrap().energy;
         assert!((e1 - e2).abs() < 1e-9);
@@ -706,8 +688,7 @@ mod tests {
         let cfg = GeneratorConfig::default().with_nodes(7).with_wcet(5, 40);
         let mut rng = StdRng::seed_from_u64(9);
         let g = cfg.generate("g", &mut rng);
-        let s =
-            Scenario::with_utilization(g, 0.7, unit_processor(), (0.2, 1.0), &mut rng).unwrap();
+        let s = Scenario::with_utilization(g, 0.7, unit_processor(), (0.2, 1.0), &mut rng).unwrap();
         let est = crate::estimator::MeanFraction::new(0.6);
         let via_est = s.run_pubs_with_estimator(&est, GraphId::from_index(0));
         let via_fraction = s.run_pubs(XSource::Fraction(0.6));

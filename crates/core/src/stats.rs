@@ -1,0 +1,85 @@
+//! Summary statistics for experiment results.
+//!
+//! This module moved here from `bas-bench` when the [`crate::experiment`]
+//! layer started returning per-spec summaries; `bas_bench::Summary` remains
+//! as a re-export.
+
+/// Mean / standard deviation / extremes of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Empty input yields an all-NaN summary with n = 0.
+    pub fn of(xs: &[f64]) -> Summary {
+        let n = xs.len();
+        if n == 0 {
+            return Summary { n: 0, mean: f64::NAN, std: f64::NAN, min: f64::NAN, max: f64::NAN };
+        }
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Summary {
+            n,
+            mean,
+            std: var.sqrt(),
+            min: xs.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    /// `mean ± std` with two decimals — the form every table column uses.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} ± {:.2}", self.mean, self.std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarizes_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.n, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn single_point_has_zero_std() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    fn empty_sample_is_nan() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert!(s.mean.is_nan());
+    }
+
+    #[test]
+    fn displays_mean_and_std() {
+        let s = Summary::of(&[1.0, 3.0]);
+        assert_eq!(s.to_string(), "2.00 ± 1.41");
+    }
+}

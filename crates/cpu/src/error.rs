@@ -8,12 +8,16 @@ pub enum CpuError {
     /// The operating-point table is empty.
     NoOperatingPoints,
     /// Frequencies must be strictly increasing and positive.
-    NonMonotonicFrequencies { /// index of the offending entry
-        index: usize },
+    NonMonotonicFrequencies {
+        /// index of the offending entry
+        index: usize,
+    },
     /// Voltages must be positive and non-decreasing with frequency
     /// (a higher frequency can never need a *lower* supply voltage).
-    NonMonotonicVoltages { /// index of the offending entry
-        index: usize },
+    NonMonotonicVoltages {
+        /// index of the offending entry
+        index: usize,
+    },
     /// A physical parameter (capacitance, efficiency, battery voltage,
     /// idle current) is out of its valid range.
     InvalidParameter {
@@ -50,12 +54,8 @@ mod tests {
     #[test]
     fn messages_name_the_problem() {
         assert!(CpuError::NoOperatingPoints.to_string().contains("empty"));
-        assert!(CpuError::NonMonotonicFrequencies { index: 2 }
-            .to_string()
-            .contains("entry 2"));
-        assert!(CpuError::NonMonotonicVoltages { index: 1 }
-            .to_string()
-            .contains("entry 1"));
+        assert!(CpuError::NonMonotonicFrequencies { index: 2 }.to_string().contains("entry 2"));
+        assert!(CpuError::NonMonotonicVoltages { index: 1 }.to_string().contains("entry 1"));
         assert!(CpuError::InvalidParameter { name: "ceff", value: -1.0 }
             .to_string()
             .contains("ceff"));

@@ -130,10 +130,7 @@ mod tests {
             let total: f64 = r.segments().map(|s| s.time_fraction).sum();
             assert!((total - 1.0).abs() < 1e-12);
             // Average of the table frequencies weighted by time fractions.
-            let avg: f64 = r
-                .segments()
-                .map(|s| s.time_fraction * t.get(s.opp).frequency)
-                .sum();
+            let avg: f64 = r.segments().map(|s| s.time_fraction * t.get(s.opp).frequency).sum();
             assert!((avg - fref).abs() < 1e-12);
         }
     }

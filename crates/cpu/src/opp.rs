@@ -150,28 +150,22 @@ mod tests {
 
     #[test]
     fn unsorted_frequencies_are_rejected() {
-        let r = OppTable::new(vec![
-            OperatingPoint::new(1.0e9, 5.0),
-            OperatingPoint::new(0.5e9, 3.0),
-        ]);
+        let r =
+            OppTable::new(vec![OperatingPoint::new(1.0e9, 5.0), OperatingPoint::new(0.5e9, 3.0)]);
         assert_eq!(r.unwrap_err(), CpuError::NonMonotonicFrequencies { index: 1 });
     }
 
     #[test]
     fn duplicate_frequencies_are_rejected() {
-        let r = OppTable::new(vec![
-            OperatingPoint::new(0.5e9, 3.0),
-            OperatingPoint::new(0.5e9, 4.0),
-        ]);
+        let r =
+            OppTable::new(vec![OperatingPoint::new(0.5e9, 3.0), OperatingPoint::new(0.5e9, 4.0)]);
         assert_eq!(r.unwrap_err(), CpuError::NonMonotonicFrequencies { index: 1 });
     }
 
     #[test]
     fn decreasing_voltage_is_rejected() {
-        let r = OppTable::new(vec![
-            OperatingPoint::new(0.5e9, 4.0),
-            OperatingPoint::new(1.0e9, 3.0),
-        ]);
+        let r =
+            OppTable::new(vec![OperatingPoint::new(0.5e9, 4.0), OperatingPoint::new(1.0e9, 3.0)]);
         assert_eq!(r.unwrap_err(), CpuError::NonMonotonicVoltages { index: 1 });
     }
 

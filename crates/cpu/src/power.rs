@@ -124,9 +124,7 @@ impl Processor {
     /// Average battery current over a realization (time-weighted over its
     /// segments).
     pub fn battery_current_of(&self, r: &Realization) -> f64 {
-        r.segments()
-            .map(|s| s.time_fraction * self.battery_current_at(s.opp))
-            .sum()
+        r.segments().map(|s| s.time_fraction * self.battery_current_at(s.opp)).sum()
     }
 
     /// Battery **charge** (coulombs) consumed to execute `cycles` cycles at
@@ -241,10 +239,7 @@ mod tests {
         let e_slow = p.energy_for_cycles(&slow, cycles);
         let fast = p.realize(1.0, FreqPolicy::Interpolate);
         let e_fast = p.energy_for_cycles(&fast, cycles); // idle part is free here
-        assert!(
-            e_slow < e_fast,
-            "energy at half speed {e_slow} must undercut full speed {e_fast}"
-        );
+        assert!(e_slow < e_fast, "energy at half speed {e_slow} must undercut full speed {e_fast}");
         // Even with idle current charged to option B the ordering only widens.
     }
 

@@ -23,11 +23,8 @@ fn arb_table() -> impl Strategy<Value = OppTable> {
 
 fn arb_processor() -> impl Strategy<Value = Processor> {
     (arb_table(), 0.5f64..1.0, 0.5f64..5.0, 0.0f64..0.2).prop_map(|(t, eta, vbat, idle)| {
-        Processor::new(
-            t,
-            SupplyConfig { ceff: 0.1, efficiency: eta, vbat, idle_current: idle },
-        )
-        .expect("valid supply")
+        Processor::new(t, SupplyConfig { ceff: 0.1, efficiency: eta, vbat, idle_current: idle })
+            .expect("valid supply")
     })
 }
 

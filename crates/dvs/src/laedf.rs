@@ -89,8 +89,7 @@ impl FrequencyGovernor for LaEdf {
             self.scratch.push((gid, deadline, c_left));
         }
         // Reverse EDF order: latest deadline first.
-        self.scratch
-            .sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(b.0.cmp(&a.0)));
+        self.scratch.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(b.0.cmp(&a.0)));
 
         let mut u: f64 = state.static_utilization_hz();
         let mut s = 0.0;

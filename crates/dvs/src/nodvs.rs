@@ -1,26 +1,24 @@
 //! The no-DVS baseline: always run at peak frequency.
-
-use bas_sim::{FrequencyGovernor, SimState};
+//!
+//! There is exactly **one** implementation of this governor in the
+//! workspace — [`bas_sim::MaxSpeed`] — re-exported here under the name the
+//! DVS layer and the paper's Table 2 use. It lives in `bas-sim` (not here)
+//! because the executor's own tests need a governor below `bas-dvs` in the
+//! dependency tree; keeping a second copy in this crate invited drift, so
+//! the alias replaced it.
 
 /// Always request `fmax` (the executor clamps `∞` down to it). This is the
 /// "EDF / None" row of the paper's Table 2: energy-oblivious scheduling that
 /// finishes everything early and idles.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct NoDvs;
-
-impl FrequencyGovernor for NoDvs {
-    fn name(&self) -> &'static str {
-        "none(fmax)"
-    }
-
-    fn frequency(&mut self, _state: &SimState) -> f64 {
-        f64::INFINITY
-    }
-}
+///
+/// Alias of [`bas_sim::MaxSpeed`] — see the module docs for why the type
+/// is defined there.
+pub use bas_sim::MaxSpeed as NoDvs;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bas_sim::{FrequencyGovernor, SimState};
     use bas_taskgraph::TaskSet;
 
     #[test]
@@ -28,5 +26,13 @@ mod tests {
         let mut g = NoDvs;
         let state = SimState::new(TaskSet::new());
         assert_eq!(g.frequency(&state), f64::INFINITY);
+    }
+
+    #[test]
+    fn nodvs_is_the_canonical_max_speed() {
+        // The two names must be the same type (no drift possible).
+        fn same_type(_: &NoDvs, _: &bas_sim::MaxSpeed) {}
+        same_type(&NoDvs, &bas_sim::MaxSpeed);
+        assert_eq!(NoDvs.name(), "none(fmax)");
     }
 }

@@ -36,6 +36,9 @@ pub enum SimError {
     },
     /// A non-finite or non-positive horizon was configured.
     InvalidHorizon(f64),
+    /// An experiment builder was run with a required component missing
+    /// (the component's name is carried, e.g. `"processor"`).
+    Unconfigured(&'static str),
 }
 
 impl fmt::Display for SimError {
@@ -55,6 +58,9 @@ impl fmt::Display for SimError {
                 write!(f, "policy picked {task} which is not ready")
             }
             SimError::InvalidHorizon(h) => write!(f, "invalid horizon {h}"),
+            SimError::Unconfigured(what) => {
+                write!(f, "experiment is missing its {what}")
+            }
         }
     }
 }
@@ -68,12 +74,9 @@ mod tests {
     #[test]
     fn messages_are_specific() {
         assert!(SimError::EmptyTaskSet.to_string().contains("empty"));
-        assert!(SimError::Overutilized { utilization: 1.25 }
-            .to_string()
-            .contains("1.25"));
-        assert!(SimError::DeadlineMiss { graph: 3, deadline: 40.0 }
-            .to_string()
-            .contains("t = 40"));
+        assert!(SimError::Overutilized { utilization: 1.25 }.to_string().contains("1.25"));
+        assert!(SimError::DeadlineMiss { graph: 3, deadline: 40.0 }.to_string().contains("t = 40"));
         assert!(SimError::InvalidHorizon(-1.0).to_string().contains("-1"));
+        assert!(SimError::Unconfigured("processor").to_string().contains("processor"));
     }
 }

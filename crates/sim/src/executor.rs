@@ -170,7 +170,11 @@ impl<'a> Executor<'a> {
 
     // ------------------------------------------------------------------
 
-    fn run(&mut self, horizon: f64, mut battery: Option<&mut dyn BatteryModel>) -> Result<(), SimError> {
+    fn run(
+        &mut self,
+        horizon: f64,
+        mut battery: Option<&mut dyn BatteryModel>,
+    ) -> Result<(), SimError> {
         loop {
             let t = self.state.now();
             if time::approx_ge(t, horizon) {
@@ -203,9 +207,13 @@ impl<'a> Executor<'a> {
                         self.state.set_now(t_next);
                         continue;
                     }
-                    if let Some(stop) =
-                        self.emit(t, dt, self.cfg.processor.supply().idle_current, SliceKind::Idle, &mut battery)
-                    {
+                    if let Some(stop) = self.emit(
+                        t,
+                        dt,
+                        self.cfg.processor.supply().idle_current,
+                        SliceKind::Idle,
+                        &mut battery,
+                    ) {
                         self.metrics.idle_time += stop - t;
                         self.state.set_now(stop);
                         break;
@@ -223,10 +231,7 @@ impl<'a> Executor<'a> {
                             self.metrics.preemptions += 1;
                         }
                     }
-                    let rem_actual = self
-                        .state
-                        .graph_ref(task.graph)
-                        .nodes[task.node.index()]
+                    let rem_actual = self.state.graph_ref(task.graph).nodes[task.node.index()]
                         .remaining_actual();
                     let realization = self.cfg.processor.realize(fref, self.cfg.freq_policy);
                     let dur_complete = rem_actual / realization.average_frequency;
@@ -268,7 +273,9 @@ impl<'a> Executor<'a> {
                         let opp = self.cfg.processor.opps().get(opp_ix);
                         let current = self.cfg.processor.battery_current_at(opp_ix);
                         let kind = SliceKind::Run { task, opp: opp_ix, frequency: opp.frequency };
-                        if let Some(stop) = self.emit(t + elapsed, leg_dt, current, kind, &mut battery) {
+                        if let Some(stop) =
+                            self.emit(t + elapsed, leg_dt, current, kind, &mut battery)
+                        {
                             let survived = stop - (t + elapsed);
                             cycles_done += opp.frequency * survived;
                             elapsed += survived;
@@ -482,8 +489,7 @@ mod tests {
         // T0.b must never run before T0.a completes: in execution order, a
         // precedes b.
         let order = trace.execution_order();
-        let pos =
-            |t: TaskRef| order.iter().position(|&x| x == t).expect("both ran");
+        let pos = |t: TaskRef| order.iter().position(|&x| x == t).expect("both ran");
         use bas_taskgraph::{GraphId, NodeId};
         let a = TaskRef::new(GraphId::from_index(0), NodeId::from_index(0));
         let b = TaskRef::new(GraphId::from_index(0), NodeId::from_index(1));
@@ -569,7 +575,8 @@ mod tests {
         let mut g = MaxSpeed;
         let mut p = Rogue;
         let mut s = WorstCase;
-        let mut ex = Executor::new(single_task_set(2, 10.0), cfg(), &mut g, &mut p, &mut s).unwrap();
+        let mut ex =
+            Executor::new(single_task_set(2, 10.0), cfg(), &mut g, &mut p, &mut s).unwrap();
         let err = ex.run_for(10.0).unwrap_err();
         assert!(matches!(err, SimError::InvalidPick { .. }));
     }
@@ -579,7 +586,8 @@ mod tests {
         let mut g = MaxSpeed;
         let mut p = EdfTopo;
         let mut s = WorstCase;
-        let mut ex = Executor::new(single_task_set(2, 10.0), cfg(), &mut g, &mut p, &mut s).unwrap();
+        let mut ex =
+            Executor::new(single_task_set(2, 10.0), cfg(), &mut g, &mut p, &mut s).unwrap();
         assert!(ex.run_for(0.0).is_err());
         assert!(ex.run_for(f64::NAN).is_err());
     }

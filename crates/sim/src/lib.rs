@@ -48,7 +48,7 @@ pub use error::SimError;
 pub use executor::{DeadlineMode, Executor, SimConfig, SimOutcome};
 pub use metrics::Metrics;
 pub use state::SimState;
-pub use traits::{FrequencyGovernor, TaskPolicy};
+pub use traits::{FrequencyGovernor, MaxSpeed, TaskPolicy};
 pub use types::TaskRef;
 pub use workload::{
     ActualSampler, FixedFraction, FractionTable, PersistentFraction, UniformFraction, WorstCase,

@@ -29,9 +29,7 @@ impl TaskPolicy for EdfTopo {
             .iter()
             .filter(|t| t.graph == imminent)
             .min_by_key(|t| {
-                topo.iter()
-                    .position(|&n| n == t.node)
-                    .expect("ready node belongs to the graph")
+                topo.iter().position(|&n| n == t.node).expect("ready node belongs to the graph")
             })
             .copied()
     }

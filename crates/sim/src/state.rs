@@ -172,18 +172,12 @@ impl SimState {
 
     /// ccEDF's effective utilization `Σ WCi/Di` in Hz (cycles per second).
     pub fn effective_utilization_hz(&self) -> f64 {
-        self.set
-            .graph_ids()
-            .map(|g| self.wci_effective(g) / self.set[g].period())
-            .sum()
+        self.set.graph_ids().map(|g| self.wci_effective(g) / self.set[g].period()).sum()
     }
 
     /// Static worst-case utilization in Hz.
     pub fn static_utilization_hz(&self) -> f64 {
-        self.set
-            .iter()
-            .map(|(_, g)| g.graph().total_wcet() as f64 / g.period())
-            .sum()
+        self.set.iter().map(|(_, g)| g.graph().total_wcet() as f64 / g.period()).sum()
     }
 
     /// Active graphs ordered by absolute deadline (ties broken by id) — the
@@ -214,10 +208,7 @@ impl SimState {
                 if np.done {
                     continue;
                 }
-                let ready = graph
-                    .predecessors(node)
-                    .iter()
-                    .all(|p| g.nodes[p.index()].done);
+                let ready = graph.predecessors(node).iter().all(|p| g.nodes[p.index()].done);
                 if ready {
                     out.push(TaskRef::new(gid, node));
                 }
@@ -232,10 +223,7 @@ impl SimState {
 
     /// Earliest upcoming release across all graphs.
     pub fn next_release_any(&self) -> f64 {
-        self.set
-            .graph_ids()
-            .map(|g| self.next_release(g))
-            .fold(f64::INFINITY, f64::min)
+        self.set.graph_ids().map(|g| self.next_release(g)).fold(f64::INFINITY, f64::min)
     }
 
     // ------------------------------------------------------------------

@@ -127,10 +127,7 @@ impl Trace {
                 let prev = &self.slices[i - 1];
                 let gap = (s.start - prev.end).abs();
                 if gap > crate::time::eps_for(s.start) {
-                    return Err(format!(
-                        "gap/overlap of {gap} s between slices {} and {i}",
-                        i - 1
-                    ));
+                    return Err(format!("gap/overlap of {gap} s between slices {} and {i}", i - 1));
                 }
             }
         }
@@ -161,7 +158,11 @@ impl Trace {
                 SliceKind::Run { task, frequency, .. } => writeln!(
                     out,
                     "  [{:8.3} – {:8.3}] run {:<8} @ {:6.3} Hz  ({:.3} A)",
-                    s.start, s.end, task.to_string(), frequency, s.current
+                    s.start,
+                    s.end,
+                    task.to_string(),
+                    frequency,
+                    s.current
                 )
                 .unwrap(),
                 SliceKind::Idle => writeln!(
@@ -241,9 +242,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_gaps() {
-        let t = Trace {
-            slices: vec![run_slice(0.0, 1.0, 0.5, 0), run_slice(1.5, 2.0, 0.7, 0)],
-        };
+        let t = Trace { slices: vec![run_slice(0.0, 1.0, 0.5, 0), run_slice(1.5, 2.0, 0.7, 0)] };
         let err = t.validate().unwrap_err();
         assert!(err.contains("gap"), "{err}");
     }

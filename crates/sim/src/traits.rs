@@ -61,9 +61,14 @@ pub trait TaskPolicy: Send {
 }
 
 /// A trivial governor that always runs flat out — the "EDF, no DVS" baseline
-/// row of Table 2 uses this (it lives here rather than `bas-dvs` because the
-/// executor's own tests need a governor below the dvs crate in the
-/// dependency tree).
+/// row of Table 2 uses this.
+///
+/// This is the **canonical** no-DVS implementation for the whole workspace:
+/// `bas_dvs::NoDvs` is a re-export of this type, and
+/// `bas_core::runner::GovernorKind::None` builds it. It lives here rather
+/// than in `bas-dvs` because the executor's own tests need a governor below
+/// the dvs crate in the dependency tree (`bas-sim` cannot depend on
+/// `bas-dvs` without a cycle).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MaxSpeed;
 

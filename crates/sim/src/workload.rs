@@ -137,10 +137,7 @@ impl ActualSampler for PersistentFraction {
     fn sample(&mut self, g: GraphId, n: NodeId, _k: u64, wcet: Cycles) -> f64 {
         let (lo, hi) = (self.lo, self.hi);
         let rng = &mut self.rng;
-        let base = *self
-            .fractions
-            .entry((g, n))
-            .or_insert_with(|| rng.gen_range(lo..=hi));
+        let base = *self.fractions.entry((g, n)).or_insert_with(|| rng.gen_range(lo..=hi));
         let jittered = if self.jitter > 0.0 {
             (base + rng.gen_range(-self.jitter..=self.jitter)).clamp(lo, hi)
         } else {
@@ -280,9 +277,8 @@ mod tests {
 
     #[test]
     fn fraction_table_uses_entries_then_default() {
-        let mut s = FractionTable::with_default(1.0)
-            .set(gid(0), nid(0), 0.4)
-            .set(gid(0), nid(1), 0.6);
+        let mut s =
+            FractionTable::with_default(1.0).set(gid(0), nid(0), 0.4).set(gid(0), nid(1), 0.6);
         assert_eq!(s.sample(gid(0), nid(0), 0, 10), 4.0);
         assert_eq!(s.sample(gid(0), nid(1), 0, 10), 6.0);
         assert_eq!(s.sample(gid(1), nid(0), 0, 10), 10.0);

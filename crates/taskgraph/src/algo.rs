@@ -22,10 +22,8 @@ pub(crate) fn topological_sort(
     // A binary heap would give O(E log V); for the graph sizes of the paper
     // (≤ ~15 nodes, experiments sweep to a few hundred) a sorted scan of a
     // small frontier is faster in practice and trivially deterministic.
-    let mut frontier: Vec<NodeId> = (0..n)
-        .filter(|&i| indeg[i] == 0)
-        .map(NodeId::from_index)
-        .collect();
+    let mut frontier: Vec<NodeId> =
+        (0..n).filter(|&i| indeg[i] == 0).map(NodeId::from_index).collect();
     frontier.sort_unstable_by(|a, b| b.cmp(a)); // max-at-front so pop() yields min
     let mut order = Vec::with_capacity(n);
     while let Some(v) = frontier.pop() {
@@ -34,9 +32,7 @@ pub(crate) fn topological_sort(
             indeg[s.index()] -= 1;
             if indeg[s.index()] == 0 {
                 // Keep `frontier` sorted descending by insertion.
-                let pos = frontier
-                    .binary_search_by(|probe| s.cmp(probe))
-                    .unwrap_or_else(|p| p);
+                let pos = frontier.binary_search_by(|probe| s.cmp(probe)).unwrap_or_else(|p| p);
                 frontier.insert(pos, s);
             }
         }
@@ -60,12 +56,7 @@ pub(crate) fn topological_sort(
 pub fn critical_path(g: &TaskGraph) -> Cycles {
     let mut longest: Vec<Cycles> = vec![0; g.node_count()];
     for &v in g.topological_order() {
-        let base = g
-            .predecessors(v)
-            .iter()
-            .map(|&p| longest[p.index()])
-            .max()
-            .unwrap_or(0);
+        let base = g.predecessors(v).iter().map(|&p| longest[p.index()]).max().unwrap_or(0);
         longest[v.index()] = base + g.wcet(v);
     }
     longest.into_iter().max().unwrap_or(0)
@@ -76,12 +67,8 @@ pub fn critical_path(g: &TaskGraph) -> Cycles {
 pub fn earliest_start_cycles(g: &TaskGraph) -> Vec<Cycles> {
     let mut est: Vec<Cycles> = vec![0; g.node_count()];
     for &v in g.topological_order() {
-        est[v.index()] = g
-            .predecessors(v)
-            .iter()
-            .map(|&p| est[p.index()] + g.wcet(p))
-            .max()
-            .unwrap_or(0);
+        est[v.index()] =
+            g.predecessors(v).iter().map(|&p| est[p.index()] + g.wcet(p)).max().unwrap_or(0);
     }
     est
 }
@@ -135,11 +122,8 @@ pub fn redundant_edges(g: &TaskGraph) -> Vec<(NodeId, NodeId)> {
     let mut redundant = Vec::new();
     for (from, to) in g.edges() {
         // Is there a path from -> ... -> to of length >= 2?
-        let through_other = g
-            .successors(from)
-            .iter()
-            .filter(|&&s| s != to)
-            .any(|&s| s == to || reaches(g, s, to));
+        let through_other =
+            g.successors(from).iter().filter(|&&s| s != to).any(|&s| s == to || reaches(g, s, to));
         if through_other {
             redundant.push((from, to));
         }
@@ -170,11 +154,7 @@ pub fn count_linear_extensions(g: &TaskGraph) -> Option<u128> {
     // pred_mask[v] = bitmask of direct predecessors of v.
     let pred_mask: Vec<u32> = g
         .node_ids()
-        .map(|v| {
-            g.predecessors(v)
-                .iter()
-                .fold(0u32, |m, p| m | (1 << p.index()))
-        })
+        .map(|v| g.predecessors(v).iter().fold(0u32, |m, p| m | (1 << p.index())))
         .collect();
     let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
     // ways[s] = number of orders of exactly the tasks in s that respect
@@ -221,11 +201,8 @@ mod tests {
 
     fn chain(lens: &[Cycles]) -> TaskGraph {
         let mut b = TaskGraphBuilder::new("chain");
-        let ids: Vec<_> = lens
-            .iter()
-            .enumerate()
-            .map(|(i, &w)| b.add_node(format!("t{i}"), w))
-            .collect();
+        let ids: Vec<_> =
+            lens.iter().enumerate().map(|(i, &w)| b.add_node(format!("t{i}"), w)).collect();
         for w in ids.windows(2) {
             b.add_edge(w[0], w[1]).unwrap();
         }

@@ -81,10 +81,7 @@ impl TaskGraph {
 
     /// All nodes, with their ids.
     pub fn nodes(&self) -> impl ExactSizeIterator<Item = (NodeId, &TaskNode)> + '_ {
-        self.nodes
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (NodeId::from_index(i), n))
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId::from_index(i), n))
     }
 
     /// Direct successors of `id` (tasks that wait on it).
@@ -169,11 +166,7 @@ pub struct TaskGraphBuilder {
 impl TaskGraphBuilder {
     /// Start a new graph with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        TaskGraphBuilder {
-            name: name.into(),
-            nodes: Vec::new(),
-            edges: Vec::new(),
-        }
+        TaskGraphBuilder { name: name.into(), nodes: Vec::new(), edges: Vec::new() }
     }
 
     /// Pre-allocate for `nodes` nodes and `edges` edges.
@@ -246,14 +239,7 @@ impl TaskGraphBuilder {
         }
         let topo = algo::topological_sort(n, &succs, &preds)?;
         let total_wcet = self.nodes.iter().map(|t| t.wcet).sum();
-        Ok(TaskGraph {
-            name: self.name,
-            nodes: self.nodes,
-            succs,
-            preds,
-            topo,
-            total_wcet,
-        })
+        Ok(TaskGraph { name: self.name, nodes: self.nodes, succs, preds, topo, total_wcet })
     }
 }
 
@@ -320,10 +306,7 @@ mod tests {
 
     #[test]
     fn empty_graph_is_rejected() {
-        assert_eq!(
-            TaskGraphBuilder::new("empty").build().unwrap_err(),
-            GraphError::EmptyGraph
-        );
+        assert_eq!(TaskGraphBuilder::new("empty").build().unwrap_err(), GraphError::EmptyGraph);
     }
 
     #[test]

@@ -15,14 +15,8 @@ pub fn graph_to_dot(g: &TaskGraph) -> String {
     writeln!(out, "  rankdir=TB;").unwrap();
     writeln!(out, "  node [shape=box, fontname=\"monospace\"];").unwrap();
     for (id, node) in g.nodes() {
-        writeln!(
-            out,
-            "  {} [label=\"{} ({})\"];",
-            id.index(),
-            escape(&node.name),
-            node.wcet
-        )
-        .unwrap();
+        writeln!(out, "  {} [label=\"{} ({})\"];", id.index(), escape(&node.name), node.wcet)
+            .unwrap();
     }
     for (from, to) in g.edges() {
         writeln!(out, "  {} -> {};", from.index(), to.index()).unwrap();
@@ -38,13 +32,7 @@ pub fn taskset_to_dot(set: &TaskSet) -> String {
     for (gid, pg) in set.iter() {
         let g = pg.graph();
         writeln!(out, "  subgraph cluster_{} {{", gid.index()).unwrap();
-        writeln!(
-            out,
-            "    label=\"{} (D = {})\";",
-            escape(g.name()),
-            pg.period()
-        )
-        .unwrap();
+        writeln!(out, "    label=\"{} (D = {})\";", escape(g.name()), pg.period()).unwrap();
         for (id, node) in g.nodes() {
             writeln!(
                 out,

@@ -75,11 +75,7 @@ pub struct GeneratorConfig {
 impl Default for GeneratorConfig {
     /// The paper's sweep: 5–15 nodes per graph.
     fn default() -> Self {
-        GeneratorConfig {
-            nodes: (5, 15),
-            wcet: (10, 100),
-            shape: GraphShape::default(),
-        }
+        GeneratorConfig { nodes: (5, 15), wcet: (10, 100), shape: GraphShape::default() }
     }
 }
 
@@ -410,10 +406,7 @@ mod tests {
 
     #[test]
     fn task_set_with_quantum_has_finite_hyperperiod() {
-        let cfg = TaskSetConfig {
-            period_quantum: Some(10.0),
-            ..TaskSetConfig::default()
-        };
+        let cfg = TaskSetConfig { period_quantum: Some(10.0), ..TaskSetConfig::default() };
         let set = cfg.generate(&mut rng(13)).unwrap();
         let h = set.hyperperiod(10.0);
         assert!(h.is_some(), "quantized periods must have a hyperperiod");

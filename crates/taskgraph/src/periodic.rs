@@ -37,11 +37,7 @@ impl PeriodicTaskGraph {
         if !(phase.is_finite() && phase >= 0.0) {
             return Err(GraphError::InvalidPeriod(phase));
         }
-        Ok(PeriodicTaskGraph {
-            graph: Arc::new(graph),
-            period,
-            phase,
-        })
+        Ok(PeriodicTaskGraph { graph: Arc::new(graph), period, phase })
     }
 
     /// The task graph released at every period boundary.
@@ -142,10 +138,7 @@ impl TaskSet {
 
     /// Iterate over `(GraphId, &PeriodicTaskGraph)`.
     pub fn iter(&self) -> impl ExactSizeIterator<Item = (GraphId, &PeriodicTaskGraph)> + '_ {
-        self.graphs
-            .iter()
-            .enumerate()
-            .map(|(i, g)| (GraphId::from_index(i), g))
+        self.graphs.iter().enumerate().map(|(i, g)| (GraphId::from_index(i), g))
     }
 
     /// All graph ids.

@@ -2,6 +2,11 @@
 //! rate-capacity effect, and how the models agree (§3's "the battery models
 //! point in the same direction").
 //!
+//! This example stays below the scheduler: it drives `LoadProfile`s into the
+//! battery models by hand. For the scheduling layer on top, see the
+//! `quickstart`, `media_player` and `sensor_node` examples, which express
+//! their runs through the `Experiment`/`Sweep` builder API.
+//!
 //! Run with: `cargo run --release --example battery_explorer`
 
 use battery_aware_scheduling::battery::units::coulombs_to_mah;

@@ -12,7 +12,7 @@
 //! The example builds the graphs by hand (showing the `TaskGraphBuilder`
 //! API), checks schedulability, and asks one question a product engineer
 //! would: *how many minutes of playback does battery-aware scheduling buy on
-//! one AAA cell?*
+//! one AAA cell?* Each run is one [`Experiment`].
 //!
 //! Run with: `cargo run --release --example media_player`
 
@@ -65,7 +65,13 @@ fn main() {
 
     // One second of playback under EDF vs BAS-2: same frames, less charge.
     for (name, spec) in [("EDF", SchedulerSpec::edf()), ("BAS-2", SchedulerSpec::bas2())] {
-        let out = simulate(&set, &spec, &processor, 5, 1.0).expect("schedulable");
+        let out = Experiment::new(&set)
+            .spec(spec)
+            .processor(&processor)
+            .seed(5)
+            .horizon(1.0)
+            .run()
+            .expect("schedulable");
         println!(
             "{name:6}: {:3} frames decoded, avg draw {:.3} A, {} deadline misses",
             out.metrics.instances_completed,
@@ -80,7 +86,13 @@ fn main() {
     let mut results = Vec::new();
     for (name, spec) in SchedulerSpec::table2_lineup() {
         let mut cell = StochasticKibam::paper_cell(3);
-        let out = simulate_with_battery(&set, &spec, &processor, &mut cell, 5, 86_400.0)
+        let out = Experiment::new(&set)
+            .spec(spec)
+            .processor(&processor)
+            .seed(5)
+            .horizon(86_400.0)
+            .battery(&mut cell)
+            .run()
             .expect("schedulable");
         let report = out.battery.expect("report");
         println!(

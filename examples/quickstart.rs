@@ -1,6 +1,10 @@
 //! Quickstart: schedule a random periodic task set five ways and watch the
 //! battery live longer under battery-aware scheduling.
 //!
+//! One [`Sweep`] expresses the whole comparison: the Table-2 scheduler
+//! lineup × one workload × the paper's battery, with per-scheme summaries
+//! dropping out of the report.
+//!
 //! Run with: `cargo run --release --example quickstart`
 
 use battery_aware_scheduling::prelude::*;
@@ -34,19 +38,26 @@ fn main() {
     //    2000 mAh AAA NiMH cell.
     let processor = paper_processor();
 
-    // 3. Run the Table-2 lineup until the battery dies.
+    // 3. Run the Table-2 lineup until the battery dies — one sweep over the
+    //    fixed workload, each scheme co-simulated against a fresh cell.
+    let report = Sweep::over_seeds(7, 1)
+        .specs(SchedulerSpec::table2_lineup())
+        .set(&set)
+        .processor(&processor)
+        .horizon(86_400.0)
+        .battery(|_seed| Box::new(StochasticKibam::paper_cell(99)))
+        .run()
+        .expect("schedulable workload");
+
     println!("\n{:8}  {:>12}  {:>10}", "scheme", "charge (mAh)", "life (min)");
-    for (name, spec) in SchedulerSpec::table2_lineup() {
-        let mut battery = StochasticKibam::paper_cell(99);
-        let out = simulate_with_battery(&set, &spec, &processor, &mut battery, 7, 86_400.0)
-            .expect("schedulable workload");
-        let report = out.battery.expect("co-simulation report");
-        assert_eq!(out.metrics.deadline_misses, 0, "{name} must not miss deadlines");
+    for spec in &report.specs {
+        let trial = &spec.trials[0];
+        assert_eq!(trial.deadline_misses, 0, "{} must not miss deadlines", spec.label);
         println!(
             "{:8}  {:>12.0}  {:>10.0}",
-            name,
-            report.delivered_mah(),
-            report.lifetime_minutes()
+            spec.label,
+            trial.delivered_mah.expect("battery run"),
+            trial.lifetime_minutes().expect("battery run")
         );
     }
     println!("\nevery scheme meets every deadline; the DVS + battery-aware schemes");

@@ -2,17 +2,17 @@
 //! calibration loop — the "energy-autonomous embedded system" of the paper's
 //! conclusion, where the battery *is* the mission budget.
 //!
-//! Shows the lower-level APIs: hand-assembled scheduler (governor + policy +
-//! sampler) driving the `Executor` directly, and a mission-length question:
-//! how many sensor readings does one cell deliver end-to-end?
+//! Shows a mission-length question asked through the [`Experiment`] builder:
+//! how many sensor readings does one cell deliver end-to-end? Real sensor
+//! tasks have *characteristic* run times, so the builder's `.sampler(..)`
+//! knob selects persistent per-task actuals. (Schedulers outside the
+//! [`SchedulerSpec`] vocabulary — custom estimators, hand-rolled priorities —
+//! can still assemble `governor + policy + sampler` around the `Executor`
+//! directly; see `bas-bench`'s `ablation` binary.)
 //!
 //! Run with: `cargo run --release --example sensor_node`
 
-use battery_aware_scheduling::core::estimator::EmaEstimator;
-use battery_aware_scheduling::core::policy::BasPolicy;
-use battery_aware_scheduling::core::priority::Pubs;
 use battery_aware_scheduling::prelude::*;
-use battery_aware_scheduling::sim::PersistentFraction;
 
 const MC: u64 = 1_000_000;
 
@@ -48,20 +48,17 @@ fn main() {
         set.len()
     );
 
-    // Assemble BAS-2 by hand: laEDF would pin the frequency floor at this
-    // light load anyway, so pair pUBS with ccEDF (the workspace's BAS-2cc).
-    let mut governor = CcEdf;
-    let mut policy = BasPolicy::all_released(Pubs::new(EmaEstimator::paper()));
-    // Real sensor tasks have *characteristic* run times: persistent actuals.
-    let mut sampler = PersistentFraction::paper(17);
-    let mut cfg = SimConfig::new(processor.clone());
-    cfg.record_trace = false;
-
-    let mut ex = Executor::new(set.clone(), cfg, &mut governor, &mut policy, &mut sampler)
-        .expect("schedulable");
+    // BAS-2cc: laEDF would pin the frequency floor at this light load
+    // anyway, so pair pUBS with ccEDF (the workspace's supplementary row).
     let mut cell = StochasticKibam::paper_cell(17);
-    let out = ex
-        .run_until_battery_dead(&mut cell, 7.0 * 86_400.0)
+    let out = Experiment::new(&set)
+        .spec(SchedulerSpec::bas2cc())
+        .processor(&processor)
+        .seed(17)
+        .horizon(7.0 * 86_400.0)
+        .sampler(SamplerKind::Persistent)
+        .battery(&mut cell)
+        .run()
         .expect("no deadline misses");
     let report = out.battery.expect("report");
     let readings = out.metrics.instances_completed;
@@ -78,17 +75,18 @@ fn main() {
     );
     assert_eq!(out.metrics.deadline_misses, 0);
 
-    // The EDF baseline for contrast, same workload and seeds.
-    let mut governor = NoDvs;
-    let mut policy = BasPolicy::all_released(RandomPriority::new(17));
-    let mut sampler = PersistentFraction::paper(17);
-    let mut cfg = SimConfig::new(processor.clone());
-    cfg.record_trace = false;
-    let mut ex = Executor::new(set, cfg, &mut governor, &mut policy, &mut sampler)
-        .expect("schedulable");
+    // The EDF baseline for contrast, same workload and seed. The spec is
+    // parsed from its canonical label to show the string round-trip CLIs use.
+    let spec: SchedulerSpec = "noDVS+random/all".parse().expect("valid spec label");
     let mut cell = StochasticKibam::paper_cell(17);
-    let edf = ex
-        .run_until_battery_dead(&mut cell, 7.0 * 86_400.0)
+    let edf = Experiment::new(&set)
+        .spec(spec)
+        .processor(&processor)
+        .seed(17)
+        .horizon(7.0 * 86_400.0)
+        .sampler(SamplerKind::Persistent)
+        .battery(&mut cell)
+        .run()
         .expect("no deadline misses")
         .battery
         .expect("report");

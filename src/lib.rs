@@ -17,9 +17,14 @@
 //! * [`sim`] — the discrete-event executor and its traits;
 //! * [`dvs`] — ccEDF / laEDF / no-DVS frequency governors;
 //! * [`core`] — priority functions, feasibility check, BAS policies, the
-//!   single-DAG optimal search and the experiment runner.
+//!   single-DAG optimal search and the `Experiment`/`Sweep` API.
 //!
 //! ## Quick start
+//!
+//! Every experiment is expressed through the builder API: an
+//! [`Experiment`](prelude::Experiment) is one run, a
+//! [`Sweep`](prelude::Sweep) is a batch over seeds × schedulers with
+//! deterministic parallel fan-out.
 //!
 //! ```
 //! use battery_aware_scheduling::prelude::*;
@@ -31,11 +36,53 @@
 //!
 //! // Battery-aware scheduling (BAS-2) vs plain EDF, same workload and seed.
 //! let proc = unit_processor();
-//! let bas = simulate(&set, &SchedulerSpec::bas2(), &proc, 7, 300.0).unwrap();
-//! let edf = simulate(&set, &SchedulerSpec::edf(), &proc, 7, 300.0).unwrap();
+//! let run = |spec| {
+//!     Experiment::new(&set)
+//!         .spec(spec)
+//!         .processor(&proc)
+//!         .seed(7)
+//!         .horizon(300.0)
+//!         .run()
+//!         .unwrap()
+//! };
+//! let bas = run(SchedulerSpec::bas2());
+//! let edf = run(SchedulerSpec::edf());
 //! assert_eq!(bas.metrics.deadline_misses, 0);
 //! assert!(bas.metrics.energy < edf.metrics.energy);
 //! ```
+//!
+//! The paper's many-random-sets protocol is one [`Sweep`](prelude::Sweep):
+//!
+//! ```
+//! use battery_aware_scheduling::prelude::*;
+//!
+//! let proc = unit_processor();
+//! let report = Sweep::over_seeds(1, 4)
+//!     .specs(SchedulerSpec::table2_lineup())
+//!     .workload(TaskSetConfig::default())
+//!     .processor(&proc)
+//!     .horizon(200.0)
+//!     .run()
+//!     .unwrap();
+//! assert!(report.spec("BAS-2").unwrap().energy.mean
+//!     < report.spec("EDF").unwrap().energy.mean);
+//! ```
+//!
+//! ## Running the paper's experiments
+//!
+//! Each table and figure has a binary in `bas-bench` wrapping one sweep —
+//! see that crate's "Running experiments" docs for the full map:
+//!
+//! | artifact | binary | shape |
+//! |---|---|---|
+//! | Table 1 | `table1` | offline single-DAG scenarios (`core::single_dag`) |
+//! | Table 2 | `table2` | `Sweep` × battery co-simulation, paper processor |
+//! | Fig. 4 / 5 | `fig4`, `fig5_trace` | worked traces |
+//! | Fig. 6 | `fig6` | per-trial `Experiment`s vs precedence-relaxed twin |
+//! | §5 curve | `capacity_curve` | battery layer only |
+//! | §3 guidelines | `guidelines` | battery layer only |
+//! | utilization sweep | `crossover` | one `Sweep` per load point |
+//! | ablations | `ablation` | `Sweep`s with one knob varied |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,23 +97,25 @@ pub use bas_taskgraph as taskgraph;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use bas_battery::{
-        run_profile, BatteryModel, DiffusionModel, Kibam, LoadProfile, RunOptions,
-        StochasticKibam,
+        run_profile, BatteryModel, DiffusionModel, Kibam, LoadProfile, RunOptions, StochasticKibam,
     };
-    pub use bas_core::runner::{
-        simulate, simulate_lean, simulate_with_battery, SchedulerSpec,
+    pub use bas_core::{
+        parallel_map, Experiment, SamplerKind, SchedulerSpec, SpecReport, Summary, Sweep,
+        SweepReport, TrialRecord,
     };
     pub use bas_core::{BasPolicy, EmaEstimator, Ltf, Pubs, RandomPriority, Stf};
     pub use bas_cpu::presets::{dense_dvs_processor, paper_processor, unit_processor};
     pub use bas_cpu::{FreqPolicy, Processor};
     pub use bas_dvs::{CcEdf, LaEdf, NoDvs};
-    pub use bas_sim::{
-        DeadlineMode, Executor, SimConfig, TaskRef, UniformFraction, WorstCase,
-    };
+    pub use bas_sim::{DeadlineMode, Executor, SimConfig, TaskRef, UniformFraction, WorstCase};
     pub use bas_taskgraph::{
         GeneratorConfig, GraphShape, PeriodicTaskGraph, TaskGraph, TaskGraphBuilder, TaskSet,
         TaskSetConfig,
     };
+
+    // One release of grace for the pre-builder façade (deprecated shims).
+    #[allow(deprecated)]
+    pub use bas_core::runner::{simulate, simulate_lean, simulate_with_battery};
 }
 
 #[cfg(test)]
@@ -83,5 +132,21 @@ mod tests {
         assert_eq!(p.fmax(), 1.0);
         let cell = Kibam::paper_cell();
         assert!(!cell.is_exhausted());
+    }
+
+    #[test]
+    fn prelude_exposes_the_builder_api() {
+        let mut b = TaskGraphBuilder::new("t");
+        b.add_node("only", 5);
+        let mut set = TaskSet::new();
+        set.push(PeriodicTaskGraph::new(b.build().unwrap(), 10.0).unwrap());
+        let proc = unit_processor();
+        let out = Experiment::new(&set)
+            .spec(SchedulerSpec::edf())
+            .processor(&proc)
+            .horizon(50.0)
+            .run()
+            .unwrap();
+        assert_eq!(out.metrics.deadline_misses, 0);
     }
 }

@@ -1,5 +1,6 @@
 //! End-to-end integration: workload generation → scheduling → trace →
-//! battery, across every scheduler of the paper's lineup.
+//! battery, across every scheduler of the paper's lineup, expressed through
+//! the `Experiment` builder.
 
 use battery_aware_scheduling::prelude::*;
 use rand::rngs::StdRng;
@@ -26,13 +27,23 @@ fn horizon_for(set: &TaskSet) -> f64 {
     2.0 * set.iter().map(|(_, g)| g.period()).fold(0.0, f64::max)
 }
 
+fn run_lean(
+    set: &TaskSet,
+    spec: SchedulerSpec,
+    seed: u64,
+    horizon: f64,
+) -> Result<battery_aware_scheduling::sim::SimOutcome, battery_aware_scheduling::sim::SimError> {
+    let proc = unit_processor();
+    Experiment::new(set).spec(spec).processor(&proc).seed(seed).horizon(horizon).run()
+}
+
 #[test]
 fn every_scheme_meets_every_deadline_across_seeds() {
     for seed in 0..10 {
         let set = random_set(seed, 4, 0.7);
         let horizon = horizon_for(&set);
         for (name, spec) in SchedulerSpec::table2_lineup() {
-            let out = simulate_lean(&set, &spec, &unit_processor(), seed, horizon)
+            let out = run_lean(&set, spec, seed, horizon)
                 .unwrap_or_else(|e| panic!("{name} seed {seed}: {e}"));
             assert_eq!(out.metrics.deadline_misses, 0, "{name} seed {seed}");
             assert!(out.metrics.instances_completed > 0, "{name} seed {seed}");
@@ -43,8 +54,15 @@ fn every_scheme_meets_every_deadline_across_seeds() {
 #[test]
 fn traces_are_well_formed_and_account_charge_exactly() {
     let set = random_set(3, 4, 0.7);
+    let proc = unit_processor();
     for (name, spec) in SchedulerSpec::table2_lineup() {
-        let out = simulate(&set, &spec, &unit_processor(), 11, 300.0)
+        let out = Experiment::new(&set)
+            .spec(spec)
+            .processor(&proc)
+            .seed(11)
+            .horizon(300.0)
+            .trace(true)
+            .run()
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         let trace = out.trace.expect("trace recorded");
         trace.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
@@ -66,8 +84,8 @@ fn traces_are_well_formed_and_account_charge_exactly() {
 fn identical_seeds_give_bit_identical_runs() {
     let set = random_set(5, 3, 0.6);
     for (_, spec) in SchedulerSpec::table2_lineup() {
-        let a = simulate_lean(&set, &spec, &unit_processor(), 21, 300.0).unwrap();
-        let b = simulate_lean(&set, &spec, &unit_processor(), 21, 300.0).unwrap();
+        let a = run_lean(&set, spec, 21, 300.0).unwrap();
+        let b = run_lean(&set, spec, 21, 300.0).unwrap();
         assert_eq!(a.metrics, b.metrics);
     }
 }
@@ -78,20 +96,10 @@ fn energy_ordering_no_dvs_worst() {
     for seed in 0..5 {
         let set = random_set(seed + 100, 4, 0.7);
         let horizon = horizon_for(&set);
-        let edf = simulate_lean(&set, &SchedulerSpec::edf(), &unit_processor(), 9, horizon)
-            .unwrap()
-            .metrics
-            .energy;
+        let edf = run_lean(&set, SchedulerSpec::edf(), 9, horizon).unwrap().metrics.energy;
         for spec in [SchedulerSpec::cc_edf(), SchedulerSpec::la_edf(), SchedulerSpec::bas2()] {
-            let e = simulate_lean(&set, &spec, &unit_processor(), 9, horizon)
-                .unwrap()
-                .metrics
-                .energy;
-            assert!(
-                e < edf,
-                "seed {seed}: {} J must undercut EDF's {edf} J",
-                e
-            );
+            let e = run_lean(&set, spec, 9, horizon).unwrap().metrics.energy;
+            assert!(e < edf, "seed {seed}: {} J must undercut EDF's {edf} J", e);
         }
     }
 }
@@ -119,7 +127,13 @@ fn battery_cosim_agrees_with_metrics_integral() {
         )),
     ];
     for mut cell in models {
-        let out = simulate_with_battery(&set, &SchedulerSpec::bas2(), &proc, cell.as_mut(), 13, 1e5)
+        let out = Experiment::new(&set)
+            .spec(SchedulerSpec::bas2())
+            .processor(&proc)
+            .seed(13)
+            .horizon(1e5)
+            .battery(cell.as_mut())
+            .run()
             .expect("feasible");
         let report = out.battery.expect("report");
         assert!(report.died, "{}", cell.name());
@@ -134,23 +148,32 @@ fn battery_cosim_agrees_with_metrics_integral() {
     }
 }
 
-use battery_aware_scheduling::battery as bas_battery;
 use bas_battery::BatteryModel;
+use battery_aware_scheduling::battery as bas_battery;
 
 #[test]
 fn lifetimes_order_edf_ccedf_laedf() {
     // The Table-2 backbone on a reduced sweep: EDF < ccEDF < laEDF lifetime.
+    let proc = unit_processor();
     let mut lifetimes = Vec::new();
     let lineup = SchedulerSpec::table2_lineup();
     for (name, spec) in &lineup[..3] {
         let mut total = 0.0;
         for seed in 0..3 {
             let set = random_set(seed + 50, 4, 0.7);
-            let mut cell =
-                Kibam::new(bas_battery::KibamParams { capacity: 2000.0, c: 0.625, k_prime: 4.5e-4 });
-            let out =
-                simulate_with_battery(&set, spec, &unit_processor(), &mut cell, seed, 1e6)
-                    .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let mut cell = Kibam::new(bas_battery::KibamParams {
+                capacity: 2000.0,
+                c: 0.625,
+                k_prime: 4.5e-4,
+            });
+            let out = Experiment::new(&set)
+                .spec(*spec)
+                .processor(&proc)
+                .seed(seed)
+                .horizon(1e6)
+                .battery(&mut cell)
+                .run()
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
             total += out.battery.expect("report").lifetime;
         }
         lifetimes.push((name, total));

@@ -55,20 +55,12 @@ fn all_models_rank_profile_shapes_identically() {
                 RunOptions { repeat: false, ..RunOptions::default() },
             );
             assert!(!shaped.died, "{}: history fits capacity", m.name());
-            run_profile(
-                m.as_mut(),
-                &LoadProfile::from_pairs([(1.5, 1.0)]),
-                RunOptions::default(),
-            )
-            .charge_delivered
+            run_profile(m.as_mut(), &LoadProfile::from_pairs([(1.5, 1.0)]), RunOptions::default())
+                .charge_delivered
         };
         let after_dec = probe_after(&dec);
         let after_inc = probe_after(&inc);
-        assert!(
-            after_dec >= after_inc,
-            "{}: dec {after_dec} C vs inc {after_inc} C",
-            m.name()
-        );
+        assert!(after_dec >= after_inc, "{}: dec {after_dec} C vs inc {after_inc} C", m.name());
     }
 }
 
@@ -94,8 +86,7 @@ fn sampled_stochastic_clusters_on_its_expectation() {
     let params = KibamParams { capacity: 300.0, c: 0.5, k_prime: 2e-3 };
     let profile = LoadProfile::from_pairs([(1.5, 2.0), (0.2, 2.0)]);
     let opts = RunOptions::default();
-    let mut expectation =
-        StochasticKibam::new(params, 1e-3, 0.05, StochasticMode::Expectation, 0);
+    let mut expectation = StochasticKibam::new(params, 1e-3, 0.05, StochasticMode::Expectation, 0);
     let e = run_profile(&mut expectation, &profile, opts).lifetime;
     let mut sum = 0.0;
     let n = 12;
@@ -104,10 +95,7 @@ fn sampled_stochastic_clusters_on_its_expectation() {
         sum += run_profile(&mut cell, &profile, opts).lifetime;
     }
     let mean = sum / n as f64;
-    assert!(
-        (mean - e).abs() / e < 0.03,
-        "sampled mean {mean} vs expectation {e}"
-    );
+    assert!((mean - e).abs() / e < 0.03, "sampled mean {mean} vs expectation {e}");
 }
 
 #[test]

@@ -167,14 +167,9 @@ fn table1_shape_pubs_closest_to_optimal() {
             shape: GraphShape::Layered { layers: 3, edge_prob: 0.2 },
         };
         let g = cfg.generate("g", &mut rng);
-        let s = Scenario::with_utilization(
-            g,
-            0.7,
-            dense_dvs_processor(20, 0.05),
-            (0.2, 1.0),
-            &mut rng,
-        )
-        .unwrap();
+        let s =
+            Scenario::with_utilization(g, 0.7, dense_dvs_processor(20, 0.05), (0.2, 1.0), &mut rng)
+                .unwrap();
         totals[0] += s.run_random(&mut rng).energy;
         totals[1] += s.run_ltf().energy;
         totals[2] += s.run_pubs(XSource::Oracle).energy;

@@ -66,7 +66,14 @@ proptest! {
         };
         let set = cfg.generate(&mut StdRng::seed_from_u64(seed)).unwrap();
         let (_, spec) = SchedulerSpec::table2_lineup()[scheme];
-        let out = simulate_lean(&set, &spec, &unit_processor(), seed, 200.0).unwrap();
+        let proc = unit_processor();
+        let out = Experiment::new(&set)
+            .spec(spec)
+            .processor(&proc)
+            .seed(seed)
+            .horizon(200.0)
+            .run()
+            .unwrap();
         prop_assert_eq!(out.metrics.deadline_misses, 0);
     }
 
@@ -87,7 +94,13 @@ proptest! {
             period_quantum: None,
         };
         let set = cfg.generate(&mut StdRng::seed_from_u64(seed)).unwrap();
-        let out = simulate_lean(&set, &SchedulerSpec::bas2(), &unit_processor(), seed, 150.0)
+        let proc = unit_processor();
+        let out = Experiment::new(&set)
+            .spec(SchedulerSpec::bas2())
+            .processor(&proc)
+            .seed(seed)
+            .horizon(150.0)
+            .run()
             .unwrap();
         let m = &out.metrics;
         prop_assert!((m.busy_time + m.idle_time - m.sim_time).abs() < 1e-6);
