@@ -53,6 +53,7 @@ pub mod lifetime;
 pub mod model;
 pub mod peukert;
 pub mod profile;
+pub mod registry;
 pub mod sampling;
 pub mod stochastic;
 pub mod units;

@@ -1,0 +1,60 @@
+//! Battery presets addressable by name.
+//!
+//! Scenario files name their battery model as a string; this module is the
+//! single map from those names to the paper-cell constructors, so the CLI,
+//! examples and scenario codec agree on the vocabulary.
+
+use crate::{BatteryModel, DiffusionModel, IdealModel, Kibam, PeukertModel, StochasticKibam};
+
+/// The battery preset names scenario files may use; see [`by_name`].
+pub const NAMES: &[&str] = &["stochastic", "kibam", "diffusion", "peukert", "ideal"];
+
+/// Construct the paper's AAA NiMH cell under the named model:
+///
+/// * `"stochastic"` — [`StochasticKibam::paper_cell`] (uses `seed`);
+/// * `"kibam"` — [`Kibam::paper_cell`];
+/// * `"diffusion"` — [`DiffusionModel::paper_cell`];
+/// * `"peukert"` — [`PeukertModel::paper_cell`];
+/// * `"ideal"` — [`IdealModel::paper_cell`].
+///
+/// `seed` only affects the stochastic model; deterministic models ignore it.
+/// Returns `None` for unknown names so callers can report the valid set
+/// ([`NAMES`]) themselves.
+pub fn by_name(name: &str, seed: u64) -> Option<Box<dyn BatteryModel>> {
+    match name {
+        "stochastic" => Some(Box::new(StochasticKibam::paper_cell(seed))),
+        "kibam" => Some(Box::new(Kibam::paper_cell())),
+        "diffusion" => Some(Box::new(DiffusionModel::paper_cell())),
+        "peukert" => Some(Box::new(PeukertModel::paper_cell())),
+        "ideal" => Some(Box::new(IdealModel::paper_cell())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_model_resolves_to_a_fresh_paper_cell() {
+        for name in NAMES {
+            let cell = by_name(name, 7).unwrap_or_else(|| panic!("{name}"));
+            assert!(!cell.is_exhausted(), "{name}");
+            assert_eq!(cell.charge_delivered(), 0.0, "{name}");
+        }
+        assert!(by_name("unobtainium", 0).is_none());
+    }
+
+    #[test]
+    fn stochastic_model_folds_the_seed_in() {
+        // Different seeds give (almost surely) different recovery draws,
+        // hence different lifetimes under a pulsed load.
+        use crate::{run_profile, LoadProfile, RunOptions};
+        let lifetime = |seed| {
+            let mut cell = by_name("stochastic", seed).unwrap();
+            let pulsed = LoadProfile::from_pairs([(1.8, 60.0), (0.0, 60.0)]);
+            run_profile(cell.as_mut(), &pulsed, RunOptions::default()).lifetime
+        };
+        assert_ne!(lifetime(1), lifetime(2));
+    }
+}

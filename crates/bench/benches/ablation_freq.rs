@@ -4,7 +4,7 @@
 //! Interpolation emits up to two trace slices per execution slice (two legs);
 //! round-up emits one; the dense ideal-DVS grid stresses the OPP bracketing.
 //! This bench shows the executor overhead of each choice — the *energy*
-//! consequences are measured by `cargo run --bin ablation`.
+//! consequences are measured by the `bas ablation` preset.
 
 use bas_core::{Experiment, SamplerKind, SchedulerSpec};
 use bas_cpu::presets::{dense_dvs_processor, unit_processor};

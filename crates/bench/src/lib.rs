@@ -1,56 +1,29 @@
-//! # bas-bench — the benchmark harness regenerating every table and figure
+//! # bas-bench — the benchmark harness (criterion benches + table rendering)
 //!
-//! One binary per experiment (see DESIGN.md §4 for the index):
+//! The per-artifact experiment *binaries* that used to live here moved into
+//! the unified `bas` CLI (`crates/cli`): every table and figure is now a
+//! preset scenario — `bas table2`, `bas fig6 --trials 80`, … — or a scenario
+//! file under `scenarios/` run with `bas run <file>`. See `bas list` for the
+//! full map and each preset's knobs.
 //!
-//! | target | regenerates |
-//! |---|---|
-//! | `table1` | Table 1 — single-DAG ordering vs exhaustive optimum |
-//! | `table2` | Table 2 — charge delivered & battery lifetime per scheduler |
-//! | `fig4` | Figure 4 — LTF vs STF motivational traces |
-//! | `fig5_trace` | Figure 5 — canonical EDF vs pUBS+feasibility traces |
-//! | `fig6` | Figure 6 — ordering schemes normalized to near-optimal |
-//! | `capacity_curve` | §5 load-vs-delivered-capacity curve + extrapolation |
-//! | `guidelines` | §3 guideline experiments (G1 shape, G2 no-idle) |
-//! | `crossover` | utilization sweep — where the battery-aware gains appear |
-//! | `ablation` | design-choice ablations (freq realization, estimators, feasibility variant) |
+//! What remains here is the *benchmark* half:
 //!
-//! Run e.g. `cargo run -p bas-bench --release --bin table2 -- --trials 100 --seed 1`.
-//!
-//! ## Running experiments
-//!
-//! Since the `Experiment`/`Sweep` redesign the binaries are thin wrappers
-//! over `bas_core`'s batch API; each paper artifact maps to one sweep:
-//!
-//! * **Table 2** (`table2`) — `Sweep::over_seeds(seed, trials)
-//!   .specs(table2_lineup()).workload(paper_scale_config(..))
-//!   .battery(..)` on the 1 GHz processor; per-spec lifetime and charge
-//!   summaries drop straight out of the [`bas_core::SweepReport`].
-//! * **Crossover** (`crossover`) — one such sweep per utilization point.
-//! * **Ablations 1 & 4** (`ablation`) — the same sweep with the
-//!   `.freq_policy(..)` / `.sampler(..)` knobs (and a rescaled processor)
-//!   varied between runs.
-//! * **Figure 6** (`fig6`) — per-trial [`bas_core::Experiment`]s under
-//!   [`bas_core::parallel_map`], because each trial normalizes against its
-//!   own precedence-relaxed twin.
-//! * **Table 1 / Figure 4** — offline single-DAG scenarios
-//!   (`bas_core::single_dag`), no simulator in the loop.
-//!
-//! The library half holds what is genuinely bench-specific: a tiny flag
-//! parser ([`Args`]), text-table rendering ([`TextTable`]) and the standard
-//! workload families ([`workloads`]). Parallel sweeps and summary statistics
-//! moved into `bas-core` with the experiment API; [`parallel_map`] and
-//! [`Summary`] are re-exported here for compatibility.
+//! * the `criterion` wall-clock benches under `benches/` (executor
+//!   throughput, battery-model stepping, generator, scheduler overhead,
+//!   frequency-realization ablation);
+//! * [`TextTable`] — the plain-text table renderer the CLI's text output
+//!   uses;
+//! * re-exports of the pieces that migrated into `bas-core` as the
+//!   experiment/scenario API grew: [`workloads`], [`parallel_map`],
+//!   [`Summary`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod args;
-pub mod parallel;
 pub mod stats;
 pub mod table;
-pub mod workloads;
 
-pub use args::Args;
 pub use bas_core::parallel::parallel_map;
 pub use bas_core::stats::Summary;
+pub use bas_core::workloads;
 pub use table::TextTable;

@@ -1,0 +1,129 @@
+//! Fallible `--key value` flag parsing for the `bas` CLI.
+//!
+//! The historical per-binary parser panicked on malformed input; this one
+//! reports [`ArgsError`]s so `bas` can print a usage message and exit with
+//! code 2 instead of a backtrace.
+
+use std::fmt;
+
+/// A malformed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgsError(pub String);
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+/// Parsed command line: positional words plus `--key value` flags, in
+/// order of appearance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    /// Positional (non-flag) arguments, in order.
+    pub positional: Vec<String>,
+    /// `--key value` flags, in order of appearance (duplicates preserved —
+    /// later occurrences override earlier ones when applied in order).
+    pub flags: Vec<(String, String)>,
+    /// Whether `--help`/`-h`/`help` appeared anywhere.
+    pub help: bool,
+}
+
+impl Args {
+    /// Parse an argument list (without the binary name). A `--` separator
+    /// (as inserted by `cargo run --`) is skipped. Every `--key` takes a
+    /// value except `--help`; a flag without a value is an error.
+    pub fn parse(iter: impl IntoIterator<Item = String>) -> Result<Args, ArgsError> {
+        let mut args = Args::default();
+        let mut it = iter.into_iter();
+        while let Some(token) = it.next() {
+            if token == "--" {
+                continue;
+            }
+            if token == "--help" || token == "-h" || (args.positional.is_empty() && token == "help")
+            {
+                args.help = true;
+                continue;
+            }
+            if let Some(key) = token.strip_prefix("--") {
+                if key.is_empty() {
+                    return Err(ArgsError("empty flag name `--`".to_string()));
+                }
+                let value =
+                    it.next().ok_or_else(|| ArgsError(format!("flag --{key} needs a value")))?;
+                if value.starts_with("--") {
+                    return Err(ArgsError(format!(
+                        "flag --{key} needs a value, got another flag {value:?}"
+                    )));
+                }
+                args.flags.push((key.to_string(), value));
+            } else if token.starts_with('-') && token.len() > 1 {
+                return Err(ArgsError(format!("unknown flag {token:?} (flags are --key value)")));
+            } else {
+                args.positional.push(token);
+            }
+        }
+        Ok(args)
+    }
+
+    /// The value of the last occurrence of `--key`, if any.
+    pub fn flag(&self, key: &str) -> Option<&str> {
+        self.flags.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, ArgsError> {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn splits_positionals_and_flags() {
+        let a = parse(&["run", "x.toml", "--trials", "5", "--format", "json"]).unwrap();
+        assert_eq!(a.positional, vec!["run", "x.toml"]);
+        assert_eq!(a.flag("trials"), Some("5"));
+        assert_eq!(a.flag("format"), Some("json"));
+        assert!(!a.help);
+    }
+
+    #[test]
+    fn later_flags_win() {
+        let a = parse(&["--seed", "1", "--seed", "2"]).unwrap();
+        assert_eq!(a.flag("seed"), Some("2"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error_not_a_panic() {
+        let e = parse(&["table2", "--trials"]).unwrap_err();
+        assert!(e.to_string().contains("needs a value"), "{e}");
+        let e = parse(&["table2", "--trials", "--seed"]).unwrap_err();
+        assert!(e.to_string().contains("another flag"), "{e}");
+    }
+
+    #[test]
+    fn unknown_single_dash_flags_are_errors() {
+        assert!(parse(&["-x"]).is_err());
+        assert!(parse(&["--"]).unwrap().positional.is_empty());
+    }
+
+    #[test]
+    fn help_forms_are_detected() {
+        assert!(parse(&["--help"]).unwrap().help);
+        assert!(parse(&["-h"]).unwrap().help);
+        assert!(parse(&["help"]).unwrap().help);
+        // `help` after a subcommand is a positional, not the help flag.
+        assert_eq!(parse(&["run", "help"]).unwrap().positional, vec!["run", "help"]);
+    }
+
+    #[test]
+    fn double_dash_separator_is_skipped() {
+        let a = parse(&["--", "table2", "--trials", "3"]).unwrap();
+        assert_eq!(a.positional, vec!["table2"]);
+        assert_eq!(a.flag("trials"), Some("3"));
+    }
+}

@@ -1,0 +1,266 @@
+//! # bas-cli — the unified `bas` command line
+//!
+//! One binary drives the whole evaluation:
+//!
+//! ```text
+//! bas <preset> [--key value ...] [--format text|json|csv] [--out FILE]
+//! bas run <scenario.toml> [--key value ...] [--format ...] [--out FILE]
+//! bas list
+//! ```
+//!
+//! Presets (`table1`, `table2`, `fig4`, `fig5`, `fig6`, `guidelines`,
+//! `crossover`, `ablation`, `capacity-curve`, `sweep`) are built-in
+//! [`Scenario`] constructors — the same objects as the checked-in files
+//! under `scenarios/` — and `--key value` overrides set scenario fields
+//! (`bas table2 --trials 10 --seed 2`). Legacy flag spellings of the
+//! retired per-artifact binaries (`--max-time`, `--actuals`, `--proc`,
+//! `--max-graphs`, `--horizon-periods`) are accepted as aliases.
+//!
+//! Every run renders its historical text output and can instead emit a
+//! structured [`Report`] (`--format json|csv`); see `bas_core::report` for
+//! the stable schemas.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bas_core::{Report, Scenario, ScenarioKind};
+use std::path::Path;
+
+pub mod args;
+pub mod presets;
+
+use args::{Args, ArgsError};
+
+/// Short usage text (printed on errors and `--help`).
+pub const USAGE: &str = "\
+bas — battery-aware scheduling experiments, driven by declarative scenarios
+
+USAGE:
+    bas <preset> [--key value ...] [--format text|json|csv] [--out FILE]
+    bas run <scenario.toml> [--key value ...] [--format text|json|csv] [--out FILE]
+    bas scenario <preset> [--key value ...]   # print the preset as a scenario file
+    bas list
+    bas help
+
+PRESETS:
+    table1, table2, fig4, fig5, fig6, guidelines, crossover, ablation,
+    capacity-curve, sweep — the paper's artifacts (and the generic sweep),
+    also checked in as files under scenarios/.
+
+OPTIONS:
+    --format FMT     text (default): the historical tables/traces;
+                     json | csv: the structured report (stable schema,
+                     spec labels, per-seed metrics, summary stats)
+    --out FILE       write the selected output to FILE instead of stdout
+    --key value      override a scenario knob, e.g. --trials 10 --seed 2
+                     (run `bas list` for each preset's knobs)
+";
+
+/// Run the CLI on an argument list (no binary name); returns the process
+/// exit code: 0 on success, 1 on runtime failure, 2 on usage errors.
+pub fn run(argv: Vec<String>) -> i32 {
+    match dispatch(argv) {
+        Ok(()) => 0,
+        Err(CliError::Usage(message)) => {
+            eprintln!("error: {message}\n");
+            eprintln!("{USAGE}");
+            2
+        }
+        Err(CliError::Runtime(message)) => {
+            eprintln!("error: {message}");
+            1
+        }
+    }
+}
+
+/// A CLI failure: a usage error (exit 2) or a runtime error (exit 1).
+#[derive(Debug)]
+pub enum CliError {
+    /// Malformed invocation: bad flags, unknown preset, invalid override.
+    Usage(String),
+    /// The invocation was well-formed but the run failed.
+    Runtime(String),
+}
+
+fn usage_err(e: impl std::fmt::Display) -> CliError {
+    CliError::Usage(e.to_string())
+}
+
+fn dispatch(argv: Vec<String>) -> Result<(), CliError> {
+    let args = Args::parse(argv).map_err(|e: ArgsError| usage_err(e))?;
+    if args.help {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let Some(command) = args.positional.first() else {
+        return Err(CliError::Usage("no command given".to_string()));
+    };
+    match command.as_str() {
+        "list" => {
+            expect_positionals(&args, 1)?;
+            println!("{}", render_list());
+            Ok(())
+        }
+        "run" => {
+            let path = args
+                .positional
+                .get(1)
+                .ok_or_else(|| CliError::Usage("`bas run` needs a scenario file".to_string()))?;
+            expect_positionals(&args, 2)?;
+            // An unreadable file is a runtime failure (exit 1); a file that
+            // reads but fails to parse or validate is malformed input, which
+            // exits 2 with usage like any other bad invocation.
+            let input = std::fs::read_to_string(Path::new(path))
+                .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
+            let scenario =
+                Scenario::from_toml(&input).map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
+            run_with_overrides(scenario, &args)
+        }
+        "scenario" => {
+            let preset = args
+                .positional
+                .get(1)
+                .ok_or_else(|| CliError::Usage("`bas scenario` needs a preset name".to_string()))?;
+            expect_positionals(&args, 2)?;
+            let kind: ScenarioKind = preset
+                .parse()
+                .map_err(|_| CliError::Usage(format!("unknown preset {preset:?}")))?;
+            let mut scenario = Scenario::preset(kind);
+            for (key, value) in &args.flags {
+                scenario.set(&canonical_key(key), value).map_err(usage_err)?;
+            }
+            scenario.validate().map_err(usage_err)?;
+            print!("{}", scenario.to_toml());
+            Ok(())
+        }
+        preset => {
+            let kind: ScenarioKind = preset
+                .parse()
+                .map_err(|_| CliError::Usage(format!("unknown command or preset {preset:?}")))?;
+            expect_positionals(&args, 1)?;
+            run_with_overrides(Scenario::preset(kind), &args)
+        }
+    }
+}
+
+fn expect_positionals(args: &Args, n: usize) -> Result<(), CliError> {
+    if args.positional.len() > n {
+        return Err(CliError::Usage(format!("unexpected argument {:?}", args.positional[n])));
+    }
+    Ok(())
+}
+
+/// Output format of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Csv,
+}
+
+/// Legacy flag names of the retired per-artifact binaries, mapped onto
+/// scenario keys (hyphens normalize to underscores independently).
+fn canonical_key(key: &str) -> String {
+    match key {
+        "max-time" => "horizon".to_string(),
+        "actuals" => "sampler".to_string(),
+        "proc" => "processor".to_string(),
+        _ => key.replace('-', "_"),
+    }
+}
+
+fn run_with_overrides(mut scenario: Scenario, args: &Args) -> Result<(), CliError> {
+    let mut format = Format::Text;
+    let mut out_path: Option<&str> = None;
+    for (key, value) in &args.flags {
+        match key.as_str() {
+            "format" => {
+                format = match value.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "csv" => Format::Csv,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "--format must be text|json|csv, got {other:?}"
+                        )));
+                    }
+                };
+            }
+            "out" => out_path = Some(value),
+            key => {
+                scenario.set(&canonical_key(key), value).map_err(usage_err)?;
+            }
+        }
+    }
+    scenario.validate().map_err(usage_err)?;
+    let (text, report) = run_scenario(&scenario).map_err(CliError::Runtime)?;
+    let payload = match format {
+        Format::Text => text,
+        Format::Json => report.to_json(),
+        Format::Csv => report.to_csv(),
+    };
+    match out_path {
+        Some(path) => std::fs::write(path, &payload)
+            .map_err(|e| CliError::Runtime(format!("writing {path}: {e}")))?,
+        None => print!("{payload}"),
+    }
+    Ok(())
+}
+
+/// Run a validated scenario, returning its historical text rendering and
+/// the structured [`Report`]. The text is byte-identical to what the
+/// retired per-artifact binaries printed for the same knobs.
+pub fn run_scenario(scenario: &Scenario) -> Result<(String, Report), String> {
+    let run = match scenario.kind {
+        ScenarioKind::Sweep => presets::sweep::run,
+        ScenarioKind::Table1 => presets::table1::run,
+        ScenarioKind::Table2 => presets::table2::run,
+        ScenarioKind::Fig4 => presets::fig4::run,
+        ScenarioKind::Fig5 => presets::fig5::run,
+        ScenarioKind::Fig6 => presets::fig6::run,
+        ScenarioKind::Guidelines => presets::guidelines::run,
+        ScenarioKind::Crossover => presets::crossover::run,
+        ScenarioKind::Ablation => presets::ablation::run,
+        ScenarioKind::CapacityCurve => presets::capacity_curve::run,
+    };
+    run(scenario)
+}
+
+fn render_list() -> String {
+    let mut out = String::from("presets (run with `bas <name>`; files under scenarios/):\n");
+    for kind in ScenarioKind::ALL {
+        let fields = kind.fields();
+        let knobs = if fields.is_empty() { "(no knobs)".to_string() } else { fields.join(", ") };
+        out.push_str(&format!("  {:15} {}\n", kind.name(), kind.describe()));
+        out.push_str(&format!("  {:15}   knobs: {}\n", "", knobs));
+    }
+    if let Ok(entries) = std::fs::read_dir("scenarios") {
+        let mut files: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+            .map(|p| p.display().to_string())
+            .collect();
+        files.sort();
+        if !files.is_empty() {
+            out.push_str("\nscenario files (run with `bas run <file>`):\n");
+            for f in files {
+                match Scenario::load(Path::new(&f)) {
+                    Ok(s) => out.push_str(&format!("  {f}  ({}, kind {})\n", s.name, s.kind)),
+                    Err(e) => out.push_str(&format!("  {f}  (INVALID: {e})\n")),
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `writeln!` into the run's text buffer (infallible for `String`).
+macro_rules! outln {
+    ($out:expr) => { $out.push('\n') };
+    ($out:expr, $($arg:tt)*) => {{
+        use std::fmt::Write as _;
+        writeln!($out, $($arg)*).expect("writing to String cannot fail");
+    }};
+}
+pub(crate) use outln;

@@ -1,0 +1,5 @@
+//! The `bas` binary — see [`bas_cli`] for the CLI surface.
+
+fn main() {
+    std::process::exit(bas_cli::run(std::env::args().skip(1).collect()));
+}

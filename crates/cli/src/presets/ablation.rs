@@ -13,22 +13,23 @@
 //!    its current scale; this sweep shows the *relative* Table-2 results are
 //!    stable across a 4× band of `Ceff`.
 //!
-//! Ablations 1 and 4 are plain [`Sweep`]s with one knob varied; ablations 2
+//! Ablations 1 and 4 are plain `Sweep`s with one knob varied; ablations 2
 //! and 3 need scheduler pieces the [`bas_core::SchedulerSpec`] vocabulary
 //! deliberately does not name (custom estimators, a broken feasibility
 //! variant, a fixed-frequency governor), so they assemble the [`Executor`]
 //! directly — the escape hatch below the builder API.
 //!
-//! Usage: `cargo run -p bas-bench --release --bin ablation -- [--trials 6]`
+//! Knobs: `trials`, `seed`.
 
+use crate::outln;
 use bas_battery::StochasticKibam;
-use bas_bench::workloads::paper_scale_config;
-use bas_bench::{parallel_map, Args, Summary, TextTable};
+use bas_bench::TextTable;
 use bas_core::estimator::{EmaEstimator, MeanFraction, WorstCaseEstimate};
 use bas_core::feasibility::FeasibilityVariant;
 use bas_core::policy::BasPolicy;
 use bas_core::priority::{Priority, Pubs};
-use bas_core::{SamplerKind, SchedulerSpec, Sweep};
+use bas_core::workloads::paper_scale_config;
+use bas_core::{parallel_map, Report, SamplerKind, Scenario, SchedulerSpec, Summary, Sweep};
 use bas_cpu::presets::paper_processor;
 use bas_cpu::{FreqPolicy, Processor};
 use bas_dvs::CcEdf;
@@ -59,13 +60,15 @@ fn lifetime_minutes(
     report.specs[0].lifetime_min.expect("battery sweep")
 }
 
-fn main() {
-    let args = Args::parse();
-    let trials = args.usize("trials", 6);
-    let seed = args.u64("seed", 1);
+/// Run the ablation scenario.
+pub fn run(sc: &Scenario) -> Result<(String, Report), String> {
+    let mut out = String::new();
+    let trials = sc.trials;
+    let seed = sc.seed;
+    let mut report = Report::new(&sc.name, sc.kind.name(), seed, trials);
 
     // ------------------------------------------------------------------
-    println!("Ablation 1 — frequency realization (battery lifetime, minutes)\n");
+    outln!(out, "Ablation 1 — frequency realization (battery lifetime, minutes)\n");
     let paper_proc = paper_processor();
     let mut t = TextTable::new(&["scheduler", "interpolated (opt., [4])", "round-up"]);
     for (name, spec) in [("ccEDF", SchedulerSpec::cc_edf()), ("BAS-2cc", SchedulerSpec::bas2cc())] {
@@ -92,18 +95,27 @@ fn main() {
             format!("{:.0} ± {:.0}", interp.mean, interp.std),
             format!("{:.0} ± {:.0}", round.mean, round.std),
         ]);
+        report
+            .row(format!("freq/{name}"))
+            .summary("lifetime_min/interp", interp)
+            .summary("lifetime_min/roundup", round);
     }
-    println!("{}", t.render());
-    println!("interpolation dominates round-up (it realizes fref exactly instead of");
-    println!("overshooting to the next OPP) — the claim of [4] the paper builds on.\n");
+    outln!(out, "{}", t.render());
+    outln!(out, "interpolation dominates round-up (it realizes fref exactly instead of");
+    outln!(out, "overshooting to the next OPP) — the claim of [4] the paper builds on.\n");
 
     // ------------------------------------------------------------------
-    println!("Ablation 2 — Xk estimator × actual-computation model (BAS-2cc lifetime, minutes)\n");
+    outln!(
+        out,
+        "Ablation 2 — Xk estimator × actual-computation model (BAS-2cc lifetime, minutes)\n"
+    );
     let mut t = TextTable::new(&["estimator", "persistent actuals", "i.i.d. actuals"]);
     // The spec vocabulary wires an EMA pUBS; for the other estimators, run
     // the executor directly.
     for (label, which) in [("EMA history", 0usize), ("mean fraction (0.6)", 1), ("worst case", 2)] {
         let mut cells = vec![label.to_string()];
+        let row_label = format!("estimator/{label}");
+        let mut summaries: Vec<(String, Summary)> = Vec::new();
         for sampler_kind in [SamplerKind::Persistent, SamplerKind::IidUniform] {
             let results = parallel_map(trials, 0, |trial| {
                 let s = seed.wrapping_add(trial as u64).wrapping_mul(0x517c_c1b7);
@@ -144,15 +156,17 @@ fn main() {
             });
             let s = Summary::of(&results);
             cells.push(format!("{:.0} ± {:.0}", s.mean, s.std));
+            summaries.push((format!("lifetime_min/{sampler_kind}"), s));
         }
         t.row(&cells);
+        report.rows.push(bas_core::ReportRow { label: row_label, summaries, trials: Vec::new() });
     }
-    println!("{}", t.render());
-    println!("the EMA estimator only beats the static mean when actuals are predictable");
-    println!("across instances — the premise of the paper's history technique (§4.2).\n");
+    outln!(out, "{}", t.render());
+    outln!(out, "the EMA estimator only beats the static mean when actuals are predictable");
+    outln!(out, "across instances — the premise of the paper's history technique (§4.2).\n");
 
     // ------------------------------------------------------------------
-    println!("Ablation 3 — feasibility-check variant (crafted tight set)\n");
+    outln!(out, "Ablation 3 — feasibility-check variant (crafted tight set)\n");
     // Three single-node graphs: 4/D10, 4/D11, 4/D100 at a fixed fref = 0.8:
     // the cumulative check refuses to run T2 out of order; the literal
     // pseudocode admits it and a deadline is missed.
@@ -201,26 +215,29 @@ fn main() {
         cfg.deadline_mode = DeadlineMode::DropAndCount;
         let mut ex = Executor::new(set.clone(), cfg, &mut governor, &mut policy, &mut sampler)
             .expect("feasible at fmax");
-        let out = ex.run_for(100.0).expect("lenient mode");
-        t.row(&[label.to_string(), out.metrics.deadline_misses.to_string()]);
+        let result = ex.run_for(100.0).expect("lenient mode");
+        t.row(&[label.to_string(), result.metrics.deadline_misses.to_string()]);
+        report
+            .row(format!("feasibility/{label}"))
+            .value("deadline_misses", result.metrics.deadline_misses as f64);
         match variant {
             FeasibilityVariant::Cumulative => assert_eq!(
-                out.metrics.deadline_misses, 0,
+                result.metrics.deadline_misses, 0,
                 "cumulative check must protect every deadline"
             ),
             FeasibilityVariant::PaperLiteral => assert!(
-                out.metrics.deadline_misses > 0,
+                result.metrics.deadline_misses > 0,
                 "the literal pseudocode should admit an unsafe pick here"
             ),
         }
     }
-    println!("{}", t.render());
-    println!("the literal pseudocode (sumWC <- 0 inside the loop) under-counts earlier-");
-    println!("deadline work and admits an unsafe out-of-order execution; the cumulative");
-    println!("reading (our default) preserves the paper's no-deadline-violation claim.");
+    outln!(out, "{}", t.render());
+    outln!(out, "the literal pseudocode (sumWC <- 0 inside the loop) under-counts earlier-");
+    outln!(out, "deadline work and admits an unsafe out-of-order execution; the cumulative");
+    outln!(out, "reading (our default) preserves the paper's no-deadline-violation claim.");
 
     // ------------------------------------------------------------------
-    println!("\nAblation 4 — Ceff calibration sensitivity (lifetime ratios vs EDF)\n");
+    outln!(out, "\nAblation 4 — Ceff calibration sensitivity (lifetime ratios vs EDF)\n");
     // Scale the effective capacitance (hence every current) by 0.5x..2x and
     // show the scheme-vs-EDF lifetime ratios barely move: the paper's
     // unstated current calibration does not drive the comparisons.
@@ -242,7 +259,7 @@ fn main() {
             },
         )
         .expect("valid");
-        let report = Sweep::over_seeds(seed.wrapping_mul(0x2ca5_9bbd), trials)
+        let sweep = Sweep::over_seeds(seed.wrapping_mul(0x2ca5_9bbd), trials)
             .specs([
                 ("EDF", SchedulerSpec::edf()),
                 ("ccEDF", SchedulerSpec::cc_edf()),
@@ -257,15 +274,20 @@ fn main() {
             .run()
             .unwrap_or_else(|e| panic!("Ceff {scale}: {e}"));
         let life =
-            |label: &str| report.spec(label).unwrap().lifetime_min.expect("battery sweep").mean;
+            |label: &str| sweep.spec(label).unwrap().lifetime_min.expect("battery sweep").mean;
         t.row(&[
             format!("{scale:.1}x"),
             format!("{:.2}", life("ccEDF") / life("EDF")),
             format!("{:.2}", life("BAS-2cc") / life("EDF")),
         ]);
+        report
+            .row(format!("ceff/{scale:.1}x"))
+            .value("ccedf_vs_edf", life("ccEDF") / life("EDF"))
+            .value("bas2cc_vs_edf", life("BAS-2cc") / life("EDF"));
     }
-    println!("{}", t.render());
-    println!("halving or doubling every current rescales absolute lifetimes but leaves");
-    println!("the scheme-vs-EDF ratios within a narrow band: the reproduction's relative");
-    println!("claims do not hinge on the unstated calibration (DESIGN.md §3).");
+    outln!(out, "{}", t.render());
+    outln!(out, "halving or doubling every current rescales absolute lifetimes but leaves");
+    outln!(out, "the scheme-vs-EDF ratios within a narrow band: the reproduction's relative");
+    outln!(out, "claims do not hinge on the unstated calibration (DESIGN.md §3).");
+    Ok((out, report))
 }

@@ -12,21 +12,23 @@
 //! capacity and the high end to the available well (= c · capacity for the
 //! KiBaM family).
 //!
-//! Usage: `cargo run -p bas-bench --release --bin capacity_curve --
-//! [--points 13] [--lo 0.02] [--hi 20.0]`
+//! Knobs: `points`, `lo`, `hi`.
 
+use crate::outln;
 use bas_battery::curve::{capacity_curve, extrapolate_ends, log_spaced_currents};
 use bas_battery::units::coulombs_to_mah;
 use bas_battery::{BatteryModel, DiffusionModel, IdealModel, Kibam, PeukertModel, StochasticKibam};
-use bas_bench::{Args, TextTable};
+use bas_bench::TextTable;
+use bas_core::{Report, Scenario};
 
-fn main() {
-    let args = Args::parse();
-    let points = args.usize("points", 13);
-    let lo = args.f64("lo", 0.02);
-    let hi = args.f64("hi", 20.0);
+/// Run the capacity-curve scenario.
+pub fn run(sc: &Scenario) -> Result<(String, Report), String> {
+    let mut out = String::new();
+    let points = sc.points;
+    let lo = sc.lo;
+    let hi = sc.hi;
 
-    println!("Load vs delivered capacity — paper cell (1.2 V AAA NiMH, 2000 mAh max)\n");
+    outln!(out, "Load vs delivered capacity — paper cell (1.2 V AAA NiMH, 2000 mAh max)\n");
     let currents = log_spaced_currents(lo, hi, points);
 
     let mut models: Vec<Box<dyn BatteryModel>> = vec![
@@ -56,19 +58,28 @@ fn main() {
         }
         table.row(&cells);
     }
-    println!("{}", table.render());
+    outln!(out, "{}", table.render());
 
-    println!("end-point extrapolations (paper: max capacity 2000 mAh; nominal ≈ 1600 mAh):");
+    let mut report = Report::new(&sc.name, sc.kind.name(), 0, 0);
+    outln!(out, "end-point extrapolations (paper: max capacity 2000 mAh; nominal ≈ 1600 mAh):");
     let names = ["KiBaM", "diffusion", "stochastic", "Peukert", "ideal"];
     for (name, curve) in names.iter().zip(&curves) {
         let (max_cap, available) = extrapolate_ends(curve).expect("curve has >= 2 points");
-        println!(
+        outln!(
+            out,
             "  {name:10}: low-load end -> {:6.0} mAh (max capacity), high-load end -> {:6.0} mAh",
             coulombs_to_mah(max_cap),
             coulombs_to_mah(available)
         );
+        let row = report.row(*name);
+        for (point, &current) in curve.iter().zip(&currents) {
+            row.value(format!("delivered_mah@{current:.3}A"), coulombs_to_mah(point.delivered));
+        }
+        row.value("max_capacity_mah", coulombs_to_mah(max_cap))
+            .value("available_well_mah", coulombs_to_mah(available));
     }
-    println!("\nKiBaM's high-load end approaches the available well (c = 0.625 -> 1250 mAh);");
-    println!("the ideal bucket is flat by construction; Peukert has no flat high end");
-    println!("(pure power law) — exactly why physical models replaced it (§3).");
+    outln!(out, "\nKiBaM's high-load end approaches the available well (c = 0.625 -> 1250 mAh);");
+    outln!(out, "the ideal bucket is flat by construction; Peukert has no flat high end");
+    outln!(out, "(pure power law) — exactly why physical models replaced it (§3).");
+    Ok((out, report))
 }

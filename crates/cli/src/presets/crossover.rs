@@ -3,7 +3,7 @@
 //! The reproduction's most consequential finding (EXPERIMENTS.md): on the
 //! paper's 3-OPP grid, how much pUBS ordering helps depends on whether the
 //! governor has frequency headroom above the lowest operating point. This
-//! binary sweeps utilization and prints the lifetime of each scheme, showing
+//! preset sweeps utilization and prints the lifetime of each scheme, showing
 //!
 //! * the no-DVS baseline degrading with load,
 //! * laEDF pinned at the frequency floor until high utilization (so
@@ -11,20 +11,22 @@
 //! * the BAS-over-governor gap opening as the operating point lifts off the
 //!   floor (ccEDF pairs: visible across the sweep; laEDF pairs: at U ≳ 0.85).
 //!
-//! Usage: `cargo run -p bas-bench --release --bin crossover -- [--trials 6]`
+//! Knobs: `trials`, `seed`, `threads`.
 
+use crate::outln;
 use bas_battery::StochasticKibam;
-use bas_bench::workloads::paper_scale_config;
-use bas_bench::{Args, TextTable};
-use bas_core::{SamplerKind, SchedulerSpec, Sweep};
+use bas_bench::TextTable;
+use bas_core::workloads::paper_scale_config;
+use bas_core::{Report, SamplerKind, Scenario, SchedulerSpec, Sweep};
 use bas_cpu::presets::paper_processor;
 use bas_cpu::FreqPolicy;
 
-fn main() {
-    let args = Args::parse();
-    let trials = args.usize("trials", 6);
-    let base_seed = args.u64("seed", 1);
-    let threads = args.usize("threads", 0);
+/// Run the crossover scenario.
+pub fn run(sc: &Scenario) -> Result<(String, Report), String> {
+    let mut out = String::new();
+    let trials = sc.trials;
+    let base_seed = sc.seed;
+    let threads = sc.threads;
 
     let schemes: Vec<(&str, SchedulerSpec)> = vec![
         ("EDF", SchedulerSpec::edf()),
@@ -34,7 +36,7 @@ fn main() {
         ("BAS-2", SchedulerSpec::bas2()),
     ];
 
-    println!("Utilization sweep — battery lifetime (min), {trials} trials per cell\n");
+    outln!(out, "Utilization sweep — battery lifetime (min), {trials} trials per cell\n");
     let mut table = TextTable::new(&[
         "U",
         "EDF",
@@ -45,11 +47,12 @@ fn main() {
         "BAS-2cc vs ccEDF",
         "BAS-2 vs laEDF",
     ]);
+    let mut report = Report::new(&sc.name, sc.kind.name(), base_seed, trials);
     let processor = paper_processor();
     for util in [0.5, 0.6, 0.7, 0.8, 0.9] {
         // One sweep per utilization point; shift the base seed so points use
         // unrelated trial streams.
-        let report = Sweep::over_seeds(base_seed.wrapping_add((util * 1000.0) as u64), trials)
+        let sweep = Sweep::over_seeds(base_seed.wrapping_add((util * 1000.0) as u64), trials)
             .specs(schemes.iter().map(|(n, s)| (*n, *s)))
             .workload(paper_scale_config(4, util))
             .processor(&processor)
@@ -59,9 +62,9 @@ fn main() {
             .sampler(SamplerKind::Persistent)
             .battery(|seed| Box::new(StochasticKibam::paper_cell(seed ^ 5)))
             .run()
-            .unwrap_or_else(|e| panic!("U={util}: {e}"));
+            .map_err(|e| format!("U={util}: {e}"))?;
         let mean =
-            |label: &str| report.spec(label).unwrap().lifetime_min.expect("battery sweep").mean;
+            |label: &str| sweep.spec(label).unwrap().lifetime_min.expect("battery sweep").mean;
         table.row(&[
             format!("{util:.1}"),
             format!("{:.0}", mean("EDF")),
@@ -72,12 +75,20 @@ fn main() {
             format!("{:+.1}%", (mean("BAS-2cc") / mean("ccEDF") - 1.0) * 100.0),
             format!("{:+.1}%", (mean("BAS-2") / mean("laEDF") - 1.0) * 100.0),
         ]);
+        let row = report.row(format!("U={util:.1}"));
+        for spec in &sweep.specs {
+            row.summary(
+                format!("lifetime_min/{}", spec.label),
+                spec.lifetime_min.expect("battery sweep"),
+            );
+        }
     }
-    println!("{}", table.render());
-    println!("reading: the last two columns isolate the pUBS-ordering gain at constant");
-    println!("governor. The gain needs BOTH frequency headroom above the lowest OPP");
-    println!("(absent at low load, where the governor is floor-pinned) AND slack left");
-    println!("to recover (absent near full load) — so it peaks at mid-high utilization,");
-    println!("~0.7 for ccEDF pairs. laEDF defers so aggressively that it stays floor-");
-    println!("pinned until U ≳ 0.8.");
+    outln!(out, "{}", table.render());
+    outln!(out, "reading: the last two columns isolate the pUBS-ordering gain at constant");
+    outln!(out, "governor. The gain needs BOTH frequency headroom above the lowest OPP");
+    outln!(out, "(absent at low load, where the governor is floor-pinned) AND slack left");
+    outln!(out, "to recover (absent near full load) — so it peaks at mid-high utilization,");
+    outln!(out, "~0.7 for ccEDF pairs. laEDF defers so aggressively that it stays floor-");
+    outln!(out, "pinned until U ≳ 0.8.");
+    Ok((out, report))
 }

@@ -8,12 +8,13 @@
 //! of T1's — the trace then interleaves T3/T2 work ahead of later T1
 //! instances *without* missing any deadline or ever exceeding `fref`.
 //!
-//! Usage: `cargo run -p bas-bench --release --bin fig5_trace -- [--horizon 100]`
+//! Knobs: `horizon`.
 
-use bas_bench::workloads::fig5_set;
-use bas_bench::Args;
+use crate::outln;
 use bas_core::policy::BasPolicy;
 use bas_core::priority::Priority;
+use bas_core::workloads::fig5_set;
+use bas_core::{Report, Scenario};
 use bas_cpu::presets::unit_processor;
 use bas_dvs::CcEdf;
 use bas_sim::policy::EdfTopo;
@@ -43,11 +44,12 @@ impl Priority for PaperAssumedOrder {
     }
 }
 
-fn main() {
-    let args = Args::parse();
-    let horizon = args.f64("horizon", 100.0);
-    println!("Figure 5 reproduction — canonical EDF vs pUBS ordering + feasibility check");
-    println!("T1(wc 5, D 20), T2(wc 5, D 50), T3(3×5, D 100); all tasks at WCET; fref = 0.5\n");
+/// Run the Figure 5 scenario.
+pub fn run(sc: &Scenario) -> Result<(String, Report), String> {
+    let mut out = String::new();
+    let horizon = sc.horizon;
+    outln!(out, "Figure 5 reproduction — canonical EDF vs pUBS ordering + feasibility check");
+    outln!(out, "T1(wc 5, D 20), T2(wc 5, D 50), T3(3×5, D 100); all tasks at WCET; fref = 0.5\n");
 
     // (a) canonical EDF ordering.
     let mut governor = CcEdf;
@@ -62,8 +64,8 @@ fn main() {
     )
     .expect("fig5 set is feasible");
     let a = ex.run_for(horizon).expect("no deadline misses");
-    println!("(a) Trace using canonical EDF ordering:");
-    println!("{}", a.trace.as_ref().unwrap().render());
+    outln!(out, "(a) Trace using canonical EDF ordering:");
+    outln!(out, "{}", a.trace.as_ref().unwrap().render());
 
     // (b) pUBS-style ordering over all released graphs with the feasibility
     // check (the paper's assumed T3 > T2 > T1 ranking).
@@ -79,13 +81,14 @@ fn main() {
     )
     .expect("fig5 set is feasible");
     let b = ex.run_for(horizon).expect("no deadline misses");
-    println!("(b) Trace using pUBS-based ordering with feasibility check:");
-    println!("{}", b.trace.as_ref().unwrap().render());
+    outln!(out, "(b) Trace using pUBS-based ordering with feasibility check:");
+    outln!(out, "{}", b.trace.as_ref().unwrap().render());
 
+    let mut report = Report::new(&sc.name, sc.kind.name(), 0, 0);
     // Checks the paper's example asserts.
-    for (label, out) in [("canonical EDF", &a), ("pUBS+feasibility", &b)] {
-        assert_eq!(out.metrics.deadline_misses, 0, "{label} missed a deadline");
-        let max_f = out
+    for (label, result) in [("canonical EDF", &a), ("pUBS+feasibility", &b)] {
+        assert_eq!(result.metrics.deadline_misses, 0, "{label} missed a deadline");
+        let max_f = result
             .trace
             .as_ref()
             .unwrap()
@@ -96,14 +99,19 @@ fn main() {
                 SliceKind::Idle => None,
             })
             .fold(0.0, f64::max);
-        println!("{label}: deadline misses = 0, max frequency used = {max_f} (fref = 0.5)");
+        outln!(out, "{label}: deadline misses = 0, max frequency used = {max_f} (fref = 0.5)");
         assert!(max_f <= 0.5 + 1e-9, "{label} exceeded fref");
+        report
+            .row(label)
+            .value("energy_j", result.metrics.energy)
+            .value("deadline_misses", result.metrics.deadline_misses as f64)
+            .value("max_frequency", max_f);
     }
     let order_b = b.trace.as_ref().unwrap().execution_order();
-    println!("\n(b) first executions in order: {:?}", order_b);
-    println!("note how T3/T2 tasks run ahead of later T1 work wherever the feasibility");
-    println!("check allows it, without ever forcing a frequency above fref — the");
-    println!("methodology's guarantee (§4.2).");
+    outln!(out, "\n(b) first executions in order: {:?}", order_b);
+    outln!(out, "note how T3/T2 tasks run ahead of later T1 work wherever the feasibility");
+    outln!(out, "check allows it, without ever forcing a frequency above fref — the");
+    outln!(out, "methodology's guarantee (§4.2).");
     // The out-of-order property: in (b) some T3 or T2 task must run before
     // the *second* instance of T1 completes its work window.
     let first_t3_start = b
@@ -121,4 +129,5 @@ fn main() {
         first_t3_start < 20.0,
         "pUBS ordering should pull T3 work ahead of T1's second instance (got {first_t3_start})"
     );
+    Ok((out, report))
 }

@@ -15,16 +15,22 @@
 //! something to learn, mirroring its premise.
 //!
 //! Each trial normalizes its schemes against the trial's own
-//! precedence-relaxed twin set, so this binary drives per-trial
-//! [`Experiment`]s under `parallel_map` rather than a plain [`Sweep`].
+//! precedence-relaxed twin set, so this preset drives per-trial
+//! [`Experiment`]s under `parallel_map` rather than a plain `Sweep`.
 //!
-//! Usage: `cargo run -p bas-bench --release --bin fig6 -- [--trials 40]
-//! [--max-graphs 8] [--horizon-periods 4] [--seed 1] [--threads 0]`
+//! Knobs: `trials`, `seed`, `threads`, `util`, `governor` (`ccedf` — the
+//! §4.2 mechanism presumes a governor that spreads remaining work — or
+//! `laedf`, which reproduces the inversion discussed in EXPERIMENTS.md),
+//! `max_graphs`, `horizon_periods`.
 
-use bas_bench::workloads::unit_scale_config;
-use bas_bench::{parallel_map, Args, Summary, TextTable};
+use crate::outln;
+use bas_bench::TextTable;
 use bas_core::baseline::strip_precedence;
-use bas_core::{Experiment, GovernorKind, PriorityKind, SamplerKind, SchedulerSpec, ScopeKind};
+use bas_core::workloads::unit_scale_config;
+use bas_core::{
+    parallel_map, Experiment, GovernorKind, PriorityKind, Report, SamplerKind, Scenario,
+    SchedulerSpec, ScopeKind, SeedRecord, Summary,
+};
 use bas_cpu::presets::dense_dvs_processor;
 use bas_cpu::FreqPolicy;
 use rand::rngs::StdRng;
@@ -34,21 +40,16 @@ fn spec(governor: GovernorKind, priority: PriorityKind, scope: ScopeKind) -> Sch
     SchedulerSpec { governor, priority, scope }
 }
 
-fn main() {
-    let args = Args::parse();
-    let trials = args.usize("trials", 40);
-    let max_graphs = args.usize("max-graphs", 8);
-    let horizon_periods = args.f64("horizon-periods", 4.0);
-    let base_seed = args.u64("seed", 1);
-    let threads = args.usize("threads", 0);
-    let util = args.f64("util", 0.7);
-    // Default ccEDF: the §4.2 mechanism (earlier slack discovery -> lower
-    // frequency for the remaining window) presumes a governor that spreads
-    // remaining work. Under full Pillai-Shin laEDF deferral the effect
-    // inverts (early slack recovery concentrates deferred worst cases into
-    // high-frequency tail windows); `--governor laedf` reproduces that
-    // inversion, discussed in EXPERIMENTS.md.
-    let governor = match args.str("governor", "ccedf").as_str() {
+/// Run the Figure 6 scenario.
+pub fn run(sc: &Scenario) -> Result<(String, Report), String> {
+    let mut out = String::new();
+    let trials = sc.trials;
+    let max_graphs = sc.max_graphs;
+    let horizon_periods = sc.horizon_periods;
+    let base_seed = sc.seed;
+    let threads = sc.threads;
+    let util = sc.util;
+    let governor = match sc.governor.as_str() {
         "ccedf" => GovernorKind::CcEdf,
         "laedf" => GovernorKind::LaEdf,
         other => panic!("--governor must be ccedf|laedf, got {other}"),
@@ -60,8 +61,9 @@ fn main() {
     // near optimal [as graphs are added]" emerges: an almost idle system is
     // easy for every ordering; a loaded one separates them.
     let per_graph_util = util / max_graphs as f64;
-    println!("Figure 6 reproduction — ordering schemes normalized to near-optimal");
-    println!(
+    outln!(out, "Figure 6 reproduction — ordering schemes normalized to near-optimal");
+    outln!(
+        out,
         "trials {trials}, graphs 1..={max_graphs} at {per_graph_util:.3} utilization each (total {util} at k={max_graphs}), governor {governor:?}, ideal-DVS processor\n"
     );
 
@@ -71,6 +73,7 @@ fn main() {
         ("pUBS/imminent", spec(governor, PriorityKind::Pubs, ScopeKind::MostImminent)),
         ("pUBS/all-released", spec(governor, PriorityKind::Pubs, ScopeKind::AllReleased)),
     ];
+    let metric_names = ["random_imm", "ltf_imm", "pubs_imm", "pubs_all", "nearopt_vs_fluid"];
 
     let mut table = TextTable::new(&[
         "# graphs",
@@ -80,6 +83,7 @@ fn main() {
         "pUBS/all (BAS-2)",
         "near-opt vs fluid bound",
     ]);
+    let mut report = Report::new(&sc.name, sc.kind.name(), base_seed, trials);
 
     let processor = dense_dvs_processor(20, 0.05);
     for k in 1..=max_graphs {
@@ -132,18 +136,31 @@ fn main() {
             let mut row: Vec<f64> =
                 schemes.iter().map(|(_, s)| run(&set, s).energy / relaxed_energy).collect();
             row.push(relaxed_energy / fluid(&relaxed_metrics));
-            row
+            (seed, row)
         });
         let mut cells = vec![k.to_string()];
-        for i in 0..schemes.len() + 1 {
-            let s = Summary::of(&rows.iter().map(|r| r[i]).collect::<Vec<_>>());
+        let row = report.row(k.to_string());
+        for (i, name) in metric_names.iter().enumerate() {
+            let s = Summary::of(&rows.iter().map(|(_, r)| r[i]).collect::<Vec<_>>());
             cells.push(format!("{:.3}", s.mean));
+            row.summary(*name, s);
+        }
+        for (seed, values) in &rows {
+            row.trials.push(SeedRecord {
+                seed: *seed,
+                metrics: metric_names
+                    .iter()
+                    .zip(values)
+                    .map(|(n, v)| (n.to_string(), *v))
+                    .collect(),
+            });
         }
         table.row(&cells);
     }
-    println!("{}", table.render());
-    println!("scheme columns are normalized by the paper's near-optimal (precedence-");
-    println!("relaxed pUBS) schedule; the last column shows that normalizer against the");
-    println!("fluid lower bound (constant effective speed). expected shape (paper Fig. 6):");
-    println!("pUBS over all released tasks closest to near-optimal, Random farthest.");
+    outln!(out, "{}", table.render());
+    outln!(out, "scheme columns are normalized by the paper's near-optimal (precedence-");
+    outln!(out, "relaxed pUBS) schedule; the last column shows that normalizer against the");
+    outln!(out, "fluid lower bound (constant effective speed). expected shape (paper Fig. 6):");
+    outln!(out, "pUBS over all released tasks closest to near-optimal, Random farthest.");
+    Ok((out, report))
 }

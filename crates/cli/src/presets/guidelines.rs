@@ -14,12 +14,14 @@
 //!   (the dominant effect the guideline names) and (c) beats (b) on battery
 //!   *shape* (work-then-idle is non-increasing).
 //!
-//! Usage: `cargo run -p bas-bench --release --bin guidelines`
+//! No knobs.
 
+use crate::outln;
 use bas_battery::{
     run_profile, BatteryModel, DiffusionModel, Kibam, LoadProfile, RunOptions, StochasticKibam,
 };
 use bas_bench::TextTable;
+use bas_core::{Report, Scenario};
 use bas_cpu::presets::unit_processor;
 use bas_cpu::FreqPolicy;
 
@@ -31,8 +33,11 @@ fn fresh_models() -> Vec<Box<dyn BatteryModel>> {
     ]
 }
 
-fn main() {
-    println!("Guideline experiments (§3)\n");
+/// Run the guidelines scenario.
+pub fn run(sc: &Scenario) -> Result<(String, Report), String> {
+    let mut out = String::new();
+    let mut report = Report::new(&sc.name, sc.kind.name(), 0, 0);
+    outln!(out, "Guideline experiments (§3)\n");
 
     // ---------------- G1: profile shape --------------------------------
     // The operational meaning of "a non-increasing profile is optimal": after
@@ -47,11 +52,13 @@ fn main() {
     let flat = decreasing.flattened();
     let probe = 1.5;
 
-    println!(
+    outln!(
+        out,
         "G1 — {:.0} mAh drawn as decreasing / constant / increasing stairs, then a",
         decreasing.total_charge() / 3.6
     );
-    println!(
+    outln!(
+        out,
         "constant {probe} A probe until exhaustion (extra mAh extracted):
 "
     );
@@ -85,13 +92,18 @@ fn main() {
             format!("{inc:.0}"),
             format!("{:+.1}%", (dec / inc - 1.0) * 100.0),
         ]);
+        report
+            .row(format!("G1/{}", model.name()))
+            .value("after_decreasing_mah", dec)
+            .value("after_constant_mah", flat_d)
+            .value("after_increasing_mah", inc);
         assert!(
             dec >= inc,
             "{}: non-increasing history must leave at least as much extractable charge",
             model.name()
         );
     }
-    println!("{}", table.render());
+    outln!(out, "{}", table.render());
 
     // ---------------- G2: no gratuitous idling --------------------------
     // One task: C cycles due by D on the unit 3-OPP processor.
@@ -112,7 +124,7 @@ fn main() {
     let idle_then_fast = LoadProfile::from_pairs([(i_idle, d - t_fast), (i_fast, t_fast)]);
     let fast_then_idle = LoadProfile::from_pairs([(i_fast, t_fast), (i_idle, d - t_fast)]);
 
-    println!("G2 — {cycles} cycles due by t = {d} (unit 3-OPP processor):");
+    outln!(out, "G2 — {cycles} cycles due by t = {d} (unit 3-OPP processor):");
     let mut table = TextTable::new(&["strategy", "charge/period (C)", "KiBaM lifetime (min)"]);
     for (name, profile) in [
         ("(a) stretch to deadline (f = 0.5)", &stretch),
@@ -126,24 +138,29 @@ fn main() {
             format!("{:.3}", profile.total_charge()),
             format!("{:.1}", r.lifetime / 60.0),
         ]);
+        report
+            .row(format!("G2/{name}"))
+            .value("charge_per_period_c", profile.total_charge())
+            .value("kibam_lifetime_min", r.lifetime / 60.0);
     }
-    println!("{}", table.render());
+    outln!(out, "{}", table.render());
     let q_stretch = stretch.total_charge();
     let q_idle_fast = idle_then_fast.total_charge();
     assert!(
         q_stretch < q_idle_fast,
         "stretching must consume less charge than idling then sprinting"
     );
-    println!("checks: (a) uses the least charge per period — G2's primary claim");
-    println!("('minimize net charge consumed is primary, §3'); between the two fmax");
-    println!("variants, (c) work-first is the locally non-increasing shape G1 prefers.");
+    outln!(out, "checks: (a) uses the least charge per period — G2's primary claim");
+    outln!(out, "('minimize net charge consumed is primary, §3'); between the two fmax");
+    outln!(out, "variants, (c) work-first is the locally non-increasing shape G1 prefers.");
 
     // And the battery agrees on (b) vs (c): same charge, different shape.
     let mut cell_b = Kibam::paper_cell();
     let life_b = run_profile(&mut cell_b, &idle_then_fast, RunOptions::default()).lifetime;
     let mut cell_c = Kibam::paper_cell();
     let life_c = run_profile(&mut cell_c, &fast_then_idle, RunOptions::default()).lifetime;
-    println!(
+    outln!(
+        out,
         "\nshape-only comparison at equal charge: work-then-idle lives {:.1} min vs idle-then-work {:.1} min",
         life_c / 60.0,
         life_b / 60.0
@@ -152,4 +169,5 @@ fn main() {
     // their long-run lifetimes nearly coincide — the pure shape effect shows
     // in the G1 probe experiment above; here we only require no regression.
     assert!(life_c >= life_b * 0.99, "work-first (non-increasing) must not lose to idle-first");
+    Ok((out, report))
 }

@@ -1,0 +1,20 @@
+//! The built-in scenario runners — one module per [`ScenarioKind`].
+//!
+//! Each runner takes a validated [`Scenario`], renders the historical text
+//! output of the per-artifact binary it replaced (byte-identical for the
+//! same knobs), and builds the structured [`Report`] alongside.
+//!
+//! [`Scenario`]: bas_core::Scenario
+//! [`ScenarioKind`]: bas_core::ScenarioKind
+//! [`Report`]: bas_core::Report
+
+pub mod ablation;
+pub mod capacity_curve;
+pub mod crossover;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod guidelines;
+pub mod sweep;
+pub mod table1;
+pub mod table2;

@@ -1,0 +1,69 @@
+//! The generic sweep — "as many scenarios as you can imagine".
+//!
+//! Runs any scheduler lineup × generated workload × platform combination
+//! described by a [`ScenarioKind::Sweep`](bas_core::ScenarioKind::Sweep)
+//! scenario and prints per-spec summaries (mean ± std, p50, p95). This is
+//! the open entry point new workloads should use instead of a new binary:
+//! write a scenario file, `bas run` it.
+
+use crate::outln;
+use bas_bench::TextTable;
+use bas_core::{Report, Scenario};
+
+/// Run a generic sweep scenario.
+pub fn run(sc: &Scenario) -> Result<(String, Report), String> {
+    let sweep = sc.run_sweep().map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    outln!(
+        out,
+        "sweep '{}' — {} trials × {} specs, base seed {}",
+        sc.name,
+        sc.trials,
+        sweep.specs.len(),
+        sc.seed
+    );
+    outln!(
+        out,
+        "workload: {} scale, {} graphs/set, utilization {}; processor {}; battery {}; sampler {}; freq {}; horizon {} s\n",
+        sc.workload,
+        sc.graphs,
+        sc.util,
+        sc.processor,
+        sc.battery,
+        sc.sampler,
+        sc.freq,
+        sc.horizon
+    );
+    let with_battery = sc.battery != "none";
+    let mut header = vec!["Spec", "Energy (J)", "Charge (C)"];
+    if with_battery {
+        header.push("Life (min)");
+        header.push("Life p50/p95");
+        header.push("Charge (mAh)");
+    } else {
+        header.push("Energy p50/p95");
+    }
+    let mut table = TextTable::new(&header);
+    for spec in &sweep.specs {
+        let mut cells = vec![
+            spec.label.clone(),
+            format!("{:.2} ± {:.2}", spec.energy.mean, spec.energy.std),
+            format!("{:.2} ± {:.2}", spec.charge.mean, spec.charge.std),
+        ];
+        if with_battery {
+            let life = spec.lifetime_min.expect("battery sweep");
+            let mah = spec.delivered_mah.expect("battery sweep");
+            cells.push(format!("{:.1} ± {:.1}", life.mean, life.std));
+            cells.push(format!("{:.1}/{:.1}", life.p50, life.p95));
+            cells.push(format!("{:.0} ± {:.0}", mah.mean, mah.std));
+        } else {
+            cells.push(format!("{:.2}/{:.2}", spec.energy.p50, spec.energy.p95));
+        }
+        table.row(&cells);
+    }
+    outln!(out, "{}", table.render());
+    let misses: u64 =
+        sweep.specs.iter().flat_map(|s| s.trials.iter().map(|t| t.deadline_misses)).sum();
+    outln!(out, "deadline misses across all runs: {misses}");
+    Ok((out, Report::from_sweep(&sc.name, sc.kind.name(), &sweep)))
+}

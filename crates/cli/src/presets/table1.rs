@@ -18,13 +18,14 @@
 //! 15      1.55    1.51  1.32
 //! ```
 //!
-//! Usage: `cargo run -p bas-bench --release --bin table1 -- [--trials 100]
-//! [--seed 1] [--util 0.7] [--threads 0]`
+//! Knobs: `trials`, `seed`, `util`, `threads`, `freq`, `shape`,
+//! `processor`, `noise`.
 
-use bas_bench::{parallel_map, Args, Summary, TextTable};
-use bas_core::single_dag::{Scenario, XSource};
-use bas_cpu::presets::{dense_dvs_processor, unit_processor};
-use bas_cpu::{FreqPolicy, Processor};
+use crate::outln;
+use bas_bench::TextTable;
+use bas_core::single_dag::{Scenario as DagScenario, XSource};
+use bas_core::{parallel_map, Report, Scenario, SeedRecord, Summary};
+use bas_cpu::Processor;
 use bas_taskgraph::{GeneratorConfig, GraphShape};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,6 +45,7 @@ const PAPER: &[(usize, f64, f64, f64)] = &[
 ];
 
 struct TrialResult {
+    seed: u64,
     random: f64,
     ltf: f64,
     stf: f64,
@@ -56,39 +58,30 @@ struct TrialResult {
 /// made the paper stop at 15 tasks.
 const OPTIMAL_BUDGET: u64 = 20_000_000;
 
-fn main() {
-    let args = Args::parse();
-    let trials = args.usize("trials", 100);
-    let base_seed = args.u64("seed", 1);
-    let util = args.f64("util", 0.7);
-    let threads = args.usize("threads", 0);
-    let freq = match args.str("freq", "interp").as_str() {
-        "roundup" => FreqPolicy::RoundUp,
-        "interp" => FreqPolicy::Interpolate,
-        other => panic!("--freq must be roundup|interp, got {other}"),
-    };
-    let shape_name = args.str("shape", "layered");
-    let proc_name = args.str("proc", "dense");
-    let processor: Processor = match proc_name.as_str() {
-        // Ideal DVS (dense grid over the paper's V(f) = 4f+1 line) — the
-        // regime of Gruian's UBS analysis; reproduces the paper's ratios.
-        "dense" => dense_dvs_processor(20, 0.05),
-        // The 3-OPP battery platform of §5 — ordering matters much less
-        // here because the frequency floor (0.5·fmax) caps slack value.
-        "paper3" => unit_processor(),
-        other => panic!("--proc must be dense|paper3, got {other}"),
-    };
+/// Run the Table 1 scenario.
+pub fn run(sc: &Scenario) -> Result<(String, Report), String> {
+    let mut out = String::new();
+    let trials = sc.trials;
+    let base_seed = sc.seed;
+    let util = sc.util;
+    let threads = sc.threads;
+    let freq = sc.freq;
+    let shape_name = sc.shape.as_str();
+    let proc_name = sc.processor.as_str();
+    let processor: Processor = sc.build_processor().map_err(|e| e.to_string())?;
 
-    println!("Table 1 reproduction — single-DAG ordering vs exhaustive optimum");
-    println!(
+    outln!(out, "Table 1 reproduction — single-DAG ordering vs exhaustive optimum");
+    outln!(
+        out,
         "trials per row: {trials}, utilization {util}, base seed {base_seed}, freq {freq:?}, processor {proc_name}, shape {shape_name}"
     );
-    println!(
+    outln!(
+        out,
         "(columns show mean energy normalized to the optimal schedule; paper values in parens)\n"
     );
 
     // pUBS(est) models a history-trained estimator: Xk = actual · U(1−ε, 1+ε).
-    let noise = args.f64("noise", 0.25);
+    let noise = sc.noise;
 
     let mut table = TextTable::new(&[
         "# of tasks",
@@ -99,6 +92,7 @@ fn main() {
         "pUBS(oracle)",
         "paper R/L/P",
     ]);
+    let mut report = Report::new(&sc.name, sc.kind.name(), base_seed, trials);
 
     for &(n, p_rand, p_ltf, p_pubs) in PAPER {
         let results: Vec<Option<TrialResult>> = parallel_map(trials, threads, |trial| {
@@ -108,7 +102,7 @@ fn main() {
                 .wrapping_add((n as u64) << 32)
                 .wrapping_add(trial as u64);
             let mut rng = StdRng::seed_from_u64(seed);
-            let shape = match shape_name.as_str() {
+            let shape = match shape_name {
                 // Sparse random dependencies: wide graphs with real ordering
                 // freedom — the regime in which ordering heuristics separate
                 // (and the closest reading of TGFF's "random dependencies").
@@ -123,7 +117,7 @@ fn main() {
             let cfg = GeneratorConfig { nodes: (n, n), wcet: (10, 100), shape };
             let graph = cfg.generate(format!("dag{n}"), &mut rng);
             let scenario =
-                Scenario::with_utilization(graph, util, processor.clone(), (0.2, 1.0), &mut rng)
+                DagScenario::with_utilization(graph, util, processor.clone(), (0.2, 1.0), &mut rng)
                     .expect("feasible by construction")
                     .with_freq_policy(freq);
             let opt = scenario.optimal_with_budget(OPTIMAL_BUDGET)?.energy;
@@ -139,6 +133,7 @@ fn main() {
                 })
                 .collect();
             Some(TrialResult {
+                seed,
                 random: scenario.run_random(&mut rng).energy / opt,
                 ltf: scenario.run_ltf().energy / opt,
                 stf: scenario.run_stf().energy / opt,
@@ -165,15 +160,35 @@ fn main() {
             format!("{:.2}", oracle_s.mean),
             format!("{p_rand:.2}/{p_ltf:.2}/{p_pubs:.2}"),
         ]);
+        let row = report.row(n.to_string());
+        row.summary("random", rand_s)
+            .summary("ltf", ltf_s)
+            .summary("stf", stf_s)
+            .summary("pubs_est", pubs_s)
+            .summary("pubs_oracle", oracle_s)
+            .value("skipped", skipped as f64);
+        for r in &results {
+            row.trials.push(SeedRecord {
+                seed: r.seed,
+                metrics: vec![
+                    ("random".into(), r.random),
+                    ("ltf".into(), r.ltf),
+                    ("stf".into(), r.stf),
+                    ("pubs_est".into(), r.pubs),
+                    ("pubs_oracle".into(), r.pubs_oracle),
+                ],
+            });
+        }
     }
-    println!("{}", table.render());
-    println!("shape checks (see EXPERIMENTS.md for the full discussion):");
-    println!("  * pUBS(est) and pUBS(oracle) sit far closer to 1.00 than any WCET-only");
-    println!("    heuristic — the paper's central Table-1 claim;");
-    println!("  * pUBS(oracle) reproduces Gruian's 'accurate estimates -> within ~1% of");
-    println!("    optimal' result;");
-    println!("  * Random/LTF/STF cluster together above pUBS. The paper's larger absolute");
-    println!("    ratios (and its Random/LTF gap) mix heterogeneous DVS schemes from the");
-    println!("    compared prior works; under a common frequency rule the ordering effect");
-    println!("    is what remains, and pUBS captures nearly all of it.");
+    outln!(out, "{}", table.render());
+    outln!(out, "shape checks (see EXPERIMENTS.md for the full discussion):");
+    outln!(out, "  * pUBS(est) and pUBS(oracle) sit far closer to 1.00 than any WCET-only");
+    outln!(out, "    heuristic — the paper's central Table-1 claim;");
+    outln!(out, "  * pUBS(oracle) reproduces Gruian's 'accurate estimates -> within ~1% of");
+    outln!(out, "    optimal' result;");
+    outln!(out, "  * Random/LTF/STF cluster together above pUBS. The paper's larger absolute");
+    outln!(out, "    ratios (and its Random/LTF gap) mix heterogeneous DVS schemes from the");
+    outln!(out, "    compared prior works; under a common frequency rule the ordering effect");
+    outln!(out, "    is what remains, and pUBS captures nearly all of it.");
+    Ok((out, report))
 }

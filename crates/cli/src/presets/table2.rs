@@ -15,17 +15,18 @@
 //!
 //! Platform: the paper's 1 GHz / 3-OPP processor behind a 90 % DC-DC
 //! converter and the 1.2 V, 2000 mAh (max) AAA NiMH cell, simulated with the
-//! stochastic KiBaM (`--battery kibam|stochastic|diffusion` to switch).
+//! stochastic KiBaM (`battery = "kibam"|"stochastic"|"diffusion"` to
+//! switch).
 //!
-//! Usage: `cargo run -p bas-bench --release --bin table2 -- [--trials 100]
-//! [--seed 1] [--graphs 4] [--util 0.7] [--threads 0] [--battery stochastic]`
+//! Knobs: `trials`, `seed`, `graphs`, `util`, `threads`, `battery`,
+//! `horizon` (the lifetime cap; runs that outlive it are censored), `freq`,
+//! `sampler`.
 
-use bas_battery::{BatteryModel, DiffusionModel, Kibam, StochasticKibam};
-use bas_bench::workloads::paper_scale_config;
-use bas_bench::{Args, TextTable};
-use bas_core::{SamplerKind, SchedulerSpec, SpecReport, Sweep};
+use crate::outln;
+use bas_bench::TextTable;
+use bas_core::workloads::paper_scale_config;
+use bas_core::{Report, Scenario, SchedulerSpec, SpecReport, Sweep};
 use bas_cpu::presets::paper_processor;
-use bas_cpu::FreqPolicy;
 
 const PAPER: &[(&str, f64, f64)] = &[
     ("EDF", 1567.0, 74.0),
@@ -35,57 +36,43 @@ const PAPER: &[(&str, f64, f64)] = &[
     ("BAS-2", 1757.0, 148.0),
 ];
 
-fn make_battery(kind: &str, seed: u64) -> Box<dyn BatteryModel> {
-    match kind {
-        "stochastic" => Box::new(StochasticKibam::paper_cell(seed)),
-        "kibam" => Box::new(Kibam::paper_cell()),
-        "diffusion" => Box::new(DiffusionModel::paper_cell()),
-        other => panic!("--battery must be stochastic|kibam|diffusion, got {other}"),
-    }
-}
-
-fn main() {
-    let args = Args::parse();
-    let trials = args.usize("trials", 100);
-    let base_seed = args.u64("seed", 1);
-    let graphs = args.usize("graphs", 4);
-    let util = args.f64("util", 0.7);
-    let threads = args.usize("threads", 0);
-    let battery_kind = args.str("battery", "stochastic");
+/// Run the Table 2 scenario.
+pub fn run(sc: &Scenario) -> Result<(String, Report), String> {
+    let mut out = String::new();
+    let trials = sc.trials;
+    let base_seed = sc.seed;
+    let graphs = sc.graphs;
+    let util = sc.util;
+    let threads = sc.threads;
+    let battery_kind = sc.battery.as_str();
     // Cap on simulated lifetime; runs that outlive it are censored (reported
     // at the cap) — with the s³ current law the DVS schemes stretch lifetime
     // further than the paper's calibration did (see EXPERIMENTS.md).
-    let max_time = args.f64("max-time", 24.0 * 3600.0);
+    let max_time = sc.horizon;
     // The paper's reported average currents are only consistent with the
     // processor sitting on one of the three discrete OPPs (round-up); the
     // optimal two-point interpolation of §2/[4] is available with
-    // `--freq interp`. EXPERIMENTS.md quantifies the difference.
-    let freq = match args.str("freq", "roundup").as_str() {
-        "roundup" => FreqPolicy::RoundUp,
-        "interp" => FreqPolicy::Interpolate,
-        other => panic!("--freq must be roundup|interp, got {other}"),
-    };
+    // `freq = "interp"`. EXPERIMENTS.md quantifies the difference.
+    let freq = sc.freq;
     // Per-task persistent actual fractions by default: the paper's
     // history-based Xk estimation presumes cross-instance predictability
     // (EXPERIMENTS.md, "actual-computation model").
-    let sampler = match args.str("actuals", "persistent").as_str() {
-        "persistent" => SamplerKind::Persistent,
-        "iid" => SamplerKind::IidUniform,
-        other => panic!("--actuals must be persistent|iid, got {other}"),
-    };
+    let sampler = sc.sampler;
 
-    println!("Table 2 reproduction — battery lifetime per scheduling scheme");
-    println!(
+    outln!(out, "Table 2 reproduction — battery lifetime per scheduling scheme");
+    outln!(
+        out,
         "trials: {trials}, {graphs} graphs/set, utilization {util}, battery {battery_kind}, base seed {base_seed}"
     );
-    println!(
+    outln!(
+        out,
         "cell: 1.2 V AAA NiMH, 2000 mAh max capacity; processor: 1 GHz 3-OPP, ~1.8 A at fmax\n"
     );
 
     // Paper lineup + two supplementary rows pairing pUBS with ccEDF: at the
     // paper's 70 % utilization laEDF is already pinned at the lowest OPP
     // (nothing for ordering to win), so the ordering effect is demonstrated
-    // on the governor that retains frequency headroom. At `--util 0.9` the
+    // on the governor that retains frequency headroom. At `util = 0.9` the
     // laEDF-based BAS rows separate as in the paper (see EXPERIMENTS.md).
     let mut lineup: Vec<(&str, SchedulerSpec)> = SchedulerSpec::table2_lineup().to_vec();
     lineup.push(("BAS-1cc", SchedulerSpec::bas1cc()));
@@ -100,9 +87,9 @@ fn main() {
         .threads(threads)
         .freq_policy(freq)
         .sampler(sampler)
-        .battery(|seed| make_battery(&battery_kind, seed ^ 0xba77_e4ee))
+        .battery(|seed| sc.build_battery(seed).expect("battery name validated"))
         .run()
-        .unwrap_or_else(|e| panic!("sweep failed: {e}"));
+        .map_err(|e| format!("sweep failed: {e}"))?;
     for spec in &report.specs {
         for t in &spec.trials {
             assert_eq!(t.deadline_misses, 0, "{} missed a deadline", spec.label);
@@ -156,18 +143,27 @@ fn main() {
             paper_col,
         ]);
     }
-    println!("{}", table.render());
+    outln!(out, "{}", table.render());
 
     // §6 headline numbers: improvements in battery lifetime.
     let life = |label: &str| report.spec(label).unwrap().lifetime_min.expect("battery sweep").mean;
     let pct = |a: f64, b: f64| (a / b - 1.0) * 100.0;
-    println!("battery-lifetime improvements (mean):");
-    println!(
+    outln!(out, "battery-lifetime improvements (mean):");
+    outln!(
+        out,
         "  BAS-2 vs laEDF : {:+.1}%   (paper: up to +23.3%)",
         pct(life("BAS-2"), life("laEDF"))
     );
-    println!("  BAS-2 vs ccEDF : {:+.1}%   (paper: up to +47%)", pct(life("BAS-2"), life("ccEDF")));
-    println!("  BAS-2 vs no-DVS: {:+.1}%   (paper: up to +100%)", pct(life("BAS-2"), life("EDF")));
+    outln!(
+        out,
+        "  BAS-2 vs ccEDF : {:+.1}%   (paper: up to +47%)",
+        pct(life("BAS-2"), life("ccEDF"))
+    );
+    outln!(
+        out,
+        "  BAS-2 vs no-DVS: {:+.1}%   (paper: up to +100%)",
+        pct(life("BAS-2"), life("EDF"))
+    );
     // Per-trial maxima — the paper's "up to" phrasing. Trials are aligned by
     // seed across specs, so per-trial ratios compare like with like.
     let lifetimes = |label: &str| -> Vec<f64> {
@@ -186,14 +182,16 @@ fn main() {
             .map(|(b, t)| pct(*b, t.lifetime_minutes().expect("battery sweep")))
             .fold(f64::MIN, f64::max)
     };
-    println!("per-set maxima ('up to'):");
-    println!("  BAS-2 vs laEDF : {:+.1}%", max_vs(report.spec("laEDF").unwrap()));
-    println!("  BAS-2 vs ccEDF : {:+.1}%", max_vs(report.spec("ccEDF").unwrap()));
-    println!("  BAS-2 vs no-DVS: {:+.1}%", max_vs(report.spec("EDF").unwrap()));
-    println!("ordering effect at constant governor (ccEDF):");
-    println!(
+    outln!(out, "per-set maxima ('up to'):");
+    outln!(out, "  BAS-2 vs laEDF : {:+.1}%", max_vs(report.spec("laEDF").unwrap()));
+    outln!(out, "  BAS-2 vs ccEDF : {:+.1}%", max_vs(report.spec("ccEDF").unwrap()));
+    outln!(out, "  BAS-2 vs no-DVS: {:+.1}%", max_vs(report.spec("EDF").unwrap()));
+    outln!(out, "ordering effect at constant governor (ccEDF):");
+    outln!(
+        out,
         "  BAS-1cc vs ccEDF: {:+.1}%   BAS-2cc vs ccEDF: {:+.1}%   (BAS-2cc > BAS-1cc expected)",
         pct(life("BAS-1cc"), life("ccEDF")),
         pct(life("BAS-2cc"), life("ccEDF"))
     );
+    Ok((out, Report::from_sweep(&sc.name, sc.kind.name(), &report)))
 }

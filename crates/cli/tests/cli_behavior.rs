@@ -1,0 +1,162 @@
+//! Black-box tests of the `bas` binary: exit codes, usage reporting, and
+//! the format switch. The historical binaries panicked with a backtrace on
+//! malformed flags; `bas` must exit with code 2 and a usage message.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+fn bas(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_bas"))
+        .args(args)
+        .current_dir(workspace_root())
+        .output()
+        .expect("bas binary runs")
+}
+
+#[test]
+fn malformed_flags_exit_2_with_usage_not_a_panic() {
+    for args in [
+        &["table2", "--trials"][..],        // flag without a value
+        &["table2", "--trials", "many"],    // non-numeric value
+        &["table2", "--points", "9"],       // knob of a different kind
+        &["table2", "--battery", "fusion"], // unknown preset name
+        &["frobnicate"],                    // unknown subcommand
+        &["run"],                           // missing file operand
+        &[],                                // no command at all
+        &["fig4", "--format", "yaml"],      // unknown format
+        &["fig4", "extra"],                 // stray positional
+    ] {
+        let out = bas(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("error:"), "{args:?}: {stderr}");
+        assert!(stderr.contains("USAGE"), "{args:?}: {stderr}");
+        assert!(out.stdout.is_empty(), "{args:?} wrote to stdout");
+    }
+}
+
+#[test]
+fn help_exits_0_with_usage_on_stdout() {
+    for args in [&["--help"][..], &["-h"], &["help"]] {
+        let out = bas(args);
+        assert_eq!(out.status.code(), Some(0), "{args:?}");
+        assert!(String::from_utf8_lossy(&out.stdout).contains("USAGE"), "{args:?}");
+    }
+}
+
+#[test]
+fn missing_scenario_file_exits_1() {
+    let out = bas(&["run", "no/such/file.toml"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+}
+
+#[test]
+fn malformed_scenario_file_exits_2_with_usage() {
+    // A file that *reads* but does not parse/validate is malformed input —
+    // same contract as a malformed flag: exit 2 + usage.
+    let dir = std::env::temp_dir().join("bas-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, body) in [
+        ("unknown-key.toml", "kind = \"table2\"\ntrails = 5\n"),
+        ("bad-value.toml", "kind = \"sweep\"\nbattery = \"fusion\"\n"),
+        ("not-toml.toml", "kind = \"sweep\"\ntrials = = 5\n"),
+    ] {
+        let path = dir.join(name);
+        std::fs::write(&path, body).unwrap();
+        let out = bas(&["run", path.to_str().unwrap()]);
+        assert_eq!(out.status.code(), Some(2), "{name}: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("USAGE"), "{name}: {stderr}");
+        assert!(stderr.contains(name), "{name} (path named in error): {stderr}");
+    }
+}
+
+#[test]
+fn list_names_every_preset_and_the_checked_in_files() {
+    let out = bas(&["list"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in [
+        "table1",
+        "table2",
+        "fig4",
+        "fig5",
+        "fig6",
+        "guidelines",
+        "crossover",
+        "ablation",
+        "capacity-curve",
+        "sweep",
+    ] {
+        assert!(stdout.contains(name), "missing preset {name}:\n{stdout}");
+    }
+    assert!(stdout.contains("scenarios/smoke.toml"), "{stdout}");
+}
+
+#[test]
+fn run_smoke_emits_the_three_formats() {
+    let text = bas(&["run", "scenarios/smoke.toml"]);
+    assert_eq!(text.status.code(), Some(0), "{text:?}");
+    assert!(String::from_utf8_lossy(&text.stdout).contains("sweep 'smoke'"));
+
+    let json = bas(&["run", "scenarios/smoke.toml", "--format", "json"]);
+    assert_eq!(json.status.code(), Some(0), "{json:?}");
+    let body = String::from_utf8_lossy(&json.stdout);
+    assert!(body.starts_with('{') && body.trim_end().ends_with('}'), "{body}");
+    assert!(body.contains("\"schema\": \"bas-report/v1\""), "{body}");
+
+    let csv = bas(&["run", "scenarios/smoke.toml", "--format", "csv"]);
+    assert_eq!(csv.status.code(), Some(0), "{csv:?}");
+    assert!(
+        String::from_utf8_lossy(&csv.stdout)
+            .starts_with("record,label,metric,seed,value,n,mean,std,min,max,p50,p95"),
+        "{csv:?}"
+    );
+}
+
+#[test]
+fn overrides_and_legacy_flag_aliases_apply() {
+    // `--actuals` and `--max-time` are the retired table2 binary's spellings
+    // of `sampler` and `horizon`.
+    let out =
+        bas(&["scenario", "table2", "--trials", "7", "--actuals", "iid", "--max-time", "1000"]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("trials = 7"), "{stdout}");
+    assert!(stdout.contains("sampler = \"iid\""), "{stdout}");
+    assert!(stdout.contains("horizon = 1000.0"), "{stdout}");
+}
+
+#[test]
+fn scenario_subcommand_round_trips_through_run() {
+    // `bas scenario sweep` emits a file that `bas run` accepts.
+    let emitted = bas(&[
+        "scenario",
+        "sweep",
+        "--trials",
+        "1",
+        "--battery",
+        "none",
+        "--workload",
+        "unit",
+        "--processor",
+        "unit",
+        "--horizon",
+        "100",
+        "--specs",
+        "EDF",
+    ]);
+    assert_eq!(emitted.status.code(), Some(0), "{emitted:?}");
+    let dir = std::env::temp_dir().join("bas-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("emitted.toml");
+    std::fs::write(&path, &emitted.stdout).unwrap();
+    let run = bas(&["run", path.to_str().unwrap()]);
+    assert_eq!(run.status.code(), Some(0), "{run:?}");
+    assert!(String::from_utf8_lossy(&run.stdout).contains("EDF"));
+}

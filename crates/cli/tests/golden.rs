@@ -1,0 +1,78 @@
+//! Golden-file and scenario-consistency tests for the `bas` CLI library:
+//!
+//! * the tiny checked-in smoke scenario produces a byte-identical JSON
+//!   report (schema stability + end-to-end determinism in one assertion);
+//! * every checked-in `scenarios/<preset>.toml` parses to exactly the
+//!   built-in preset of the same kind — the files and the constructors are
+//!   the same objects, as the scenario layer promises.
+
+use bas_core::{Scenario, ScenarioKind};
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // crates/cli -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+#[test]
+fn smoke_scenario_json_report_is_byte_stable() {
+    let root = workspace_root();
+    let scenario = Scenario::load(&root.join("scenarios/smoke.toml")).unwrap();
+    let (_text, report) = bas_cli::run_scenario(&scenario).unwrap();
+    let golden_path = root.join("crates/cli/tests/golden/smoke.json");
+    let golden = std::fs::read_to_string(&golden_path).unwrap();
+    assert_eq!(
+        report.to_json(),
+        golden,
+        "the smoke report drifted from {golden_path:?}; if the change is \
+         intentional, regenerate with \
+         `bas run scenarios/smoke.toml --format json --out crates/cli/tests/golden/smoke.json`"
+    );
+}
+
+#[test]
+fn smoke_scenario_csv_report_is_rectangular() {
+    let root = workspace_root();
+    let scenario = Scenario::load(&root.join("scenarios/smoke.toml")).unwrap();
+    let (_text, report) = bas_cli::run_scenario(&scenario).unwrap();
+    let csv = report.to_csv();
+    let header = "record,label,metric,seed,value,n,mean,std,min,max,p50,p95";
+    assert_eq!(csv.lines().next().unwrap(), header);
+    let width = header.split(',').count();
+    assert!(csv.lines().count() > 4, "{csv}");
+    for line in csv.lines() {
+        assert_eq!(line.split(',').count(), width, "ragged CSV row: {line}");
+    }
+    assert!(csv.lines().any(|l| l.starts_with("summary,BAS-2,")), "{csv}");
+    assert!(csv.lines().any(|l| l.starts_with("trial,EDF,")), "{csv}");
+}
+
+#[test]
+fn checked_in_preset_files_match_the_builtin_presets() {
+    let root = workspace_root();
+    for kind in ScenarioKind::ALL {
+        let path = root.join("scenarios").join(format!("{}.toml", kind.name()));
+        let loaded = Scenario::load(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(
+            loaded,
+            Scenario::preset(kind),
+            "{} drifted from Scenario::preset({kind}); regenerate with \
+             `bas scenario {kind} > scenarios/{kind}.toml`",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn every_checked_in_scenario_file_is_valid() {
+    let root = workspace_root();
+    let mut count = 0;
+    for entry in std::fs::read_dir(root.join("scenarios")).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|x| x == "toml") {
+            Scenario::load(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            count += 1;
+        }
+    }
+    assert!(count >= 15, "expected the preset + example + smoke files, found {count}");
+}

@@ -145,7 +145,7 @@ impl<'a> Experiment<'a> {
     }
 
     /// How actual computations are drawn. This is the **only** sampler knob —
-    /// the deprecated `simulate`/`simulate_lean` façade hardcoded
+    /// the retired `simulate`/`simulate_lean` façade hardcoded
     /// [`SamplerKind::IidUniform`] and silently ignored the concept.
     /// Default [`SamplerKind::IidUniform`] (the literal reading of §5).
     pub fn sampler(mut self, sampler: SamplerKind) -> Self {

@@ -26,10 +26,15 @@
 //!   Table 2 scheduler and round-trips through strings.
 //! * [`experiment`] — the builder-style experiment API: [`Experiment`] for
 //!   one run, [`Sweep`] for deterministic parallel batches.
+//! * [`scenario`] — the declarative layer above the builders: a
+//!   serializable [`Scenario`] describes a whole experiment (kind ×
+//!   workload × lineup × platform × seeds) and round-trips through scenario
+//!   files via the offline TOML-subset codec in [`toml`].
+//! * [`report`] — structured results: a [`Report`] serializes spec-labelled
+//!   per-seed metrics and [`Summary`] statistics as stable JSON/CSV.
+//! * [`workloads`] — the standard workload families scenario files name.
 //! * [`parallel`] / [`stats`] — the deterministic fan-out primitive and
 //!   [`Summary`] statistics backing [`Sweep`].
-//! * [`compat`] — the deprecated `simulate_*` free functions (one release of
-//!   grace before removal).
 //!
 //! ## Quick start
 //!
@@ -79,16 +84,19 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
-pub mod compat;
 pub mod estimator;
 pub mod experiment;
 pub mod feasibility;
 pub mod parallel;
 pub mod policy;
 pub mod priority;
+pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod single_dag;
 pub mod stats;
+pub mod toml;
+pub mod workloads;
 
 pub use estimator::{CycleEstimator, EmaEstimator, MeanFraction, WorstCaseEstimate};
 pub use experiment::{Experiment, SpecReport, Sweep, SweepError, SweepReport, TrialRecord};
@@ -96,7 +104,9 @@ pub use feasibility::{is_feasible, FeasibilityVariant};
 pub use parallel::parallel_map;
 pub use policy::{BasPolicy, ReadyScope};
 pub use priority::{Ltf, Priority, Pubs, RandomPriority, Stf};
+pub use report::{Report, ReportRow, SeedRecord};
 pub use runner::{
     all_specs, GovernorKind, ParseSpecError, PriorityKind, SamplerKind, SchedulerSpec, ScopeKind,
 };
+pub use scenario::{Scenario, ScenarioError, ScenarioKind};
 pub use stats::Summary;

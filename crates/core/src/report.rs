@@ -1,0 +1,403 @@
+//! Structured experiment reports with stable JSON and CSV schemas.
+//!
+//! Every `bas` CLI run can emit, besides its text table, a [`Report`]: the
+//! scenario's results as spec-labelled rows carrying per-seed metrics and
+//! [`Summary`] statistics. The schemas are stable — downstream tooling may
+//! parse them — and versioned by [`SCHEMA`].
+//!
+//! ## JSON schema (`Report::to_json`)
+//!
+//! ```json
+//! {
+//!   "schema": "bas-report/v1",
+//!   "scenario": "<scenario name>",
+//!   "kind": "<scenario kind>",
+//!   "base_seed": 1,
+//!   "trials": 100,
+//!   "rows": [
+//!     {
+//!       "label": "BAS-2",
+//!       "summaries": {
+//!         "lifetime_min": {"n": 100, "mean": 148.0, "std": 12.0,
+//!                           "min": ..., "max": ..., "p50": ..., "p95": ...}
+//!       },
+//!       "trials": [
+//!         {"seed": 2685821657736338718, "metrics": {"lifetime_min": 147.2}}
+//!       ]
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! Row labels are the sweep's spec labels (or a preset's own row keys, e.g.
+//! Table 1's task counts). Metric names are snake_case and unit-suffixed
+//! where ambiguous (`lifetime_min`, `delivered_mah`, `energy_j`). Non-finite
+//! values serialize as JSON `null`.
+//!
+//! ## CSV schema (`Report::to_csv`)
+//!
+//! One flat table, header first, two record types sharing the columns
+//!
+//! ```text
+//! record,label,metric,seed,value,n,mean,std,min,max,p50,p95
+//! trial,BAS-2,lifetime_min,2685821657736338718,147.2,,,,,,,
+//! summary,BAS-2,lifetime_min,,,100,148.0,12.0,...,...,...,...
+//! ```
+//!
+//! `trial` records fill `seed`/`value` and leave the statistics columns
+//! empty; `summary` records do the opposite. Non-finite values render as
+//! empty cells. Fields containing commas or quotes are double-quoted
+//! (RFC 4180).
+
+use crate::stats::Summary;
+use std::fmt::Write as _;
+
+/// Identifier of the report schema emitted by this version of the crate.
+pub const SCHEMA: &str = "bas-report/v1";
+
+/// A structured experiment report: labelled rows of per-seed metrics plus
+/// summary statistics. See the module docs for the serialized schemas.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Scenario name (e.g. `table2` or the loaded file's `name` field).
+    pub scenario: String,
+    /// Scenario kind (e.g. `sweep`, `table1`).
+    pub kind: String,
+    /// The base seed the run derives its trial seeds from.
+    pub base_seed: u64,
+    /// Trials per row (0 where the notion does not apply).
+    pub trials: usize,
+    /// Result rows, in presentation order.
+    pub rows: Vec<ReportRow>,
+}
+
+/// One labelled result row (a scheduler spec, a table row, a model, …).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReportRow {
+    /// Row label (spec label for sweeps).
+    pub label: String,
+    /// Named summary statistics, in presentation order.
+    pub summaries: Vec<(String, Summary)>,
+    /// Per-seed metric records, in trial order.
+    pub trials: Vec<SeedRecord>,
+}
+
+/// Metrics of one (row, seed) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedRecord {
+    /// The trial seed that produced these metrics.
+    pub seed: u64,
+    /// Named metric values, in presentation order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl Report {
+    /// An empty report shell for `scenario`/`kind`.
+    pub fn new(
+        scenario: impl Into<String>,
+        kind: impl Into<String>,
+        base_seed: u64,
+        trials: usize,
+    ) -> Self {
+        Report { scenario: scenario.into(), kind: kind.into(), base_seed, trials, rows: Vec::new() }
+    }
+
+    /// Append a row, returning a mutable handle to fill it.
+    pub fn row(&mut self, label: impl Into<String>) -> &mut ReportRow {
+        self.rows.push(ReportRow { label: label.into(), ..ReportRow::default() });
+        self.rows.last_mut().expect("just pushed")
+    }
+
+    /// Build a report from a [`crate::SweepReport`], carrying the standard
+    /// per-trial metrics (`energy_j`, `charge_c`, `deadline_misses`,
+    /// `instances_completed`, plus `lifetime_min`/`delivered_mah` for
+    /// battery co-simulations) and their summaries.
+    pub fn from_sweep(
+        scenario: impl Into<String>,
+        kind: impl Into<String>,
+        sweep: &crate::SweepReport,
+    ) -> Self {
+        let mut report = Report::new(scenario, kind, sweep.base_seed, sweep.trials);
+        for spec in &sweep.specs {
+            let row = report.row(&spec.label);
+            row.summaries.push(("energy_j".into(), spec.energy));
+            row.summaries.push(("charge_c".into(), spec.charge));
+            if let Some(s) = spec.lifetime_min {
+                row.summaries.push(("lifetime_min".into(), s));
+            }
+            if let Some(s) = spec.delivered_mah {
+                row.summaries.push(("delivered_mah".into(), s));
+            }
+            for t in &spec.trials {
+                let mut metrics: Vec<(String, f64)> = vec![
+                    ("energy_j".into(), t.energy),
+                    ("charge_c".into(), t.charge),
+                    ("deadline_misses".into(), t.deadline_misses as f64),
+                    ("instances_completed".into(), t.instances_completed as f64),
+                ];
+                if let Some(l) = t.lifetime_minutes() {
+                    metrics.push(("lifetime_min".into(), l));
+                }
+                if let Some(m) = t.delivered_mah {
+                    metrics.push(("delivered_mah".into(), m));
+                }
+                row.trials.push(SeedRecord { seed: t.seed, metrics });
+            }
+        }
+        report
+    }
+
+    /// Serialize as JSON (schema in the module docs).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", json_string(SCHEMA));
+        let _ = writeln!(out, "  \"scenario\": {},", json_string(&self.scenario));
+        let _ = writeln!(out, "  \"kind\": {},", json_string(&self.kind));
+        let _ = writeln!(out, "  \"base_seed\": {},", self.base_seed);
+        let _ = writeln!(out, "  \"trials\": {},", self.trials);
+        out.push_str("  \"rows\": [");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            let _ = writeln!(out, "      \"label\": {},", json_string(&row.label));
+            out.push_str("      \"summaries\": {");
+            for (j, (name, s)) in row.summaries.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "\n        {}: {{\"n\": {}, \"mean\": {}, \"std\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}}}",
+                    json_string(name),
+                    s.n,
+                    json_number(s.mean),
+                    json_number(s.std),
+                    json_number(s.min),
+                    json_number(s.max),
+                    json_number(s.p50),
+                    json_number(s.p95),
+                );
+            }
+            if !row.summaries.is_empty() {
+                out.push_str("\n      ");
+            }
+            out.push_str("},\n");
+            out.push_str("      \"trials\": [");
+            for (j, t) in row.trials.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\n        {{\"seed\": {}, \"metrics\": {{", t.seed);
+                for (k, (name, v)) in t.metrics.iter().enumerate() {
+                    if k > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{}: {}", json_string(name), json_number(*v));
+                }
+                out.push_str("}}");
+            }
+            if !row.trials.is_empty() {
+                out.push_str("\n      ");
+            }
+            out.push_str("]\n    }");
+        }
+        if !self.rows.is_empty() {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Serialize as CSV (schema in the module docs).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("record,label,metric,seed,value,n,mean,std,min,max,p50,p95\n");
+        for row in &self.rows {
+            for t in &row.trials {
+                for (name, v) in &t.metrics {
+                    let _ = writeln!(
+                        out,
+                        "trial,{},{},{},{},,,,,,,",
+                        csv_field(&row.label),
+                        csv_field(name),
+                        t.seed,
+                        csv_number(*v),
+                    );
+                }
+            }
+            for (name, s) in &row.summaries {
+                let _ = writeln!(
+                    out,
+                    "summary,{},{},,,{},{},{},{},{},{},{}",
+                    csv_field(&row.label),
+                    csv_field(name),
+                    s.n,
+                    csv_number(s.mean),
+                    csv_number(s.std),
+                    csv_number(s.min),
+                    csv_number(s.max),
+                    csv_number(s.p50),
+                    csv_number(s.p95),
+                );
+            }
+        }
+        out
+    }
+}
+
+impl ReportRow {
+    /// Append a named summary.
+    pub fn summary(&mut self, name: impl Into<String>, s: Summary) -> &mut Self {
+        self.summaries.push((name.into(), s));
+        self
+    }
+
+    /// Append a single scalar as a one-point summary — for worked-example
+    /// presets whose rows are single measurements, not samples.
+    pub fn value(&mut self, name: impl Into<String>, v: f64) -> &mut Self {
+        self.summaries.push((name.into(), Summary::of(&[v])));
+        self
+    }
+}
+
+/// JSON string escaping (control characters, quotes, backslash).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A float as a JSON number; non-finite values become `null`.
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A float as a CSV cell; non-finite values become the empty cell.
+fn csv_number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        String::new()
+    }
+}
+
+/// RFC 4180 quoting for fields containing delimiters or quotes.
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        let mut r = Report::new("smoke", "sweep", 1, 2);
+        let row = r.row("BAS-2");
+        row.summaries.push(("energy_j".into(), Summary::of(&[1.0, 3.0])));
+        row.trials.push(SeedRecord { seed: 11, metrics: vec![("energy_j".into(), 1.0)] });
+        row.trials.push(SeedRecord { seed: 12, metrics: vec![("energy_j".into(), 3.0)] });
+        r
+    }
+
+    #[test]
+    fn json_has_schema_labels_and_seeds() {
+        let j = sample_report().to_json();
+        assert!(j.contains("\"schema\": \"bas-report/v1\""), "{j}");
+        assert!(j.contains("\"label\": \"BAS-2\""), "{j}");
+        assert!(j.contains("\"seed\": 11"), "{j}");
+        assert!(j.contains("\"p95\":"), "{j}");
+        // Balanced braces/brackets (cheap well-formedness check).
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(
+                j.matches(open).count(),
+                j.matches(close).count(),
+                "unbalanced {open}{close}\n{j}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_report_is_well_formed() {
+        let j = Report::new("empty", "sweep", 0, 0).to_json();
+        assert!(j.contains("\"rows\": []"), "{j}");
+    }
+
+    #[test]
+    fn csv_has_header_trials_and_summaries() {
+        let c = sample_report().to_csv();
+        let mut lines = c.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "record,label,metric,seed,value,n,mean,std,min,max,p50,p95"
+        );
+        assert!(c.contains("trial,BAS-2,energy_j,11,1,,,,,,,"), "{c}");
+        assert!(c.lines().any(|l| l.starts_with("summary,BAS-2,energy_j,,,2,2,")), "{c}");
+        let width = c.lines().next().unwrap().split(',').count();
+        for line in c.lines() {
+            assert_eq!(line.split(',').count(), width, "ragged row: {line}");
+        }
+    }
+
+    #[test]
+    fn non_finite_values_do_not_break_the_formats() {
+        let mut r = Report::new("n", "k", 0, 0);
+        r.row("empty").summary("x", Summary::of(&[]));
+        assert!(r.to_json().contains("\"mean\": null"), "{}", r.to_json());
+        assert!(r.to_csv().contains("summary,empty,x,,,0,,,,,,"), "{}", r.to_csv());
+    }
+
+    #[test]
+    fn csv_quotes_awkward_labels() {
+        let mut r = Report::new("n", "k", 0, 0);
+        r.row("a,b\"c").value("m", 1.0);
+        assert!(r.to_csv().contains("\"a,b\"\"c\""), "{}", r.to_csv());
+    }
+
+    #[test]
+    fn from_sweep_carries_per_seed_metrics() {
+        use crate::{SchedulerSpec, Sweep};
+        use bas_cpu::presets::unit_processor;
+        use bas_taskgraph::TaskSetConfig;
+        let proc = unit_processor();
+        let sweep = Sweep::over_seeds(1, 3)
+            .spec(SchedulerSpec::edf())
+            .workload(TaskSetConfig::default())
+            .processor(&proc)
+            .horizon(100.0)
+            .run()
+            .unwrap();
+        let report = Report::from_sweep("test", "sweep", &sweep);
+        assert_eq!(report.trials, 3);
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(report.rows[0].trials.len(), 3);
+        assert_eq!(report.rows[0].trials[0].seed, Sweep::seed_for(1, 0));
+        assert!(report.rows[0].summaries.iter().any(|(n, _)| n == "energy_j"));
+        // No battery: no lifetime metrics.
+        assert!(!report.rows[0].summaries.iter().any(|(n, _)| n == "lifetime_min"));
+    }
+}

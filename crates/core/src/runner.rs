@@ -30,9 +30,6 @@
 //! assert_eq!(out.metrics.deadline_misses, 0);
 //! ```
 //!
-//! The old `simulate_*` free functions live on as deprecated shims in
-//! [`crate::compat`] (re-exported here) for one release.
-
 use crate::estimator::EmaEstimator;
 use crate::policy::BasPolicy;
 use crate::priority::{Ltf, Pubs, RandomPriority, Stf};
@@ -40,13 +37,6 @@ use bas_dvs::{CcEdf, LaEdf, NoDvs};
 use bas_sim::{ActualSampler, FrequencyGovernor, PersistentFraction, TaskPolicy, UniformFraction};
 use std::fmt;
 use std::str::FromStr;
-
-// Deprecated one-call façade, kept importable from its historical paths.
-#[allow(deprecated)]
-pub use crate::compat::{
-    simulate, simulate_lean, simulate_lean_custom, simulate_with_battery,
-    simulate_with_battery_custom, simulate_with_battery_freq,
-};
 
 /// Which DVS governor drives the frequency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -90,6 +80,40 @@ impl SamplerKind {
         match self {
             SamplerKind::IidUniform => Box::new(UniformFraction::paper(seed)),
             SamplerKind::Persistent => Box::new(PersistentFraction::paper(seed)),
+        }
+    }
+}
+
+impl fmt::Display for SamplerKind {
+    /// The canonical scenario-file name: `iid` or `persistent`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SamplerKind::IidUniform => "iid",
+            SamplerKind::Persistent => "persistent",
+        })
+    }
+}
+
+/// Error parsing a [`SamplerKind`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSamplerError(String);
+
+impl fmt::Display for ParseSamplerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid sampler {:?}: expected iid|persistent", self.0)
+    }
+}
+
+impl std::error::Error for ParseSamplerError {}
+
+impl FromStr for SamplerKind {
+    type Err = ParseSamplerError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "iid" => Ok(SamplerKind::IidUniform),
+            "persistent" => Ok(SamplerKind::Persistent),
+            other => Err(ParseSamplerError(other.to_string())),
         }
     }
 }
@@ -371,6 +395,14 @@ mod tests {
             let e = junk.parse::<SchedulerSpec>().unwrap_err();
             assert!(e.to_string().contains("expected"), "{junk}: {e}");
         }
+    }
+
+    #[test]
+    fn sampler_kind_round_trips_through_strings() {
+        for kind in [SamplerKind::IidUniform, SamplerKind::Persistent] {
+            assert_eq!(kind.to_string().parse::<SamplerKind>().unwrap(), kind);
+        }
+        assert!("gaussian".parse::<SamplerKind>().is_err());
     }
 
     #[test]

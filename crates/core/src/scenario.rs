@@ -1,0 +1,815 @@
+//! Declarative experiment scenarios — the file-driven experiment surface.
+//!
+//! A [`Scenario`] is the complete, serializable description of one
+//! experiment: which experiment shape ([`ScenarioKind`]), the workload
+//! family, the scheduler lineup, the processor and battery presets (by
+//! name — see `bas_cpu::presets::by_name` and `bas_battery::registry`),
+//! the sampler, horizon, seed range and thread count. Scenarios round-trip
+//! through a TOML subset (see [`crate::toml`]), so the whole evaluation is
+//! drivable from checked-in files:
+//!
+//! ```text
+//! # scenarios/smoke.toml
+//! name = "smoke"
+//! kind = "sweep"
+//! trials = 2
+//! seed = 1
+//! specs = ["EDF", "BAS-2"]
+//! ...
+//! ```
+//!
+//! Every paper artifact is a preset scenario ([`Scenario::preset`]); the
+//! generic [`ScenarioKind::Sweep`] opens arbitrary new workloads — any
+//! lineup × workload × platform combination — without writing a binary.
+//!
+//! Each kind serializes exactly its relevant knobs ([`ScenarioKind::fields`])
+//! and rejects unknown keys, so a typo in a scenario file is an error, not a
+//! silently ignored setting. Omitted keys take the kind's preset defaults —
+//! the checked-in `scenarios/*.toml` files and the built-in presets are the
+//! same objects.
+
+use crate::experiment::{Sweep, SweepReport};
+use crate::runner::{SamplerKind, SchedulerSpec};
+use crate::toml::{self, Value};
+use crate::workloads::{paper_scale_config, unit_scale_config};
+use bas_battery::BatteryModel;
+use bas_cpu::{FreqPolicy, Processor};
+use bas_taskgraph::{TaskSet, TaskSetConfig};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which experiment shape a scenario describes. One kind per paper artifact
+/// plus the open-ended [`ScenarioKind::Sweep`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScenarioKind {
+    /// A generic sweep: scheduler lineup × workload × platform, the shape of
+    /// the paper's whole evaluation, with every knob open.
+    Sweep,
+    /// Table 1 — single-DAG ordering vs exhaustive optimum.
+    Table1,
+    /// Table 2 — charge delivered & battery lifetime per scheduler.
+    Table2,
+    /// Figure 4 — LTF vs STF motivational traces.
+    Fig4,
+    /// Figure 5 — canonical EDF vs pUBS+feasibility traces.
+    Fig5,
+    /// Figure 6 — ordering schemes normalized to near-optimal.
+    Fig6,
+    /// §3 guideline experiments (G1 shape, G2 no-idle).
+    Guidelines,
+    /// Utilization sweep — where the battery-aware gains appear.
+    Crossover,
+    /// Design-choice ablations.
+    Ablation,
+    /// §5 load-vs-delivered-capacity curve + extrapolation.
+    CapacityCurve,
+}
+
+impl ScenarioKind {
+    /// Every kind, in presentation order.
+    pub const ALL: [ScenarioKind; 10] = [
+        ScenarioKind::Sweep,
+        ScenarioKind::Table1,
+        ScenarioKind::Table2,
+        ScenarioKind::Fig4,
+        ScenarioKind::Fig5,
+        ScenarioKind::Fig6,
+        ScenarioKind::Guidelines,
+        ScenarioKind::Crossover,
+        ScenarioKind::Ablation,
+        ScenarioKind::CapacityCurve,
+    ];
+
+    /// The scenario-file name of the kind (`"capacity-curve"` style).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScenarioKind::Sweep => "sweep",
+            ScenarioKind::Table1 => "table1",
+            ScenarioKind::Table2 => "table2",
+            ScenarioKind::Fig4 => "fig4",
+            ScenarioKind::Fig5 => "fig5",
+            ScenarioKind::Fig6 => "fig6",
+            ScenarioKind::Guidelines => "guidelines",
+            ScenarioKind::Crossover => "crossover",
+            ScenarioKind::Ablation => "ablation",
+            ScenarioKind::CapacityCurve => "capacity-curve",
+        }
+    }
+
+    /// One-line description (shown by `bas list`).
+    pub fn describe(&self) -> &'static str {
+        match self {
+            ScenarioKind::Sweep => "generic scheduler lineup × workload × platform sweep",
+            ScenarioKind::Table1 => "Table 1: single-DAG ordering vs exhaustive optimum",
+            ScenarioKind::Table2 => "Table 2: charge delivered & battery lifetime per scheduler",
+            ScenarioKind::Fig4 => "Figure 4: LTF vs STF motivational traces",
+            ScenarioKind::Fig5 => "Figure 5: canonical EDF vs pUBS+feasibility traces",
+            ScenarioKind::Fig6 => "Figure 6: ordering schemes normalized to near-optimal",
+            ScenarioKind::Guidelines => "§3 guideline experiments (G1 shape, G2 no-idle)",
+            ScenarioKind::Crossover => "utilization sweep: where the battery-aware gains appear",
+            ScenarioKind::Ablation => {
+                "design-choice ablations (freq, estimator, feasibility, Ceff)"
+            }
+            ScenarioKind::CapacityCurve => "§5 load-vs-delivered-capacity curve + extrapolation",
+        }
+    }
+
+    /// The serialized knobs of this kind, in file order. `name` and `kind`
+    /// are always present and not listed here.
+    pub fn fields(&self) -> &'static [&'static str] {
+        match self {
+            ScenarioKind::Sweep => &[
+                "trials",
+                "seed",
+                "threads",
+                "graphs",
+                "util",
+                "horizon",
+                "specs",
+                "workload",
+                "processor",
+                "battery",
+                "sampler",
+                "freq",
+            ],
+            ScenarioKind::Table1 => {
+                &["trials", "seed", "threads", "util", "freq", "shape", "processor", "noise"]
+            }
+            ScenarioKind::Table2 => &[
+                "trials", "seed", "threads", "graphs", "util", "horizon", "battery", "freq",
+                "sampler",
+            ],
+            ScenarioKind::Fig4 => &[],
+            ScenarioKind::Fig5 => &["horizon"],
+            ScenarioKind::Fig6 => {
+                &["trials", "seed", "threads", "util", "governor", "max_graphs", "horizon_periods"]
+            }
+            ScenarioKind::Guidelines => &[],
+            ScenarioKind::Crossover => &["trials", "seed", "threads"],
+            ScenarioKind::Ablation => &["trials", "seed"],
+            ScenarioKind::CapacityCurve => &["points", "lo", "hi"],
+        }
+    }
+}
+
+impl fmt::Display for ScenarioKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ScenarioKind {
+    type Err = ScenarioError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ScenarioKind::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| ScenarioError::invalid("kind", format!("unknown kind {s:?}")))
+    }
+}
+
+/// The full, serializable description of one experiment. Construct with
+/// [`Scenario::preset`] (the paper artifacts) or deserialize from a file
+/// with [`Scenario::from_toml`] / [`Scenario::load`].
+///
+/// The struct is a flat union of every kind's knobs; only the fields the
+/// kind lists in [`ScenarioKind::fields`] are serialized or overridable —
+/// the rest stay at their defaults and are ignored by the runner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (defaults to the kind name; file loads may override).
+    pub name: String,
+    /// The experiment shape.
+    pub kind: ScenarioKind,
+    /// Trials per measured cell.
+    pub trials: usize,
+    /// Base seed the trial seeds derive from ([`Sweep::seed_for`]).
+    pub seed: u64,
+    /// Worker threads (0 = available cores).
+    pub threads: usize,
+    /// Task graphs per generated set.
+    pub graphs: usize,
+    /// Target worst-case utilization of generated sets.
+    pub util: f64,
+    /// Simulated-time bound, seconds (battery runs are censored at it).
+    pub horizon: f64,
+    /// Scheduler lineup, as [`SchedulerSpec`] labels/aliases. The label in
+    /// reports is the string as written (`"BAS-2"` stays `BAS-2`).
+    pub specs: Vec<String>,
+    /// Workload family: `paper` (mega-cycle WCETs on the GHz platform) or
+    /// `unit` (dimensionless).
+    pub workload: String,
+    /// Processor preset name (`bas_cpu::presets::by_name`).
+    pub processor: String,
+    /// Battery preset name (`bas_battery::registry::by_name`), or `none`
+    /// for horizon-only simulation.
+    pub battery: String,
+    /// How actual computations are drawn.
+    pub sampler: SamplerKind,
+    /// How continuous `fref` maps onto the discrete operating points.
+    pub freq: FreqPolicy,
+    /// Graph shape for Table 1: `layered`, `fifo` or `independent`.
+    pub shape: String,
+    /// DVS governor for Figure 6: `ccedf` or `laedf`.
+    pub governor: String,
+    /// Relative accuracy of the modelled `Xk` estimator (Table 1).
+    pub noise: f64,
+    /// Largest graph count of the Figure 6 sweep.
+    pub max_graphs: usize,
+    /// Horizon in multiples of the longest period (Figure 6).
+    pub horizon_periods: f64,
+    /// Number of load points on the capacity curve.
+    pub points: usize,
+    /// Lowest constant load of the capacity curve, amperes.
+    pub lo: f64,
+    /// Highest constant load of the capacity curve, amperes.
+    pub hi: f64,
+}
+
+/// The salt folded into per-trial battery seeds, so the battery's stochastic
+/// stream is decorrelated from the workload/sampler stream of the same
+/// trial. (The historical `table2` binary introduced this value; the generic
+/// sweep keeps it so results stay comparable.)
+pub const BATTERY_SEED_SALT: u64 = 0xba77_e4ee;
+
+impl Scenario {
+    /// The built-in scenario for `kind`, with the defaults the historical
+    /// per-artifact binaries used.
+    pub fn preset(kind: ScenarioKind) -> Scenario {
+        let mut s = Scenario {
+            name: kind.name().to_string(),
+            kind,
+            trials: 100,
+            seed: 1,
+            threads: 0,
+            graphs: 4,
+            util: 0.7,
+            horizon: 24.0 * 3600.0,
+            specs: ["EDF", "ccEDF", "laEDF", "BAS-1", "BAS-2"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            workload: "paper".to_string(),
+            processor: "paper".to_string(),
+            battery: "stochastic".to_string(),
+            sampler: SamplerKind::Persistent,
+            freq: FreqPolicy::RoundUp,
+            shape: "layered".to_string(),
+            governor: "ccedf".to_string(),
+            noise: 0.25,
+            max_graphs: 8,
+            horizon_periods: 4.0,
+            points: 13,
+            lo: 0.02,
+            hi: 20.0,
+        };
+        match kind {
+            ScenarioKind::Sweep => s.trials = 20,
+            ScenarioKind::Table1 => {
+                s.freq = FreqPolicy::Interpolate;
+                s.processor = "dense".to_string();
+            }
+            ScenarioKind::Table2 => {}
+            ScenarioKind::Fig4 | ScenarioKind::Guidelines | ScenarioKind::CapacityCurve => {}
+            ScenarioKind::Fig5 => s.horizon = 100.0,
+            ScenarioKind::Fig6 => s.trials = 40,
+            ScenarioKind::Crossover | ScenarioKind::Ablation => s.trials = 6,
+        }
+        s
+    }
+
+    // ---------------------------------------------------------------- codec
+
+    /// Serialize to the TOML subset of [`crate::toml`]: `name`, `kind`, then
+    /// the kind's fields in [`ScenarioKind::fields`] order.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("name = {}\n", Value::Str(self.name.clone()).render()));
+        out.push_str(&format!("kind = {}\n", Value::Str(self.kind.name().into()).render()));
+        for key in self.kind.fields() {
+            out.push_str(&format!("{key} = {}\n", self.value_of(key).render()));
+        }
+        out
+    }
+
+    /// Deserialize from the TOML subset. Missing keys take the kind's preset
+    /// defaults; keys the kind does not list are errors. The result is
+    /// validated ([`Scenario::validate`]).
+    pub fn from_toml(input: &str) -> Result<Scenario, ScenarioError> {
+        let doc = toml::parse(input).map_err(ScenarioError::Toml)?;
+        let kind: ScenarioKind = doc
+            .get("kind")
+            .ok_or_else(|| ScenarioError::invalid("kind", "missing `kind` key"))?
+            .as_str()
+            .ok_or_else(|| ScenarioError::invalid("kind", "`kind` must be a string"))?
+            .parse()?;
+        let mut s = Scenario::preset(kind);
+        for (key, value) in &doc {
+            match key.as_str() {
+                "kind" => {}
+                "name" => {
+                    s.name = value
+                        .as_str()
+                        .ok_or_else(|| ScenarioError::invalid("name", "must be a string"))?
+                        .to_string();
+                }
+                key if kind.fields().contains(&key) => s.set_value(key, value)?,
+                key => {
+                    return Err(ScenarioError::invalid(
+                        key,
+                        format!(
+                            "unknown key for kind `{kind}` (valid: name, kind{}{})",
+                            if kind.fields().is_empty() { "" } else { ", " },
+                            kind.fields().join(", ")
+                        ),
+                    ));
+                }
+            }
+        }
+        s.validate()?;
+        Ok(s)
+    }
+
+    /// Load and deserialize a scenario file.
+    pub fn load(path: &std::path::Path) -> Result<Scenario, ScenarioError> {
+        let input = std::fs::read_to_string(path)
+            .map_err(|e| ScenarioError::Io(format!("{}: {e}", path.display())))?;
+        Scenario::from_toml(&input).map_err(|e| match e {
+            ScenarioError::Toml(t) => ScenarioError::Io(format!("{}: {t}", path.display())),
+            other => other,
+        })
+    }
+
+    /// Apply a `key = value` override from a CLI flag. `key` must be one of
+    /// the kind's fields (or `name`); `value` is parsed like the TOML form
+    /// (for `specs`, a comma-separated list). Call
+    /// [`Scenario::validate`] after the last override.
+    pub fn set(&mut self, key: &str, value: &str) -> Result<(), ScenarioError> {
+        if key == "name" {
+            self.name = value.to_string();
+            return Ok(());
+        }
+        if !self.kind.fields().contains(&key) {
+            return Err(ScenarioError::invalid(
+                key,
+                format!(
+                    "not a knob of kind `{}` (valid: {})",
+                    self.kind,
+                    self.kind.fields().join(", ")
+                ),
+            ));
+        }
+        let parsed = if key == "specs" {
+            Value::Array(value.split(',').map(|s| Value::Str(s.trim().to_string())).collect())
+        } else {
+            match self.value_of(key) {
+                Value::Int(_) => Value::Int(value.parse::<i64>().map_err(|_| {
+                    ScenarioError::invalid(key, format!("expected an integer, got {value:?}"))
+                })?),
+                Value::Float(_) => Value::Float(value.parse::<f64>().map_err(|_| {
+                    ScenarioError::invalid(key, format!("expected a number, got {value:?}"))
+                })?),
+                _ => Value::Str(value.to_string()),
+            }
+        };
+        self.set_value(key, &parsed)
+    }
+
+    /// The serialized value of one field.
+    fn value_of(&self, key: &str) -> Value {
+        match key {
+            "trials" => Value::Int(self.trials as i64),
+            "seed" => Value::Int(self.seed as i64),
+            "threads" => Value::Int(self.threads as i64),
+            "graphs" => Value::Int(self.graphs as i64),
+            "util" => Value::Float(self.util),
+            "horizon" => Value::Float(self.horizon),
+            "specs" => Value::Array(self.specs.iter().cloned().map(Value::Str).collect()),
+            "workload" => Value::Str(self.workload.clone()),
+            "processor" => Value::Str(self.processor.clone()),
+            "battery" => Value::Str(self.battery.clone()),
+            "sampler" => Value::Str(self.sampler.to_string()),
+            "freq" => Value::Str(self.freq.to_string()),
+            "shape" => Value::Str(self.shape.clone()),
+            "governor" => Value::Str(self.governor.clone()),
+            "noise" => Value::Float(self.noise),
+            "max_graphs" => Value::Int(self.max_graphs as i64),
+            "horizon_periods" => Value::Float(self.horizon_periods),
+            "points" => Value::Int(self.points as i64),
+            "lo" => Value::Float(self.lo),
+            "hi" => Value::Float(self.hi),
+            other => unreachable!("unlisted field {other}"),
+        }
+    }
+
+    /// Set one field from a parsed TOML value.
+    fn set_value(&mut self, key: &str, value: &Value) -> Result<(), ScenarioError> {
+        let uint = |v: &Value| -> Option<u64> { v.as_int().and_then(|i| u64::try_from(i).ok()) };
+        let bad = |expected: &str| ScenarioError::invalid(key, format!("expected {expected}"));
+        match key {
+            "trials" => {
+                self.trials = uint(value).ok_or_else(|| bad("a non-negative integer"))? as usize
+            }
+            "seed" => self.seed = uint(value).ok_or_else(|| bad("a non-negative integer"))?,
+            "threads" => {
+                self.threads = uint(value).ok_or_else(|| bad("a non-negative integer"))? as usize;
+            }
+            "graphs" => {
+                self.graphs = uint(value).ok_or_else(|| bad("a non-negative integer"))? as usize
+            }
+            "util" => self.util = value.as_float().ok_or_else(|| bad("a number"))?,
+            "horizon" => self.horizon = value.as_float().ok_or_else(|| bad("a number"))?,
+            "specs" => {
+                self.specs = value.as_str_array().ok_or_else(|| bad("an array of strings"))?;
+            }
+            "workload" => {
+                self.workload = value.as_str().ok_or_else(|| bad("a string"))?.to_string();
+            }
+            "processor" => {
+                self.processor = value.as_str().ok_or_else(|| bad("a string"))?.to_string();
+            }
+            "battery" => {
+                self.battery = value.as_str().ok_or_else(|| bad("a string"))?.to_string();
+            }
+            "sampler" => {
+                self.sampler = value.as_str().ok_or_else(|| bad("a string"))?.parse().map_err(
+                    |e: crate::runner::ParseSamplerError| {
+                        ScenarioError::invalid(key, e.to_string())
+                    },
+                )?;
+            }
+            "freq" => {
+                self.freq = value.as_str().ok_or_else(|| bad("a string"))?.parse().map_err(
+                    |e: bas_cpu::ParseFreqPolicyError| ScenarioError::invalid(key, e.to_string()),
+                )?;
+            }
+            "shape" => self.shape = value.as_str().ok_or_else(|| bad("a string"))?.to_string(),
+            "governor" => {
+                self.governor = value.as_str().ok_or_else(|| bad("a string"))?.to_string();
+            }
+            "noise" => self.noise = value.as_float().ok_or_else(|| bad("a number"))?,
+            "max_graphs" => {
+                self.max_graphs =
+                    uint(value).ok_or_else(|| bad("a non-negative integer"))? as usize;
+            }
+            "horizon_periods" => {
+                self.horizon_periods = value.as_float().ok_or_else(|| bad("a number"))?;
+            }
+            "points" => {
+                self.points = uint(value).ok_or_else(|| bad("a non-negative integer"))? as usize
+            }
+            "lo" => self.lo = value.as_float().ok_or_else(|| bad("a number"))?,
+            "hi" => self.hi = value.as_float().ok_or_else(|| bad("a number"))?,
+            other => unreachable!("unlisted field {other}"),
+        }
+        Ok(())
+    }
+
+    // ----------------------------------------------------------- validation
+
+    /// Check every knob the kind uses for consistency: spec labels parse,
+    /// preset names resolve, numeric ranges make sense.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        let uses = |field: &str| self.kind.fields().contains(&field);
+        if uses("trials") && self.trials == 0 {
+            return Err(ScenarioError::invalid("trials", "must be >= 1"));
+        }
+        if uses("seed") && i64::try_from(self.seed).is_err() {
+            return Err(ScenarioError::invalid("seed", "must fit in a TOML integer (i64)"));
+        }
+        if uses("util") && !(self.util > 0.0 && self.util <= 1.0) {
+            return Err(ScenarioError::invalid("util", "must be in (0, 1]"));
+        }
+        if uses("graphs") && self.graphs == 0 {
+            return Err(ScenarioError::invalid("graphs", "must be >= 1"));
+        }
+        if uses("horizon") && (self.horizon.is_nan() || self.horizon <= 0.0) {
+            return Err(ScenarioError::invalid("horizon", "must be > 0"));
+        }
+        if uses("specs") {
+            if self.specs.is_empty() {
+                return Err(ScenarioError::invalid("specs", "must name at least one scheduler"));
+            }
+            for label in &self.specs {
+                label
+                    .parse::<SchedulerSpec>()
+                    .map_err(|e| ScenarioError::invalid("specs", e.to_string()))?;
+            }
+        }
+        if uses("workload") && !matches!(self.workload.as_str(), "paper" | "unit") {
+            return Err(ScenarioError::invalid(
+                "workload",
+                format!("unknown workload {:?}: expected paper|unit", self.workload),
+            ));
+        }
+        if uses("processor") && bas_cpu::presets::by_name(&self.processor).is_none() {
+            return Err(ScenarioError::invalid(
+                "processor",
+                format!(
+                    "unknown processor {:?}: expected one of {}",
+                    self.processor,
+                    bas_cpu::presets::NAMES.join("|")
+                ),
+            ));
+        }
+        if uses("battery")
+            && self.battery != "none"
+            && bas_battery::registry::by_name(&self.battery, 0).is_none()
+        {
+            return Err(ScenarioError::invalid(
+                "battery",
+                format!(
+                    "unknown battery {:?}: expected none or one of {}",
+                    self.battery,
+                    bas_battery::registry::NAMES.join("|")
+                ),
+            ));
+        }
+        if self.kind == ScenarioKind::Table2 && self.battery == "none" {
+            return Err(ScenarioError::invalid("battery", "table2 needs a battery model"));
+        }
+        if uses("shape") && !matches!(self.shape.as_str(), "layered" | "fifo" | "independent") {
+            return Err(ScenarioError::invalid(
+                "shape",
+                format!("unknown shape {:?}: expected layered|fifo|independent", self.shape),
+            ));
+        }
+        if uses("governor") && !matches!(self.governor.as_str(), "ccedf" | "laedf") {
+            return Err(ScenarioError::invalid(
+                "governor",
+                format!("unknown governor {:?}: expected ccedf|laedf", self.governor),
+            ));
+        }
+        if uses("noise") && !(0.0..1.0).contains(&self.noise) {
+            return Err(ScenarioError::invalid("noise", "must be in [0, 1)"));
+        }
+        if uses("max_graphs") && self.max_graphs == 0 {
+            return Err(ScenarioError::invalid("max_graphs", "must be >= 1"));
+        }
+        if uses("horizon_periods") && (self.horizon_periods.is_nan() || self.horizon_periods <= 0.0)
+        {
+            return Err(ScenarioError::invalid("horizon_periods", "must be > 0"));
+        }
+        if uses("points") && self.points < 2 {
+            return Err(ScenarioError::invalid("points", "need >= 2 points to extrapolate"));
+        }
+        if uses("lo") && (self.lo.is_nan() || self.lo <= 0.0) {
+            return Err(ScenarioError::invalid("lo", "must be > 0"));
+        }
+        if uses("hi") && (self.hi.is_nan() || self.hi <= self.lo) {
+            return Err(ScenarioError::invalid("hi", "must be > lo"));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------- building
+
+    /// The lineup as labelled [`SchedulerSpec`]s, labels as written.
+    pub fn parsed_specs(&self) -> Result<Vec<(String, SchedulerSpec)>, ScenarioError> {
+        self.specs
+            .iter()
+            .map(|label| {
+                label
+                    .parse::<SchedulerSpec>()
+                    .map(|spec| (label.clone(), spec))
+                    .map_err(|e| ScenarioError::invalid("specs", e.to_string()))
+            })
+            .collect()
+    }
+
+    /// Resolve the processor preset.
+    pub fn build_processor(&self) -> Result<Processor, ScenarioError> {
+        bas_cpu::presets::by_name(&self.processor).ok_or_else(|| {
+            ScenarioError::invalid("processor", format!("unknown processor {:?}", self.processor))
+        })
+    }
+
+    /// Build a fresh battery for a trial seed, or `None` for `battery =
+    /// "none"`. The trial seed is salted with [`BATTERY_SEED_SALT`].
+    pub fn build_battery(&self, trial_seed: u64) -> Option<Box<dyn BatteryModel>> {
+        if self.battery == "none" {
+            return None;
+        }
+        bas_battery::registry::by_name(&self.battery, trial_seed ^ BATTERY_SEED_SALT)
+    }
+
+    /// The generated-workload family (`workload`/`graphs`/`util` knobs).
+    pub fn workload_config(&self) -> Result<TaskSetConfig, ScenarioError> {
+        match self.workload.as_str() {
+            "paper" => Ok(paper_scale_config(self.graphs, self.util)),
+            "unit" => Ok(unit_scale_config(self.graphs, self.util)),
+            other => Err(ScenarioError::invalid(
+                "workload",
+                format!("unknown workload {other:?}: expected paper|unit"),
+            )),
+        }
+    }
+
+    /// Run a [`ScenarioKind::Sweep`] scenario over its generated workload.
+    ///
+    /// The bespoke per-artifact kinds are run by the `bas` CLI (they need
+    /// their historical text renderings); the generic sweep is runnable
+    /// straight from the library — this is what the examples use.
+    pub fn run_sweep(&self) -> Result<SweepReport, ScenarioError> {
+        let config = self.workload_config()?;
+        self.run_sweep_inner(|sweep| sweep.workload(config))
+    }
+
+    /// Like [`Scenario::run_sweep`], but over a fixed, caller-built task set
+    /// (the scenario's `workload`/`graphs`/`util` knobs are ignored).
+    pub fn run_sweep_with_set(&self, set: &TaskSet) -> Result<SweepReport, ScenarioError> {
+        self.run_sweep_inner(|sweep| sweep.set(set))
+    }
+
+    fn run_sweep_inner<'a, F>(&'a self, attach_workload: F) -> Result<SweepReport, ScenarioError>
+    where
+        F: FnOnce(Sweep<'a>) -> Sweep<'a>,
+    {
+        if self.kind != ScenarioKind::Sweep {
+            return Err(ScenarioError::invalid(
+                "kind",
+                format!("run_sweep only runs `sweep` scenarios, not `{}`", self.kind),
+            ));
+        }
+        self.validate()?;
+        let processor = self.build_processor()?;
+        let mut sweep = attach_workload(Sweep::over_seeds(self.seed, self.trials))
+            .specs(self.parsed_specs()?)
+            .processor(&processor)
+            .horizon(self.horizon)
+            .threads(self.threads)
+            .sampler(self.sampler)
+            .freq_policy(self.freq);
+        if self.battery != "none" {
+            sweep = sweep
+                .battery(|seed| self.build_battery(seed).expect("battery name validated above"));
+        }
+        sweep.run().map_err(|e| ScenarioError::Sweep(e.to_string()))
+    }
+}
+
+/// Anything that can go wrong loading, validating or running a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The file is not in the supported TOML subset.
+    Toml(toml::ParseError),
+    /// A key failed validation; carries the key and the reason.
+    Invalid {
+        /// The offending key.
+        key: String,
+        /// Why it was rejected.
+        message: String,
+    },
+    /// The file could not be read.
+    Io(String),
+    /// The underlying sweep failed.
+    Sweep(String),
+}
+
+impl ScenarioError {
+    fn invalid(key: &str, message: impl Into<String>) -> Self {
+        ScenarioError::Invalid { key: key.to_string(), message: message.into() }
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Toml(e) => write!(f, "scenario parse error: {e}"),
+            ScenarioError::Invalid { key, message } => write!(f, "scenario key `{key}`: {message}"),
+            ScenarioError::Io(e) => write!(f, "scenario file: {e}"),
+            ScenarioError::Sweep(e) => write!(f, "sweep failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_preset_round_trips_through_toml() {
+        for kind in ScenarioKind::ALL {
+            let scenario = Scenario::preset(kind);
+            scenario.validate().unwrap_or_else(|e| panic!("{kind}: {e}"));
+            let text = scenario.to_toml();
+            let parsed =
+                Scenario::from_toml(&text).unwrap_or_else(|e| panic!("{kind}: {e}\n{text}"));
+            assert_eq!(parsed, scenario, "{kind}\n{text}");
+        }
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in ScenarioKind::ALL {
+            assert_eq!(kind.name().parse::<ScenarioKind>().unwrap(), kind);
+        }
+        assert!("table3".parse::<ScenarioKind>().is_err());
+    }
+
+    #[test]
+    fn omitted_keys_take_preset_defaults() {
+        let s = Scenario::from_toml("kind = \"table2\"\ntrials = 5\n").unwrap();
+        assert_eq!(s.trials, 5);
+        assert_eq!(s.seed, Scenario::preset(ScenarioKind::Table2).seed);
+        assert_eq!(s.battery, "stochastic");
+        assert_eq!(s.name, "table2");
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected_per_kind() {
+        // `points` belongs to capacity-curve, not table2.
+        let e = Scenario::from_toml("kind = \"table2\"\npoints = 9\n").unwrap_err();
+        assert!(e.to_string().contains("unknown key"), "{e}");
+        // Typos are caught, not ignored.
+        let e = Scenario::from_toml("kind = \"sweep\"\ntrails = 5\n").unwrap_err();
+        assert!(e.to_string().contains("trails"), "{e}");
+    }
+
+    #[test]
+    fn bad_values_are_rejected_with_the_key_named() {
+        for (input, key) in [
+            ("kind = \"sweep\"\nspecs = [\"EDF\", \"bogus\"]\n", "specs"),
+            ("kind = \"sweep\"\nbattery = \"fusion\"\n", "battery"),
+            ("kind = \"sweep\"\nprocessor = \"granite\"\n", "processor"),
+            ("kind = \"sweep\"\nsampler = \"gaussian\"\n", "sampler"),
+            ("kind = \"sweep\"\nfreq = \"fast\"\n", "freq"),
+            ("kind = \"sweep\"\nutil = 1.5\n", "util"),
+            ("kind = \"sweep\"\ntrials = 0\n", "trials"),
+            ("kind = \"sweep\"\nseed = -1\n", "seed"),
+            ("kind = \"table1\"\nshape = \"star\"\n", "shape"),
+            ("kind = \"fig6\"\ngovernor = \"ondemand\"\n", "governor"),
+            ("kind = \"capacity-curve\"\nhi = 0.001\n", "hi"),
+            ("kind = \"table2\"\nbattery = \"none\"\n", "battery"),
+        ] {
+            let e = Scenario::from_toml(input).unwrap_err();
+            assert!(e.to_string().contains(key), "{input:?} -> {e}");
+        }
+    }
+
+    #[test]
+    fn missing_kind_is_an_error() {
+        assert!(Scenario::from_toml("name = \"x\"\n").is_err());
+    }
+
+    #[test]
+    fn cli_overrides_parse_like_the_file_form() {
+        let mut s = Scenario::preset(ScenarioKind::Sweep);
+        s.set("trials", "7").unwrap();
+        s.set("util", "0.5").unwrap();
+        s.set("specs", "EDF, BAS-2cc").unwrap();
+        s.set("battery", "kibam").unwrap();
+        assert_eq!(s.trials, 7);
+        assert_eq!(s.util, 0.5);
+        assert_eq!(s.specs, vec!["EDF", "BAS-2cc"]);
+        s.validate().unwrap();
+        assert!(s.set("trials", "many").is_err());
+        assert!(s.set("points", "9").is_err(), "points is not a sweep knob");
+    }
+
+    #[test]
+    fn sweep_scenario_runs_end_to_end() {
+        let mut s = Scenario::preset(ScenarioKind::Sweep);
+        s.set("trials", "2").unwrap();
+        s.set("specs", "EDF,BAS-2").unwrap();
+        s.set("battery", "none").unwrap();
+        s.set("workload", "unit").unwrap();
+        s.set("processor", "unit").unwrap();
+        s.set("horizon", "200").unwrap();
+        let report = s.run_sweep().unwrap();
+        assert_eq!(report.specs.len(), 2);
+        assert_eq!(report.specs[0].label, "EDF");
+        assert_eq!(report.specs[0].trials.len(), 2);
+        assert!(report.specs[0].lifetime_min.is_none());
+    }
+
+    #[test]
+    fn sweep_scenario_with_battery_reports_lifetime() {
+        let mut s = Scenario::preset(ScenarioKind::Sweep);
+        s.set("trials", "1").unwrap();
+        s.set("specs", "BAS-2cc").unwrap();
+        s.set("battery", "kibam").unwrap();
+        s.set("horizon", "1e6").unwrap();
+        let report = s.run_sweep().unwrap();
+        assert!(report.specs[0].lifetime_min.is_some());
+    }
+
+    #[test]
+    fn non_sweep_kinds_refuse_run_sweep() {
+        let e = Scenario::preset(ScenarioKind::Fig4).run_sweep().unwrap_err();
+        assert!(e.to_string().contains("sweep"), "{e}");
+    }
+
+    #[test]
+    fn spec_labels_stay_as_written() {
+        let mut s = Scenario::preset(ScenarioKind::Sweep);
+        s.set("specs", "BAS-2,laEDF+pUBS/all").unwrap();
+        let parsed = s.parsed_specs().unwrap();
+        assert_eq!(parsed[0].0, "BAS-2");
+        assert_eq!(parsed[1].0, "laEDF+pUBS/all");
+        assert_eq!(parsed[0].1, parsed[1].1, "alias and canonical label are the same spec");
+    }
+}

@@ -4,7 +4,7 @@
 //! layer started returning per-spec summaries; `bas_bench::Summary` remains
 //! as a re-export.
 
-/// Mean / standard deviation / extremes of a sample.
+/// Mean / standard deviation / extremes / percentiles of a sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Sample size.
@@ -17,6 +17,11 @@ pub struct Summary {
     pub min: f64,
     /// Maximum.
     pub max: f64,
+    /// Median (50th percentile, linearly interpolated).
+    pub p50: f64,
+    /// 95th percentile (linearly interpolated). Scenario-diverse workloads
+    /// are not well described by mean ± std alone; the tail matters.
+    pub p95: f64,
 }
 
 impl Summary {
@@ -24,7 +29,15 @@ impl Summary {
     pub fn of(xs: &[f64]) -> Summary {
         let n = xs.len();
         if n == 0 {
-            return Summary { n: 0, mean: f64::NAN, std: f64::NAN, min: f64::NAN, max: f64::NAN };
+            return Summary {
+                n: 0,
+                mean: f64::NAN,
+                std: f64::NAN,
+                min: f64::NAN,
+                max: f64::NAN,
+                p50: f64::NAN,
+                p95: f64::NAN,
+            };
         }
         let mean = xs.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {
@@ -32,13 +45,37 @@ impl Summary {
         } else {
             0.0
         };
-        Summary {
-            n,
-            mean,
-            std: var.sqrt(),
-            min: xs.iter().cloned().fold(f64::INFINITY, f64::min),
-            max: xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
-        }
+        // Order statistics skip NaNs (as the former fold-based min/max did):
+        // a single NaN sample poisons mean/std but not min/max/p50/p95.
+        let mut sorted: Vec<f64> = xs.iter().copied().filter(|x| !x.is_nan()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaNs filtered out"));
+        let (min, max, p50, p95) = if sorted.is_empty() {
+            (f64::NAN, f64::NAN, f64::NAN, f64::NAN)
+        } else {
+            (
+                sorted[0],
+                sorted[sorted.len() - 1],
+                percentile_sorted(&sorted, 0.50),
+                percentile_sorted(&sorted, 0.95),
+            )
+        };
+        Summary { n, mean, std: var.sqrt(), min, max, p50, p95 }
+    }
+}
+
+/// Linearly interpolated percentile of an already-sorted sample (the
+/// "linear" / numpy default convention: rank `q · (n − 1)` interpolated
+/// between its neighbours). `q` in `[0, 1]`.
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
     }
 }
 
@@ -61,6 +98,8 @@ mod tests {
         assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
         assert_eq!(s.min, 1.0);
         assert_eq!(s.max, 4.0);
+        assert!((s.p50 - 2.5).abs() < 1e-12);
+        assert!((s.p95 - 3.85).abs() < 1e-12);
     }
 
     #[test]
@@ -68,6 +107,8 @@ mod tests {
         let s = Summary::of(&[7.0]);
         assert_eq!(s.std, 0.0);
         assert_eq!(s.mean, 7.0);
+        assert_eq!(s.p50, 7.0);
+        assert_eq!(s.p95, 7.0);
     }
 
     #[test]
@@ -75,6 +116,36 @@ mod tests {
         let s = Summary::of(&[]);
         assert_eq!(s.n, 0);
         assert!(s.mean.is_nan());
+        assert!(s.p50.is_nan());
+        assert!(s.p95.is_nan());
+    }
+
+    #[test]
+    fn percentiles_are_order_invariant() {
+        let a = Summary::of(&[5.0, 1.0, 4.0, 2.0, 3.0]);
+        let b = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(a, b);
+        assert_eq!(a.p50, 3.0);
+        assert!((a.p95 - 4.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_of_even_sample_interpolates() {
+        let s = Summary::of(&[1.0, 2.0]);
+        assert!((s.p50 - 1.5).abs() < 1e-12);
+        assert!((s.p95 - 1.95).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_samples_poison_mean_but_not_order_statistics() {
+        let s = Summary::of(&[f64::NAN, 2.0, 1.0]);
+        assert!(s.mean.is_nan());
+        assert!(s.std.is_nan());
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.p50, 1.5);
+        let all_nan = Summary::of(&[f64::NAN, f64::NAN]);
+        assert!(all_nan.min.is_nan() && all_nan.p95.is_nan());
     }
 
     #[test]

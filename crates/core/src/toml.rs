@@ -1,0 +1,395 @@
+//! A hand-rolled offline TOML-subset codec.
+//!
+//! The build environment has no registry access, so scenario files are
+//! (de)serialized with this minimal codec instead of `serde` + `toml`. The
+//! supported subset is deliberately small but is real TOML — any file this
+//! module emits or accepts parses identically under a full TOML parser:
+//!
+//! * one flat table: `key = value` pairs at the top level only;
+//! * values: basic strings (`"..."` with `\"`, `\\`, `\n`, `\t`, `\r`
+//!   escapes), integers, floats (including `inf`/`nan` forms), booleans,
+//!   and single-line arrays of those;
+//! * `#` comments and blank lines.
+//!
+//! Out of scope (rejected with an error, never silently misread): nested
+//! tables, dotted keys, multi-line strings/arrays, dates.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed TOML value (subset).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A basic string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A single-line array.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// Render the value in TOML syntax.
+    pub fn render(&self) -> String {
+        match self {
+            Value::Str(s) => render_string(s),
+            Value::Int(i) => i.to_string(),
+            Value::Float(x) => render_float(*x),
+            Value::Bool(b) => b.to_string(),
+            Value::Array(items) => {
+                let inner: Vec<String> = items.iter().map(|v| v.render()).collect();
+                format!("[{}]", inner.join(", "))
+            }
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an integer, if it is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers coerce, as in most TOML consumers).
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array of strings, if it is one.
+    pub fn as_str_array(&self) -> Option<Vec<String>> {
+        match self {
+            Value::Array(items) => items.iter().map(|v| v.as_str().map(str::to_string)).collect(),
+            _ => None,
+        }
+    }
+}
+
+fn render_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn render_float(x: f64) -> String {
+    if x.is_nan() {
+        "nan".to_string()
+    } else if x.is_infinite() {
+        if x > 0.0 {
+            "inf".to_string()
+        } else {
+            "-inf".to_string()
+        }
+    } else if x == x.trunc() && x.abs() < 1e15 {
+        // TOML floats need a decimal point (or exponent) to stay floats.
+        format!("{x:.1}")
+    } else {
+        // Rust's shortest round-trip formatting; always contains '.' or 'e'.
+        let s = format!("{x}");
+        if s.contains('.') || s.contains('e') || s.contains("inf") || s.contains("nan") {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    }
+}
+
+/// A flat key → value document with stable (insertion-independent,
+/// alphabetical) iteration order.
+pub type Document = BTreeMap<String, Value>;
+
+/// A parse failure, with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError { line, message: message.into() }
+}
+
+/// Parse a flat TOML document.
+pub fn parse(input: &str) -> Result<Document, ParseError> {
+    let mut doc = Document::new();
+    for (ix, raw) in input.lines().enumerate() {
+        let lineno = ix + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(err(lineno, "nested tables are not supported (flat key = value only)"));
+        }
+        let eq = line
+            .find('=')
+            .ok_or_else(|| err(lineno, format!("expected `key = value`, got {line:?}")))?;
+        let key = line[..eq].trim();
+        if key.is_empty() {
+            return Err(err(lineno, "empty key"));
+        }
+        if !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-') {
+            return Err(err(lineno, format!("invalid bare key {key:?}")));
+        }
+        let mut rest = line[eq + 1..].trim();
+        let value = parse_value(&mut rest, lineno)?;
+        let rest = rest.trim();
+        if !rest.is_empty() && !rest.starts_with('#') {
+            return Err(err(lineno, format!("trailing garbage after value: {rest:?}")));
+        }
+        if doc.insert(key.to_string(), value).is_some() {
+            return Err(err(lineno, format!("duplicate key {key:?}")));
+        }
+    }
+    Ok(doc)
+}
+
+/// Parse one value from the front of `rest`, consuming it.
+fn parse_value(rest: &mut &str, lineno: usize) -> Result<Value, ParseError> {
+    *rest = rest.trim_start();
+    if rest.is_empty() {
+        return Err(err(lineno, "missing value"));
+    }
+    if rest.starts_with('"') {
+        return parse_string(rest, lineno);
+    }
+    if rest.starts_with('[') {
+        return parse_array(rest, lineno);
+    }
+    // Bare scalar: runs until a delimiter.
+    let end = rest
+        .find(|c: char| c == ',' || c == ']' || c == '#' || c.is_whitespace())
+        .unwrap_or(rest.len());
+    let token = &rest[..end];
+    *rest = &rest[end..];
+    match token {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        "inf" | "+inf" => return Ok(Value::Float(f64::INFINITY)),
+        "-inf" => return Ok(Value::Float(f64::NEG_INFINITY)),
+        "nan" | "+nan" | "-nan" => return Ok(Value::Float(f64::NAN)),
+        _ => {}
+    }
+    if let Some(clean) = clean_number(token) {
+        if !token.contains('.') && !token.contains('e') && !token.contains('E') {
+            if let Ok(i) = clean.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        if let Ok(x) = clean.parse::<f64>() {
+            // TOML requires digits on both sides of '.'; be strict enough to
+            // reject obvious junk while accepting what we emit.
+            if !token.starts_with('.') && !token.ends_with('.') {
+                return Ok(Value::Float(x));
+            }
+        }
+    }
+    Err(err(lineno, format!("unrecognized value {token:?}")))
+}
+
+/// Apply TOML's numeric-token rules before handing the token to Rust's
+/// number parsers: underscores must be surrounded by digits, and the
+/// mantissa's integer part must not have a leading zero (`01`, `01.5` are
+/// invalid TOML; `0`, `0.5` and exponents like `1e05` are fine). Returns the
+/// underscore-stripped token, or `None` if the token violates the rules.
+fn clean_number(token: &str) -> Option<String> {
+    let bytes = token.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'_' {
+            let prev_digit = i > 0 && bytes[i - 1].is_ascii_digit();
+            let next_digit = i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit();
+            if !(prev_digit && next_digit) {
+                return None;
+            }
+        }
+    }
+    let clean = token.replace('_', "");
+    let unsigned = clean.strip_prefix(['+', '-']).unwrap_or(&clean);
+    let int_part = unsigned.split(['.', 'e', 'E']).next().unwrap_or("");
+    if int_part.len() > 1 && int_part.starts_with('0') {
+        return None;
+    }
+    Some(clean)
+}
+
+fn parse_string(rest: &mut &str, lineno: usize) -> Result<Value, ParseError> {
+    debug_assert!(rest.starts_with('"'));
+    let mut out = String::new();
+    let mut chars = rest.char_indices().skip(1);
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => {
+                *rest = &rest[i + 1..];
+                return Ok(Value::Str(out));
+            }
+            '\\' => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, other)) => {
+                    return Err(err(lineno, format!("unsupported escape \\{other}")));
+                }
+                None => return Err(err(lineno, "unterminated escape")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err(err(lineno, "unterminated string"))
+}
+
+fn parse_array(rest: &mut &str, lineno: usize) -> Result<Value, ParseError> {
+    debug_assert!(rest.starts_with('['));
+    *rest = &rest[1..];
+    let mut items = Vec::new();
+    loop {
+        *rest = rest.trim_start();
+        if let Some(stripped) = rest.strip_prefix(']') {
+            *rest = stripped;
+            return Ok(Value::Array(items));
+        }
+        if rest.is_empty() {
+            return Err(err(lineno, "unterminated array (arrays must be single-line)"));
+        }
+        items.push(parse_value(rest, lineno)?);
+        *rest = rest.trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            *rest = stripped;
+        } else if rest.is_empty() {
+            return Err(err(lineno, "unterminated array (arrays must be single-line)"));
+        } else if !rest.starts_with(']') {
+            return Err(err(lineno, "expected `,` or `]` in array"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_comments() {
+        let doc = parse(
+            "# a scenario\nname = \"table2\"\ntrials = 100\nutil = 0.7\nquiet = false\n\nhorizon = 8.64e4\n",
+        )
+        .unwrap();
+        assert_eq!(doc["name"], Value::Str("table2".into()));
+        assert_eq!(doc["trials"], Value::Int(100));
+        assert_eq!(doc["util"], Value::Float(0.7));
+        assert_eq!(doc["quiet"], Value::Bool(false));
+        assert_eq!(doc["horizon"], Value::Float(86_400.0));
+    }
+
+    #[test]
+    fn parses_arrays_and_inline_comments() {
+        let doc = parse("specs = [\"EDF\", \"BAS-2\"]  # lineup\nns = [1, 2, 3]\n").unwrap();
+        assert_eq!(doc["specs"].as_str_array().unwrap(), vec!["EDF", "BAS-2"]);
+        assert_eq!(doc["ns"], Value::Array(vec![Value::Int(1), Value::Int(2), Value::Int(3)]));
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        for s in ["plain", "with \"quotes\"", "back\\slash", "line\nbreak\ttab"] {
+            let rendered = Value::Str(s.to_string()).render();
+            let doc = parse(&format!("k = {rendered}\n")).unwrap();
+            assert_eq!(doc["k"].as_str().unwrap(), s, "{rendered}");
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for x in [0.0, 0.7, 86_400.0, 1e6, 0.05, 2.5e-3, f64::INFINITY, 1.0 / 3.0] {
+            let rendered = render_float(x);
+            let doc = parse(&format!("x = {rendered}\n")).unwrap();
+            assert_eq!(doc["x"].as_float().unwrap(), x, "{rendered}");
+        }
+        // Whole floats stay floats (not ints) through the round trip.
+        assert!(matches!(parse("x = 5.0\n").unwrap()["x"], Value::Float(_)));
+    }
+
+    #[test]
+    fn rejects_junk_with_line_numbers() {
+        for (input, needle) in [
+            ("[section]\nk = 1", "nested tables"),
+            ("just a line", "key = value"),
+            ("k = ", "missing value"),
+            ("k = 1 2", "trailing garbage"),
+            ("k = 1\nk = 2", "duplicate"),
+            ("k = [1, 2", "unterminated array"),
+            ("k = \"oops", "unterminated string"),
+            ("k = 1.2.3", "unrecognized value"),
+            ("a key = 1", "invalid bare key"),
+        ] {
+            let e = parse(input).unwrap_err();
+            assert!(e.message.contains(needle), "{input:?} -> {e}");
+        }
+        assert_eq!(parse("ok = 1\nbad =").unwrap_err().line, 2);
+    }
+
+    #[test]
+    fn underscore_separators_parse() {
+        assert_eq!(parse("n = 1_000_000\n").unwrap()["n"], Value::Int(1_000_000));
+        assert_eq!(parse("x = 1_0.5_5\n").unwrap()["x"], Value::Float(10.55));
+    }
+
+    #[test]
+    fn non_toml_numbers_are_rejected() {
+        // Underscores must be surrounded by digits; no leading zeros in the
+        // mantissa's integer part — a file we accept must be real TOML.
+        for junk in ["1_", "_1", "1__2", "0_.5", "1._5", "01", "-042", "01.5", "0x10"] {
+            let e = parse(&format!("k = {junk}\n")).unwrap_err();
+            assert!(e.message.contains("unrecognized value"), "{junk}: {e}");
+        }
+        // …while legitimate zero forms still parse.
+        assert_eq!(parse("k = 0\n").unwrap()["k"], Value::Int(0));
+        assert_eq!(parse("k = -0\n").unwrap()["k"], Value::Int(0));
+        assert_eq!(parse("k = 0.5\n").unwrap()["k"], Value::Float(0.5));
+        assert_eq!(parse("k = 1e05\n").unwrap()["k"], Value::Float(1e5));
+    }
+}

@@ -1,4 +1,8 @@
-//! Standard workloads shared by the experiment binaries.
+//! Standard workload families shared by scenarios, examples and the CLI.
+//!
+//! This module moved here from `bas-bench` when the [`crate::scenario`]
+//! layer started naming workloads in scenario files; `bas_bench::workloads`
+//! remains as a re-export.
 //!
 //! Two scales are used, mirroring the paper:
 //!

@@ -1,0 +1,109 @@
+//! Property tests for the scenario codec: `Scenario ⇄ TOML` round-trips for
+//! every kind, with every field randomly perturbed over its valid domain —
+//! including every `SchedulerSpec` alias in the lineup vocabulary.
+
+use bas_core::{all_specs, Scenario, ScenarioKind, SchedulerSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Every way a scenario file may name a scheduler: the seven paper aliases
+/// plus the canonical `governor+priority/scope` label of all 24 specs.
+fn spec_vocabulary() -> Vec<String> {
+    let mut pool: Vec<String> = ["EDF", "ccEDF", "laEDF", "BAS-1", "BAS-2", "BAS-1cc", "BAS-2cc"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    pool.extend(all_specs().iter().map(|s| s.to_string()));
+    pool
+}
+
+/// Randomize one field of `s` over its valid domain.
+fn randomize_field(s: &mut Scenario, field: &str, rng: &mut StdRng) {
+    let pick = |rng: &mut StdRng, options: &[&str]| -> String {
+        options[rng.gen_range(0..options.len())].to_string()
+    };
+    match field {
+        "trials" => s.trials = rng.gen_range(1..500usize),
+        "seed" => s.seed = rng.gen_range(0..u64::MAX / 4),
+        "threads" => s.threads = rng.gen_range(0..32usize),
+        "graphs" => s.graphs = rng.gen_range(1..9usize),
+        "util" => s.util = rng.gen_range(0.05..=1.0),
+        "horizon" => s.horizon = rng.gen_range(1.0..1e7),
+        "specs" => {
+            let pool = spec_vocabulary();
+            let n = rng.gen_range(1..6usize);
+            s.specs = (0..n).map(|_| pool[rng.gen_range(0..pool.len())].clone()).collect();
+        }
+        "workload" => s.workload = pick(rng, &["paper", "unit"]),
+        "processor" => s.processor = pick(rng, bas_cpu::presets::NAMES),
+        "battery" => {
+            let mut names: Vec<&str> = bas_battery::registry::NAMES.to_vec();
+            if s.kind != ScenarioKind::Table2 {
+                names.push("none");
+            }
+            s.battery = pick(rng, &names);
+        }
+        "sampler" => s.sampler = pick(rng, &["iid", "persistent"]).parse().unwrap(),
+        "freq" => s.freq = pick(rng, &["interp", "roundup"]).parse().unwrap(),
+        "shape" => s.shape = pick(rng, &["layered", "fifo", "independent"]),
+        "governor" => s.governor = pick(rng, &["ccedf", "laedf"]),
+        "noise" => s.noise = rng.gen_range(0.0..0.99),
+        "max_graphs" => s.max_graphs = rng.gen_range(1..12usize),
+        "horizon_periods" => s.horizon_periods = rng.gen_range(0.5..20.0),
+        "points" => s.points = rng.gen_range(2..30usize),
+        "lo" => s.lo = rng.gen_range(1e-3..1.0),
+        "hi" => s.hi = s.lo + rng.gen_range(0.1..50.0),
+        other => panic!("test does not know how to randomize field {other}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn any_valid_scenario_round_trips_through_toml(
+        kind_ix in 0usize..ScenarioKind::ALL.len(),
+        seed in 0u64..u64::MAX / 2,
+    ) {
+        let kind = ScenarioKind::ALL[kind_ix];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scenario = Scenario::preset(kind);
+        // `hi` depends on `lo`, so randomize in declaration order.
+        for field in kind.fields() {
+            if rng.gen_bool(0.7) {
+                randomize_field(&mut scenario, field, &mut rng);
+            }
+        }
+        scenario.validate().expect("randomized scenario stays valid");
+        let text = scenario.to_toml();
+        let parsed = Scenario::from_toml(&text)
+            .unwrap_or_else(|e| panic!("{kind}: {e}\n{text}"));
+        prop_assert_eq!(parsed, scenario, "kind {} did not round-trip:\n{}", kind, text);
+    }
+
+    #[test]
+    fn every_spec_alias_survives_a_lineup_round_trip(ix in 0usize..31) {
+        // One lineup containing the chosen vocabulary entry round-trips with
+        // the label preserved verbatim.
+        let pool = spec_vocabulary();
+        let label = &pool[ix % pool.len()];
+        let mut scenario = Scenario::preset(ScenarioKind::Sweep);
+        scenario.specs = vec![label.clone()];
+        let parsed = Scenario::from_toml(&scenario.to_toml()).unwrap();
+        prop_assert_eq!(&parsed.specs, &scenario.specs);
+        let specs = parsed.parsed_specs().unwrap();
+        prop_assert_eq!(&specs[0].0, label);
+        prop_assert_eq!(specs[0].1, label.parse::<SchedulerSpec>().unwrap());
+    }
+}
+
+#[test]
+fn awkward_names_round_trip() {
+    for name in ["plain", "with \"quotes\"", "back\\slash", "täsk-βeta", "tab\there"] {
+        let mut scenario = Scenario::preset(ScenarioKind::Fig4);
+        scenario.name = name.to_string();
+        let parsed = Scenario::from_toml(&scenario.to_toml()).unwrap();
+        assert_eq!(parsed.name, name);
+    }
+}

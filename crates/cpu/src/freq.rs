@@ -24,6 +24,42 @@ pub enum FreqPolicy {
     RoundUp,
 }
 
+impl std::fmt::Display for FreqPolicy {
+    /// The canonical scenario-file name: `interp` or `roundup`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FreqPolicy::Interpolate => "interp",
+            FreqPolicy::RoundUp => "roundup",
+        })
+    }
+}
+
+/// Error parsing a [`FreqPolicy`] name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFreqPolicyError(String);
+
+impl std::fmt::Display for ParseFreqPolicyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid frequency policy {:?}: expected interp|roundup", self.0)
+    }
+}
+
+impl std::error::Error for ParseFreqPolicyError {}
+
+impl std::str::FromStr for FreqPolicy {
+    type Err = ParseFreqPolicyError;
+
+    /// Parse the scenario-file names `interp` / `roundup` (also accepted:
+    /// the long forms `interpolate` / `round-up`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "interp" | "interpolate" => Ok(FreqPolicy::Interpolate),
+            "roundup" | "round-up" => Ok(FreqPolicy::RoundUp),
+            other => Err(ParseFreqPolicyError(other.to_string())),
+        }
+    }
+}
+
 /// One leg of a realization: an operating-point index plus the fraction of
 /// wall-clock time spent there.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -111,6 +147,17 @@ impl Realization {
 mod tests {
     use super::*;
     use crate::opp::OperatingPoint;
+
+    #[test]
+    fn freq_policy_round_trips_through_strings() {
+        for policy in [FreqPolicy::Interpolate, FreqPolicy::RoundUp] {
+            let parsed: FreqPolicy = policy.to_string().parse().unwrap();
+            assert_eq!(parsed, policy);
+        }
+        assert_eq!("interpolate".parse::<FreqPolicy>().unwrap(), FreqPolicy::Interpolate);
+        let e = "fast".parse::<FreqPolicy>().unwrap_err();
+        assert!(e.to_string().contains("interp|roundup"), "{e}");
+    }
 
     fn table() -> OppTable {
         OppTable::new(vec![

@@ -34,6 +34,6 @@ pub mod power;
 pub mod presets;
 
 pub use error::CpuError;
-pub use freq::{FreqPolicy, Realization, Segment};
+pub use freq::{FreqPolicy, ParseFreqPolicyError, Realization, Segment};
 pub use opp::{OperatingPoint, OppTable};
 pub use power::{PowerModel, Processor, SupplyConfig};

@@ -116,11 +116,45 @@ pub fn dense_dvs_processor(points: usize, fmin_fraction: f64) -> Processor {
     .expect("static supply is valid")
 }
 
+/// The processor preset names scenario files may use; see [`by_name`].
+pub const NAMES: &[&str] = &["paper", "unit", "dense"];
+
+/// Look a processor preset up by its scenario-file name:
+///
+/// * `"paper"` — [`paper_processor`], the 1 GHz 3-OPP evaluation platform;
+/// * `"unit"` (alias `"paper3"`) — [`unit_processor`], the dimensionless
+///   3-OPP grid of the worked examples;
+/// * `"dense"` — [`dense_dvs_processor`]`(20, 0.05)`, the ideal-DVS grid of
+///   the energy-ordering studies.
+///
+/// Returns `None` for unknown names so callers can report the valid set
+/// ([`NAMES`]) themselves.
+pub fn by_name(name: &str) -> Option<Processor> {
+    match name {
+        "paper" => Some(paper_processor()),
+        "unit" | "paper3" => Some(unit_processor()),
+        "dense" => Some(dense_dvs_processor(20, 0.05)),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::freq::FreqPolicy;
     use crate::power::PowerModel;
+
+    #[test]
+    fn every_listed_preset_resolves() {
+        for name in NAMES {
+            assert!(by_name(name).is_some(), "{name}");
+        }
+        assert_eq!(by_name("paper").unwrap().fmax(), 1.0e9);
+        assert_eq!(by_name("unit").unwrap().fmax(), 1.0);
+        assert_eq!(by_name("paper3").unwrap().fmax(), 1.0);
+        assert_eq!(by_name("dense").unwrap().opps().len(), 20);
+        assert!(by_name("granite").is_none());
+    }
 
     #[test]
     fn paper_processor_has_three_opps_and_1ghz_peak() {

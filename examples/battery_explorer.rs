@@ -3,24 +3,34 @@
 //! point in the same direction").
 //!
 //! This example stays below the scheduler: it drives `LoadProfile`s into the
-//! battery models by hand. For the scheduling layer on top, see the
-//! `quickstart`, `media_player` and `sensor_node` examples, which express
-//! their runs through the `Experiment`/`Sweep` builder API.
+//! battery models by hand, resolving the models through the named registry
+//! (`bas_battery::registry::by_name` — the same names scenario files use)
+//! and taking its load grid from `scenarios/battery-explorer.toml`. For the
+//! scheduling layer on top, see the `quickstart`, `media_player` and
+//! `sensor_node` examples, which load their runs from scenario files.
 //!
 //! Run with: `cargo run --release --example battery_explorer`
 
+use battery_aware_scheduling::battery::curve::log_spaced_currents;
+use battery_aware_scheduling::battery::registry;
 use battery_aware_scheduling::battery::units::coulombs_to_mah;
 use battery_aware_scheduling::prelude::*;
+use std::path::Path;
 
 fn main() {
+    // The load grid comes from a scenario file (kind `capacity-curve`).
+    let scenario = Scenario::load(Path::new("scenarios/battery-explorer.toml"))
+        .expect("scenarios/battery-explorer.toml loads (run from the workspace root)");
+    let loads = log_spaced_currents(scenario.lo, scenario.hi, scenario.points);
+
     // ---- rate-capacity effect -----------------------------------------
     println!("rate-capacity effect — delivered capacity at constant load:");
     println!("{:>9}  {:>10}  {:>10}", "load (A)", "KiBaM", "diffusion");
-    for current in [0.1, 0.5, 1.0, 2.0, 5.0] {
-        let mut kibam = Kibam::paper_cell();
-        let mut diff = DiffusionModel::paper_cell();
-        let q_k = bas_delivered(&mut kibam, current);
-        let q_d = bas_delivered(&mut diff, current);
+    for &current in &loads {
+        let mut kibam = registry::by_name("kibam", 0).expect("registered model");
+        let mut diff = registry::by_name("diffusion", 0).expect("registered model");
+        let q_k = bas_delivered(kibam.as_mut(), current);
+        let q_d = bas_delivered(diff.as_mut(), current);
         println!(
             "{current:>9.1}  {:>7.0} mAh  {:>7.0} mAh",
             coulombs_to_mah(q_k),
@@ -33,8 +43,8 @@ fn main() {
     let continuous = LoadProfile::from_pairs([(1.5, 60.0)]);
     let pulsed = LoadProfile::from_pairs([(1.5, 60.0), (0.06, 60.0)]);
     for (name, profile) in [("continuous 1.5 A", &continuous), ("1 min on / 1 min rest", &pulsed)] {
-        let mut cell = Kibam::paper_cell();
-        let r = run_profile(&mut cell, profile, RunOptions::default());
+        let mut cell = registry::by_name("kibam", 0).expect("registered model");
+        let r = run_profile(cell.as_mut(), profile, RunOptions::default());
         println!(
             "  {name:22}: {:6.0} mAh delivered over {:5.1} min of load time",
             r.delivered_mah(),
@@ -56,12 +66,12 @@ fn main() {
         ("increasing", LoadProfile::from_pairs([(0.4, 1000.0), (1.0, 1000.0), (1.8, 1000.0)])),
     ];
     for (name, profile) in &shapes {
-        let mut kibam = Kibam::paper_cell();
-        run_profile(&mut kibam, profile, RunOptions { repeat: false, ..RunOptions::default() });
-        let probe_k = bas_delivered_from(&mut kibam, 1.5);
-        let mut diff = DiffusionModel::paper_cell();
-        run_profile(&mut diff, profile, RunOptions { repeat: false, ..RunOptions::default() });
-        let probe_d = bas_delivered_from(&mut diff, 1.5);
+        let mut kibam = registry::by_name("kibam", 0).expect("registered model");
+        run_profile(kibam.as_mut(), profile, RunOptions { repeat: false, ..RunOptions::default() });
+        let probe_k = bas_delivered_from(kibam.as_mut(), 1.5);
+        let mut diff = registry::by_name("diffusion", 0).expect("registered model");
+        run_profile(diff.as_mut(), profile, RunOptions { repeat: false, ..RunOptions::default() });
+        let probe_d = bas_delivered_from(diff.as_mut(), 1.5);
         println!(
             "  after {name} history: extra extractable {:4.0} mAh (KiBaM) / {:4.0} mAh (diffusion)",
             coulombs_to_mah(probe_k),

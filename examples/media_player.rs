@@ -10,13 +10,15 @@
 //! * **housekeeping** (500 ms period): buffer refill → codec adaptation.
 //!
 //! The example builds the graphs by hand (showing the `TaskGraphBuilder`
-//! API), checks schedulability, and asks one question a product engineer
-//! would: *how many minutes of playback does battery-aware scheduling buy on
-//! one AAA cell?* Each run is one [`Experiment`].
+//! API) and loads everything else — scheduler lineup, platform, battery,
+//! sampler, horizon, seed — from `scenarios/media-player.toml`, then asks
+//! the question a product engineer would: *how many minutes of playback
+//! does battery-aware scheduling buy on one AAA cell?*
 //!
 //! Run with: `cargo run --release --example media_player`
 
 use battery_aware_scheduling::prelude::*;
+use std::path::Path;
 
 /// Mega-cycles at the paper's 1 GHz processor.
 const MC: u64 = 1_000_000;
@@ -58,53 +60,32 @@ fn main() {
     set.push(PeriodicTaskGraph::new(ui_overlay(), 0.100).unwrap());
     set.push(PeriodicTaskGraph::new(housekeeping(), 0.500).unwrap());
 
-    let processor = paper_processor();
+    // The run configuration comes from the scenario file; the hand-built
+    // task set replaces its generated workload (`run_sweep_with_set`).
+    let scenario = Scenario::load(Path::new("scenarios/media-player.toml"))
+        .expect("scenarios/media-player.toml loads (run from the workspace root)");
+    let processor = scenario.build_processor().expect("valid processor preset");
     let u = set.utilization(processor.fmax());
     println!("media player: U = {u:.3}, hyperperiod = {:?} s", set.hyperperiod(0.02));
     assert!(u <= 1.0, "must be schedulable");
 
-    // One second of playback under EDF vs BAS-2: same frames, less charge.
-    for (name, spec) in [("EDF", SchedulerSpec::edf()), ("BAS-2", SchedulerSpec::bas2())] {
-        let out = Experiment::new(&set)
-            .spec(spec)
-            .processor(&processor)
-            .seed(5)
-            .horizon(1.0)
-            .run()
-            .expect("schedulable");
-        println!(
-            "{name:6}: {:3} frames decoded, avg draw {:.3} A, {} deadline misses",
-            out.metrics.instances_completed,
-            out.metrics.average_current(),
-            out.metrics.deadline_misses
-        );
-        assert_eq!(out.metrics.deadline_misses, 0);
-    }
-
-    // Playback time on one AAA cell.
+    // Playback time on one AAA cell, per scheduler of the scenario lineup.
     println!("\nplayback time on one 2000 mAh AAA NiMH cell:");
+    let report = scenario.run_sweep_with_set(&set).expect("schedulable");
     let mut results = Vec::new();
-    for (name, spec) in SchedulerSpec::table2_lineup() {
-        let mut cell = StochasticKibam::paper_cell(3);
-        let out = Experiment::new(&set)
-            .spec(spec)
-            .processor(&processor)
-            .seed(5)
-            .horizon(86_400.0)
-            .battery(&mut cell)
-            .run()
-            .expect("schedulable");
-        let report = out.battery.expect("report");
+    for spec in &report.specs {
+        let trial = &spec.trials[0];
+        assert_eq!(trial.deadline_misses, 0, "{} must not miss deadlines", spec.label);
         println!(
             "  {:6} {:7.0} min  ({:.0} mAh extracted, {} frames)",
-            name,
-            report.lifetime_minutes(),
-            report.delivered_mah(),
-            out.metrics.instances_completed
+            spec.label,
+            trial.lifetime_minutes().expect("battery run"),
+            trial.delivered_mah.expect("battery run"),
+            trial.instances_completed
         );
-        results.push((name, report.lifetime_minutes()));
+        results.push((spec.label.clone(), trial.lifetime_minutes().expect("battery run")));
     }
-    let edf = results[0].1;
+    let edf = results.iter().find(|(n, _)| n == "EDF").expect("lineup has EDF").1;
     let best = results.iter().map(|r| r.1).fold(0.0, f64::max);
     println!(
         "\nbattery-aware DVS buys {:.0} extra minutes of playback (+{:.0}%) over plain EDF",

@@ -1,53 +1,34 @@
-//! Quickstart: schedule a random periodic task set five ways and watch the
-//! battery live longer under battery-aware scheduling.
+//! Quickstart: run a checked-in scenario file and watch the battery live
+//! longer under battery-aware scheduling.
 //!
-//! One [`Sweep`] expresses the whole comparison: the Table-2 scheduler
-//! lineup × one workload × the paper's battery, with per-scheme summaries
-//! dropping out of the report.
+//! The whole comparison — the Table-2 scheduler lineup × one random
+//! paper-scale workload × the paper's battery — is described declaratively
+//! by `scenarios/quickstart.toml` and loaded as a [`Scenario`]; the same
+//! file runs through the CLI as `bas run scenarios/quickstart.toml`.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use battery_aware_scheduling::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use std::path::Path;
 
 fn main() {
-    // 1. A workload: four periodic task graphs, 70 % worst-case utilization —
-    //    the paper's evaluation setup, scaled to the 1 GHz processor.
-    let mut rng = StdRng::seed_from_u64(2024);
-    let workload = TaskSetConfig {
-        graphs: 4,
-        graph: GeneratorConfig {
-            nodes: (5, 15),
-            wcet: (10_000_000, 100_000_000), // 10–100 ms at 1 GHz
-            shape: GraphShape::Layered { layers: 3, edge_prob: 0.2 },
-        },
-        utilization: 0.7,
-        fmax: 1.0e9,
-        period_quantum: None,
-    };
-    let set = workload.generate(&mut rng).expect("valid workload");
+    // 1. The experiment description lives in a file, not in code: edit the
+    //    TOML (utilization, lineup, battery model, seeds …) and re-run.
+    let scenario = Scenario::load(Path::new("scenarios/quickstart.toml"))
+        .expect("scenarios/quickstart.toml loads (run from the workspace root)");
     println!(
-        "workload: {} graphs, {} tasks total, U = {:.2}",
-        set.len(),
-        set.total_nodes(),
-        set.utilization(1.0e9)
+        "scenario '{}': {} graphs/set at U = {}, battery {}, {} schedulers",
+        scenario.name,
+        scenario.graphs,
+        scenario.util,
+        scenario.battery,
+        scenario.specs.len()
     );
 
-    // 2. The platform: the paper's 3-OPP 1 GHz processor and its 1.2 V,
-    //    2000 mAh AAA NiMH cell.
-    let processor = paper_processor();
-
-    // 3. Run the Table-2 lineup until the battery dies — one sweep over the
-    //    fixed workload, each scheme co-simulated against a fresh cell.
-    let report = Sweep::over_seeds(7, 1)
-        .specs(SchedulerSpec::table2_lineup())
-        .set(&set)
-        .processor(&processor)
-        .horizon(86_400.0)
-        .battery(|_seed| Box::new(StochasticKibam::paper_cell(99)))
-        .run()
-        .expect("schedulable workload");
+    // 2. Run it. A `sweep` scenario maps straight onto the `Sweep` builder;
+    //    trial seeds, workload generation and battery instances all derive
+    //    from the scenario's seed, so the run is exactly reproducible.
+    let report = scenario.run_sweep().expect("schedulable workload");
 
     println!("\n{:8}  {:>12}  {:>10}", "scheme", "charge (mAh)", "life (min)");
     for spec in &report.specs {
@@ -62,4 +43,13 @@ fn main() {
     }
     println!("\nevery scheme meets every deadline; the DVS + battery-aware schemes");
     println!("simply extract more of the cell's charge and spend it more slowly.");
+
+    // 3. The headline number, computed from the report.
+    let life = |label: &str| {
+        report.spec(label).expect(label).trials[0].lifetime_minutes().expect("battery run")
+    };
+    println!(
+        "BAS-2 lifetime vs plain EDF: {:+.0}% on this workload",
+        (life("BAS-2") / life("EDF") - 1.0) * 100.0
+    );
 }

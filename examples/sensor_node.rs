@@ -2,17 +2,20 @@
 //! calibration loop — the "energy-autonomous embedded system" of the paper's
 //! conclusion, where the battery *is* the mission budget.
 //!
-//! Shows a mission-length question asked through the [`Experiment`] builder:
-//! how many sensor readings does one cell deliver end-to-end? Real sensor
-//! tasks have *characteristic* run times, so the builder's `.sampler(..)`
-//! knob selects persistent per-task actuals. (Schedulers outside the
+//! Shows a mission-length question asked through a scenario file: the task
+//! graphs are built in code, while `scenarios/sensor-node.toml` carries the
+//! scheduler lineup (BAS-2cc vs the no-DVS baseline, the latter written in
+//! the canonical `governor+priority/scope` grammar), the persistent-actuals
+//! sampler — real sensor tasks have *characteristic* run times — the
+//! battery model and the week-long horizon. (Schedulers outside the
 //! [`SchedulerSpec`] vocabulary — custom estimators, hand-rolled priorities —
 //! can still assemble `governor + policy + sampler` around the `Executor`
-//! directly; see `bas-bench`'s `ablation` binary.)
+//! directly; see the `bas` CLI's `ablation` preset.)
 //!
 //! Run with: `cargo run --release --example sensor_node`
 
 use battery_aware_scheduling::prelude::*;
+use std::path::Path;
 
 const MC: u64 = 1_000_000;
 
@@ -40,7 +43,10 @@ fn main() {
     let mut set = TaskSet::new();
     set.push(PeriodicTaskGraph::new(sensing_graph(), 0.250).unwrap());
     set.push(PeriodicTaskGraph::new(calibration_graph(), 2.0).unwrap());
-    let processor = paper_processor();
+
+    let scenario = Scenario::load(Path::new("scenarios/sensor-node.toml"))
+        .expect("scenarios/sensor-node.toml loads (run from the workspace root)");
+    let processor = scenario.build_processor().expect("valid processor preset");
     println!(
         "sensor node: U = {:.3}, {} tasks across {} graphs",
         set.utilization(processor.fmax()),
@@ -48,51 +54,29 @@ fn main() {
         set.len()
     );
 
-    // BAS-2cc: laEDF would pin the frequency floor at this light load
-    // anyway, so pair pUBS with ccEDF (the workspace's supplementary row).
-    let mut cell = StochasticKibam::paper_cell(17);
-    let out = Experiment::new(&set)
-        .spec(SchedulerSpec::bas2cc())
-        .processor(&processor)
-        .seed(17)
-        .horizon(7.0 * 86_400.0)
-        .sampler(SamplerKind::Persistent)
-        .battery(&mut cell)
-        .run()
-        .expect("no deadline misses");
-    let report = out.battery.expect("report");
-    let readings = out.metrics.instances_completed;
+    // One sweep over the fixed, hand-built task set: both schedulers see the
+    // same seed, workload and (fresh) battery, so the mission comparison is
+    // like-for-like.
+    let report = scenario.run_sweep_with_set(&set).expect("no deadline misses");
+
+    let bas = &report.spec("BAS-2cc").expect("lineup has BAS-2cc").trials[0];
+    let readings = bas.instances_completed;
     println!(
         "\nBAS-2cc mission: {:.1} hours on one cell, {} task-graph instances,",
-        report.lifetime_minutes() / 60.0,
+        bas.lifetime.expect("battery run") / 3600.0,
         readings
     );
     println!(
-        "  {:.0} mAh extracted, average draw {:.0} mA, {} preemptions, 0 misses",
-        report.delivered_mah(),
-        out.metrics.average_current() * 1000.0,
-        out.metrics.preemptions
+        "  {:.0} mAh extracted, 0 misses (asserted below)",
+        bas.delivered_mah.expect("battery run"),
     );
-    assert_eq!(out.metrics.deadline_misses, 0);
+    assert_eq!(bas.deadline_misses, 0);
 
-    // The EDF baseline for contrast, same workload and seed. The spec is
-    // parsed from its canonical label to show the string round-trip CLIs use.
-    let spec: SchedulerSpec = "noDVS+random/all".parse().expect("valid spec label");
-    let mut cell = StochasticKibam::paper_cell(17);
-    let edf = Experiment::new(&set)
-        .spec(spec)
-        .processor(&processor)
-        .seed(17)
-        .horizon(7.0 * 86_400.0)
-        .sampler(SamplerKind::Persistent)
-        .battery(&mut cell)
-        .run()
-        .expect("no deadline misses")
-        .battery
-        .expect("report");
+    // The EDF-style baseline for contrast, same workload and seed.
+    let edf = &report.spec("noDVS+random/all").expect("lineup has the baseline").trials[0];
     println!(
-        "\nEDF baseline: {:.1} hours — battery awareness extends the mission {:.1}x",
-        edf.lifetime_minutes() / 60.0,
-        report.lifetime / edf.lifetime
+        "\nno-DVS baseline: {:.1} hours — battery awareness extends the mission {:.1}x",
+        edf.lifetime.expect("battery run") / 3600.0,
+        bas.lifetime.expect("battery run") / edf.lifetime.expect("battery run")
     );
 }

@@ -70,19 +70,25 @@
 //!
 //! ## Running the paper's experiments
 //!
-//! Each table and figure has a binary in `bas-bench` wrapping one sweep —
-//! see that crate's "Running experiments" docs for the full map:
+//! Every table and figure is a preset scenario of the unified `bas` CLI
+//! (`crates/cli`); scenario files under `scenarios/` describe the same runs
+//! declaratively ([`Scenario`](prelude::Scenario)):
 //!
-//! | artifact | binary | shape |
+//! | artifact | preset | shape |
 //! |---|---|---|
-//! | Table 1 | `table1` | offline single-DAG scenarios (`core::single_dag`) |
-//! | Table 2 | `table2` | `Sweep` × battery co-simulation, paper processor |
-//! | Fig. 4 / 5 | `fig4`, `fig5_trace` | worked traces |
-//! | Fig. 6 | `fig6` | per-trial `Experiment`s vs precedence-relaxed twin |
-//! | §5 curve | `capacity_curve` | battery layer only |
-//! | §3 guidelines | `guidelines` | battery layer only |
-//! | utilization sweep | `crossover` | one `Sweep` per load point |
-//! | ablations | `ablation` | `Sweep`s with one knob varied |
+//! | Table 1 | `bas table1` | offline single-DAG scenarios (`core::single_dag`) |
+//! | Table 2 | `bas table2` | `Sweep` × battery co-simulation, paper processor |
+//! | Fig. 4 / 5 | `bas fig4`, `bas fig5` | worked traces |
+//! | Fig. 6 | `bas fig6` | per-trial `Experiment`s vs precedence-relaxed twin |
+//! | §5 curve | `bas capacity-curve` | battery layer only |
+//! | §3 guidelines | `bas guidelines` | battery layer only |
+//! | utilization sweep | `bas crossover` | one `Sweep` per load point |
+//! | ablations | `bas ablation` | `Sweep`s with one knob varied |
+//! | anything else | `bas run <scenario.toml>` | generic lineup × workload sweep |
+//!
+//! Each run renders the historical text tables or, with `--format
+//! json|csv`, a structured [`Report`](prelude::Report) with spec labels,
+//! per-seed metrics and summary statistics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -100,8 +106,8 @@ pub mod prelude {
         run_profile, BatteryModel, DiffusionModel, Kibam, LoadProfile, RunOptions, StochasticKibam,
     };
     pub use bas_core::{
-        parallel_map, Experiment, SamplerKind, SchedulerSpec, SpecReport, Summary, Sweep,
-        SweepReport, TrialRecord,
+        parallel_map, Experiment, Report, SamplerKind, Scenario, ScenarioKind, SchedulerSpec,
+        SpecReport, Summary, Sweep, SweepReport, TrialRecord,
     };
     pub use bas_core::{BasPolicy, EmaEstimator, Ltf, Pubs, RandomPriority, Stf};
     pub use bas_cpu::presets::{dense_dvs_processor, paper_processor, unit_processor};
@@ -112,10 +118,6 @@ pub mod prelude {
         GeneratorConfig, GraphShape, PeriodicTaskGraph, TaskGraph, TaskGraphBuilder, TaskSet,
         TaskSetConfig,
     };
-
-    // One release of grace for the pre-builder façade (deprecated shims).
-    #[allow(deprecated)]
-    pub use bas_core::runner::{simulate, simulate_lean, simulate_with_battery};
 }
 
 #[cfg(test)]

@@ -1,12 +1,14 @@
 //! Acceptance tests for the `Experiment`/`Sweep` API redesign:
 //!
 //! * sweeps are **bit-identical** across thread counts (golden determinism);
-//! * the builder reproduces the deprecated `simulate_*` façade exactly, so
-//!   callers can migrate without result drift;
 //! * `SchedulerSpec` round-trips through `FromStr`/`Display` for every
 //!   expressible spec (property test) and every Table 2 row;
 //! * the sampler knob actually steers the workload (the old façade silently
 //!   ignored it).
+//!
+//! The deprecated `simulate_*` façade (and the shim-equivalence tests that
+//! covered it) was removed after its one release of grace; the `Experiment`
+//! builder is the only entry point now.
 
 use battery_aware_scheduling::core::all_specs;
 use battery_aware_scheduling::prelude::*;
@@ -67,75 +69,35 @@ fn sweep_with_battery_is_thread_count_invariant() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn builder_reproduces_the_deprecated_facade_exactly() {
-    use battery_aware_scheduling::core::runner::{simulate, simulate_lean};
-    let set = random_set(2);
-    let proc = unit_processor();
-    for (name, spec) in SchedulerSpec::table2_lineup() {
-        let old = simulate(&set, &spec, &proc, 17, 300.0).unwrap();
-        let new = Experiment::new(&set)
-            .spec(spec)
-            .processor(&proc)
-            .seed(17)
-            .horizon(300.0)
-            .trace(true)
-            .run()
-            .unwrap();
-        assert_eq!(old.metrics, new.metrics, "{name}");
-        assert_eq!(
-            old.trace.expect("trace").slices().len(),
-            new.trace.expect("trace").slices().len(),
-            "{name}"
-        );
-
-        let old = simulate_lean(&set, &spec, &proc, 17, 300.0).unwrap();
-        let new = Experiment::new(&set)
-            .spec(spec)
-            .processor(&proc)
-            .seed(17)
-            .horizon(300.0)
-            .run()
-            .unwrap();
-        assert_eq!(old.metrics, new.metrics, "{name}");
-    }
-}
-
-#[test]
-#[allow(deprecated)]
-fn builder_reproduces_simulate_with_battery_custom_exactly() {
-    use battery_aware_scheduling::core::runner::simulate_with_battery_custom;
+fn trace_and_battery_runs_stay_deterministic_per_seed() {
+    // Replaces the retired shim-equivalence tests: the builder itself is the
+    // contract now — identical configuration and seed must reproduce
+    // identical metrics, traces and battery accounting.
     let set = random_set(3);
     let proc = unit_processor();
     for sampler in [SamplerKind::IidUniform, SamplerKind::Persistent] {
         for freq in [FreqPolicy::Interpolate, FreqPolicy::RoundUp] {
-            let mut old_cell = StochasticKibam::paper_cell(77);
-            let old = simulate_with_battery_custom(
-                &set,
-                &SchedulerSpec::bas2(),
-                &proc,
-                &mut old_cell,
-                23,
-                1e6,
-                freq,
-                sampler,
-            )
-            .unwrap();
-            let mut new_cell = StochasticKibam::paper_cell(77);
-            let new = Experiment::new(&set)
-                .spec(SchedulerSpec::bas2())
-                .processor(&proc)
-                .seed(23)
-                .horizon(1e6)
-                .battery(&mut new_cell)
-                .freq_policy(freq)
-                .sampler(sampler)
-                .run()
-                .unwrap();
-            assert_eq!(old.metrics, new.metrics, "{sampler:?}/{freq:?}");
-            let (old_b, new_b) = (old.battery.unwrap(), new.battery.unwrap());
-            assert_eq!(old_b.lifetime, new_b.lifetime, "{sampler:?}/{freq:?}");
-            assert_eq!(old_b.charge_delivered, new_b.charge_delivered, "{sampler:?}/{freq:?}");
+            let run = || {
+                let mut cell = StochasticKibam::paper_cell(77);
+                let out = Experiment::new(&set)
+                    .spec(SchedulerSpec::bas2())
+                    .processor(&proc)
+                    .seed(23)
+                    .horizon(1e6)
+                    .battery(&mut cell)
+                    .freq_policy(freq)
+                    .sampler(sampler)
+                    .trace(true)
+                    .run()
+                    .unwrap();
+                (out.metrics.clone(), out.trace.unwrap().slices().len(), out.battery.unwrap())
+            };
+            let (m1, t1, b1) = run();
+            let (m2, t2, b2) = run();
+            assert_eq!(m1, m2, "{sampler:?}/{freq:?}");
+            assert_eq!(t1, t2, "{sampler:?}/{freq:?}");
+            assert_eq!(b1.lifetime, b2.lifetime, "{sampler:?}/{freq:?}");
+            assert_eq!(b1.charge_delivered, b2.charge_delivered, "{sampler:?}/{freq:?}");
         }
     }
 }
