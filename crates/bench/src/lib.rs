@@ -1,29 +1,19 @@
-//! # bas-bench — the benchmark harness (criterion benches + table rendering)
+//! # bas-bench — the criterion wall-clock benchmark harness
 //!
-//! The per-artifact experiment *binaries* that used to live here moved into
-//! the unified `bas` CLI (`crates/cli`): every table and figure is now a
-//! preset scenario — `bas table2`, `bas fig6 --trials 80`, … — or a scenario
-//! file under `scenarios/` run with `bas run <file>`. See `bas list` for the
-//! full map and each preset's knobs.
+//! This crate is *only* the benchmarks now:
 //!
-//! What remains here is the *benchmark* half:
+//! * `benches/end_to_end` — full experiment throughput per scheduler spec;
+//! * `benches/battery_models` — battery-model stepping cost;
+//! * `benches/generator` — task-set generation;
+//! * `benches/scheduler_overhead` — governor/priority/feasibility inner loops;
+//! * `benches/ablation_freq` — frequency-realization ablation.
 //!
-//! * the `criterion` wall-clock benches under `benches/` (executor
-//!   throughput, battery-model stepping, generator, scheduler overhead,
-//!   frequency-realization ablation);
-//! * [`TextTable`] — the plain-text table renderer the CLI's text output
-//!   uses;
-//! * re-exports of the pieces that migrated into `bas-core` as the
-//!   experiment/scenario API grew: [`workloads`], [`parallel_map`],
-//!   [`Summary`].
+//! Its former library surface migrated out as the workspace grew:
+//! the per-artifact experiment binaries became `bas` CLI presets
+//! (`crates/cli`), `parallel_map`/`Summary`/`workloads` moved into
+//! `bas-core` during the `Sweep` redesign, and `TextTable` followed as
+//! `bas_core::TextTable` when this crate was reduced to benchmarks. Import
+//! those from `bas_core` directly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
-
-pub mod stats;
-pub mod table;
-
-pub use bas_core::parallel::parallel_map;
-pub use bas_core::stats::Summary;
-pub use bas_core::workloads;
-pub use table::TextTable;

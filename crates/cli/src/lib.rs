@@ -23,7 +23,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use bas_core::{Report, Scenario, ScenarioKind};
+use bas_core::{Report, Scenario, ScenarioKind, Sweep};
+use bas_sim::JsonlWriter;
+use std::io::Write as _;
 use std::path::Path;
 
 pub mod args;
@@ -52,6 +54,9 @@ OPTIONS:
                      json | csv: the structured report (stable schema,
                      spec labels, per-seed metrics, summary stats)
     --out FILE       write the selected output to FILE instead of stdout
+    --events FILE    additionally stream the engine's event stream of the
+                     scenario's first trial (every spec) to FILE as
+                     bas-events/v1 JSONL (sweep scenarios only; O(1) memory)
     --key value      override a scenario knob, e.g. --trials 10 --seed 2
                      (run `bas list` for each preset's knobs)
 ";
@@ -172,6 +177,7 @@ fn canonical_key(key: &str) -> String {
 fn run_with_overrides(mut scenario: Scenario, args: &Args) -> Result<(), CliError> {
     let mut format = Format::Text;
     let mut out_path: Option<&str> = None;
+    let mut events_path: Option<&str> = None;
     for (key, value) in &args.flags {
         match key.as_str() {
             "format" => {
@@ -187,13 +193,24 @@ fn run_with_overrides(mut scenario: Scenario, args: &Args) -> Result<(), CliErro
                 };
             }
             "out" => out_path = Some(value),
+            "events" => events_path = Some(value),
             key => {
                 scenario.set(&canonical_key(key), value).map_err(usage_err)?;
             }
         }
     }
     scenario.validate().map_err(usage_err)?;
+    if events_path.is_some() && scenario.kind != ScenarioKind::Sweep {
+        return Err(CliError::Usage(format!(
+            "--events captures the engine event stream of a `sweep` scenario; \
+             kind `{}` does not support it",
+            scenario.kind
+        )));
+    }
     let (text, report) = run_scenario(&scenario).map_err(CliError::Runtime)?;
+    if let Some(path) = events_path {
+        write_events(&scenario, path)?;
+    }
     let payload = match format {
         Format::Text => text,
         Format::Json => report.to_json(),
@@ -204,6 +221,38 @@ fn run_with_overrides(mut scenario: Scenario, args: &Args) -> Result<(), CliErro
             .map_err(|e| CliError::Runtime(format!("writing {path}: {e}")))?,
         None => print!("{payload}"),
     }
+    Ok(())
+}
+
+/// Stream the `bas-events/v1` event stream of the scenario's **first trial**
+/// to `path`: for every spec in the lineup, replay trial 0 (same derived
+/// seed, same generated task set, same battery salt as the sweep itself)
+/// with a [`JsonlWriter`] attached. One header line introduces each spec's
+/// run. Memory stays O(1) in the horizon — events are written as they
+/// happen, nothing is buffered.
+fn write_events(scenario: &Scenario, path: &str) -> Result<(), CliError> {
+    let runtime = |e: &dyn std::fmt::Display| CliError::Runtime(format!("events capture: {e}"));
+    let file =
+        std::fs::File::create(path).map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
+    let mut writer = JsonlWriter::new(std::io::BufWriter::new(file));
+    let processor = scenario.build_processor().map_err(|e| runtime(&e))?;
+    let seed = Sweep::seed_for(scenario.seed, 0);
+    let set = scenario.trial_set(seed).map_err(|e| runtime(&e))?;
+    for (label, spec) in scenario.parsed_specs().map_err(|e| runtime(&e))? {
+        writer.header(&scenario.name, &label, seed);
+        let mut cell = scenario.build_battery(seed);
+        let mut experiment =
+            scenario.trial_experiment(&set, spec, seed, &processor).observer(&mut writer);
+        if let Some(cell) = cell.as_mut() {
+            experiment = experiment.battery(cell.as_mut());
+        }
+        experiment.run().map_err(|e| {
+            CliError::Runtime(format!("events capture ({label}, seed {seed}): {e}"))
+        })?;
+    }
+    let mut sink =
+        writer.into_inner().map_err(|e| CliError::Runtime(format!("writing {path}: {e}")))?;
+    sink.flush().map_err(|e| CliError::Runtime(format!("writing {path}: {e}")))?;
     Ok(())
 }
 

@@ -16,24 +16,24 @@
 //! Ablations 1 and 4 are plain `Sweep`s with one knob varied; ablations 2
 //! and 3 need scheduler pieces the [`bas_core::SchedulerSpec`] vocabulary
 //! deliberately does not name (custom estimators, a broken feasibility
-//! variant, a fixed-frequency governor), so they assemble the [`Executor`]
+//! variant, a fixed-frequency governor), so they assemble the [`Simulation`]
 //! directly — the escape hatch below the builder API.
 //!
 //! Knobs: `trials`, `seed`.
 
 use crate::outln;
 use bas_battery::StochasticKibam;
-use bas_bench::TextTable;
 use bas_core::estimator::{EmaEstimator, MeanFraction, WorstCaseEstimate};
 use bas_core::feasibility::FeasibilityVariant;
 use bas_core::policy::BasPolicy;
 use bas_core::priority::{Priority, Pubs};
 use bas_core::workloads::paper_scale_config;
+use bas_core::TextTable;
 use bas_core::{parallel_map, Report, SamplerKind, Scenario, SchedulerSpec, Summary, Sweep};
 use bas_cpu::presets::paper_processor;
 use bas_cpu::{FreqPolicy, Processor};
 use bas_dvs::CcEdf;
-use bas_sim::{DeadlineMode, Executor, FrequencyGovernor, SimConfig, SimState, WorstCase};
+use bas_sim::{DeadlineMode, FrequencyGovernor, SimConfig, SimState, Simulation, WorstCase};
 use bas_taskgraph::{PeriodicTaskGraph, TaskGraphBuilder, TaskSet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -131,13 +131,12 @@ pub fn run(sc: &Scenario) -> Result<(String, Report), String> {
                            governor: &mut dyn FrequencyGovernor,
                            sampler: &mut dyn bas_sim::ActualSampler,
                            battery: &mut StochasticKibam| {
-                    let mut ex = Executor::new(set.clone(), cfg.clone(), governor, policy, sampler)
-                        .expect("feasible");
-                    ex.run_until_battery_dead(battery, 86_400.0)
-                        .expect("no misses")
-                        .battery
-                        .expect("report")
-                        .lifetime_minutes()
+                    let mut sim =
+                        Simulation::new(set.clone(), cfg.clone(), governor, policy, sampler)
+                            .expect("feasible");
+                    sim.mount_battery(battery);
+                    sim.run_until(86_400.0).expect("no misses");
+                    sim.finish().battery.expect("report").lifetime_minutes()
                 };
                 match which {
                     0 => {
@@ -213,9 +212,10 @@ pub fn run(sc: &Scenario) -> Result<(String, Report), String> {
         let mut sampler = WorstCase;
         let mut cfg = SimConfig::new(bas_cpu::presets::unit_processor());
         cfg.deadline_mode = DeadlineMode::DropAndCount;
-        let mut ex = Executor::new(set.clone(), cfg, &mut governor, &mut policy, &mut sampler)
+        let mut sim = Simulation::new(set.clone(), cfg, &mut governor, &mut policy, &mut sampler)
             .expect("feasible at fmax");
-        let result = ex.run_for(100.0).expect("lenient mode");
+        sim.run_until(100.0).expect("lenient mode");
+        let result = sim.finish();
         t.row(&[label.to_string(), result.metrics.deadline_misses.to_string()]);
         report
             .row(format!("feasibility/{label}"))

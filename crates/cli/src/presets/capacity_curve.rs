@@ -18,7 +18,7 @@ use crate::outln;
 use bas_battery::curve::{capacity_curve, extrapolate_ends, log_spaced_currents};
 use bas_battery::units::coulombs_to_mah;
 use bas_battery::{BatteryModel, DiffusionModel, IdealModel, Kibam, PeukertModel, StochasticKibam};
-use bas_bench::TextTable;
+use bas_core::TextTable;
 use bas_core::{Report, Scenario};
 
 /// Run the capacity-curve scenario.

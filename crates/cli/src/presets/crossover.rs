@@ -15,8 +15,8 @@
 
 use crate::outln;
 use bas_battery::StochasticKibam;
-use bas_bench::TextTable;
 use bas_core::workloads::paper_scale_config;
+use bas_core::TextTable;
 use bas_core::{Report, SamplerKind, Scenario, SchedulerSpec, Sweep};
 use bas_cpu::presets::paper_processor;
 use bas_cpu::FreqPolicy;

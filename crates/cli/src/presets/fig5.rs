@@ -19,7 +19,7 @@ use bas_cpu::presets::unit_processor;
 use bas_dvs::CcEdf;
 use bas_sim::policy::EdfTopo;
 use bas_sim::trace::SliceKind;
-use bas_sim::{Executor, SimConfig, SimState, TaskRef, WorstCase};
+use bas_sim::{SimConfig, SimState, Simulation, TaskRef, WorstCase};
 
 /// The paper's assumed priority for the example: "tasks from taskgraph3 >
 /// taskgraph2 > taskgraph1 according to the pUBS priority function".
@@ -55,7 +55,7 @@ pub fn run(sc: &Scenario) -> Result<(String, Report), String> {
     let mut governor = CcEdf;
     let mut policy = EdfTopo;
     let mut sampler = WorstCase;
-    let mut ex = Executor::new(
+    let mut sim = Simulation::new(
         fig5_set(),
         SimConfig::new(unit_processor()),
         &mut governor,
@@ -63,7 +63,8 @@ pub fn run(sc: &Scenario) -> Result<(String, Report), String> {
         &mut sampler,
     )
     .expect("fig5 set is feasible");
-    let a = ex.run_for(horizon).expect("no deadline misses");
+    sim.run_until(horizon).expect("no deadline misses");
+    let a = sim.finish();
     outln!(out, "(a) Trace using canonical EDF ordering:");
     outln!(out, "{}", a.trace.as_ref().unwrap().render());
 
@@ -72,7 +73,7 @@ pub fn run(sc: &Scenario) -> Result<(String, Report), String> {
     let mut governor = CcEdf;
     let mut policy = BasPolicy::all_released(PaperAssumedOrder);
     let mut sampler = WorstCase;
-    let mut ex = Executor::new(
+    let mut sim = Simulation::new(
         fig5_set(),
         SimConfig::new(unit_processor()),
         &mut governor,
@@ -80,7 +81,8 @@ pub fn run(sc: &Scenario) -> Result<(String, Report), String> {
         &mut sampler,
     )
     .expect("fig5 set is feasible");
-    let b = ex.run_for(horizon).expect("no deadline misses");
+    sim.run_until(horizon).expect("no deadline misses");
+    let b = sim.finish();
     outln!(out, "(b) Trace using pUBS-based ordering with feasibility check:");
     outln!(out, "{}", b.trace.as_ref().unwrap().render());
 

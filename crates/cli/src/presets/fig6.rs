@@ -24,9 +24,9 @@
 //! `max_graphs`, `horizon_periods`.
 
 use crate::outln;
-use bas_bench::TextTable;
 use bas_core::baseline::strip_precedence;
 use bas_core::workloads::unit_scale_config;
+use bas_core::TextTable;
 use bas_core::{
     parallel_map, Experiment, GovernorKind, PriorityKind, Report, SamplerKind, Scenario,
     SchedulerSpec, ScopeKind, SeedRecord, Summary,

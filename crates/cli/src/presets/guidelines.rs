@@ -20,7 +20,7 @@ use crate::outln;
 use bas_battery::{
     run_profile, BatteryModel, DiffusionModel, Kibam, LoadProfile, RunOptions, StochasticKibam,
 };
-use bas_bench::TextTable;
+use bas_core::TextTable;
 use bas_core::{Report, Scenario};
 use bas_cpu::presets::unit_processor;
 use bas_cpu::FreqPolicy;

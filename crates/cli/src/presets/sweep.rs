@@ -7,7 +7,7 @@
 //! write a scenario file, `bas run` it.
 
 use crate::outln;
-use bas_bench::TextTable;
+use bas_core::TextTable;
 use bas_core::{Report, Scenario};
 
 /// Run a generic sweep scenario.

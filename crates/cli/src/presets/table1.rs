@@ -22,8 +22,8 @@
 //! `processor`, `noise`.
 
 use crate::outln;
-use bas_bench::TextTable;
 use bas_core::single_dag::{Scenario as DagScenario, XSource};
+use bas_core::TextTable;
 use bas_core::{parallel_map, Report, Scenario, SeedRecord, Summary};
 use bas_cpu::Processor;
 use bas_taskgraph::{GeneratorConfig, GraphShape};

@@ -23,8 +23,8 @@
 //! `sampler`.
 
 use crate::outln;
-use bas_bench::TextTable;
 use bas_core::workloads::paper_scale_config;
+use bas_core::TextTable;
 use bas_core::{Report, Scenario, SchedulerSpec, SpecReport, Sweep};
 use bas_cpu::presets::paper_processor;
 

@@ -120,6 +120,45 @@ fn run_smoke_emits_the_three_formats() {
 }
 
 #[test]
+fn events_flag_streams_parseable_jsonl_without_touching_stdout() {
+    let dir = std::env::temp_dir().join("bas-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let events = dir.join("smoke-events.jsonl");
+    let plain = bas(&["run", "scenarios/smoke.toml"]);
+    let with_events = bas(&["run", "scenarios/smoke.toml", "--events", events.to_str().unwrap()]);
+    assert_eq!(with_events.status.code(), Some(0), "{with_events:?}");
+    assert_eq!(with_events.stdout, plain.stdout, "--events must not change the report output");
+
+    let stream = std::fs::read_to_string(&events).unwrap();
+    let lines: Vec<&str> = stream.lines().collect();
+    assert!(!lines.is_empty());
+    assert!(
+        lines[0].contains("\"schema\":\"bas-events/v1\""),
+        "stream must open with the schema header: {}",
+        lines[0]
+    );
+    // One header per spec in the smoke lineup (EDF, BAS-2), each line a
+    // single flat JSON object with a type discriminator.
+    let headers = lines.iter().filter(|l| l.contains("\"type\":\"header\"")).count();
+    assert_eq!(headers, 2, "{stream}");
+    for line in &lines {
+        assert!(
+            line.starts_with("{\"type\":\"") && line.ends_with('}'),
+            "malformed JSONL line: {line}"
+        );
+    }
+}
+
+#[test]
+fn events_flag_on_a_non_sweep_preset_is_a_usage_error() {
+    let out = bas(&["fig4", "--events", "/tmp/should-not-exist.jsonl"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--events"), "{stderr}");
+    assert!(stderr.contains("USAGE"), "{stderr}");
+}
+
+#[test]
 fn overrides_and_legacy_flag_aliases_apply() {
     // `--actuals` and `--max-time` are the retired table2 binary's spellings
     // of `sampler` and `horizon`.

@@ -64,7 +64,7 @@ use crate::runner::{SamplerKind, SchedulerSpec};
 use crate::stats::Summary;
 use bas_battery::BatteryModel;
 use bas_cpu::{FreqPolicy, Processor};
-use bas_sim::{DeadlineMode, Executor, SimConfig, SimError, SimOutcome};
+use bas_sim::{DeadlineMode, SimConfig, SimError, SimObserver, SimOutcome, Simulation};
 use bas_taskgraph::{TaskSet, TaskSetConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -86,6 +86,7 @@ pub struct Experiment<'a> {
     seed: u64,
     horizon: Option<f64>,
     battery: Option<&'a mut dyn BatteryModel>,
+    observers: Vec<&'a mut dyn SimObserver>,
     sampler: SamplerKind,
     freq_policy: FreqPolicy,
     deadline_mode: DeadlineMode,
@@ -103,6 +104,7 @@ impl<'a> Experiment<'a> {
             seed: 0,
             horizon: None,
             battery: None,
+            observers: Vec::new(),
             sampler: SamplerKind::IidUniform,
             freq_policy: FreqPolicy::Interpolate,
             deadline_mode: DeadlineMode::Fail,
@@ -139,8 +141,19 @@ impl<'a> Experiment<'a> {
     }
 
     /// Co-simulate against `battery` until it dies (or the horizon passes).
+    /// The battery is mounted *inside* the engine, so governors and policies
+    /// see its [`bas_sim::BatteryView`] on the simulation state.
     pub fn battery(mut self, battery: &'a mut dyn BatteryModel) -> Self {
         self.battery = Some(battery);
+        self
+    }
+
+    /// Attach a [`SimObserver`] to the run — e.g. a
+    /// [`bas_sim::JsonlWriter`] streaming the `bas-events/v1` event stream,
+    /// or a [`bas_sim::TraceRecorder`]/custom analysis. May be called
+    /// repeatedly; observers see the whole stream in order.
+    pub fn observer(mut self, observer: &'a mut dyn SimObserver) -> Self {
+        self.observers.push(observer);
         self
     }
 
@@ -181,7 +194,10 @@ impl<'a> Experiment<'a> {
         self
     }
 
-    /// Run the experiment.
+    /// Run the experiment: build the scheduler pieces, assemble a
+    /// [`Simulation`], mount the battery and observers, run to the horizon
+    /// (or battery death) and [`finish`](Simulation::finish) into the
+    /// outcome — the trace and metrics are moved out, never cloned.
     pub fn run(self) -> Result<SimOutcome, SimError> {
         let spec = self.spec.ok_or(SimError::Unconfigured("spec"))?;
         let processor = self.processor.ok_or(SimError::Unconfigured("processor"))?;
@@ -194,17 +210,21 @@ impl<'a> Experiment<'a> {
         cfg.deadline_mode = self.deadline_mode;
         cfg.freq_policy = self.freq_policy;
         cfg.check_feasibility = self.check_feasibility;
-        let mut ex = Executor::new(
+        let mut sim = Simulation::new(
             self.set.clone(),
             cfg,
             governor.as_mut(),
             policy.as_mut(),
             sampler.as_mut(),
         )?;
-        match self.battery {
-            Some(battery) => ex.run_until_battery_dead(battery, horizon),
-            None => ex.run_for(horizon),
+        if let Some(battery) = self.battery {
+            sim.mount_battery(battery);
         }
+        for observer in self.observers {
+            sim.attach(observer);
+        }
+        sim.run_until(horizon)?;
+        Ok(sim.finish())
     }
 }
 

@@ -32,6 +32,8 @@
 //!   files via the offline TOML-subset codec in [`toml`].
 //! * [`report`] — structured results: a [`Report`] serializes spec-labelled
 //!   per-seed metrics and [`Summary`] statistics as stable JSON/CSV.
+//! * [`table`] — the plain-text [`TextTable`] renderer behind the CLI's
+//!   historical output.
 //! * [`workloads`] — the standard workload families scenario files name.
 //! * [`parallel`] / [`stats`] — the deterministic fan-out primitive and
 //!   [`Summary`] statistics backing [`Sweep`].
@@ -95,6 +97,7 @@ pub mod runner;
 pub mod scenario;
 pub mod single_dag;
 pub mod stats;
+pub mod table;
 pub mod toml;
 pub mod workloads;
 
@@ -110,3 +113,4 @@ pub use runner::{
 };
 pub use scenario::{Scenario, ScenarioError, ScenarioKind};
 pub use stats::Summary;
+pub use table::TextTable;

@@ -9,8 +9,8 @@
 //! DESIGN.md §5.
 //!
 //! This module moved here from `bas-bench` when the [`crate::experiment`]
-//! layer absorbed batch execution; `bas_bench::parallel::parallel_map`
-//! remains as a deprecated shim.
+//! layer absorbed batch execution (`bas-bench` is a pure criterion-bench
+//! crate now).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -33,7 +33,7 @@
 use crate::estimator::EmaEstimator;
 use crate::policy::BasPolicy;
 use crate::priority::{Ltf, Pubs, RandomPriority, Stf};
-use bas_dvs::{CcEdf, LaEdf, NoDvs};
+use bas_dvs::{CcEdf, LaEdf, NoDvs, SocFloor};
 use bas_sim::{ActualSampler, FrequencyGovernor, PersistentFraction, TaskPolicy, UniformFraction};
 use std::fmt;
 use std::str::FromStr;
@@ -48,6 +48,11 @@ pub enum GovernorKind {
     CcEdf,
     /// Look-ahead EDF.
     LaEdf,
+    /// Battery-aware look-ahead EDF: laEDF wrapped in [`SocFloor`], flooring
+    /// `fref` at the flat static-utilization rate once the mounted battery's
+    /// state of charge drops below the default threshold. Without a battery
+    /// it behaves exactly like [`GovernorKind::LaEdf`].
+    Soc,
 }
 
 /// Which priority function orders the ready list.
@@ -204,6 +209,18 @@ impl SchedulerSpec {
         }
     }
 
+    /// BAS-2 with the battery-aware SoC-floored governor — the workspace's
+    /// demonstration that a scheduler can *react* to state of charge now
+    /// that the engine exposes it (`scenarios/battery-aware.toml` runs it
+    /// head-to-head against plain BAS-2).
+    pub fn bas_soc() -> Self {
+        SchedulerSpec {
+            governor: GovernorKind::Soc,
+            priority: PriorityKind::Pubs,
+            scope: ScopeKind::AllReleased,
+        }
+    }
+
     /// All five Table 2 rows in paper order, with their paper names.
     pub fn table2_lineup() -> [(&'static str, SchedulerSpec); 5] {
         [
@@ -222,6 +239,7 @@ impl SchedulerSpec {
             GovernorKind::None => "noDVS",
             GovernorKind::CcEdf => "ccEDF",
             GovernorKind::LaEdf => "laEDF",
+            GovernorKind::Soc => "socEDF",
         };
         let p = match self.priority {
             PriorityKind::Random => "random",
@@ -242,6 +260,7 @@ impl SchedulerSpec {
             GovernorKind::None => Box::new(NoDvs),
             GovernorKind::CcEdf => Box::new(CcEdf),
             GovernorKind::LaEdf => Box::new(LaEdf::with_fmax(fmax)),
+            GovernorKind::Soc => Box::new(SocFloor::with_default_threshold(LaEdf::with_fmax(fmax))),
         }
     }
 
@@ -286,8 +305,8 @@ impl fmt::Display for ParseSpecError {
         write!(
             f,
             "invalid scheduler spec {:?}: expected `governor+priority/scope` \
-             (noDVS|ccEDF|laEDF + random|LTF|STF|pUBS / imminent|all) or a \
-             paper alias (EDF, ccEDF, laEDF, BAS-1, BAS-2, BAS-1cc, BAS-2cc)",
+             (noDVS|ccEDF|laEDF|socEDF + random|LTF|STF|pUBS / imminent|all) or a \
+             paper alias (EDF, ccEDF, laEDF, BAS-1, BAS-2, BAS-1cc, BAS-2cc, BAS-soc)",
             self.input
         )
     }
@@ -309,6 +328,7 @@ impl FromStr for SchedulerSpec {
             "BAS-2" => return Ok(SchedulerSpec::bas2()),
             "BAS-1cc" => return Ok(SchedulerSpec::bas1cc()),
             "BAS-2cc" => return Ok(SchedulerSpec::bas2cc()),
+            "BAS-soc" => return Ok(SchedulerSpec::bas_soc()),
             _ => {}
         }
         let err = || ParseSpecError { input: s.to_string() };
@@ -318,6 +338,7 @@ impl FromStr for SchedulerSpec {
             "noDVS" => GovernorKind::None,
             "ccEDF" => GovernorKind::CcEdf,
             "laEDF" => GovernorKind::LaEdf,
+            "socEDF" => GovernorKind::Soc,
             _ => return Err(err()),
         };
         let priority = match priority {
@@ -336,11 +357,13 @@ impl FromStr for SchedulerSpec {
     }
 }
 
-/// Every expressible spec (3 governors × 4 priorities × 2 scopes), for
+/// Every expressible spec (4 governors × 4 priorities × 2 scopes), for
 /// exhaustive round-trip checks and enumerating sweeps.
 pub fn all_specs() -> Vec<SchedulerSpec> {
-    let mut out = Vec::with_capacity(24);
-    for governor in [GovernorKind::None, GovernorKind::CcEdf, GovernorKind::LaEdf] {
+    let mut out = Vec::with_capacity(32);
+    for governor in
+        [GovernorKind::None, GovernorKind::CcEdf, GovernorKind::LaEdf, GovernorKind::Soc]
+    {
         for priority in
             [PriorityKind::Random, PriorityKind::Ltf, PriorityKind::Stf, PriorityKind::Pubs]
         {
@@ -387,6 +410,14 @@ mod tests {
         }
         assert_eq!("BAS-1cc".parse::<SchedulerSpec>().unwrap(), SchedulerSpec::bas1cc());
         assert_eq!("BAS-2cc".parse::<SchedulerSpec>().unwrap(), SchedulerSpec::bas2cc());
+        assert_eq!("BAS-soc".parse::<SchedulerSpec>().unwrap(), SchedulerSpec::bas_soc());
+    }
+
+    #[test]
+    fn battery_aware_spec_round_trips() {
+        assert_eq!(SchedulerSpec::bas_soc().to_string(), "socEDF+pUBS/all");
+        assert_eq!("socEDF+pUBS/all".parse::<SchedulerSpec>().unwrap(), SchedulerSpec::bas_soc());
+        assert_eq!(all_specs().len(), 32);
     }
 
     #[test]

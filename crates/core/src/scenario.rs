@@ -28,13 +28,15 @@
 //! the checked-in `scenarios/*.toml` files and the built-in presets are the
 //! same objects.
 
-use crate::experiment::{Sweep, SweepReport};
+use crate::experiment::{Experiment, Sweep, SweepReport};
 use crate::runner::{SamplerKind, SchedulerSpec};
 use crate::toml::{self, Value};
 use crate::workloads::{paper_scale_config, unit_scale_config};
 use bas_battery::BatteryModel;
 use bas_cpu::{FreqPolicy, Processor};
 use bas_taskgraph::{TaskSet, TaskSetConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::fmt;
 use std::str::FromStr;
 
@@ -620,6 +622,37 @@ impl Scenario {
     /// (the scenario's `workload`/`graphs`/`util` knobs are ignored).
     pub fn run_sweep_with_set(&self, set: &TaskSet) -> Result<SweepReport, ScenarioError> {
         self.run_sweep_inner(|sweep| sweep.set(set))
+    }
+
+    /// Generate the task set of one sweep trial, exactly as
+    /// [`Scenario::run_sweep`]'s trials do (`trial_seed` comes from
+    /// [`Sweep::seed_for`]).
+    pub fn trial_set(&self, trial_seed: u64) -> Result<TaskSet, ScenarioError> {
+        self.workload_config()?
+            .generate(&mut StdRng::seed_from_u64(trial_seed))
+            .map_err(|e| ScenarioError::Sweep(format!("workload (seed {trial_seed}): {e}")))
+    }
+
+    /// Assemble the [`Experiment`] for one (spec × trial) cell with exactly
+    /// the knob wiring the sweep uses. Replay surfaces (e.g. the CLI's
+    /// `--events` capture) must build their runs through this — and
+    /// [`Scenario::trial_set`] / [`Scenario::build_battery`] — so they
+    /// cannot drift from the sweep they claim to replay; any future knob
+    /// added to the sweep's trial construction belongs here too.
+    pub fn trial_experiment<'a>(
+        &self,
+        set: &'a TaskSet,
+        spec: SchedulerSpec,
+        trial_seed: u64,
+        processor: &'a Processor,
+    ) -> Experiment<'a> {
+        Experiment::new(set)
+            .spec(spec)
+            .processor(processor)
+            .seed(trial_seed)
+            .horizon(self.horizon)
+            .sampler(self.sampler)
+            .freq_policy(self.freq)
     }
 
     fn run_sweep_inner<'a, F>(&'a self, attach_workload: F) -> Result<SweepReport, ScenarioError>

@@ -1,8 +1,8 @@
 //! Summary statistics for experiment results.
 //!
 //! This module moved here from `bas-bench` when the [`crate::experiment`]
-//! layer started returning per-spec summaries; `bas_bench::Summary` remains
-//! as a re-export.
+//! layer started returning per-spec summaries (`bas-bench` is a pure
+//! criterion-bench crate now).
 
 /// Mean / standard deviation / extremes / percentiles of a sample.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -1,8 +1,8 @@
 //! Standard workload families shared by scenarios, examples and the CLI.
 //!
 //! This module moved here from `bas-bench` when the [`crate::scenario`]
-//! layer started naming workloads in scenario files; `bas_bench::workloads`
-//! remains as a re-export.
+//! layer started naming workloads in scenario files (`bas-bench` is a pure
+//! criterion-bench crate now).
 //!
 //! Two scales are used, mirroring the paper:
 //!

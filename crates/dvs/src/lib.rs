@@ -12,9 +12,13 @@
 //! * [`NoDvs`] — always `fmax` (Table 2's "EDF, no DVS" row);
 //! * [`CcEdf`] — cycle-conserving EDF: `fref = Σ WCi(effective)/Di`;
 //! * [`LaEdf`] — look-ahead EDF: defers work past the earliest deadline as
-//!   far as subsequent deadlines allow, running as slowly as possible now.
+//!   far as subsequent deadlines allow, running as slowly as possible now;
+//! * [`SocFloor`] — the battery-aware wrap: runs an inner governor while the
+//!   engine's [`bas_sim::BatteryView`] reports a comfortable state of
+//!   charge, and floors `fref` at the flat static-utilization rate once it
+//!   drops below a threshold (canonically `socEDF` = `SocFloor<LaEdf>`).
 //!
-//! Governors return Hz (cycles per second); the executor clamps into the
+//! Governors return Hz (cycles per second); the engine clamps into the
 //! processor's range and realizes the value on discrete operating points.
 
 #![forbid(unsafe_code)]
@@ -23,24 +27,27 @@
 pub mod ccedf;
 pub mod laedf;
 pub mod nodvs;
+pub mod soc;
 pub mod static_util;
 
 pub use ccedf::CcEdf;
 pub use laedf::LaEdf;
 pub use nodvs::NoDvs;
+pub use soc::{SocFloor, DEFAULT_SOC_THRESHOLD};
 pub use static_util::StaticUtilization;
 
 use bas_sim::FrequencyGovernor;
 
-/// Governor lookup by name (`"none"`, `"static"`, `"ccEDF"`, `"laEDF"`).
-/// `fmax` is the processor peak frequency in Hz, which laEDF's deferral math
-/// needs. Returns `None` for unknown names.
+/// Governor lookup by name (`"none"`, `"static"`, `"ccEDF"`, `"laEDF"`,
+/// `"socEDF"`). `fmax` is the processor peak frequency in Hz, which laEDF's
+/// deferral math needs. Returns `None` for unknown names.
 pub fn governor_by_name(name: &str, fmax: f64) -> Option<Box<dyn FrequencyGovernor>> {
     match name {
         "none" => Some(Box::new(NoDvs)),
         "static" => Some(Box::new(StaticUtilization)),
         "ccEDF" => Some(Box::new(CcEdf)),
         "laEDF" => Some(Box::new(LaEdf::with_fmax(fmax))),
+        "socEDF" => Some(Box::new(SocFloor::with_default_threshold(LaEdf::with_fmax(fmax)))),
         _ => None,
     }
 }
@@ -55,6 +62,7 @@ mod tests {
         assert_eq!(governor_by_name("static", 1.0).unwrap().name(), "static-EDF");
         assert_eq!(governor_by_name("ccEDF", 1.0).unwrap().name(), "ccEDF");
         assert_eq!(governor_by_name("laEDF", 1.0).unwrap().name(), "laEDF");
+        assert_eq!(governor_by_name("socEDF", 1.0).unwrap().name(), "socEDF");
         assert!(governor_by_name("bogus", 1.0).is_none());
     }
 }

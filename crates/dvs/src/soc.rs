@@ -1,0 +1,184 @@
+//! State-of-charge–aware frequency governing — the first governor that
+//! actually *reads* the battery.
+//!
+//! [`SocFloor`] wraps any inner governor and watches the engine's
+//! scheduler-visible [`bas_sim::BatteryView`]. While the battery is
+//! comfortable
+//! (state-of-charge at or above the threshold) the inner governor runs
+//! untouched. Once the state-of-charge drops below the threshold, the wrap
+//! stops honouring the inner governor's deep frequency dips: it floors
+//! `fref` at the flat static-utilization rate `Σ WCi/Di`.
+//!
+//! Why flooring, and why that floor? The paper's §3 guidelines: a battery
+//! near exhaustion is dominated by the rate-capacity effect, and what hurts
+//! it most are the high-current *spikes* that follow over-aggressive slowdown
+//! (defer work at a deep dip now, and laEDF must sprint at `fmax` when the
+//! deferred worst case materializes — guideline G1's "avoid locally
+//! increasing current shapes"). The flat `U · fmax` rate is the lowest
+//! constant frequency that is feasible under EDF for *any* future workload,
+//! so flooring there caps the worst spike the governor can set up while
+//! still reclaiming everything above the floor. Raising `fref` can never
+//! introduce a deadline miss, so the wrap inherits the inner governor's
+//! miss-freedom unconditionally.
+//!
+//! Without a mounted battery (or above the threshold) the wrap is
+//! transparent, which keeps it safe to put in any lineup.
+
+use bas_sim::{FrequencyGovernor, SimState};
+use bas_taskgraph::GraphId;
+
+/// Default state-of-charge threshold below which the floor engages.
+pub const DEFAULT_SOC_THRESHOLD: f64 = 0.5;
+
+/// A battery-aware wrap: run `inner` while the battery is comfortable,
+/// floor `fref` at the flat static-utilization rate once the
+/// state-of-charge drops below `threshold`.
+#[derive(Debug, Clone)]
+pub struct SocFloor<G> {
+    inner: G,
+    threshold: f64,
+}
+
+impl<G: FrequencyGovernor> SocFloor<G> {
+    /// Wrap `inner`, engaging the floor below `threshold` (a fraction of
+    /// theoretical capacity in `[0, 1]`).
+    pub fn new(inner: G, threshold: f64) -> Self {
+        assert!((0.0..=1.0).contains(&threshold), "threshold is a capacity fraction");
+        SocFloor { inner, threshold }
+    }
+
+    /// Wrap `inner` with the [`DEFAULT_SOC_THRESHOLD`].
+    pub fn with_default_threshold(inner: G) -> Self {
+        SocFloor::new(inner, DEFAULT_SOC_THRESHOLD)
+    }
+
+    /// The wrapped governor.
+    pub fn inner(&self) -> &G {
+        &self.inner
+    }
+
+    /// The configured state-of-charge threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// True when the floor is engaged for `state` (battery mounted and its
+    /// state-of-charge below the threshold).
+    pub fn conserving(&self, state: &SimState) -> bool {
+        state.battery().is_some_and(|b| b.state_of_charge < self.threshold)
+    }
+}
+
+impl<G: FrequencyGovernor> FrequencyGovernor for SocFloor<G> {
+    fn name(&self) -> &'static str {
+        "socEDF"
+    }
+
+    fn frequency(&mut self, state: &SimState) -> f64 {
+        let f = self.inner.frequency(state);
+        if self.conserving(state) {
+            f.max(state.static_utilization_hz())
+        } else {
+            f
+        }
+    }
+
+    fn on_release(&mut self, state: &SimState, graph: GraphId) {
+        self.inner.on_release(state, graph);
+    }
+
+    fn on_completion(&mut self, state: &SimState, task: bas_sim::TaskRef, actual: f64) {
+        self.inner.on_completion(state, task, actual);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LaEdf;
+    use bas_sim::BatteryView;
+    use bas_taskgraph::{PeriodicTaskGraph, TaskGraphBuilder, TaskSet};
+
+    fn state() -> SimState {
+        // T0: 6 cycles / D 12; T1: 3 cycles / D 6. Static U = 1.0.
+        let mut set = TaskSet::new();
+        let mut b = TaskGraphBuilder::new("T0");
+        b.add_node("a", 6);
+        set.push(PeriodicTaskGraph::new(b.build().unwrap(), 12.0).unwrap());
+        let mut b = TaskGraphBuilder::new("T1");
+        b.add_node("b", 3);
+        set.push(PeriodicTaskGraph::new(b.build().unwrap(), 6.0).unwrap());
+        SimState::new(set)
+    }
+
+    fn view(soc: f64) -> BatteryView {
+        BatteryView { state_of_charge: soc, charge_delivered: 0.0, exhausted: false }
+    }
+
+    /// laEDF with only T0 released early in its window asks for well under
+    /// the static utilization — the situation the floor exists for.
+    fn released_state() -> SimState {
+        let mut s = state();
+        s.release(bas_taskgraph::GraphId::from_index(0), vec![6.0]);
+        s.refresh_edf();
+        s
+    }
+
+    #[test]
+    fn transparent_without_a_battery() {
+        let mut s = released_state();
+        s.set_battery_view(None);
+        let mut plain = LaEdf::with_fmax(1.0);
+        let mut wrapped = SocFloor::new(LaEdf::with_fmax(1.0), 0.5);
+        assert_eq!(wrapped.frequency(&s), plain.frequency(&s));
+        assert!(!wrapped.conserving(&s));
+    }
+
+    #[test]
+    fn transparent_above_the_threshold() {
+        let mut s = released_state();
+        s.set_battery_view(Some(view(0.9)));
+        let mut plain = LaEdf::with_fmax(1.0);
+        let mut wrapped = SocFloor::new(LaEdf::with_fmax(1.0), 0.5);
+        assert_eq!(wrapped.frequency(&s), plain.frequency(&s));
+    }
+
+    #[test]
+    fn floors_at_static_utilization_below_the_threshold() {
+        let mut s = released_state();
+        let mut plain = LaEdf::with_fmax(1.0);
+        let dip = plain.frequency(&s);
+        assert!(dip < 1.0 - 1e-9, "laEDF must actually dip for this test to bite: {dip}");
+        s.set_battery_view(Some(view(0.2)));
+        let mut wrapped = SocFloor::new(LaEdf::with_fmax(1.0), 0.5);
+        assert!(wrapped.conserving(&s));
+        let f = wrapped.frequency(&s);
+        assert!((f - s.static_utilization_hz()).abs() < 1e-12, "floored to U: {f}");
+        assert!(f > dip, "the same state must now draw a different decision");
+    }
+
+    #[test]
+    fn never_lowers_the_inner_request() {
+        // When the inner governor already asks for more than the floor
+        // (e.g. a deadline crunch), the wrap must not reduce it.
+        struct Hot;
+        impl FrequencyGovernor for Hot {
+            fn name(&self) -> &'static str {
+                "hot"
+            }
+            fn frequency(&mut self, _: &SimState) -> f64 {
+                2.5
+            }
+        }
+        let mut s = released_state();
+        s.set_battery_view(Some(view(0.1)));
+        let mut wrapped = SocFloor::new(Hot, 0.5);
+        assert_eq!(wrapped.frequency(&s), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity fraction")]
+    fn rejects_out_of_range_thresholds() {
+        let _ = SocFloor::new(LaEdf::with_fmax(1.0), 1.5);
+    }
+}

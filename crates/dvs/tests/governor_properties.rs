@@ -1,9 +1,9 @@
 //! Governor-level properties, checked through live executor runs.
 
 use bas_cpu::presets::unit_processor;
-use bas_dvs::{CcEdf, LaEdf, NoDvs};
+use bas_dvs::{CcEdf, LaEdf, NoDvs, SocFloor};
 use bas_sim::policy::EdfTopo;
-use bas_sim::{Executor, FrequencyGovernor, SimConfig, SimState, UniformFraction};
+use bas_sim::{FrequencyGovernor, SimConfig, SimState, Simulation, UniformFraction};
 use bas_taskgraph::{GeneratorConfig, GraphShape, TaskSetConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -32,8 +32,9 @@ fn run(governor: &mut dyn FrequencyGovernor, seed: u64, util: f64) -> bas_sim::M
     let mut sampler = UniformFraction::paper(seed);
     let mut cfg = SimConfig::new(unit_processor());
     cfg.record_trace = false;
-    let mut ex = Executor::new(set, cfg, governor, &mut policy, &mut sampler).unwrap();
-    ex.run_for(horizon).unwrap().metrics
+    let mut sim = Simulation::new(set, cfg, governor, &mut policy, &mut sampler).unwrap();
+    sim.run_until(horizon).unwrap();
+    sim.finish().metrics
 }
 
 proptest! {
@@ -43,12 +44,13 @@ proptest! {
     fn no_governor_ever_misses_deadlines(
         seed in 0u64..3_000,
         util in 0.2f64..0.95,
-        which in 0usize..3,
+        which in 0usize..4,
     ) {
         let mut governors: Vec<Box<dyn FrequencyGovernor>> = vec![
             Box::new(NoDvs),
             Box::new(CcEdf),
             Box::new(LaEdf::with_fmax(1.0)),
+            Box::new(SocFloor::with_default_threshold(LaEdf::with_fmax(1.0))),
         ];
         let m = run(governors[which].as_mut(), seed, util);
         prop_assert_eq!(m.deadline_misses, 0);
@@ -91,4 +93,63 @@ proptest! {
             "laEDF {f_la} must not exceed ccEDF {f_cc} at synchronized release"
         );
     }
+}
+
+/// Run `governor` against a mounted ideal battery of `capacity` coulombs and
+/// return the outcome (metrics + battery report).
+fn run_with_battery(
+    governor: &mut dyn FrequencyGovernor,
+    capacity: f64,
+    seed: u64,
+) -> bas_sim::SimOutcome {
+    let set = random_set(seed, 3, 0.7);
+    let horizon = 1.5 * set.iter().map(|(_, g)| g.period()).fold(0.0, f64::max);
+    let mut policy = EdfTopo;
+    let mut sampler = UniformFraction::paper(seed);
+    let mut cfg = SimConfig::new(unit_processor());
+    cfg.record_trace = false;
+    let mut battery = bas_battery::IdealModel::new(capacity);
+    let mut sim = Simulation::new(set, cfg, governor, &mut policy, &mut sampler).unwrap();
+    sim.mount_battery(&mut battery);
+    sim.run_until(horizon).unwrap();
+    sim.finish()
+}
+
+#[test]
+fn soc_floor_changes_decisions_exactly_when_the_battery_runs_low() {
+    let seed = 11;
+    // Size the cell from a reference run: 1.6× the consumed charge means the
+    // state of charge ends near 0.375 — crossing the 0.5 threshold mid-run
+    // without ever exhausting.
+    let reference = run_with_battery(&mut LaEdf::with_fmax(1.0), 1e9, seed);
+    let capacity = 1.6 * reference.metrics.charge;
+
+    // A comfortable battery (SoC never near 0.5): the wrap is transparent.
+    let comfy_plain = run_with_battery(&mut LaEdf::with_fmax(1.0), 100.0 * capacity, seed);
+    let comfy_wrapped = run_with_battery(
+        &mut SocFloor::with_default_threshold(LaEdf::with_fmax(1.0)),
+        100.0 * capacity,
+        seed,
+    );
+    assert_eq!(comfy_plain.metrics, comfy_wrapped.metrics, "transparent above the threshold");
+
+    // A strained battery: once SoC crosses 0.5 the floor engages and the
+    // schedule provably diverges — frequency decisions now depend on the
+    // state of charge.
+    let strained_plain = run_with_battery(&mut LaEdf::with_fmax(1.0), capacity, seed);
+    let strained_wrapped = run_with_battery(
+        &mut SocFloor::with_default_threshold(LaEdf::with_fmax(1.0)),
+        capacity,
+        seed,
+    );
+    assert_eq!(strained_plain.metrics.deadline_misses, 0);
+    assert_eq!(strained_wrapped.metrics.deadline_misses, 0);
+    assert!(!strained_wrapped.battery.as_ref().unwrap().died, "floor must not kill the cell");
+    assert!(
+        strained_wrapped.metrics.energy != strained_plain.metrics.energy
+            || strained_wrapped.metrics.decisions != strained_plain.metrics.decisions,
+        "low state of charge must change the schedule: {:?} vs {:?}",
+        strained_wrapped.metrics,
+        strained_plain.metrics
+    );
 }

@@ -1,0 +1,837 @@
+//! The stepped discrete-event simulation engine.
+//!
+//! [`Simulation`] owns one simulation lifecycle: bind a task set, a governor,
+//! a policy and a sampler; optionally mount a battery and attach
+//! [`SimObserver`]s; then drive it with [`step`](Simulation::step) /
+//! [`run_until`](Simulation::run_until) and take the results out once with
+//! [`finish`](Simulation::finish). The monolithic
+//! `Executor::run_for`/`run_until_battery_dead` pair this replaces could only
+//! run to completion and cloned its `Trace`/`Metrics` into every outcome;
+//! the stepped engine streams instead of buffering, and `finish` *moves*.
+//!
+//! Scheduling points are instance releases and node completions — exactly
+//! the points at which the paper's pseudocode re-evaluates `fref` and
+//! re-picks a task. Between points the chosen node runs at the governor's
+//! `fref`, realized as (at most) two discrete-operating-point segments, high
+//! leg first so the current is non-increasing *within* the slice (guideline
+//! G1's "locally non-increasing" shape at the finest granularity we
+//! control). A release arriving while a node runs preempts it (preemptive
+//! EDF model); the node keeps its progress and re-enters the ready list.
+//!
+//! Every transition is narrated to the attached observers as a typed
+//! [`SimEvent`]; every constant-current stretch as a slice (see
+//! [`crate::event`]). The battery, when mounted, lives *inside* the engine:
+//! it absorbs each slice as it is emitted, and its scheduler-visible
+//! digest — a [`BatteryView`] — is refreshed on [`SimState`] before the next
+//! decision, so governors and policies can finally react to state-of-charge
+//! (see `bas_dvs::SocFloor` for the canonical battery-aware governor).
+
+use crate::error::SimError;
+use crate::event::{SimEvent, SliceInfo};
+use crate::metrics::Metrics;
+use crate::observer::{MetricsCollector, SimObserver, TraceRecorder};
+use crate::state::{BatteryView, SimState};
+use crate::time;
+use crate::trace::{SliceKind, Trace};
+use crate::traits::{FrequencyGovernor, TaskPolicy};
+use crate::types::TaskRef;
+use crate::workload::ActualSampler;
+use bas_battery::{BatteryModel, LifetimeReport, StepOutcome};
+use bas_cpu::{FreqPolicy, Processor};
+use bas_taskgraph::TaskSet;
+
+/// What to do when an instance is still unfinished at its deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeadlineMode {
+    /// Abort the simulation with [`SimError::DeadlineMiss`] — the right mode
+    /// for experiments, where every scheduler is supposed to be miss-free.
+    #[default]
+    Fail,
+    /// Record the miss (as a [`SimEvent::DeadlineMiss`]), drop the stale
+    /// instance, release the new one. Useful for deliberately-overloaded
+    /// what-if runs.
+    DropAndCount,
+}
+
+/// Static configuration of a simulation.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The DVS processor model.
+    pub processor: Processor,
+    /// How continuous `fref` maps onto discrete operating points.
+    pub freq_policy: FreqPolicy,
+    /// Deadline-miss behaviour.
+    pub deadline_mode: DeadlineMode,
+    /// Mount the built-in [`TraceRecorder`] (costs memory on long runs;
+    /// metrics and battery accounting are always exact regardless — stream
+    /// through a [`crate::JsonlWriter`] for O(1)-memory exports).
+    pub record_trace: bool,
+    /// Reject task sets that are over-utilized or structurally infeasible
+    /// before running.
+    pub check_feasibility: bool,
+}
+
+impl SimConfig {
+    /// Config with the given processor and all defaults (interpolated
+    /// frequencies, fail on miss, trace recording on, feasibility checked).
+    pub fn new(processor: Processor) -> Self {
+        SimConfig {
+            processor,
+            freq_policy: FreqPolicy::Interpolate,
+            deadline_mode: DeadlineMode::Fail,
+            record_trace: true,
+            check_feasibility: true,
+        }
+    }
+}
+
+/// Everything a finished simulation hands back. Produced by
+/// [`Simulation::finish`], which **moves** the accumulated trace and metrics
+/// out of the engine — nothing is cloned.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Aggregate counters and integrals.
+    pub metrics: Metrics,
+    /// The execution trace when `record_trace` was set.
+    pub trace: Option<Trace>,
+    /// Battery lifetime report when a battery was mounted.
+    pub battery: Option<LifetimeReport>,
+}
+
+/// How one [`Simulation::step`] (or a whole [`Simulation::run_until`])
+/// ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// The simulation advanced and can continue.
+    Advanced,
+    /// The clock reached the requested limit; more stepping is possible with
+    /// a later limit.
+    LimitReached,
+    /// The mounted battery is exhausted; the simulation is over (further
+    /// steps keep reporting this).
+    BatteryExhausted,
+}
+
+/// The stepped simulation lifecycle binding a task set, a governor, a
+/// policy, a sampler, an optional battery and any number of observers.
+///
+/// ```
+/// use bas_sim::policy::EdfTopo;
+/// use bas_sim::{MaxSpeed, SimConfig, Simulation, Step, WorstCase};
+/// use bas_cpu::presets::unit_processor;
+/// use bas_taskgraph::{PeriodicTaskGraph, TaskGraphBuilder, TaskSet};
+///
+/// let mut b = TaskGraphBuilder::new("T0");
+/// b.add_node("t", 4);
+/// let mut set = TaskSet::new();
+/// set.push(PeriodicTaskGraph::new(b.build().unwrap(), 10.0).unwrap());
+///
+/// let (mut g, mut p, mut s) = (MaxSpeed, EdfTopo, WorstCase);
+/// let mut sim =
+///     Simulation::new(set, SimConfig::new(unit_processor()), &mut g, &mut p, &mut s).unwrap();
+/// // Step to the first completion, inspect live state, then run out the
+/// // horizon — the lifecycle the old run-to-completion API could not express.
+/// sim.step().unwrap();
+/// assert!(sim.state().now() > 0.0);
+/// assert_eq!(sim.run_until(10.0).unwrap(), Step::LimitReached);
+/// let outcome = sim.finish();
+/// assert_eq!(outcome.metrics.instances_completed, 1);
+/// ```
+pub struct Simulation<'a> {
+    cfg: SimConfig,
+    state: SimState,
+    governor: &'a mut dyn FrequencyGovernor,
+    policy: &'a mut dyn TaskPolicy,
+    sampler: &'a mut dyn ActualSampler,
+    battery: Option<&'a mut dyn BatteryModel>,
+    observers: Vec<&'a mut dyn SimObserver>,
+    metrics: MetricsCollector,
+    recorder: Option<TraceRecorder>,
+    ready: Vec<TaskRef>,
+    running: Option<TaskRef>,
+    last_fref: Option<f64>,
+    exhausted: bool,
+}
+
+impl<'a> Simulation<'a> {
+    /// Bind a simulation. Fails fast on infeasible input when configured to.
+    pub fn new(
+        set: TaskSet,
+        cfg: SimConfig,
+        governor: &'a mut dyn FrequencyGovernor,
+        policy: &'a mut dyn TaskPolicy,
+        sampler: &'a mut dyn ActualSampler,
+    ) -> Result<Self, SimError> {
+        if set.is_empty() {
+            return Err(SimError::EmptyTaskSet);
+        }
+        if cfg.check_feasibility {
+            let fmax = cfg.processor.fmax();
+            let u = set.utilization(fmax);
+            if u > 1.0 + 1e-9 {
+                return Err(SimError::Overutilized { utilization: u });
+            }
+            for (gid, g) in set.iter() {
+                if !g.is_structurally_feasible(fmax) {
+                    return Err(SimError::StructurallyInfeasible { graph: gid.index() });
+                }
+            }
+        }
+        let metrics = MetricsCollector::new(cfg.processor.supply().vbat);
+        let recorder = cfg.record_trace.then(TraceRecorder::new);
+        Ok(Simulation {
+            cfg,
+            state: SimState::new(set),
+            governor,
+            policy,
+            sampler,
+            battery: None,
+            observers: Vec::new(),
+            metrics,
+            recorder,
+            ready: Vec::new(),
+            running: None,
+            last_fref: None,
+            exhausted: false,
+        })
+    }
+
+    /// Mount `battery` inside the engine: every emitted slice discharges it,
+    /// its exhaustion ends the simulation, and its scheduler-visible
+    /// [`BatteryView`] appears on [`SimState::battery`] from now on. Mount
+    /// before stepping; the caller keeps ownership and can read the model
+    /// back after [`Simulation::finish`].
+    pub fn mount_battery(&mut self, battery: &'a mut dyn BatteryModel) -> &mut Self {
+        self.state.set_battery_view(Some(BatteryView::of(battery)));
+        self.battery = Some(battery);
+        self
+    }
+
+    /// Attach an observer; every [`SimEvent`] and slice from now on is
+    /// fanned out to it (attach before stepping to see the whole stream).
+    pub fn attach(&mut self, observer: &'a mut dyn SimObserver) -> &mut Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// The live scheduler-visible state.
+    pub fn state(&self) -> &SimState {
+        &self.state
+    }
+
+    /// The metrics accumulated so far (finish moves them out).
+    pub fn metrics(&self) -> &Metrics {
+        self.metrics.metrics()
+    }
+
+    /// Advance by one engine iteration (process due releases, take one
+    /// scheduling decision, execute to the next event boundary), unbounded
+    /// in time.
+    pub fn step(&mut self) -> Result<Step, SimError> {
+        self.step_until(f64::INFINITY)
+    }
+
+    /// Like [`Simulation::step`], but slices are truncated at `limit` and
+    /// [`Step::LimitReached`] is returned once the clock is there (`limit`
+    /// is exclusive: events at exactly `limit` are not processed).
+    pub fn step_until(&mut self, limit: f64) -> Result<Step, SimError> {
+        if self.exhausted {
+            return Ok(Step::BatteryExhausted);
+        }
+        let t = self.state.now();
+        if time::approx_ge(t, limit) {
+            return Ok(Step::LimitReached);
+        }
+        self.process_releases(t)?;
+        let t_next = self.state.next_release_any().min(limit);
+        self.state.ready_tasks(&mut self.ready);
+
+        // Governor first (fref feeds the policy's feasibility checks).
+        let fmin = self.cfg.processor.fmin();
+        let fmax = self.cfg.processor.fmax();
+        let fref = if self.ready.is_empty() {
+            fmin // nothing to run; value is irrelevant
+        } else {
+            self.governor.frequency(&self.state).clamp(fmin, fmax)
+        };
+        if !self.ready.is_empty() && self.last_fref != Some(fref) {
+            self.dispatch_event(SimEvent::FreqChange { t, fref });
+            self.last_fref = Some(fref);
+        }
+
+        let pick = if self.ready.is_empty() {
+            None
+        } else {
+            self.policy.pick(&self.state, &self.ready, fref)
+        };
+        self.dispatch_event(SimEvent::Decision { t, fref, picked: pick });
+
+        match pick {
+            None => {
+                let dt = t_next - t;
+                if time::negligible(dt) {
+                    self.state.set_now(t_next);
+                    return Ok(Step::Advanced);
+                }
+                if let Some(stop) =
+                    self.emit(t, dt, self.cfg.processor.supply().idle_current, SliceKind::Idle)
+                {
+                    self.dispatch_event(SimEvent::Idle { t, duration: stop - t });
+                    self.state.set_now(stop);
+                    self.exhausted = true;
+                    return Ok(Step::BatteryExhausted);
+                }
+                self.dispatch_event(SimEvent::Idle { t, duration: dt });
+                self.running = None;
+                self.state.set_now(t_next);
+            }
+            Some(task) => {
+                if self.ready.binary_search(&task).is_err() {
+                    return Err(SimError::InvalidPick { task });
+                }
+                if let Some(prev) = self.running {
+                    if prev != task && self.state.remaining_wc_node(prev) > 0.0 {
+                        self.dispatch_event(SimEvent::Preempt { t, task: prev, by: task });
+                    }
+                }
+                let rem_actual =
+                    self.state.graph_ref(task.graph).nodes[task.node.index()].remaining_actual();
+                let realization = self.cfg.processor.realize(fref, self.cfg.freq_policy);
+                let dur_complete = rem_actual / realization.average_frequency;
+                if time::negligible(dur_complete) {
+                    // Residual below time resolution: complete in place.
+                    self.complete_if_done(task, rem_actual, t);
+                    return Ok(Step::Advanced);
+                }
+                let slack_to_event = t_next - t;
+                let (dt, completing) = if dur_complete <= slack_to_event + time::eps_for(t_next) {
+                    (dur_complete, true)
+                } else {
+                    (slack_to_event, false)
+                };
+                if time::negligible(dt) {
+                    // Release boundary reached; go process it.
+                    self.state.set_now(t_next);
+                    return Ok(Step::Advanced);
+                }
+                if self.running != Some(task) {
+                    self.dispatch_event(SimEvent::Start {
+                        t,
+                        task,
+                        frequency: realization.average_frequency,
+                    });
+                }
+                // Execute: high-frequency leg first, then low (locally
+                // non-increasing current within the slice).
+                let mut died_at = None;
+                let mut elapsed = 0.0;
+                let mut cycles_done = 0.0;
+                let mut legs: [Option<(usize, f64)>; 2] = [None, None];
+                match realization.hi {
+                    Some(hi) => {
+                        legs[0] = Some((hi.opp, dt * hi.time_fraction));
+                        legs[1] = Some((realization.lo.opp, dt * realization.lo.time_fraction));
+                    }
+                    None => legs[0] = Some((realization.lo.opp, dt)),
+                }
+                for leg in legs.into_iter().flatten() {
+                    let (opp_ix, leg_dt) = leg;
+                    if time::negligible(leg_dt) {
+                        continue;
+                    }
+                    let opp = self.cfg.processor.opps().get(opp_ix);
+                    let current = self.cfg.processor.battery_current_at(opp_ix);
+                    let kind = SliceKind::Run { task, opp: opp_ix, frequency: opp.frequency };
+                    if let Some(stop) = self.emit(t + elapsed, leg_dt, current, kind) {
+                        let survived = stop - (t + elapsed);
+                        cycles_done += opp.frequency * survived;
+                        elapsed += survived;
+                        died_at = Some(t + elapsed);
+                        break;
+                    }
+                    cycles_done += opp.frequency * leg_dt;
+                    elapsed += leg_dt;
+                }
+                self.dispatch_event(SimEvent::Progress {
+                    t,
+                    task,
+                    cycles: cycles_done.min(rem_actual),
+                    busy: elapsed,
+                });
+                if let Some(stop) = died_at {
+                    self.state.advance(task, cycles_done.min(rem_actual));
+                    self.state.set_now(stop);
+                    self.exhausted = true;
+                    return Ok(Step::BatteryExhausted);
+                }
+                self.running = Some(task);
+                if completing {
+                    self.complete_if_done(task, rem_actual, t + dt);
+                } else {
+                    self.state.advance(task, cycles_done.min(rem_actual - 1e-3));
+                }
+                self.state.set_now(t + dt);
+            }
+        }
+        Ok(Step::Advanced)
+    }
+
+    /// Run until the clock reaches `limit` (exclusive) or the mounted
+    /// battery is exhausted, whichever comes first.
+    pub fn run_until(&mut self, limit: f64) -> Result<Step, SimError> {
+        if !(limit.is_finite() && limit > 0.0) {
+            return Err(SimError::InvalidHorizon(limit));
+        }
+        loop {
+            match self.step_until(limit)? {
+                Step::Advanced => continue,
+                end => return Ok(end),
+            }
+        }
+    }
+
+    /// End the lifecycle: **move** the accumulated metrics and trace out
+    /// and, when a battery was mounted, derive its [`LifetimeReport`] (the
+    /// two columns of the paper's Table 2).
+    pub fn finish(self) -> SimOutcome {
+        let battery = self.battery.map(|b| LifetimeReport {
+            lifetime: self.state.now(),
+            charge_delivered: b.charge_delivered(),
+            died: b.is_exhausted(),
+        });
+        SimOutcome {
+            metrics: self.metrics.into_metrics(),
+            trace: self.recorder.map(TraceRecorder::into_trace),
+            battery,
+        }
+    }
+
+    // ------------------------------------------------------------------
+
+    /// Process all releases due at or before the current time.
+    fn process_releases(&mut self, t: f64) -> Result<(), SimError> {
+        let ids: Vec<_> = self.state.set().graph_ids().collect();
+        for gid in ids {
+            while time::approx_le(self.state.next_release(gid), t) {
+                if self.state.is_active(gid) {
+                    // Deadline == release time of the next instance.
+                    let deadline = self.state.deadline(gid).expect("active");
+                    match self.cfg.deadline_mode {
+                        DeadlineMode::Fail => {
+                            return Err(SimError::DeadlineMiss { graph: gid.index(), deadline });
+                        }
+                        DeadlineMode::DropAndCount => {
+                            self.dispatch_event(SimEvent::DeadlineMiss { t, graph: gid, deadline });
+                            self.state.abandon(gid);
+                        }
+                    }
+                }
+                let release_t = self.state.next_release(gid);
+                let instance = self.state.graph_ref(gid).next_instance;
+                let graph = self.state.set()[gid].graph_arc();
+                let actuals: Vec<f64> = graph
+                    .node_ids()
+                    .map(|n| self.sampler.sample(gid, n, instance, graph.wcet(n)))
+                    .collect();
+                self.state.release(gid, actuals);
+                self.state.refresh_edf();
+                let deadline = self.state.deadline(gid).expect("just released");
+                self.dispatch_event(SimEvent::Release {
+                    t: release_t,
+                    graph: gid,
+                    instance,
+                    deadline,
+                });
+                self.governor.on_release(&self.state, gid);
+            }
+        }
+        self.state.refresh_edf();
+        Ok(())
+    }
+
+    /// Mark `task` complete after having run its full actual demand at time
+    /// `t_complete`, and fire the completion hooks.
+    fn complete_if_done(&mut self, task: TaskRef, rem_actual: f64, t_complete: f64) {
+        let actual = self
+            .state
+            .advance(task, rem_actual)
+            .expect("executing the full remaining actual must complete the node");
+        let instance_done = !self.state.is_active(task.graph);
+        self.state.refresh_edf();
+        self.dispatch_event(SimEvent::Complete { t: t_complete, task, actual, instance_done });
+        self.running = None;
+        self.governor.on_completion(&self.state, task, actual);
+        self.policy.on_completion(&self.state, task, actual);
+    }
+
+    /// Emit one constant-current slice: battery first (it may truncate),
+    /// then the slice and battery events to every observer. Returns
+    /// `Some(stop_time)` when the battery died inside it.
+    fn emit(&mut self, start: f64, dt: f64, current: f64, kind: SliceKind) -> Option<f64> {
+        let mut effective_dt = dt;
+        let mut died = None;
+        if let Some(b) = self.battery.as_deref_mut() {
+            match b.step(current, dt) {
+                StepOutcome::Alive => {}
+                StepOutcome::Exhausted { survived } => {
+                    effective_dt = survived;
+                    died = Some(start + survived);
+                }
+            }
+        }
+        let view = self.battery.as_deref().map(BatteryView::of);
+        if view.is_some() {
+            self.state.set_battery_view(view);
+        }
+        self.dispatch_slice(SliceInfo { start, duration: effective_dt, current, kind });
+        if let Some(v) = view {
+            self.dispatch_event(SimEvent::BatteryStep {
+                t: start + effective_dt,
+                state_of_charge: v.state_of_charge,
+                charge_delivered: v.charge_delivered,
+                exhausted: v.exhausted,
+            });
+        }
+        died
+    }
+
+    fn dispatch_event(&mut self, event: SimEvent) {
+        self.metrics.on_event(&self.state, &event);
+        if let Some(recorder) = self.recorder.as_mut() {
+            recorder.on_event(&self.state, &event);
+        }
+        for observer in self.observers.iter_mut() {
+            observer.on_event(&self.state, &event);
+        }
+    }
+
+    fn dispatch_slice(&mut self, slice: SliceInfo) {
+        self.metrics.on_slice(&self.state, &slice);
+        if let Some(recorder) = self.recorder.as_mut() {
+            recorder.on_slice(&self.state, &slice);
+        }
+        for observer in self.observers.iter_mut() {
+            observer.on_slice(&self.state, &slice);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::EdfTopo;
+    use crate::traits::MaxSpeed;
+    use crate::workload::{FixedFraction, WorstCase};
+    use bas_battery::IdealModel;
+    use bas_cpu::presets::unit_processor;
+    use bas_taskgraph::{PeriodicTaskGraph, TaskGraphBuilder, TaskSet};
+
+    fn single_task_set(wc: u64, period: f64) -> TaskSet {
+        let mut b = TaskGraphBuilder::new("T0");
+        b.add_node("t", wc);
+        let mut set = TaskSet::new();
+        set.push(PeriodicTaskGraph::new(b.build().unwrap(), period).unwrap());
+        set
+    }
+
+    fn chain_set() -> TaskSet {
+        // T0: a(2) -> b(3), period 10; T1: c(2), period 5. U = 0.5 + 0.4 = 0.9.
+        let mut b = TaskGraphBuilder::new("T0");
+        let a = b.add_node("a", 2);
+        let c = b.add_node("b", 3);
+        b.add_edge(a, c).unwrap();
+        let g0 = PeriodicTaskGraph::new(b.build().unwrap(), 10.0).unwrap();
+        let mut b = TaskGraphBuilder::new("T1");
+        b.add_node("c", 2);
+        let g1 = PeriodicTaskGraph::new(b.build().unwrap(), 5.0).unwrap();
+        let mut set = TaskSet::new();
+        set.push(g0);
+        set.push(g1);
+        set
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig::new(unit_processor())
+    }
+
+    /// Run to `horizon` and finish — the old `run_for` in two calls.
+    fn run_for(
+        set: TaskSet,
+        cfg: SimConfig,
+        governor: &mut dyn FrequencyGovernor,
+        policy: &mut dyn TaskPolicy,
+        sampler: &mut dyn ActualSampler,
+        horizon: f64,
+    ) -> Result<SimOutcome, SimError> {
+        let mut sim = Simulation::new(set, cfg, governor, policy, sampler)?;
+        sim.run_until(horizon)?;
+        Ok(sim.finish())
+    }
+
+    #[test]
+    fn empty_set_is_rejected() {
+        let mut g = MaxSpeed;
+        let mut p = EdfTopo;
+        let mut s = WorstCase;
+        let err = Simulation::new(TaskSet::new(), cfg(), &mut g, &mut p, &mut s).err().unwrap();
+        assert_eq!(err, SimError::EmptyTaskSet);
+    }
+
+    #[test]
+    fn overutilized_set_is_rejected() {
+        let set = single_task_set(20, 10.0); // U = 2
+        let mut g = MaxSpeed;
+        let mut p = EdfTopo;
+        let mut s = WorstCase;
+        let err = Simulation::new(set, cfg(), &mut g, &mut p, &mut s).err().unwrap();
+        assert!(matches!(err, SimError::Overutilized { .. }));
+    }
+
+    #[test]
+    fn single_task_at_fmax_completes_and_idles() {
+        let set = single_task_set(4, 10.0);
+        let mut g = MaxSpeed;
+        let mut p = EdfTopo;
+        let mut s = WorstCase;
+        let out = run_for(set, cfg(), &mut g, &mut p, &mut s, 10.0).unwrap();
+        let m = &out.metrics;
+        assert_eq!(m.instances_released, 1);
+        assert_eq!(m.instances_completed, 1);
+        assert_eq!(m.nodes_completed, 1);
+        assert!((m.busy_time - 4.0).abs() < 1e-9, "4 cycles at f=1");
+        assert!((m.idle_time - 6.0).abs() < 1e-9);
+        assert_eq!(m.deadline_misses, 0);
+        let trace = out.trace.unwrap();
+        trace.validate().unwrap();
+        assert!((trace.duration() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn actual_fraction_shortens_execution() {
+        let set = single_task_set(4, 10.0);
+        let mut g = MaxSpeed;
+        let mut p = EdfTopo;
+        let mut s = FixedFraction::new(0.5);
+        let out = run_for(set, cfg(), &mut g, &mut p, &mut s, 10.0).unwrap();
+        assert!((out.metrics.busy_time - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn precedence_is_respected_in_trace() {
+        let set = chain_set();
+        let mut g = MaxSpeed;
+        let mut p = EdfTopo;
+        let mut s = WorstCase;
+        let out = run_for(set, cfg(), &mut g, &mut p, &mut s, 10.0).unwrap();
+        let trace = out.trace.unwrap();
+        trace.validate().unwrap();
+        // T0.b must never run before T0.a completes: in execution order, a
+        // precedes b.
+        let order = trace.execution_order();
+        let pos = |t: TaskRef| order.iter().position(|&x| x == t).expect("both ran");
+        use bas_taskgraph::{GraphId, NodeId};
+        let a = TaskRef::new(GraphId::from_index(0), NodeId::from_index(0));
+        let b = TaskRef::new(GraphId::from_index(0), NodeId::from_index(1));
+        assert!(pos(a) < pos(b));
+        assert_eq!(out.metrics.deadline_misses, 0);
+    }
+
+    #[test]
+    fn periodic_releases_recur() {
+        let set = single_task_set(2, 5.0);
+        let mut g = MaxSpeed;
+        let mut p = EdfTopo;
+        let mut s = WorstCase;
+        let out = run_for(set, cfg(), &mut g, &mut p, &mut s, 20.0).unwrap();
+        assert_eq!(out.metrics.instances_released, 4);
+        assert_eq!(out.metrics.instances_completed, 4);
+        assert!((out.metrics.busy_time - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn battery_death_cuts_the_run() {
+        let set = single_task_set(5, 10.0);
+        let mut g = MaxSpeed;
+        let mut p = EdfTopo;
+        let mut s = WorstCase;
+        let mut sim = Simulation::new(set, cfg(), &mut g, &mut p, &mut s).unwrap();
+        // unit_processor full-speed draw is 1.8 A; 9 C dies after 5 s busy.
+        let mut battery = IdealModel::new(9.0);
+        sim.mount_battery(&mut battery);
+        assert_eq!(sim.run_until(1e6).unwrap(), Step::BatteryExhausted);
+        // The engine stays exhausted: further steps are no-ops.
+        assert_eq!(sim.step().unwrap(), Step::BatteryExhausted);
+        let out = sim.finish();
+        let report = out.battery.unwrap();
+        assert!(report.died);
+        assert!(report.lifetime > 0.0 && report.lifetime < 20.0);
+        assert!((report.charge_delivered - 9.0).abs() < 1e-6);
+        let trace = out.trace.unwrap();
+        trace.validate().unwrap();
+    }
+
+    #[test]
+    fn deadline_miss_fails_or_counts_by_mode() {
+        // Worst case 5 every 5 at fmax=1 is exactly feasible; make it
+        // infeasible by idling: use a policy that refuses to run.
+        struct Lazy;
+        impl TaskPolicy for Lazy {
+            fn name(&self) -> &'static str {
+                "lazy"
+            }
+            fn pick(&mut self, _: &SimState, _: &[TaskRef], _: f64) -> Option<TaskRef> {
+                None
+            }
+        }
+        let mut g = MaxSpeed;
+        let mut s = WorstCase;
+        // Fail mode:
+        let mut p = Lazy;
+        let err =
+            run_for(single_task_set(5, 5.0), cfg(), &mut g, &mut p, &mut s, 20.0).unwrap_err();
+        assert!(matches!(err, SimError::DeadlineMiss { .. }));
+        // Lenient mode:
+        let mut cfg2 = cfg();
+        cfg2.deadline_mode = DeadlineMode::DropAndCount;
+        let mut p = Lazy;
+        let mut g = MaxSpeed;
+        let mut s = WorstCase;
+        let out = run_for(single_task_set(5, 5.0), cfg2, &mut g, &mut p, &mut s, 20.0).unwrap();
+        assert!(out.metrics.deadline_misses >= 3);
+        assert_eq!(out.metrics.nodes_completed, 0);
+    }
+
+    #[test]
+    fn invalid_pick_is_rejected() {
+        struct Rogue;
+        impl TaskPolicy for Rogue {
+            fn name(&self) -> &'static str {
+                "rogue"
+            }
+            fn pick(&mut self, _: &SimState, _: &[TaskRef], _: f64) -> Option<TaskRef> {
+                use bas_taskgraph::{GraphId, NodeId};
+                Some(TaskRef::new(GraphId::from_index(0), NodeId::from_index(7)))
+            }
+        }
+        let mut g = MaxSpeed;
+        let mut p = Rogue;
+        let mut s = WorstCase;
+        let err =
+            run_for(single_task_set(2, 10.0), cfg(), &mut g, &mut p, &mut s, 10.0).unwrap_err();
+        assert!(matches!(err, SimError::InvalidPick { .. }));
+    }
+
+    #[test]
+    fn invalid_horizon_is_rejected() {
+        let mut g = MaxSpeed;
+        let mut p = EdfTopo;
+        let mut s = WorstCase;
+        let mut sim =
+            Simulation::new(single_task_set(2, 10.0), cfg(), &mut g, &mut p, &mut s).unwrap();
+        assert!(sim.run_until(0.0).is_err());
+        assert!(sim.run_until(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn charge_accounting_matches_trace_integral() {
+        let set = chain_set();
+        let mut g = MaxSpeed;
+        let mut p = EdfTopo;
+        let mut s = WorstCase;
+        let out = run_for(set, cfg(), &mut g, &mut p, &mut s, 10.0).unwrap();
+        let profile = out.trace.as_ref().unwrap().to_load_profile();
+        assert!(
+            (profile.total_charge() - out.metrics.charge).abs() < 1e-9,
+            "trace integral {} vs metrics {}",
+            profile.total_charge(),
+            out.metrics.charge
+        );
+    }
+
+    #[test]
+    fn preemption_on_release_is_counted() {
+        // T0 runs 8 cycles over period 20; T1 (period 5, wc 1) preempts it.
+        let mut b = TaskGraphBuilder::new("T0");
+        b.add_node("long", 8);
+        let g0 = PeriodicTaskGraph::new(b.build().unwrap(), 20.0).unwrap();
+        let mut b = TaskGraphBuilder::new("T1");
+        b.add_node("short", 1);
+        let g1 = PeriodicTaskGraph::new(b.build().unwrap(), 5.0).unwrap();
+        let mut set = TaskSet::new();
+        set.push(g0);
+        set.push(g1);
+        let mut g = MaxSpeed;
+        let mut p = EdfTopo;
+        let mut s = WorstCase;
+        let out = run_for(set, cfg(), &mut g, &mut p, &mut s, 20.0).unwrap();
+        assert!(out.metrics.preemptions >= 1, "{:?}", out.metrics);
+        assert_eq!(out.metrics.deadline_misses, 0);
+    }
+
+    #[test]
+    fn stepping_in_pieces_matches_one_run() {
+        // run_until(5) → run_until(12.5) → run_until(20) must execute the
+        // same schedule as one run_until(20). A split limit inserts an extra
+        // scheduling point (one more decision, float round-off at the cut),
+        // but under a deterministic governor/policy nothing else may change.
+        let run = |splits: &[f64]| {
+            let mut g = MaxSpeed;
+            let mut p = EdfTopo;
+            let mut s = FixedFraction::new(0.7);
+            let mut sim = Simulation::new(chain_set(), cfg(), &mut g, &mut p, &mut s).unwrap();
+            for &limit in splits {
+                assert_eq!(sim.run_until(limit).unwrap(), Step::LimitReached);
+            }
+            sim.finish()
+        };
+        let whole = run(&[20.0]);
+        let pieces = run(&[5.0, 12.5, 20.0]);
+        let (a, b) = (&whole.metrics, &pieces.metrics);
+        assert_eq!(a.nodes_completed, b.nodes_completed);
+        assert_eq!(a.instances_released, b.instances_released);
+        assert_eq!(a.instances_completed, b.instances_completed);
+        assert_eq!(a.preemptions, b.preemptions);
+        assert!(b.decisions >= a.decisions, "splits only add scheduling points");
+        assert!((a.busy_time - b.busy_time).abs() < 1e-9);
+        assert!((a.charge - b.charge).abs() < 1e-9);
+        assert!((a.energy - b.energy).abs() < 1e-9);
+        let (ta, tb) = (whole.trace.unwrap(), pieces.trace.unwrap());
+        assert_eq!(ta.execution_order(), tb.execution_order());
+        assert_eq!(ta.len(), tb.len(), "cut slices must re-merge in the trace");
+    }
+
+    #[test]
+    fn battery_view_is_visible_to_the_scheduler() {
+        // A governor that records the SoC it sees at every decision.
+        struct SocProbe {
+            seen: Vec<f64>,
+        }
+        impl FrequencyGovernor for SocProbe {
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+            fn frequency(&mut self, state: &SimState) -> f64 {
+                let view = state.battery().expect("battery mounted and visible");
+                self.seen.push(view.state_of_charge);
+                f64::INFINITY
+            }
+        }
+        let mut g = SocProbe { seen: Vec::new() };
+        let mut p = EdfTopo;
+        let mut s = WorstCase;
+        let mut sim =
+            Simulation::new(single_task_set(2, 5.0), cfg(), &mut g, &mut p, &mut s).unwrap();
+        let mut battery = IdealModel::new(100.0);
+        sim.mount_battery(&mut battery);
+        sim.run_until(20.0).unwrap();
+        drop(sim);
+        assert!(g.seen.len() >= 4, "{:?}", g.seen);
+        assert!((g.seen[0] - 1.0).abs() < 1e-12, "full at the first decision");
+        assert!(
+            g.seen.windows(2).all(|w| w[1] <= w[0] + 1e-12),
+            "SoC is non-increasing under discharge: {:?}",
+            g.seen
+        );
+        assert!(*g.seen.last().unwrap() < 1.0, "draw must be visible");
+    }
+}

@@ -22,7 +22,7 @@ pub enum SimError {
     },
     /// A deadline was missed while [`DeadlineMode::Fail`] was selected.
     ///
-    /// [`DeadlineMode::Fail`]: crate::executor::DeadlineMode::Fail
+    /// [`DeadlineMode::Fail`]: crate::engine::DeadlineMode::Fail
     DeadlineMiss {
         /// The graph whose instance missed.
         graph: usize,

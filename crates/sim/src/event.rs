@@ -1,0 +1,230 @@
+//! The typed event stream a [`crate::Simulation`] emits.
+//!
+//! Every state transition of the engine is narrated as a [`SimEvent`], and
+//! every stretch of constant processor behaviour as a [`SliceInfo`]; both are
+//! fanned out to the attached [`crate::SimObserver`]s. The built-in
+//! [`crate::TraceRecorder`] and [`crate::MetricsCollector`] are ordinary
+//! observers of this stream — anything they can compute, a custom observer
+//! can compute too, without the engine buffering a thing.
+//!
+//! ## Accounting contract
+//!
+//! The stream carries enough to reconstruct the run's [`crate::Metrics`]
+//! *exactly* (bit-for-bit, not just approximately):
+//!
+//! * time/charge/energy integrals come from [`SliceInfo`] (`duration` is the
+//!   authoritative length — don't recompute it as `end() - start`, floating
+//!   point may disagree in the last ulp);
+//! * `busy_time`/`cycles_executed` come from [`SimEvent::Progress`], which
+//!   reports exactly what the engine credited for one scheduling quantum;
+//! * the counters map one-to-one onto `Release`, `Complete`, `Decision`,
+//!   `Preempt`, `DeadlineMiss` and `Idle` events.
+
+use crate::trace::{SliceKind, TraceSlice};
+use crate::types::TaskRef;
+use bas_taskgraph::GraphId;
+
+/// One engine state transition, stamped with its simulation time.
+///
+/// Events are emitted in simulation order. Observers receive a `&SimState`
+/// alongside each event reflecting the world *at* the event (EDF order
+/// refreshed, battery view updated).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SimEvent {
+    /// An instance of `graph` was released.
+    Release {
+        /// Nominal release time (= `instance · period`), seconds.
+        t: f64,
+        /// The graph released.
+        graph: GraphId,
+        /// The instance index (0-based).
+        instance: u64,
+        /// The instance's absolute deadline.
+        deadline: f64,
+    },
+    /// The governor's reference frequency changed at a scheduling point.
+    /// Emitted before the [`SimEvent::Decision`] it applies to; only emitted
+    /// when ready work exists (an idle processor has no meaningful `fref`).
+    FreqChange {
+        /// Scheduling-point time, seconds.
+        t: f64,
+        /// The new reference frequency, Hz, clamped into `[fmin, fmax]`.
+        fref: f64,
+    },
+    /// A scheduling decision was taken (one per scheduling point — the unit
+    /// the `decisions` metric counts).
+    Decision {
+        /// Scheduling-point time, seconds.
+        t: f64,
+        /// The clamped reference frequency the policy was offered.
+        fref: f64,
+        /// The task picked; `None` idles until the next event.
+        picked: Option<TaskRef>,
+    },
+    /// A task starts (or resumes) executing.
+    Start {
+        /// Start time, seconds.
+        t: f64,
+        /// The task now occupying the processor.
+        task: TaskRef,
+        /// Average realized frequency of the upcoming quantum, Hz.
+        frequency: f64,
+    },
+    /// A running, unfinished task was displaced by another pick.
+    Preempt {
+        /// Preemption time, seconds.
+        t: f64,
+        /// The task that was displaced mid-execution.
+        task: TaskRef,
+        /// The task displacing it.
+        by: TaskRef,
+    },
+    /// One scheduling quantum of execution was credited to `task` (the
+    /// authoritative source for `busy_time`/`cycles_executed`).
+    Progress {
+        /// Quantum start time, seconds.
+        t: f64,
+        /// The task that ran.
+        task: TaskRef,
+        /// Cycles credited (actual work retired, capped at the remaining
+        /// actual demand).
+        cycles: f64,
+        /// Busy seconds credited (battery death truncates).
+        busy: f64,
+    },
+    /// A node finished its actual demand.
+    Complete {
+        /// Completion time, seconds.
+        t: f64,
+        /// The completed node.
+        task: TaskRef,
+        /// The actual cycles it consumed (revealed to schedulers only now).
+        actual: f64,
+        /// True when this completion finished the whole graph instance.
+        instance_done: bool,
+    },
+    /// An instance blew its deadline (only in
+    /// [`crate::DeadlineMode::DropAndCount`]; fail mode aborts with
+    /// [`crate::SimError::DeadlineMiss`] instead of emitting).
+    DeadlineMiss {
+        /// Time the miss was detected (the next release boundary), seconds.
+        t: f64,
+        /// The graph whose instance missed.
+        graph: GraphId,
+        /// The deadline that passed unmet.
+        deadline: f64,
+    },
+    /// The processor idled. Emitted after the fact, so `duration` is the
+    /// realized idle stretch (battery death truncates it).
+    Idle {
+        /// Idle start time, seconds.
+        t: f64,
+        /// Realized idle duration, seconds.
+        duration: f64,
+    },
+    /// The mounted battery absorbed one constant-current slice; the
+    /// scheduler-visible [`crate::BatteryView`] was refreshed to these
+    /// values just before this event fired.
+    BatteryStep {
+        /// End time of the absorbed slice, seconds.
+        t: f64,
+        /// Remaining fraction of theoretical capacity, `[0, 1]`.
+        state_of_charge: f64,
+        /// Total charge delivered so far, coulombs.
+        charge_delivered: f64,
+        /// Whether the battery is now exhausted.
+        exhausted: bool,
+    },
+}
+
+impl SimEvent {
+    /// The simulation time the event is stamped with, seconds.
+    pub fn time(&self) -> f64 {
+        match *self {
+            SimEvent::Release { t, .. }
+            | SimEvent::FreqChange { t, .. }
+            | SimEvent::Decision { t, .. }
+            | SimEvent::Start { t, .. }
+            | SimEvent::Preempt { t, .. }
+            | SimEvent::Progress { t, .. }
+            | SimEvent::Complete { t, .. }
+            | SimEvent::DeadlineMiss { t, .. }
+            | SimEvent::Idle { t, .. }
+            | SimEvent::BatteryStep { t, .. } => t,
+        }
+    }
+}
+
+/// One stretch of constant processor behaviour, as handed to
+/// [`crate::SimObserver::on_slice`].
+///
+/// Unlike [`TraceSlice`] this carries the authoritative `duration` instead
+/// of an end time (`start + duration` and a later `end - start` can differ
+/// in the last ulp). Slices below the simulator's time resolution are
+/// delivered too — they carry accounting weight — but the in-memory
+/// [`crate::TraceRecorder`] and the JSONL writer drop them, exactly as the
+/// historical trace did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SliceInfo {
+    /// Start time, seconds.
+    pub start: f64,
+    /// Authoritative slice length, seconds (battery death already applied).
+    pub duration: f64,
+    /// Battery current drawn during the slice, amperes.
+    pub current: f64,
+    /// What the processor was doing.
+    pub kind: SliceKind,
+}
+
+impl SliceInfo {
+    /// End time, seconds (`start + duration`).
+    #[inline]
+    pub fn end(&self) -> f64 {
+        self.start + self.duration
+    }
+
+    /// Convert to the [`TraceSlice`] representation used by [`crate::trace::Trace`].
+    #[inline]
+    pub fn to_trace_slice(&self) -> TraceSlice {
+        TraceSlice { start: self.start, end: self.end(), current: self.current, kind: self.kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bas_taskgraph::{GraphId, NodeId};
+
+    #[test]
+    fn event_time_is_extracted_from_every_variant() {
+        let task = TaskRef::new(GraphId::from_index(0), NodeId::from_index(0));
+        let events = [
+            SimEvent::Release { t: 1.0, graph: GraphId::from_index(0), instance: 0, deadline: 2.0 },
+            SimEvent::FreqChange { t: 2.0, fref: 0.5 },
+            SimEvent::Decision { t: 3.0, fref: 0.5, picked: Some(task) },
+            SimEvent::Start { t: 4.0, task, frequency: 0.5 },
+            SimEvent::Preempt { t: 5.0, task, by: task },
+            SimEvent::Progress { t: 6.0, task, cycles: 1.0, busy: 2.0 },
+            SimEvent::Complete { t: 7.0, task, actual: 1.0, instance_done: true },
+            SimEvent::DeadlineMiss { t: 8.0, graph: GraphId::from_index(0), deadline: 8.0 },
+            SimEvent::Idle { t: 9.0, duration: 1.0 },
+            SimEvent::BatteryStep {
+                t: 10.0,
+                state_of_charge: 0.5,
+                charge_delivered: 1.0,
+                exhausted: false,
+            },
+        ];
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.time(), (i + 1) as f64);
+        }
+    }
+
+    #[test]
+    fn slice_end_and_trace_conversion() {
+        let s = SliceInfo { start: 1.0, duration: 2.0, current: 0.5, kind: SliceKind::Idle };
+        assert_eq!(s.end(), 3.0);
+        let t = s.to_trace_slice();
+        assert_eq!((t.start, t.end, t.current), (1.0, 3.0, 0.5));
+    }
+}

@@ -1,0 +1,328 @@
+//! Streaming JSONL export of the simulation event stream — the
+//! **`bas-events/v1`** schema.
+//!
+//! [`JsonlWriter`] is a [`SimObserver`] that serializes every event and
+//! every (non-negligible) slice as one JSON object per line, written through
+//! as they happen: memory use is O(1) in the run length, which is what makes
+//! long-horizon runs exportable at all (the in-memory [`crate::trace::Trace`] grows
+//! linearly).
+//!
+//! ## Schema: `bas-events/v1`
+//!
+//! A stream is a sequence of newline-delimited JSON objects. Every object
+//! has a `"type"` discriminator; runs are introduced by a header object:
+//!
+//! | `type` | fields |
+//! |---|---|
+//! | `header` | `schema` (`"bas-events/v1"`), `scenario`, `spec`, `seed` |
+//! | `release` | `t`, `graph`, `instance`, `deadline` |
+//! | `freq` | `t`, `fref` |
+//! | `decision` | `t`, `fref`, `picked` (task name or `null`) |
+//! | `start` | `t`, `task`, `frequency` |
+//! | `preempt` | `t`, `task`, `by` |
+//! | `progress` | `t`, `task`, `cycles`, `busy` |
+//! | `complete` | `t`, `task`, `actual`, `instance_done` |
+//! | `deadline_miss` | `t`, `graph`, `deadline` |
+//! | `idle` | `t`, `duration` |
+//! | `battery` | `t`, `soc`, `delivered`, `exhausted` |
+//! | `slice` | `start`, `duration`, `end`, `current`, `kind` (`"run"`\|`"idle"`), and for runs `task`, `opp`, `frequency` |
+//!
+//! Tasks serialize as their display names (`"T1.n2"`), graphs as indices.
+//! Numbers are plain JSON numbers (full `f64` round-trip precision, never
+//! `NaN`/`Infinity`). Slice records mirror the in-memory trace exactly: the
+//! slice sequence of a stream equals the slice sequence of a
+//! `record_trace = true` run of the same simulation, with identical
+//! `start`/`end` values (sub-resolution slices are dropped by both).
+//!
+//! Unknown `type`s must be skipped by consumers; fields will only ever be
+//! added within `v1`, never removed or re-typed.
+
+use crate::event::{SimEvent, SliceInfo};
+use crate::observer::SimObserver;
+use crate::state::SimState;
+use crate::time;
+use crate::trace::SliceKind;
+use std::fmt::Write as _;
+use std::io;
+
+/// Identifier of the event-stream schema emitted by this version.
+pub const EVENTS_SCHEMA: &str = "bas-events/v1";
+
+/// A streaming `bas-events/v1` writer over any [`io::Write`] sink.
+///
+/// I/O errors cannot surface through the observer hooks, so the writer goes
+/// quiet after the first failure and reports it from [`JsonlWriter::error`] /
+/// [`JsonlWriter::into_inner`] — check one of them when the run ends.
+#[derive(Debug)]
+pub struct JsonlWriter<W: io::Write> {
+    sink: W,
+    error: Option<io::Error>,
+}
+
+impl<W: io::Write> JsonlWriter<W> {
+    /// Wrap a sink. Nothing is written until events arrive (or
+    /// [`JsonlWriter::header`] is called).
+    pub fn new(sink: W) -> Self {
+        JsonlWriter { sink, error: None }
+    }
+
+    /// Write a run-header line announcing the schema and which run follows.
+    /// Multi-run streams (e.g. one per scheduler spec) call this once per
+    /// run.
+    pub fn header(&mut self, scenario: &str, spec: &str, seed: u64) {
+        let line = format!(
+            "{{\"type\":\"header\",\"schema\":\"{EVENTS_SCHEMA}\",\"scenario\":{},\"spec\":{},\"seed\":{seed}}}",
+            json_str(scenario),
+            json_str(spec),
+        );
+        self.line(&line);
+    }
+
+    /// The first I/O error encountered, if any.
+    pub fn error(&self) -> Option<&io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Unwrap the sink, surfacing the first I/O error (if any) as `Err`.
+    pub fn into_inner(self) -> Result<W, io::Error> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.sink),
+        }
+    }
+
+    fn line(&mut self, s: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.sink.write_all(s.as_bytes()).and_then(|()| self.sink.write_all(b"\n"))
+        {
+            self.error = Some(e);
+        }
+    }
+}
+
+impl<W: io::Write> SimObserver for JsonlWriter<W> {
+    fn on_event(&mut self, _state: &SimState, event: &SimEvent) {
+        let line = event_json(event);
+        self.line(&line);
+    }
+
+    fn on_slice(&mut self, _state: &SimState, slice: &SliceInfo) {
+        if time::negligible(slice.duration) {
+            return; // mirror the in-memory trace: sub-resolution slices drop
+        }
+        let line = slice_json(slice);
+        self.line(&line);
+    }
+}
+
+/// Render one event as its `bas-events/v1` JSON object (no trailing newline).
+pub fn event_json(event: &SimEvent) -> String {
+    match *event {
+        SimEvent::Release { t, graph, instance, deadline } => format!(
+            "{{\"type\":\"release\",\"t\":{},\"graph\":{},\"instance\":{instance},\"deadline\":{}}}",
+            num(t),
+            graph.index(),
+            num(deadline)
+        ),
+        SimEvent::FreqChange { t, fref } => {
+            format!("{{\"type\":\"freq\",\"t\":{},\"fref\":{}}}", num(t), num(fref))
+        }
+        SimEvent::Decision { t, fref, picked } => {
+            let picked = match picked {
+                Some(task) => json_str(&task.to_string()),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"type\":\"decision\",\"t\":{},\"fref\":{},\"picked\":{picked}}}",
+                num(t),
+                num(fref)
+            )
+        }
+        SimEvent::Start { t, task, frequency } => format!(
+            "{{\"type\":\"start\",\"t\":{},\"task\":{},\"frequency\":{}}}",
+            num(t),
+            json_str(&task.to_string()),
+            num(frequency)
+        ),
+        SimEvent::Preempt { t, task, by } => format!(
+            "{{\"type\":\"preempt\",\"t\":{},\"task\":{},\"by\":{}}}",
+            num(t),
+            json_str(&task.to_string()),
+            json_str(&by.to_string())
+        ),
+        SimEvent::Progress { t, task, cycles, busy } => format!(
+            "{{\"type\":\"progress\",\"t\":{},\"task\":{},\"cycles\":{},\"busy\":{}}}",
+            num(t),
+            json_str(&task.to_string()),
+            num(cycles),
+            num(busy)
+        ),
+        SimEvent::Complete { t, task, actual, instance_done } => format!(
+            "{{\"type\":\"complete\",\"t\":{},\"task\":{},\"actual\":{},\"instance_done\":{instance_done}}}",
+            num(t),
+            json_str(&task.to_string()),
+            num(actual)
+        ),
+        SimEvent::DeadlineMiss { t, graph, deadline } => format!(
+            "{{\"type\":\"deadline_miss\",\"t\":{},\"graph\":{},\"deadline\":{}}}",
+            num(t),
+            graph.index(),
+            num(deadline)
+        ),
+        SimEvent::Idle { t, duration } => {
+            format!("{{\"type\":\"idle\",\"t\":{},\"duration\":{}}}", num(t), num(duration))
+        }
+        SimEvent::BatteryStep { t, state_of_charge, charge_delivered, exhausted } => format!(
+            "{{\"type\":\"battery\",\"t\":{},\"soc\":{},\"delivered\":{},\"exhausted\":{exhausted}}}",
+            num(t),
+            num(state_of_charge),
+            num(charge_delivered)
+        ),
+    }
+}
+
+/// Render one slice as its `bas-events/v1` JSON object (no trailing
+/// newline). `end` is serialized as `start + duration`, matching the
+/// in-memory trace's end times exactly.
+pub fn slice_json(slice: &SliceInfo) -> String {
+    let mut out = String::with_capacity(96);
+    write!(
+        out,
+        "{{\"type\":\"slice\",\"start\":{},\"duration\":{},\"end\":{},\"current\":{}",
+        num(slice.start),
+        num(slice.duration),
+        num(slice.end()),
+        num(slice.current)
+    )
+    .expect("writing to String cannot fail");
+    match slice.kind {
+        SliceKind::Run { task, opp, frequency } => write!(
+            out,
+            ",\"kind\":\"run\",\"task\":{},\"opp\":{opp},\"frequency\":{}}}",
+            json_str(&task.to_string()),
+            num(frequency)
+        )
+        .expect("writing to String cannot fail"),
+        SliceKind::Idle => out.push_str(",\"kind\":\"idle\"}"),
+    }
+    out
+}
+
+/// Format a finite `f64` as a JSON number (shortest round-trip decimal).
+fn num(x: f64) -> String {
+    debug_assert!(x.is_finite(), "simulation quantities are finite");
+    format!("{x}")
+}
+
+/// JSON string literal with the mandatory escapes.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("writing to String cannot fail")
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TaskRef;
+    use bas_taskgraph::{GraphId, NodeId, TaskSet};
+
+    fn task() -> TaskRef {
+        TaskRef::new(GraphId::from_index(1), NodeId::from_index(2))
+    }
+
+    #[test]
+    fn header_carries_schema_and_escaped_strings() {
+        let mut w = JsonlWriter::new(Vec::new());
+        w.header("smo\"ke", "EDF", 7);
+        let out = String::from_utf8(w.into_inner().unwrap()).unwrap();
+        assert_eq!(
+            out,
+            "{\"type\":\"header\",\"schema\":\"bas-events/v1\",\"scenario\":\"smo\\\"ke\",\"spec\":\"EDF\",\"seed\":7}\n"
+        );
+    }
+
+    #[test]
+    fn events_render_one_object_per_line() {
+        let state = SimState::new(TaskSet::new());
+        let mut w = JsonlWriter::new(Vec::new());
+        w.on_event(
+            &state,
+            &SimEvent::Release {
+                t: 0.0,
+                graph: GraphId::from_index(0),
+                instance: 3,
+                deadline: 10.0,
+            },
+        );
+        w.on_event(&state, &SimEvent::Decision { t: 0.0, fref: 0.5, picked: None });
+        w.on_event(&state, &SimEvent::Decision { t: 0.0, fref: 0.5, picked: Some(task()) });
+        let out = String::from_utf8(w.into_inner().unwrap()).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"release\",\"t\":0,\"graph\":0,\"instance\":3,\"deadline\":10}"
+        );
+        assert!(lines[1].ends_with("\"picked\":null}"), "{}", lines[1]);
+        assert!(lines[2].ends_with("\"picked\":\"T1.n2\"}"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn slices_mirror_the_trace_and_drop_negligible() {
+        let state = SimState::new(TaskSet::new());
+        let mut w = JsonlWriter::new(Vec::new());
+        w.on_slice(
+            &state,
+            &SliceInfo {
+                start: 1.0,
+                duration: 2.0,
+                current: 0.5,
+                kind: SliceKind::Run { task: task(), opp: 1, frequency: 0.75 },
+            },
+        );
+        w.on_slice(
+            &state,
+            &SliceInfo { start: 3.0, duration: 1e-12, current: 0.5, kind: SliceKind::Idle },
+        );
+        let out = String::from_utf8(w.into_inner().unwrap()).unwrap();
+        assert_eq!(
+            out,
+            "{\"type\":\"slice\",\"start\":1,\"duration\":2,\"end\":3,\"current\":0.5,\"kind\":\"run\",\"task\":\"T1.n2\",\"opp\":1,\"frequency\":0.75}\n"
+        );
+    }
+
+    #[test]
+    fn io_errors_latch_and_surface_from_into_inner() {
+        struct Broken;
+        impl io::Write for Broken {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = JsonlWriter::new(Broken);
+        w.header("s", "EDF", 1);
+        assert!(w.error().is_some());
+        w.header("s", "EDF", 2); // quiet after the first failure
+        assert!(w.into_inner().is_err());
+    }
+}

@@ -12,12 +12,24 @@
 //!   live in `bas-core` (Random, LTF, STF, pUBS; BAS-1/BAS-2 ready lists with
 //!   the feasibility check).
 //!
-//! The executor ([`executor::Executor`]) is event-driven: the only scheduling
-//! points are instance releases and node completions (plus battery death in
+//! The engine ([`Simulation`]) is event-driven: the only scheduling points
+//! are instance releases and node completions (plus battery death in
 //! co-simulation). Between points it runs the chosen node at the governor's
 //! `fref`, realized on the discrete operating points per `bas-cpu` (the
-//! two-adjacent-frequencies scheme), emitting an execution [`trace::Trace`]
-//! whose battery-facing reduction is a [`bas_battery::LoadProfile`].
+//! two-adjacent-frequencies scheme). Unlike its run-to-completion
+//! predecessor it is a *lifecycle*: [`Simulation::step`] /
+//! [`Simulation::run_until`] advance it incrementally, every transition is
+//! narrated as a typed [`SimEvent`] to attached [`SimObserver`]s, and
+//! [`Simulation::finish`] moves the results out. Trace recording
+//! ([`TraceRecorder`]), metrics accounting ([`MetricsCollector`]) and the
+//! O(1)-memory `bas-events/v1` JSONL export ([`JsonlWriter`]) are all just
+//! observers of that stream; an in-memory [`trace::Trace`]'s battery-facing
+//! reduction is a [`bas_battery::LoadProfile`].
+//!
+//! A mounted battery ([`Simulation::mount_battery`]) lives *inside* the
+//! engine: it absorbs every emitted slice, can end the run, and its
+//! scheduler-visible [`BatteryView`] is kept fresh on [`SimState`] — the
+//! hook battery-aware governors and policies react to.
 //!
 //! Per the paper's workload model (§5), each node's *actual* computation is
 //! sampled per instance — uniformly in 20 %–100 % of its WCET by default
@@ -33,9 +45,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod error;
-pub mod executor;
+pub mod event;
+pub mod jsonl;
 pub mod metrics;
+pub mod observer;
 pub mod policy;
 pub mod state;
 pub mod time;
@@ -44,10 +59,13 @@ pub mod traits;
 pub mod types;
 pub mod workload;
 
+pub use engine::{DeadlineMode, SimConfig, SimOutcome, Simulation, Step};
 pub use error::SimError;
-pub use executor::{DeadlineMode, Executor, SimConfig, SimOutcome};
+pub use event::{SimEvent, SliceInfo};
+pub use jsonl::{JsonlWriter, EVENTS_SCHEMA};
 pub use metrics::Metrics;
-pub use state::SimState;
+pub use observer::{MetricsCollector, SimObserver, TraceRecorder};
+pub use state::{BatteryView, SimState};
 pub use traits::{FrequencyGovernor, MaxSpeed, TaskPolicy};
 pub use types::TaskRef;
 pub use workload::{

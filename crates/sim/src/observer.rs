@@ -1,0 +1,235 @@
+//! Observers — the composable consumers of a simulation's event stream.
+//!
+//! The engine ([`crate::Simulation`]) does not buffer anything itself: trace
+//! recording, metrics accounting, streaming export and any custom analysis
+//! are all [`SimObserver`]s attached to the run. The two built-ins here are
+//! the reference implementations:
+//!
+//! * [`TraceRecorder`] — accumulates the in-memory [`Trace`] (what
+//!   `SimConfig::record_trace` mounts for you);
+//! * [`MetricsCollector`] — folds the stream into [`Metrics`], reproducing
+//!   the engine's accounting bit-for-bit (see the contract in
+//!   [`crate::event`]).
+//!
+//! A streaming exporter lives in [`crate::jsonl`]. Writing your own observer
+//! is the intended extension point — implement either hook and attach with
+//! [`crate::Simulation::attach`]:
+//!
+//! ```
+//! use bas_sim::{SimEvent, SimObserver, SimState};
+//!
+//! /// Counts completions per graph without retaining anything else.
+//! #[derive(Default)]
+//! struct CompletionCounter {
+//!     completions: Vec<u64>,
+//! }
+//!
+//! impl SimObserver for CompletionCounter {
+//!     fn on_event(&mut self, _state: &SimState, event: &SimEvent) {
+//!         if let SimEvent::Complete { task, .. } = event {
+//!             let ix = task.graph.index();
+//!             if self.completions.len() <= ix {
+//!                 self.completions.resize(ix + 1, 0);
+//!             }
+//!             self.completions[ix] += 1;
+//!         }
+//!     }
+//! }
+//! ```
+
+use crate::event::{SimEvent, SliceInfo};
+use crate::metrics::Metrics;
+use crate::state::SimState;
+use crate::time;
+use crate::trace::Trace;
+
+/// A consumer of the simulation's event/slice stream.
+///
+/// Both hooks default to no-ops; implement the ones you need. Hooks are
+/// called synchronously from the engine, in simulation order, with a state
+/// view reflecting the world at the event. Observers must not assume they
+/// are the only consumer — the stream is fanned out to every attachment.
+pub trait SimObserver {
+    /// A discrete engine transition occurred.
+    fn on_event(&mut self, state: &SimState, event: &SimEvent) {
+        let _ = (state, event);
+    }
+
+    /// One constant-current stretch of processor behaviour elapsed. Slices
+    /// below the time resolution are delivered too (they carry accounting
+    /// weight); presentation-oriented observers should skip them like
+    /// [`TraceRecorder`] does.
+    fn on_slice(&mut self, state: &SimState, slice: &SliceInfo) {
+        let _ = (state, slice);
+    }
+}
+
+/// Records the in-memory [`Trace`] from the slice stream — the observer
+/// behind `SimConfig::record_trace`, attachable externally as well.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorder {
+    trace: Trace,
+}
+
+impl TraceRecorder {
+    /// A recorder with an empty trace.
+    pub fn new() -> Self {
+        TraceRecorder { trace: Trace::new() }
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Take the recorded trace out.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+}
+
+impl SimObserver for TraceRecorder {
+    fn on_slice(&mut self, _state: &SimState, slice: &SliceInfo) {
+        if !time::negligible(slice.duration) {
+            self.trace.push(slice.to_trace_slice());
+        }
+    }
+}
+
+/// Folds the event/slice stream into [`Metrics`].
+///
+/// This is the engine's own accounting: [`crate::Simulation`] runs one
+/// internally and [`crate::SimOutcome::metrics`] is its result, so an
+/// externally attached collector reconstructs the outcome's metrics exactly
+/// (the equivalence the observer property tests pin down).
+#[derive(Debug, Clone)]
+pub struct MetricsCollector {
+    vbat: f64,
+    metrics: Metrics,
+}
+
+impl MetricsCollector {
+    /// A collector for a platform with battery voltage `vbat` (volts) —
+    /// needed to integrate energy from the current-only slice stream.
+    pub fn new(vbat: f64) -> Self {
+        MetricsCollector { vbat, metrics: Metrics::default() }
+    }
+
+    /// The metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Take the accumulated metrics out.
+    pub fn into_metrics(self) -> Metrics {
+        self.metrics
+    }
+}
+
+impl SimObserver for MetricsCollector {
+    fn on_event(&mut self, _state: &SimState, event: &SimEvent) {
+        match *event {
+            SimEvent::Release { .. } => self.metrics.instances_released += 1,
+            SimEvent::Decision { .. } => self.metrics.decisions += 1,
+            SimEvent::Preempt { .. } => self.metrics.preemptions += 1,
+            SimEvent::Progress { cycles, busy, .. } => {
+                self.metrics.busy_time += busy;
+                self.metrics.cycles_executed += cycles;
+            }
+            SimEvent::Complete { instance_done, .. } => {
+                self.metrics.nodes_completed += 1;
+                if instance_done {
+                    self.metrics.instances_completed += 1;
+                }
+            }
+            SimEvent::DeadlineMiss { .. } => self.metrics.deadline_misses += 1,
+            SimEvent::Idle { duration, .. } => self.metrics.idle_time += duration,
+            SimEvent::FreqChange { .. } | SimEvent::Start { .. } | SimEvent::BatteryStep { .. } => {
+            }
+        }
+    }
+
+    fn on_slice(&mut self, _state: &SimState, slice: &SliceInfo) {
+        self.metrics.sim_time += slice.duration;
+        self.metrics.charge += slice.current * slice.duration;
+        self.metrics.energy += slice.current * slice.duration * self.vbat;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SliceKind;
+    use crate::types::TaskRef;
+    use bas_taskgraph::{GraphId, NodeId, TaskSet};
+
+    fn task() -> TaskRef {
+        TaskRef::new(GraphId::from_index(0), NodeId::from_index(0))
+    }
+
+    #[test]
+    fn collector_folds_events_into_counters() {
+        let state = SimState::new(TaskSet::new());
+        let mut c = MetricsCollector::new(2.0);
+        c.on_event(
+            &state,
+            &SimEvent::Release {
+                t: 0.0,
+                graph: GraphId::from_index(0),
+                instance: 0,
+                deadline: 5.0,
+            },
+        );
+        c.on_event(&state, &SimEvent::Decision { t: 0.0, fref: 1.0, picked: Some(task()) });
+        c.on_event(&state, &SimEvent::Progress { t: 0.0, task: task(), cycles: 4.0, busy: 4.0 });
+        c.on_event(
+            &state,
+            &SimEvent::Complete { t: 4.0, task: task(), actual: 4.0, instance_done: true },
+        );
+        c.on_event(&state, &SimEvent::Idle { t: 4.0, duration: 1.0 });
+        let m = c.metrics();
+        assert_eq!(m.instances_released, 1);
+        assert_eq!(m.decisions, 1);
+        assert_eq!(m.nodes_completed, 1);
+        assert_eq!(m.instances_completed, 1);
+        assert_eq!(m.busy_time, 4.0);
+        assert_eq!(m.cycles_executed, 4.0);
+        assert_eq!(m.idle_time, 1.0);
+    }
+
+    #[test]
+    fn collector_integrates_slices_with_vbat() {
+        let state = SimState::new(TaskSet::new());
+        let mut c = MetricsCollector::new(2.0);
+        c.on_slice(
+            &state,
+            &SliceInfo { start: 0.0, duration: 3.0, current: 0.5, kind: SliceKind::Idle },
+        );
+        let m = c.into_metrics();
+        assert_eq!(m.sim_time, 3.0);
+        assert_eq!(m.charge, 1.5);
+        assert_eq!(m.energy, 3.0);
+    }
+
+    #[test]
+    fn recorder_skips_negligible_slices_and_merges_like_the_trace() {
+        let state = SimState::new(TaskSet::new());
+        let mut r = TraceRecorder::new();
+        r.on_slice(
+            &state,
+            &SliceInfo { start: 0.0, duration: 1.0, current: 0.5, kind: SliceKind::Idle },
+        );
+        // Sub-resolution slice: accounted elsewhere, not recorded.
+        r.on_slice(
+            &state,
+            &SliceInfo { start: 1.0, duration: 1e-12, current: 0.5, kind: SliceKind::Idle },
+        );
+        r.on_slice(
+            &state,
+            &SliceInfo { start: 1.0, duration: 1.0, current: 0.5, kind: SliceKind::Idle },
+        );
+        let trace = r.into_trace();
+        assert_eq!(trace.len(), 1, "identical neighbours merge");
+        assert_eq!(trace.slices()[0].end, 2.0);
+    }
+}

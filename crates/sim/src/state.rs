@@ -15,6 +15,38 @@ use crate::time;
 use crate::types::TaskRef;
 use bas_taskgraph::{GraphId, TaskSet};
 
+/// The scheduler-visible digest of a mounted battery.
+///
+/// The engine refreshes this snapshot on [`SimState`] after every
+/// constant-current slice the battery absorbs, so governors and policies can
+/// react to state-of-charge at the very next scheduling point — the coupling
+/// the paper's "battery aware" premise requires. The underlying
+/// `bas_battery::BatteryModel` itself stays engine-private; schedulers only
+/// ever see this view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatteryView {
+    /// Remaining fraction of the battery's *theoretical* capacity, `[0, 1]`.
+    /// Well models can be exhausted with charge left here — that stranded
+    /// charge is precisely the loss battery-aware scheduling fights.
+    pub state_of_charge: f64,
+    /// Total charge delivered so far, coulombs.
+    pub charge_delivered: f64,
+    /// True once the battery has been exhausted.
+    pub exhausted: bool,
+}
+
+impl BatteryView {
+    /// Snapshot a battery model — the one place the digest is derived, used
+    /// both at mount time and after every absorbed slice.
+    pub fn of(battery: &dyn bas_battery::BatteryModel) -> Self {
+        BatteryView {
+            state_of_charge: battery.state_of_charge(),
+            charge_delivered: battery.charge_delivered(),
+            exhausted: battery.is_exhausted(),
+        }
+    }
+}
+
 /// Progress of one node within the active instance.
 #[derive(Debug, Clone)]
 pub(crate) struct NodeProgress {
@@ -76,6 +108,8 @@ pub struct SimState {
     /// Scratch: EDF-ordered active graphs (rebuilt when dirty).
     edf_order: Vec<GraphId>,
     edf_dirty: bool,
+    /// Snapshot of the mounted battery (None without one).
+    battery: Option<BatteryView>,
 }
 
 impl SimState {
@@ -97,7 +131,7 @@ impl SimState {
                 wci_effective: pg.graph().total_wcet() as f64,
             })
             .collect();
-        SimState { set, now: 0.0, graphs, edf_order: Vec::new(), edf_dirty: true }
+        SimState { set, now: 0.0, graphs, edf_order: Vec::new(), edf_dirty: true, battery: None }
     }
 
     // ------------------------------------------------------------------
@@ -216,6 +250,16 @@ impl SimState {
         }
     }
 
+    /// The mounted battery's scheduler-visible snapshot, refreshed by the
+    /// engine after every slice the battery absorbs; `None` when the
+    /// simulation runs without a battery. This is what makes battery-aware
+    /// governors/policies expressible — e.g. throttle once
+    /// `state_of_charge` drops below a threshold.
+    #[inline]
+    pub fn battery(&self) -> Option<BatteryView> {
+        self.battery
+    }
+
     /// Release time of the next instance of `graph`.
     pub fn next_release(&self, graph: GraphId) -> f64 {
         self.set[graph].release_time(self.graphs[graph.index()].next_instance)
@@ -230,7 +274,7 @@ impl SimState {
     // Mutation API (executor-internal)
     // ------------------------------------------------------------------
 
-    /// Advance the clock (monotone). Executor/test API.
+    /// Advance the clock (monotone). Engine/test API.
     pub fn set_now(&mut self, t: f64) {
         debug_assert!(t >= self.now - time::ABS_EPS, "time went backwards");
         self.now = t;
@@ -240,8 +284,15 @@ impl SimState {
         &self.graphs[graph.index()]
     }
 
+    /// Install or refresh the battery snapshot. Engine/test API — governor
+    /// and policy unit tests use this to fabricate state-of-charge
+    /// conditions without running a battery co-simulation.
+    pub fn set_battery_view(&mut self, view: Option<BatteryView>) {
+        self.battery = view;
+    }
+
     /// Release the next instance of `graph` with pre-sampled actuals.
-    /// Returns the instance index released. Executor/test API.
+    /// Returns the instance index released. Engine/test API.
     pub fn release(&mut self, graph: GraphId, actuals: Vec<f64>) -> u64 {
         let period = self.set[graph].period();
         let pg = &self.set[graph];
@@ -269,7 +320,7 @@ impl SimState {
     }
 
     /// Drop the active instance (deadline-miss recovery in lenient mode).
-    /// Executor/test API.
+    /// Engine/test API.
     pub fn abandon(&mut self, graph: GraphId) {
         let g = &mut self.graphs[graph.index()];
         g.active = false;
@@ -280,7 +331,7 @@ impl SimState {
 
     /// Advance `task` by `cycles` executed cycles; marks completion when the
     /// actual demand is reached. Returns `Some(actual)` on completion.
-    /// Executor/test API.
+    /// Engine/test API.
     pub fn advance(&mut self, task: TaskRef, cycles: f64) -> Option<f64> {
         let g = &mut self.graphs[task.graph.index()];
         debug_assert!(g.active);
@@ -307,7 +358,7 @@ impl SimState {
     }
 
     /// Rebuild the EDF order if any release/completion invalidated it.
-    /// Executor/test API (call after `release`/`advance` before observing).
+    /// Engine/test API (call after `release`/`advance` before observing).
     pub fn refresh_edf(&mut self) {
         if !self.edf_dirty {
             return;
@@ -463,6 +514,17 @@ mod tests {
         s.abandon(gid(0));
         assert!(!s.is_active(gid(0)));
         assert_eq!(s.remaining_wc(gid(0)), 0.0);
+    }
+
+    #[test]
+    fn battery_view_defaults_absent_and_is_settable() {
+        let mut s = two_graph_state();
+        assert_eq!(s.battery(), None);
+        let view = BatteryView { state_of_charge: 0.4, charge_delivered: 120.0, exhausted: false };
+        s.set_battery_view(Some(view));
+        assert_eq!(s.battery(), Some(view));
+        s.set_battery_view(None);
+        assert_eq!(s.battery(), None);
     }
 
     #[test]

@@ -1,11 +1,12 @@
-//! Executor-level property tests: precedence, accounting and determinism
-//! under the built-in canonical-EDF policy.
+//! Engine-level property tests: precedence, accounting and determinism
+//! under the built-in canonical-EDF policy, driven through the stepped
+//! [`Simulation`] lifecycle.
 
 use bas_cpu::presets::unit_processor;
 use bas_sim::policy::EdfTopo;
 use bas_sim::trace::SliceKind;
 use bas_sim::traits::MaxSpeed;
-use bas_sim::{Executor, SimConfig, UniformFraction};
+use bas_sim::{SimConfig, Simulation, UniformFraction};
 use bas_taskgraph::{GeneratorConfig, GraphShape, TaskSetConfig};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -40,7 +41,7 @@ proptest! {
         let mut governor = MaxSpeed;
         let mut policy = EdfTopo;
         let mut sampler = UniformFraction::paper(seed);
-        let mut ex = Executor::new(
+        let mut sim = Simulation::new(
             set.clone(),
             SimConfig::new(unit_processor()),
             &mut governor,
@@ -48,7 +49,8 @@ proptest! {
             &mut sampler,
         )
         .unwrap();
-        let out = ex.run_for(horizon).unwrap();
+        sim.run_until(horizon).unwrap();
+        let out = sim.finish();
         let trace = out.trace.unwrap();
         trace.validate().unwrap();
 
@@ -102,7 +104,7 @@ proptest! {
         let mut governor = MaxSpeed;
         let mut policy = EdfTopo;
         let mut sampler = UniformFraction::paper(seed);
-        let mut ex = Executor::new(
+        let mut sim = Simulation::new(
             set,
             SimConfig::new(unit_processor()),
             &mut governor,
@@ -110,7 +112,8 @@ proptest! {
             &mut sampler,
         )
         .unwrap();
-        let out = ex.run_for(horizon).unwrap();
+        sim.run_until(horizon).unwrap();
+        let out = sim.finish();
         let m = &out.metrics;
         prop_assert!((m.busy_time + m.idle_time - m.sim_time).abs() < 1e-6);
         let trace = out.trace.unwrap();
@@ -129,7 +132,7 @@ proptest! {
             let mut governor = MaxSpeed;
             let mut policy = EdfTopo;
             let mut sampler = UniformFraction::paper(seed);
-            let mut ex = Executor::new(
+            let mut sim = Simulation::new(
                 set,
                 SimConfig::new(unit_processor()),
                 &mut governor,
@@ -137,7 +140,8 @@ proptest! {
                 &mut sampler,
             )
             .unwrap();
-            ex.run_for(300.0).unwrap().metrics
+            sim.run_until(300.0).unwrap();
+            sim.finish().metrics
         };
         prop_assert_eq!(run(), run());
     }

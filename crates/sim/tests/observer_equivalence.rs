@@ -1,0 +1,213 @@
+//! Observer equivalence: the composable observers must reconstruct exactly
+//! what the engine's built-ins record.
+//!
+//! * an externally attached [`TraceRecorder`]/[`MetricsCollector`] pair must
+//!   reproduce the outcome's `Trace` and `Metrics` bit-for-bit;
+//! * a **trace-off** run streamed through the [`JsonlWriter`] must carry a
+//!   slice sequence from which the in-memory `Trace` rebuilds exactly —
+//!   O(1)-memory streaming loses nothing;
+//! * a tiny battery co-simulation's stream must match the checked-in
+//!   `bas-events/v1` golden file byte for byte (schema stability).
+
+use bas_cpu::presets::unit_processor;
+use bas_sim::policy::EdfTopo;
+use bas_sim::trace::SliceKind;
+use bas_sim::{
+    JsonlWriter, MaxSpeed, MetricsCollector, SimConfig, SimObserver, SimOutcome, Simulation,
+    SliceInfo, TaskRef, TraceRecorder, UniformFraction, WorstCase,
+};
+use bas_taskgraph::{
+    GeneratorConfig, GraphId, GraphShape, NodeId, PeriodicTaskGraph, TaskGraphBuilder, TaskSet,
+    TaskSetConfig,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_set(seed: u64, graphs: usize, util: f64) -> TaskSet {
+    TaskSetConfig {
+        graphs,
+        graph: GeneratorConfig {
+            nodes: (2, 8),
+            wcet: (5, 50),
+            shape: GraphShape::Layered { layers: 2, edge_prob: 0.3 },
+        },
+        utilization: util,
+        fmax: 1.0,
+        period_quantum: None,
+    }
+    .generate(&mut StdRng::seed_from_u64(seed))
+    .unwrap()
+}
+
+/// Run `set` to `horizon`, recording the built-in trace, with the given
+/// extra observers attached.
+fn run_observed(
+    set: TaskSet,
+    seed: u64,
+    horizon: f64,
+    record_trace: bool,
+    observers: &mut [&mut dyn bas_sim::SimObserver],
+) -> SimOutcome {
+    let mut governor = MaxSpeed;
+    let mut policy = EdfTopo;
+    let mut sampler = UniformFraction::paper(seed);
+    let mut cfg = SimConfig::new(unit_processor());
+    cfg.record_trace = record_trace;
+    let mut sim = Simulation::new(set, cfg, &mut governor, &mut policy, &mut sampler).unwrap();
+    for observer in observers.iter_mut() {
+        sim.attach(*observer);
+    }
+    sim.run_until(horizon).unwrap();
+    sim.finish()
+}
+
+/// Pull a field's raw text out of a flat one-line JSON object.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = if let Some(stripped) = rest.strip_prefix('"') {
+        return Some(&stripped[..stripped.find('"')?]);
+    } else {
+        rest.find([',', '}'])?
+    };
+    Some(&rest[..end])
+}
+
+/// Parse one `"type":"slice"` line back into a [`SliceInfo`].
+fn parse_slice(line: &str) -> SliceInfo {
+    let start: f64 = field(line, "start").unwrap().parse().unwrap();
+    let duration: f64 = field(line, "duration").unwrap().parse().unwrap();
+    let current: f64 = field(line, "current").unwrap().parse().unwrap();
+    let kind = match field(line, "kind").unwrap() {
+        "idle" => SliceKind::Idle,
+        "run" => {
+            let task = field(line, "task").unwrap();
+            let (g, n) = task.split_once('.').unwrap();
+            let task = TaskRef::new(
+                GraphId::from_index(g.strip_prefix('T').unwrap().parse().unwrap()),
+                NodeId::from_index(n.strip_prefix('n').unwrap().parse().unwrap()),
+            );
+            SliceKind::Run {
+                task,
+                opp: field(line, "opp").unwrap().parse().unwrap(),
+                frequency: field(line, "frequency").unwrap().parse().unwrap(),
+            }
+        }
+        other => panic!("unknown slice kind {other}"),
+    };
+    SliceInfo { start, duration, current, kind }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// External recorder + collector == the outcome's own trace + metrics,
+    /// field for field, bit for bit.
+    #[test]
+    fn attached_observers_reconstruct_trace_and_metrics_exactly(
+        seed in 0u64..3_000,
+        graphs in 1usize..4,
+        util in 0.3f64..0.9,
+    ) {
+        let set = random_set(seed, graphs, util);
+        let horizon = 1.3 * set.iter().map(|(_, g)| g.period()).fold(0.0, f64::max);
+        let mut recorder = TraceRecorder::new();
+        let mut collector = MetricsCollector::new(unit_processor().supply().vbat);
+        let out = run_observed(
+            set,
+            seed,
+            horizon,
+            true,
+            &mut [&mut recorder, &mut collector],
+        );
+        prop_assert_eq!(collector.metrics(), &out.metrics);
+        let built_in = out.trace.unwrap();
+        prop_assert_eq!(recorder.trace().slices(), built_in.slices());
+    }
+
+    /// A trace-off JSONL stream carries the exact slice sequence: rebuilding
+    /// the trace from its `slice` lines reproduces the `record_trace = true`
+    /// trace, and the run's metrics are untouched by streaming.
+    #[test]
+    fn jsonl_stream_rebuilds_the_exact_trace_without_recording(
+        seed in 0u64..3_000,
+        graphs in 1usize..4,
+    ) {
+        let set = random_set(seed, graphs, 0.7);
+        let horizon = 1.3 * set.iter().map(|(_, g)| g.period()).fold(0.0, f64::max);
+        let recorded = run_observed(set.clone(), seed, horizon, true, &mut []);
+
+        let mut writer = JsonlWriter::new(Vec::new());
+        let streamed = run_observed(set, seed, horizon, false, &mut [&mut writer]);
+        prop_assert!(streamed.trace.is_none(), "trace-off run must not buffer");
+        prop_assert_eq!(&streamed.metrics, &recorded.metrics);
+
+        let bytes = writer.into_inner().unwrap();
+        let stream = String::from_utf8(bytes).unwrap();
+        let mut rebuilt = TraceRecorder::new();
+        let scratch = bas_sim::SimState::new(TaskSet::new());
+        for line in stream.lines() {
+            if field(line, "type") == Some("slice") {
+                rebuilt.on_slice(&scratch, &parse_slice(line));
+            }
+        }
+        prop_assert_eq!(
+            rebuilt.trace().slices(),
+            recorded.trace.as_ref().unwrap().slices(),
+            "slice-by-slice replay of the stream must equal the in-memory trace"
+        );
+    }
+}
+
+#[test]
+fn golden_events_stream_is_byte_stable() {
+    // T0: a(2)->b(3) / period 10, T1: c(2) / period 5, worst-case actuals,
+    // 9 C ideal cell (dies mid-run) — small enough to eyeball, exercises
+    // release/freq/decision/start/progress/complete/battery/slice records
+    // and the exhaustion cut.
+    let mut b = TaskGraphBuilder::new("T0");
+    let a = b.add_node("a", 2);
+    let c = b.add_node("b", 3);
+    b.add_edge(a, c).unwrap();
+    let g0 = PeriodicTaskGraph::new(b.build().unwrap(), 10.0).unwrap();
+    let mut b = TaskGraphBuilder::new("T1");
+    b.add_node("c", 2);
+    let g1 = PeriodicTaskGraph::new(b.build().unwrap(), 5.0).unwrap();
+    let mut set = TaskSet::new();
+    set.push(g0);
+    set.push(g1);
+
+    let mut governor = MaxSpeed;
+    let mut policy = EdfTopo;
+    let mut sampler = WorstCase;
+    let mut battery = bas_battery::IdealModel::new(9.0);
+    let mut writer = JsonlWriter::new(Vec::new());
+    writer.header("golden", "EDF", 1);
+    let mut sim = Simulation::new(
+        set,
+        SimConfig::new(unit_processor()),
+        &mut governor,
+        &mut policy,
+        &mut sampler,
+    )
+    .unwrap();
+    sim.mount_battery(&mut battery);
+    sim.attach(&mut writer);
+    sim.run_until(30.0).unwrap();
+    drop(sim);
+
+    let produced = String::from_utf8(writer.into_inner().unwrap()).unwrap();
+    let golden_path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/events_smoke.jsonl");
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &produced).unwrap();
+    }
+    let golden = std::fs::read_to_string(&golden_path).unwrap();
+    assert_eq!(
+        produced, golden,
+        "the bas-events/v1 stream drifted from {golden_path:?}; if intentional, \
+         regenerate with `BLESS_GOLDEN=1 cargo test -p bas-sim --test observer_equivalence`"
+    );
+}

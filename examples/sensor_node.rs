@@ -9,7 +9,7 @@
 //! sampler — real sensor tasks have *characteristic* run times — the
 //! battery model and the week-long horizon. (Schedulers outside the
 //! [`SchedulerSpec`] vocabulary — custom estimators, hand-rolled priorities —
-//! can still assemble `governor + policy + sampler` around the `Executor`
+//! can still assemble `governor + policy + sampler` around the `Simulation` engine
 //! directly; see the `bas` CLI's `ablation` preset.)
 //!
 //! Run with: `cargo run --release --example sensor_node`

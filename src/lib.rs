@@ -14,8 +14,9 @@
 //! * [`taskgraph`] — DAG workload model and random generator;
 //! * [`cpu`] — operating points, power/current model, frequency realization;
 //! * [`battery`] — KiBaM, diffusion, stochastic and Peukert models;
-//! * [`sim`] — the discrete-event executor and its traits;
-//! * [`dvs`] — ccEDF / laEDF / no-DVS frequency governors;
+//! * [`sim`] — the stepped discrete-event engine ([`sim::Simulation`]), its
+//!   observer/event stream and scheduler traits;
+//! * [`dvs`] — ccEDF / laEDF / no-DVS / battery-aware SoC-floor governors;
 //! * [`core`] — priority functions, feasibility check, BAS policies, the
 //!   single-DAG optimal search and the `Experiment`/`Sweep` API.
 //!
@@ -113,7 +114,10 @@ pub mod prelude {
     pub use bas_cpu::presets::{dense_dvs_processor, paper_processor, unit_processor};
     pub use bas_cpu::{FreqPolicy, Processor};
     pub use bas_dvs::{CcEdf, LaEdf, NoDvs};
-    pub use bas_sim::{DeadlineMode, Executor, SimConfig, TaskRef, UniformFraction, WorstCase};
+    pub use bas_sim::{
+        BatteryView, DeadlineMode, JsonlWriter, MetricsCollector, SimConfig, SimEvent, SimObserver,
+        Simulation, Step, TaskRef, TraceRecorder, UniformFraction, WorstCase,
+    };
     pub use bas_taskgraph::{
         GeneratorConfig, GraphShape, PeriodicTaskGraph, TaskGraph, TaskGraphBuilder, TaskSet,
         TaskSetConfig,

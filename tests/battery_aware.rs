@@ -1,0 +1,93 @@
+//! Battery-aware scheduling end to end: the engine's scheduler-visible
+//! battery state must actually steer decisions, and the checked-in
+//! `scenarios/battery-aware.toml` must exercise exactly that.
+
+use battery_aware_scheduling::battery::IdealModel;
+use battery_aware_scheduling::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+
+fn workload(seed: u64) -> TaskSet {
+    TaskSetConfig::default().generate(&mut StdRng::seed_from_u64(seed)).unwrap()
+}
+
+fn run(set: &TaskSet, spec: SchedulerSpec, capacity: f64, horizon: f64) -> SimOutcomeParts {
+    let proc = unit_processor();
+    let mut cell = IdealModel::new(capacity);
+    let out = Experiment::new(set)
+        .spec(spec)
+        .processor(&proc)
+        .seed(5)
+        .horizon(horizon)
+        .battery(&mut cell)
+        .run()
+        .unwrap();
+    SimOutcomeParts { metrics: out.metrics, died: out.battery.expect("battery mounted").died }
+}
+
+struct SimOutcomeParts {
+    metrics: battery_aware_scheduling::sim::Metrics,
+    died: bool,
+}
+
+#[test]
+fn bas_soc_reacts_to_state_of_charge_where_bas2_cannot() {
+    let set = workload(3);
+    let horizon = 2.0 * set.iter().map(|(_, g)| g.period()).fold(0.0, f64::max);
+
+    // Size the cell from a reference run so the state of charge crosses the
+    // 0.5 threshold mid-run without exhausting: 1.6× the consumed charge
+    // ends near SoC 0.375.
+    let reference = run(&set, SchedulerSpec::bas2(), 1e9, horizon);
+    let capacity = 1.6 * reference.metrics.charge;
+
+    // Comfortable battery: BAS-soc is BAS-2 (the wrap is transparent).
+    let comfy_bas2 = run(&set, SchedulerSpec::bas2(), 100.0 * capacity, horizon);
+    let comfy_soc = run(&set, SchedulerSpec::bas_soc(), 100.0 * capacity, horizon);
+    assert_eq!(comfy_bas2.metrics, comfy_soc.metrics);
+
+    // Strained battery: the same workload now draws different frequency
+    // decisions from BAS-soc — the battery state visibly steers the
+    // schedule — while both stay miss-free.
+    let strained_bas2 = run(&set, SchedulerSpec::bas2(), capacity, horizon);
+    let strained_soc = run(&set, SchedulerSpec::bas_soc(), capacity, horizon);
+    assert_eq!(strained_bas2.metrics.deadline_misses, 0);
+    assert_eq!(strained_soc.metrics.deadline_misses, 0);
+    assert!(!strained_soc.died);
+    assert_ne!(
+        strained_bas2.metrics, strained_soc.metrics,
+        "low state of charge must change BAS-soc's schedule"
+    );
+}
+
+#[test]
+fn battery_aware_scenario_file_exercises_the_soc_spec() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let scenario = Scenario::load(&root.join("scenarios/battery-aware.toml")).unwrap();
+    assert_eq!(scenario.kind, ScenarioKind::Sweep);
+    assert_eq!(scenario.specs, vec!["BAS-2".to_string(), "BAS-soc".to_string()]);
+    assert_ne!(scenario.battery, "none", "the SoC spec needs a mounted battery to react to");
+    let specs = scenario.parsed_specs().unwrap();
+    assert_eq!(specs[1].1, SchedulerSpec::bas_soc());
+    scenario.validate().unwrap();
+}
+
+#[test]
+fn battery_aware_scenario_runs_head_to_head() {
+    // A shrunken copy of the checked-in scenario (1 trial, short horizon,
+    // deterministic kibam cell) must run clean through the sweep layer with
+    // both specs.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut scenario = Scenario::load(&root.join("scenarios/battery-aware.toml")).unwrap();
+    scenario.set("trials", "1").unwrap();
+    scenario.set("horizon", "2000").unwrap();
+    scenario.set("battery", "kibam").unwrap();
+    scenario.validate().unwrap();
+    let report = scenario.run_sweep().unwrap();
+    assert_eq!(report.specs.len(), 2);
+    for spec in &report.specs {
+        assert!(spec.trials.iter().all(|t| t.deadline_misses == 0), "{}", spec.label);
+        assert!(spec.lifetime_min.is_some(), "{}", spec.label);
+    }
+}

@@ -75,16 +75,16 @@ fn figure5_both_orderings_meet_deadlines_at_fref_half() {
         let cfg = SimConfig::new(unit_processor());
         let out = if use_pubs {
             let mut policy = BasPolicy::all_released(T3First);
-            Executor::new(fig5_set(), cfg, &mut governor, &mut policy, &mut sampler)
-                .unwrap()
-                .run_for(100.0)
-                .unwrap()
+            let mut sim =
+                Simulation::new(fig5_set(), cfg, &mut governor, &mut policy, &mut sampler).unwrap();
+            sim.run_until(100.0).unwrap();
+            sim.finish()
         } else {
             let mut policy = EdfTopo;
-            Executor::new(fig5_set(), cfg, &mut governor, &mut policy, &mut sampler)
-                .unwrap()
-                .run_for(100.0)
-                .unwrap()
+            let mut sim =
+                Simulation::new(fig5_set(), cfg, &mut governor, &mut policy, &mut sampler).unwrap();
+            sim.run_until(100.0).unwrap();
+            sim.finish()
         };
         assert_eq!(out.metrics.deadline_misses, 0);
         let trace = out.trace.unwrap();
@@ -133,16 +133,16 @@ fn figure5_out_of_order_is_blocked_when_infeasible() {
     let mut governor = CcEdf;
     let mut policy = BasPolicy::all_released(T3First);
     let mut sampler = WorstCase;
-    let out = Executor::new(
+    let mut sim = Simulation::new(
         set,
         SimConfig::new(unit_processor()),
         &mut governor,
         &mut policy,
         &mut sampler,
     )
-    .unwrap()
-    .run_for(100.0)
     .unwrap();
+    sim.run_until(100.0).unwrap();
+    let out = sim.finish();
     assert_eq!(out.metrics.deadline_misses, 0, "feasibility check must protect T1");
     let trace = out.trace.unwrap();
     // T1 must run first even though the priority ranked T3 higher.
