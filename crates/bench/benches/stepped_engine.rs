@@ -1,0 +1,77 @@
+//! Raw stepping throughput of the simulation engine on a fixed workload —
+//! the repo's first perf trajectory for the platform-refactored core.
+//!
+//! Two variants pin the cost of the multi-PE generalization:
+//!
+//! * `engine-step/1pe` — the paper's uniprocessor, which the refactor
+//!   promises to keep bit-identical *and* regression-free in wall clock;
+//! * `engine-step/4pe` — the same workload spread over four elements
+//!   (per-PE decisions, merged-segment battery stepping), measuring the
+//!   marginal cost of each extra lane.
+//!
+//! Both benches drive `Simulation` directly (no sweep layer) over a fixed
+//! 200-simulated-second horizon with a mounted battery, the configuration
+//! every experiment in the repo ultimately bottoms out in.
+
+use bas_battery::IdealModel;
+use bas_core::SchedulerSpec;
+use bas_cpu::presets::unit_processor;
+use bas_cpu::Platform;
+use bas_sim::{SimConfig, Simulation};
+use bas_taskgraph::{GeneratorConfig, GraphShape, Mapping, TaskSet, TaskSetConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fixed_workload() -> TaskSet {
+    TaskSetConfig {
+        graphs: 6,
+        graph: GeneratorConfig {
+            nodes: (4, 10),
+            wcet: (10, 80),
+            shape: GraphShape::Layered { layers: 3, edge_prob: 0.2 },
+        },
+        utilization: 0.7,
+        fmax: 1.0,
+        period_quantum: None,
+    }
+    .generate(&mut StdRng::seed_from_u64(11))
+    .unwrap()
+}
+
+fn step_horizon(set: &TaskSet, pes: usize) -> f64 {
+    let spec = SchedulerSpec::bas2();
+    let platform = Platform::uniform(unit_processor(), pes);
+    let mapping = if pes == 1 { Mapping::single_pe(set) } else { Mapping::list_schedule(set, pes) };
+    let mut governors = spec.build_governor_bank(&platform);
+    let mut policies = spec.build_policy_bank(7, pes);
+    let mut sampler = bas_sim::UniformFraction::paper(7);
+    let mut cfg = SimConfig::with_platform(platform);
+    cfg.record_trace = false;
+    let mut battery = IdealModel::new(1e9);
+    let policy_refs: Vec<&mut dyn bas_sim::TaskPolicy> =
+        policies.iter_mut().map(|p| &mut **p as &mut dyn bas_sim::TaskPolicy).collect();
+    let mut sim = Simulation::with_platform(
+        set.clone(),
+        mapping,
+        cfg,
+        governors.as_muts(),
+        policy_refs,
+        &mut sampler,
+    )
+    .expect("feasible");
+    sim.mount_battery(&mut battery);
+    sim.run_until(200.0).expect("miss-free");
+    sim.finish().metrics.charge
+}
+
+fn bench_stepping(c: &mut Criterion) {
+    let set = fixed_workload();
+    let mut group = c.benchmark_group("engine-step");
+    group.bench_function("1pe", |b| b.iter(|| std::hint::black_box(step_horizon(&set, 1))));
+    group.bench_function("4pe", |b| b.iter(|| std::hint::black_box(step_horizon(&set, 4))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_stepping);
+criterion_main!(benches);

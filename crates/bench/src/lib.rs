@@ -3,6 +3,8 @@
 //! This crate is *only* the benchmarks now:
 //!
 //! * `benches/end_to_end` — full experiment throughput per scheduler spec;
+//! * `benches/stepped_engine` — raw engine stepping on a fixed workload,
+//!   1-PE vs 4-PE (the platform refactor's perf trajectory);
 //! * `benches/battery_models` — battery-model stepping cost;
 //! * `benches/generator` — task-set generation;
 //! * `benches/scheduler_overhead` — governor/priority/feasibility inner loops;

@@ -41,7 +41,7 @@ USAGE:
     bas <preset> [--key value ...] [--format text|json|csv] [--out FILE]
     bas run <scenario.toml> [--key value ...] [--format text|json|csv] [--out FILE]
     bas scenario <preset> [--key value ...]   # print the preset as a scenario file
-    bas list
+    bas list [--format text|json]
     bas help
 
 PRESETS:
@@ -56,7 +56,8 @@ OPTIONS:
     --out FILE       write the selected output to FILE instead of stdout
     --events FILE    additionally stream the engine's event stream of the
                      scenario's first trial (every spec) to FILE as
-                     bas-events/v1 JSONL (sweep scenarios only; O(1) memory)
+                     bas-events/v2 JSONL with per-event PE indices
+                     (sweep scenarios only; O(1) memory)
     --key value      override a scenario knob, e.g. --trials 10 --seed 2
                      (run `bas list` for each preset's knobs)
 ";
@@ -103,7 +104,26 @@ fn dispatch(argv: Vec<String>) -> Result<(), CliError> {
     match command.as_str() {
         "list" => {
             expect_positionals(&args, 1)?;
-            println!("{}", render_list());
+            let mut json = false;
+            for (key, value) in &args.flags {
+                match (key.as_str(), value.as_str()) {
+                    ("format", "text") => json = false,
+                    ("format", "json") => json = true,
+                    ("format", other) => {
+                        return Err(CliError::Usage(format!(
+                            "`bas list --format` must be text|json, got {other:?}"
+                        )));
+                    }
+                    (key, _) => {
+                        return Err(CliError::Usage(format!("`bas list` takes no --{key} flag")));
+                    }
+                }
+            }
+            if json {
+                print!("{}", render_list_json());
+            } else {
+                println!("{}", render_list());
+            }
             Ok(())
         }
         "run" => {
@@ -224,7 +244,7 @@ fn run_with_overrides(mut scenario: Scenario, args: &Args) -> Result<(), CliErro
     Ok(())
 }
 
-/// Stream the `bas-events/v1` event stream of the scenario's **first trial**
+/// Stream the `bas-events/v2` event stream of the scenario's **first trial**
 /// to `path`: for every spec in the lineup, replay trial 0 (same derived
 /// seed, same generated task set, same battery salt as the sweep itself)
 /// with a [`JsonlWriter`] attached. One header line introduces each spec's
@@ -235,14 +255,14 @@ fn write_events(scenario: &Scenario, path: &str) -> Result<(), CliError> {
     let file =
         std::fs::File::create(path).map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
     let mut writer = JsonlWriter::new(std::io::BufWriter::new(file));
-    let processor = scenario.build_processor().map_err(|e| runtime(&e))?;
+    let platform = scenario.build_platform().map_err(|e| runtime(&e))?;
     let seed = Sweep::seed_for(scenario.seed, 0);
     let set = scenario.trial_set(seed).map_err(|e| runtime(&e))?;
     for (label, spec) in scenario.parsed_specs().map_err(|e| runtime(&e))? {
         writer.header(&scenario.name, &label, seed);
         let mut cell = scenario.build_battery(seed);
         let mut experiment =
-            scenario.trial_experiment(&set, spec, seed, &processor).observer(&mut writer);
+            scenario.trial_experiment(&set, spec, seed, &platform).observer(&mut writer);
         if let Some(cell) = cell.as_mut() {
             experiment = experiment.battery(cell.as_mut());
         }
@@ -273,6 +293,60 @@ pub fn run_scenario(scenario: &Scenario) -> Result<(String, Report), String> {
         ScenarioKind::CapacityCurve => presets::capacity_curve::run,
     };
     run(scenario)
+}
+
+/// The preset catalog as machine-readable JSON (`bas list --format json`):
+/// one object per preset with its name, description, knob names and the
+/// checked-in scenario path, plus the list of scenario files on disk.
+fn render_list_json() -> String {
+    use bas_core::report::json_string as json_str;
+    use std::fmt::Write as _;
+    let mut out = String::from("{\n  \"presets\": [");
+    for (i, kind) in ScenarioKind::ALL.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let knobs: Vec<String> = kind.fields().iter().map(|f| json_str(f)).collect();
+        let _ = write!(
+            out,
+            "\n    {{\"name\": {}, \"description\": {}, \"scenario\": {}, \"knobs\": [{}]}}",
+            json_str(kind.name()),
+            json_str(kind.describe()),
+            json_str(&format!("scenarios/{}.toml", kind.name())),
+            knobs.join(", ")
+        );
+    }
+    out.push_str("\n  ],\n  \"files\": [");
+    let mut first = true;
+    if let Ok(entries) = std::fs::read_dir("scenarios") {
+        let mut files: Vec<String> = entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "toml"))
+            .map(|p| p.display().to_string())
+            .collect();
+        files.sort();
+        for f in files {
+            let Ok(s) = Scenario::load(Path::new(&f)) else { continue };
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n    {{\"path\": {}, \"name\": {}, \"kind\": {}}}",
+                json_str(&f),
+                json_str(&s.name),
+                json_str(s.kind.name())
+            );
+        }
+    }
+    if !first {
+        out.push('\n');
+        out.push_str("  ");
+    }
+    out.push_str("]\n}\n");
+    out
 }
 
 fn render_list() -> String {

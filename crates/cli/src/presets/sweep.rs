@@ -34,6 +34,14 @@ pub fn run(sc: &Scenario) -> Result<(String, Report), String> {
         sc.freq,
         sc.horizon
     );
+    if sc.pes > 1 {
+        let presets = if sc.processors.is_empty() {
+            format!("{} \u{00d7} {}", sc.pes, sc.processor)
+        } else {
+            sc.processors.join(", ")
+        };
+        outln!(out, "platform: {} processing elements ({presets}), shared battery\n", sc.pes);
+    }
     let with_battery = sc.battery != "none";
     let mut header = vec!["Spec", "Energy (J)", "Charge (C)"];
     if with_battery {
@@ -65,5 +73,7 @@ pub fn run(sc: &Scenario) -> Result<(String, Report), String> {
     let misses: u64 =
         sweep.specs.iter().flat_map(|s| s.trials.iter().map(|t| t.deadline_misses)).sum();
     outln!(out, "deadline misses across all runs: {misses}");
-    Ok((out, Report::from_sweep(&sc.name, sc.kind.name(), &sweep)))
+    let mut report = Report::from_sweep(&sc.name, sc.kind.name(), &sweep);
+    report.pes = sc.pes;
+    Ok((out, report))
 }

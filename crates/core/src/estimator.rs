@@ -15,7 +15,6 @@
 //!   benches use to show how much the estimate quality matters.
 
 use bas_sim::TaskRef;
-use std::collections::HashMap;
 
 /// An online estimator of per-task actual cycle demand.
 pub trait CycleEstimator: Send {
@@ -31,11 +30,19 @@ pub trait CycleEstimator: Send {
 }
 
 /// Per-task exponential moving average with a cold-start fraction.
+///
+/// History is held in dense per-graph/per-node vectors keyed by the task
+/// set's stable node ordering — pUBS consults the estimator for every ready
+/// candidate at every scheduling decision, which made the former
+/// `HashMap<TaskRef, f64>` the hottest lookup on the engine's decision
+/// path.
 #[derive(Debug, Clone)]
 pub struct EmaEstimator {
     alpha: f64,
     cold_fraction: f64,
-    history: HashMap<TaskRef, f64>,
+    /// `history[graph][node]`, grown on first observation.
+    history: Vec<Vec<Option<f64>>>,
+    tracked: usize,
 }
 
 impl EmaEstimator {
@@ -50,7 +57,7 @@ impl EmaEstimator {
             cold_fraction > 0.0 && cold_fraction <= 1.0,
             "cold_fraction {cold_fraction} out of (0,1]"
         );
-        EmaEstimator { alpha, cold_fraction, history: HashMap::new() }
+        EmaEstimator { alpha, cold_fraction, history: Vec::new(), tracked: 0 }
     }
 
     /// The configuration used throughout the experiments: α = 0.25, cold
@@ -61,7 +68,7 @@ impl EmaEstimator {
 
     /// Number of tasks with learned history.
     pub fn tracked(&self) -> usize {
-        self.history.len()
+        self.tracked
     }
 }
 
@@ -71,13 +78,31 @@ impl CycleEstimator for EmaEstimator {
     }
 
     fn estimate(&self, task: TaskRef, wcet: f64) -> f64 {
-        let raw = self.history.get(&task).copied().unwrap_or(self.cold_fraction * wcet);
+        let raw = self
+            .history
+            .get(task.graph.index())
+            .and_then(|nodes| nodes.get(task.node.index()))
+            .copied()
+            .flatten()
+            .unwrap_or(self.cold_fraction * wcet);
         raw.clamp(1e-9, wcet)
     }
 
     fn observe(&mut self, task: TaskRef, actual: f64) {
-        let alpha = self.alpha;
-        self.history.entry(task).and_modify(|e| *e += alpha * (actual - *e)).or_insert(actual);
+        let (g, n) = (task.graph.index(), task.node.index());
+        if self.history.len() <= g {
+            self.history.resize(g + 1, Vec::new());
+        }
+        if self.history[g].len() <= n {
+            self.history[g].resize(n + 1, None);
+        }
+        match &mut self.history[g][n] {
+            Some(e) => *e += self.alpha * (actual - *e),
+            slot @ None => {
+                *slot = Some(actual);
+                self.tracked += 1;
+            }
+        }
     }
 }
 

@@ -63,9 +63,9 @@ use crate::parallel::parallel_map;
 use crate::runner::{SamplerKind, SchedulerSpec};
 use crate::stats::Summary;
 use bas_battery::BatteryModel;
-use bas_cpu::{FreqPolicy, Processor};
+use bas_cpu::{FreqPolicy, Platform, Processor};
 use bas_sim::{DeadlineMode, SimConfig, SimError, SimObserver, SimOutcome, Simulation};
-use bas_taskgraph::{TaskSet, TaskSetConfig};
+use bas_taskgraph::{Mapping, TaskSet, TaskSetConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -83,6 +83,8 @@ pub struct Experiment<'a> {
     set: &'a TaskSet,
     spec: Option<SchedulerSpec>,
     processor: Option<&'a Processor>,
+    platform: Option<&'a Platform>,
+    mapping: Option<Mapping>,
     seed: u64,
     horizon: Option<f64>,
     battery: Option<&'a mut dyn BatteryModel>,
@@ -101,6 +103,8 @@ impl<'a> Experiment<'a> {
             set,
             spec: None,
             processor: None,
+            platform: None,
+            mapping: None,
             seed: 0,
             horizon: None,
             battery: None,
@@ -119,9 +123,27 @@ impl<'a> Experiment<'a> {
         self
     }
 
-    /// The DVS processor model (required).
+    /// The DVS processor model — shorthand for a 1-PE
+    /// [`platform`](Self::platform) (one of the two is required).
     pub fn processor(mut self, processor: &'a Processor) -> Self {
         self.processor = Some(processor);
+        self
+    }
+
+    /// The execution platform: `N ≥ 1` processing elements sharing the
+    /// battery, each driven by its own governor/policy instance from the
+    /// spec's banks. Takes precedence over
+    /// [`processor`](Self::processor).
+    pub fn platform(mut self, platform: &'a Platform) -> Self {
+        self.platform = Some(platform);
+        self
+    }
+
+    /// Pin nodes to PEs explicitly. Default: everything on PE 0 for a 1-PE
+    /// platform, deterministic fmax-weighted list scheduling
+    /// ([`Mapping::list_schedule_weighted`]) otherwise.
+    pub fn mapping(mut self, mapping: Mapping) -> Self {
+        self.mapping = Some(mapping);
         self
     }
 
@@ -149,7 +171,7 @@ impl<'a> Experiment<'a> {
     }
 
     /// Attach a [`SimObserver`] to the run — e.g. a
-    /// [`bas_sim::JsonlWriter`] streaming the `bas-events/v1` event stream,
+    /// [`bas_sim::JsonlWriter`] streaming the `bas-events/v2` event stream,
     /// or a [`bas_sim::TraceRecorder`]/custom analysis. May be called
     /// repeatedly; observers see the whole stream in order.
     pub fn observer(mut self, observer: &'a mut dyn SimObserver) -> Self {
@@ -200,21 +222,37 @@ impl<'a> Experiment<'a> {
     /// outcome — the trace and metrics are moved out, never cloned.
     pub fn run(self) -> Result<SimOutcome, SimError> {
         let spec = self.spec.ok_or(SimError::Unconfigured("spec"))?;
-        let processor = self.processor.ok_or(SimError::Unconfigured("processor"))?;
         let horizon = self.horizon.ok_or(SimError::Unconfigured("horizon"))?;
-        let mut governor = spec.build_governor(processor.fmax());
-        let mut policy = spec.build_policy(self.seed);
+        let single;
+        let platform: &Platform = match (self.platform, self.processor) {
+            (Some(p), _) => p,
+            (None, Some(proc)) => {
+                single = Platform::single(proc.clone());
+                &single
+            }
+            (None, None) => return Err(SimError::Unconfigured("processor")),
+        };
+        let mapping = match self.mapping {
+            Some(m) => m,
+            None if platform.len() == 1 => Mapping::single_pe(self.set),
+            None => Mapping::list_schedule_weighted(self.set, &platform.fmax_per_pe()),
+        };
+        let mut governors = spec.build_governor_bank(platform);
+        let mut policies = spec.build_policy_bank(self.seed, platform.len());
         let mut sampler = self.sampler.build(self.seed);
-        let mut cfg = SimConfig::new(processor.clone());
+        let mut cfg = SimConfig::with_platform(platform.clone());
         cfg.record_trace = self.trace;
         cfg.deadline_mode = self.deadline_mode;
         cfg.freq_policy = self.freq_policy;
         cfg.check_feasibility = self.check_feasibility;
-        let mut sim = Simulation::new(
+        let policy_refs: Vec<&mut dyn bas_sim::TaskPolicy> =
+            policies.iter_mut().map(|p| &mut **p as &mut dyn bas_sim::TaskPolicy).collect();
+        let mut sim = Simulation::with_platform(
             self.set.clone(),
+            mapping,
             cfg,
-            governor.as_mut(),
-            policy.as_mut(),
+            governors.as_muts(),
+            policy_refs,
             sampler.as_mut(),
         )?;
         if let Some(battery) = self.battery {
@@ -255,6 +293,7 @@ pub struct Sweep<'a> {
     threads: usize,
     workload: Option<Workload<'a>>,
     processor: Option<&'a Processor>,
+    platform: Option<&'a Platform>,
     horizon: Option<f64>,
     sampler: SamplerKind,
     freq_policy: FreqPolicy,
@@ -272,6 +311,7 @@ impl<'a> Sweep<'a> {
             threads: 0,
             workload: None,
             processor: None,
+            platform: None,
             horizon: None,
             sampler: SamplerKind::IidUniform,
             freq_policy: FreqPolicy::Interpolate,
@@ -319,9 +359,19 @@ impl<'a> Sweep<'a> {
         self
     }
 
-    /// The DVS processor model (required).
+    /// The DVS processor model (this or [`platform`](Self::platform) is
+    /// required).
     pub fn processor(mut self, processor: &'a Processor) -> Self {
         self.processor = Some(processor);
+        self
+    }
+
+    /// Run every trial on a multi-PE platform instead of a single
+    /// processor; each trial's nodes are mapped by deterministic
+    /// fmax-weighted list scheduling. Takes precedence over
+    /// [`processor`](Self::processor).
+    pub fn platform(mut self, platform: &'a Platform) -> Self {
+        self.platform = Some(platform);
         self
     }
 
@@ -379,7 +429,9 @@ impl<'a> Sweep<'a> {
             .workload
             .as_ref()
             .ok_or_else(|| SweepError::unconfigured("workload (call .set(..) or .workload(..))"))?;
-        let processor = self.processor.ok_or_else(|| SweepError::unconfigured("processor"))?;
+        if self.processor.is_none() && self.platform.is_none() {
+            return Err(SweepError::unconfigured("processor"));
+        }
         let horizon = self.horizon.ok_or_else(|| SweepError::unconfigured("horizon"))?;
         if self.specs.is_empty() {
             return Err(SweepError::unconfigured("specs"));
@@ -425,12 +477,16 @@ impl<'a> Sweep<'a> {
                         let mut cell = self.battery.as_ref().map(|f| f(seed));
                         let mut experiment = Experiment::new(&set)
                             .spec(*spec)
-                            .processor(processor)
                             .seed(seed)
                             .horizon(horizon)
                             .sampler(self.sampler)
                             .freq_policy(self.freq_policy)
                             .deadline_mode(self.deadline_mode);
+                        match (self.platform, self.processor) {
+                            (Some(p), _) => experiment = experiment.platform(p),
+                            (None, Some(proc)) => experiment = experiment.processor(proc),
+                            (None, None) => unreachable!("checked above"),
+                        }
                         if let Some(cell) = cell.as_mut() {
                             experiment = experiment.battery(cell.as_mut());
                         }

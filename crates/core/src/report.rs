@@ -14,6 +14,7 @@
 //!   "kind": "<scenario kind>",
 //!   "base_seed": 1,
 //!   "trials": 100,
+//!   "pes": 2,                 // only present on multi-PE platforms
 //!   "rows": [
 //!     {
 //!       "label": "BAS-2",
@@ -67,6 +68,10 @@ pub struct Report {
     pub base_seed: u64,
     /// Trials per row (0 where the notion does not apply).
     pub trials: usize,
+    /// Processing elements of the platform the scenario ran on (1 = the
+    /// paper's uniprocessor). Serialized as a `pes` key only when > 1, so
+    /// historical uniprocessor reports stay byte-identical.
+    pub pes: usize,
     /// Result rows, in presentation order.
     pub rows: Vec<ReportRow>,
 }
@@ -99,7 +104,14 @@ impl Report {
         base_seed: u64,
         trials: usize,
     ) -> Self {
-        Report { scenario: scenario.into(), kind: kind.into(), base_seed, trials, rows: Vec::new() }
+        Report {
+            scenario: scenario.into(),
+            kind: kind.into(),
+            base_seed,
+            trials,
+            pes: 1,
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row, returning a mutable handle to fill it.
@@ -156,6 +168,9 @@ impl Report {
         let _ = writeln!(out, "  \"kind\": {},", json_string(&self.kind));
         let _ = writeln!(out, "  \"base_seed\": {},", self.base_seed);
         let _ = writeln!(out, "  \"trials\": {},", self.trials);
+        if self.pes > 1 {
+            let _ = writeln!(out, "  \"pes\": {},", self.pes);
+        }
         out.push_str("  \"rows\": [");
         for (i, row) in self.rows.iter().enumerate() {
             if i > 0 {
@@ -263,8 +278,11 @@ impl ReportRow {
     }
 }
 
-/// JSON string escaping (control characters, quotes, backslash).
-fn json_string(s: &str) -> String {
+/// JSON string escaping (control characters, quotes, backslash) — the one
+/// escaper every JSON emitter above the engine shares (`bas-sim`'s
+/// streaming writer keeps its own copy only because the dependency runs
+/// the other way).
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -33,7 +33,8 @@
 use crate::estimator::EmaEstimator;
 use crate::policy::BasPolicy;
 use crate::priority::{Ltf, Pubs, RandomPriority, Stf};
-use bas_dvs::{CcEdf, LaEdf, NoDvs, SocFloor};
+use bas_cpu::Platform;
+use bas_dvs::{CcEdf, GovernorBank, LaEdf, NoDvs, SocFloor};
 use bas_sim::{ActualSampler, FrequencyGovernor, PersistentFraction, TaskPolicy, UniformFraction};
 use std::fmt;
 use std::str::FromStr;
@@ -262,6 +263,26 @@ impl SchedulerSpec {
             GovernorKind::LaEdf => Box::new(LaEdf::with_fmax(fmax)),
             GovernorKind::Soc => Box::new(SocFloor::with_default_threshold(LaEdf::with_fmax(fmax))),
         }
+    }
+
+    /// Instantiate one governor per PE of `platform`, each constructed
+    /// against its own element's peak frequency — laEDF's deferral math and
+    /// SocFloor's state must not be shared between elements.
+    pub fn build_governor_bank(&self, platform: &Platform) -> GovernorBank {
+        GovernorBank::uniform(platform.len(), |pe| self.build_governor(platform.pe(pe).fmax()))
+    }
+
+    /// Instantiate one task policy per PE. PE 0 is seeded with `seed`
+    /// itself — on a 1-PE platform the bank is exactly the historical
+    /// single policy — and later PEs derive decorrelated seeds from it.
+    pub fn build_policy_bank(&self, seed: u64, pes: usize) -> Vec<Box<dyn TaskPolicy>> {
+        (0..pes).map(|pe| self.build_policy(Self::pe_seed(seed, pe))).collect()
+    }
+
+    /// The per-PE policy seed derivation: PE 0 keeps the trial seed
+    /// verbatim, later PEs spread it with an odd multiplier.
+    pub fn pe_seed(seed: u64, pe: usize) -> u64 {
+        seed ^ (pe as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
     }
 
     /// Instantiate the task policy; `seed` feeds the random priority.

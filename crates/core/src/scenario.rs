@@ -33,7 +33,7 @@ use crate::runner::{SamplerKind, SchedulerSpec};
 use crate::toml::{self, Value};
 use crate::workloads::{paper_scale_config, unit_scale_config};
 use bas_battery::BatteryModel;
-use bas_cpu::{FreqPolicy, Processor};
+use bas_cpu::{FreqPolicy, Platform, Processor};
 use bas_taskgraph::{TaskSet, TaskSetConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -133,6 +133,8 @@ impl ScenarioKind {
                 "battery",
                 "sampler",
                 "freq",
+                "pes",
+                "processors",
             ],
             ScenarioKind::Table1 => {
                 &["trials", "seed", "threads", "util", "freq", "shape", "processor", "noise"]
@@ -202,8 +204,17 @@ pub struct Scenario {
     /// Workload family: `paper` (mega-cycle WCETs on the GHz platform) or
     /// `unit` (dimensionless).
     pub workload: String,
-    /// Processor preset name (`bas_cpu::presets::by_name`).
+    /// Processor preset name (`bas_cpu::presets::by_name`); on a multi-PE
+    /// platform, the shared preset every element uses unless
+    /// [`Scenario::processors`] lists per-PE presets.
     pub processor: String,
+    /// Processing elements of the platform (sweep kind; `[platform]`
+    /// block's `pes` key). 1 = the paper's uniprocessor.
+    pub pes: usize,
+    /// Optional per-PE processor preset names (`[platform]` block's
+    /// `processors` key): empty = every PE runs the shared
+    /// [`Scenario::processor`] preset; otherwise one name per PE.
+    pub processors: Vec<String>,
     /// Battery preset name (`bas_battery::registry::by_name`), or `none`
     /// for horizon-only simulation.
     pub battery: String,
@@ -228,6 +239,10 @@ pub struct Scenario {
     /// Highest constant load of the capacity curve, amperes.
     pub hi: f64,
 }
+
+/// The scenario knobs that live in the `[platform]` table of the
+/// serialized form rather than as flat keys.
+const PLATFORM_KEYS: &[&str] = &["pes", "processors"];
 
 /// The salt folded into per-trial battery seeds, so the battery's stochastic
 /// stream is decorrelated from the workload/sampler stream of the same
@@ -254,6 +269,8 @@ impl Scenario {
                 .collect(),
             workload: "paper".to_string(),
             processor: "paper".to_string(),
+            pes: 1,
+            processors: Vec::new(),
             battery: "stochastic".to_string(),
             sampler: SamplerKind::Persistent,
             freq: FreqPolicy::RoundUp,
@@ -284,13 +301,25 @@ impl Scenario {
     // ---------------------------------------------------------------- codec
 
     /// Serialize to the TOML subset of [`crate::toml`]: `name`, `kind`, then
-    /// the kind's fields in [`ScenarioKind::fields`] order.
+    /// the kind's fields in [`ScenarioKind::fields`] order. The platform
+    /// knobs (`pes`, `processors`) serialize as a trailing `[platform]`
+    /// table instead of flat keys.
     pub fn to_toml(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("name = {}\n", Value::Str(self.name.clone()).render()));
         out.push_str(&format!("kind = {}\n", Value::Str(self.kind.name().into()).render()));
         for key in self.kind.fields() {
+            if PLATFORM_KEYS.contains(key) {
+                continue;
+            }
             out.push_str(&format!("{key} = {}\n", self.value_of(key).render()));
+        }
+        if self.kind.fields().contains(&"pes") {
+            out.push_str("\n[platform]\n");
+            out.push_str(&format!("pes = {}\n", self.value_of("pes").render()));
+            if !self.processors.is_empty() {
+                out.push_str(&format!("processors = {}\n", self.value_of("processors").render()));
+            }
         }
         out
     }
@@ -308,7 +337,10 @@ impl Scenario {
             .parse()?;
         let mut s = Scenario::preset(kind);
         for (key, value) in &doc {
-            match key.as_str() {
+            // The `[platform]` table's keys arrive dotted; they alias the
+            // flat platform knobs.
+            let key = key.strip_prefix("platform.").unwrap_or(key);
+            match key {
                 "kind" => {}
                 "name" => {
                     s.name = value
@@ -362,7 +394,7 @@ impl Scenario {
                 ),
             ));
         }
-        let parsed = if key == "specs" {
+        let parsed = if key == "specs" || key == "processors" {
             Value::Array(value.split(',').map(|s| Value::Str(s.trim().to_string())).collect())
         } else {
             match self.value_of(key) {
@@ -390,6 +422,8 @@ impl Scenario {
             "specs" => Value::Array(self.specs.iter().cloned().map(Value::Str).collect()),
             "workload" => Value::Str(self.workload.clone()),
             "processor" => Value::Str(self.processor.clone()),
+            "pes" => Value::Int(self.pes as i64),
+            "processors" => Value::Array(self.processors.iter().cloned().map(Value::Str).collect()),
             "battery" => Value::Str(self.battery.clone()),
             "sampler" => Value::Str(self.sampler.to_string()),
             "freq" => Value::Str(self.freq.to_string()),
@@ -430,6 +464,12 @@ impl Scenario {
             }
             "processor" => {
                 self.processor = value.as_str().ok_or_else(|| bad("a string"))?.to_string();
+            }
+            "pes" => {
+                self.pes = uint(value).ok_or_else(|| bad("a non-negative integer"))? as usize;
+            }
+            "processors" => {
+                self.processors = value.as_str_array().ok_or_else(|| bad("an array of strings"))?;
             }
             "battery" => {
                 self.battery = value.as_str().ok_or_else(|| bad("a string"))?.to_string();
@@ -504,6 +544,34 @@ impl Scenario {
                 "workload",
                 format!("unknown workload {:?}: expected paper|unit", self.workload),
             ));
+        }
+        if uses("pes") && !(1..=64).contains(&self.pes) {
+            return Err(ScenarioError::invalid("pes", "must be in 1..=64"));
+        }
+        if uses("processors") && !self.processors.is_empty() {
+            if self.processors.len() != self.pes {
+                return Err(ScenarioError::invalid(
+                    "processors",
+                    format!(
+                        "lists {} per-PE presets for a {}-PE platform (leave empty to share \
+                         `processor`)",
+                        self.processors.len(),
+                        self.pes
+                    ),
+                ));
+            }
+            for name in &self.processors {
+                if bas_cpu::presets::by_name(name).is_none() {
+                    return Err(ScenarioError::invalid(
+                        "processors",
+                        format!(
+                            "unknown processor {:?}: expected one of {}",
+                            name,
+                            bas_cpu::presets::NAMES.join("|")
+                        ),
+                    ));
+                }
+            }
         }
         if uses("processor") && bas_cpu::presets::by_name(&self.processor).is_none() {
             return Err(ScenarioError::invalid(
@@ -587,6 +655,25 @@ impl Scenario {
         })
     }
 
+    /// Resolve the execution platform described by the `[platform]` block:
+    /// `pes` copies of the shared [`Scenario::processor`] preset, or the
+    /// per-PE [`Scenario::processors`] presets when listed.
+    pub fn build_platform(&self) -> Result<Platform, ScenarioError> {
+        if self.processors.is_empty() {
+            return Ok(Platform::uniform(self.build_processor()?, self.pes.max(1)));
+        }
+        let pes: Result<Vec<Processor>, ScenarioError> = self
+            .processors
+            .iter()
+            .map(|name| {
+                bas_cpu::presets::by_name(name).ok_or_else(|| {
+                    ScenarioError::invalid("processors", format!("unknown processor {name:?}"))
+                })
+            })
+            .collect();
+        Platform::new(pes?).map_err(|e| ScenarioError::invalid("processors", e.to_string()))
+    }
+
     /// Build a fresh battery for a trial seed, or `None` for `battery =
     /// "none"`. The trial seed is salted with [`BATTERY_SEED_SALT`].
     pub fn build_battery(&self, trial_seed: u64) -> Option<Box<dyn BatteryModel>> {
@@ -644,11 +731,11 @@ impl Scenario {
         set: &'a TaskSet,
         spec: SchedulerSpec,
         trial_seed: u64,
-        processor: &'a Processor,
+        platform: &'a Platform,
     ) -> Experiment<'a> {
         Experiment::new(set)
             .spec(spec)
-            .processor(processor)
+            .platform(platform)
             .seed(trial_seed)
             .horizon(self.horizon)
             .sampler(self.sampler)
@@ -666,10 +753,10 @@ impl Scenario {
             ));
         }
         self.validate()?;
-        let processor = self.build_processor()?;
+        let platform = self.build_platform()?;
         let mut sweep = attach_workload(Sweep::over_seeds(self.seed, self.trials))
             .specs(self.parsed_specs()?)
-            .processor(&processor)
+            .platform(&platform)
             .horizon(self.horizon)
             .threads(self.threads)
             .sampler(self.sampler)

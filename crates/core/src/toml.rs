@@ -5,14 +5,16 @@
 //! supported subset is deliberately small but is real TOML — any file this
 //! module emits or accepts parses identically under a full TOML parser:
 //!
-//! * one flat table: `key = value` pairs at the top level only;
+//! * `key = value` pairs at the top level, plus one level of `[table]`
+//!   sections whose keys surface as dotted `table.key` document entries;
 //! * values: basic strings (`"..."` with `\"`, `\\`, `\n`, `\t`, `\r`
 //!   escapes), integers, floats (including `inf`/`nan` forms), booleans,
 //!   and single-line arrays of those;
 //! * `#` comments and blank lines.
 //!
-//! Out of scope (rejected with an error, never silently misread): nested
-//! tables, dotted keys, multi-line strings/arrays, dates.
+//! Out of scope (rejected with an error, never silently misread): deeper
+//! nesting, arrays of tables, dotted keys in source files, multi-line
+//! strings/arrays, dates.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -154,17 +156,34 @@ fn err(line: usize, message: impl Into<String>) -> ParseError {
     ParseError { line, message: message.into() }
 }
 
-/// Parse a flat TOML document.
+/// Parse a TOML document: top-level `key = value` pairs plus optionally
+/// one level of `[table]` headers, whose keys land in the document as
+/// dotted `table.key` entries (e.g. the scenario `[platform]` block's
+/// `pes` arrives as `platform.pes`).
 pub fn parse(input: &str) -> Result<Document, ParseError> {
     let mut doc = Document::new();
+    let mut prefix = String::new();
     for (ix, raw) in input.lines().enumerate() {
         let lineno = ix + 1;
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        if line.starts_with('[') {
-            return Err(err(lineno, "nested tables are not supported (flat key = value only)"));
+        if let Some(header) = line.strip_prefix('[') {
+            let Some(name) = header.strip_suffix(']') else {
+                return Err(err(lineno, format!("malformed table header {line:?}")));
+            };
+            let name = name.trim();
+            if name.starts_with('[') {
+                return Err(err(lineno, "arrays of tables are not supported"));
+            }
+            if name.is_empty()
+                || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+            {
+                return Err(err(lineno, format!("invalid table name {name:?}")));
+            }
+            prefix = format!("{name}.");
+            continue;
         }
         let eq = line
             .find('=')
@@ -182,7 +201,7 @@ pub fn parse(input: &str) -> Result<Document, ParseError> {
         if !rest.is_empty() && !rest.starts_with('#') {
             return Err(err(lineno, format!("trailing garbage after value: {rest:?}")));
         }
-        if doc.insert(key.to_string(), value).is_some() {
+        if doc.insert(format!("{prefix}{key}"), value).is_some() {
             return Err(err(lineno, format!("duplicate key {key:?}")));
         }
     }
@@ -356,7 +375,9 @@ mod tests {
     #[test]
     fn rejects_junk_with_line_numbers() {
         for (input, needle) in [
-            ("[section]\nk = 1", "nested tables"),
+            ("[bad header\nk = 1", "malformed table header"),
+            ("[[array]]\nk = 1", "arrays of tables"),
+            ("[]\nk = 1", "invalid table name"),
             ("just a line", "key = value"),
             ("k = ", "missing value"),
             ("k = 1 2", "trailing garbage"),
@@ -376,6 +397,15 @@ mod tests {
     fn underscore_separators_parse() {
         assert_eq!(parse("n = 1_000_000\n").unwrap()["n"], Value::Int(1_000_000));
         assert_eq!(parse("x = 1_0.5_5\n").unwrap()["x"], Value::Float(10.55));
+    }
+
+    #[test]
+    fn table_sections_surface_as_dotted_keys() {
+        let doc = parse("a = 1\n\n[platform]\npes = 4\nprocessors = [\"unit\"]\n").unwrap();
+        assert_eq!(doc["a"], Value::Int(1));
+        assert_eq!(doc["platform.pes"], Value::Int(4));
+        assert_eq!(doc["platform.processors"].as_str_array().unwrap(), vec!["unit"]);
+        assert!(!doc.contains_key("pes"), "section keys must stay qualified");
     }
 
     #[test]

@@ -54,6 +54,16 @@ fn randomize_field(s: &mut Scenario, field: &str, rng: &mut StdRng) {
         "points" => s.points = rng.gen_range(2..30usize),
         "lo" => s.lo = rng.gen_range(1e-3..1.0),
         "hi" => s.hi = s.lo + rng.gen_range(0.1..50.0),
+        "pes" => s.pes = rng.gen_range(1..5usize),
+        "processors" => {
+            // Either shared (empty) or one preset per PE (`pes` is
+            // randomized before `processors` in field order).
+            s.processors = if rng.gen_bool(0.5) {
+                Vec::new()
+            } else {
+                (0..s.pes).map(|_| pick(rng, bas_cpu::presets::NAMES)).collect()
+            };
+        }
         other => panic!("test does not know how to randomize field {other}"),
     }
 }

@@ -26,6 +26,16 @@ pub enum CpuError {
         /// offending value
         value: f64,
     },
+    /// A platform needs at least one processing element.
+    NoProcessingElements,
+    /// All processing elements of a platform must share the battery
+    /// terminal voltage (one battery feeds them all).
+    MismatchedSupplyVoltage {
+        /// index of the offending processing element
+        index: usize,
+        /// its battery voltage
+        vbat: f64,
+    },
 }
 
 impl fmt::Display for CpuError {
@@ -40,6 +50,16 @@ impl fmt::Display for CpuError {
             }
             CpuError::InvalidParameter { name, value } => {
                 write!(f, "parameter {name} = {value} out of range")
+            }
+            CpuError::NoProcessingElements => {
+                write!(f, "a platform needs at least one processing element")
+            }
+            CpuError::MismatchedSupplyVoltage { index, vbat } => {
+                write!(
+                    f,
+                    "processing element {index} runs from vbat = {vbat} V, \
+                     but all PEs must share one battery voltage"
+                )
             }
         }
     }

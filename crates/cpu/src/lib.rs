@@ -14,6 +14,10 @@
 //!   draw; with the converter equation `η · Vbat · Ibat = Vproc · Iproc`
 //!   (§2), scaling the core voltage by `s` scales the battery current by
 //!   roughly `s³`, the effect all battery-aware scheduling exploits.
+//! * [`platform`] — the execution platform: `N ≥ 1` processing elements
+//!   ([`Platform`]), each a full [`Processor`] with its own OPP table and
+//!   power model, sharing one battery whose draw is the **sum** of the
+//!   per-PE currents. `Platform::single` is the paper's uniprocessor.
 //! * [`freq`] — realization of a *continuous* requested frequency `fref` on
 //!   discrete hardware: the optimal scheme is a time-weighted combination of
 //!   the two adjacent operating points (Gaujal, Navet & Walsh, TECS 2005 —
@@ -30,10 +34,12 @@
 pub mod error;
 pub mod freq;
 pub mod opp;
+pub mod platform;
 pub mod power;
 pub mod presets;
 
 pub use error::CpuError;
 pub use freq::{FreqPolicy, ParseFreqPolicyError, Realization, Segment};
 pub use opp::{OperatingPoint, OppTable};
+pub use platform::Platform;
 pub use power::{PowerModel, Processor, SupplyConfig};

@@ -1,0 +1,178 @@
+//! The execution platform: one or more processing elements sharing a battery.
+//!
+//! The paper evaluates a single DVS processor, but its problem setting —
+//! periodic task *graphs* — maps naturally onto the multi-processing-element
+//! (MPSoC) platforms of the follow-on literature (Simon et al., "Energy
+//! Minimization in DAG Scheduling on MPSoCs at Run-Time"; Khan & Vemuri's
+//! battery-aware task mapping): DAG nodes are assigned to PEs, each PE runs
+//! its own DVS policy, and one shared battery absorbs the **sum** of the
+//! per-PE currents.
+//!
+//! A [`Platform`] is an ordered list of [`Processor`]s (the PEs), validated
+//! to share a battery terminal voltage — the cells of this workspace are
+//! single-source, so mixed `vbat` values would make the summed-current
+//! accounting meaningless. PEs may otherwise be heterogeneous (different OPP
+//! tables, different `Ceff`): the simulation engine realizes each PE's
+//! frequency on its own table and draws its own current.
+//!
+//! [`Platform::single`] is the compatibility instantiation: every API that
+//! historically took a [`Processor`] now wraps it in a 1-PE platform, and
+//! the engine's behaviour on it is bit-identical to the uniprocessor code it
+//! replaced.
+
+use crate::error::CpuError;
+use crate::power::Processor;
+
+/// An execution platform: `N ≥ 1` processing elements over one battery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    pes: Vec<Processor>,
+}
+
+impl Platform {
+    /// A platform from explicit (possibly heterogeneous) PEs.
+    ///
+    /// Fails when `pes` is empty or the PEs disagree on the battery
+    /// terminal voltage (one shared battery feeds them all).
+    pub fn new(pes: Vec<Processor>) -> Result<Self, CpuError> {
+        if pes.is_empty() {
+            return Err(CpuError::NoProcessingElements);
+        }
+        let vbat = pes[0].supply().vbat;
+        for (index, pe) in pes.iter().enumerate() {
+            if pe.supply().vbat != vbat {
+                return Err(CpuError::MismatchedSupplyVoltage { index, vbat: pe.supply().vbat });
+            }
+        }
+        Ok(Platform { pes })
+    }
+
+    /// The canonical uniprocessor platform — the paper's own setting.
+    pub fn single(pe: Processor) -> Self {
+        Platform { pes: vec![pe] }
+    }
+
+    /// `n` identical copies of `pe` (the symmetric-MPSoC configuration).
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn uniform(pe: Processor, n: usize) -> Self {
+        assert!(n > 0, "a platform needs at least one processing element");
+        Platform { pes: vec![pe; n] }
+    }
+
+    /// Number of processing elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// Always false — construction guarantees `len() >= 1`. Provided for
+    /// clippy-idiomatic pairing with [`Platform::len`].
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// One processing element by index.
+    ///
+    /// # Panics
+    /// Panics when `pe` is out of range.
+    #[inline]
+    pub fn pe(&self, pe: usize) -> &Processor {
+        &self.pes[pe]
+    }
+
+    /// Iterate over the PEs in index order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = &Processor> + '_ {
+        self.pes.iter()
+    }
+
+    /// The shared battery terminal voltage, volts.
+    #[inline]
+    pub fn vbat(&self) -> f64 {
+        self.pes[0].supply().vbat
+    }
+
+    /// Peak frequency across all PEs, Hz — the headroom bound structural
+    /// feasibility checks use.
+    pub fn fmax_any(&self) -> f64 {
+        self.pes.iter().map(Processor::fmax).fold(0.0, f64::max)
+    }
+
+    /// Per-PE peak frequencies, in PE order — the weights the default
+    /// list-scheduling mapping balances load against.
+    pub fn fmax_per_pe(&self) -> Vec<f64> {
+        self.pes.iter().map(Processor::fmax).collect()
+    }
+
+    /// Total battery current while every PE idles, amperes.
+    pub fn idle_current_total(&self) -> f64 {
+        self.pes.iter().map(|p| p.supply().idle_current).sum()
+    }
+}
+
+impl std::ops::Index<usize> for Platform {
+    type Output = Processor;
+    fn index(&self, pe: usize) -> &Processor {
+        &self.pes[pe]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opp::{OperatingPoint, OppTable};
+    use crate::power::SupplyConfig;
+    use crate::presets::{paper_processor, unit_processor};
+
+    #[test]
+    fn single_and_uniform_shapes() {
+        let p = Platform::single(unit_processor());
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+        let q = Platform::uniform(unit_processor(), 4);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pe(3), q.pe(0));
+        assert_eq!(&q[2], q.pe(2));
+    }
+
+    #[test]
+    fn heterogeneous_pes_are_allowed_with_shared_vbat() {
+        let p = Platform::new(vec![unit_processor(), paper_processor()]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.fmax_any(), 1.0e9);
+        assert_eq!(p.fmax_per_pe(), vec![1.0, 1.0e9]);
+        assert_eq!(p.vbat(), 1.2);
+    }
+
+    #[test]
+    fn empty_platform_is_rejected() {
+        assert_eq!(Platform::new(Vec::new()).unwrap_err(), CpuError::NoProcessingElements);
+    }
+
+    #[test]
+    fn mismatched_vbat_is_rejected() {
+        let opps = OppTable::new(vec![OperatingPoint::new(1.0, 1.0)]).unwrap();
+        let other = Processor::new(
+            opps,
+            SupplyConfig { ceff: 1.0, efficiency: 0.9, vbat: 3.3, idle_current: 0.0 },
+        )
+        .unwrap();
+        let err = Platform::new(vec![unit_processor(), other]).unwrap_err();
+        assert!(matches!(err, CpuError::MismatchedSupplyVoltage { index: 1, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn idle_current_sums_over_pes() {
+        let p = Platform::uniform(unit_processor(), 3);
+        let one = unit_processor().supply().idle_current;
+        assert!((p.idle_current_total() - 3.0 * one).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn uniform_zero_panics() {
+        let _ = Platform::uniform(unit_processor(), 0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Per-PE governor instances — the [`GovernorBank`].
+//!
+//! On a multi-PE platform every processing element runs its **own** DVS
+//! governor instance: laEDF's deferral scratch, SocFloor's threshold state
+//! and any learned history must not leak between elements, and each
+//! instance is constructed against its PE's own `fmax`. A [`GovernorBank`]
+//! owns one boxed governor per PE, index-aligned with the platform, and
+//! lends them to the engine as the `Vec<&mut dyn FrequencyGovernor>` that
+//! `bas_sim::Simulation::with_platform` consumes.
+//!
+//! The engine consults each instance with the ambient PE scope set on the
+//! state (see `bas_sim::SimState::scope`), so the governors in this crate
+//! steer their own element without any multi-PE awareness of their own.
+
+use bas_sim::FrequencyGovernor;
+
+/// One governor instance per processing element, index-aligned with the
+/// platform.
+pub struct GovernorBank {
+    governors: Vec<Box<dyn FrequencyGovernor>>,
+}
+
+impl GovernorBank {
+    /// A bank from explicit per-PE instances (possibly heterogeneous —
+    /// nothing requires every PE to run the same algorithm).
+    ///
+    /// # Panics
+    /// Panics when `governors` is empty.
+    pub fn new(governors: Vec<Box<dyn FrequencyGovernor>>) -> Self {
+        assert!(!governors.is_empty(), "a bank needs at least one governor");
+        GovernorBank { governors }
+    }
+
+    /// `n` instances built by `factory` (called with the PE index) — the
+    /// homogeneous lineup, e.g.
+    /// `GovernorBank::uniform(4, |_| Box::new(CcEdf))`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    pub fn uniform(n: usize, factory: impl Fn(usize) -> Box<dyn FrequencyGovernor>) -> Self {
+        assert!(n > 0, "a bank needs at least one governor");
+        GovernorBank { governors: (0..n).map(factory).collect() }
+    }
+
+    /// A bank of the named governor (see [`crate::governor_by_name`]), one
+    /// instance per entry of `fmax_per_pe` (each constructed against its
+    /// PE's peak frequency). Returns `None` for unknown names or an empty
+    /// slice.
+    pub fn by_name(name: &str, fmax_per_pe: &[f64]) -> Option<Self> {
+        if fmax_per_pe.is_empty() {
+            return None;
+        }
+        let governors: Option<Vec<_>> =
+            fmax_per_pe.iter().map(|&fmax| crate::governor_by_name(name, fmax)).collect();
+        governors.map(|governors| GovernorBank { governors })
+    }
+
+    /// Number of per-PE instances.
+    pub fn len(&self) -> usize {
+        self.governors.len()
+    }
+
+    /// Always false — construction guarantees at least one instance.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// One instance, immutably.
+    pub fn get(&self, pe: usize) -> &dyn FrequencyGovernor {
+        self.governors[pe].as_ref()
+    }
+
+    /// Lend the instances to an engine:
+    /// `Simulation::with_platform(…, bank.as_muts(), …)`.
+    pub fn as_muts(&mut self) -> Vec<&mut (dyn FrequencyGovernor + '_)> {
+        self.governors
+            .iter_mut()
+            .map(|g| -> &mut (dyn FrequencyGovernor + '_) { g.as_mut() })
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for GovernorBank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.governors.iter().map(|g| g.name())).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CcEdf, LaEdf};
+
+    #[test]
+    fn uniform_builds_one_instance_per_pe() {
+        let bank = GovernorBank::uniform(3, |_| Box::new(CcEdf));
+        assert_eq!(bank.len(), 3);
+        assert!(!bank.is_empty());
+        assert_eq!(bank.get(2).name(), "ccEDF");
+    }
+
+    #[test]
+    fn by_name_constructs_against_per_pe_fmax() {
+        let bank = GovernorBank::by_name("laEDF", &[1.0, 2.0]).unwrap();
+        assert_eq!(bank.len(), 2);
+        assert_eq!(bank.get(0).name(), "laEDF");
+        assert!(GovernorBank::by_name("bogus", &[1.0]).is_none());
+        assert!(GovernorBank::by_name("laEDF", &[]).is_none());
+    }
+
+    #[test]
+    fn as_muts_is_index_aligned() {
+        let mut bank = GovernorBank::new(vec![Box::new(CcEdf), Box::new(LaEdf::with_fmax(1.0))]);
+        let muts = bank.as_muts();
+        assert_eq!(muts.len(), 2);
+        assert_eq!(muts[0].name(), "ccEDF");
+        assert_eq!(muts[1].name(), "laEDF");
+    }
+
+    #[test]
+    fn debug_lists_names() {
+        let bank = GovernorBank::uniform(2, |_| Box::new(CcEdf));
+        assert_eq!(format!("{bank:?}"), "[\"ccEDF\", \"ccEDF\"]");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_bank_panics() {
+        let _ = GovernorBank::new(Vec::new());
+    }
+}

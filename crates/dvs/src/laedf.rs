@@ -95,7 +95,9 @@ impl FrequencyGovernor for LaEdf {
         let mut s = 0.0;
         for &(gid, d_i, c_left) in &self.scratch {
             let pg = &state.set()[gid];
-            u -= pg.graph().total_wcet() as f64 / pg.period();
+            // Scope-aware: on a multi-PE platform each laEDF instance
+            // defers only the work mapped to its own element.
+            u -= state.static_cycles(gid) / pg.period();
             let room = d_i - d_n;
             if room > 1e-12 {
                 // Cycles that fit between d_n and d_i if the processor gives

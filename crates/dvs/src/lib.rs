@@ -24,12 +24,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bank;
 pub mod ccedf;
 pub mod laedf;
 pub mod nodvs;
 pub mod soc;
 pub mod static_util;
 
+pub use bank::GovernorBank;
 pub use ccedf::CcEdf;
 pub use laedf::LaEdf;
 pub use nodvs::NoDvs;

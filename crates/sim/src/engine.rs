@@ -1,30 +1,43 @@
 //! The stepped discrete-event simulation engine.
 //!
-//! [`Simulation`] owns one simulation lifecycle: bind a task set, a governor,
-//! a policy and a sampler; optionally mount a battery and attach
-//! [`SimObserver`]s; then drive it with [`step`](Simulation::step) /
+//! [`Simulation`] owns one simulation lifecycle: bind a task set, per-PE
+//! governors and policies, and a sampler; optionally mount a battery and
+//! attach [`SimObserver`]s; then drive it with [`step`](Simulation::step) /
 //! [`run_until`](Simulation::run_until) and take the results out once with
-//! [`finish`](Simulation::finish). The monolithic
-//! `Executor::run_for`/`run_until_battery_dead` pair this replaces could only
-//! run to completion and cloned its `Trace`/`Metrics` into every outcome;
-//! the stepped engine streams instead of buffering, and `finish` *moves*.
+//! [`finish`](Simulation::finish).
 //!
-//! Scheduling points are instance releases and node completions — exactly
-//! the points at which the paper's pseudocode re-evaluates `fref` and
-//! re-picks a task. Between points the chosen node runs at the governor's
-//! `fref`, realized as (at most) two discrete-operating-point segments, high
-//! leg first so the current is non-increasing *within* the slice (guideline
-//! G1's "locally non-increasing" shape at the finest granularity we
-//! control). A release arriving while a node runs preempts it (preemptive
-//! EDF model); the node keeps its progress and re-enters the ready list.
+//! ## Platform model
+//!
+//! The engine executes on a [`Platform`] of `N ≥ 1` processing elements. A
+//! [`Mapping`] pins every DAG node to one PE; each PE has its own
+//! [`FrequencyGovernor`] and [`TaskPolicy`] (consulted with the PE set as
+//! the state's ambient scope, so uniprocessor governors transparently steer
+//! their own element), its own ready queue (the global precedence-free set
+//! filtered by the mapping), and its own run/idle slices. One shared
+//! battery absorbs the **sum** of the per-PE currents, stepped over the
+//! union of all PEs' constant-current stretches. [`Simulation::new`] is the
+//! 1-PE compatibility constructor and reproduces the historical
+//! uniprocessor engine bit for bit; [`Simulation::with_platform`] is the
+//! multi-PE entry point.
+//!
+//! Scheduling points are instance releases and node completions (on any
+//! PE) — exactly the points at which the paper's pseudocode re-evaluates
+//! `fref` and re-picks a task. Between points each PE runs its chosen node
+//! at its governor's `fref`, realized as (at most) two discrete
+//! operating-point segments, high leg first so the current is
+//! non-increasing *within* the slice (guideline G1's "locally
+//! non-increasing" shape at the finest granularity we control). A release
+//! arriving while a node runs preempts it (preemptive EDF model per PE);
+//! the node keeps its progress and re-enters the ready list.
 //!
 //! Every transition is narrated to the attached observers as a typed
-//! [`SimEvent`]; every constant-current stretch as a slice (see
+//! [`SimEvent`]; every constant-current stretch of every PE as a slice (see
 //! [`crate::event`]). The battery, when mounted, lives *inside* the engine:
-//! it absorbs each slice as it is emitted, and its scheduler-visible
-//! digest — a [`BatteryView`] — is refreshed on [`SimState`] before the next
-//! decision, so governors and policies can finally react to state-of-charge
-//! (see `bas_dvs::SocFloor` for the canonical battery-aware governor).
+//! it absorbs each summed-current segment as it elapses, and its
+//! scheduler-visible digest — a [`BatteryView`] — is refreshed on
+//! [`SimState`] before the next decision, so governors and policies can
+//! react to state-of-charge (see `bas_dvs::SocFloor` for the canonical
+//! battery-aware governor).
 
 use crate::error::SimError;
 use crate::event::{SimEvent, SliceInfo};
@@ -37,8 +50,8 @@ use crate::traits::{FrequencyGovernor, TaskPolicy};
 use crate::types::TaskRef;
 use crate::workload::ActualSampler;
 use bas_battery::{BatteryModel, LifetimeReport, StepOutcome};
-use bas_cpu::{FreqPolicy, Processor};
-use bas_taskgraph::TaskSet;
+use bas_cpu::{FreqPolicy, Platform, Processor, Realization};
+use bas_taskgraph::{Mapping, TaskSet};
 
 /// What to do when an instance is still unfinished at its deadline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -56,8 +69,9 @@ pub enum DeadlineMode {
 /// Static configuration of a simulation.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
-    /// The DVS processor model.
-    pub processor: Processor,
+    /// The execution platform (one or more DVS processing elements over a
+    /// shared battery).
+    pub platform: Platform,
     /// How continuous `fref` maps onto discrete operating points.
     pub freq_policy: FreqPolicy,
     /// Deadline-miss behaviour.
@@ -72,11 +86,17 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
-    /// Config with the given processor and all defaults (interpolated
-    /// frequencies, fail on miss, trace recording on, feasibility checked).
+    /// Config for the paper's uniprocessor setting: `processor` becomes a
+    /// 1-PE [`Platform`], with all defaults (interpolated frequencies, fail
+    /// on miss, trace recording on, feasibility checked).
     pub fn new(processor: Processor) -> Self {
+        SimConfig::with_platform(Platform::single(processor))
+    }
+
+    /// Config over an explicit multi-PE platform, same defaults.
+    pub fn with_platform(platform: Platform) -> Self {
         SimConfig {
-            processor,
+            platform,
             freq_policy: FreqPolicy::Interpolate,
             deadline_mode: DeadlineMode::Fail,
             record_trace: true,
@@ -112,8 +132,27 @@ pub enum Step {
     BatteryExhausted,
 }
 
-/// The stepped simulation lifecycle binding a task set, a governor, a
-/// policy, a sampler, an optional battery and any number of observers.
+/// One PE's committed pick for the upcoming execution stretch.
+struct Plan {
+    task: TaskRef,
+    realization: Realization,
+    rem_actual: f64,
+    dur_complete: f64,
+}
+
+/// One constant-current stretch of one PE within a step.
+#[derive(Clone, Copy)]
+struct Leg {
+    duration: f64,
+    current: f64,
+    /// Cycles credited per second of wall clock (0 while idle).
+    rate: f64,
+    kind: SliceKind,
+}
+
+/// The stepped simulation lifecycle binding a task set, per-PE governors
+/// and policies, a sampler, an optional battery and any number of
+/// observers.
 ///
 /// ```
 /// use bas_sim::policy::EdfTopo;
@@ -140,21 +179,29 @@ pub enum Step {
 pub struct Simulation<'a> {
     cfg: SimConfig,
     state: SimState,
-    governor: &'a mut dyn FrequencyGovernor,
-    policy: &'a mut dyn TaskPolicy,
+    governors: Vec<&'a mut dyn FrequencyGovernor>,
+    policies: Vec<&'a mut dyn TaskPolicy>,
     sampler: &'a mut dyn ActualSampler,
     battery: Option<&'a mut dyn BatteryModel>,
     observers: Vec<&'a mut dyn SimObserver>,
     metrics: MetricsCollector,
     recorder: Option<TraceRecorder>,
-    ready: Vec<TaskRef>,
-    running: Option<TaskRef>,
-    last_fref: Option<f64>,
     exhausted: bool,
+    // ---- per-step scratch (reused to keep the hot loop allocation-free) --
+    ready: Vec<TaskRef>,
+    ready_pe: Vec<TaskRef>,
+    plans: Vec<Option<Plan>>,
+    lanes: Vec<Vec<Leg>>,
+    cursor: Vec<usize>,
+    remaining: Vec<f64>,
+    cycles: Vec<f64>,
+    advanced: Vec<f64>,
 }
 
 impl<'a> Simulation<'a> {
-    /// Bind a simulation. Fails fast on infeasible input when configured to.
+    /// Bind a uniprocessor simulation (the paper's setting): one governor,
+    /// one policy, everything mapped to PE 0. Fails fast on infeasible
+    /// input when configured to.
     pub fn new(
         set: TaskSet,
         cfg: SimConfig,
@@ -162,45 +209,106 @@ impl<'a> Simulation<'a> {
         policy: &'a mut dyn TaskPolicy,
         sampler: &'a mut dyn ActualSampler,
     ) -> Result<Self, SimError> {
+        let mapping = Mapping::single_pe(&set);
+        Simulation::with_platform(set, mapping, cfg, vec![governor], vec![policy], sampler)
+    }
+
+    /// Bind a multi-PE simulation: one governor and one policy per
+    /// processing element (index-aligned with the platform), and a
+    /// [`Mapping`] pinning every node to its PE. Fails fast on bank/shape
+    /// mismatches and (when configured) on per-PE overutilization or
+    /// structural infeasibility.
+    pub fn with_platform(
+        set: TaskSet,
+        mapping: Mapping,
+        cfg: SimConfig,
+        governors: Vec<&'a mut dyn FrequencyGovernor>,
+        policies: Vec<&'a mut dyn TaskPolicy>,
+        sampler: &'a mut dyn ActualSampler,
+    ) -> Result<Self, SimError> {
         if set.is_empty() {
             return Err(SimError::EmptyTaskSet);
         }
+        let pes = cfg.platform.len();
+        if governors.len() != pes || policies.len() != pes {
+            return Err(SimError::BankMismatch {
+                governors: governors.len(),
+                policies: policies.len(),
+                pes,
+            });
+        }
+        mapping.validate(&set, pes).map_err(|e| SimError::InvalidMapping(e.to_string()))?;
+        // A narrower mapping (e.g. everything on PE 0) is legal on a wider
+        // platform; widen it so the per-PE state vectors cover every
+        // element the engine will consult.
+        let mut mapping = mapping;
+        mapping.pad_to(pes);
         if cfg.check_feasibility {
-            let fmax = cfg.processor.fmax();
-            let u = set.utilization(fmax);
-            if u > 1.0 + 1e-9 {
-                return Err(SimError::Overutilized { utilization: u });
-            }
-            for (gid, g) in set.iter() {
-                if !g.is_structurally_feasible(fmax) {
-                    return Err(SimError::StructurallyInfeasible { graph: gid.index() });
+            if pes == 1 {
+                let fmax = cfg.platform.pe(0).fmax();
+                let u = set.utilization(fmax);
+                if u > 1.0 + 1e-9 {
+                    return Err(SimError::Overutilized { utilization: u });
+                }
+                for (gid, g) in set.iter() {
+                    if !g.is_structurally_feasible(fmax) {
+                        return Err(SimError::StructurallyInfeasible { graph: gid.index() });
+                    }
+                }
+            } else {
+                for pe in 0..pes {
+                    let fmax_pe = cfg.platform.pe(pe).fmax();
+                    let u: f64 = set
+                        .iter()
+                        .map(|(gid, pg)| {
+                            mapping.static_cycles_on(&set, gid, pe) as f64 / (pg.period() * fmax_pe)
+                        })
+                        .sum();
+                    if u > 1.0 + 1e-9 {
+                        return Err(SimError::OverutilizedPe { pe, utilization: u });
+                    }
+                }
+                // Necessary condition only: a chain must at least fit at
+                // the fastest element (cross-PE blocking can still bite at
+                // run time, where it surfaces as a deadline miss).
+                let fmax_any = cfg.platform.fmax_any();
+                for (gid, g) in set.iter() {
+                    if !g.is_structurally_feasible(fmax_any) {
+                        return Err(SimError::StructurallyInfeasible { graph: gid.index() });
+                    }
                 }
             }
         }
-        let metrics = MetricsCollector::new(cfg.processor.supply().vbat);
+        let metrics = MetricsCollector::new(cfg.platform.vbat());
         let recorder = cfg.record_trace.then(TraceRecorder::new);
         Ok(Simulation {
+            state: SimState::with_mapping(set, mapping),
             cfg,
-            state: SimState::new(set),
-            governor,
-            policy,
+            governors,
+            policies,
             sampler,
             battery: None,
             observers: Vec::new(),
             metrics,
             recorder,
-            ready: Vec::new(),
-            running: None,
-            last_fref: None,
             exhausted: false,
+            ready: Vec::new(),
+            ready_pe: Vec::new(),
+            plans: (0..pes).map(|_| None).collect(),
+            lanes: vec![Vec::with_capacity(2); pes],
+            cursor: vec![0; pes],
+            remaining: vec![0.0; pes],
+            cycles: vec![0.0; pes],
+            advanced: vec![0.0; pes],
         })
     }
 
-    /// Mount `battery` inside the engine: every emitted slice discharges it,
-    /// its exhaustion ends the simulation, and its scheduler-visible
-    /// [`BatteryView`] appears on [`SimState::battery`] from now on. Mount
-    /// before stepping; the caller keeps ownership and can read the model
-    /// back after [`Simulation::finish`].
+    /// Mount `battery` inside the engine: every emitted segment discharges
+    /// it with the platform's **summed** current, its exhaustion ends the
+    /// simulation, and its scheduler-visible [`BatteryView`] appears on
+    /// [`SimState::battery`] from now on. Mount before stepping; the caller
+    /// keeps ownership and can read the model back after
+    /// [`Simulation::finish`].
     pub fn mount_battery(&mut self, battery: &'a mut dyn BatteryModel) -> &mut Self {
         self.state.set_battery_view(Some(BatteryView::of(battery)));
         self.battery = Some(battery);
@@ -225,8 +333,8 @@ impl<'a> Simulation<'a> {
     }
 
     /// Advance by one engine iteration (process due releases, take one
-    /// scheduling decision, execute to the next event boundary), unbounded
-    /// in time.
+    /// scheduling decision per PE, execute to the next event boundary),
+    /// unbounded in time.
     pub fn step(&mut self) -> Result<Step, SimError> {
         self.step_until(f64::INFINITY)
     }
@@ -245,133 +353,286 @@ impl<'a> Simulation<'a> {
         self.process_releases(t)?;
         let t_next = self.state.next_release_any().min(limit);
         self.state.ready_tasks(&mut self.ready);
+        let pes = self.governors.len();
 
-        // Governor first (fref feeds the policy's feasibility checks).
-        let fmin = self.cfg.processor.fmin();
-        let fmax = self.cfg.processor.fmax();
-        let fref = if self.ready.is_empty() {
-            fmin // nothing to run; value is irrelevant
-        } else {
-            self.governor.frequency(&self.state).clamp(fmin, fmax)
-        };
-        if !self.ready.is_empty() && self.last_fref != Some(fref) {
-            self.dispatch_event(SimEvent::FreqChange { t, fref });
-            self.last_fref = Some(fref);
+        // ---- Phase 1: one scheduling decision per PE, in PE order. ------
+        for pe in 0..pes {
+            self.plans[pe] = None;
+            self.ready_pe.clear();
+            {
+                let state = &self.state;
+                self.ready_pe
+                    .extend(self.ready.iter().copied().filter(|tr| state.pe_of(*tr) == pe));
+            }
+            let fmin = self.cfg.platform.pe(pe).fmin();
+            let fmax = self.cfg.platform.pe(pe).fmax();
+            // Governor first (fref feeds the policy's feasibility checks).
+            let fref = if self.ready_pe.is_empty() {
+                fmin // nothing to run on this PE; value is irrelevant
+            } else {
+                self.state.set_scope(Some(pe));
+                let f = self.governors[pe].frequency(&self.state).clamp(fmin, fmax);
+                self.state.set_scope(None);
+                f
+            };
+            if !self.ready_pe.is_empty() && self.state.fref_on(pe) != Some(fref) {
+                self.dispatch_event(SimEvent::FreqChange { t, pe, fref });
+                self.state.set_fref(pe, fref);
+            }
+            let pick = if self.ready_pe.is_empty() {
+                None
+            } else {
+                self.state.set_scope(Some(pe));
+                let pick = self.policies[pe].pick(&self.state, &self.ready_pe, fref);
+                self.state.set_scope(None);
+                pick
+            };
+            self.dispatch_event(SimEvent::Decision { t, pe, fref, picked: pick });
+            let Some(task) = pick else { continue };
+            if self.ready_pe.binary_search(&task).is_err() {
+                return Err(SimError::InvalidPick { task });
+            }
+            if let Some(prev) = self.state.running_on(pe) {
+                if prev != task && self.state.remaining_wc_node(prev) > 0.0 {
+                    self.dispatch_event(SimEvent::Preempt { t, pe, task: prev, by: task });
+                }
+            }
+            let rem_actual =
+                self.state.graph_ref(task.graph).nodes[task.node.index()].remaining_actual();
+            let realization = self.cfg.platform.pe(pe).realize(fref, self.cfg.freq_policy);
+            let dur_complete = rem_actual / realization.average_frequency;
+            if time::negligible(dur_complete) {
+                // Residual below time resolution: complete in place and
+                // re-open the scheduling point — every PE re-decides at the
+                // same clock next step. Re-issuing a Decision at an
+                // unchanged `t` after an in-place completion is the
+                // historical uniprocessor semantic (`decisions` counts
+                // policy invocations, and these ran); on several PEs it
+                // extends to the other elements' discarded plans.
+                self.complete_if_done(pe, task, rem_actual, t);
+                return Ok(Step::Advanced);
+            }
+            self.plans[pe] = Some(Plan { task, realization, rem_actual, dur_complete });
         }
 
-        let pick = if self.ready.is_empty() {
-            None
+        // ---- Phase 2: the global step length — the earliest completion
+        // across PEs, capped at the next release boundary. --------------
+        let slack_to_event = t_next - t;
+        let busy_min =
+            self.plans.iter().flatten().map(|p| p.dur_complete).fold(f64::INFINITY, f64::min);
+        let any_busy = busy_min.is_finite();
+        let dt = if any_busy && busy_min <= slack_to_event + time::eps_for(t_next) {
+            busy_min
         } else {
-            self.policy.pick(&self.state, &self.ready, fref)
+            slack_to_event
         };
-        self.dispatch_event(SimEvent::Decision { t, fref, picked: pick });
+        if time::negligible(dt) {
+            // Release boundary reached; go process it.
+            self.state.set_now(t_next);
+            return Ok(Step::Advanced);
+        }
 
-        match pick {
-            None => {
-                let dt = t_next - t;
-                if time::negligible(dt) {
-                    self.state.set_now(t_next);
-                    return Ok(Step::Advanced);
-                }
-                if let Some(stop) =
-                    self.emit(t, dt, self.cfg.processor.supply().idle_current, SliceKind::Idle)
-                {
-                    self.dispatch_event(SimEvent::Idle { t, duration: stop - t });
-                    self.state.set_now(stop);
-                    self.exhausted = true;
-                    return Ok(Step::BatteryExhausted);
-                }
-                self.dispatch_event(SimEvent::Idle { t, duration: dt });
-                self.running = None;
-                self.state.set_now(t_next);
-            }
-            Some(task) => {
-                if self.ready.binary_search(&task).is_err() {
-                    return Err(SimError::InvalidPick { task });
-                }
-                if let Some(prev) = self.running {
-                    if prev != task && self.state.remaining_wc_node(prev) > 0.0 {
-                        self.dispatch_event(SimEvent::Preempt { t, task: prev, by: task });
-                    }
-                }
-                let rem_actual =
-                    self.state.graph_ref(task.graph).nodes[task.node.index()].remaining_actual();
-                let realization = self.cfg.processor.realize(fref, self.cfg.freq_policy);
-                let dur_complete = rem_actual / realization.average_frequency;
-                if time::negligible(dur_complete) {
-                    // Residual below time resolution: complete in place.
-                    self.complete_if_done(task, rem_actual, t);
-                    return Ok(Step::Advanced);
-                }
-                let slack_to_event = t_next - t;
-                let (dt, completing) = if dur_complete <= slack_to_event + time::eps_for(t_next) {
-                    (dur_complete, true)
-                } else {
-                    (slack_to_event, false)
-                };
-                if time::negligible(dt) {
-                    // Release boundary reached; go process it.
-                    self.state.set_now(t_next);
-                    return Ok(Step::Advanced);
-                }
-                if self.running != Some(task) {
-                    self.dispatch_event(SimEvent::Start {
+        // Start (or resume) notifications, in PE order, before execution.
+        for pe in 0..pes {
+            if let Some(plan) = &self.plans[pe] {
+                if self.state.running_on(pe) != Some(plan.task) {
+                    let event = SimEvent::Start {
                         t,
-                        task,
-                        frequency: realization.average_frequency,
+                        pe,
+                        task: plan.task,
+                        frequency: plan.realization.average_frequency,
+                    };
+                    self.dispatch_event(event);
+                }
+            }
+        }
+
+        // ---- Phase 3: execute dt on every PE. Each busy PE runs its
+        // high-frequency leg first, then low (locally non-increasing
+        // current within the slice); idle PEs draw their idle current. The
+        // battery absorbs the union of all leg boundaries as summed-current
+        // segments. ------------------------------------------------------
+        for pe in 0..pes {
+            self.lanes[pe].clear();
+            self.cycles[pe] = 0.0;
+            self.advanced[pe] = 0.0;
+            match &self.plans[pe] {
+                None => {
+                    let proc = self.cfg.platform.pe(pe);
+                    self.lanes[pe].push(Leg {
+                        duration: dt,
+                        current: proc.supply().idle_current,
+                        rate: 0.0,
+                        kind: SliceKind::Idle,
                     });
                 }
-                // Execute: high-frequency leg first, then low (locally
-                // non-increasing current within the slice).
-                let mut died_at = None;
-                let mut elapsed = 0.0;
-                let mut cycles_done = 0.0;
-                let mut legs: [Option<(usize, f64)>; 2] = [None, None];
-                match realization.hi {
-                    Some(hi) => {
-                        legs[0] = Some((hi.opp, dt * hi.time_fraction));
-                        legs[1] = Some((realization.lo.opp, dt * realization.lo.time_fraction));
+                Some(plan) => {
+                    let proc = self.cfg.platform.pe(pe);
+                    let r = &plan.realization;
+                    let mut push = |opp_ix: usize, leg_dt: f64| {
+                        if time::negligible(leg_dt) {
+                            return;
+                        }
+                        let opp = proc.opps().get(opp_ix);
+                        self.lanes[pe].push(Leg {
+                            duration: leg_dt,
+                            current: proc.battery_current_at(opp_ix),
+                            rate: opp.frequency,
+                            kind: SliceKind::Run {
+                                task: plan.task,
+                                opp: opp_ix,
+                                frequency: opp.frequency,
+                            },
+                        });
+                    };
+                    match r.hi {
+                        Some(hi) => {
+                            push(hi.opp, dt * hi.time_fraction);
+                            push(r.lo.opp, dt * r.lo.time_fraction);
+                        }
+                        None => push(r.lo.opp, dt),
                     }
-                    None => legs[0] = Some((realization.lo.opp, dt)),
                 }
-                for leg in legs.into_iter().flatten() {
-                    let (opp_ix, leg_dt) = leg;
-                    if time::negligible(leg_dt) {
-                        continue;
-                    }
-                    let opp = self.cfg.processor.opps().get(opp_ix);
-                    let current = self.cfg.processor.battery_current_at(opp_ix);
-                    let kind = SliceKind::Run { task, opp: opp_ix, frequency: opp.frequency };
-                    if let Some(stop) = self.emit(t + elapsed, leg_dt, current, kind) {
-                        let survived = stop - (t + elapsed);
-                        cycles_done += opp.frequency * survived;
-                        elapsed += survived;
-                        died_at = Some(t + elapsed);
-                        break;
-                    }
-                    cycles_done += opp.frequency * leg_dt;
-                    elapsed += leg_dt;
-                }
-                self.dispatch_event(SimEvent::Progress {
-                    t,
-                    task,
-                    cycles: cycles_done.min(rem_actual),
-                    busy: elapsed,
-                });
-                if let Some(stop) = died_at {
-                    self.state.advance(task, cycles_done.min(rem_actual));
-                    self.state.set_now(stop);
-                    self.exhausted = true;
-                    return Ok(Step::BatteryExhausted);
-                }
-                self.running = Some(task);
-                if completing {
-                    self.complete_if_done(task, rem_actual, t + dt);
-                } else {
-                    self.state.advance(task, cycles_done.min(rem_actual - 1e-3));
-                }
-                self.state.set_now(t + dt);
             }
+            self.cursor[pe] = 0;
+            self.remaining[pe] = self.lanes[pe].first().map_or(0.0, |l| l.duration);
+        }
+
+        let mut elapsed = 0.0;
+        let mut died_at: Option<f64> = None;
+        loop {
+            // The next segment runs until the earliest leg boundary.
+            let mut seg = f64::INFINITY;
+            for pe in 0..pes {
+                if self.cursor[pe] < self.lanes[pe].len() {
+                    seg = seg.min(self.remaining[pe]);
+                }
+            }
+            if !seg.is_finite() {
+                break;
+            }
+            let start = t + elapsed;
+            let mut total_current = 0.0;
+            for pe in 0..pes {
+                if self.cursor[pe] < self.lanes[pe].len() {
+                    total_current += self.lanes[pe][self.cursor[pe]].current;
+                }
+            }
+            // Battery first (it may truncate the segment).
+            let mut slice_dt = seg;
+            if let Some(b) = self.battery.as_deref_mut() {
+                match b.step(total_current, seg) {
+                    StepOutcome::Alive => {}
+                    StepOutcome::Exhausted { survived } => {
+                        slice_dt = survived;
+                        died_at = Some(start + survived);
+                    }
+                }
+            }
+            let view = self.battery.as_deref().map(BatteryView::of);
+            if view.is_some() {
+                self.state.set_battery_view(view);
+            }
+            // Credited wall clock: what the slice end works out to from the
+            // segment start (the historical accounting arithmetic).
+            let credited = match died_at {
+                Some(stop) => stop - start,
+                None => seg,
+            };
+            for pe in 0..pes {
+                if self.cursor[pe] >= self.lanes[pe].len() {
+                    continue;
+                }
+                let leg = self.lanes[pe][self.cursor[pe]];
+                self.dispatch_slice(SliceInfo {
+                    pe,
+                    start,
+                    duration: slice_dt,
+                    current: leg.current,
+                    kind: leg.kind,
+                });
+                self.cycles[pe] += leg.rate * credited;
+                self.advanced[pe] += credited;
+            }
+            if let Some(v) = view {
+                self.dispatch_event(SimEvent::BatteryStep {
+                    t: start + slice_dt,
+                    state_of_charge: v.state_of_charge,
+                    charge_delivered: v.charge_delivered,
+                    exhausted: v.exhausted,
+                });
+            }
+            elapsed += credited;
+            if died_at.is_some() {
+                break;
+            }
+            for pe in 0..pes {
+                if self.cursor[pe] >= self.lanes[pe].len() {
+                    continue;
+                }
+                if self.remaining[pe] <= seg {
+                    self.cursor[pe] += 1;
+                    self.remaining[pe] =
+                        self.lanes[pe].get(self.cursor[pe]).map_or(0.0, |l| l.duration);
+                } else {
+                    self.remaining[pe] -= seg;
+                }
+            }
+        }
+
+        // ---- Phase 4: per-PE accounting events, in PE order. ------------
+        for pe in 0..pes {
+            match &self.plans[pe] {
+                Some(plan) => {
+                    let event = SimEvent::Progress {
+                        t,
+                        pe,
+                        task: plan.task,
+                        cycles: self.cycles[pe].min(plan.rem_actual),
+                        busy: self.advanced[pe],
+                    };
+                    self.dispatch_event(event);
+                }
+                None => {
+                    let duration = if died_at.is_some() { self.advanced[pe] } else { dt };
+                    self.dispatch_event(SimEvent::Idle { t, pe, duration });
+                }
+            }
+        }
+
+        if let Some(died_stop) = died_at {
+            for pe in 0..pes {
+                if let Some(plan) = &self.plans[pe] {
+                    self.state.advance(plan.task, self.cycles[pe].min(plan.rem_actual));
+                }
+            }
+            // The historical engine clocked a dying busy quantum by its
+            // credited wall time and a dying idle stretch by the battery's
+            // own stop time; keep both arithmetics exactly.
+            self.state.set_now(if any_busy { t + elapsed } else { died_stop });
+            self.exhausted = true;
+            return Ok(Step::BatteryExhausted);
+        }
+
+        // ---- Phase 5: commit progress and completions, in PE order. -----
+        for pe in 0..pes {
+            match self.plans[pe].take() {
+                Some(plan) => {
+                    self.state.set_running(pe, Some(plan.task));
+                    let completing = plan.dur_complete <= dt + time::eps_for(t_next);
+                    if completing {
+                        self.complete_if_done(pe, plan.task, plan.rem_actual, t + dt);
+                    } else {
+                        self.state.advance(plan.task, self.cycles[pe].min(plan.rem_actual - 1e-3));
+                    }
+                }
+                None => self.state.set_running(pe, None),
+            }
+        }
+        if any_busy {
+            self.state.set_now(t + dt);
+        } else {
+            self.state.set_now(t_next);
         }
         Ok(Step::Advanced)
     }
@@ -442,7 +703,11 @@ impl<'a> Simulation<'a> {
                     instance,
                     deadline,
                 });
-                self.governor.on_release(&self.state, gid);
+                for pe in 0..self.governors.len() {
+                    self.state.set_scope(Some(pe));
+                    self.governors[pe].on_release(&self.state, gid);
+                }
+                self.state.set_scope(None);
             }
         }
         self.state.refresh_edf();
@@ -450,49 +715,20 @@ impl<'a> Simulation<'a> {
     }
 
     /// Mark `task` complete after having run its full actual demand at time
-    /// `t_complete`, and fire the completion hooks.
-    fn complete_if_done(&mut self, task: TaskRef, rem_actual: f64, t_complete: f64) {
+    /// `t_complete` on `pe`, and fire the completion hooks.
+    fn complete_if_done(&mut self, pe: usize, task: TaskRef, rem_actual: f64, t_complete: f64) {
         let actual = self
             .state
             .advance(task, rem_actual)
             .expect("executing the full remaining actual must complete the node");
         let instance_done = !self.state.is_active(task.graph);
         self.state.refresh_edf();
-        self.dispatch_event(SimEvent::Complete { t: t_complete, task, actual, instance_done });
-        self.running = None;
-        self.governor.on_completion(&self.state, task, actual);
-        self.policy.on_completion(&self.state, task, actual);
-    }
-
-    /// Emit one constant-current slice: battery first (it may truncate),
-    /// then the slice and battery events to every observer. Returns
-    /// `Some(stop_time)` when the battery died inside it.
-    fn emit(&mut self, start: f64, dt: f64, current: f64, kind: SliceKind) -> Option<f64> {
-        let mut effective_dt = dt;
-        let mut died = None;
-        if let Some(b) = self.battery.as_deref_mut() {
-            match b.step(current, dt) {
-                StepOutcome::Alive => {}
-                StepOutcome::Exhausted { survived } => {
-                    effective_dt = survived;
-                    died = Some(start + survived);
-                }
-            }
-        }
-        let view = self.battery.as_deref().map(BatteryView::of);
-        if view.is_some() {
-            self.state.set_battery_view(view);
-        }
-        self.dispatch_slice(SliceInfo { start, duration: effective_dt, current, kind });
-        if let Some(v) = view {
-            self.dispatch_event(SimEvent::BatteryStep {
-                t: start + effective_dt,
-                state_of_charge: v.state_of_charge,
-                charge_delivered: v.charge_delivered,
-                exhausted: v.exhausted,
-            });
-        }
-        died
+        self.dispatch_event(SimEvent::Complete { t: t_complete, pe, task, actual, instance_done });
+        self.state.set_running(pe, None);
+        self.state.set_scope(Some(pe));
+        self.governors[pe].on_completion(&self.state, task, actual);
+        self.policies[pe].on_completion(&self.state, task, actual);
+        self.state.set_scope(None);
     }
 
     fn dispatch_event(&mut self, event: SimEvent) {
@@ -833,5 +1069,242 @@ mod tests {
             g.seen
         );
         assert!(*g.seen.last().unwrap() < 1.0, "draw must be visible");
+    }
+
+    // ------------------------------------------------------------- multi-PE
+
+    use bas_cpu::Platform;
+    use bas_taskgraph::Mapping;
+
+    /// Two independent graphs mapped one per PE, worst-case actuals.
+    fn duo_sim_parts() -> (TaskSet, Mapping, SimConfig) {
+        let mut set = TaskSet::new();
+        for name in ["A", "B"] {
+            let mut b = TaskGraphBuilder::new(name);
+            b.add_node("n", 4);
+            set.push(PeriodicTaskGraph::new(b.build().unwrap(), 10.0).unwrap());
+        }
+        let mapping = Mapping::list_schedule(&set, 2);
+        let cfg = SimConfig::with_platform(Platform::uniform(unit_processor(), 2));
+        (set, mapping, cfg)
+    }
+
+    #[test]
+    fn two_pes_execute_their_mapped_work_in_parallel() {
+        let (set, mapping, cfg) = duo_sim_parts();
+        let (mut g0, mut g1) = (MaxSpeed, MaxSpeed);
+        let (mut p0, mut p1) = (EdfTopo, EdfTopo);
+        let mut s = WorstCase;
+        let mut sim = Simulation::with_platform(
+            set,
+            mapping,
+            cfg,
+            vec![&mut g0, &mut g1],
+            vec![&mut p0, &mut p1],
+            &mut s,
+        )
+        .unwrap();
+        sim.run_until(10.0).unwrap();
+        let out = sim.finish();
+        let m = &out.metrics;
+        // 4 cycles at fmax on each element, concurrently.
+        assert!((m.busy_time - 8.0).abs() < 1e-9, "{m:?}");
+        assert!((m.sim_time - 10.0).abs() < 1e-9, "wall clock counted once: {m:?}");
+        assert!((m.idle_time - 12.0).abs() < 1e-9, "2 PEs \u{00d7} 6 s idle: {m:?}");
+        assert_eq!(m.instances_completed, 2);
+        assert_eq!(m.deadline_misses, 0);
+        let trace = out.trace.unwrap();
+        trace.validate().unwrap();
+        assert_eq!(trace.lane_count(), 2);
+        // Both elements run [0, 4): the trace lanes overlap in time.
+        for pe in 0..2 {
+            let first = trace.lane(pe).first().unwrap();
+            assert!(matches!(first.kind, SliceKind::Run { .. }), "PE {pe}: {first:?}");
+            assert!((first.end - 4.0).abs() < 1e-9, "PE {pe}: {first:?}");
+        }
+    }
+
+    #[test]
+    fn cross_pe_precedence_stalls_the_successor_element() {
+        // Chain a(4) -> b(2) split across PEs: PE 1 must idle until PE 0
+        // completes `a`, then run `b` — the completion on another element
+        // is a scheduling point here.
+        let mut b = TaskGraphBuilder::new("T0");
+        let a = b.add_node("a", 4);
+        let c = b.add_node("b", 2);
+        b.add_edge(a, c).unwrap();
+        let mut set = TaskSet::new();
+        let gid = set.push(PeriodicTaskGraph::new(b.build().unwrap(), 10.0).unwrap());
+        let mut mapping = Mapping::single_pe(&set);
+        mapping.assign(gid, c, 1);
+        let cfg = SimConfig::with_platform(Platform::uniform(unit_processor(), 2));
+        let (mut g0, mut g1) = (MaxSpeed, MaxSpeed);
+        let (mut p0, mut p1) = (EdfTopo, EdfTopo);
+        let mut s = WorstCase;
+        let mut sim = Simulation::with_platform(
+            set,
+            mapping,
+            cfg,
+            vec![&mut g0, &mut g1],
+            vec![&mut p0, &mut p1],
+            &mut s,
+        )
+        .unwrap();
+        sim.run_until(10.0).unwrap();
+        let out = sim.finish();
+        assert_eq!(out.metrics.deadline_misses, 0);
+        assert_eq!(out.metrics.instances_completed, 1);
+        let trace = out.trace.unwrap();
+        let lane1 = trace.lane(1);
+        // PE 1: idle [0, 4), run b [4, 6).
+        assert!(matches!(lane1[0].kind, SliceKind::Idle), "{lane1:?}");
+        let run = lane1.iter().find(|s| matches!(s.kind, SliceKind::Run { .. })).unwrap();
+        assert!((run.start - 4.0).abs() < 1e-9 && (run.end - 6.0).abs() < 1e-9, "{run:?}");
+    }
+
+    #[test]
+    fn battery_absorbs_the_summed_current_of_all_pes() {
+        let (set, mapping, cfg) = duo_sim_parts();
+        let (mut g0, mut g1) = (MaxSpeed, MaxSpeed);
+        let (mut p0, mut p1) = (EdfTopo, EdfTopo);
+        let mut s = WorstCase;
+        let mut battery = IdealModel::new(1e6);
+        let mut sim = Simulation::with_platform(
+            set,
+            mapping,
+            cfg,
+            vec![&mut g0, &mut g1],
+            vec![&mut p0, &mut p1],
+            &mut s,
+        )
+        .unwrap();
+        sim.mount_battery(&mut battery);
+        sim.run_until(10.0).unwrap();
+        let out = sim.finish();
+        // Both PEs at full draw for 4 s, then both idle for 6 s.
+        let proc = unit_processor();
+        let run_current = proc.battery_current_at(2);
+        let idle = proc.supply().idle_current;
+        let expected = 2.0 * (run_current * 4.0 + idle * 6.0);
+        assert!(
+            (out.metrics.charge - expected).abs() < 1e-9,
+            "charge {} vs expected {expected}",
+            out.metrics.charge
+        );
+        assert!((out.battery.unwrap().charge_delivered - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bank_and_mapping_mismatches_are_rejected() {
+        let (set, mapping, cfg) = duo_sim_parts();
+        let mut g0 = MaxSpeed;
+        let (mut p0, mut p1) = (EdfTopo, EdfTopo);
+        let mut s = WorstCase;
+        // One governor for two PEs.
+        let err = Simulation::with_platform(
+            set.clone(),
+            mapping,
+            cfg.clone(),
+            vec![&mut g0],
+            vec![&mut p0, &mut p1],
+            &mut s,
+        )
+        .err()
+        .unwrap();
+        assert!(matches!(err, SimError::BankMismatch { governors: 1, policies: 2, pes: 2 }));
+        // A mapping that names PE 2 on a 2-PE platform.
+        let mut bad = Mapping::single_pe(&set);
+        bad.assign(bas_taskgraph::GraphId::from_index(0), bas_taskgraph::NodeId::from_index(0), 2);
+        let (mut g0, mut g1) = (MaxSpeed, MaxSpeed);
+        let err = Simulation::with_platform(
+            set,
+            bad,
+            cfg,
+            vec![&mut g0, &mut g1],
+            vec![&mut p0, &mut p1],
+            &mut s,
+        )
+        .err()
+        .unwrap();
+        assert!(matches!(err, SimError::InvalidMapping(_)), "{err:?}");
+    }
+
+    #[test]
+    fn narrow_mapping_on_a_wider_platform_idles_the_extra_pes() {
+        // All work pinned to PE 0 of a 2-PE platform — legal, PE 1 just
+        // idles. (Regression: the per-PE state vectors were sized by the
+        // mapping's width instead of the platform's, which panicked at the
+        // first release.)
+        let set = single_task_set(4, 10.0);
+        let mapping = Mapping::single_pe(&set);
+        let cfg = SimConfig::with_platform(Platform::uniform(unit_processor(), 2));
+        let (mut g0, mut g1) = (MaxSpeed, MaxSpeed);
+        let (mut p0, mut p1) = (EdfTopo, EdfTopo);
+        let mut s = WorstCase;
+        let mut sim = Simulation::with_platform(
+            set,
+            mapping,
+            cfg,
+            vec![&mut g0, &mut g1],
+            vec![&mut p0, &mut p1],
+            &mut s,
+        )
+        .unwrap();
+        sim.run_until(10.0).unwrap();
+        let out = sim.finish();
+        assert_eq!(out.metrics.instances_completed, 1);
+        assert!((out.metrics.busy_time - 4.0).abs() < 1e-9);
+        // PE 1's lane is pure idle.
+        let trace = out.trace.unwrap();
+        assert!(trace.lane(1).iter().all(|s| matches!(s.kind, SliceKind::Idle)), "{trace:?}");
+    }
+
+    #[test]
+    fn per_pe_overutilization_is_rejected() {
+        // U = 1.6 total is fine on 2 PEs only if split; force it all onto
+        // PE 0.
+        let mut set = TaskSet::new();
+        for name in ["A", "B"] {
+            let mut b = TaskGraphBuilder::new(name);
+            b.add_node("n", 8);
+            set.push(PeriodicTaskGraph::new(b.build().unwrap(), 10.0).unwrap());
+        }
+        let mapping = Mapping::single_pe(&set); // pes() == 1 -> pad below
+        let mut onto_pe0 = mapping.clone();
+        // Make it a 2-PE mapping with everything still on PE 0.
+        onto_pe0.assign(
+            bas_taskgraph::GraphId::from_index(0),
+            bas_taskgraph::NodeId::from_index(0),
+            0,
+        );
+        let cfg = SimConfig::with_platform(Platform::uniform(unit_processor(), 2));
+        let (mut g0, mut g1) = (MaxSpeed, MaxSpeed);
+        let (mut p0, mut p1) = (EdfTopo, EdfTopo);
+        let mut s = WorstCase;
+        let err = Simulation::with_platform(
+            set.clone(),
+            onto_pe0,
+            cfg.clone(),
+            vec![&mut g0, &mut g1],
+            vec![&mut p0, &mut p1],
+            &mut s,
+        )
+        .err()
+        .unwrap();
+        assert!(matches!(err, SimError::OverutilizedPe { pe: 0, .. }), "{err:?}");
+        // Balanced, the same set is schedulable.
+        let balanced = Mapping::list_schedule(&set, 2);
+        let (mut g0, mut g1) = (MaxSpeed, MaxSpeed);
+        let mut sim = Simulation::with_platform(
+            set,
+            balanced,
+            cfg,
+            vec![&mut g0, &mut g1],
+            vec![&mut p0, &mut p1],
+            &mut s,
+        )
+        .unwrap();
+        sim.run_until(20.0).unwrap();
+        assert_eq!(sim.finish().metrics.deadline_misses, 0);
     }
 }

@@ -39,6 +39,27 @@ pub enum SimError {
     /// An experiment builder was run with a required component missing
     /// (the component's name is carried, e.g. `"processor"`).
     Unconfigured(&'static str),
+    /// One processing element's mapped worst-case utilization exceeds 1:
+    /// per-PE EDF cannot schedule its share.
+    OverutilizedPe {
+        /// The overloaded processing element.
+        pe: usize,
+        /// Its mapped utilization.
+        utilization: f64,
+    },
+    /// The governor/policy banks do not match the platform: every PE needs
+    /// exactly one governor and one policy.
+    BankMismatch {
+        /// Governors supplied.
+        governors: usize,
+        /// Policies supplied.
+        policies: usize,
+        /// Processing elements of the platform.
+        pes: usize,
+    },
+    /// The node-to-PE mapping does not fit the task set or the platform
+    /// (carries the mapping validator's message).
+    InvalidMapping(String),
 }
 
 impl fmt::Display for SimError {
@@ -61,6 +82,17 @@ impl fmt::Display for SimError {
             SimError::Unconfigured(what) => {
                 write!(f, "experiment is missing its {what}")
             }
+            SimError::OverutilizedPe { pe, utilization } => {
+                write!(f, "PE {pe}: mapped utilization {utilization:.3} exceeds 1.0 at its fmax")
+            }
+            SimError::BankMismatch { governors, policies, pes } => {
+                write!(
+                    f,
+                    "platform has {pes} PEs but {governors} governor(s) and \
+                     {policies} policy(ies) were supplied"
+                )
+            }
+            SimError::InvalidMapping(msg) => write!(f, "invalid node-to-PE mapping: {msg}"),
         }
     }
 }

@@ -42,30 +42,38 @@ pub enum SimEvent {
         /// The instance's absolute deadline.
         deadline: f64,
     },
-    /// The governor's reference frequency changed at a scheduling point.
+    /// A PE governor's reference frequency changed at a scheduling point.
     /// Emitted before the [`SimEvent::Decision`] it applies to; only emitted
-    /// when ready work exists (an idle processor has no meaningful `fref`).
+    /// when the PE has ready work (an idle element has no meaningful
+    /// `fref`).
     FreqChange {
         /// Scheduling-point time, seconds.
         t: f64,
-        /// The new reference frequency, Hz, clamped into `[fmin, fmax]`.
+        /// The processing element whose governor changed its mind.
+        pe: usize,
+        /// The new reference frequency, Hz, clamped into the PE's
+        /// `[fmin, fmax]`.
         fref: f64,
     },
-    /// A scheduling decision was taken (one per scheduling point — the unit
-    /// the `decisions` metric counts).
+    /// A scheduling decision was taken (one per PE per scheduling point —
+    /// the unit the `decisions` metric counts).
     Decision {
         /// Scheduling-point time, seconds.
         t: f64,
+        /// The processing element deciding.
+        pe: usize,
         /// The clamped reference frequency the policy was offered.
         fref: f64,
-        /// The task picked; `None` idles until the next event.
+        /// The task picked; `None` idles the PE until the next event.
         picked: Option<TaskRef>,
     },
     /// A task starts (or resumes) executing.
     Start {
         /// Start time, seconds.
         t: f64,
-        /// The task now occupying the processor.
+        /// The processing element it runs on.
+        pe: usize,
+        /// The task now occupying the element.
         task: TaskRef,
         /// Average realized frequency of the upcoming quantum, Hz.
         frequency: f64,
@@ -74,6 +82,8 @@ pub enum SimEvent {
     Preempt {
         /// Preemption time, seconds.
         t: f64,
+        /// The processing element on which the displacement happened.
+        pe: usize,
         /// The task that was displaced mid-execution.
         task: TaskRef,
         /// The task displacing it.
@@ -84,6 +94,8 @@ pub enum SimEvent {
     Progress {
         /// Quantum start time, seconds.
         t: f64,
+        /// The processing element that ran it.
+        pe: usize,
         /// The task that ran.
         task: TaskRef,
         /// Cycles credited (actual work retired, capped at the remaining
@@ -96,6 +108,8 @@ pub enum SimEvent {
     Complete {
         /// Completion time, seconds.
         t: f64,
+        /// The processing element it completed on.
+        pe: usize,
         /// The completed node.
         task: TaskRef,
         /// The actual cycles it consumed (revealed to schedulers only now).
@@ -114,11 +128,13 @@ pub enum SimEvent {
         /// The deadline that passed unmet.
         deadline: f64,
     },
-    /// The processor idled. Emitted after the fact, so `duration` is the
-    /// realized idle stretch (battery death truncates it).
+    /// A processing element idled. Emitted after the fact, so `duration`
+    /// is the realized idle stretch (battery death truncates it).
     Idle {
         /// Idle start time, seconds.
         t: f64,
+        /// The processing element that idled.
+        pe: usize,
         /// Realized idle duration, seconds.
         duration: f64,
     },
@@ -166,6 +182,8 @@ impl SimEvent {
 /// historical trace did.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SliceInfo {
+    /// The processing element the slice belongs to (0 on a uniprocessor).
+    pub pe: usize,
     /// Start time, seconds.
     pub start: f64,
     /// Authoritative slice length, seconds (battery death already applied).
@@ -200,14 +218,14 @@ mod tests {
         let task = TaskRef::new(GraphId::from_index(0), NodeId::from_index(0));
         let events = [
             SimEvent::Release { t: 1.0, graph: GraphId::from_index(0), instance: 0, deadline: 2.0 },
-            SimEvent::FreqChange { t: 2.0, fref: 0.5 },
-            SimEvent::Decision { t: 3.0, fref: 0.5, picked: Some(task) },
-            SimEvent::Start { t: 4.0, task, frequency: 0.5 },
-            SimEvent::Preempt { t: 5.0, task, by: task },
-            SimEvent::Progress { t: 6.0, task, cycles: 1.0, busy: 2.0 },
-            SimEvent::Complete { t: 7.0, task, actual: 1.0, instance_done: true },
+            SimEvent::FreqChange { t: 2.0, pe: 0, fref: 0.5 },
+            SimEvent::Decision { t: 3.0, pe: 0, fref: 0.5, picked: Some(task) },
+            SimEvent::Start { t: 4.0, pe: 0, task, frequency: 0.5 },
+            SimEvent::Preempt { t: 5.0, pe: 0, task, by: task },
+            SimEvent::Progress { t: 6.0, pe: 0, task, cycles: 1.0, busy: 2.0 },
+            SimEvent::Complete { t: 7.0, pe: 0, task, actual: 1.0, instance_done: true },
             SimEvent::DeadlineMiss { t: 8.0, graph: GraphId::from_index(0), deadline: 8.0 },
-            SimEvent::Idle { t: 9.0, duration: 1.0 },
+            SimEvent::Idle { t: 9.0, pe: 0, duration: 1.0 },
             SimEvent::BatteryStep {
                 t: 10.0,
                 state_of_charge: 0.5,
@@ -222,7 +240,7 @@ mod tests {
 
     #[test]
     fn slice_end_and_trace_conversion() {
-        let s = SliceInfo { start: 1.0, duration: 2.0, current: 0.5, kind: SliceKind::Idle };
+        let s = SliceInfo { pe: 0, start: 1.0, duration: 2.0, current: 0.5, kind: SliceKind::Idle };
         assert_eq!(s.end(), 3.0);
         let t = s.to_trace_slice();
         assert_eq!((t.start, t.end, t.current), (1.0, 3.0, 0.5));

@@ -1,5 +1,5 @@
 //! Streaming JSONL export of the simulation event stream — the
-//! **`bas-events/v1`** schema.
+//! **`bas-events/v2`** schema.
 //!
 //! [`JsonlWriter`] is a [`SimObserver`] that serializes every event and
 //! every (non-negligible) slice as one JSON object per line, written through
@@ -7,35 +7,45 @@
 //! long-horizon runs exportable at all (the in-memory [`crate::trace::Trace`] grows
 //! linearly).
 //!
-//! ## Schema: `bas-events/v1`
+//! ## Schema: `bas-events/v2`
 //!
 //! A stream is a sequence of newline-delimited JSON objects. Every object
 //! has a `"type"` discriminator; runs are introduced by a header object:
 //!
 //! | `type` | fields |
 //! |---|---|
-//! | `header` | `schema` (`"bas-events/v1"`), `scenario`, `spec`, `seed` |
+//! | `header` | `schema` (`"bas-events/v2"`), `scenario`, `spec`, `seed` |
 //! | `release` | `t`, `graph`, `instance`, `deadline` |
-//! | `freq` | `t`, `fref` |
-//! | `decision` | `t`, `fref`, `picked` (task name or `null`) |
-//! | `start` | `t`, `task`, `frequency` |
-//! | `preempt` | `t`, `task`, `by` |
-//! | `progress` | `t`, `task`, `cycles`, `busy` |
-//! | `complete` | `t`, `task`, `actual`, `instance_done` |
+//! | `freq` | `t`, `pe`, `fref` |
+//! | `decision` | `t`, `pe`, `fref`, `picked` (task name or `null`) |
+//! | `start` | `t`, `pe`, `task`, `frequency` |
+//! | `preempt` | `t`, `pe`, `task`, `by` |
+//! | `progress` | `t`, `pe`, `task`, `cycles`, `busy` |
+//! | `complete` | `t`, `pe`, `task`, `actual`, `instance_done` |
 //! | `deadline_miss` | `t`, `graph`, `deadline` |
-//! | `idle` | `t`, `duration` |
+//! | `idle` | `t`, `pe`, `duration` |
 //! | `battery` | `t`, `soc`, `delivered`, `exhausted` |
-//! | `slice` | `start`, `duration`, `end`, `current`, `kind` (`"run"`\|`"idle"`), and for runs `task`, `opp`, `frequency` |
+//! | `slice` | `pe`, `start`, `duration`, `end`, `current`, `kind` (`"run"`\|`"idle"`), and for runs `task`, `opp`, `frequency` |
+//!
+//! **v2 vs v1**: every per-PE record — `freq`, `decision`, `start`,
+//! `preempt`, `progress`, `complete`, `idle` and `slice` — now carries the
+//! processing element it happened on as a `pe` index (`0` on a
+//! uniprocessor, where the stream is otherwise identical to v1).
+//! Platform-wide records (`release`, `deadline_miss`, `battery`, `header`)
+//! are unchanged: releases and deadlines belong to a *graph* whose nodes
+//! may span PEs, and the battery is shared.
 //!
 //! Tasks serialize as their display names (`"T1.n2"`), graphs as indices.
 //! Numbers are plain JSON numbers (full `f64` round-trip precision, never
-//! `NaN`/`Infinity`). Slice records mirror the in-memory trace exactly: the
-//! slice sequence of a stream equals the slice sequence of a
+//! `NaN`/`Infinity`). Slice records mirror the in-memory trace lanes
+//! exactly: the per-`pe` slice sequences of a stream equal the lanes of a
 //! `record_trace = true` run of the same simulation, with identical
-//! `start`/`end` values (sub-resolution slices are dropped by both).
+//! `start`/`end` values (sub-resolution slices are dropped by both; note
+//! that on multi-PE platforms a stream slice is cut wherever *any* PE
+//! changes legs, while the in-memory lane re-merges those cuts).
 //!
 //! Unknown `type`s must be skipped by consumers; fields will only ever be
-//! added within `v1`, never removed or re-typed.
+//! added within `v2`, never removed or re-typed.
 
 use crate::event::{SimEvent, SliceInfo};
 use crate::observer::SimObserver;
@@ -46,9 +56,9 @@ use std::fmt::Write as _;
 use std::io;
 
 /// Identifier of the event-stream schema emitted by this version.
-pub const EVENTS_SCHEMA: &str = "bas-events/v1";
+pub const EVENTS_SCHEMA: &str = "bas-events/v2";
 
-/// A streaming `bas-events/v1` writer over any [`io::Write`] sink.
+/// A streaming `bas-events/v2` writer over any [`io::Write`] sink.
 ///
 /// I/O errors cannot surface through the observer hooks, so the writer goes
 /// quiet after the first failure and reports it from [`JsonlWriter::error`] /
@@ -117,7 +127,7 @@ impl<W: io::Write> SimObserver for JsonlWriter<W> {
     }
 }
 
-/// Render one event as its `bas-events/v1` JSON object (no trailing newline).
+/// Render one event as its `bas-events/v2` JSON object (no trailing newline).
 pub fn event_json(event: &SimEvent) -> String {
     match *event {
         SimEvent::Release { t, graph, instance, deadline } => format!(
@@ -126,41 +136,41 @@ pub fn event_json(event: &SimEvent) -> String {
             graph.index(),
             num(deadline)
         ),
-        SimEvent::FreqChange { t, fref } => {
-            format!("{{\"type\":\"freq\",\"t\":{},\"fref\":{}}}", num(t), num(fref))
+        SimEvent::FreqChange { t, pe, fref } => {
+            format!("{{\"type\":\"freq\",\"t\":{},\"pe\":{pe},\"fref\":{}}}", num(t), num(fref))
         }
-        SimEvent::Decision { t, fref, picked } => {
+        SimEvent::Decision { t, pe, fref, picked } => {
             let picked = match picked {
                 Some(task) => json_str(&task.to_string()),
                 None => "null".to_string(),
             };
             format!(
-                "{{\"type\":\"decision\",\"t\":{},\"fref\":{},\"picked\":{picked}}}",
+                "{{\"type\":\"decision\",\"t\":{},\"pe\":{pe},\"fref\":{},\"picked\":{picked}}}",
                 num(t),
                 num(fref)
             )
         }
-        SimEvent::Start { t, task, frequency } => format!(
-            "{{\"type\":\"start\",\"t\":{},\"task\":{},\"frequency\":{}}}",
+        SimEvent::Start { t, pe, task, frequency } => format!(
+            "{{\"type\":\"start\",\"t\":{},\"pe\":{pe},\"task\":{},\"frequency\":{}}}",
             num(t),
             json_str(&task.to_string()),
             num(frequency)
         ),
-        SimEvent::Preempt { t, task, by } => format!(
-            "{{\"type\":\"preempt\",\"t\":{},\"task\":{},\"by\":{}}}",
+        SimEvent::Preempt { t, pe, task, by } => format!(
+            "{{\"type\":\"preempt\",\"t\":{},\"pe\":{pe},\"task\":{},\"by\":{}}}",
             num(t),
             json_str(&task.to_string()),
             json_str(&by.to_string())
         ),
-        SimEvent::Progress { t, task, cycles, busy } => format!(
-            "{{\"type\":\"progress\",\"t\":{},\"task\":{},\"cycles\":{},\"busy\":{}}}",
+        SimEvent::Progress { t, pe, task, cycles, busy } => format!(
+            "{{\"type\":\"progress\",\"t\":{},\"pe\":{pe},\"task\":{},\"cycles\":{},\"busy\":{}}}",
             num(t),
             json_str(&task.to_string()),
             num(cycles),
             num(busy)
         ),
-        SimEvent::Complete { t, task, actual, instance_done } => format!(
-            "{{\"type\":\"complete\",\"t\":{},\"task\":{},\"actual\":{},\"instance_done\":{instance_done}}}",
+        SimEvent::Complete { t, pe, task, actual, instance_done } => format!(
+            "{{\"type\":\"complete\",\"t\":{},\"pe\":{pe},\"task\":{},\"actual\":{},\"instance_done\":{instance_done}}}",
             num(t),
             json_str(&task.to_string()),
             num(actual)
@@ -171,8 +181,8 @@ pub fn event_json(event: &SimEvent) -> String {
             graph.index(),
             num(deadline)
         ),
-        SimEvent::Idle { t, duration } => {
-            format!("{{\"type\":\"idle\",\"t\":{},\"duration\":{}}}", num(t), num(duration))
+        SimEvent::Idle { t, pe, duration } => {
+            format!("{{\"type\":\"idle\",\"t\":{},\"pe\":{pe},\"duration\":{}}}", num(t), num(duration))
         }
         SimEvent::BatteryStep { t, state_of_charge, charge_delivered, exhausted } => format!(
             "{{\"type\":\"battery\",\"t\":{},\"soc\":{},\"delivered\":{},\"exhausted\":{exhausted}}}",
@@ -183,14 +193,15 @@ pub fn event_json(event: &SimEvent) -> String {
     }
 }
 
-/// Render one slice as its `bas-events/v1` JSON object (no trailing
+/// Render one slice as its `bas-events/v2` JSON object (no trailing
 /// newline). `end` is serialized as `start + duration`, matching the
 /// in-memory trace's end times exactly.
 pub fn slice_json(slice: &SliceInfo) -> String {
     let mut out = String::with_capacity(96);
     write!(
         out,
-        "{{\"type\":\"slice\",\"start\":{},\"duration\":{},\"end\":{},\"current\":{}",
+        "{{\"type\":\"slice\",\"pe\":{},\"start\":{},\"duration\":{},\"end\":{},\"current\":{}",
+        slice.pe,
         num(slice.start),
         num(slice.duration),
         num(slice.end()),
@@ -254,7 +265,7 @@ mod tests {
         let out = String::from_utf8(w.into_inner().unwrap()).unwrap();
         assert_eq!(
             out,
-            "{\"type\":\"header\",\"schema\":\"bas-events/v1\",\"scenario\":\"smo\\\"ke\",\"spec\":\"EDF\",\"seed\":7}\n"
+            "{\"type\":\"header\",\"schema\":\"bas-events/v2\",\"scenario\":\"smo\\\"ke\",\"spec\":\"EDF\",\"seed\":7}\n"
         );
     }
 
@@ -271,8 +282,8 @@ mod tests {
                 deadline: 10.0,
             },
         );
-        w.on_event(&state, &SimEvent::Decision { t: 0.0, fref: 0.5, picked: None });
-        w.on_event(&state, &SimEvent::Decision { t: 0.0, fref: 0.5, picked: Some(task()) });
+        w.on_event(&state, &SimEvent::Decision { t: 0.0, pe: 0, fref: 0.5, picked: None });
+        w.on_event(&state, &SimEvent::Decision { t: 0.0, pe: 0, fref: 0.5, picked: Some(task()) });
         let out = String::from_utf8(w.into_inner().unwrap()).unwrap();
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 3);
@@ -291,6 +302,7 @@ mod tests {
         w.on_slice(
             &state,
             &SliceInfo {
+                pe: 0,
                 start: 1.0,
                 duration: 2.0,
                 current: 0.5,
@@ -299,12 +311,12 @@ mod tests {
         );
         w.on_slice(
             &state,
-            &SliceInfo { start: 3.0, duration: 1e-12, current: 0.5, kind: SliceKind::Idle },
+            &SliceInfo { pe: 0, start: 3.0, duration: 1e-12, current: 0.5, kind: SliceKind::Idle },
         );
         let out = String::from_utf8(w.into_inner().unwrap()).unwrap();
         assert_eq!(
             out,
-            "{\"type\":\"slice\",\"start\":1,\"duration\":2,\"end\":3,\"current\":0.5,\"kind\":\"run\",\"task\":\"T1.n2\",\"opp\":1,\"frequency\":0.75}\n"
+            "{\"type\":\"slice\",\"pe\":0,\"start\":1,\"duration\":2,\"end\":3,\"current\":0.5,\"kind\":\"run\",\"task\":\"T1.n2\",\"opp\":1,\"frequency\":0.75}\n"
         );
     }
 

@@ -2,7 +2,9 @@
 //!
 //! This crate is the execution substrate of the reproduction: it plays the
 //! role of the authors' C simulator (§5). It advances a set of periodic task
-//! graphs through time on one DVS processor, driven by two pluggable pieces
+//! graphs through time on a platform of one or more DVS processing
+//! elements (the paper's uniprocessor is the 1-PE instantiation), driven
+//! per element by two pluggable pieces
 //! exactly mirroring the paper's two-level methodology:
 //!
 //! * a [`FrequencyGovernor`] — computes the reference frequency `fref` at
@@ -22,7 +24,7 @@
 //! narrated as a typed [`SimEvent`] to attached [`SimObserver`]s, and
 //! [`Simulation::finish`] moves the results out. Trace recording
 //! ([`TraceRecorder`]), metrics accounting ([`MetricsCollector`]) and the
-//! O(1)-memory `bas-events/v1` JSONL export ([`JsonlWriter`]) are all just
+//! O(1)-memory `bas-events/v2` JSONL export ([`JsonlWriter`]) are all just
 //! observers of that stream; an in-memory [`trace::Trace`]'s battery-facing
 //! reduction is a [`bas_battery::LoadProfile`].
 //!

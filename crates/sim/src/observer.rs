@@ -91,7 +91,7 @@ impl TraceRecorder {
 impl SimObserver for TraceRecorder {
     fn on_slice(&mut self, _state: &SimState, slice: &SliceInfo) {
         if !time::negligible(slice.duration) {
-            self.trace.push(slice.to_trace_slice());
+            self.trace.push(slice.pe, slice.to_trace_slice());
         }
     }
 }
@@ -150,7 +150,12 @@ impl SimObserver for MetricsCollector {
     }
 
     fn on_slice(&mut self, _state: &SimState, slice: &SliceInfo) {
-        self.metrics.sim_time += slice.duration;
+        // Every PE emits a slice covering each executed stretch, so wall
+        // clock is counted once (PE 0's lane); charge and energy sum over
+        // all PEs — the shared battery sees the summed current.
+        if slice.pe == 0 {
+            self.metrics.sim_time += slice.duration;
+        }
         self.metrics.charge += slice.current * slice.duration;
         self.metrics.energy += slice.current * slice.duration * self.vbat;
     }
@@ -180,13 +185,16 @@ mod tests {
                 deadline: 5.0,
             },
         );
-        c.on_event(&state, &SimEvent::Decision { t: 0.0, fref: 1.0, picked: Some(task()) });
-        c.on_event(&state, &SimEvent::Progress { t: 0.0, task: task(), cycles: 4.0, busy: 4.0 });
+        c.on_event(&state, &SimEvent::Decision { t: 0.0, pe: 0, fref: 1.0, picked: Some(task()) });
         c.on_event(
             &state,
-            &SimEvent::Complete { t: 4.0, task: task(), actual: 4.0, instance_done: true },
+            &SimEvent::Progress { t: 0.0, pe: 0, task: task(), cycles: 4.0, busy: 4.0 },
         );
-        c.on_event(&state, &SimEvent::Idle { t: 4.0, duration: 1.0 });
+        c.on_event(
+            &state,
+            &SimEvent::Complete { t: 4.0, pe: 0, task: task(), actual: 4.0, instance_done: true },
+        );
+        c.on_event(&state, &SimEvent::Idle { t: 4.0, pe: 0, duration: 1.0 });
         let m = c.metrics();
         assert_eq!(m.instances_released, 1);
         assert_eq!(m.decisions, 1);
@@ -203,7 +211,7 @@ mod tests {
         let mut c = MetricsCollector::new(2.0);
         c.on_slice(
             &state,
-            &SliceInfo { start: 0.0, duration: 3.0, current: 0.5, kind: SliceKind::Idle },
+            &SliceInfo { pe: 0, start: 0.0, duration: 3.0, current: 0.5, kind: SliceKind::Idle },
         );
         let m = c.into_metrics();
         assert_eq!(m.sim_time, 3.0);
@@ -217,16 +225,16 @@ mod tests {
         let mut r = TraceRecorder::new();
         r.on_slice(
             &state,
-            &SliceInfo { start: 0.0, duration: 1.0, current: 0.5, kind: SliceKind::Idle },
+            &SliceInfo { pe: 0, start: 0.0, duration: 1.0, current: 0.5, kind: SliceKind::Idle },
         );
         // Sub-resolution slice: accounted elsewhere, not recorded.
         r.on_slice(
             &state,
-            &SliceInfo { start: 1.0, duration: 1e-12, current: 0.5, kind: SliceKind::Idle },
+            &SliceInfo { pe: 0, start: 1.0, duration: 1e-12, current: 0.5, kind: SliceKind::Idle },
         );
         r.on_slice(
             &state,
-            &SliceInfo { start: 1.0, duration: 1.0, current: 0.5, kind: SliceKind::Idle },
+            &SliceInfo { pe: 0, start: 1.0, duration: 1.0, current: 0.5, kind: SliceKind::Idle },
         );
         let trace = r.into_trace();
         assert_eq!(trace.len(), 1, "identical neighbours merge");

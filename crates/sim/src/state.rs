@@ -10,10 +10,28 @@
 //! and can only observe. Observation deliberately excludes each node's
 //! sampled *actual* demand — schedulers learn it only at completion, exactly
 //! like the systems the paper models.
+//!
+//! ## Processing elements and the ambient scope
+//!
+//! On a multi-PE platform every node is assigned to one processing element
+//! by a [`Mapping`], and each PE runs its own governor/policy pair. The
+//! engine consults those per-PE schedulers with the PE set as the state's
+//! **ambient scope** ([`SimState::scope`]): while a scope is set, the
+//! aggregate observations — [`SimState::remaining_wc`],
+//! [`SimState::wci_effective`], [`SimState::static_cycles`],
+//! [`SimState::effective_utilization_hz`],
+//! [`SimState::static_utilization_hz`] — report only the work mapped to
+//! that PE, so an unmodified uniprocessor governor (ccEDF, laEDF, …)
+//! transparently steers *its own element*. Without a scope (the default,
+//! and what unit tests see) the same methods report the global view. The
+//! per-PE bookkeeping is maintained incrementally with exactly the same
+//! arithmetic as the global values, so on a 1-PE platform the scoped and
+//! global views are bit-identical — the compatibility guarantee the whole
+//! refactor rests on.
 
 use crate::time;
 use crate::types::TaskRef;
-use bas_taskgraph::{GraphId, TaskSet};
+use bas_taskgraph::{GraphId, Mapping, NodeId, TaskSet};
 
 /// The scheduler-visible digest of a mounted battery.
 ///
@@ -97,12 +115,21 @@ pub(crate) struct GraphProgress {
     pub unfinished: usize,
     /// ccEDF's `WCi`: Σ (done ? actual : wcet) over the instance (§4.1).
     pub wci_effective: f64,
+    /// The per-PE split of `wci_effective`, maintained with the identical
+    /// incremental updates (index = PE). On a 1-PE platform `wci_pe[0]`
+    /// equals `wci_effective` bit for bit.
+    pub wci_pe: Vec<f64>,
 }
 
 /// The scheduler-visible simulation state.
 #[derive(Debug, Clone)]
 pub struct SimState {
     set: TaskSet,
+    /// Node-to-PE assignment ([`Mapping::single_pe`] by default).
+    mapping: Mapping,
+    /// `static_pe[graph][pe]`: worst-case cycles of the graph mapped onto
+    /// the PE (exact integers; the scoped utilization numerators).
+    static_pe: Vec<Vec<u64>>,
     now: f64,
     graphs: Vec<GraphProgress>,
     /// Scratch: EDF-ordered active graphs (rebuilt when dirty).
@@ -110,17 +137,36 @@ pub struct SimState {
     edf_dirty: bool,
     /// Snapshot of the mounted battery (None without one).
     battery: Option<BatteryView>,
+    /// The ambient PE scope aggregate observations filter by.
+    scope: Option<usize>,
+    /// Per-PE: the task currently occupying the element, if any.
+    running: Vec<Option<TaskRef>>,
+    /// Per-PE: the last reference frequency announced for the element.
+    fref: Vec<Option<f64>>,
 }
 
 impl SimState {
-    /// Fresh state at t = 0 with no instance released yet.
+    /// Fresh uniprocessor state at t = 0 with no instance released yet
+    /// (everything mapped to PE 0).
     ///
     /// Public so governor/policy unit tests (in `bas-dvs` / `bas-core`) can
     /// drive states directly; simulations should use the executor.
     pub fn new(set: TaskSet) -> Self {
+        let mapping = Mapping::single_pe(&set);
+        SimState::with_mapping(set, mapping)
+    }
+
+    /// Fresh state with an explicit node-to-PE [`Mapping`] (the multi-PE
+    /// entry point; `Simulation::with_platform` calls this).
+    pub fn with_mapping(set: TaskSet, mapping: Mapping) -> Self {
+        let pes = mapping.pes();
+        let static_pe: Vec<Vec<u64>> = set
+            .iter()
+            .map(|(gid, _)| (0..pes).map(|pe| mapping.static_cycles_on(&set, gid, pe)).collect())
+            .collect();
         let graphs = set
             .iter()
-            .map(|(_, pg)| GraphProgress {
+            .map(|(gid, pg)| GraphProgress {
                 next_instance: 0,
                 active: false,
                 deadline: 0.0,
@@ -129,9 +175,22 @@ impl SimState {
                 // Before the first release the scheduler must budget the
                 // full worst case.
                 wci_effective: pg.graph().total_wcet() as f64,
+                wci_pe: static_pe[gid.index()].iter().map(|&c| c as f64).collect(),
             })
             .collect();
-        SimState { set, now: 0.0, graphs, edf_order: Vec::new(), edf_dirty: true, battery: None }
+        SimState {
+            set,
+            mapping,
+            static_pe,
+            now: 0.0,
+            graphs,
+            edf_order: Vec::new(),
+            edf_dirty: true,
+            battery: None,
+            scope: None,
+            running: vec![None; pes],
+            fref: vec![None; pes],
+        }
     }
 
     // ------------------------------------------------------------------
@@ -150,6 +209,47 @@ impl SimState {
         &self.set
     }
 
+    /// The node-to-PE assignment in force.
+    #[inline]
+    pub fn mapping(&self) -> &Mapping {
+        &self.mapping
+    }
+
+    /// Number of processing elements of the platform.
+    #[inline]
+    pub fn num_pes(&self) -> usize {
+        self.running.len()
+    }
+
+    /// The PE `task` is mapped to.
+    #[inline]
+    pub fn pe_of(&self, task: TaskRef) -> usize {
+        self.mapping.pe_of(task.graph, task.node)
+    }
+
+    /// The ambient PE scope, if any. While set, the aggregate observations
+    /// ([`SimState::remaining_wc`], [`SimState::wci_effective`],
+    /// [`SimState::static_cycles`], the utilization sums) report only the
+    /// work mapped to that PE. The engine sets it around every per-PE
+    /// governor/policy consultation; it is `None` otherwise.
+    #[inline]
+    pub fn scope(&self) -> Option<usize> {
+        self.scope
+    }
+
+    /// The task currently occupying `pe` (None while it idles).
+    #[inline]
+    pub fn running_on(&self, pe: usize) -> Option<TaskRef> {
+        self.running[pe]
+    }
+
+    /// The last reference frequency announced for `pe` (None before the
+    /// first busy decision).
+    #[inline]
+    pub fn fref_on(&self, pe: usize) -> Option<f64> {
+        self.fref[pe]
+    }
+
     /// True while `graph` has a released, unfinished instance.
     #[inline]
     pub fn is_active(&self, graph: GraphId) -> bool {
@@ -165,13 +265,23 @@ impl SimState {
 
     /// Remaining worst-case cycles of the active instance of `graph`
     /// (0 when inactive) — the `WCj` of the feasibility check and laEDF's
-    /// `c_left`.
+    /// `c_left`. Scope-aware: under an ambient PE scope only nodes mapped
+    /// to that PE count.
     pub fn remaining_wc(&self, graph: GraphId) -> f64 {
         let g = &self.graphs[graph.index()];
         if !g.active {
             return 0.0;
         }
-        g.nodes.iter().map(NodeProgress::remaining_wc).sum()
+        match self.scope {
+            None => g.nodes.iter().map(NodeProgress::remaining_wc).sum(),
+            Some(pe) => g
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(ix, _)| self.mapping.pe_of(graph, NodeId::from_index(*ix)) == pe)
+                .map(|(_, np)| np.remaining_wc())
+                .sum(),
+        }
     }
 
     /// Remaining worst-case cycles of one node (0 if done or inactive).
@@ -200,18 +310,35 @@ impl SimState {
     /// instance of the taskgraph Ti is not released, whereupon we switch
     /// back to the worst case specification" — which is what lets ccEDF keep
     /// the frequency low between an early finish and the next release.
+    /// Scope-aware: under an ambient PE scope this is the PE's share.
     pub fn wci_effective(&self, graph: GraphId) -> f64 {
-        self.graphs[graph.index()].wci_effective
+        let g = &self.graphs[graph.index()];
+        match self.scope {
+            None => g.wci_effective,
+            Some(pe) => g.wci_pe[pe],
+        }
+    }
+
+    /// The graph's static worst case in cycles, as the schedulers budget it.
+    /// Scope-aware: under an ambient PE scope, only the cycles mapped to
+    /// that PE (laEDF's per-graph `Ci` term).
+    pub fn static_cycles(&self, graph: GraphId) -> f64 {
+        match self.scope {
+            None => self.set[graph].graph().total_wcet() as f64,
+            Some(pe) => self.static_pe[graph.index()][pe] as f64,
+        }
     }
 
     /// ccEDF's effective utilization `Σ WCi/Di` in Hz (cycles per second).
+    /// Scope-aware through [`SimState::wci_effective`].
     pub fn effective_utilization_hz(&self) -> f64 {
         self.set.graph_ids().map(|g| self.wci_effective(g) / self.set[g].period()).sum()
     }
 
-    /// Static worst-case utilization in Hz.
+    /// Static worst-case utilization in Hz. Scope-aware through
+    /// [`SimState::static_cycles`].
     pub fn static_utilization_hz(&self) -> f64 {
-        self.set.iter().map(|(_, g)| g.graph().total_wcet() as f64 / g.period()).sum()
+        self.set.graph_ids().map(|g| self.static_cycles(g) / self.set[g].period()).sum()
     }
 
     /// Active graphs ordered by absolute deadline (ties broken by id) — the
@@ -221,9 +348,18 @@ impl SimState {
         &self.edf_order
     }
 
-    /// The active graph with the earliest absolute deadline.
+    /// The active graph with the earliest absolute deadline. Scope-aware:
+    /// under an ambient PE scope, the earliest-deadline active graph with
+    /// at least one node mapped to that PE — the graph a
+    /// most-imminent-scope policy on the element should serve (a graph
+    /// with no work here cannot occupy this PE at all).
     pub fn most_imminent(&self) -> Option<GraphId> {
-        self.edf_order().first().copied()
+        match self.scope {
+            None => self.edf_order().first().copied(),
+            Some(pe) => {
+                self.edf_order().iter().copied().find(|g| self.static_pe[g.index()][pe] > 0)
+            }
+        }
     }
 
     /// Collect the ready tasks: nodes of active instances whose predecessors
@@ -291,6 +427,24 @@ impl SimState {
         self.battery = view;
     }
 
+    /// Set the ambient PE scope. Engine/test API — the engine brackets
+    /// every per-PE governor/policy call with it; tests use it to probe the
+    /// scoped views directly.
+    pub fn set_scope(&mut self, scope: Option<usize>) {
+        debug_assert!(scope.is_none_or(|pe| pe < self.num_pes()));
+        self.scope = scope;
+    }
+
+    /// Record which task occupies `pe`. Engine/test API.
+    pub fn set_running(&mut self, pe: usize, task: Option<TaskRef>) {
+        self.running[pe] = task;
+    }
+
+    /// Record the reference frequency announced for `pe`. Engine/test API.
+    pub fn set_fref(&mut self, pe: usize, fref: f64) {
+        self.fref[pe] = Some(fref);
+    }
+
     /// Release the next instance of `graph` with pre-sampled actuals.
     /// Returns the instance index released. Engine/test API.
     pub fn release(&mut self, graph: GraphId, actuals: Vec<f64>) -> u64 {
@@ -313,6 +467,9 @@ impl SimState {
             .collect();
         g.unfinished = g.nodes.len();
         g.wci_effective = graph_ref.total_wcet() as f64;
+        for (pe, wci) in g.wci_pe.iter_mut().enumerate() {
+            *wci = self.static_pe[graph.index()][pe] as f64;
+        }
         g.active = true;
         g.next_instance += 1;
         self.edf_dirty = true;
@@ -344,8 +501,10 @@ impl SimState {
             let actual = np.actual;
             let wcet = np.wcet;
             g.unfinished -= 1;
-            // ccEDF §4.1: WCi := WCi + ac − wc on node completion.
+            // ccEDF §4.1: WCi := WCi + ac − wc on node completion — applied
+            // identically to the global value and the owning PE's share.
             g.wci_effective += actual - wcet;
+            g.wci_pe[self.mapping.pe_of(task.graph, task.node)] += actual - wcet;
             if g.unfinished == 0 {
                 g.active = false;
                 g.nodes.clear();

@@ -1,5 +1,12 @@
-//! Execution traces: what ran, when, at which operating point, drawing how
-//! much current — and the reduction to a battery [`LoadProfile`].
+//! Execution traces: what ran, when, on which processing element, at which
+//! operating point, drawing how much current — and the reduction to a
+//! battery [`LoadProfile`].
+//!
+//! A [`Trace`] holds one time-ordered **lane** of [`TraceSlice`]s per
+//! processing element. On the paper's uniprocessor there is exactly one
+//! lane and every accessor behaves as it always did; on a multi-PE platform
+//! the lanes run concurrently and the battery-facing reduction
+//! ([`Trace::to_load_profile`]) sums the per-lane currents piecewise.
 
 use crate::types::TaskRef;
 use bas_battery::LoadProfile;
@@ -12,7 +19,7 @@ pub enum SliceKind {
     Run {
         /// The task being executed.
         task: TaskRef,
-        /// Index into the processor's operating-point table.
+        /// Index into the owning PE's operating-point table.
         opp: usize,
         /// The clock frequency of that operating point, Hz.
         frequency: f64,
@@ -21,14 +28,14 @@ pub enum SliceKind {
     Idle,
 }
 
-/// One maximal stretch of constant behaviour.
+/// One maximal stretch of constant behaviour on one processing element.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceSlice {
     /// Start time, seconds.
     pub start: f64,
     /// End time, seconds (`end > start`).
     pub end: f64,
-    /// Battery current drawn during the slice, amperes.
+    /// Battery current drawn by this PE during the slice, amperes.
     pub current: f64,
     /// Activity.
     pub kind: SliceKind,
@@ -42,135 +49,233 @@ impl TraceSlice {
     }
 }
 
-/// A complete execution trace.
+/// A complete execution trace: one lane per processing element.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
-    slices: Vec<TraceSlice>,
+    lanes: Vec<Vec<TraceSlice>>,
 }
 
 impl Trace {
     /// Empty trace.
     pub fn new() -> Self {
-        Trace { slices: Vec::new() }
+        Trace { lanes: Vec::new() }
     }
 
-    /// Append a slice; merges with the tail when both the activity and the
-    /// current are unchanged (keeps traces compact across event boundaries
-    /// that did not change anything).
-    pub(crate) fn push(&mut self, slice: TraceSlice) {
+    /// Append a slice to `pe`'s lane; merges with the lane's tail when both
+    /// the activity and the current are unchanged (keeps traces compact
+    /// across event boundaries — including the cuts other PEs' leg
+    /// boundaries introduce — that did not change anything).
+    pub(crate) fn push(&mut self, pe: usize, slice: TraceSlice) {
         debug_assert!(slice.end > slice.start, "empty slice");
-        if let Some(last) = self.slices.last_mut() {
+        if self.lanes.len() <= pe {
+            self.lanes.resize(pe + 1, Vec::new());
+        }
+        let lane = &mut self.lanes[pe];
+        if let Some(last) = lane.last_mut() {
             debug_assert!(
                 slice.start >= last.end - crate::time::eps_for(last.end),
-                "slices must be time-ordered"
+                "slices must be time-ordered within a lane"
             );
             if last.kind == slice.kind && last.current == slice.current {
                 last.end = slice.end;
                 return;
             }
         }
-        self.slices.push(slice);
+        lane.push(slice);
     }
 
-    /// The slices in time order.
+    /// The slices of PE 0's lane in time order — the whole trace on a
+    /// uniprocessor (the historical accessor).
     #[inline]
     pub fn slices(&self) -> &[TraceSlice] {
-        &self.slices
+        self.lane(0)
     }
 
-    /// Number of slices.
+    /// The slices of one PE's lane in time order (empty when the PE never
+    /// emitted a slice).
+    #[inline]
+    pub fn lane(&self, pe: usize) -> &[TraceSlice] {
+        self.lanes.get(pe).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of lanes (PEs that emitted at least one slice, by index).
+    #[inline]
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Total number of slices across all lanes.
     #[inline]
     pub fn len(&self) -> usize {
-        self.slices.len()
+        self.lanes.iter().map(Vec::len).sum()
     }
 
-    /// True when no slice was recorded.
+    /// True when no slice was recorded on any lane.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.slices.is_empty()
+        self.lanes.iter().all(Vec::is_empty)
     }
 
-    /// Total traced time, seconds.
+    /// Total traced time, seconds (earliest start to latest end across
+    /// lanes).
     pub fn duration(&self) -> f64 {
-        self.slices.last().map_or(0.0, |s| s.end) - self.slices.first().map_or(0.0, |s| s.start)
+        let last = self
+            .lanes
+            .iter()
+            .filter_map(|l| l.last().map(|s| s.end))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let first = self
+            .lanes
+            .iter()
+            .filter_map(|l| l.first().map(|s| s.start))
+            .fold(f64::INFINITY, f64::min);
+        if last.is_finite() && first.is_finite() {
+            last - first
+        } else {
+            0.0
+        }
     }
 
-    /// Total busy (non-idle) time, seconds.
+    /// Total busy (non-idle) time, seconds, summed across lanes.
     pub fn busy_time(&self) -> f64 {
-        self.slices
+        self.lanes
             .iter()
+            .flatten()
             .filter(|s| matches!(s.kind, SliceKind::Run { .. }))
             .map(TraceSlice::duration)
             .sum()
     }
 
-    /// Reduce to the battery-facing load profile.
+    /// Reduce to the battery-facing load profile. On one lane this is the
+    /// slice sequence verbatim; with several lanes the per-PE currents are
+    /// summed piecewise over the union of all slice boundaries (the load a
+    /// shared battery actually sees).
     pub fn to_load_profile(&self) -> LoadProfile {
         let mut p = LoadProfile::new();
-        for s in &self.slices {
-            p.push(s.current, s.duration());
+        if self.lanes.len() == 1 {
+            for s in &self.lanes[0] {
+                p.push(s.current, s.duration());
+            }
+            return p;
+        }
+        // K-way sweep over the (already time-ordered, gap-free) lanes: one
+        // cursor per lane, each window bounded by the nearest upcoming
+        // slice boundary, the window's current summed fresh from the ≤ K
+        // covering slices. O(windows × lanes), not O(slices²).
+        let mut cursor = vec![0usize; self.lanes.len()];
+        let mut t = self
+            .lanes
+            .iter()
+            .filter_map(|l| l.first().map(|s| s.start))
+            .fold(f64::INFINITY, f64::min);
+        loop {
+            let mut next = f64::INFINITY;
+            let mut current = 0.0;
+            for (lane, cur) in self.lanes.iter().zip(cursor.iter_mut()) {
+                while *cur < lane.len() && lane[*cur].end <= t {
+                    *cur += 1;
+                }
+                let Some(s) = lane.get(*cur) else { continue };
+                if s.start <= t {
+                    current += s.current;
+                    next = next.min(s.end);
+                } else {
+                    next = next.min(s.start);
+                }
+            }
+            if !next.is_finite() {
+                break;
+            }
+            if !crate::time::negligible(next - t) {
+                p.push(current, next - t);
+            }
+            t = next;
         }
         p
     }
 
-    /// Check structural well-formedness: time-ordered, gap-free, positive
-    /// durations. Returns the first problem found.
+    /// Check structural well-formedness per lane: time-ordered, gap-free,
+    /// positive durations. Returns the first problem found. (Lanes overlap
+    /// each other in time by design — concurrency is not a defect.)
     pub fn validate(&self) -> Result<(), String> {
-        for (i, s) in self.slices.iter().enumerate() {
-            if s.end <= s.start {
-                return Err(format!("slice {i} has non-positive duration"));
-            }
-            if s.current < 0.0 || !s.current.is_finite() {
-                return Err(format!("slice {i} has invalid current {}", s.current));
-            }
-            if i > 0 {
-                let prev = &self.slices[i - 1];
-                let gap = (s.start - prev.end).abs();
-                if gap > crate::time::eps_for(s.start) {
-                    return Err(format!("gap/overlap of {gap} s between slices {} and {i}", i - 1));
+        for (pe, lane) in self.lanes.iter().enumerate() {
+            for (i, s) in lane.iter().enumerate() {
+                if s.end <= s.start {
+                    return Err(format!("PE {pe} slice {i} has non-positive duration"));
+                }
+                if s.current < 0.0 || !s.current.is_finite() {
+                    return Err(format!("PE {pe} slice {i} has invalid current {}", s.current));
+                }
+                if i > 0 {
+                    let prev = &lane[i - 1];
+                    let gap = (s.start - prev.end).abs();
+                    if gap > crate::time::eps_for(s.start) {
+                        return Err(format!(
+                            "PE {pe}: gap/overlap of {gap} s between slices {} and {i}",
+                            i - 1
+                        ));
+                    }
                 }
             }
         }
         Ok(())
     }
 
-    /// Tasks in first-execution order (for comparing schedules in tests and
-    /// the worked-example binaries).
+    /// Tasks in first-execution order across all lanes (for comparing
+    /// schedules in tests and the worked-example presets). Ties in start
+    /// time resolve by lane index.
     pub fn execution_order(&self) -> Vec<TaskRef> {
-        let mut seen = Vec::new();
-        for s in &self.slices {
-            if let SliceKind::Run { task, .. } = s.kind {
-                if !seen.contains(&task) {
-                    seen.push(task);
+        let mut runs: Vec<(f64, usize, TaskRef)> = Vec::new();
+        for (pe, lane) in self.lanes.iter().enumerate() {
+            for s in lane {
+                if let SliceKind::Run { task, .. } = s.kind {
+                    runs.push((s.start, pe, task));
                 }
+            }
+        }
+        runs.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0).expect("trace times are finite").then(a.1.cmp(&b.1))
+        });
+        let mut seen = Vec::new();
+        for (_, _, task) in runs {
+            if !seen.contains(&task) {
+                seen.push(task);
             }
         }
         seen
     }
 
     /// Render an ASCII Gantt-like listing (one line per slice) — used by the
-    /// figure binaries to print the paper's example traces.
+    /// figure presets to print the paper's example traces. A single lane
+    /// renders exactly as the historical uniprocessor trace did; several
+    /// lanes are listed per PE under a `PE <k>:` heading.
     pub fn render(&self) -> String {
         let mut out = String::new();
-        for s in &self.slices {
-            use fmt::Write;
-            match s.kind {
-                SliceKind::Run { task, frequency, .. } => writeln!(
-                    out,
-                    "  [{:8.3} – {:8.3}] run {:<8} @ {:6.3} Hz  ({:.3} A)",
-                    s.start,
-                    s.end,
-                    task.to_string(),
-                    frequency,
-                    s.current
-                )
-                .unwrap(),
-                SliceKind::Idle => writeln!(
-                    out,
-                    "  [{:8.3} – {:8.3}] idle                        ({:.3} A)",
-                    s.start, s.end, s.current
-                )
-                .unwrap(),
+        for (pe, lane) in self.lanes.iter().enumerate() {
+            if self.lanes.len() > 1 {
+                use fmt::Write;
+                writeln!(out, "  PE {pe}:").unwrap();
+            }
+            for s in lane {
+                use fmt::Write;
+                match s.kind {
+                    SliceKind::Run { task, frequency, .. } => writeln!(
+                        out,
+                        "  [{:8.3} – {:8.3}] run {:<8} @ {:6.3} Hz  ({:.3} A)",
+                        s.start,
+                        s.end,
+                        task.to_string(),
+                        frequency,
+                        s.current
+                    )
+                    .unwrap(),
+                    SliceKind::Idle => writeln!(
+                        out,
+                        "  [{:8.3} – {:8.3}] idle                        ({:.3} A)",
+                        s.start, s.end, s.current
+                    )
+                    .unwrap(),
+                }
             }
         }
         out
@@ -198,8 +303,8 @@ mod tests {
     #[test]
     fn push_merges_identical_neighbors() {
         let mut t = Trace::new();
-        t.push(run_slice(0.0, 1.0, 0.5, 0));
-        t.push(run_slice(1.0, 2.0, 0.5, 0));
+        t.push(0, run_slice(0.0, 1.0, 0.5, 0));
+        t.push(0, run_slice(1.0, 2.0, 0.5, 0));
         assert_eq!(t.len(), 1);
         assert_eq!(t.slices()[0].end, 2.0);
     }
@@ -207,42 +312,78 @@ mod tests {
     #[test]
     fn push_keeps_distinct_neighbors() {
         let mut t = Trace::new();
-        t.push(run_slice(0.0, 1.0, 0.5, 0));
-        t.push(run_slice(1.0, 2.0, 0.7, 0)); // different current
-        t.push(run_slice(2.0, 3.0, 0.7, 1)); // different task
+        t.push(0, run_slice(0.0, 1.0, 0.5, 0));
+        t.push(0, run_slice(1.0, 2.0, 0.7, 0)); // different current
+        t.push(0, run_slice(2.0, 3.0, 0.7, 1)); // different task
         assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let mut t = Trace::new();
+        t.push(0, run_slice(0.0, 1.0, 0.5, 0));
+        t.push(1, run_slice(0.0, 1.0, 0.5, 1));
+        t.push(1, run_slice(1.0, 2.0, 0.5, 1)); // merges in lane 1 only
+        assert_eq!(t.lane_count(), 2);
+        assert_eq!(t.lane(0).len(), 1);
+        assert_eq!(t.lane(1).len(), 1);
+        assert_eq!(t.lane(1)[0].end, 2.0);
+        assert_eq!(t.len(), 2);
+        t.validate().unwrap();
     }
 
     #[test]
     fn durations_and_busy_time() {
         let mut t = Trace::new();
-        t.push(run_slice(0.0, 2.0, 0.5, 0));
-        t.push(TraceSlice { start: 2.0, end: 5.0, current: 0.05, kind: SliceKind::Idle });
+        t.push(0, run_slice(0.0, 2.0, 0.5, 0));
+        t.push(0, TraceSlice { start: 2.0, end: 5.0, current: 0.05, kind: SliceKind::Idle });
         assert!((t.duration() - 5.0).abs() < 1e-12);
         assert!((t.busy_time() - 2.0).abs() < 1e-12);
     }
 
     #[test]
+    fn busy_time_sums_across_lanes() {
+        let mut t = Trace::new();
+        t.push(0, run_slice(0.0, 2.0, 0.5, 0));
+        t.push(1, run_slice(0.0, 3.0, 0.5, 1));
+        assert!((t.busy_time() - 5.0).abs() < 1e-12);
+        assert!((t.duration() - 3.0).abs() < 1e-12, "wall clock, not summed");
+    }
+
+    #[test]
     fn load_profile_preserves_charge() {
         let mut t = Trace::new();
-        t.push(run_slice(0.0, 2.0, 0.5, 0));
-        t.push(TraceSlice { start: 2.0, end: 3.0, current: 0.05, kind: SliceKind::Idle });
+        t.push(0, run_slice(0.0, 2.0, 0.5, 0));
+        t.push(0, TraceSlice { start: 2.0, end: 3.0, current: 0.05, kind: SliceKind::Idle });
         let p = t.to_load_profile();
         assert!((p.total_charge() - (1.0 + 0.05)).abs() < 1e-12);
         assert!((p.duration() - 3.0).abs() < 1e-12);
     }
 
     #[test]
+    fn multi_lane_load_profile_sums_concurrent_currents() {
+        let mut t = Trace::new();
+        // PE0: 0.5 A over [0, 2); PE1: 0.3 A over [1, 3).
+        t.push(0, run_slice(0.0, 2.0, 0.5, 0));
+        t.push(1, run_slice(1.0, 3.0, 0.3, 1));
+        let p = t.to_load_profile();
+        // Charge: 0.5·2 + 0.3·2 = 1.6 C over 3 s.
+        assert!((p.total_charge() - 1.6).abs() < 1e-12, "{}", p.total_charge());
+        assert!((p.duration() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn validate_accepts_contiguous_traces() {
         let mut t = Trace::new();
-        t.push(run_slice(0.0, 1.0, 0.5, 0));
-        t.push(run_slice(1.0, 2.0, 0.7, 0));
+        t.push(0, run_slice(0.0, 1.0, 0.5, 0));
+        t.push(0, run_slice(1.0, 2.0, 0.7, 0));
         assert!(t.validate().is_ok());
     }
 
     #[test]
     fn validate_rejects_gaps() {
-        let t = Trace { slices: vec![run_slice(0.0, 1.0, 0.5, 0), run_slice(1.5, 2.0, 0.7, 0)] };
+        let t =
+            Trace { lanes: vec![vec![run_slice(0.0, 1.0, 0.5, 0), run_slice(1.5, 2.0, 0.7, 0)]] };
         let err = t.validate().unwrap_err();
         assert!(err.contains("gap"), "{err}");
     }
@@ -250,20 +391,38 @@ mod tests {
     #[test]
     fn execution_order_reports_first_touch() {
         let mut t = Trace::new();
-        t.push(run_slice(0.0, 1.0, 0.5, 1));
-        t.push(run_slice(1.0, 2.0, 0.7, 0));
-        t.push(run_slice(2.0, 3.0, 0.5, 1));
+        t.push(0, run_slice(0.0, 1.0, 0.5, 1));
+        t.push(0, run_slice(1.0, 2.0, 0.7, 0));
+        t.push(0, run_slice(2.0, 3.0, 0.5, 1));
         assert_eq!(t.execution_order(), vec![task(1, 0), task(0, 0)]);
+    }
+
+    #[test]
+    fn execution_order_merges_lanes_by_start_time() {
+        let mut t = Trace::new();
+        t.push(1, run_slice(0.5, 1.0, 0.5, 1));
+        t.push(0, run_slice(0.0, 1.0, 0.5, 0));
+        assert_eq!(t.execution_order(), vec![task(0, 0), task(1, 0)]);
     }
 
     #[test]
     fn render_mentions_tasks_and_idle() {
         let mut t = Trace::new();
-        t.push(run_slice(0.0, 1.0, 0.5, 0));
-        t.push(TraceSlice { start: 1.0, end: 2.0, current: 0.05, kind: SliceKind::Idle });
+        t.push(0, run_slice(0.0, 1.0, 0.5, 0));
+        t.push(0, TraceSlice { start: 1.0, end: 2.0, current: 0.05, kind: SliceKind::Idle });
         let s = t.render();
         assert!(s.contains("run"));
         assert!(s.contains("idle"));
         assert!(s.contains("T0.n0"));
+        assert!(!s.contains("PE 0"), "single lane renders without PE headings");
+    }
+
+    #[test]
+    fn render_labels_lanes_on_multi_pe_traces() {
+        let mut t = Trace::new();
+        t.push(0, run_slice(0.0, 1.0, 0.5, 0));
+        t.push(1, run_slice(0.0, 1.0, 0.5, 1));
+        let s = t.render();
+        assert!(s.contains("PE 0:") && s.contains("PE 1:"), "{s}");
     }
 }

@@ -8,7 +8,32 @@
 use bas_taskgraph::{Cycles, GraphId, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+
+/// Dense per-graph/per-node storage keyed by the task set's stable node
+/// ordering — the samplers are consulted for every node of every release,
+/// so the former `HashMap<(GraphId, NodeId), f64>` lookups sat on the
+/// engine's release hot path.
+#[derive(Debug, Clone, Default)]
+struct NodeTable {
+    values: Vec<Vec<Option<f64>>>,
+}
+
+impl NodeTable {
+    fn get(&self, g: GraphId, n: NodeId) -> Option<f64> {
+        self.values.get(g.index()).and_then(|nodes| nodes.get(n.index())).copied().flatten()
+    }
+
+    fn slot(&mut self, g: GraphId, n: NodeId) -> &mut Option<f64> {
+        let (g, n) = (g.index(), n.index());
+        if self.values.len() <= g {
+            self.values.resize(g + 1, Vec::new());
+        }
+        if self.values[g].len() <= n {
+            self.values[g].resize(n + 1, None);
+        }
+        &mut self.values[g][n]
+    }
+}
 
 /// Supplies each node instance's actual cycle demand.
 pub trait ActualSampler: Send {
@@ -103,7 +128,7 @@ pub struct PersistentFraction {
     hi: f64,
     jitter: f64,
     rng: StdRng,
-    fractions: HashMap<(GraphId, NodeId), f64>,
+    fractions: NodeTable,
 }
 
 impl PersistentFraction {
@@ -123,7 +148,7 @@ impl PersistentFraction {
             hi,
             jitter,
             rng: StdRng::seed_from_u64(seed),
-            fractions: HashMap::new(),
+            fractions: NodeTable::default(),
         }
     }
 
@@ -136,10 +161,17 @@ impl PersistentFraction {
 impl ActualSampler for PersistentFraction {
     fn sample(&mut self, g: GraphId, n: NodeId, _k: u64, wcet: Cycles) -> f64 {
         let (lo, hi) = (self.lo, self.hi);
-        let rng = &mut self.rng;
-        let base = *self.fractions.entry((g, n)).or_insert_with(|| rng.gen_range(lo..=hi));
+        let slot = self.fractions.slot(g, n);
+        let base = match *slot {
+            Some(base) => base,
+            None => {
+                let drawn = self.rng.gen_range(lo..=hi);
+                *slot = Some(drawn);
+                drawn
+            }
+        };
         let jittered = if self.jitter > 0.0 {
-            (base + rng.gen_range(-self.jitter..=self.jitter)).clamp(lo, hi)
+            (base + self.rng.gen_range(-self.jitter..=self.jitter)).clamp(lo, hi)
         } else {
             base
         };
@@ -151,7 +183,7 @@ impl ActualSampler for PersistentFraction {
 /// (e.g. Figure 4: task1 at 40 %, task2 at 60 %).
 #[derive(Debug, Clone)]
 pub struct FractionTable {
-    fractions: HashMap<(GraphId, NodeId), f64>,
+    fractions: NodeTable,
     default: f64,
 }
 
@@ -162,7 +194,7 @@ impl FractionTable {
     /// Panics when `default` is outside `(0, 1]`.
     pub fn with_default(default: f64) -> Self {
         assert!(default > 0.0 && default <= 1.0, "fraction {default} out of (0,1]");
-        FractionTable { fractions: HashMap::new(), default }
+        FractionTable { fractions: NodeTable::default(), default }
     }
 
     /// Set one node's fraction.
@@ -171,14 +203,14 @@ impl FractionTable {
     /// Panics when `fraction` is outside `(0, 1]`.
     pub fn set(mut self, graph: GraphId, node: NodeId, fraction: f64) -> Self {
         assert!(fraction > 0.0 && fraction <= 1.0, "fraction {fraction} out of (0,1]");
-        self.fractions.insert((graph, node), fraction);
+        *self.fractions.slot(graph, node) = Some(fraction);
         self
     }
 }
 
 impl ActualSampler for FractionTable {
     fn sample(&mut self, g: GraphId, n: NodeId, _k: u64, wcet: Cycles) -> f64 {
-        let f = self.fractions.get(&(g, n)).copied().unwrap_or(self.default);
+        let f = self.fractions.get(g, n).unwrap_or(self.default);
         (wcet as f64 * f).max(1.0).min(wcet as f64)
     }
 }

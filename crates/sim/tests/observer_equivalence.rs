@@ -7,7 +7,7 @@
 //!   slice sequence from which the in-memory `Trace` rebuilds exactly —
 //!   O(1)-memory streaming loses nothing;
 //! * a tiny battery co-simulation's stream must match the checked-in
-//!   `bas-events/v1` golden file byte for byte (schema stability).
+//!   `bas-events/v2` golden file byte for byte (schema stability).
 
 use bas_cpu::presets::unit_processor;
 use bas_sim::policy::EdfTopo;
@@ -77,6 +77,7 @@ fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 
 /// Parse one `"type":"slice"` line back into a [`SliceInfo`].
 fn parse_slice(line: &str) -> SliceInfo {
+    let pe: usize = field(line, "pe").unwrap().parse().unwrap();
     let start: f64 = field(line, "start").unwrap().parse().unwrap();
     let duration: f64 = field(line, "duration").unwrap().parse().unwrap();
     let current: f64 = field(line, "current").unwrap().parse().unwrap();
@@ -97,7 +98,7 @@ fn parse_slice(line: &str) -> SliceInfo {
         }
         other => panic!("unknown slice kind {other}"),
     };
-    SliceInfo { start, duration, current, kind }
+    SliceInfo { pe, start, duration, current, kind }
 }
 
 proptest! {
@@ -207,7 +208,7 @@ fn golden_events_stream_is_byte_stable() {
     let golden = std::fs::read_to_string(&golden_path).unwrap();
     assert_eq!(
         produced, golden,
-        "the bas-events/v1 stream drifted from {golden_path:?}; if intentional, \
+        "the bas-events/v2 stream drifted from {golden_path:?}; if intentional, \
          regenerate with `BLESS_GOLDEN=1 cargo test -p bas-sim --test observer_equivalence`"
     );
 }

@@ -29,6 +29,20 @@ pub enum GraphError {
     /// Requested utilization split is impossible (e.g. zero graphs,
     /// utilization outside `(0, 1]`).
     InvalidUtilization(f64),
+    /// A mapping names a processing element the platform does not have.
+    MappingOutOfRange {
+        /// PEs the mapping requires.
+        pes: usize,
+        /// PEs the platform provides.
+        platform: usize,
+    },
+    /// A mapping's shape (graph/node counts) does not match the task set.
+    MappingShape {
+        /// Entries the task set requires.
+        expected: usize,
+        /// Entries the mapping provides.
+        found: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -47,6 +61,12 @@ impl fmt::Display for GraphError {
             }
             GraphError::InvalidUtilization(u) => {
                 write!(f, "utilization {u} is not in (0, 1]")
+            }
+            GraphError::MappingOutOfRange { pes, platform } => {
+                write!(f, "mapping targets {pes} PEs but the platform has {platform}")
+            }
+            GraphError::MappingShape { expected, found } => {
+                write!(f, "mapping shape mismatch: expected {expected} entries, found {found}")
             }
         }
     }

@@ -19,6 +19,9 @@
 //!   counting (used by the exhaustive-optimal scheduler to bound search);
 //! * [`PeriodicTaskGraph`] and [`TaskSet`] in [`periodic`] — periodic wrappers
 //!   with utilization and hyperperiod arithmetic;
+//! * [`Mapping`] in [`mapping`] — node-to-processing-element assignment for
+//!   multi-PE platforms, with a deterministic list-scheduling default (all
+//!   nodes on PE 0 reproduces the paper's uniprocessor setting);
 //! * a seeded, TGFF-like random generator in [`generator`] — the stand-in for
 //!   the Princeton *Task Graphs For Free* tool the paper generated its
 //!   workloads with;
@@ -54,12 +57,14 @@ pub mod dot;
 pub mod error;
 pub mod generator;
 pub mod ids;
+pub mod mapping;
 pub mod periodic;
 
 pub use dag::{TaskGraph, TaskGraphBuilder, TaskNode};
 pub use error::GraphError;
 pub use generator::{GeneratorConfig, GraphShape, TaskSetConfig};
 pub use ids::{GraphId, NodeId};
+pub use mapping::Mapping;
 pub use periodic::{PeriodicTaskGraph, TaskSet};
 
 /// Worst-case execution demand of a task, in processor cycles.

@@ -1,0 +1,269 @@
+//! Node-to-processing-element mappings.
+//!
+//! On a multi-PE platform every DAG node is *assigned* to one processing
+//! element before execution (the run-time then only decides ordering and
+//! frequency per PE, exactly as in the MPSoC follow-on literature — Simon et
+//! al.'s DAG-on-MPSoC setting, Khan & Vemuri's battery-aware mapping). A
+//! [`Mapping`] records that assignment for a whole [`TaskSet`]: one PE index
+//! per `(graph, node)`.
+//!
+//! Two constructors cover the common cases:
+//!
+//! * [`Mapping::single_pe`] — everything on PE 0, the paper's uniprocessor
+//!   setting (and the compatibility default of every legacy entry point);
+//! * [`Mapping::list_schedule`] — the deterministic default for `n > 1`
+//!   PEs: nodes are visited graph by graph in deterministic topological
+//!   order and each is placed on the PE with the least accumulated
+//!   *utilization* (`Σ wcet/period`, weighted by PE speed when weights are
+//!   given), ties broken by the lowest PE index. This is the classic greedy
+//!   list-scheduling lower bound — deterministic, mapping-stable across
+//!   runs, and load-balanced enough that per-PE EDF keeps its headroom.
+//!
+//! Explicit per-node placement goes through [`Mapping::assign`].
+
+use crate::error::GraphError;
+use crate::ids::{GraphId, NodeId};
+use crate::periodic::TaskSet;
+
+/// A total assignment of a task set's nodes onto `pes` processing elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    /// `assignment[graph][node]` = PE index.
+    assignment: Vec<Vec<usize>>,
+    pes: usize,
+}
+
+impl Mapping {
+    /// Everything on PE 0 — the uniprocessor mapping.
+    pub fn single_pe(set: &TaskSet) -> Self {
+        Mapping {
+            assignment: set.iter().map(|(_, g)| vec![0; g.graph().node_count()]).collect(),
+            pes: 1,
+        }
+    }
+
+    /// Deterministic greedy list scheduling onto `pes` equal-speed PEs.
+    ///
+    /// # Panics
+    /// Panics when `pes == 0`.
+    pub fn list_schedule(set: &TaskSet, pes: usize) -> Self {
+        Self::list_schedule_weighted(set, &vec![1.0; pes])
+    }
+
+    /// Deterministic greedy list scheduling with per-PE speed weights
+    /// (normally the PEs' `fmax` values): each node goes to the PE whose
+    /// accumulated `Σ wcet/period / weight` is smallest, ties to the lowest
+    /// index — faster PEs soak up proportionally more work.
+    ///
+    /// # Panics
+    /// Panics when `weights` is empty or contains a non-positive weight.
+    pub fn list_schedule_weighted(set: &TaskSet, weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "a mapping needs at least one processing element");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "PE speed weights must be positive"
+        );
+        let pes = weights.len();
+        let mut load = vec![0.0f64; pes];
+        let mut assignment: Vec<Vec<usize>> =
+            set.iter().map(|(_, g)| vec![0; g.graph().node_count()]).collect();
+        for (gid, pg) in set.iter() {
+            let graph = pg.graph();
+            for &node in graph.topological_order() {
+                let mut best = 0;
+                for pe in 1..pes {
+                    if load[pe] < load[best] {
+                        best = pe;
+                    }
+                }
+                assignment[gid.index()][node.index()] = best;
+                load[best] += graph.wcet(node) as f64 / (pg.period() * weights[best]);
+            }
+        }
+        Mapping { assignment, pes }
+    }
+
+    /// Number of processing elements this mapping targets.
+    #[inline]
+    pub fn pes(&self) -> usize {
+        self.pes
+    }
+
+    /// The PE a node is assigned to.
+    ///
+    /// # Panics
+    /// Panics when the ids are out of range for the mapped set.
+    #[inline]
+    pub fn pe_of(&self, graph: GraphId, node: NodeId) -> usize {
+        self.assignment[graph.index()][node.index()]
+    }
+
+    /// Re-assign one node. `pe` may extend the platform: the mapping's
+    /// [`Mapping::pes`] grows to cover it.
+    pub fn assign(&mut self, graph: GraphId, node: NodeId, pe: usize) {
+        self.assignment[graph.index()][node.index()] = pe;
+        self.pes = self.pes.max(pe + 1);
+    }
+
+    /// Widen the mapping to target at least `pes` processing elements
+    /// without moving any node — how a narrow mapping (e.g.
+    /// [`Mapping::single_pe`]) is adopted onto a wider platform whose
+    /// highest elements simply stay idle.
+    pub fn pad_to(&mut self, pes: usize) {
+        self.pes = self.pes.max(pes);
+    }
+
+    /// Worst-case cycles of `graph` mapped onto `pe` (exact integer
+    /// arithmetic — the scheduler-visible per-PE utilization numbers derive
+    /// from this).
+    pub fn static_cycles_on(&self, set: &TaskSet, graph: GraphId, pe: usize) -> u64 {
+        let g = set[graph].graph();
+        g.node_ids()
+            .filter(|n| self.assignment[graph.index()][n.index()] == pe)
+            .map(|n| g.wcet(n))
+            .sum()
+    }
+
+    /// Check the mapping covers exactly `set`'s shape and stays within
+    /// `pes` processing elements.
+    pub fn validate(&self, set: &TaskSet, pes: usize) -> Result<(), GraphError> {
+        if self.pes > pes {
+            return Err(GraphError::MappingOutOfRange { pes: self.pes, platform: pes });
+        }
+        if self.assignment.len() != set.len() {
+            return Err(GraphError::MappingShape {
+                expected: set.len(),
+                found: self.assignment.len(),
+            });
+        }
+        for (gid, pg) in set.iter() {
+            let nodes = pg.graph().node_count();
+            let row = &self.assignment[gid.index()];
+            if row.len() != nodes {
+                return Err(GraphError::MappingShape { expected: nodes, found: row.len() });
+            }
+            if let Some(&bad) = row.iter().find(|&&pe| pe >= pes) {
+                return Err(GraphError::MappingOutOfRange { pes: bad + 1, platform: pes });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::TaskGraphBuilder;
+    use crate::periodic::PeriodicTaskGraph;
+
+    fn set() -> TaskSet {
+        // T0: chain a(4) -> b(6), period 20; T1: c(10), period 10.
+        let mut b = TaskGraphBuilder::new("T0");
+        let a = b.add_node("a", 4);
+        let c = b.add_node("b", 6);
+        b.add_edge(a, c).unwrap();
+        let g0 = PeriodicTaskGraph::new(b.build().unwrap(), 20.0).unwrap();
+        let mut b = TaskGraphBuilder::new("T1");
+        b.add_node("c", 10);
+        let g1 = PeriodicTaskGraph::new(b.build().unwrap(), 10.0).unwrap();
+        let mut s = TaskSet::new();
+        s.push(g0);
+        s.push(g1);
+        s
+    }
+
+    fn gid(i: usize) -> GraphId {
+        GraphId::from_index(i)
+    }
+    fn nid(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn single_pe_maps_everything_to_zero() {
+        let s = set();
+        let m = Mapping::single_pe(&s);
+        assert_eq!(m.pes(), 1);
+        for (g, pg) in s.iter() {
+            for n in pg.graph().node_ids() {
+                assert_eq!(m.pe_of(g, n), 0);
+            }
+        }
+        m.validate(&s, 1).unwrap();
+    }
+
+    #[test]
+    fn list_schedule_balances_utilization() {
+        let s = set();
+        let m = Mapping::list_schedule(&s, 2);
+        assert_eq!(m.pes(), 2);
+        m.validate(&s, 2).unwrap();
+        // Greedy in topo order: T0.a -> PE0 (0.2), T0.b -> PE1 (0.3),
+        // T1.c -> PE0 (0.2 < 0.3) -> PE0 now 1.2? No: 0.2 + 10/10 = 1.2.
+        assert_eq!(m.pe_of(gid(0), nid(0)), 0);
+        assert_eq!(m.pe_of(gid(0), nid(1)), 1);
+        assert_eq!(m.pe_of(gid(1), nid(0)), 0);
+        // Both PEs received work.
+        assert!(m.static_cycles_on(&s, gid(0), 0) > 0);
+        assert!(m.static_cycles_on(&s, gid(0), 1) > 0);
+    }
+
+    #[test]
+    fn list_schedule_is_deterministic() {
+        let s = set();
+        assert_eq!(Mapping::list_schedule(&s, 4), Mapping::list_schedule(&s, 4));
+    }
+
+    #[test]
+    fn weighted_list_schedule_prefers_fast_pes() {
+        let s = set();
+        // PE1 is 10x faster: its normalized load grows slowly, so it should
+        // absorb most nodes.
+        let m = Mapping::list_schedule_weighted(&s, &[1.0, 10.0]);
+        let on_fast: usize = (0..2)
+            .map(|g| {
+                let pg = &s[gid(g)];
+                pg.graph().node_ids().filter(|n| m.pe_of(gid(g), *n) == 1).count()
+            })
+            .sum();
+        assert!(on_fast >= 2, "fast PE got {on_fast} of 3 nodes");
+    }
+
+    #[test]
+    fn static_cycles_partition_the_graph_total() {
+        let s = set();
+        let m = Mapping::list_schedule(&s, 3);
+        for (g, pg) in s.iter() {
+            let total: u64 = (0..3).map(|pe| m.static_cycles_on(&s, g, pe)).sum();
+            assert_eq!(total, pg.graph().total_wcet());
+        }
+    }
+
+    #[test]
+    fn assign_extends_and_validate_rejects_overflow() {
+        let s = set();
+        let mut m = Mapping::single_pe(&s);
+        m.assign(gid(1), nid(0), 3);
+        assert_eq!(m.pes(), 4);
+        assert_eq!(m.pe_of(gid(1), nid(0)), 3);
+        assert!(m.validate(&s, 2).is_err());
+        m.validate(&s, 4).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_shape_mismatch() {
+        let s = set();
+        let m = Mapping::single_pe(&s);
+        let mut bigger = TaskSet::new();
+        let mut b = TaskGraphBuilder::new("X");
+        b.add_node("x", 1);
+        bigger.push(PeriodicTaskGraph::new(b.build().unwrap(), 5.0).unwrap());
+        assert!(m.validate(&bigger, 1).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_pes_panics() {
+        let _ = Mapping::list_schedule(&set(), 0);
+    }
+}

@@ -1,5 +1,5 @@
 //! Drive the stepped engine by hand: observers, live battery state, and the
-//! streaming `bas-events/v1` JSONL export.
+//! streaming `bas-events/v2` JSONL export.
 //!
 //! The [`Simulation`] lifecycle replaces the old run-to-completion calls:
 //! you can `step()` it, pause at any limit with `run_until(..)`, watch the
@@ -96,7 +96,7 @@ fn main() {
     // only then is the stream really on disk.
     use std::io::Write as _;
     match jsonl.into_inner().and_then(|mut sink| sink.flush()) {
-        Ok(()) => println!("bas-events/v1 stream written to {}", events_path.display()),
+        Ok(()) => println!("bas-events/v2 stream written to {}", events_path.display()),
         Err(e) => eprintln!("event stream failed: {e}"),
     }
 }

@@ -12,7 +12,8 @@
 //! This facade crate re-exports the workspace libraries under one roof:
 //!
 //! * [`taskgraph`] — DAG workload model and random generator;
-//! * [`cpu`] — operating points, power/current model, frequency realization;
+//! * [`cpu`] — operating points, power/current model, frequency
+//!   realization, and the multi-PE [`Platform`](cpu::Platform);
 //! * [`battery`] — KiBaM, diffusion, stochastic and Peukert models;
 //! * [`sim`] — the stepped discrete-event engine ([`sim::Simulation`]), its
 //!   observer/event stream and scheduler traits;
@@ -112,15 +113,15 @@ pub mod prelude {
     };
     pub use bas_core::{BasPolicy, EmaEstimator, Ltf, Pubs, RandomPriority, Stf};
     pub use bas_cpu::presets::{dense_dvs_processor, paper_processor, unit_processor};
-    pub use bas_cpu::{FreqPolicy, Processor};
-    pub use bas_dvs::{CcEdf, LaEdf, NoDvs};
+    pub use bas_cpu::{FreqPolicy, Platform, Processor};
+    pub use bas_dvs::{CcEdf, GovernorBank, LaEdf, NoDvs};
     pub use bas_sim::{
         BatteryView, DeadlineMode, JsonlWriter, MetricsCollector, SimConfig, SimEvent, SimObserver,
         Simulation, Step, TaskRef, TraceRecorder, UniformFraction, WorstCase,
     };
     pub use bas_taskgraph::{
-        GeneratorConfig, GraphShape, PeriodicTaskGraph, TaskGraph, TaskGraphBuilder, TaskSet,
-        TaskSetConfig,
+        GeneratorConfig, GraphShape, Mapping, PeriodicTaskGraph, TaskGraph, TaskGraphBuilder,
+        TaskSet, TaskSetConfig,
     };
 }
 
