@@ -31,10 +31,15 @@ pub struct Args {
     pub help: bool,
 }
 
+/// Flags that stand alone (recorded with the value `"true"`): everything
+/// else follows the uniform `--key value` grammar.
+const VALUELESS_FLAGS: &[&str] = &["quick"];
+
 impl Args {
     /// Parse an argument list (without the binary name). A `--` separator
     /// (as inserted by `cargo run --`) is skipped. Every `--key` takes a
-    /// value except `--help`; a flag without a value is an error.
+    /// value except `--help` and the standalone switches (`--quick`); a
+    /// valued flag without a value is an error.
     pub fn parse(iter: impl IntoIterator<Item = String>) -> Result<Args, ArgsError> {
         let mut args = Args::default();
         let mut it = iter.into_iter();
@@ -50,6 +55,10 @@ impl Args {
             if let Some(key) = token.strip_prefix("--") {
                 if key.is_empty() {
                     return Err(ArgsError("empty flag name `--`".to_string()));
+                }
+                if VALUELESS_FLAGS.contains(&key) {
+                    args.flags.push((key.to_string(), "true".to_string()));
+                    continue;
                 }
                 let value =
                     it.next().ok_or_else(|| ArgsError(format!("flag --{key} needs a value")))?;
@@ -118,6 +127,17 @@ mod tests {
         assert!(parse(&["help"]).unwrap().help);
         // `help` after a subcommand is a positional, not the help flag.
         assert_eq!(parse(&["run", "help"]).unwrap().positional, vec!["run", "help"]);
+    }
+
+    #[test]
+    fn quick_is_a_valueless_switch() {
+        let a = parse(&["bench", "--quick", "--format", "json"]).unwrap();
+        assert_eq!(a.positional, vec!["bench"]);
+        assert_eq!(a.flag("quick"), Some("true"));
+        assert_eq!(a.flag("format"), Some("json"));
+        // Trailing --quick must not swallow a missing value.
+        let a = parse(&["bench", "--quick"]).unwrap();
+        assert_eq!(a.flag("quick"), Some("true"));
     }
 
     #[test]

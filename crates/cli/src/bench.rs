@@ -1,0 +1,391 @@
+//! The `bas bench` performance harness — the repo's recorded perf
+//! trajectory.
+//!
+//! Runs a **pinned suite** of end-to-end scenarios (smoke, sweep, mpsoc,
+//! battery-aware — each on 1 and 4 processing elements) through exactly the
+//! sweep replay path (`Scenario::trial_set` / `trial_experiment` /
+//! `build_battery`), measures wall time per entry and reports throughput as
+//! **steps per second**, where a *step* is one scheduling decision (a
+//! policy invocation at a scheduling point — the unit the paper bounds
+//! per-hyperperiod recomputation cost in, and the unit related work reports
+//! runtime overhead in).
+//!
+//! Trials run **sequentially on one thread** so the numbers measure engine
+//! throughput, not the machine's core count.
+//!
+//! ## The `bas-bench/v1` JSON schema
+//!
+//! ```json
+//! {
+//!   "schema": "bas-bench/v1",
+//!   "created_utc": "2026-07-27",
+//!   "created_unix": 1785168000,
+//!   "git_rev": "53a6a03",
+//!   "mode": "quick",
+//!   "suite": [
+//!     {"scenario": "smoke", "pes": 1, "specs": 2, "trials": 1,
+//!      "horizon": 200.0, "steps": 12345, "wall_ns": 6789000,
+//!      "steps_per_sec": 1818000.0}
+//!   ]
+//! }
+//! ```
+//!
+//! `steps_per_sec` is `steps / (wall_ns / 1e9)`. The date is derived from
+//! the system clock (UTC); `git_rev` comes from `$GITHUB_SHA` or
+//! `git rev-parse --short HEAD`, falling back to `"unknown"`.
+//!
+//! CI's `perf-gate` job runs `bas bench --quick --format json` and compares
+//! each entry's `steps_per_sec` against the checked-in
+//! `BENCH_baseline.json`; full-mode snapshots accumulate as
+//! `BENCH_<date>.json` files — the perf trajectory.
+
+use crate::args::Args;
+use crate::CliError;
+use bas_core::report::json_string;
+use bas_core::{Scenario, Sweep, TextTable};
+use std::path::Path;
+use std::time::Instant;
+
+/// Identifier of the bench report schema emitted by this version.
+pub const SCHEMA: &str = "bas-bench/v1";
+
+/// A `(trials, horizon-seconds)` measurement budget.
+type Budget = (usize, f64);
+
+/// One pinned suite scenario: the file stem under the scenarios directory
+/// and its quick/full budgets. Budgets are pinned **per scenario** because
+/// the files' own horizons measure wildly different amounts of work (the
+/// unit-scale scenarios release instances every few thousand time units;
+/// the paper-scale ones every few seconds); each entry is sized to do
+/// enough work that its steps-per-second is a measurement, not noise.
+/// Every entry must stay miss-free — a bench that drops deadlines is
+/// measuring a broken configuration.
+pub struct SuiteScenario {
+    /// Scenario file stem under the scenarios directory.
+    pub name: &'static str,
+    /// `--quick` budget (CI's perf gate).
+    pub quick: Budget,
+    /// Full budget (the recorded `BENCH_<date>.json` trajectory).
+    pub full: Budget,
+}
+
+/// The pinned suite, crossed with [`SUITE_PES`].
+pub const SUITE_SCENARIOS: [SuiteScenario; 4] = [
+    // Unit-scale, no battery, seconds-long instances: many short trials, so
+    // this entry also measures the Sweep layer's per-trial setup.
+    // Quick budgets are sized so every entry takes ≥ ~100 ms of wall time
+    // even on a fast machine: the perf gate's per-entry threshold is only
+    // meaningful when timer jitter is small against the measurement.
+    SuiteScenario { name: "smoke", quick: (3200, 200.0), full: (3200, 200.0) },
+    // Paper-scale lineup over the stochastic battery — the core workload.
+    SuiteScenario { name: "sweep", quick: (2, 2000.0), full: (8, 10_000.0) },
+    // Unit-scale lineup (incl. BAS-soc) over the KiBaM battery; each run is
+    // battery-lifetime-bound, so the trial count carries the work.
+    SuiteScenario { name: "mpsoc", quick: (96, 50_000.0), full: (128, 200_000.0) },
+    // BAS-2 vs BAS-soc, paper scale, stochastic battery.
+    SuiteScenario { name: "battery-aware", quick: (4, 2000.0), full: (8, 20_000.0) },
+];
+
+/// Platform widths every suite scenario is benchmarked on.
+pub const SUITE_PES: [usize; 2] = [1, 4];
+
+/// One measured suite entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Scenario name (file stem under `scenarios/`).
+    pub scenario: String,
+    /// Processing elements the run was pinned to.
+    pub pes: usize,
+    /// Specs in the scenario's lineup.
+    pub specs: usize,
+    /// Trials per spec actually run (the mode's pinned count).
+    pub trials: usize,
+    /// Simulated-time bound per trial, seconds (after the mode's cap).
+    pub horizon: f64,
+    /// Scheduling decisions summed over every trial × spec of the entry.
+    pub steps: u64,
+    /// Wall-clock time of the whole entry, nanoseconds.
+    pub wall_ns: u64,
+    /// `steps / (wall_ns / 1e9)`.
+    pub steps_per_sec: f64,
+}
+
+/// A full bench report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// UTC date the report was taken (`YYYY-MM-DD`).
+    pub created_utc: String,
+    /// Seconds since the Unix epoch at report time.
+    pub created_unix: u64,
+    /// Git revision of the working tree, best effort.
+    pub git_rev: String,
+    /// `"quick"` or `"full"`.
+    pub mode: String,
+    /// Measured entries, in suite order.
+    pub suite: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Serialize as `bas-bench/v1` JSON.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", json_string(SCHEMA));
+        let _ = writeln!(out, "  \"created_utc\": {},", json_string(&self.created_utc));
+        let _ = writeln!(out, "  \"created_unix\": {},", self.created_unix);
+        let _ = writeln!(out, "  \"git_rev\": {},", json_string(&self.git_rev));
+        let _ = writeln!(out, "  \"mode\": {},", json_string(&self.mode));
+        out.push_str("  \"suite\": [");
+        for (i, e) in self.suite.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"scenario\": {}, \"pes\": {}, \"specs\": {}, \"trials\": {}, \
+                 \"horizon\": {}, \"steps\": {}, \"wall_ns\": {}, \"steps_per_sec\": {:.1}}}",
+                json_string(&e.scenario),
+                e.pes,
+                e.specs,
+                e.trials,
+                e.horizon,
+                e.steps,
+                e.wall_ns,
+                e.steps_per_sec
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Render the human-readable table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        use std::fmt::Write as _;
+        let _ = writeln!(
+            out,
+            "bas bench — {} mode, {} entries, rev {} ({})",
+            self.mode,
+            self.suite.len(),
+            self.git_rev,
+            self.created_utc
+        );
+        let _ = writeln!(out, "steps = scheduling decisions; trials run sequentially\n");
+        let mut table = TextTable::new(&[
+            "Scenario",
+            "PEs",
+            "Specs",
+            "Trials",
+            "Steps",
+            "Wall (ms)",
+            "Steps/s",
+        ]);
+        for e in &self.suite {
+            table.row(&[
+                e.scenario.clone(),
+                e.pes.to_string(),
+                e.specs.to_string(),
+                e.trials.to_string(),
+                e.steps.to_string(),
+                format!("{:.1}", e.wall_ns as f64 / 1e6),
+                format!("{:.0}", e.steps_per_sec),
+            ]);
+        }
+        let _ = write!(out, "{}", table.render());
+        out
+    }
+}
+
+/// Run `bas bench` with parsed flags. Recognized: `--quick` (pin the quick
+/// budget), `--format text|json`, `--out FILE`, `--scenarios DIR` (where
+/// the suite's scenario files live, default `scenarios`).
+pub fn run(args: &Args) -> Result<(), CliError> {
+    let mut quick = false;
+    let mut json = false;
+    let mut out_path: Option<&str> = None;
+    let mut dir = "scenarios";
+    for (key, value) in &args.flags {
+        match (key.as_str(), value.as_str()) {
+            ("quick", _) => quick = true,
+            ("format", "text") => json = false,
+            ("format", "json") => json = true,
+            ("format", other) => {
+                return Err(CliError::Usage(format!(
+                    "`bas bench --format` must be text|json, got {other:?}"
+                )));
+            }
+            ("out", _) => out_path = Some(value),
+            ("scenarios", _) => dir = value,
+            (key, _) => {
+                return Err(CliError::Usage(format!("`bas bench` takes no --{key} flag")));
+            }
+        }
+    }
+    let report = run_suite(Path::new(dir), quick).map_err(CliError::Runtime)?;
+    let payload = if json { report.to_json() } else { report.render_text() };
+    match out_path {
+        Some(path) => std::fs::write(path, &payload)
+            .map_err(|e| CliError::Runtime(format!("writing {path}: {e}")))?,
+        None => print!("{payload}"),
+    }
+    Ok(())
+}
+
+/// Measure the whole pinned suite.
+pub fn run_suite(dir: &Path, quick: bool) -> Result<BenchReport, String> {
+    let mut suite = Vec::new();
+    for entry in &SUITE_SCENARIOS {
+        let path = dir.join(format!("{}.toml", entry.name));
+        let scenario = Scenario::load(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let (trials, horizon) = if quick { entry.quick } else { entry.full };
+        for pes in SUITE_PES {
+            suite.push(bench_entry(&scenario, pes, trials, horizon)?);
+        }
+    }
+    let created_unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    Ok(BenchReport {
+        created_utc: utc_date(created_unix),
+        created_unix,
+        git_rev: git_rev(),
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        suite,
+    })
+}
+
+/// Measure one scenario × platform-width entry: every trial × spec runs
+/// sequentially through the sweep's exact replay path, and the entry's
+/// steps are the summed scheduling decisions.
+fn bench_entry(
+    scenario: &Scenario,
+    pes: usize,
+    trials: usize,
+    horizon: f64,
+) -> Result<BenchEntry, String> {
+    let mut sc = scenario.clone();
+    sc.pes = pes;
+    // Per-PE preset lists are tied to the file's own width; benching other
+    // widths replicates the shared preset instead.
+    if sc.processors.len() != pes {
+        sc.processors = Vec::new();
+    }
+    sc.trials = trials;
+    sc.horizon = horizon;
+    sc.validate().map_err(|e| format!("{}[{}pe]: {e}", sc.name, pes))?;
+    let fail =
+        |stage: &str, e: &dyn std::fmt::Display| format!("{}[{pes}pe] {stage}: {e}", sc.name);
+    let platform = sc.build_platform().map_err(|e| fail("platform", &e))?;
+    let specs = sc.parsed_specs().map_err(|e| fail("specs", &e))?;
+    let mut steps = 0u64;
+    let start = Instant::now();
+    for trial in 0..sc.trials {
+        let seed = Sweep::seed_for(sc.seed, trial);
+        let set = sc.trial_set(seed).map_err(|e| fail("workload", &e))?;
+        for (label, spec) in &specs {
+            let mut cell = sc.build_battery(seed);
+            let mut experiment = sc.trial_experiment(&set, *spec, seed, &platform);
+            if let Some(cell) = cell.as_mut() {
+                experiment = experiment.battery(cell.as_mut());
+            }
+            let out = experiment.run().map_err(|e| fail(&format!("{label} (seed {seed})"), &e))?;
+            steps += out.metrics.decisions;
+        }
+    }
+    let wall_ns = start.elapsed().as_nanos().max(1) as u64;
+    Ok(BenchEntry {
+        scenario: sc.name.clone(),
+        pes,
+        specs: specs.len(),
+        trials: sc.trials,
+        horizon: sc.horizon,
+        steps,
+        wall_ns,
+        steps_per_sec: steps as f64 / (wall_ns as f64 / 1e9),
+    })
+}
+
+/// Best-effort revision stamp: `$GITHUB_SHA` (CI), else
+/// `git rev-parse --short HEAD`, else `"unknown"`.
+fn git_rev() -> String {
+    if let Ok(sha) = std::env::var("GITHUB_SHA") {
+        if !sha.is_empty() {
+            return sha.chars().take(12).collect();
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// `YYYY-MM-DD` (UTC) from Unix seconds — Howard Hinnant's civil-from-days
+/// algorithm, so the CLI stays dependency-free.
+fn utc_date(unix: u64) -> String {
+    let days = (unix / 86400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utc_date_matches_known_fixtures() {
+        assert_eq!(utc_date(0), "1970-01-01");
+        assert_eq!(utc_date(86_400), "1970-01-02");
+        // 2000-02-29 00:00:00 UTC (leap day).
+        assert_eq!(utc_date(951_782_400), "2000-02-29");
+        // 2026-07-27 12:00:00 UTC.
+        assert_eq!(utc_date(1_785_153_600), "2026-07-27");
+    }
+
+    #[test]
+    fn json_schema_shape_is_stable() {
+        let report = BenchReport {
+            created_utc: "2026-07-27".to_string(),
+            created_unix: 1_785_153_600,
+            git_rev: "abc1234".to_string(),
+            mode: "quick".to_string(),
+            suite: vec![BenchEntry {
+                scenario: "smoke".to_string(),
+                pes: 1,
+                specs: 2,
+                trials: 1,
+                horizon: 200.0,
+                steps: 1000,
+                wall_ns: 500_000_000,
+                steps_per_sec: 2000.0,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"bas-bench/v1\""), "{json}");
+        for key in
+            ["scenario", "pes", "specs", "trials", "horizon", "steps", "wall_ns", "steps_per_sec"]
+        {
+            assert!(json.contains(&format!("\"{key}\":")), "missing {key}: {json}");
+        }
+        assert!(json.contains("\"steps_per_sec\": 2000.0"), "{json}");
+    }
+
+    #[test]
+    fn suite_is_the_pinned_cross_product() {
+        assert_eq!(SUITE_SCENARIOS.len() * SUITE_PES.len(), 8);
+    }
+}

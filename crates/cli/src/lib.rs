@@ -29,6 +29,7 @@ use std::io::Write as _;
 use std::path::Path;
 
 pub mod args;
+pub mod bench;
 pub mod presets;
 
 use args::{Args, ArgsError};
@@ -41,6 +42,7 @@ USAGE:
     bas <preset> [--key value ...] [--format text|json|csv] [--out FILE]
     bas run <scenario.toml> [--key value ...] [--format text|json|csv] [--out FILE]
     bas scenario <preset> [--key value ...]   # print the preset as a scenario file
+    bas bench [--quick] [--format text|json] [--out FILE] [--scenarios DIR]
     bas list [--format text|json]
     bas help
 
@@ -60,6 +62,13 @@ OPTIONS:
                      (sweep scenarios only; O(1) memory)
     --key value      override a scenario knob, e.g. --trials 10 --seed 2
                      (run `bas list` for each preset's knobs)
+
+BENCH:
+    `bas bench` runs the pinned perf suite (smoke, sweep, mpsoc,
+    battery-aware, each on 1 and 4 PEs) and reports steps-per-second per
+    entry; --format json emits the bas-bench/v1 schema CI's perf gate
+    compares against BENCH_baseline.json. --quick pins each scenario's
+    smaller CI budget (fewer trials, shorter horizons).
 ";
 
 /// Run the CLI on an argument list (no binary name); returns the process
@@ -125,6 +134,10 @@ fn dispatch(argv: Vec<String>) -> Result<(), CliError> {
                 println!("{}", render_list());
             }
             Ok(())
+        }
+        "bench" => {
+            expect_positionals(&args, 1)?;
+            bench::run(&args)
         }
         "run" => {
             let path = args

@@ -262,3 +262,59 @@ fn mpsoc_scenario_runs_the_lineup_on_two_and_four_pes() {
     assert_eq!(json.status.code(), Some(0), "{json:?}");
     assert!(String::from_utf8_lossy(&json.stdout).contains("\"pes\": 2"), "{json:?}");
 }
+
+#[test]
+fn bench_rejects_bad_flags_with_usage() {
+    for args in [
+        &["bench", "--format", "yaml"][..], // unknown format
+        &["bench", "--frobnicate", "x"],    // unknown flag
+        &["bench", "extra"],                // stray positional
+    ] {
+        let out = bas(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {out:?}");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"), "{args:?}");
+    }
+}
+
+#[test]
+fn bench_quick_emits_valid_bas_bench_v1_json() {
+    // Hermetic suite: point --scenarios at a directory whose four pinned
+    // names all hold a tiny seconds-scale sweep, so the test measures the
+    // harness (schema, flags, file output), not the real suite's runtime.
+    // Pid-suffixed so concurrent checkouts sharing /tmp cannot interfere.
+    let dir = std::env::temp_dir().join(format!("bas-cli-bench-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let tiny = "kind = \"sweep\"\ntrials = 1\nseed = 1\nhorizon = 50.0\n\
+                specs = [\"EDF\", \"BAS-2\"]\nworkload = \"unit\"\n\
+                processor = \"unit\"\nbattery = \"none\"\n";
+    for name in ["smoke", "sweep", "mpsoc", "battery-aware"] {
+        std::fs::write(dir.join(format!("{name}.toml")), format!("name = \"{name}\"\n{tiny}"))
+            .unwrap();
+    }
+    let out_file = dir.join("bench.json");
+    let out = bas(&[
+        "bench",
+        "--quick",
+        "--scenarios",
+        dir.to_str().unwrap(),
+        "--format",
+        "json",
+        "--out",
+        out_file.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(out.stdout.is_empty(), "--out must silence stdout: {out:?}");
+    let json = std::fs::read_to_string(&out_file).unwrap();
+    assert!(json.contains("\"schema\": \"bas-bench/v1\""), "{json}");
+    assert!(json.contains("\"mode\": \"quick\""), "{json}");
+    // 4 scenarios x {1, 4} PEs, with real work measured in each.
+    assert_eq!(json.matches("\"scenario\":").count(), 8, "{json}");
+    assert_eq!(json.matches("\"pes\": 4").count(), 4, "{json}");
+    assert!(!json.contains("\"steps\": 0,"), "every entry took decisions: {json}");
+    // The text rendering works against the same directory.
+    let text = bas(&["bench", "--quick", "--scenarios", dir.to_str().unwrap()]);
+    assert_eq!(text.status.code(), Some(0), "{text:?}");
+    let rendered = String::from_utf8_lossy(&text.stdout);
+    assert!(rendered.contains("Steps/s"), "{rendered}");
+    assert!(rendered.contains("quick mode"), "{rendered}");
+}

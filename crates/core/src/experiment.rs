@@ -459,23 +459,29 @@ impl<'a> Sweep<'a> {
                     failed.store(true, std::sync::atomic::Ordering::Relaxed);
                     e
                 };
-                let set: TaskSet = match workload {
-                    Workload::Fixed(set) => (*set).clone(),
+                // Fixed workloads are borrowed straight from the caller —
+                // no per-trial deep copy; the graph structure itself is
+                // Arc-shared all the way into the engine.
+                let generated;
+                let set: &TaskSet = match workload {
+                    Workload::Fixed(set) => set,
                     Workload::Generated(cfg) => {
-                        cfg.generate(&mut StdRng::seed_from_u64(seed)).map_err(|e| {
-                            fail_fast(SweepError {
-                                label: "<workload generation>".to_string(),
-                                seed,
-                                message: e.to_string(),
-                            })
-                        })?
+                        generated =
+                            cfg.generate(&mut StdRng::seed_from_u64(seed)).map_err(|e| {
+                                fail_fast(SweepError {
+                                    label: "<workload generation>".to_string(),
+                                    seed,
+                                    message: e.to_string(),
+                                })
+                            })?;
+                        &generated
                     }
                 };
                 self.specs
                     .iter()
                     .map(|(label, spec)| {
                         let mut cell = self.battery.as_ref().map(|f| f(seed));
-                        let mut experiment = Experiment::new(&set)
+                        let mut experiment = Experiment::new(set)
                             .spec(*spec)
                             .seed(seed)
                             .horizon(horizon)

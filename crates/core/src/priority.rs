@@ -92,7 +92,9 @@ impl Priority for Ltf {
     fn rank(&mut self, state: &SimState, candidates: &[TaskRef], _: f64, out: &mut Vec<TaskRef>) {
         out.clear();
         out.extend_from_slice(candidates);
-        out.sort_by(|a, b| {
+        // Distinct tasks make this comparator a strict total order, so the
+        // unstable sort (no temporary buffer) permutes exactly like sort_by.
+        out.sort_unstable_by(|a, b| {
             state
                 .remaining_wc_node(*b)
                 .partial_cmp(&state.remaining_wc_node(*a))
@@ -115,7 +117,7 @@ impl Priority for Stf {
     fn rank(&mut self, state: &SimState, candidates: &[TaskRef], _: f64, out: &mut Vec<TaskRef>) {
         out.clear();
         out.extend_from_slice(candidates);
-        out.sort_by(|a, b| {
+        out.sort_unstable_by(|a, b| {
             state
                 .remaining_wc_node(*a)
                 .partial_cmp(&state.remaining_wc_node(*b))
@@ -128,12 +130,20 @@ impl Priority for Stf {
 /// Gruian's pUBS priority with a pluggable `Xk` estimator.
 pub struct Pubs<E: CycleEstimator> {
     estimator: E,
+    /// Scratch `(value, task)` pairs reused across decisions — ranking runs
+    /// at every scheduling point, so a fresh `Vec` per call sat on the
+    /// engine's hot loop.
+    keyed: Vec<(f64, TaskRef)>,
+    /// Scratch per-graph "work due by this graph's deadline" (the EDF-order
+    /// prefix sums), computed once per decision and shared by every
+    /// candidate of the same graph.
+    due_by_graph: Vec<f64>,
 }
 
 impl<E: CycleEstimator> Pubs<E> {
     /// pUBS over the given estimator.
     pub fn new(estimator: E) -> Self {
-        Pubs { estimator }
+        Pubs { estimator, keyed: Vec::new(), due_by_graph: Vec::new() }
     }
 
     /// Access the estimator (e.g. to inspect learning in tests).
@@ -144,12 +154,10 @@ impl<E: CycleEstimator> Pubs<E> {
     /// The pUBS value of one candidate; lower runs first. `f64::INFINITY`
     /// encodes "no speed reduction achievable" (denominator ≤ 0).
     pub fn value(&self, state: &SimState, task: TaskRef, _fref_hz: f64) -> f64 {
-        let now = state.now();
         let Some(d_k) = state.deadline(task.graph) else {
             return f64::INFINITY;
         };
-        let horizon = d_k - now;
-        if horizon <= 1e-12 {
+        if d_k - state.now() <= 1e-12 {
             return f64::INFINITY;
         }
         // Work due by the candidate's deadline: remaining worst case of every
@@ -163,13 +171,28 @@ impl<E: CycleEstimator> Pubs<E> {
                 break;
             }
         }
+        Self::value_given_due(&self.estimator, state, task, due)
+    }
+
+    /// The value computation past the due-work scope. `rank` pre-computes
+    /// `due` once per decision via the EDF-order prefix sums (the identical
+    /// additions in the identical order as [`Pubs::value`]'s own loop).
+    fn value_given_due(estimator: &E, state: &SimState, task: TaskRef, due: f64) -> f64 {
+        let now = state.now();
+        let Some(d_k) = state.deadline(task.graph) else {
+            return f64::INFINITY;
+        };
+        let horizon = d_k - now;
+        if horizon <= 1e-12 {
+            return f64::INFINITY;
+        }
         let wc_k = state.remaining_wc_node(task);
         // Remaining actual estimate: the estimator predicts the instance
         // total; subtract what already ran (wcet − remaining tracks executed
         // cycles one-for-one).
         let executed = state.wcet(task) - wc_k;
-        let x_k = (self.estimator.estimate(task, state.wcet(task)) - executed)
-            .clamp(1e-9, wc_k.max(1e-9));
+        let x_k =
+            (estimator.estimate(task, state.wcet(task)) - executed).clamp(1e-9, wc_k.max(1e-9));
         let s_o = due / horizon;
         if s_o <= 0.0 {
             return f64::INFINITY;
@@ -196,16 +219,37 @@ impl<E: CycleEstimator> Priority for Pubs<E> {
         &mut self,
         state: &SimState,
         candidates: &[TaskRef],
-        fref_hz: f64,
+        _fref_hz: f64,
         out: &mut Vec<TaskRef>,
     ) {
+        // Per-graph due work via the EDF-order prefix sums — one
+        // `remaining_wc` pass per graph per decision instead of one per
+        // candidate, with the same additions in the same order as `value`.
+        self.due_by_graph.clear();
+        self.due_by_graph.resize(state.set().len(), 0.0);
+        let mut due = 0.0;
+        for &g in state.edf_order() {
+            due += state.remaining_wc(g);
+            self.due_by_graph[g.index()] = due;
+        }
+        self.keyed.clear();
+        for &t in candidates {
+            let v = Self::value_given_due(
+                &self.estimator,
+                state,
+                t,
+                self.due_by_graph[t.graph.index()],
+            );
+            self.keyed.push((v, t));
+        }
+        // Unstable sort is exact here: distinct tasks make the comparator a
+        // strict total order (no Equal outcomes), so the permutation matches
+        // the stable sort without its temporary buffer.
+        self.keyed.sort_unstable_by(|a, b| {
+            a.0.partial_cmp(&b.0).expect("no NaN priorities").then(a.1.cmp(&b.1))
+        });
         out.clear();
-        out.extend_from_slice(candidates);
-        let mut keyed: Vec<(f64, TaskRef)> =
-            out.iter().map(|&t| (self.value(state, t, fref_hz), t)).collect();
-        keyed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN priorities").then(a.1.cmp(&b.1)));
-        out.clear();
-        out.extend(keyed.into_iter().map(|(_, t)| t));
+        out.extend(self.keyed.iter().map(|&(_, t)| t));
     }
 
     fn on_completion(&mut self, _state: &SimState, task: TaskRef, actual: f64) {

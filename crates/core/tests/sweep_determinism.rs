@@ -1,0 +1,110 @@
+//! Property test pinning the determinism claim of the parallel sweep
+//! layer: a [`Sweep`]'s results — every per-seed [`TrialRecord`] metric
+//! and every [`Summary`] — are **bit-identical** across worker-thread
+//! counts. Parallelism must stay a pure wall-clock optimization.
+
+use bas_core::{SchedulerSpec, Sweep, SweepReport};
+use bas_cpu::presets::unit_processor;
+use bas_taskgraph::{GeneratorConfig, GraphShape, TaskSetConfig};
+use proptest::prelude::*;
+
+fn workload(graphs: usize, util: f64) -> TaskSetConfig {
+    TaskSetConfig {
+        graphs,
+        graph: GeneratorConfig {
+            nodes: (2, 8),
+            wcet: (5, 60),
+            shape: GraphShape::Layered { layers: 3, edge_prob: 0.3 },
+        },
+        utilization: util,
+        fmax: 1.0,
+        period_quantum: None,
+    }
+}
+
+fn run_sweep(
+    base_seed: u64,
+    trials: usize,
+    graphs: usize,
+    util: f64,
+    threads: usize,
+) -> SweepReport {
+    let proc = unit_processor();
+    Sweep::over_seeds(base_seed, trials)
+        .specs(SchedulerSpec::table2_lineup())
+        .workload(workload(graphs, util))
+        .processor(&proc)
+        .horizon(150.0)
+        .threads(threads)
+        .run()
+        .expect("sweep must succeed for every thread count")
+}
+
+/// Exact comparison of every number in the report, with f64s compared by
+/// bit pattern so `-0.0 != 0.0` and NaNs cannot hide behind `PartialEq`.
+fn assert_bit_identical(a: &SweepReport, b: &SweepReport, what: &str) {
+    assert_eq!(a.base_seed, b.base_seed, "{what}: base_seed");
+    assert_eq!(a.trials, b.trials, "{what}: trials");
+    assert_eq!(a.specs.len(), b.specs.len(), "{what}: spec count");
+    let bits = |x: f64| x.to_bits();
+    for (sa, sb) in a.specs.iter().zip(&b.specs) {
+        assert_eq!(sa.label, sb.label, "{what}: label");
+        assert_eq!(sa.trials.len(), sb.trials.len(), "{what}/{}: trials", sa.label);
+        for (ta, tb) in sa.trials.iter().zip(&sb.trials) {
+            assert_eq!(ta.seed, tb.seed, "{what}/{}: seed", sa.label);
+            assert_eq!(bits(ta.energy), bits(tb.energy), "{what}/{}: energy", sa.label);
+            assert_eq!(bits(ta.charge), bits(tb.charge), "{what}/{}: charge", sa.label);
+            assert_eq!(ta.deadline_misses, tb.deadline_misses, "{what}/{}", sa.label);
+            assert_eq!(ta.instances_completed, tb.instances_completed, "{what}/{}", sa.label);
+            assert_eq!(
+                ta.lifetime.map(bits),
+                tb.lifetime.map(bits),
+                "{what}/{}: lifetime",
+                sa.label
+            );
+        }
+        for (na, nb) in [(&sa.energy, &sb.energy), (&sa.charge, &sb.charge)] {
+            assert_eq!(na.n, nb.n, "{what}/{}: summary n", sa.label);
+            assert_eq!(bits(na.mean), bits(nb.mean), "{what}/{}: mean", sa.label);
+            assert_eq!(bits(na.std), bits(nb.std), "{what}/{}: std", sa.label);
+            assert_eq!(bits(na.min), bits(nb.min), "{what}/{}: min", sa.label);
+            assert_eq!(bits(na.max), bits(nb.max), "{what}/{}: max", sa.label);
+            assert_eq!(bits(na.p50), bits(nb.p50), "{what}/{}: p50", sa.label);
+            assert_eq!(bits(na.p95), bits(nb.p95), "{what}/{}: p95", sa.label);
+        }
+    }
+    // Belt and braces: the derived PartialEq must agree with the field walk.
+    assert_eq!(a, b, "{what}: full report");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn sweep_reports_are_bit_identical_across_thread_counts(
+        base_seed in 0u64..10_000,
+        trials in 3usize..9,
+        graphs in 1usize..4,
+        util in 0.3f64..0.85,
+    ) {
+        let sequential = run_sweep(base_seed, trials, graphs, util, 1);
+        for threads in [2, 8] {
+            let parallel = run_sweep(base_seed, trials, graphs, util, threads);
+            assert_bit_identical(&sequential, &parallel, &format!("threads={threads}"));
+        }
+    }
+}
+
+/// The fixed smoke-scenario shape of the claim, pinned outside proptest so
+/// a regression names the exact configuration that diverged.
+#[test]
+fn fixed_scenario_is_thread_count_invariant() {
+    let sequential = run_sweep(1, 6, 4, 0.7, 1);
+    for threads in [2, 8] {
+        assert_bit_identical(
+            &sequential,
+            &run_sweep(1, 6, 4, 0.7, threads),
+            &format!("threads={threads}"),
+        );
+    }
+}

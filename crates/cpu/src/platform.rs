@@ -22,11 +22,16 @@
 
 use crate::error::CpuError;
 use crate::power::Processor;
+use std::sync::Arc;
 
 /// An execution platform: `N ≥ 1` processing elements over one battery.
+///
+/// The PE list is immutable after construction and shared behind `Arc`, so
+/// cloning a platform — which the experiment layer does once per simulation
+/// — is a reference-count bump, not a deep copy of every OPP table.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Platform {
-    pes: Vec<Processor>,
+    pes: Arc<[Processor]>,
 }
 
 impl Platform {
@@ -44,12 +49,12 @@ impl Platform {
                 return Err(CpuError::MismatchedSupplyVoltage { index, vbat: pe.supply().vbat });
             }
         }
-        Ok(Platform { pes })
+        Ok(Platform { pes: pes.into() })
     }
 
     /// The canonical uniprocessor platform — the paper's own setting.
     pub fn single(pe: Processor) -> Self {
-        Platform { pes: vec![pe] }
+        Platform { pes: Arc::new([pe]) }
     }
 
     /// `n` identical copies of `pe` (the symmetric-MPSoC configuration).
@@ -58,7 +63,7 @@ impl Platform {
     /// Panics when `n == 0`.
     pub fn uniform(pe: Processor, n: usize) -> Self {
         assert!(n > 0, "a platform needs at least one processing element");
-        Platform { pes: vec![pe; n] }
+        Platform { pes: vec![pe; n].into() }
     }
 
     /// Number of processing elements.

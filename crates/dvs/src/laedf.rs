@@ -88,8 +88,11 @@ impl FrequencyGovernor for LaEdf {
             };
             self.scratch.push((gid, deadline, c_left));
         }
-        // Reverse EDF order: latest deadline first.
-        self.scratch.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(b.0.cmp(&a.0)));
+        // Reverse EDF order: latest deadline first. Distinct graph ids make
+        // the comparator a strict total order, so the unstable sort (no
+        // temporary buffer) permutes exactly like the stable one.
+        self.scratch
+            .sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(b.0.cmp(&a.0)));
 
         let mut u: f64 = state.static_utilization_hz();
         let mut s = 0.0;

@@ -196,6 +196,8 @@ pub struct Simulation<'a> {
     remaining: Vec<f64>,
     cycles: Vec<f64>,
     advanced: Vec<f64>,
+    /// Sampled actuals of the instance being released (refilled per release).
+    actuals: Vec<f64>,
 }
 
 impl<'a> Simulation<'a> {
@@ -280,7 +282,9 @@ impl<'a> Simulation<'a> {
             }
         }
         let metrics = MetricsCollector::new(cfg.platform.vbat());
-        let recorder = cfg.record_trace.then(TraceRecorder::new);
+        let recorder = cfg.record_trace.then(|| TraceRecorder::with_lanes(pes));
+        let total_nodes = set.total_nodes();
+        let max_nodes = set.iter().map(|(_, pg)| pg.graph().node_count()).max().unwrap_or(0);
         Ok(Simulation {
             state: SimState::with_mapping(set, mapping),
             cfg,
@@ -292,14 +296,15 @@ impl<'a> Simulation<'a> {
             metrics,
             recorder,
             exhausted: false,
-            ready: Vec::new(),
-            ready_pe: Vec::new(),
+            ready: Vec::with_capacity(total_nodes),
+            ready_pe: Vec::with_capacity(total_nodes),
             plans: (0..pes).map(|_| None).collect(),
             lanes: vec![Vec::with_capacity(2); pes],
             cursor: vec![0; pes],
             remaining: vec![0.0; pes],
             cycles: vec![0.0; pes],
             advanced: vec![0.0; pes],
+            actuals: Vec::with_capacity(max_nodes),
         })
     }
 
@@ -359,7 +364,10 @@ impl<'a> Simulation<'a> {
         for pe in 0..pes {
             self.plans[pe] = None;
             self.ready_pe.clear();
-            {
+            if pes == 1 {
+                // Everything maps to PE 0 — skip the per-task mapping walk.
+                self.ready_pe.extend_from_slice(&self.ready);
+            } else {
                 let state = &self.state;
                 self.ready_pe
                     .extend(self.ready.iter().copied().filter(|tr| state.pe_of(*tr) == pe));
@@ -671,8 +679,8 @@ impl<'a> Simulation<'a> {
 
     /// Process all releases due at or before the current time.
     fn process_releases(&mut self, t: f64) -> Result<(), SimError> {
-        let ids: Vec<_> = self.state.set().graph_ids().collect();
-        for gid in ids {
+        for index in 0..self.state.set().len() {
+            let gid = bas_taskgraph::GraphId::from_index(index);
             while time::approx_le(self.state.next_release(gid), t) {
                 if self.state.is_active(gid) {
                     // Deadline == release time of the next instance.
@@ -689,12 +697,14 @@ impl<'a> Simulation<'a> {
                 }
                 let release_t = self.state.next_release(gid);
                 let instance = self.state.graph_ref(gid).next_instance;
-                let graph = self.state.set()[gid].graph_arc();
-                let actuals: Vec<f64> = graph
-                    .node_ids()
-                    .map(|n| self.sampler.sample(gid, n, instance, graph.wcet(n)))
-                    .collect();
-                self.state.release(gid, actuals);
+                self.actuals.clear();
+                {
+                    let graph = self.state.set()[gid].graph();
+                    for n in graph.node_ids() {
+                        self.actuals.push(self.sampler.sample(gid, n, instance, graph.wcet(n)));
+                    }
+                }
+                self.state.release_from(gid, &self.actuals);
                 self.state.refresh_edf();
                 let deadline = self.state.deadline(gid).expect("just released");
                 self.dispatch_event(SimEvent::Release {

@@ -77,13 +77,23 @@ impl TraceRecorder {
         TraceRecorder { trace: Trace::new() }
     }
 
+    /// A recorder whose trace has `pes` lanes pre-allocated (the engine
+    /// sizes this from the platform so recording never grows the lane
+    /// vector mid-run).
+    pub fn with_lanes(pes: usize) -> Self {
+        TraceRecorder { trace: Trace::with_lanes(pes) }
+    }
+
     /// The trace recorded so far.
     pub fn trace(&self) -> &Trace {
         &self.trace
     }
 
-    /// Take the recorded trace out.
-    pub fn into_trace(self) -> Trace {
+    /// Take the recorded trace out. Lanes that never received a slice are
+    /// trimmed from the tail, so pre-allocated and lazily-grown recorders
+    /// report the same [`Trace::lane_count`].
+    pub fn into_trace(mut self) -> Trace {
+        self.trace.trim_trailing_empty_lanes();
         self.trace
     }
 }

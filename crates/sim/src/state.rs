@@ -111,6 +111,10 @@ pub(crate) struct GraphProgress {
     pub deadline: f64,
     /// Per-node progress (valid while `active`).
     pub nodes: Vec<NodeProgress>,
+    /// Precedence-free incomplete nodes of the active instance, sorted by
+    /// node index — maintained incrementally on release/completion so the
+    /// per-step ready scan is O(ready) instead of O(nodes × edges).
+    pub ready: Vec<NodeId>,
     /// Count of incomplete nodes in the active instance.
     pub unfinished: usize,
     /// ccEDF's `WCi`: Σ (done ? actual : wcet) over the instance (§4.1).
@@ -171,6 +175,7 @@ impl SimState {
                 active: false,
                 deadline: 0.0,
                 nodes: Vec::new(),
+                ready: Vec::new(),
                 unfinished: 0,
                 // Before the first release the scheduler must budget the
                 // full worst case.
@@ -273,7 +278,12 @@ impl SimState {
             return 0.0;
         }
         match self.scope {
+            // A 1-PE scope sees every node: the filter below would pass all
+            // of them and add the same values in the same order, so the
+            // global sum is bit-identical and skips the per-node mapping
+            // lookups (this is the uniprocessor hot path).
             None => g.nodes.iter().map(NodeProgress::remaining_wc).sum(),
+            Some(_) if self.num_pes() == 1 => g.nodes.iter().map(NodeProgress::remaining_wc).sum(),
             Some(pe) => g
                 .nodes
                 .iter()
@@ -365,24 +375,18 @@ impl SimState {
     /// Collect the ready tasks: nodes of active instances whose predecessors
     /// are all complete and which are themselves incomplete. Output is sorted
     /// (graph, node) for determinism.
+    ///
+    /// Readiness is maintained incrementally (roots at release, successor
+    /// unlocks at completion), so this is a concatenation of the per-graph
+    /// ready lists, not a rescan of every node and edge.
     pub fn ready_tasks(&self, out: &mut Vec<TaskRef>) {
         out.clear();
-        for (gid, pg) in self.set.iter() {
-            let g = &self.graphs[gid.index()];
+        for (index, g) in self.graphs.iter().enumerate() {
             if !g.active {
                 continue;
             }
-            let graph = pg.graph();
-            for node in graph.node_ids() {
-                let np = &g.nodes[node.index()];
-                if np.done {
-                    continue;
-                }
-                let ready = graph.predecessors(node).iter().all(|p| g.nodes[p.index()].done);
-                if ready {
-                    out.push(TaskRef::new(gid, node));
-                }
-            }
+            let gid = GraphId::from_index(index);
+            out.extend(g.ready.iter().map(|&node| TaskRef::new(gid, node)));
         }
     }
 
@@ -448,6 +452,15 @@ impl SimState {
     /// Release the next instance of `graph` with pre-sampled actuals.
     /// Returns the instance index released. Engine/test API.
     pub fn release(&mut self, graph: GraphId, actuals: Vec<f64>) -> u64 {
+        self.release_from(graph, &actuals)
+    }
+
+    /// Like [`SimState::release`], but borrowing the actuals — the engine's
+    /// hot-loop entry point, which reuses one sampling scratch buffer across
+    /// every release instead of allocating a `Vec` per instance. The
+    /// per-node progress buffer is also reused: completions only `clear()`
+    /// it, so after the first hyperperiod releases run allocation-free.
+    pub fn release_from(&mut self, graph: GraphId, actuals: &[f64]) -> u64 {
         let period = self.set[graph].period();
         let pg = &self.set[graph];
         let g = &mut self.graphs[graph.index()];
@@ -456,15 +469,14 @@ impl SimState {
         let release_t = pg.release_time(instance);
         let graph_ref = self.set[graph].graph();
         g.deadline = release_t + period;
-        g.nodes = graph_ref
-            .node_ids()
-            .zip(actuals)
-            .map(|(n, actual)| {
-                let wcet = graph_ref.wcet(n) as f64;
-                debug_assert!(actual > 0.0 && actual <= wcet + 1e-9);
-                NodeProgress { wcet, actual, executed: 0.0, done: false }
-            })
-            .collect();
+        g.nodes.clear();
+        g.nodes.extend(graph_ref.node_ids().zip(actuals).map(|(n, &actual)| {
+            let wcet = graph_ref.wcet(n) as f64;
+            debug_assert!(actual > 0.0 && actual <= wcet + 1e-9);
+            NodeProgress { wcet, actual, executed: 0.0, done: false }
+        }));
+        g.ready.clear();
+        g.ready.extend(graph_ref.node_ids().filter(|&n| graph_ref.predecessors(n).is_empty()));
         g.unfinished = g.nodes.len();
         g.wci_effective = graph_ref.total_wcet() as f64;
         for (pe, wci) in g.wci_pe.iter_mut().enumerate() {
@@ -482,6 +494,7 @@ impl SimState {
         let g = &mut self.graphs[graph.index()];
         g.active = false;
         g.nodes.clear();
+        g.ready.clear();
         g.unfinished = 0;
         self.edf_dirty = true;
     }
@@ -490,6 +503,7 @@ impl SimState {
     /// actual demand is reached. Returns `Some(actual)` on completion.
     /// Engine/test API.
     pub fn advance(&mut self, task: TaskRef, cycles: f64) -> Option<f64> {
+        let graph_ref = self.set[task.graph].graph();
         let g = &mut self.graphs[task.graph.index()];
         debug_assert!(g.active);
         let np = &mut g.nodes[task.node.index()];
@@ -508,7 +522,24 @@ impl SimState {
             if g.unfinished == 0 {
                 g.active = false;
                 g.nodes.clear();
+                g.ready.clear();
                 self.edf_dirty = true;
+            } else {
+                // Retire the node from the ready list and unlock any
+                // successor whose predecessors are now all complete.
+                if let Ok(pos) = g.ready.binary_search(&task.node) {
+                    g.ready.remove(pos);
+                }
+                for &succ in graph_ref.successors(task.node) {
+                    if g.nodes[succ.index()].done {
+                        continue;
+                    }
+                    if graph_ref.predecessors(succ).iter().all(|p| g.nodes[p.index()].done) {
+                        if let Err(pos) = g.ready.binary_search(&succ) {
+                            g.ready.insert(pos, succ);
+                        }
+                    }
+                }
             }
             Some(actual)
         } else {
@@ -529,7 +560,9 @@ impl SimState {
             }
         }
         let graphs = &self.graphs;
-        self.edf_order.sort_by(|a, b| {
+        // Distinct graph ids make this a strict total order, so the
+        // unstable sort (no temporary buffer) permutes exactly like sort_by.
+        self.edf_order.sort_unstable_by(|a, b| {
             graphs[a.index()]
                 .deadline
                 .partial_cmp(&graphs[b.index()].deadline)

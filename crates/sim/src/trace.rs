@@ -61,6 +61,15 @@ impl Trace {
         Trace { lanes: Vec::new() }
     }
 
+    /// Empty trace with `pes` lanes pre-allocated — the engine sizes its
+    /// recorder from the [`bas_cpu::Platform`] width so the lane vector
+    /// never grows mid-run. Trailing lanes that never receive a slice are
+    /// trimmed, keeping [`Trace::lane_count`] identical to a lazily-grown
+    /// trace.
+    pub fn with_lanes(pes: usize) -> Self {
+        Trace { lanes: vec![Vec::new(); pes] }
+    }
+
     /// Append a slice to `pe`'s lane; merges with the lane's tail when both
     /// the activity and the current are unchanged (keeps traces compact
     /// across event boundaries — including the cuts other PEs' leg
@@ -114,6 +123,17 @@ impl Trace {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.lanes.iter().all(Vec::is_empty)
+    }
+
+    /// Drop trailing lanes that never received a slice, so a
+    /// [`Trace::with_lanes`] trace finishes with the same [`lane_count`]
+    /// a lazily-grown one reports.
+    ///
+    /// [`lane_count`]: Trace::lane_count
+    pub(crate) fn trim_trailing_empty_lanes(&mut self) {
+        while self.lanes.last().is_some_and(Vec::is_empty) {
+            self.lanes.pop();
+        }
     }
 
     /// Total traced time, seconds (earliest start to latest end across
