@@ -33,13 +33,13 @@ pub struct Args {
 
 /// Flags that stand alone (recorded with the value `"true"`): everything
 /// else follows the uniform `--key value` grammar.
-const VALUELESS_FLAGS: &[&str] = &["quick"];
+const VALUELESS_FLAGS: &[&str] = &["quick", "quiet"];
 
 impl Args {
     /// Parse an argument list (without the binary name). A `--` separator
     /// (as inserted by `cargo run --`) is skipped. Every `--key` takes a
-    /// value except `--help` and the standalone switches (`--quick`); a
-    /// valued flag without a value is an error.
+    /// value except `--help` and the standalone switches (`--quick`,
+    /// `--quiet`); a valued flag without a value is an error.
     pub fn parse(iter: impl IntoIterator<Item = String>) -> Result<Args, ArgsError> {
         let mut args = Args::default();
         let mut it = iter.into_iter();
@@ -138,6 +138,14 @@ mod tests {
         // Trailing --quick must not swallow a missing value.
         let a = parse(&["bench", "--quick"]).unwrap();
         assert_eq!(a.flag("quick"), Some("true"));
+    }
+
+    #[test]
+    fn quiet_is_a_valueless_switch() {
+        let a = parse(&["serve", "--quiet", "--workers", "2"]).unwrap();
+        assert_eq!(a.positional, vec!["serve"]);
+        assert_eq!(a.flag("quiet"), Some("true"));
+        assert_eq!(a.flag("workers"), Some("2"));
     }
 
     #[test]

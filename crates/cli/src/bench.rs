@@ -13,6 +13,12 @@
 //! Trials run **sequentially on one thread** so the numbers measure engine
 //! throughput, not the machine's core count.
 //!
+//! The suite ends with one `serve` entry that measures the `bas serve`
+//! daemon end to end (in-process server, real TCP): for it a *step* is one
+//! HTTP request, `steps_per_sec` reads as requests per second, and the
+//! additive `cache_hit_rate` field records the fraction of submissions the
+//! result cache answered.
+//!
 //! ## The `bas-bench/v1` JSON schema
 //!
 //! ```json
@@ -108,6 +114,11 @@ pub struct BenchEntry {
     pub wall_ns: u64,
     /// `steps / (wall_ns / 1e9)`.
     pub steps_per_sec: f64,
+    /// Fraction of requests served from the result cache — only the
+    /// `serve` entry measures this (`None` elsewhere, omitted from JSON).
+    /// An additive `bas-bench/v1` field: absent keys read as "not
+    /// measured", so older reports stay valid.
+    pub cache_hit_rate: Option<f64>,
 }
 
 /// A full bench report.
@@ -144,7 +155,7 @@ impl BenchReport {
             let _ = write!(
                 out,
                 "\n    {{\"scenario\": {}, \"pes\": {}, \"specs\": {}, \"trials\": {}, \
-                 \"horizon\": {}, \"steps\": {}, \"wall_ns\": {}, \"steps_per_sec\": {:.1}}}",
+                 \"horizon\": {}, \"steps\": {}, \"wall_ns\": {}, \"steps_per_sec\": {:.1}",
                 json_string(&e.scenario),
                 e.pes,
                 e.specs,
@@ -154,6 +165,10 @@ impl BenchReport {
                 e.wall_ns,
                 e.steps_per_sec
             );
+            if let Some(rate) = e.cache_hit_rate {
+                let _ = write!(out, ", \"cache_hit_rate\": {rate:.3}");
+            }
+            out.push('}');
         }
         out.push_str("\n  ]\n}\n");
         out
@@ -180,6 +195,7 @@ impl BenchReport {
             "Steps",
             "Wall (ms)",
             "Steps/s",
+            "Hit rate",
         ]);
         for e in &self.suite {
             table.row(&[
@@ -190,6 +206,7 @@ impl BenchReport {
                 e.steps.to_string(),
                 format!("{:.1}", e.wall_ns as f64 / 1e6),
                 format!("{:.0}", e.steps_per_sec),
+                e.cache_hit_rate.map_or_else(|| "-".to_string(), |r| format!("{r:.2}")),
             ]);
         }
         let _ = write!(out, "{}", table.render());
@@ -243,6 +260,7 @@ pub fn run_suite(dir: &Path, quick: bool) -> Result<BenchReport, String> {
             suite.push(bench_entry(&scenario, pes, trials, horizon)?);
         }
     }
+    suite.push(serve_entry(dir, quick)?);
     let created_unix = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
@@ -303,6 +321,130 @@ fn bench_entry(
         steps,
         wall_ns,
         steps_per_sec: steps as f64 / (wall_ns as f64 / 1e9),
+        cache_hit_rate: None,
+    })
+}
+
+/// Submissions the serve entry's cold phase makes (each a distinct seed,
+/// so each is a distinct digest and a real run).
+const SERVE_COLD: (usize, usize) = (200, 500); // (quick, full)
+/// Warm passes over the same submissions: every request a cache hit.
+const SERVE_WARM_FACTOR: usize = 3;
+/// Concurrent client threads driving the daemon.
+const SERVE_CLIENTS: usize = 4;
+
+/// Measure the `bas serve` daemon end to end: an in-process server (2
+/// workers, [`crate::serve::CliService`] backend) takes `cold` distinct
+/// smoke-scenario submissions over real TCP from [`SERVE_CLIENTS`] client
+/// threads, drains, then takes [`SERVE_WARM_FACTOR`] warm passes of the
+/// same submissions — pure cache hits. For this entry a *step* is one
+/// HTTP request, so `steps_per_sec` reads as requests per second, and
+/// both `steps` and `cache_hit_rate` are deterministic (the perf gate
+/// pins them like any other entry).
+fn serve_entry(dir: &Path, quick: bool) -> Result<BenchEntry, String> {
+    use bas_serve::{ServeConfig, Server};
+    use std::io::{Read as _, Write as _};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let path = dir.join("smoke.toml");
+    let base = Scenario::load(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let cold = if quick { SERVE_COLD.0 } else { SERVE_COLD.1 };
+    let specs = base.specs.len();
+    let horizon = base.horizon;
+    let bodies: Vec<String> = (0..cold)
+        .map(|i| {
+            let mut sc = base.clone();
+            sc.seed = 1_000 + i as u64;
+            sc.to_toml()
+        })
+        .collect();
+
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: cold + 8,
+        cache_capacity: cold + 8,
+        quiet: true,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(config, std::sync::Arc::new(crate::serve::CliService))
+        .map_err(|e| format!("serve bench: bind: {e}"))?;
+    let addr = server.local_addr().map_err(|e| format!("serve bench: {e}"))?;
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // Round-robin the bodies across SERVE_CLIENTS threads; every response
+    // must be 2xx or the measurement is void.
+    let submit_pass = |bodies: &[String]| -> Result<(), String> {
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let threads: Vec<_> = (0..SERVE_CLIENTS)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || -> Result<(), String> {
+                        loop {
+                            let ix = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(body) = bodies.get(ix) else { return Ok(()) };
+                            let mut stream = std::net::TcpStream::connect(addr)
+                                .map_err(|e| format!("serve bench: connect: {e}"))?;
+                            let request = format!(
+                                "POST /v1/jobs HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+                                body.len()
+                            );
+                            stream
+                                .write_all(request.as_bytes())
+                                .map_err(|e| format!("serve bench: send: {e}"))?;
+                            let mut response = Vec::new();
+                            stream
+                                .read_to_end(&mut response)
+                                .map_err(|e| format!("serve bench: read: {e}"))?;
+                            if !response.starts_with(b"HTTP/1.1 2") {
+                                let head = String::from_utf8_lossy(&response);
+                                let head = head.lines().next().unwrap_or("<empty>").to_string();
+                                return Err(format!("serve bench: submission rejected: {head}"));
+                            }
+                        }
+                    })
+                })
+                .collect();
+            threads.into_iter().try_for_each(|t| {
+                t.join().map_err(|_| "serve bench: client panicked".to_string())?
+            })
+        })
+    };
+
+    let start = Instant::now();
+    submit_pass(&bodies)?;
+    while !handle.is_idle() {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    for _ in 0..SERVE_WARM_FACTOR {
+        submit_pass(&bodies)?;
+    }
+    let wall_ns = start.elapsed().as_nanos().max(1) as u64;
+
+    handle.shutdown();
+    server_thread
+        .join()
+        .map_err(|_| "serve bench: server panicked".to_string())?
+        .map_err(|e| format!("serve bench: {e}"))?;
+    let stats = handle.stats();
+    let requests = (cold * (1 + SERVE_WARM_FACTOR)) as u64;
+    if stats.executed != cold as u64 || stats.submitted != requests {
+        return Err(format!(
+            "serve bench: expected {cold} runs / {requests} submissions, measured {stats:?}"
+        ));
+    }
+    Ok(BenchEntry {
+        scenario: "serve".to_string(),
+        pes: 1,
+        specs,
+        trials: cold,
+        horizon,
+        steps: requests,
+        wall_ns,
+        steps_per_sec: requests as f64 / (wall_ns as f64 / 1e9),
+        cache_hit_rate: Some(stats.cache_hits as f64 / stats.submitted as f64),
     })
 }
 
@@ -363,16 +505,30 @@ mod tests {
             created_unix: 1_785_153_600,
             git_rev: "abc1234".to_string(),
             mode: "quick".to_string(),
-            suite: vec![BenchEntry {
-                scenario: "smoke".to_string(),
-                pes: 1,
-                specs: 2,
-                trials: 1,
-                horizon: 200.0,
-                steps: 1000,
-                wall_ns: 500_000_000,
-                steps_per_sec: 2000.0,
-            }],
+            suite: vec![
+                BenchEntry {
+                    scenario: "smoke".to_string(),
+                    pes: 1,
+                    specs: 2,
+                    trials: 1,
+                    horizon: 200.0,
+                    steps: 1000,
+                    wall_ns: 500_000_000,
+                    steps_per_sec: 2000.0,
+                    cache_hit_rate: None,
+                },
+                BenchEntry {
+                    scenario: "serve".to_string(),
+                    pes: 1,
+                    specs: 2,
+                    trials: 200,
+                    horizon: 200.0,
+                    steps: 800,
+                    wall_ns: 100_000_000,
+                    steps_per_sec: 8000.0,
+                    cache_hit_rate: Some(0.75),
+                },
+            ],
         };
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"bas-bench/v1\""), "{json}");
@@ -382,6 +538,9 @@ mod tests {
             assert!(json.contains(&format!("\"{key}\":")), "missing {key}: {json}");
         }
         assert!(json.contains("\"steps_per_sec\": 2000.0"), "{json}");
+        // `cache_hit_rate` is additive: present on the serve entry only.
+        assert_eq!(json.matches("\"cache_hit_rate\":").count(), 1, "{json}");
+        assert!(json.contains("\"cache_hit_rate\": 0.750"), "{json}");
     }
 
     #[test]

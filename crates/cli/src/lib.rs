@@ -23,14 +23,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use bas_core::{Report, Scenario, ScenarioKind, Sweep};
-use bas_sim::JsonlWriter;
+use bas_core::{Report, Scenario, ScenarioKind};
 use std::io::Write as _;
 use std::path::Path;
 
 pub mod args;
 pub mod bench;
 pub mod presets;
+pub mod serve;
 
 use args::{Args, ArgsError};
 
@@ -43,6 +43,7 @@ USAGE:
     bas run <scenario.toml> [--key value ...] [--format text|json|csv] [--out FILE]
     bas scenario <preset> [--key value ...]   # print the preset as a scenario file
     bas bench [--quick] [--format text|json] [--out FILE] [--scenarios DIR]
+    bas serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--quiet]
     bas list [--format text|json]
     bas help
 
@@ -68,7 +69,27 @@ BENCH:
     battery-aware, each on 1 and 4 PEs) and reports steps-per-second per
     entry; --format json emits the bas-bench/v1 schema CI's perf gate
     compares against BENCH_baseline.json. --quick pins each scenario's
-    smaller CI budget (fewer trials, shorter horizons).
+    smaller CI budget (fewer trials, shorter horizons). The suite ends
+    with a `serve` entry measuring the daemon's requests-per-second and
+    cache hit rate against an in-process server.
+
+SERVE:
+    `bas serve` runs the scheduling-as-a-service daemon: POST a scenario
+    (TOML or JSON body) to /v1/jobs, poll GET /v1/jobs/<id>, fetch the
+    bas-report/v1 report at /v1/jobs/<id>/report, stream the bas-events/v2
+    replay at /v1/jobs/<id>/events; GET /v1/presets and /v1/healthz for
+    the catalog and counters. Completed reports are cached by scenario
+    digest (identical submissions coalesce onto one run); a full queue
+    answers 429 with Retry-After. SIGINT/SIGTERM drain gracefully.
+    --addr HOST:PORT   bind address (default 127.0.0.1:7878; port 0 picks
+                       an ephemeral port, printed on the listening line)
+    --workers N        worker threads (default 0 = all cores)
+    --queue-depth N    queued-job bound before 429 (default 64)
+    --cache N          completed jobs kept for cache hits (default 128)
+    --max-trials N     per-request trials budget, 422 beyond (default 10000)
+    --max-horizon S    per-request horizon budget, seconds (default 1e9)
+    --max-body-bytes N request body cap, 413 beyond (default 1 MiB)
+    --quiet            suppress the stderr access log
 ";
 
 /// Run the CLI on an argument list (no binary name); returns the process
@@ -138,6 +159,10 @@ fn dispatch(argv: Vec<String>) -> Result<(), CliError> {
         "bench" => {
             expect_positionals(&args, 1)?;
             bench::run(&args)
+        }
+        "serve" => {
+            expect_positionals(&args, 1)?;
+            serve::run(&args)
         }
         "run" => {
             let path = args
@@ -258,33 +283,15 @@ fn run_with_overrides(mut scenario: Scenario, args: &Args) -> Result<(), CliErro
 }
 
 /// Stream the `bas-events/v2` event stream of the scenario's **first trial**
-/// to `path`: for every spec in the lineup, replay trial 0 (same derived
-/// seed, same generated task set, same battery salt as the sweep itself)
-/// with a [`JsonlWriter`] attached. One header line introduces each spec's
-/// run. Memory stays O(1) in the horizon — events are written as they
-/// happen, nothing is buffered.
+/// to `path` via [`Scenario::stream_events`] — the same replay `bas serve`
+/// streams to HTTP subscribers, so file captures and served streams are
+/// byte-identical for the same scenario.
 fn write_events(scenario: &Scenario, path: &str) -> Result<(), CliError> {
-    let runtime = |e: &dyn std::fmt::Display| CliError::Runtime(format!("events capture: {e}"));
     let file =
         std::fs::File::create(path).map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
-    let mut writer = JsonlWriter::new(std::io::BufWriter::new(file));
-    let platform = scenario.build_platform().map_err(|e| runtime(&e))?;
-    let seed = Sweep::seed_for(scenario.seed, 0);
-    let set = scenario.trial_set(seed).map_err(|e| runtime(&e))?;
-    for (label, spec) in scenario.parsed_specs().map_err(|e| runtime(&e))? {
-        writer.header(&scenario.name, &label, seed);
-        let mut cell = scenario.build_battery(seed);
-        let mut experiment =
-            scenario.trial_experiment(&set, spec, seed, &platform).observer(&mut writer);
-        if let Some(cell) = cell.as_mut() {
-            experiment = experiment.battery(cell.as_mut());
-        }
-        experiment.run().map_err(|e| {
-            CliError::Runtime(format!("events capture ({label}, seed {seed}): {e}"))
-        })?;
-    }
-    let mut sink =
-        writer.into_inner().map_err(|e| CliError::Runtime(format!("writing {path}: {e}")))?;
+    let mut sink = scenario
+        .stream_events(std::io::BufWriter::new(file))
+        .map_err(|e| CliError::Runtime(format!("events capture: {e}")))?;
     sink.flush().map_err(|e| CliError::Runtime(format!("writing {path}: {e}")))?;
     Ok(())
 }

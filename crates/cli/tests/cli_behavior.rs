@@ -307,14 +307,147 @@ fn bench_quick_emits_valid_bas_bench_v1_json() {
     let json = std::fs::read_to_string(&out_file).unwrap();
     assert!(json.contains("\"schema\": \"bas-bench/v1\""), "{json}");
     assert!(json.contains("\"mode\": \"quick\""), "{json}");
-    // 4 scenarios x {1, 4} PEs, with real work measured in each.
-    assert_eq!(json.matches("\"scenario\":").count(), 8, "{json}");
+    // 4 scenarios x {1, 4} PEs, plus the daemon's serve entry.
+    assert_eq!(json.matches("\"scenario\":").count(), 9, "{json}");
     assert_eq!(json.matches("\"pes\": 4").count(), 4, "{json}");
     assert!(!json.contains("\"steps\": 0,"), "every entry took decisions: {json}");
+    // The serve entry measures the daemon: 4x its cold submissions as
+    // requests, 3/4 of them answered by the result cache.
+    assert!(json.contains("\"scenario\": \"serve\""), "{json}");
+    assert!(json.contains("\"cache_hit_rate\": 0.750"), "{json}");
     // The text rendering works against the same directory.
     let text = bas(&["bench", "--quick", "--scenarios", dir.to_str().unwrap()]);
     assert_eq!(text.status.code(), Some(0), "{text:?}");
     let rendered = String::from_utf8_lossy(&text.stdout);
     assert!(rendered.contains("Steps/s"), "{rendered}");
+    assert!(rendered.contains("Hit rate"), "{rendered}");
     assert!(rendered.contains("quick mode"), "{rendered}");
+}
+
+#[test]
+fn serve_rejects_bad_flags_with_usage() {
+    for args in [
+        &["serve", "--workers"][..],       // flag without a value
+        &["serve", "--workers", "lots"],   // non-numeric value
+        &["serve", "--queue-depth", "-1"], // negative count
+        &["serve", "--max-horizon", "0"],  // non-positive budget
+        &["serve", "--frobnicate", "x"],   // unknown flag
+        &["serve", "extra"],               // stray positional
+    ] {
+        let out = bas(args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("error:"), "{args:?}: {stderr}");
+        assert!(stderr.contains("USAGE"), "{args:?}: {stderr}");
+    }
+    // The usage text documents the subcommand.
+    let help = bas(&["--help"]);
+    assert!(String::from_utf8_lossy(&help.stdout).contains("bas serve"), "{help:?}");
+}
+
+/// End-to-end daemon contract, driven exactly like CI's serve-e2e job:
+/// spawn `bas serve` as a child process on an ephemeral port, submit the
+/// checked-in smoke scenario over TCP, and require the served report and
+/// event stream to be byte-identical to local `bas run` output — then
+/// SIGTERM must drain and exit 0.
+#[cfg(unix)]
+#[test]
+fn serve_child_process_serves_smoke_and_drains_on_sigterm() {
+    use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+    use std::net::TcpStream;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_bas"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "1", "--quiet"])
+        .current_dir(workspace_root())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn bas serve");
+    let mut first_line = String::new();
+    BufReader::new(child.stdout.take().expect("piped stdout"))
+        .read_line(&mut first_line)
+        .expect("read listening line");
+    let addr = first_line
+        .trim()
+        .strip_prefix("bas serve listening on http://")
+        .unwrap_or_else(|| panic!("unexpected listening line {first_line:?}"))
+        .to_string();
+
+    let exchange = |request: String| -> (String, Vec<u8>) {
+        let mut stream = TcpStream::connect(&addr).expect("connect to daemon");
+        stream.write_all(request.as_bytes()).expect("send");
+        let mut response = Vec::new();
+        stream.read_to_end(&mut response).expect("read");
+        let split = response.windows(4).position(|w| w == b"\r\n\r\n").expect("head/body split");
+        (String::from_utf8_lossy(&response[..split]).to_string(), response[split + 4..].to_vec())
+    };
+    let get = |path: &str| exchange(format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n"));
+
+    let (head, _) = get("/v1/healthz");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+
+    // Submit the checked-in smoke scenario verbatim.
+    let body = std::fs::read_to_string(workspace_root().join("scenarios/smoke.toml")).unwrap();
+    let (head, response) = exchange(format!(
+        "POST /v1/jobs HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    ));
+    assert!(head.starts_with("HTTP/1.1 202"), "{head}");
+    let response = String::from_utf8(response).unwrap();
+    let id: u64 = response
+        .split("\"job\": ")
+        .nth(1)
+        .and_then(|r| r.split([',', '}']).next())
+        .and_then(|n| n.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no job id in {response}"));
+
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let (_, status_body) = get(&format!("/v1/jobs/{id}"));
+        let status_body = String::from_utf8_lossy(&status_body).to_string();
+        if status_body.contains("\"status\": \"done\"") {
+            break;
+        }
+        assert!(!status_body.contains("\"status\": \"failed\""), "{status_body}");
+        assert!(std::time::Instant::now() < deadline, "job never finished: {status_body}");
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    // Byte-for-byte: the served report is exactly `bas run --format json`.
+    let (head, served_report) = get(&format!("/v1/jobs/{id}/report"));
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let local = bas(&["run", "scenarios/smoke.toml", "--format", "json"]);
+    assert_eq!(local.status.code(), Some(0), "{local:?}");
+    assert_eq!(served_report, local.stdout, "served report != local `bas run` report");
+
+    // Byte-for-byte: the streamed events equal `bas run --events`.
+    let (head, chunked) = get(&format!("/v1/jobs/{id}/events"));
+    assert!(head.contains("Transfer-Encoding: chunked"), "{head}");
+    let streamed = bas_serve::http::decode_chunked(&chunked).expect("well-formed chunking");
+    let dir = std::env::temp_dir().join(format!("bas-cli-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let events_file = dir.join("events.jsonl");
+    let local = bas(&["run", "scenarios/smoke.toml", "--events", events_file.to_str().unwrap()]);
+    assert_eq!(local.status.code(), Some(0), "{local:?}");
+    assert_eq!(streamed, std::fs::read(&events_file).unwrap(), "served events != local capture");
+
+    // Same digest again: answered from the cache, same job, no new run.
+    let (head, response) = exchange(format!(
+        "POST /v1/jobs HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    ));
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    let response = String::from_utf8(response).unwrap();
+    assert!(response.contains("\"cached\": true"), "{response}");
+    let (_, health) = get("/v1/healthz");
+    let health = String::from_utf8_lossy(&health).to_string();
+    assert!(health.contains("\"executed\": 1"), "{health}");
+
+    // SIGTERM drains gracefully: the process exits 0 on its own.
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    let status = child.wait().expect("child exits");
+    assert_eq!(status.code(), Some(0), "drain must exit 0, got {status:?}");
 }

@@ -365,6 +365,83 @@ impl Scenario {
         Ok(s)
     }
 
+    /// Stable content digest of the scenario: 16 hex digits of a 64-bit
+    /// FNV-1a hash over the **canonical TOML encoding**
+    /// ([`Scenario::to_toml`]).
+    ///
+    /// Because every deserialization path normalizes into the same struct
+    /// and `to_toml` emits fields in one pinned order, the digest is
+    /// invariant under TOML round-trips, key reordering, comments and
+    /// whitespace — and changes whenever any serialized knob (or the name)
+    /// changes. `bas serve` keys its result cache on this value, so the
+    /// digest must never depend on anything but the scenario's content
+    /// (no hasher randomization, no platform-dependent state).
+    pub fn digest(&self) -> String {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = FNV_OFFSET;
+        for byte in self.to_toml().bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        format!("{hash:016x}")
+    }
+
+    /// Stream the `bas-events/v2` event stream of the scenario's **first
+    /// trial** into `sink`: for every spec in the lineup, replay trial 0
+    /// (same derived seed, same generated task set, same battery salt as
+    /// the sweep itself) with a [`JsonlWriter`](bas_sim::JsonlWriter)
+    /// attached. One header line introduces each spec's run, flushed
+    /// promptly so streaming consumers see it before the run's events.
+    /// Memory stays O(1) in the horizon — events are written as they
+    /// happen, nothing is buffered here.
+    ///
+    /// This is the single replay path behind both `bas run --events` and
+    /// the `bas serve` events endpoint, so the two streams are
+    /// byte-identical for the same scenario. Only
+    /// [`ScenarioKind::Sweep`] scenarios support it. If the sink fails
+    /// mid-stream (e.g. a disconnected subscriber), the replay stops at
+    /// the next spec boundary instead of simulating into the void.
+    ///
+    /// On success the sink is flushed and handed back.
+    pub fn stream_events<W: std::io::Write>(&self, sink: W) -> Result<W, ScenarioError> {
+        if self.kind != ScenarioKind::Sweep {
+            return Err(ScenarioError::invalid(
+                "kind",
+                format!(
+                    "event-stream replay captures a `sweep` scenario; kind `{}` does not \
+                     support it",
+                    self.kind
+                ),
+            ));
+        }
+        let mut writer = bas_sim::JsonlWriter::new(sink);
+        let platform = self.build_platform()?;
+        let seed = Sweep::seed_for(self.seed, 0);
+        let set = self.trial_set(seed)?;
+        for (label, spec) in self.parsed_specs()? {
+            writer.header(&self.name, &label, seed);
+            writer.flush();
+            if writer.error().is_some() {
+                break; // subscriber gone — don't simulate into a dead sink
+            }
+            let mut cell = self.build_battery(seed);
+            let mut experiment =
+                self.trial_experiment(&set, spec, seed, &platform).observer(&mut writer);
+            if let Some(cell) = cell.as_mut() {
+                experiment = experiment.battery(cell.as_mut());
+            }
+            experiment.run().map_err(|e| {
+                ScenarioError::Sweep(format!("events replay ({label}, seed {seed}): {e}"))
+            })?;
+            if writer.error().is_some() {
+                break;
+            }
+        }
+        writer.flush();
+        writer.into_inner().map_err(|e| ScenarioError::Io(format!("event stream sink: {e}")))
+    }
+
     /// Load and deserialize a scenario file.
     pub fn load(path: &std::path::Path) -> Result<Scenario, ScenarioError> {
         let input = std::fs::read_to_string(path)
@@ -920,6 +997,82 @@ mod tests {
     #[test]
     fn non_sweep_kinds_refuse_run_sweep() {
         let e = Scenario::preset(ScenarioKind::Fig4).run_sweep().unwrap_err();
+        assert!(e.to_string().contains("sweep"), "{e}");
+    }
+
+    #[test]
+    fn digest_is_invariant_under_round_trip_and_key_order() {
+        for kind in ScenarioKind::ALL {
+            let scenario = Scenario::preset(kind);
+            let reparsed = Scenario::from_toml(&scenario.to_toml()).unwrap();
+            assert_eq!(reparsed.digest(), scenario.digest(), "{kind}: round-trip changed digest");
+        }
+        // Key order, comments and whitespace are canonicalized away.
+        let a = Scenario::from_toml("kind = \"sweep\"\ntrials = 5\nseed = 9\n").unwrap();
+        let b = Scenario::from_toml(
+            "# reordered\nseed = 9\n\nkind = \"sweep\"   # same content\ntrials = 5\n",
+        )
+        .unwrap();
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.digest().len(), 16, "{}", a.digest());
+        assert!(a.digest().chars().all(|c| c.is_ascii_hexdigit()), "{}", a.digest());
+    }
+
+    #[test]
+    fn digest_changes_when_any_knob_changes() {
+        let base = Scenario::preset(ScenarioKind::Sweep);
+        let mut seen = std::collections::HashSet::new();
+        assert!(seen.insert(base.digest()));
+        // Every serialized knob of the kind must feed the digest.
+        for (key, value) in [
+            ("trials", "21"),
+            ("seed", "2"),
+            ("threads", "3"),
+            ("graphs", "5"),
+            ("util", "0.6"),
+            ("horizon", "123.0"),
+            ("specs", "EDF"),
+            ("workload", "unit"),
+            ("processor", "unit"),
+            ("battery", "kibam"),
+            ("sampler", "iid"),
+            ("freq", "interp"),
+            ("pes", "2"),
+            ("name", "renamed"),
+        ] {
+            let mut tweaked = base.clone();
+            tweaked.set(key, value).unwrap();
+            assert!(
+                seen.insert(tweaked.digest()),
+                "changing `{key}` to {value:?} did not change the digest"
+            );
+        }
+        // Different kinds never collide on their presets.
+        for kind in ScenarioKind::ALL {
+            if kind != ScenarioKind::Sweep {
+                assert!(seen.insert(Scenario::preset(kind).digest()), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn stream_events_replays_sweeps_and_rejects_other_kinds() {
+        let mut s = Scenario::preset(ScenarioKind::Sweep);
+        s.set("trials", "1").unwrap();
+        s.set("specs", "EDF,BAS-2").unwrap();
+        s.set("battery", "none").unwrap();
+        s.set("workload", "unit").unwrap();
+        s.set("processor", "unit").unwrap();
+        s.set("horizon", "100").unwrap();
+        let bytes = s.stream_events(Vec::new()).unwrap();
+        let stream = String::from_utf8(bytes).unwrap();
+        let headers = stream.lines().filter(|l| l.contains("\"type\":\"header\"")).count();
+        assert_eq!(headers, 2, "one header per spec:\n{stream}");
+        assert!(stream.lines().next().unwrap().contains("\"schema\":\"bas-events/v2\""));
+        // Deterministic: the same scenario replays to the same bytes.
+        assert_eq!(s.stream_events(Vec::new()).unwrap(), stream.as_bytes());
+
+        let e = Scenario::preset(ScenarioKind::Fig4).stream_events(Vec::new()).unwrap_err();
         assert!(e.to_string().contains("sweep"), "{e}");
     }
 

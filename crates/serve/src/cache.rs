@@ -1,0 +1,104 @@
+//! A small least-recently-used eviction queue.
+//!
+//! The daemon keeps completed job results keyed by scenario digest; this
+//! type tracks which finished jobs to keep. It stores only the *order* —
+//! the actual results live in the job registry — so it stays a plain
+//! `VecDeque` scan, which is the right tool at the daemon's scale
+//! (capacities in the tens to hundreds, touched once per request).
+
+use std::collections::VecDeque;
+
+/// LRU ordering over keys: front = most recently used. Inserting past
+/// capacity reports the evicted keys so the owner can drop their payloads.
+#[derive(Debug)]
+pub struct Lru<K: PartialEq> {
+    capacity: usize,
+    order: VecDeque<K>,
+}
+
+impl<K: PartialEq> Lru<K> {
+    /// An empty LRU holding at most `capacity` keys (minimum 1 — a cache
+    /// the server cannot put anything into would make every completed job
+    /// vanish before its submitter reads it).
+    pub fn new(capacity: usize) -> Self {
+        Lru { capacity: capacity.max(1), order: VecDeque::new() }
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether no keys are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Mark `key` as most recently used. Returns whether it was present.
+    pub fn touch(&mut self, key: &K) -> bool {
+        match self.order.iter().position(|k| k == key) {
+            Some(ix) => {
+                let k = self.order.remove(ix).expect("position just found");
+                self.order.push_front(k);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Insert (or refresh) `key` as most recently used, returning any keys
+    /// evicted to stay within capacity (oldest first).
+    pub fn insert(&mut self, key: K) -> Vec<K> {
+        self.touch(&key);
+        if !self.order.front().is_some_and(|k| *k == key) {
+            self.order.push_front(key);
+        }
+        let mut evicted = Vec::new();
+        while self.order.len() > self.capacity {
+            evicted.push(self.order.pop_back().expect("len > capacity > 0"));
+        }
+        evicted.reverse(); // oldest first reads naturally at the call site
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut lru = Lru::new(2);
+        assert!(lru.insert(1).is_empty());
+        assert!(lru.insert(2).is_empty());
+        // Touch 1 so 2 becomes the eviction candidate.
+        assert!(lru.touch(&1));
+        assert_eq!(lru.insert(3), vec![2]);
+        assert_eq!(lru.len(), 2);
+        assert!(lru.touch(&1) && lru.touch(&3) && !lru.touch(&2));
+    }
+
+    #[test]
+    fn reinserting_refreshes_without_growth() {
+        let mut lru = Lru::new(2);
+        lru.insert(1);
+        lru.insert(2);
+        assert!(lru.insert(1).is_empty(), "refresh must not evict");
+        assert_eq!(lru.len(), 2);
+        assert_eq!(lru.insert(3), vec![2], "1 was refreshed, 2 is oldest");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut lru = Lru::new(0);
+        assert!(lru.insert(7).is_empty(), "the newest key always fits");
+        assert_eq!(lru.insert(8), vec![7]);
+    }
+
+    #[test]
+    fn touch_of_missing_key_is_a_noop() {
+        let mut lru: Lru<u64> = Lru::new(4);
+        assert!(!lru.touch(&9));
+        assert!(lru.is_empty());
+    }
+}

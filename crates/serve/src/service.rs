@@ -1,0 +1,104 @@
+//! The pluggable execution backend behind the daemon.
+//!
+//! `bas-serve` owns the HTTP surface, queueing and caching, but not the
+//! preset runners — those live in `bas-cli`, which depends on this crate.
+//! The [`ScenarioService`] trait breaks that cycle: the CLI hands the
+//! server a service that can run every preset, while this crate ships a
+//! sweep-only [`SweepService`] so the daemon is usable (and testable)
+//! standalone.
+
+use bas_core::{Report, Scenario, ScenarioKind};
+
+/// Executes validated scenarios on behalf of the server's worker pool.
+///
+/// `run` is called from multiple worker threads concurrently and must be
+/// deterministic for a given scenario — the result cache assumes a digest
+/// maps to exactly one report.
+pub trait ScenarioService: Send + Sync {
+    /// Run `scenario` to completion and produce its report. The returned
+    /// report must match what `bas run <scenario> --format json` would
+    /// emit, byte for byte once serialized — the daemon serves it verbatim.
+    fn run(&self, scenario: &Scenario) -> Result<Report, String>;
+
+    /// The preset catalog served at `GET /v1/presets` as a JSON document.
+    ///
+    /// The default implementation renders the kind registry of `bas-core`
+    /// (names, descriptions, knobs); the CLI overrides it with the richer
+    /// `bas list --format json` document, which also lists scenario files
+    /// on disk.
+    fn presets_json(&self) -> String {
+        use bas_core::report::json_string;
+        use std::fmt::Write as _;
+        let mut out = String::from("{\n  \"schema\": \"bas-serve/v1\",\n  \"presets\": [");
+        for (i, kind) in ScenarioKind::ALL.into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let knobs: Vec<String> = kind.fields().iter().map(|f| json_string(f)).collect();
+            let _ = write!(
+                out,
+                "\n    {{\"name\": {}, \"description\": {}, \"knobs\": [{}]}}",
+                json_string(kind.name()),
+                json_string(kind.describe()),
+                knobs.join(", "),
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// The built-in backend: runs `sweep` scenarios through
+/// [`Scenario::run_sweep`] and declines every other kind.
+///
+/// The non-sweep presets (tables, figures) need the renderers in
+/// `bas-cli`; a daemon embedded without the CLI still serves the general
+/// sweep surface, which is what programmatic submitters build anyway.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SweepService;
+
+impl ScenarioService for SweepService {
+    fn run(&self, scenario: &Scenario) -> Result<Report, String> {
+        if scenario.kind != ScenarioKind::Sweep {
+            return Err(format!(
+                "this server runs only `sweep` scenarios (kind `{}` needs the full CLI backend)",
+                scenario.kind
+            ));
+        }
+        let sweep = scenario.run_sweep().map_err(|e| e.to_string())?;
+        let mut report = Report::from_sweep(&scenario.name, scenario.kind.name(), &sweep);
+        report.pes = scenario.pes;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_sweep() -> Scenario {
+        Scenario::from_toml(
+            "kind = \"sweep\"\ntrials = 1\nhorizon = 50.0\nworkload = \"unit\"\nprocessor = \"unit\"\nbattery = \"none\"\nspecs = [\"EDF\"]\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sweep_service_runs_sweeps_and_rejects_the_rest() {
+        let report = SweepService.run(&tiny_sweep()).unwrap();
+        assert_eq!(report.scenario, "sweep");
+        assert_eq!(report.rows.len(), 1);
+
+        let e = SweepService.run(&Scenario::preset(ScenarioKind::Fig5)).unwrap_err();
+        assert!(e.contains("only `sweep`"), "{e}");
+    }
+
+    #[test]
+    fn default_presets_catalog_is_json_with_every_kind() {
+        let json = SweepService.presets_json();
+        for kind in ScenarioKind::ALL {
+            assert!(json.contains(&format!("\"name\": \"{}\"", kind.name())), "{json}");
+        }
+        assert!(json.contains("\"schema\": \"bas-serve/v1\""));
+    }
+}

@@ -1,0 +1,62 @@
+//! SIGINT / SIGTERM → graceful drain.
+//!
+//! The workspace otherwise forbids `unsafe`; this module is the one
+//! deliberate exception, containing the two libc calls a daemon cannot
+//! avoid. The handler itself only stores to a static atomic (one of the
+//! few async-signal-safe things a handler may do); a watcher thread
+//! polls the flag and triggers [`ServerHandle::shutdown`] from safe code.
+#![allow(unsafe_code)]
+
+use crate::ServerHandle;
+
+#[cfg(unix)]
+mod imp {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub(super) static STOP: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        /// `signal(2)`. Returns the previous disposition (ignored here).
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub(super) fn install() {
+        // SAFETY: `on_signal` matches the `void (*)(int)` handler ABI and
+        // does nothing but an atomic store, which is async-signal-safe.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+/// Install SIGINT/SIGTERM handlers that drain `handle`'s server: on the
+/// first signal the daemon stops accepting connections, finishes every
+/// queued job, and `Server::run` returns (so the process exits 0).
+///
+/// On non-Unix platforms this is a no-op; stop the daemon by other means.
+pub fn install(handle: ServerHandle) {
+    #[cfg(unix)]
+    {
+        imp::install();
+        std::thread::Builder::new()
+            .name("bas-serve-signals".to_string())
+            .spawn(move || loop {
+                if imp::STOP.load(std::sync::atomic::Ordering::SeqCst) {
+                    handle.shutdown();
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            })
+            .expect("spawn signal watcher");
+    }
+    #[cfg(not(unix))]
+    let _ = handle;
+}

@@ -93,6 +93,19 @@ impl<W: io::Write> JsonlWriter<W> {
         self.error.as_ref()
     }
 
+    /// Flush the sink, latching any failure like a write would. Streamed
+    /// replays (e.g. an HTTP subscriber) call this between runs so each
+    /// spec's header reaches the consumer promptly instead of sitting in a
+    /// buffering sink until the whole replay ends.
+    pub fn flush(&mut self) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.sink.flush() {
+            self.error = Some(e);
+        }
+    }
+
     /// Unwrap the sink, surfacing the first I/O error (if any) as `Err`.
     pub fn into_inner(self) -> Result<W, io::Error> {
         match self.error {
@@ -335,6 +348,27 @@ mod tests {
         w.header("s", "EDF", 1);
         assert!(w.error().is_some());
         w.header("s", "EDF", 2); // quiet after the first failure
+        assert!(w.into_inner().is_err());
+    }
+
+    #[test]
+    fn flush_latches_sink_failures_too() {
+        struct NoFlush(Vec<u8>);
+        impl io::Write for NoFlush {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Err(io::Error::other("pipe closed"))
+            }
+        }
+        let mut w = JsonlWriter::new(NoFlush(Vec::new()));
+        w.header("s", "EDF", 1);
+        assert!(w.error().is_none());
+        w.flush();
+        assert!(w.error().is_some(), "flush failure must latch");
+        w.header("s", "EDF", 2); // quiet afterwards, like writes
         assert!(w.into_inner().is_err());
     }
 }
