@@ -205,38 +205,70 @@ pub fn write_chunked_head(w: &mut impl Write, content_type: &str) -> io::Result<
 /// Callers wrap it in a [`std::io::BufWriter`] so many small event lines
 /// coalesce into reasonably-sized chunks; [`ChunkedWriter::finish`] emits
 /// the terminating zero-length chunk.
+///
+/// The writer is **poisoned** by its first error: once any inner write or
+/// flush fails (a stalled client hitting the socket's write timeout, a
+/// disconnect), every later operation fails immediately instead of
+/// touching the stream again. A replay into a dead connection therefore
+/// pays at most one write timeout, not one per chunk — which keeps
+/// graceful drain (which joins connection threads) bounded.
 #[derive(Debug)]
 pub struct ChunkedWriter<W: Write> {
     inner: W,
+    dead: bool,
+}
+
+fn poisoned() -> io::Error {
+    io::Error::new(io::ErrorKind::BrokenPipe, "chunked stream already failed")
 }
 
 impl<W: Write> ChunkedWriter<W> {
     /// Frame writes to `inner` as HTTP chunks.
     pub fn new(inner: W) -> Self {
-        ChunkedWriter { inner }
+        ChunkedWriter { inner, dead: false }
     }
 
     /// Write the terminating chunk and flush, returning the stream.
     pub fn finish(mut self) -> io::Result<W> {
+        if self.dead {
+            return Err(poisoned());
+        }
         self.inner.write_all(b"0\r\n\r\n")?;
         self.inner.flush()?;
         Ok(self.inner)
+    }
+
+    fn check<T>(&mut self, result: io::Result<T>) -> io::Result<T> {
+        if result.is_err() {
+            self.dead = true;
+        }
+        result
     }
 }
 
 impl<W: Write> Write for ChunkedWriter<W> {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.dead {
+            return Err(poisoned());
+        }
         if buf.is_empty() {
             return Ok(0);
         }
-        write!(self.inner, "{:x}\r\n", buf.len())?;
-        self.inner.write_all(buf)?;
-        self.inner.write_all(b"\r\n")?;
+        let header = write!(self.inner, "{:x}\r\n", buf.len());
+        self.check(header)?;
+        let body = self.inner.write_all(buf);
+        self.check(body)?;
+        let tail = self.inner.write_all(b"\r\n");
+        self.check(tail)?;
         Ok(buf.len())
     }
 
     fn flush(&mut self) -> io::Result<()> {
-        self.inner.flush()
+        if self.dead {
+            return Err(poisoned());
+        }
+        let result = self.inner.flush();
+        self.check(result)
     }
 }
 
@@ -314,6 +346,33 @@ mod tests {
         let encoded = w.finish().unwrap();
         assert_eq!(encoded, b"6\r\nhello \r\n5\r\nworld\r\n0\r\n\r\n");
         assert_eq!(decode_chunked(&encoded).unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn chunked_writer_poisons_after_first_error() {
+        #[derive(Debug)]
+        struct Stalled {
+            attempts: usize,
+        }
+        impl Write for Stalled {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                self.attempts += 1;
+                Err(io::Error::new(io::ErrorKind::TimedOut, "stalled client"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut stream = Stalled { attempts: 0 };
+        let mut w = ChunkedWriter::new(&mut stream);
+        assert_eq!(w.write_all(b"x").unwrap_err().kind(), io::ErrorKind::TimedOut);
+        // Every later operation fails without touching the stream again —
+        // a stalled client costs one write timeout, not one per chunk.
+        assert_eq!(w.write_all(b"y").unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+        assert_eq!(w.flush().unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+        assert_eq!(w.finish().unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+        assert_eq!(stream.attempts, 1);
     }
 
     #[test]

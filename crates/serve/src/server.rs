@@ -15,7 +15,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
@@ -179,6 +179,68 @@ struct Shared {
     registry: Mutex<Registry>,
     work_ready: Condvar,
     shutdown: AtomicBool,
+    /// Currently-running `/events` replays. Replays run on connection
+    /// threads (they are on-demand reads, not queued jobs), so without a
+    /// bound N concurrent requests would run N simulations past every
+    /// admission control; [`ReplayPermit`] caps them at the pool width.
+    replays_active: AtomicUsize,
+    /// Socket clones of every live connection, keyed by connection id.
+    /// Drain joins connection threads, so a client that stops reading its
+    /// response must not pin one forever: after [`DRAIN_GRACE`] the drain
+    /// path force-`shutdown(2)`s whatever is still here, failing the
+    /// thread's blocked write immediately.
+    conn_streams: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicUsize,
+}
+
+/// How long graceful drain waits for in-flight responses/streams to end
+/// on their own before force-closing their sockets.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// RAII registration of a connection's socket clone in
+/// [`Shared::conn_streams`] for the force-close path; deregisters when the
+/// connection thread finishes (however it finishes).
+struct ConnGuard<'a> {
+    shared: &'a Shared,
+    id: u64,
+}
+
+impl<'a> ConnGuard<'a> {
+    fn register(shared: &'a Shared, stream: &TcpStream) -> Option<Self> {
+        let clone = stream.try_clone().ok()?;
+        let id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed) as u64;
+        shared.conn_streams.lock().expect("conn streams poisoned").insert(id, clone);
+        Some(ConnGuard { shared, id })
+    }
+}
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.shared.conn_streams.lock().expect("conn streams poisoned").remove(&self.id);
+    }
+}
+
+/// RAII permit bounding concurrent `/events` replays to the worker-pool
+/// width; requests beyond the bound are answered 429 instead.
+struct ReplayPermit<'a> {
+    shared: &'a Shared,
+}
+
+impl<'a> ReplayPermit<'a> {
+    fn acquire(shared: &'a Shared) -> Option<Self> {
+        let limit = shared.worker_count;
+        shared
+            .replays_active
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| (n < limit).then_some(n + 1))
+            .ok()
+            .map(|_| ReplayPermit { shared })
+    }
+}
+
+impl Drop for ReplayPermit<'_> {
+    fn drop(&mut self) {
+        self.shared.replays_active.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// Point-in-time daemon counters (the in-process view of `/v1/healthz`).
@@ -253,6 +315,9 @@ impl Server {
             registry,
             work_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            replays_active: AtomicUsize::new(0),
+            conn_streams: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicUsize::new(0),
         });
         Ok(Server { listener, shared })
     }
@@ -303,6 +368,21 @@ impl Server {
         shared.work_ready.notify_all();
         for handle in workers {
             let _ = handle.join();
+        }
+        // Connection threads get DRAIN_GRACE to finish on their own; after
+        // that their sockets are force-closed so a client that stopped
+        // reading (a blocked write) cannot pin the drain, and the joins
+        // below return promptly.
+        let grace_deadline = std::time::Instant::now() + DRAIN_GRACE;
+        while std::time::Instant::now() < grace_deadline {
+            connections.retain(|h| !h.is_finished());
+            if connections.is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        for stream in shared.conn_streams.lock().expect("conn streams poisoned").values() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
         }
         for handle in connections {
             let _ = handle.join();
@@ -356,7 +436,16 @@ fn worker_loop(shared: &Arc<Shared>) {
 
 /// Serve one request on `stream` and close it.
 fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    // Both directions are bounded: a client that trickles its request or
+    // never drains its response (TCP backpressure on a large report or an
+    // /events stream) errors out of the blocked syscall instead of pinning
+    // this thread — `Server::run` joins every connection thread during
+    // drain, so an unbounded write would wedge shutdown. The drain path
+    // additionally force-closes sockets still registered after its grace
+    // period (see `ConnGuard`/`DRAIN_GRACE`).
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let _guard = ConnGuard::register(shared, &stream);
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
     let request = match http::read_request(&mut reader, shared.config.max_body_bytes) {
@@ -471,7 +560,15 @@ fn parse_submission(body: &[u8]) -> Result<Scenario, String> {
     Scenario::from_toml(&toml_text).map_err(|e| e.to_string())
 }
 
-fn submit(shared: &Arc<Shared>, scenario: Scenario) -> Submitted {
+fn submit(shared: &Arc<Shared>, mut scenario: Scenario) -> Submitted {
+    // Workers override `threads` to the pool width for sweep jobs (see
+    // `worker_loop`), so the knob never affects what this server executes.
+    // Normalize it away before digesting so cache identity matches
+    // execution identity: two submissions identical except for `threads`
+    // coalesce onto one run instead of re-executing.
+    if scenario.kind == ScenarioKind::Sweep {
+        scenario.threads = 0;
+    }
     let digest = scenario.digest();
     let mut reg = shared.registry.lock().expect("registry poisoned");
     if shared.shutdown.load(Ordering::SeqCst) {
@@ -572,6 +669,18 @@ fn handle_job_get(shared: &Arc<Shared>, mut stream: TcpStream, path: &str) -> u1
                     )),
                 );
             }
+            // Replays bypass the worker queue, so they carry their own
+            // admission control: at most `worker_count` at once.
+            let Some(_permit) = ReplayPermit::acquire(shared) else {
+                let _ = http::write_response(
+                    &mut stream,
+                    429,
+                    "application/json",
+                    error_json("replay capacity is saturated; retry shortly").as_bytes(),
+                    &[("Retry-After", "1")],
+                );
+                return 429;
+            };
             stream_job_events(stream, &scenario)
         }
         other => respond(&mut stream, 404, &error_json(&format!("no job endpoint {other:?}"))),

@@ -328,6 +328,63 @@ fn events_endpoint_streams_the_exact_replay() {
 }
 
 #[test]
+fn sweep_threads_knob_does_not_split_the_cache() {
+    let daemon = Daemon::start(ServeConfig::default());
+    let addr = daemon.addr;
+
+    // The server shards sweeps across its own pool and ignores the
+    // submitted `threads`, so submissions differing only in that knob must
+    // land on one digest (and one run), not re-execute per value.
+    let (status, _, body) = post(addr, &format!("{SMOKE}threads = 1\n"));
+    let body = body_text(&body);
+    assert_eq!(status, 202, "{body}");
+    let id = json_field(&body, "job");
+    let digest = json_field(&body, "digest");
+
+    let (status, _, body) = post(addr, &format!("{SMOKE}threads = 7\n"));
+    let body = body_text(&body);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(json_field(&body, "job"), id);
+    assert_eq!(json_field(&body, "digest"), digest);
+
+    wait_done(addr, &id);
+    let (_, _, health) = get(addr, "/v1/healthz");
+    assert_eq!(json_field(&body_text(&health), "executed"), "1", "one run serves both");
+}
+
+#[test]
+fn events_replays_beyond_worker_count_get_429() {
+    let daemon = Daemon::start(ServeConfig { workers: 1, ..ServeConfig::default() });
+    let addr = daemon.addr;
+
+    let (_, _, body) = post(addr, &slow_body(42));
+    let id = json_field(&body_text(&body), "job");
+
+    // Hold the single replay permit: read just the response head of a
+    // streaming /events request and keep the connection open while the
+    // replay runs behind it.
+    let mut held = TcpStream::connect(addr).expect("connect");
+    held.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    write!(held, "GET /v1/jobs/{id}/events HTTP/1.1\r\nHost: bas\r\n\r\n").expect("send request");
+    let mut head = Vec::new();
+    while !head.ends_with(b"\r\n\r\n") {
+        let mut byte = [0u8; 1];
+        held.read_exact(&mut byte).expect("streaming head");
+        head.push(byte[0]);
+        assert!(head.len() < 4096, "runaway head");
+    }
+    let head = String::from_utf8(head).expect("UTF-8 head");
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+
+    // The permit pool (sized to the worker count) is exhausted: a second
+    // concurrent replay bounces instead of running an unbounded simulation.
+    let (status, head, body) = get(addr, &format!("/v1/jobs/{id}/events"));
+    assert_eq!(status, 429, "{}", body_text(&body));
+    assert!(head.contains("Retry-After: 1"), "{head}");
+    assert!(body_text(&body).contains("saturated"), "{}", body_text(&body));
+}
+
+#[test]
 fn non_sweep_jobs_fail_loudly_but_stay_inspectable() {
     let daemon = Daemon::start(ServeConfig::default());
     let addr = daemon.addr;
