@@ -13,6 +13,11 @@
 //! Trials run **sequentially on one thread** so the numbers measure engine
 //! throughput, not the machine's core count.
 //!
+//! After the cross-product comes one `portfolio` entry: the checked-in
+//! `portfolio` scenario's whole 40-spec grammar expansion raced through the
+//! same replay path (misses counted, not fatal) — the throughput of what
+//! `bas portfolio` executes per trial × spec.
+//!
 //! The suite ends with one `serve` entry that measures the `bas serve`
 //! daemon end to end (in-process server, real TCP): for it a *step* is one
 //! HTTP request, `steps_per_sec` reads as requests per second, and the
@@ -48,7 +53,7 @@
 use crate::args::Args;
 use crate::CliError;
 use bas_core::report::json_string;
-use bas_core::{Scenario, Sweep, TextTable};
+use bas_core::{expand_spec_patterns, Scenario, Sweep, TextTable};
 use std::path::Path;
 use std::time::Instant;
 
@@ -260,6 +265,7 @@ pub fn run_suite(dir: &Path, quick: bool) -> Result<BenchReport, String> {
             suite.push(bench_entry(&scenario, pes, trials, horizon)?);
         }
     }
+    suite.push(portfolio_entry(dir, quick)?);
     suite.push(serve_entry(dir, quick)?);
     let created_unix = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -315,6 +321,60 @@ fn bench_entry(
     Ok(BenchEntry {
         scenario: sc.name.clone(),
         pes,
+        specs: specs.len(),
+        trials: sc.trials,
+        horizon: sc.horizon,
+        steps,
+        wall_ns,
+        steps_per_sec: steps as f64 / (wall_ns as f64 / 1e9),
+        cache_hit_rate: None,
+    })
+}
+
+/// `(trials, horizon-seconds)` budgets of the portfolio entry. The
+/// portfolio scenario is unit-scale (instances release every few thousand
+/// time units), so like `mpsoc` it needs a long horizon to measure real
+/// work — sized, like every entry, to take ≥ ~100 ms of wall time.
+const PORTFOLIO_QUICK: Budget = (16, 30_000.0);
+const PORTFOLIO_FULL: Budget = (32, 100_000.0);
+
+/// Measure the portfolio path: the checked-in `portfolio` scenario's whole
+/// spec expansion (the full 40-spec grammar) raced sequentially through the
+/// same replay path as the sweep entries, with misses counted rather than
+/// fatal — exactly what `bas portfolio` executes per trial × spec. Steps
+/// are scheduling decisions, like every simulation entry.
+fn portfolio_entry(dir: &Path, quick: bool) -> Result<BenchEntry, String> {
+    use bas_sim::DeadlineMode;
+    let path = dir.join("portfolio.toml");
+    let mut sc = Scenario::load(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let (trials, horizon) = if quick { PORTFOLIO_QUICK } else { PORTFOLIO_FULL };
+    sc.trials = trials;
+    sc.horizon = horizon;
+    sc.validate().map_err(|e| format!("{}: {e}", sc.name))?;
+    let fail = |stage: &str, e: &dyn std::fmt::Display| format!("{} {stage}: {e}", sc.name);
+    let platform = sc.build_platform().map_err(|e| fail("platform", &e))?;
+    let specs = expand_spec_patterns(&sc.specs).map_err(|e| fail("specs", &e))?;
+    let mut steps = 0u64;
+    let start = Instant::now();
+    for trial in 0..sc.trials {
+        let seed = Sweep::seed_for(sc.seed, trial);
+        let set = sc.trial_set(seed).map_err(|e| fail("workload", &e))?;
+        for (label, spec) in &specs {
+            let mut cell = sc.build_battery(seed);
+            let mut experiment = sc
+                .trial_experiment(&set, *spec, seed, &platform)
+                .deadline_mode(DeadlineMode::DropAndCount);
+            if let Some(cell) = cell.as_mut() {
+                experiment = experiment.battery(cell.as_mut());
+            }
+            let out = experiment.run().map_err(|e| fail(&format!("{label} (seed {seed})"), &e))?;
+            steps += out.metrics.decisions;
+        }
+    }
+    let wall_ns = start.elapsed().as_nanos().max(1) as u64;
+    Ok(BenchEntry {
+        scenario: sc.name.clone(),
+        pes: sc.pes,
         specs: specs.len(),
         trials: sc.trials,
         horizon: sc.horizon,
@@ -545,6 +605,8 @@ mod tests {
 
     #[test]
     fn suite_is_the_pinned_cross_product() {
+        // 4 scenarios × 2 widths, plus the portfolio and serve entries.
         assert_eq!(SUITE_SCENARIOS.len() * SUITE_PES.len(), 8);
+        assert_eq!(SUITE_SCENARIOS.len() * SUITE_PES.len() + 2, 10, "portfolio + serve ride along");
     }
 }

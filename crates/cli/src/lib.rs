@@ -9,9 +9,11 @@
 //! ```
 //!
 //! Presets (`table1`, `table2`, `fig4`, `fig5`, `fig6`, `guidelines`,
-//! `crossover`, `ablation`, `capacity-curve`, `sweep`) are built-in
-//! [`Scenario`] constructors — the same objects as the checked-in files
-//! under `scenarios/` — and `--key value` overrides set scenario fields
+//! `crossover`, `ablation`, `capacity-curve`, `sweep`, `portfolio`) are
+//! built-in [`Scenario`] constructors — the same objects as the checked-in
+//! files under `scenarios/` — and the named presets ([`NAMED_PRESETS`]:
+//! `quickstart`, `sensor-node`, `media-player`, `battery-explorer`) run
+//! their curated files by name. `--key value` overrides set scenario fields
 //! (`bas table2 --trials 10 --seed 2`). Legacy flag spellings of the
 //! retired per-artifact binaries (`--max-time`, `--actuals`, `--proc`,
 //! `--max-graphs`, `--horizon-periods`) are accepted as aliases.
@@ -41,6 +43,7 @@ bas — battery-aware scheduling experiments, driven by declarative scenarios
 USAGE:
     bas <preset> [--key value ...] [--format text|json|csv] [--out FILE]
     bas run <scenario.toml> [--key value ...] [--format text|json|csv] [--out FILE]
+    bas portfolio [<scenario.toml>|<preset>] [--key value ...] [--format text|json] [--out FILE]
     bas scenario <preset> [--key value ...]   # print the preset as a scenario file
     bas bench [--quick] [--format text|json] [--out FILE] [--scenarios DIR]
     bas serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--quiet]
@@ -49,8 +52,10 @@ USAGE:
 
 PRESETS:
     table1, table2, fig4, fig5, fig6, guidelines, crossover, ablation,
-    capacity-curve, sweep — the paper's artifacts (and the generic sweep),
-    also checked in as files under scenarios/.
+    capacity-curve, sweep, portfolio — the paper's artifacts (and the
+    generic sweep/portfolio), also checked in as files under scenarios/.
+    Named presets (quickstart, sensor-node, media-player,
+    battery-explorer) run their checked-in scenarios/<name>.toml.
 
 OPTIONS:
     --format FMT     text (default): the historical tables/traces;
@@ -69,9 +74,22 @@ BENCH:
     battery-aware, each on 1 and 4 PEs) and reports steps-per-second per
     entry; --format json emits the bas-bench/v1 schema CI's perf gate
     compares against BENCH_baseline.json. --quick pins each scenario's
-    smaller CI budget (fewer trials, shorter horizons). The suite ends
-    with a `serve` entry measuring the daemon's requests-per-second and
-    cache hit rate against an in-process server.
+    smaller CI budget (fewer trials, shorter horizons). A `portfolio`
+    entry races the whole 40-spec grammar through the portfolio path,
+    and the suite ends with a `serve` entry measuring the daemon's
+    requests-per-second and cache hit rate against an in-process server.
+
+PORTFOLIO:
+    `bas portfolio` races a set of scheduler specs — explicit labels,
+    globs over the `governor+priority/scope` grammar, or `all` (40
+    specs) — through one deterministic sweep per scenario, then reports
+    the Pareto frontier over the scenario's axes (energy_j,
+    deadline_misses, makespan, charge_c, lifetime_min), per-spec
+    hypervolume and coverage, and an auto-pick recommendation. A `sweep`
+    target (file or preset name) is adopted as a whole-grammar portfolio
+    over the default axes. --format json emits the stable
+    bas-portfolio/v1 schema; `bas run` on a portfolio scenario still
+    emits the ordinary bas-report/v1 sweep report.
 
 SERVE:
     `bas serve` runs the scheduling-as-a-service daemon: POST a scenario
@@ -179,6 +197,36 @@ fn dispatch(argv: Vec<String>) -> Result<(), CliError> {
                 Scenario::from_toml(&input).map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
             run_with_overrides(scenario, &args)
         }
+        "portfolio" if args.positional.len() > 1 => {
+            // `bas portfolio <target>`: race a portfolio over an explicit
+            // target — a scenario file, a preset kind, or a named preset.
+            // A `sweep` target is adopted (whole grammar, default axes)
+            // before the overrides apply, so portfolio-only knobs like
+            // --axes and --reference work on any target.
+            let target = &args.positional[1];
+            expect_positionals(&args, 2)?;
+            let scenario = if Path::new(target).exists() {
+                let input = std::fs::read_to_string(Path::new(target))
+                    .map_err(|e| CliError::Runtime(format!("{target}: {e}")))?;
+                Scenario::from_toml(&input)
+                    .map_err(|e| CliError::Usage(format!("{target}: {e}")))?
+            } else if let Ok(kind) = target.parse::<ScenarioKind>() {
+                Scenario::preset(kind)
+            } else if NAMED_PRESETS.iter().any(|(n, _)| n == target) {
+                load_named_preset(target)?
+            } else {
+                return Err(CliError::Usage(format!(
+                    "`bas portfolio` needs a scenario file or preset, got {target:?}"
+                )));
+            };
+            let adopted =
+                bas_portfolio::adopt(scenario).map_err(|e| CliError::Usage(e.to_string()))?;
+            run_portfolio_command(adopted, &args)
+        }
+        "portfolio" => {
+            // Bare `bas portfolio`: race the built-in portfolio preset.
+            run_portfolio_command(Scenario::preset(ScenarioKind::Portfolio), &args)
+        }
         "scenario" => {
             let preset = args
                 .positional
@@ -197,13 +245,53 @@ fn dispatch(argv: Vec<String>) -> Result<(), CliError> {
             Ok(())
         }
         preset => {
-            let kind: ScenarioKind = preset
-                .parse()
-                .map_err(|_| CliError::Usage(format!("unknown command or preset {preset:?}")))?;
             expect_positionals(&args, 1)?;
-            run_with_overrides(Scenario::preset(kind), &args)
+            if let Ok(kind) = preset.parse::<ScenarioKind>() {
+                run_with_overrides(Scenario::preset(kind), &args)
+            } else if NAMED_PRESETS.iter().any(|(n, _)| *n == preset) {
+                run_with_overrides(load_named_preset(preset)?, &args)
+            } else {
+                Err(CliError::Usage(format!("unknown command or preset {preset:?}")))
+            }
         }
     }
+}
+
+/// Run an adopted/validated-kind portfolio scenario for the `bas
+/// portfolio` subcommand: apply `--key` overrides, race the lineup, and
+/// emit the text table or the `bas-portfolio/v1` JSON.
+fn run_portfolio_command(mut scenario: Scenario, args: &Args) -> Result<(), CliError> {
+    let mut json = false;
+    let mut out_path: Option<&str> = None;
+    for (key, value) in &args.flags {
+        match key.as_str() {
+            "format" => {
+                json = match value.as_str() {
+                    "text" => false,
+                    "json" => true,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "`bas portfolio --format` must be text|json, got {other:?}"
+                        )));
+                    }
+                };
+            }
+            "out" => out_path = Some(value),
+            key => {
+                scenario.set(&canonical_key(key), value).map_err(usage_err)?;
+            }
+        }
+    }
+    scenario.validate().map_err(usage_err)?;
+    let report =
+        bas_portfolio::run_portfolio(&scenario).map_err(|e| CliError::Runtime(e.to_string()))?;
+    let payload = if json { report.to_json() } else { report.to_text() };
+    match out_path {
+        Some(path) => std::fs::write(path, &payload)
+            .map_err(|e| CliError::Runtime(format!("writing {path}: {e}")))?,
+        None => print!("{payload}"),
+    }
+    Ok(())
 }
 
 fn expect_positionals(args: &Args, n: usize) -> Result<(), CliError> {
@@ -311,8 +399,28 @@ pub fn run_scenario(scenario: &Scenario) -> Result<(String, Report), String> {
         ScenarioKind::Crossover => presets::crossover::run,
         ScenarioKind::Ablation => presets::ablation::run,
         ScenarioKind::CapacityCurve => presets::capacity_curve::run,
+        ScenarioKind::Portfolio => presets::portfolio::run,
     };
     run(scenario)
+}
+
+/// Named presets: checked-in scenario files promoted into the catalog, run
+/// by name like the built-in kinds (`bas quickstart`). Each is a curated
+/// configuration of an existing [`ScenarioKind`] rather than a kind of its
+/// own, so its knobs come from the file's kind.
+pub const NAMED_PRESETS: &[(&str, &str)] = &[
+    ("quickstart", "the Table-2 lineup on one paper-scale workload over a AAA NiMH cell"),
+    ("sensor-node", "a battery-aware scheduler vs no-DVS on the hand-built sense/calibrate tasks"),
+    ("media-player", "the video/UI/housekeeping pipeline lineup from the media-player example"),
+    ("battery-explorer", "a small log-spaced constant-current capacity sweep of the NiMH cell"),
+];
+
+/// Load a named preset's checked-in scenario file (`scenarios/<name>.toml`).
+fn load_named_preset(name: &str) -> Result<Scenario, CliError> {
+    let path = format!("scenarios/{name}.toml");
+    Scenario::load(Path::new(&path)).map_err(|e| {
+        CliError::Runtime(format!("named preset `{name}` needs its checked-in file: {path}: {e}"))
+    })
 }
 
 /// The preset catalog as machine-readable JSON (`bas list --format json`):
@@ -333,6 +441,22 @@ fn render_list_json() -> String {
             json_str(kind.name()),
             json_str(kind.describe()),
             json_str(&format!("scenarios/{}.toml", kind.name())),
+            knobs.join(", ")
+        );
+    }
+    // Named presets ride along in the same array: their knobs are the
+    // knobs of the checked-in file's kind.
+    for (name, describe) in NAMED_PRESETS {
+        let path = format!("scenarios/{name}.toml");
+        let Ok(s) = Scenario::load(Path::new(&path)) else { continue };
+        let knobs: Vec<String> = s.kind.fields().iter().map(|f| json_str(f)).collect();
+        let _ = write!(
+            out,
+            ",\n    {{\"name\": {}, \"description\": {}, \"scenario\": {}, \"kind\": {}, \"knobs\": [{}]}}",
+            json_str(name),
+            json_str(describe),
+            json_str(&path),
+            json_str(s.kind.name()),
             knobs.join(", ")
         );
     }
@@ -376,6 +500,10 @@ fn render_list() -> String {
         let knobs = if fields.is_empty() { "(no knobs)".to_string() } else { fields.join(", ") };
         out.push_str(&format!("  {:15} {}\n", kind.name(), kind.describe()));
         out.push_str(&format!("  {:15}   knobs: {}\n", "", knobs));
+    }
+    out.push_str("\nnamed presets (curated scenario files, run with `bas <name>`):\n");
+    for (name, describe) in NAMED_PRESETS {
+        out.push_str(&format!("  {name:15} {describe}\n"));
     }
     if let Ok(entries) = std::fs::read_dir("scenarios") {
         let mut files: Vec<String> = entries

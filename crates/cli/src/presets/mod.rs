@@ -15,6 +15,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod guidelines;
+pub mod portfolio;
 pub mod sweep;
 pub mod table1;
 pub mod table2;

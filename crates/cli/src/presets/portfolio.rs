@@ -1,0 +1,18 @@
+//! The portfolio runner — race a spec set, report the Pareto frontier.
+//!
+//! The text output is [`bas_portfolio::PortfolioReport::to_text`]; the
+//! structured [`Report`] is the underlying sweep in the ordinary
+//! `bas-report/v1` shape, so `bas run scenarios/portfolio.toml --format
+//! json` stays schema-compatible with every other kind. The richer
+//! `bas-portfolio/v1` JSON (frontier, hypervolume, auto-pick) is emitted
+//! by the dedicated `bas portfolio` subcommand.
+
+use bas_core::{Report, Scenario};
+
+/// Run a portfolio scenario.
+pub fn run(sc: &Scenario) -> Result<(String, Report), String> {
+    let portfolio = bas_portfolio::run_portfolio(sc).map_err(|e| e.to_string())?;
+    let mut report = Report::from_sweep(&sc.name, sc.kind.name(), &portfolio.sweep);
+    report.pes = sc.pes;
+    Ok((portfolio.to_text(), report))
+}

@@ -291,6 +291,12 @@ fn bench_quick_emits_valid_bas_bench_v1_json() {
         std::fs::write(dir.join(format!("{name}.toml")), format!("name = \"{name}\"\n{tiny}"))
             .unwrap();
     }
+    // The portfolio entry loads its own pinned scenario; race a 2-spec
+    // lineup so the hermetic suite stays fast.
+    let tiny_portfolio = "name = \"portfolio\"\nkind = \"portfolio\"\ntrials = 1\nseed = 1\n\
+                          horizon = 50.0\nspecs = [\"EDF\", \"BAS-2\"]\nworkload = \"unit\"\n\
+                          processor = \"unit\"\nbattery = \"none\"\n";
+    std::fs::write(dir.join("portfolio.toml"), tiny_portfolio).unwrap();
     let out_file = dir.join("bench.json");
     let out = bas(&[
         "bench",
@@ -307,8 +313,9 @@ fn bench_quick_emits_valid_bas_bench_v1_json() {
     let json = std::fs::read_to_string(&out_file).unwrap();
     assert!(json.contains("\"schema\": \"bas-bench/v1\""), "{json}");
     assert!(json.contains("\"mode\": \"quick\""), "{json}");
-    // 4 scenarios x {1, 4} PEs, plus the daemon's serve entry.
-    assert_eq!(json.matches("\"scenario\":").count(), 9, "{json}");
+    // 4 scenarios x {1, 4} PEs, plus the portfolio and serve entries.
+    assert_eq!(json.matches("\"scenario\":").count(), 10, "{json}");
+    assert!(json.contains("\"scenario\": \"portfolio\""), "{json}");
     assert_eq!(json.matches("\"pes\": 4").count(), 4, "{json}");
     assert!(!json.contains("\"steps\": 0,"), "every entry took decisions: {json}");
     // The serve entry measures the daemon: 4x its cold submissions as

@@ -555,6 +555,9 @@ pub struct TrialRecord {
     pub deadline_misses: u64,
     /// Completed graph instances.
     pub instances_completed: u64,
+    /// Makespan, seconds: worst release-to-last-completion span over all
+    /// completed graph instances (see [`bas_sim::Metrics::makespan`]).
+    pub makespan: f64,
     /// Battery lifetime, seconds — co-simulated runs only.
     pub lifetime: Option<f64>,
     /// Charge the battery delivered, mAh — co-simulated runs only.
@@ -572,6 +575,7 @@ impl TrialRecord {
             charge: out.metrics.charge,
             deadline_misses: out.metrics.deadline_misses,
             instances_completed: out.metrics.instances_completed,
+            makespan: out.metrics.makespan,
             lifetime: out.battery.as_ref().map(|b| b.lifetime),
             delivered_mah: out.battery.as_ref().map(|b| b.delivered_mah()),
             battery_died: out.battery.as_ref().map(|b| b.died),
@@ -597,6 +601,8 @@ pub struct SpecReport {
     pub energy: Summary,
     /// Summary of charge consumed, coulombs.
     pub charge: Summary,
+    /// Summary of per-trial makespan, seconds.
+    pub makespan: Summary,
     /// Summary of battery lifetime in **minutes**; `None` without a battery.
     pub lifetime_min: Option<Summary>,
     /// Summary of delivered charge in mAh; `None` without a battery.
@@ -607,6 +613,7 @@ impl SpecReport {
     fn new(label: String, spec: SchedulerSpec, trials: Vec<TrialRecord>) -> Self {
         let energy = Summary::of(&trials.iter().map(|t| t.energy).collect::<Vec<_>>());
         let charge = Summary::of(&trials.iter().map(|t| t.charge).collect::<Vec<_>>());
+        let makespan = Summary::of(&trials.iter().map(|t| t.makespan).collect::<Vec<_>>());
         let lifetimes: Vec<f64> = trials.iter().filter_map(|t| t.lifetime_minutes()).collect();
         let delivered: Vec<f64> = trials.iter().filter_map(|t| t.delivered_mah).collect();
         SpecReport {
@@ -616,6 +623,7 @@ impl SpecReport {
             delivered_mah: (!delivered.is_empty()).then(|| Summary::of(&delivered)),
             energy,
             charge,
+            makespan,
             trials,
         }
     }

@@ -109,8 +109,9 @@ pub use policy::{BasPolicy, ReadyScope};
 pub use priority::{Ltf, Priority, Pubs, RandomPriority, Stf};
 pub use report::{Report, ReportRow, SeedRecord};
 pub use runner::{
-    all_specs, GovernorKind, ParseSpecError, PriorityKind, SamplerKind, SchedulerSpec, ScopeKind,
+    all_specs, expand_spec_patterns, GovernorKind, ParseSpecError, PriorityKind, SamplerKind,
+    SchedulerSpec, ScopeKind,
 };
-pub use scenario::{Scenario, ScenarioError, ScenarioKind};
+pub use scenario::{Scenario, ScenarioError, ScenarioKind, PORTFOLIO_AXES};
 pub use stats::Summary;
 pub use table::TextTable;

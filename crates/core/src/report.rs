@@ -122,8 +122,8 @@ impl Report {
 
     /// Build a report from a [`crate::SweepReport`], carrying the standard
     /// per-trial metrics (`energy_j`, `charge_c`, `deadline_misses`,
-    /// `instances_completed`, plus `lifetime_min`/`delivered_mah` for
-    /// battery co-simulations) and their summaries.
+    /// `instances_completed`, `makespan`, plus `lifetime_min`/
+    /// `delivered_mah` for battery co-simulations) and their summaries.
     pub fn from_sweep(
         scenario: impl Into<String>,
         kind: impl Into<String>,
@@ -134,6 +134,7 @@ impl Report {
             let row = report.row(&spec.label);
             row.summaries.push(("energy_j".into(), spec.energy));
             row.summaries.push(("charge_c".into(), spec.charge));
+            row.summaries.push(("makespan".into(), spec.makespan));
             if let Some(s) = spec.lifetime_min {
                 row.summaries.push(("lifetime_min".into(), s));
             }
@@ -146,6 +147,7 @@ impl Report {
                     ("charge_c".into(), t.charge),
                     ("deadline_misses".into(), t.deadline_misses as f64),
                     ("instances_completed".into(), t.instances_completed as f64),
+                    ("makespan".into(), t.makespan),
                 ];
                 if let Some(l) = t.lifetime_minutes() {
                     metrics.push(("lifetime_min".into(), l));
@@ -415,6 +417,8 @@ mod tests {
         assert_eq!(report.rows[0].trials.len(), 3);
         assert_eq!(report.rows[0].trials[0].seed, Sweep::seed_for(1, 0));
         assert!(report.rows[0].summaries.iter().any(|(n, _)| n == "energy_j"));
+        assert!(report.rows[0].summaries.iter().any(|(n, _)| n == "makespan"));
+        assert!(report.rows[0].trials[0].metrics.iter().any(|(n, _)| n == "makespan"));
         // No battery: no lifetime metrics.
         assert!(!report.rows[0].summaries.iter().any(|(n, _)| n == "lifetime_min"));
     }

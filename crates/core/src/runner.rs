@@ -34,7 +34,7 @@ use crate::estimator::EmaEstimator;
 use crate::policy::BasPolicy;
 use crate::priority::{Ltf, Pubs, RandomPriority, Stf};
 use bas_cpu::Platform;
-use bas_dvs::{CcEdf, GovernorBank, LaEdf, NoDvs, SocFloor};
+use bas_dvs::{CcEdf, GovernorBank, KvEdf, LaEdf, NoDvs, SocFloor};
 use bas_sim::{ActualSampler, FrequencyGovernor, PersistentFraction, TaskPolicy, UniformFraction};
 use std::fmt;
 use std::str::FromStr;
@@ -54,6 +54,12 @@ pub enum GovernorKind {
     /// state of charge drops below the default threshold. Without a battery
     /// it behaves exactly like [`GovernorKind::LaEdf`].
     Soc,
+    /// Khan–Vemuri iterative battery-aware EDF ([`KvEdf`]): per decision,
+    /// walks a candidate grid between laEDF's feasible floor and the flat
+    /// static-utilization ceiling, accepting slowdown notches while a
+    /// state-of-charge–weighted battery cost improves. Without a battery it
+    /// behaves exactly like [`GovernorKind::LaEdf`].
+    Kv,
 }
 
 /// Which priority function orders the ready list.
@@ -222,6 +228,16 @@ impl SchedulerSpec {
         }
     }
 
+    /// BAS-2 with the Khan–Vemuri iterative battery-aware governor — the
+    /// portfolio's genuinely new contender (see [`KvEdf`]).
+    pub fn bas_kv() -> Self {
+        SchedulerSpec {
+            governor: GovernorKind::Kv,
+            priority: PriorityKind::Pubs,
+            scope: ScopeKind::AllReleased,
+        }
+    }
+
     /// All five Table 2 rows in paper order, with their paper names.
     pub fn table2_lineup() -> [(&'static str, SchedulerSpec); 5] {
         [
@@ -241,6 +257,7 @@ impl SchedulerSpec {
             GovernorKind::CcEdf => "ccEDF",
             GovernorKind::LaEdf => "laEDF",
             GovernorKind::Soc => "socEDF",
+            GovernorKind::Kv => "kvEDF",
         };
         let p = match self.priority {
             PriorityKind::Random => "random",
@@ -262,6 +279,7 @@ impl SchedulerSpec {
             GovernorKind::CcEdf => Box::new(CcEdf),
             GovernorKind::LaEdf => Box::new(LaEdf::with_fmax(fmax)),
             GovernorKind::Soc => Box::new(SocFloor::with_default_threshold(LaEdf::with_fmax(fmax))),
+            GovernorKind::Kv => Box::new(KvEdf::with_fmax(fmax)),
         }
     }
 
@@ -326,8 +344,8 @@ impl fmt::Display for ParseSpecError {
         write!(
             f,
             "invalid scheduler spec {:?}: expected `governor+priority/scope` \
-             (noDVS|ccEDF|laEDF|socEDF + random|LTF|STF|pUBS / imminent|all) or a \
-             paper alias (EDF, ccEDF, laEDF, BAS-1, BAS-2, BAS-1cc, BAS-2cc, BAS-soc)",
+             (noDVS|ccEDF|laEDF|socEDF|kvEDF + random|LTF|STF|pUBS / imminent|all) or a \
+             paper alias (EDF, ccEDF, laEDF, BAS-1, BAS-2, BAS-1cc, BAS-2cc, BAS-soc, BAS-kv)",
             self.input
         )
     }
@@ -350,6 +368,7 @@ impl FromStr for SchedulerSpec {
             "BAS-1cc" => return Ok(SchedulerSpec::bas1cc()),
             "BAS-2cc" => return Ok(SchedulerSpec::bas2cc()),
             "BAS-soc" => return Ok(SchedulerSpec::bas_soc()),
+            "BAS-kv" => return Ok(SchedulerSpec::bas_kv()),
             _ => {}
         }
         let err = || ParseSpecError { input: s.to_string() };
@@ -360,6 +379,7 @@ impl FromStr for SchedulerSpec {
             "ccEDF" => GovernorKind::CcEdf,
             "laEDF" => GovernorKind::LaEdf,
             "socEDF" => GovernorKind::Soc,
+            "kvEDF" => GovernorKind::Kv,
             _ => return Err(err()),
         };
         let priority = match priority {
@@ -378,13 +398,17 @@ impl FromStr for SchedulerSpec {
     }
 }
 
-/// Every expressible spec (4 governors × 4 priorities × 2 scopes), for
+/// Every expressible spec (5 governors × 4 priorities × 2 scopes), for
 /// exhaustive round-trip checks and enumerating sweeps.
 pub fn all_specs() -> Vec<SchedulerSpec> {
-    let mut out = Vec::with_capacity(32);
-    for governor in
-        [GovernorKind::None, GovernorKind::CcEdf, GovernorKind::LaEdf, GovernorKind::Soc]
-    {
+    let mut out = Vec::with_capacity(40);
+    for governor in [
+        GovernorKind::None,
+        GovernorKind::CcEdf,
+        GovernorKind::LaEdf,
+        GovernorKind::Soc,
+        GovernorKind::Kv,
+    ] {
         for priority in
             [PriorityKind::Random, PriorityKind::Ltf, PriorityKind::Stf, PriorityKind::Pubs]
         {
@@ -394,6 +418,83 @@ pub fn all_specs() -> Vec<SchedulerSpec> {
         }
     }
     out
+}
+
+/// Expand a list of spec *patterns* into a labelled spec set.
+///
+/// Each pattern is one of:
+/// * `all` — every expressible spec ([`all_specs`]), canonically labelled;
+/// * a glob over the canonical `governor+priority/scope` grammar, using `*`
+///   for any run of characters and `?` for exactly one (e.g. `laEDF+*/all`,
+///   `*EDF+pUBS/*`) — expands to every matching canonical label, and it is
+///   an error for a glob to match nothing;
+/// * anything else — parsed as a single [`SchedulerSpec`] (canonical label
+///   or paper alias), keeping the spelling given as its label.
+///
+/// Duplicate specs are dropped (the first label for a spec wins) so globs
+/// may overlap; the result preserves first-mention order, which makes the
+/// expansion deterministic.
+pub fn expand_spec_patterns(
+    patterns: &[String],
+) -> Result<Vec<(String, SchedulerSpec)>, ParseSpecError> {
+    let mut out: Vec<(String, SchedulerSpec)> = Vec::new();
+    let push = |label: String, spec: SchedulerSpec, out: &mut Vec<(String, SchedulerSpec)>| {
+        if !out.iter().any(|(_, s)| *s == spec) {
+            out.push((label, spec));
+        }
+    };
+    for pattern in patterns {
+        if pattern == "all" {
+            for spec in all_specs() {
+                push(spec.label(), spec, &mut out);
+            }
+        } else if pattern.contains('*') || pattern.contains('?') {
+            let mut matched = false;
+            for spec in all_specs() {
+                let label = spec.label();
+                if glob_match(pattern, &label) {
+                    matched = true;
+                    push(label, spec, &mut out);
+                }
+            }
+            if !matched {
+                return Err(ParseSpecError { input: pattern.clone() });
+            }
+        } else {
+            let spec: SchedulerSpec = pattern.parse()?;
+            push(pattern.clone(), spec, &mut out);
+        }
+    }
+    Ok(out)
+}
+
+/// Match `pattern` (with `*` = any run, `?` = exactly one char) against
+/// `text`, byte-wise with greedy backtracking — the classic two-pointer
+/// wildcard matcher.
+fn glob_match(pattern: &str, text: &str) -> bool {
+    let (p, t) = (pattern.as_bytes(), text.as_bytes());
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let (mut star, mut mark) = (usize::MAX, 0usize);
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == b'?' || p[pi] == t[ti]) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == b'*' {
+            star = pi;
+            mark = ti;
+            pi += 1;
+        } else if star != usize::MAX {
+            pi = star + 1;
+            mark += 1;
+            ti = mark;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == b'*' {
+        pi += 1;
+    }
+    pi == p.len()
 }
 
 #[cfg(test)]
@@ -438,7 +539,33 @@ mod tests {
     fn battery_aware_spec_round_trips() {
         assert_eq!(SchedulerSpec::bas_soc().to_string(), "socEDF+pUBS/all");
         assert_eq!("socEDF+pUBS/all".parse::<SchedulerSpec>().unwrap(), SchedulerSpec::bas_soc());
-        assert_eq!(all_specs().len(), 32);
+        assert_eq!(SchedulerSpec::bas_kv().to_string(), "kvEDF+pUBS/all");
+        assert_eq!("BAS-kv".parse::<SchedulerSpec>().unwrap(), SchedulerSpec::bas_kv());
+        assert_eq!(all_specs().len(), 40);
+    }
+
+    #[test]
+    fn spec_patterns_expand_deterministically() {
+        let strs = |ps: &[&str]| ps.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        // `all` is the whole grammar, canonically labelled, no duplicates.
+        let all = expand_spec_patterns(&strs(&["all"])).unwrap();
+        assert_eq!(all.len(), 40);
+        assert_eq!(all[0].0, "noDVS+random/imminent");
+        // A governor glob picks out its 8 priority/scope combinations.
+        let la = expand_spec_patterns(&strs(&["laEDF+*/*"])).unwrap();
+        assert_eq!(la.len(), 8);
+        assert!(la.iter().all(|(_, s)| s.governor == GovernorKind::LaEdf));
+        // `?` matches exactly one character.
+        let q = expand_spec_patterns(&strs(&["laEDF+?TF/all"])).unwrap();
+        assert_eq!(q.len(), 2, "{q:?}");
+        // Aliases keep their spelling; duplicates collapse onto the first
+        // mention (BAS-2 *is* laEDF+pUBS/all).
+        let mix = expand_spec_patterns(&strs(&["BAS-2", "laEDF+*/all"])).unwrap();
+        assert_eq!(mix[0].0, "BAS-2");
+        assert_eq!(mix.iter().filter(|(_, s)| *s == SchedulerSpec::bas2()).count(), 1);
+        // A glob matching nothing is an error, as is junk.
+        assert!(expand_spec_patterns(&strs(&["zzz+*/*"])).is_err());
+        assert!(expand_spec_patterns(&strs(&["junk"])).is_err());
     }
 
     #[test]

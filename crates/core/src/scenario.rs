@@ -29,7 +29,7 @@
 //! same objects.
 
 use crate::experiment::{Experiment, Sweep, SweepReport};
-use crate::runner::{SamplerKind, SchedulerSpec};
+use crate::runner::{expand_spec_patterns, SamplerKind, SchedulerSpec};
 use crate::toml::{self, Value};
 use crate::workloads::{paper_scale_config, unit_scale_config};
 use bas_battery::BatteryModel;
@@ -65,11 +65,17 @@ pub enum ScenarioKind {
     Ablation,
     /// §5 load-vs-delivered-capacity curve + extrapolation.
     CapacityCurve,
+    /// Portfolio race: a spec set (globs over the grammar allowed) raced
+    /// through one sweep, reported as a Pareto frontier over metric axes
+    /// with hypervolume/coverage analytics and an auto-pick (the analytics
+    /// live in the `bas-portfolio` crate; this kind is the declarative
+    /// surface).
+    Portfolio,
 }
 
 impl ScenarioKind {
     /// Every kind, in presentation order.
-    pub const ALL: [ScenarioKind; 10] = [
+    pub const ALL: [ScenarioKind; 11] = [
         ScenarioKind::Sweep,
         ScenarioKind::Table1,
         ScenarioKind::Table2,
@@ -80,6 +86,7 @@ impl ScenarioKind {
         ScenarioKind::Crossover,
         ScenarioKind::Ablation,
         ScenarioKind::CapacityCurve,
+        ScenarioKind::Portfolio,
     ];
 
     /// The scenario-file name of the kind (`"capacity-curve"` style).
@@ -95,6 +102,7 @@ impl ScenarioKind {
             ScenarioKind::Crossover => "crossover",
             ScenarioKind::Ablation => "ablation",
             ScenarioKind::CapacityCurve => "capacity-curve",
+            ScenarioKind::Portfolio => "portfolio",
         }
     }
 
@@ -113,6 +121,9 @@ impl ScenarioKind {
                 "design-choice ablations (freq, estimator, feasibility, Ceff)"
             }
             ScenarioKind::CapacityCurve => "§5 load-vs-delivered-capacity curve + extrapolation",
+            ScenarioKind::Portfolio => {
+                "race a scheduler portfolio, report the Pareto frontier + auto-pick"
+            }
         }
     }
 
@@ -152,6 +163,24 @@ impl ScenarioKind {
             ScenarioKind::Crossover => &["trials", "seed", "threads"],
             ScenarioKind::Ablation => &["trials", "seed"],
             ScenarioKind::CapacityCurve => &["points", "lo", "hi"],
+            ScenarioKind::Portfolio => &[
+                "trials",
+                "seed",
+                "threads",
+                "graphs",
+                "util",
+                "horizon",
+                "specs",
+                "axes",
+                "reference",
+                "workload",
+                "processor",
+                "battery",
+                "sampler",
+                "freq",
+                "pes",
+                "processors",
+            ],
         }
     }
 }
@@ -199,8 +228,17 @@ pub struct Scenario {
     /// Simulated-time bound, seconds (battery runs are censored at it).
     pub horizon: f64,
     /// Scheduler lineup, as [`SchedulerSpec`] labels/aliases. The label in
-    /// reports is the string as written (`"BAS-2"` stays `BAS-2`).
+    /// reports is the string as written (`"BAS-2"` stays `BAS-2`). Portfolio
+    /// scenarios additionally accept `"all"` and `*`/`?` globs over the
+    /// canonical grammar (see [`crate::expand_spec_patterns`]).
     pub specs: Vec<String>,
+    /// Metric axes of a portfolio's Pareto frontier, in presentation order
+    /// (subset of [`PORTFOLIO_AXES`]; portfolio kind only).
+    pub axes: Vec<String>,
+    /// Hypervolume reference point of a portfolio, one value per axis;
+    /// empty = derived from the observed points (worst value per axis,
+    /// inflated by 10% of the observed range). Portfolio kind only.
+    pub reference: Vec<f64>,
     /// Workload family: `paper` (mega-cycle WCETs on the GHz platform) or
     /// `unit` (dimensionless).
     pub workload: String,
@@ -244,6 +282,12 @@ pub struct Scenario {
 /// serialized form rather than as flat keys.
 const PLATFORM_KEYS: &[&str] = &["pes", "processors"];
 
+/// The metric axes a portfolio scenario may race on (its `axes` knob).
+/// `energy_j`, `deadline_misses`, `makespan` and `charge_c` are minimized;
+/// `lifetime_min` is maximized and needs a battery co-simulation.
+pub const PORTFOLIO_AXES: &[&str] =
+    &["energy_j", "deadline_misses", "makespan", "charge_c", "lifetime_min"];
+
 /// The salt folded into per-trial battery seeds, so the battery's stochastic
 /// stream is decorrelated from the workload/sampler stream of the same
 /// trial. (The historical `table2` binary introduced this value; the generic
@@ -267,6 +311,11 @@ impl Scenario {
                 .iter()
                 .map(|s| s.to_string())
                 .collect(),
+            axes: ["energy_j", "deadline_misses", "makespan"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            reference: Vec::new(),
             workload: "paper".to_string(),
             processor: "paper".to_string(),
             pes: 1,
@@ -294,6 +343,14 @@ impl Scenario {
             ScenarioKind::Fig5 => s.horizon = 100.0,
             ScenarioKind::Fig6 => s.trials = 40,
             ScenarioKind::Crossover | ScenarioKind::Ablation => s.trials = 6,
+            ScenarioKind::Portfolio => {
+                s.trials = 4;
+                s.specs = vec!["all".to_string()];
+                s.workload = "unit".to_string();
+                s.processor = "unit".to_string();
+                s.battery = "none".to_string();
+                s.horizon = 1000.0;
+            }
         }
         s
     }
@@ -471,8 +528,21 @@ impl Scenario {
                 ),
             ));
         }
-        let parsed = if key == "specs" || key == "processors" {
+        let parsed = if key == "specs" || key == "processors" || key == "axes" {
             Value::Array(value.split(',').map(|s| Value::Str(s.trim().to_string())).collect())
+        } else if key == "reference" {
+            // `--reference ""` clears the point (auto-derived again).
+            let parts: Result<Vec<Value>, ScenarioError> = value
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(|s| {
+                    s.parse::<f64>().map(Value::Float).map_err(|_| {
+                        ScenarioError::invalid(key, format!("expected a number, got {s:?}"))
+                    })
+                })
+                .collect();
+            Value::Array(parts?)
         } else {
             match self.value_of(key) {
                 Value::Int(_) => Value::Int(value.parse::<i64>().map_err(|_| {
@@ -497,6 +567,8 @@ impl Scenario {
             "util" => Value::Float(self.util),
             "horizon" => Value::Float(self.horizon),
             "specs" => Value::Array(self.specs.iter().cloned().map(Value::Str).collect()),
+            "axes" => Value::Array(self.axes.iter().cloned().map(Value::Str).collect()),
+            "reference" => Value::Array(self.reference.iter().copied().map(Value::Float).collect()),
             "workload" => Value::Str(self.workload.clone()),
             "processor" => Value::Str(self.processor.clone()),
             "pes" => Value::Int(self.pes as i64),
@@ -535,6 +607,13 @@ impl Scenario {
             "horizon" => self.horizon = value.as_float().ok_or_else(|| bad("a number"))?,
             "specs" => {
                 self.specs = value.as_str_array().ok_or_else(|| bad("an array of strings"))?;
+            }
+            "axes" => {
+                self.axes = value.as_str_array().ok_or_else(|| bad("an array of strings"))?;
+            }
+            "reference" => {
+                self.reference =
+                    value.as_float_array().ok_or_else(|| bad("an array of numbers"))?;
             }
             "workload" => {
                 self.workload = value.as_str().ok_or_else(|| bad("a string"))?.to_string();
@@ -610,10 +689,58 @@ impl Scenario {
             if self.specs.is_empty() {
                 return Err(ScenarioError::invalid("specs", "must name at least one scheduler"));
             }
-            for label in &self.specs {
-                label
-                    .parse::<SchedulerSpec>()
+            if self.kind == ScenarioKind::Portfolio {
+                // Portfolio lineups admit `all` and globs over the grammar;
+                // expansion also catches patterns that match nothing.
+                expand_spec_patterns(&self.specs)
                     .map_err(|e| ScenarioError::invalid("specs", e.to_string()))?;
+            } else {
+                for label in &self.specs {
+                    label
+                        .parse::<SchedulerSpec>()
+                        .map_err(|e| ScenarioError::invalid("specs", e.to_string()))?;
+                }
+            }
+        }
+        if uses("axes") {
+            if self.axes.is_empty() {
+                return Err(ScenarioError::invalid("axes", "must name at least one metric axis"));
+            }
+            for (i, axis) in self.axes.iter().enumerate() {
+                if !PORTFOLIO_AXES.contains(&axis.as_str()) {
+                    return Err(ScenarioError::invalid(
+                        "axes",
+                        format!(
+                            "unknown axis {axis:?}: expected one of {}",
+                            PORTFOLIO_AXES.join("|")
+                        ),
+                    ));
+                }
+                if self.axes[..i].contains(axis) {
+                    return Err(ScenarioError::invalid("axes", format!("duplicate axis {axis:?}")));
+                }
+            }
+            if self.axes.iter().any(|a| a == "lifetime_min") && self.battery == "none" {
+                return Err(ScenarioError::invalid(
+                    "axes",
+                    "the lifetime_min axis needs a battery co-simulation (battery != \"none\")",
+                ));
+            }
+        }
+        if uses("reference") && !self.reference.is_empty() {
+            if self.reference.len() != self.axes.len() {
+                return Err(ScenarioError::invalid(
+                    "reference",
+                    format!(
+                        "lists {} values for {} axes (leave empty to derive from the \
+                         observed points)",
+                        self.reference.len(),
+                        self.axes.len()
+                    ),
+                ));
+            }
+            if self.reference.iter().any(|x| !x.is_finite()) {
+                return Err(ScenarioError::invalid("reference", "values must be finite"));
             }
         }
         if uses("workload") && !matches!(self.workload.as_str(), "paper" | "unit") {
@@ -941,10 +1068,44 @@ mod tests {
             ("kind = \"fig6\"\ngovernor = \"ondemand\"\n", "governor"),
             ("kind = \"capacity-curve\"\nhi = 0.001\n", "hi"),
             ("kind = \"table2\"\nbattery = \"none\"\n", "battery"),
+            ("kind = \"portfolio\"\nspecs = [\"zzz+*/*\"]\n", "specs"),
+            ("kind = \"portfolio\"\naxes = []\n", "axes"),
+            ("kind = \"portfolio\"\naxes = [\"energy_j\", \"latency\"]\n", "axes"),
+            ("kind = \"portfolio\"\naxes = [\"energy_j\", \"energy_j\"]\n", "axes"),
+            ("kind = \"portfolio\"\naxes = [\"lifetime_min\"]\n", "axes"),
+            ("kind = \"portfolio\"\nreference = [1.0, 2.0]\n", "reference"),
         ] {
             let e = Scenario::from_toml(input).unwrap_err();
             assert!(e.to_string().contains(key), "{input:?} -> {e}");
         }
+    }
+
+    #[test]
+    fn portfolio_scenarios_admit_globs_and_reference_points() {
+        let s = Scenario::from_toml(
+            "kind = \"portfolio\"\nspecs = [\"all\"]\naxes = [\"energy_j\", \"makespan\"]\n\
+             reference = [500.0, 20.0]\n",
+        )
+        .unwrap();
+        assert_eq!(s.specs, vec!["all"]);
+        assert_eq!(s.axes, vec!["energy_j", "makespan"]);
+        assert_eq!(s.reference, vec![500.0, 20.0]);
+        // Globs expand during validation; a lifetime axis needs a battery.
+        Scenario::from_toml("kind = \"portfolio\"\nspecs = [\"laEDF+*/*\", \"BAS-kv\"]\n").unwrap();
+        Scenario::from_toml(
+            "kind = \"portfolio\"\naxes = [\"lifetime_min\", \"energy_j\"]\n\
+             battery = \"stochastic\"\n",
+        )
+        .unwrap();
+        // CLI-style overrides parse the same lists.
+        let mut s = Scenario::preset(ScenarioKind::Portfolio);
+        s.set("axes", "energy_j, charge_c").unwrap();
+        s.set("reference", "450, 30").unwrap();
+        s.validate().unwrap();
+        assert_eq!(s.axes, vec!["energy_j", "charge_c"]);
+        assert_eq!(s.reference, vec![450.0, 30.0]);
+        s.set("reference", "").unwrap();
+        assert!(s.reference.is_empty(), "empty override clears the reference");
     }
 
     #[test]

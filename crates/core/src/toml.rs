@@ -89,6 +89,15 @@ impl Value {
             _ => None,
         }
     }
+
+    /// The value as an array of floats, if it is one (integer elements
+    /// coerce, as in [`Value::as_float`]).
+    pub fn as_float_array(&self) -> Option<Vec<f64>> {
+        match self {
+            Value::Array(items) => items.iter().map(Value::as_float).collect(),
+            _ => None,
+        }
+    }
 }
 
 fn render_string(s: &str) -> String {
@@ -350,6 +359,14 @@ mod tests {
         let doc = parse("specs = [\"EDF\", \"BAS-2\"]  # lineup\nns = [1, 2, 3]\n").unwrap();
         assert_eq!(doc["specs"].as_str_array().unwrap(), vec!["EDF", "BAS-2"]);
         assert_eq!(doc["ns"], Value::Array(vec![Value::Int(1), Value::Int(2), Value::Int(3)]));
+    }
+
+    #[test]
+    fn float_arrays_coerce_integer_elements() {
+        let doc = parse("ref = [450.0, 2, 12.5]\nempty = []\n").unwrap();
+        assert_eq!(doc["ref"].as_float_array().unwrap(), vec![450.0, 2.0, 12.5]);
+        assert_eq!(doc["empty"].as_float_array().unwrap(), Vec::<f64>::new());
+        assert!(parse("x = [1.0, \"two\"]\n").unwrap()["x"].as_float_array().is_none());
     }
 
     #[test]

@@ -31,9 +31,34 @@ fn randomize_field(s: &mut Scenario, field: &str, rng: &mut StdRng) {
         "util" => s.util = rng.gen_range(0.05..=1.0),
         "horizon" => s.horizon = rng.gen_range(1.0..1e7),
         "specs" => {
-            let pool = spec_vocabulary();
+            let mut pool = spec_vocabulary();
+            if s.kind == ScenarioKind::Portfolio {
+                // Portfolio lineups also admit `all` and grammar globs.
+                pool.extend(["all", "laEDF+*/*", "*+pUBS/all", "kvEDF+?TF/*"].map(String::from));
+            }
             let n = rng.gen_range(1..6usize);
             s.specs = (0..n).map(|_| pool[rng.gen_range(0..pool.len())].clone()).collect();
+        }
+        "axes" => {
+            // Any non-empty subset of the always-valid axes, in a stable
+            // order, so a later `battery = "none"` draw stays consistent.
+            let pool = ["energy_j", "deadline_misses", "makespan", "charge_c"];
+            let mut axes: Vec<String> =
+                pool.iter().filter(|_| rng.gen_bool(0.5)).map(|s| s.to_string()).collect();
+            if axes.is_empty() {
+                axes.push("energy_j".to_string());
+            }
+            s.axes = axes;
+            if s.reference.len() != s.axes.len() {
+                s.reference = Vec::new();
+            }
+        }
+        "reference" => {
+            s.reference = if rng.gen_bool(0.5) {
+                Vec::new()
+            } else {
+                (0..s.axes.len()).map(|_| rng.gen_range(0.1..1e6)).collect()
+            };
         }
         "workload" => s.workload = pick(rng, &["paper", "unit"]),
         "processor" => s.processor = pick(rng, bas_cpu::presets::NAMES),

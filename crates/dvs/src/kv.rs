@@ -1,0 +1,260 @@
+//! Khan–Vemuri iterative battery-aware EDF.
+//!
+//! "An Iterative Algorithm for Battery-Aware Task Scheduling on Portable
+//! Computing Platforms" (Khan & Vemuri, DATE 2005) schedules a task set by
+//! starting from a feasible voltage assignment and *iteratively* re-assigning
+//! slack one greedy step at a time, accepting each step only while a battery
+//! cost function improves. [`KvEdf`] collapses that offline loop into the
+//! online frequency domain the engine exposes:
+//!
+//! * the **feasible floor** is laEDF's minimal rate `f_la` — the least work
+//!   that must run before the earliest deadline (running *faster* than a
+//!   feasible governor's request can never introduce a miss, so the floor
+//!   carries laEDF's miss-freedom unconditionally);
+//! * the **even ceiling** is the flat static-utilization rate
+//!   `f_hi = max(f_la, Σ WCi/Di)` — the smoothest constant-current schedule
+//!   (the paper's §3 guideline G1: batteries prefer flat shapes);
+//! * each decision walks the `notches + 1` evenly spaced candidates in
+//!   `[f_la, f_hi]` from the ceiling downward — the discrete voltage levels
+//!   of the offline algorithm — accepting one slowdown notch per iteration
+//!   while the battery cost
+//!
+//!   ```text
+//!   C(f) = (f / fmax)² + β(soc) · ((f_hi − f) / fmax)²
+//!   β(soc) = (1 − soc) / max(soc, 0.05)
+//!   ```
+//!
+//!   strictly improves, and stopping at the first notch that does not.
+//!
+//! The first term is the cost of running *now* (dynamic energy per cycle
+//! grows ≈ quadratically with frequency); the second charges the deferred
+//! work for the high-current sprint it sets up later, weighted by the
+//! rate-capacity pressure `β`: a full battery (`soc = 1`, `β = 0`) tolerates
+//! spikes, so the walk reaches the floor and `KvEdf` *is* laEDF; a drained
+//! battery makes deferral expensive and the walk stops near the flat rate.
+//! Without a mounted battery the governor is transparent (pure laEDF), which
+//! keeps it safe in any lineup.
+//!
+//! Where [`SocFloor`](crate::SocFloor) switches between the same two anchors
+//! with a hard threshold, `KvEdf` interpolates between them continuously —
+//! and picks the operating point by cost descent rather than by rule.
+
+use crate::laedf::LaEdf;
+use bas_sim::{FrequencyGovernor, SimState};
+use bas_taskgraph::GraphId;
+
+/// Default number of slowdown notches between the even ceiling and the
+/// feasible floor (the candidate grid has `notches + 1` points).
+pub const DEFAULT_KV_NOTCHES: usize = 16;
+
+/// State-of-charge floor inside `β(soc) = (1 − soc) / max(soc, ε)` — keeps
+/// the deferral penalty finite as the battery approaches exhaustion.
+const MIN_SOC: f64 = 0.05;
+
+/// Khan–Vemuri iterative battery-aware EDF governor.
+#[derive(Debug, Clone)]
+pub struct KvEdf {
+    la: LaEdf,
+    fmax: f64,
+    notches: usize,
+}
+
+impl KvEdf {
+    /// Governor for a processor with the given peak frequency (Hz), using
+    /// [`DEFAULT_KV_NOTCHES`] candidate slowdown steps.
+    ///
+    /// # Panics
+    /// Panics unless `fmax` is positive and finite.
+    pub fn with_fmax(fmax: f64) -> Self {
+        KvEdf::with_notches(fmax, DEFAULT_KV_NOTCHES)
+    }
+
+    /// Governor with an explicit candidate-grid resolution.
+    ///
+    /// # Panics
+    /// Panics unless `fmax` is positive and finite and `notches > 0`.
+    pub fn with_notches(fmax: f64, notches: usize) -> Self {
+        assert!(fmax.is_finite() && fmax > 0.0, "fmax must be positive");
+        assert!(notches > 0, "need at least one slowdown notch");
+        KvEdf { la: LaEdf::with_fmax(fmax), fmax, notches }
+    }
+
+    /// The rate-capacity pressure for `state`: 0 without a battery or at
+    /// full charge, growing as the state of charge falls.
+    fn beta(state: &SimState) -> f64 {
+        match state.battery() {
+            None => 0.0,
+            Some(b) => {
+                let soc = b.state_of_charge.clamp(0.0, 1.0);
+                (1.0 - soc) / soc.max(MIN_SOC)
+            }
+        }
+    }
+
+    /// The battery cost of running at `f` when the even ceiling is `f_hi`.
+    fn cost(&self, f: f64, f_hi: f64, beta: f64) -> f64 {
+        let run = f / self.fmax;
+        let deferred = (f_hi - f) / self.fmax;
+        run * run + beta * deferred * deferred
+    }
+}
+
+impl FrequencyGovernor for KvEdf {
+    fn name(&self) -> &'static str {
+        "kvEDF"
+    }
+
+    fn frequency(&mut self, state: &SimState) -> f64 {
+        let f_la = self.la.frequency(state);
+        let f_hi = f_la.max(state.static_utilization_hz());
+        let delta = f_hi - f_la;
+        if delta <= 1e-12 * self.fmax {
+            return f_la;
+        }
+        let beta = Self::beta(state);
+        // Iterative greedy descent from the even ceiling: accept one notch
+        // of slowdown per iteration while the cost strictly improves.
+        let step = delta / self.notches as f64;
+        let mut best = f_hi;
+        let mut best_cost = self.cost(best, f_hi, beta);
+        for i in 1..=self.notches {
+            let candidate = f_hi - step * i as f64;
+            let cost = self.cost(candidate, f_hi, beta);
+            if cost < best_cost {
+                best = candidate;
+                best_cost = cost;
+            } else {
+                break;
+            }
+        }
+        // The last notch is exactly the floor up to rounding; snap it.
+        if (best - f_la).abs() <= 1e-12 * self.fmax {
+            f_la
+        } else {
+            best
+        }
+    }
+
+    fn on_release(&mut self, state: &SimState, graph: GraphId) {
+        self.la.on_release(state, graph);
+    }
+
+    fn on_completion(&mut self, state: &SimState, task: bas_sim::TaskRef, actual: f64) {
+        self.la.on_completion(state, task, actual);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bas_sim::BatteryView;
+    use bas_taskgraph::{GraphId, PeriodicTaskGraph, TaskGraphBuilder, TaskSet};
+
+    fn state() -> SimState {
+        // T0: 6 cycles / D 12; T1: 3 cycles / D 6. Static U = 1.0.
+        let mut set = TaskSet::new();
+        let mut b = TaskGraphBuilder::new("T0");
+        b.add_node("a", 6);
+        set.push(PeriodicTaskGraph::new(b.build().unwrap(), 12.0).unwrap());
+        let mut b = TaskGraphBuilder::new("T1");
+        b.add_node("b", 3);
+        set.push(PeriodicTaskGraph::new(b.build().unwrap(), 6.0).unwrap());
+        SimState::new(set)
+    }
+
+    fn view(soc: f64) -> BatteryView {
+        BatteryView { state_of_charge: soc, charge_delivered: 0.0, exhausted: false }
+    }
+
+    /// Only T0 released early in its window: laEDF dips well below the
+    /// static utilization, opening a real `[f_la, f_hi]` interval.
+    fn released_state() -> SimState {
+        let mut s = state();
+        s.release(GraphId::from_index(0), vec![6.0]);
+        s.refresh_edf();
+        s
+    }
+
+    #[test]
+    fn transparent_without_a_battery() {
+        let mut s = released_state();
+        s.set_battery_view(None);
+        let mut plain = LaEdf::with_fmax(1.0);
+        let mut kv = KvEdf::with_fmax(1.0);
+        assert_eq!(kv.frequency(&s), plain.frequency(&s));
+    }
+
+    #[test]
+    fn full_battery_matches_laedf() {
+        let mut s = released_state();
+        s.set_battery_view(Some(view(1.0)));
+        let mut plain = LaEdf::with_fmax(1.0);
+        let mut kv = KvEdf::with_fmax(1.0);
+        assert_eq!(kv.frequency(&s), plain.frequency(&s));
+    }
+
+    #[test]
+    fn drained_battery_pulls_toward_the_flat_rate() {
+        let mut s = released_state();
+        let f_la = LaEdf::with_fmax(1.0).frequency(&s);
+        let f_hi = s.static_utilization_hz();
+        assert!(f_la < f_hi - 1e-9, "interval must be open for this test: {f_la} vs {f_hi}");
+        s.set_battery_view(Some(view(0.1)));
+        let mut kv = KvEdf::with_fmax(1.0);
+        let f = kv.frequency(&s);
+        assert!(f > f_la + 1e-12, "strained battery must lift the dip: {f}");
+        assert!(f <= f_hi + 1e-12, "never above the even ceiling: {f}");
+    }
+
+    #[test]
+    fn never_below_the_feasible_floor() {
+        for soc in [0.0, 0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+            let mut s = released_state();
+            s.set_battery_view(Some(view(soc)));
+            let f_la = LaEdf::with_fmax(1.0).frequency(&s);
+            let mut kv = KvEdf::with_fmax(1.0);
+            assert!(kv.frequency(&s) >= f_la - 1e-12, "soc {soc}");
+        }
+    }
+
+    #[test]
+    fn frequency_rises_monotonically_as_the_battery_drains() {
+        let mut prev = -1.0;
+        for soc in [1.0, 0.8, 0.6, 0.4, 0.2, 0.05] {
+            let mut s = released_state();
+            s.set_battery_view(Some(view(soc)));
+            let mut kv = KvEdf::with_fmax(1.0);
+            let f = kv.frequency(&s);
+            assert!(f >= prev - 1e-12, "soc {soc}: {f} < {prev}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn greedy_walk_finds_the_grid_minimum() {
+        // The cost is convex in f, so the first-non-improving stop of the
+        // greedy walk must equal the brute-force best over the whole grid.
+        for soc in [0.15, 0.4, 0.75] {
+            let mut s = released_state();
+            s.set_battery_view(Some(view(soc)));
+            let mut kv = KvEdf::with_fmax(1.0);
+            let chosen = kv.frequency(&s);
+            let f_la = LaEdf::with_fmax(1.0).frequency(&s);
+            let f_hi = f_la.max(s.static_utilization_hz());
+            let beta = KvEdf::beta(&s);
+            let brute = (0..=DEFAULT_KV_NOTCHES)
+                .map(|i| f_hi - (f_hi - f_la) * i as f64 / DEFAULT_KV_NOTCHES as f64)
+                .min_by(|a, b| {
+                    kv.cost(*a, f_hi, beta).partial_cmp(&kv.cost(*b, f_hi, beta)).unwrap()
+                })
+                .unwrap();
+            assert!((chosen - brute).abs() < 1e-12, "soc {soc}: {chosen} vs {brute}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fmax must be positive")]
+    fn invalid_fmax_panics() {
+        let _ = KvEdf::with_fmax(f64::NAN);
+    }
+}

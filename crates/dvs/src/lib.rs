@@ -16,7 +16,11 @@
 //! * [`SocFloor`] — the battery-aware wrap: runs an inner governor while the
 //!   engine's [`bas_sim::BatteryView`] reports a comfortable state of
 //!   charge, and floors `fref` at the flat static-utilization rate once it
-//!   drops below a threshold (canonically `socEDF` = `SocFloor<LaEdf>`).
+//!   drops below a threshold (canonically `socEDF` = `SocFloor<LaEdf>`);
+//! * [`KvEdf`] — the Khan–Vemuri iterative battery-aware governor: walks a
+//!   candidate grid between laEDF's feasible floor and the flat
+//!   static-utilization ceiling, accepting slowdown notches while a
+//!   state-of-charge–weighted battery cost improves (`kvEDF`).
 //!
 //! Governors return Hz (cycles per second); the engine clamps into the
 //! processor's range and realizes the value on discrete operating points.
@@ -26,6 +30,7 @@
 
 pub mod bank;
 pub mod ccedf;
+pub mod kv;
 pub mod laedf;
 pub mod nodvs;
 pub mod soc;
@@ -33,6 +38,7 @@ pub mod static_util;
 
 pub use bank::GovernorBank;
 pub use ccedf::CcEdf;
+pub use kv::{KvEdf, DEFAULT_KV_NOTCHES};
 pub use laedf::LaEdf;
 pub use nodvs::NoDvs;
 pub use soc::{SocFloor, DEFAULT_SOC_THRESHOLD};
@@ -41,8 +47,8 @@ pub use static_util::StaticUtilization;
 use bas_sim::FrequencyGovernor;
 
 /// Governor lookup by name (`"none"`, `"static"`, `"ccEDF"`, `"laEDF"`,
-/// `"socEDF"`). `fmax` is the processor peak frequency in Hz, which laEDF's
-/// deferral math needs. Returns `None` for unknown names.
+/// `"socEDF"`, `"kvEDF"`). `fmax` is the processor peak frequency in Hz,
+/// which laEDF's deferral math needs. Returns `None` for unknown names.
 pub fn governor_by_name(name: &str, fmax: f64) -> Option<Box<dyn FrequencyGovernor>> {
     match name {
         "none" => Some(Box::new(NoDvs)),
@@ -50,6 +56,7 @@ pub fn governor_by_name(name: &str, fmax: f64) -> Option<Box<dyn FrequencyGovern
         "ccEDF" => Some(Box::new(CcEdf)),
         "laEDF" => Some(Box::new(LaEdf::with_fmax(fmax))),
         "socEDF" => Some(Box::new(SocFloor::with_default_threshold(LaEdf::with_fmax(fmax)))),
+        "kvEDF" => Some(Box::new(KvEdf::with_fmax(fmax))),
         _ => None,
     }
 }
@@ -65,6 +72,7 @@ mod tests {
         assert_eq!(governor_by_name("ccEDF", 1.0).unwrap().name(), "ccEDF");
         assert_eq!(governor_by_name("laEDF", 1.0).unwrap().name(), "laEDF");
         assert_eq!(governor_by_name("socEDF", 1.0).unwrap().name(), "socEDF");
+        assert_eq!(governor_by_name("kvEDF", 1.0).unwrap().name(), "kvEDF");
         assert!(governor_by_name("bogus", 1.0).is_none());
     }
 }

@@ -1,0 +1,162 @@
+//! # bas-portfolio — racing scheduler portfolios on the Pareto frontier
+//!
+//! The paper (and the repo's sweeps) compare a handful of hand-picked
+//! schedulers one metric at a time. This crate races a whole **portfolio**
+//! of [`SchedulerSpec`](bas_core::SchedulerSpec)s — an explicit list, glob
+//! patterns over the `governor+priority/scope` grammar, or the entire
+//! grammar (`"all"`) — through one deterministic sweep, then reports the
+//! result as multi-objective analytics instead of a flat table:
+//!
+//! * the **Pareto frontier** over configurable metric [`Axis`] values
+//!   (energy × deadline misses × makespan by default; delivered charge and
+//!   battery lifetime optional);
+//! * per-spec **hypervolume** (the volume of objective space between a
+//!   spec's point and the reference point — bigger is better) and
+//!   **coverage** (the fraction of rival specs it weakly dominates);
+//! * an **auto-pick**: the frontier member with the largest individual
+//!   hypervolume, ties broken by axis values in `axes` order, then by
+//!   lineup order.
+//!
+//! The sweep underneath is the same deterministic
+//! [`Sweep`](bas_core::Sweep) path every other experiment uses (same
+//! per-trial seeds across specs, bit-identical across thread counts), with
+//! deadline misses counted instead of aborting the run — a spec that
+//! misses is a *point* in objective space, not an error.
+//!
+//! Entry points: [`run_portfolio`] runs a `portfolio`-kind
+//! [`Scenario`](bas_core::Scenario); [`adopt`] converts a plain `sweep`
+//! scenario into its portfolio twin (whole grammar, default axes);
+//! [`analyze`] is the pure frontier/hypervolume math, usable on any point
+//! set.
+//!
+//! ## Reference-point semantics
+//!
+//! Hypervolume needs a reference point bounding the "acceptable" region.
+//! When the scenario pins one (`reference` knob), it is used verbatim —
+//! points not strictly better than it on every axis contribute zero
+//! volume. When the scenario leaves it empty, the reference is **derived
+//! from the observed points**: per axis, the worst observed value pushed
+//! 10% of the observed range further (one unit further when all specs tie)
+//! — so every observed point has positive volume and the frontier's
+//! hypervolume is comparable *within* the report. Pinned references are
+//! what to use when comparing across reports. Maximized axes
+//! (`lifetime_min`) are negated internally, so "worst" and "further" are
+//! orientation-aware; derivation is pinned by tests in this crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pareto;
+mod report;
+mod runner;
+
+pub use pareto::{analyze, dominates, frontier_flags, hypervolume, Analysis};
+pub use report::{PortfolioReport, SpecResult, SCHEMA};
+pub use runner::{adopt, run_portfolio};
+
+use bas_core::SpecReport;
+use std::fmt;
+
+/// A metric axis of the portfolio's objective space. Mirrors the axis
+/// names accepted by the scenario layer
+/// ([`bas_core::PORTFOLIO_AXES`]); each axis is the **mean over trials**
+/// of the corresponding per-trial metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// Battery-side energy consumed per trial, joules (minimized).
+    EnergyJ,
+    /// Deadline misses per trial (minimized).
+    DeadlineMisses,
+    /// Worst release-to-completion span per trial, seconds (minimized).
+    Makespan,
+    /// Battery charge consumed per trial, coulombs (minimized).
+    ChargeC,
+    /// Battery lifetime per trial, minutes (maximized; needs a battery).
+    LifetimeMin,
+}
+
+impl Axis {
+    /// Every axis, in presentation order (the order scenario files use).
+    pub const ALL: [Axis; 5] =
+        [Axis::EnergyJ, Axis::DeadlineMisses, Axis::Makespan, Axis::ChargeC, Axis::LifetimeMin];
+
+    /// The scenario-file name of the axis.
+    pub fn name(self) -> &'static str {
+        match self {
+            Axis::EnergyJ => "energy_j",
+            Axis::DeadlineMisses => "deadline_misses",
+            Axis::Makespan => "makespan",
+            Axis::ChargeC => "charge_c",
+            Axis::LifetimeMin => "lifetime_min",
+        }
+    }
+
+    /// Look an axis up by its scenario-file name.
+    pub fn from_name(name: &str) -> Option<Axis> {
+        Axis::ALL.into_iter().find(|a| a.name() == name)
+    }
+
+    /// Whether bigger values are better on this axis. Internally such axes
+    /// are negated so all the Pareto math minimizes.
+    pub fn maximize(self) -> bool {
+        matches!(self, Axis::LifetimeMin)
+    }
+
+    /// The axis value of one spec's sweep results: the mean over trials.
+    /// `None` only for [`Axis::LifetimeMin`] without a battery.
+    pub fn mean_of(self, spec: &SpecReport) -> Option<f64> {
+        match self {
+            Axis::EnergyJ => Some(spec.energy.mean),
+            Axis::DeadlineMisses => Some(spec.metric(|t| t.deadline_misses as f64).mean),
+            Axis::Makespan => Some(spec.makespan.mean),
+            Axis::ChargeC => Some(spec.charge.mean),
+            Axis::LifetimeMin => spec.lifetime_min.map(|s| s.mean),
+        }
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Anything that can go wrong assembling or running a portfolio.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PortfolioError {
+    /// The scenario is not a portfolio (or failed validation).
+    Scenario(String),
+    /// The underlying sweep failed.
+    Sweep(String),
+}
+
+impl fmt::Display for PortfolioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PortfolioError::Scenario(e) => write!(f, "portfolio scenario: {e}"),
+            PortfolioError::Sweep(e) => write!(f, "portfolio sweep: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PortfolioError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_names_round_trip_and_match_the_scenario_vocabulary() {
+        for axis in Axis::ALL {
+            assert_eq!(Axis::from_name(axis.name()), Some(axis));
+            assert!(
+                bas_core::PORTFOLIO_AXES.contains(&axis.name()),
+                "{axis} missing from bas_core::PORTFOLIO_AXES"
+            );
+        }
+        assert_eq!(Axis::ALL.len(), bas_core::PORTFOLIO_AXES.len());
+        assert_eq!(Axis::from_name("latency"), None);
+        assert!(Axis::LifetimeMin.maximize());
+        assert!(!Axis::EnergyJ.maximize());
+    }
+}

@@ -1,0 +1,304 @@
+//! Pure Pareto math: dominance, frontier extraction, hypervolume and
+//! coverage over point sets in **minimization orientation** (callers
+//! negate maximized axes before handing points in; see [`crate::Axis`]).
+//!
+//! Everything here is deterministic in the strong sense the repo's sweeps
+//! pin down: results are bit-identical under permutation of the input
+//! points, because all floating-point reductions happen in one canonical
+//! (lexicographically sorted) order.
+
+/// Does `a` Pareto-dominate `b` (minimization): at least as good on every
+/// axis and strictly better on at least one?
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Does `a` weakly dominate `b`: at least as good on every axis?
+fn weakly_dominates(a: &[f64], b: &[f64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| x <= y)
+}
+
+/// One flag per point: is it on the Pareto frontier (dominated by no other
+/// point)? Duplicate points do not dominate each other, so tied specs all
+/// stay on the frontier.
+pub fn frontier_flags(points: &[Vec<f64>]) -> Vec<bool> {
+    points.iter().map(|p| !points.iter().any(|q| dominates(q, p))).collect()
+}
+
+/// The hypervolume (dominated volume) of a point set against `reference`,
+/// in minimization orientation: the volume of the region weakly dominated
+/// by at least one point and at least as good as the reference on every
+/// axis. Points not strictly better than the reference on every axis
+/// contribute nothing. Exact (HSO recursive slicing), deterministic under
+/// permutation of `points`.
+pub fn hypervolume(points: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let mut pts: Vec<&[f64]> = points
+        .iter()
+        .map(Vec::as_slice)
+        .filter(|p| {
+            p.len() == reference.len()
+                && p.iter().zip(reference).all(|(x, r)| x.is_finite() && x < r)
+        })
+        .collect();
+    // Canonical order: every later float reduction happens in one
+    // permutation-independent sequence.
+    pts.sort_by(|a, b| a.iter().map(|x| x.to_bits()).cmp(b.iter().map(|x| x.to_bits())));
+    pts.dedup();
+    hv_sorted(&pts, reference)
+}
+
+/// HSO slicing over points already in canonical order, all strictly inside
+/// the reference box.
+fn hv_sorted(points: &[&[f64]], reference: &[f64]) -> f64 {
+    if points.is_empty() {
+        return 0.0;
+    }
+    let d = reference.len();
+    if d == 1 {
+        // All points beat the reference; the union of 1-D boxes is the
+        // best point's box.
+        let best = points.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min);
+        return reference[0] - best;
+    }
+    // Slice along the last axis: between consecutive cut values, the
+    // cross-section is the (d-1)-dimensional union of the points at or
+    // below the slab.
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&i, &j| points[i][d - 1].total_cmp(&points[j][d - 1]));
+    let mut total = 0.0;
+    let mut prefix: Vec<&[f64]> = Vec::with_capacity(points.len());
+    for (k, &i) in order.iter().enumerate() {
+        prefix.push(&points[i][..d - 1]);
+        let lo = points[i][d - 1];
+        let hi = if k + 1 < order.len() { points[order[k + 1]][d - 1] } else { reference[d - 1] };
+        let depth = hi - lo;
+        if depth > 0.0 {
+            total += depth * hv_sorted(&prefix, &reference[..d - 1]);
+        }
+    }
+    total
+}
+
+/// The fraction of *other* points that `points[i]` weakly dominates
+/// (0 when there are no other points). A crude "how much of the field
+/// does this spec beat outright" score, complementing the frontier flag.
+pub fn coverage(points: &[Vec<f64>], i: usize) -> f64 {
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let beaten = points
+        .iter()
+        .enumerate()
+        .filter(|&(j, q)| j != i && weakly_dominates(&points[i], q))
+        .count();
+    beaten as f64 / (points.len() - 1) as f64
+}
+
+/// The full analysis of one oriented point set: frontier membership,
+/// per-point and frontier hypervolume, coverage and the auto-pick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// Per point: is it on the Pareto frontier?
+    pub on_frontier: Vec<bool>,
+    /// Per point: its individual hypervolume against the reference (the
+    /// volume of its own box; 0 when not strictly better than the
+    /// reference on every axis).
+    pub hypervolume: Vec<f64>,
+    /// Per point: fraction of other points it weakly dominates.
+    pub coverage: Vec<f64>,
+    /// Hypervolume of the whole frontier (= of the whole set; dominated
+    /// points add no volume).
+    pub frontier_hypervolume: f64,
+    /// Index of the recommended point: the frontier member with the
+    /// largest individual hypervolume, ties broken by axis values in axis
+    /// order (smaller oriented value wins), then by index.
+    pub auto_pick: usize,
+    /// The reference point used, in the same (minimization) orientation as
+    /// the input points.
+    pub reference: Vec<f64>,
+    /// Whether the reference was derived from the observed points (true)
+    /// or pinned by the caller (false).
+    pub reference_derived: bool,
+}
+
+/// Analyze an oriented (minimization) point set. `reference` pins the
+/// hypervolume reference point; `None` derives it per axis as the worst
+/// observed value plus 10% of the observed range (plus one unit when the
+/// range is zero) — see the crate docs for the semantics contract.
+///
+/// # Panics
+///
+/// Panics when `points` is empty or the point/reference dimensions are
+/// inconsistent — scenario validation rules both out upstream.
+pub fn analyze(points: &[Vec<f64>], reference: Option<&[f64]>) -> Analysis {
+    assert!(!points.is_empty(), "portfolio needs at least one point");
+    let d = points[0].len();
+    assert!(points.iter().all(|p| p.len() == d), "inconsistent point dimensions");
+    let (reference, reference_derived) = match reference {
+        Some(r) => {
+            assert_eq!(r.len(), d, "reference dimension mismatch");
+            (r.to_vec(), false)
+        }
+        None => (derive_reference(points), true),
+    };
+    let on_frontier = frontier_flags(points);
+    let hv: Vec<f64> = points
+        .iter()
+        .map(std::slice::from_ref)
+        .map(|single| hypervolume(single, &reference))
+        .collect();
+    let cov: Vec<f64> = (0..points.len()).map(|i| coverage(points, i)).collect();
+    let frontier_hypervolume = hypervolume(points, &reference);
+    let auto_pick = pick(points, &on_frontier, &hv);
+    Analysis {
+        on_frontier,
+        hypervolume: hv,
+        coverage: cov,
+        frontier_hypervolume,
+        auto_pick,
+        reference,
+        reference_derived,
+    }
+}
+
+/// Worst observed value per axis, inflated by 10% of the observed range
+/// (or by 1.0 when every point ties on the axis).
+fn derive_reference(points: &[Vec<f64>]) -> Vec<f64> {
+    let d = points[0].len();
+    (0..d)
+        .map(|k| {
+            let worst = points.iter().map(|p| p[k]).fold(f64::NEG_INFINITY, f64::max);
+            let best = points.iter().map(|p| p[k]).fold(f64::INFINITY, f64::min);
+            let range = worst - best;
+            worst + if range > 0.0 { 0.1 * range } else { 1.0 }
+        })
+        .collect()
+}
+
+/// The auto-pick rule (documented on [`Analysis::auto_pick`]).
+fn pick(points: &[Vec<f64>], on_frontier: &[bool], hv: &[f64]) -> usize {
+    let mut best = None;
+    for i in 0..points.len() {
+        if !on_frontier[i] {
+            continue;
+        }
+        let better = match best {
+            None => true,
+            Some(b) => {
+                hv[i] > hv[b]
+                    || (hv[i] == hv[b]
+                        && points[i]
+                            .iter()
+                            .zip(&points[b])
+                            .find_map(|(x, y)| (x != y).then(|| x < y))
+                            .unwrap_or(false))
+            }
+        };
+        if better {
+            best = Some(i);
+        }
+    }
+    best.expect("a non-empty point set always has a frontier member")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_needs_a_strict_edge() {
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(dominates(&[1.0, 2.0], &[2.0, 3.0]));
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]), "equal points tie");
+        assert!(!dominates(&[1.0, 4.0], &[2.0, 3.0]), "trade-offs do not dominate");
+    }
+
+    #[test]
+    fn frontier_keeps_exactly_the_undominated_points() {
+        let pts = vec![
+            vec![1.0, 3.0], // frontier
+            vec![2.0, 2.0], // frontier
+            vec![3.0, 1.0], // frontier
+            vec![3.0, 3.0], // dominated by (2,2)
+            vec![1.0, 3.0], // duplicate of the first: also frontier
+        ];
+        assert_eq!(frontier_flags(&pts), vec![true, true, true, false, true]);
+    }
+
+    #[test]
+    fn hypervolume_matches_the_hand_computed_2d_staircase() {
+        // Points (1,3), (2,2), (3,1) against reference (4,4): three unit
+        // steps of a staircase, total area 6.
+        let pts = vec![vec![1.0, 3.0], vec![2.0, 2.0], vec![3.0, 1.0]];
+        assert_eq!(hypervolume(&pts, &[4.0, 4.0]), 6.0);
+        // A dominated point adds nothing.
+        let mut with_dominated = pts.clone();
+        with_dominated.push(vec![3.0, 3.0]);
+        assert_eq!(hypervolume(&with_dominated, &[4.0, 4.0]), 6.0);
+    }
+
+    #[test]
+    fn hypervolume_matches_the_hand_computed_3d_reference() {
+        // Boxes of (0,1,1) and (1,0,1) against (2,2,2): each box has
+        // volume 2·1·1 = 2, their overlap is 1·1·1 = 1, union = 3.
+        let pts = vec![vec![0.0, 1.0, 1.0], vec![1.0, 0.0, 1.0]];
+        assert_eq!(hypervolume(&pts, &[2.0, 2.0, 2.0]), 3.0);
+        // A single point's hypervolume is its box volume.
+        assert_eq!(hypervolume(&[vec![1.0, 1.0, 1.0]], &[2.0, 2.0, 2.0]), 1.0);
+    }
+
+    #[test]
+    fn points_outside_the_reference_contribute_nothing() {
+        assert_eq!(hypervolume(&[vec![5.0, 1.0]], &[4.0, 4.0]), 0.0);
+        assert_eq!(hypervolume(&[vec![4.0, 1.0]], &[4.0, 4.0]), 0.0, "on the boundary");
+        assert_eq!(hypervolume(&[], &[4.0, 4.0]), 0.0);
+        let pts = vec![vec![9.0, 9.0], vec![1.0, 1.0]];
+        assert_eq!(hypervolume(&pts, &[4.0, 4.0]), 9.0, "only the inside point counts");
+    }
+
+    #[test]
+    fn coverage_counts_weakly_beaten_rivals() {
+        let pts = vec![vec![1.0, 1.0], vec![1.0, 2.0], vec![2.0, 1.0], vec![0.5, 3.0]];
+        assert_eq!(coverage(&pts, 0), 2.0 / 3.0, "(1,1) beats (1,2) and (2,1)");
+        assert_eq!(coverage(&pts, 3), 0.0);
+        assert_eq!(coverage(&[vec![1.0]], 0), 0.0, "no rivals, no coverage");
+    }
+
+    #[test]
+    fn derived_reference_inflates_the_worst_point() {
+        let a = analyze(&[vec![1.0, 10.0], vec![3.0, 2.0]], None);
+        assert!(a.reference_derived);
+        // Worst per axis: (3, 10); ranges (2, 8) → +10%: (3.2, 10.8).
+        assert_eq!(a.reference, vec![3.2, 10.8]);
+        // Zero range → one unit of headroom.
+        let b = analyze(&[vec![5.0], vec![5.0]], None);
+        assert_eq!(b.reference, vec![6.0]);
+        // Every observed point gets positive volume under the derivation.
+        assert!(a.hypervolume.iter().all(|&v| v > 0.0), "{:?}", a.hypervolume);
+    }
+
+    #[test]
+    fn auto_pick_prefers_hypervolume_then_axis_order() {
+        // (1,3) box 3·1=3, (2,2) box 2·2=4, (3,1) box 1·3=3 vs ref (4,4).
+        let a = analyze(&[vec![1.0, 3.0], vec![2.0, 2.0], vec![3.0, 1.0]], Some(&[4.0, 4.0]));
+        assert_eq!(a.auto_pick, 1);
+        assert_eq!(a.frontier_hypervolume, 6.0);
+        // Symmetric boxes tie on volume; the first axis breaks the tie.
+        let b = analyze(&[vec![3.0, 1.0], vec![1.0, 3.0]], Some(&[4.0, 4.0]));
+        assert_eq!(b.auto_pick, 1, "(1,3) wins on the first axis");
+        // A dominated point is never picked, whatever its box volume.
+        let c = analyze(&[vec![2.0, 2.0], vec![2.0, 3.0]], Some(&[40.0, 40.0]));
+        assert_eq!(c.auto_pick, 0);
+        assert!(!c.on_frontier[1]);
+    }
+}

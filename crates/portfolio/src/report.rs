@@ -1,0 +1,353 @@
+//! The portfolio report: the raced sweep plus the frontier analytics,
+//! rendered as a text table and as the stable `bas-portfolio/v1` JSON.
+//!
+//! ## JSON schema (`PortfolioReport::to_json`)
+//!
+//! ```text
+//! {
+//!   "schema": "bas-portfolio/v1",
+//!   "scenario": "battery-aware",          // scenario name
+//!   "base_seed": 9, "trials": 6, "pes": 1,
+//!   "axes": ["energy_j", "deadline_misses", "makespan"],
+//!   "reference": {"energy_j": 500.0, ...},   // user-orientation values
+//!   "reference_derived": true,               // false when pinned in the file
+//!   "specs": [                               // lineup order
+//!     {"label": "kvEDF+pUBS/all",
+//!      "point": {"energy_j": 431.9, ...},    // mean over trials per axis
+//!      "on_frontier": true,
+//!      "hypervolume": 123.4,                 // this point's own box
+//!      "coverage": 0.25},                    // fraction of rivals weakly beaten
+//!     ...
+//!   ],
+//!   "frontier": ["kvEDF+pUBS/all", ...],     // lineup order
+//!   "frontier_hypervolume": 456.7,
+//!   "auto_pick": "kvEDF+pUBS/all"
+//! }
+//! ```
+//!
+//! The schema is stable: fields may be added, never renamed or removed.
+//! All analytics are reported in **user orientation** (lifetime in
+//! minutes, bigger better); the minimization trick is internal.
+
+use crate::pareto::analyze;
+use crate::{Axis, PortfolioError};
+use bas_core::report::json_string;
+use bas_core::{Scenario, SweepReport, TextTable};
+use std::fmt::Write as _;
+
+/// Identifier of the JSON schema emitted by this version of the crate.
+pub const SCHEMA: &str = "bas-portfolio/v1";
+
+/// One raced spec's analytics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecResult {
+    /// The spec's canonical label (or the spelling the lineup used).
+    pub label: String,
+    /// The spec's point in objective space: per axis, the mean over
+    /// trials, in user orientation.
+    pub point: Vec<f64>,
+    /// Is the point on the Pareto frontier?
+    pub on_frontier: bool,
+    /// The point's individual hypervolume against the reference.
+    pub hypervolume: f64,
+    /// Fraction of rival specs this spec weakly dominates.
+    pub coverage: f64,
+}
+
+/// Everything a portfolio run produced: the underlying sweep plus the
+/// frontier analytics over it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PortfolioReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// The sweep's base seed.
+    pub base_seed: u64,
+    /// Trials per spec.
+    pub trials: usize,
+    /// Processing elements of the platform.
+    pub pes: usize,
+    /// The objective axes, in scenario order.
+    pub axes: Vec<Axis>,
+    /// The hypervolume reference point, user orientation, one per axis.
+    pub reference: Vec<f64>,
+    /// Whether the reference was derived from the observed points.
+    pub reference_derived: bool,
+    /// Per-spec analytics, in lineup order.
+    pub specs: Vec<SpecResult>,
+    /// Labels of the frontier members, in lineup order.
+    pub frontier: Vec<String>,
+    /// Hypervolume of the whole frontier.
+    pub frontier_hypervolume: f64,
+    /// Label of the recommended spec (see [`crate::Analysis::auto_pick`]).
+    pub auto_pick: String,
+    /// The raced sweep itself (per-trial records, summaries).
+    pub sweep: SweepReport,
+}
+
+impl PortfolioReport {
+    /// Analyze a finished sweep against a portfolio scenario's axes and
+    /// (optional) pinned reference point.
+    pub fn from_sweep(scenario: &Scenario, sweep: SweepReport) -> Result<Self, PortfolioError> {
+        let axes: Vec<Axis> = scenario
+            .axes
+            .iter()
+            .map(|name| {
+                Axis::from_name(name)
+                    .ok_or_else(|| PortfolioError::Scenario(format!("unknown axis {name:?}")))
+            })
+            .collect::<Result<_, _>>()?;
+        if sweep.specs.is_empty() {
+            return Err(PortfolioError::Sweep("the sweep raced no specs".to_string()));
+        }
+        // Build the oriented (minimization) point set: one point per spec,
+        // maximized axes negated.
+        let mut points = Vec::with_capacity(sweep.specs.len());
+        for spec in &sweep.specs {
+            let mut point = Vec::with_capacity(axes.len());
+            for axis in &axes {
+                let mean = axis.mean_of(spec).ok_or_else(|| {
+                    PortfolioError::Sweep(format!(
+                        "axis {axis} is unavailable for spec {} (no battery co-simulation)",
+                        spec.label
+                    ))
+                })?;
+                point.push(if axis.maximize() { -mean } else { mean });
+            }
+            points.push(point);
+        }
+        let oriented_reference: Option<Vec<f64>> = (!scenario.reference.is_empty()).then(|| {
+            scenario
+                .reference
+                .iter()
+                .zip(&axes)
+                .map(|(&r, a)| if a.maximize() { -r } else { r })
+                .collect()
+        });
+        let analysis = analyze(&points, oriented_reference.as_deref());
+        let unorient = |axis: &Axis, v: f64| if axis.maximize() { -v } else { v };
+        let specs: Vec<SpecResult> = sweep
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| SpecResult {
+                label: spec.label.clone(),
+                point: points[i].iter().zip(&axes).map(|(&v, a)| unorient(a, v)).collect(),
+                on_frontier: analysis.on_frontier[i],
+                hypervolume: analysis.hypervolume[i],
+                coverage: analysis.coverage[i],
+            })
+            .collect();
+        let frontier: Vec<String> =
+            specs.iter().filter(|s| s.on_frontier).map(|s| s.label.clone()).collect();
+        let reference: Vec<f64> =
+            analysis.reference.iter().zip(&axes).map(|(&v, a)| unorient(a, v)).collect();
+        Ok(PortfolioReport {
+            scenario: scenario.name.clone(),
+            base_seed: sweep.base_seed,
+            trials: sweep.trials,
+            pes: scenario.pes,
+            axes,
+            reference,
+            reference_derived: analysis.reference_derived,
+            auto_pick: specs[analysis.auto_pick].label.clone(),
+            specs,
+            frontier,
+            frontier_hypervolume: analysis.frontier_hypervolume,
+            sweep,
+        })
+    }
+
+    /// The text rendering: one table row per spec (axis means, frontier
+    /// membership, hypervolume, coverage) plus the frontier summary and
+    /// the auto-pick.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "portfolio: {} — {} specs × {} trials (base seed {})",
+            self.scenario,
+            self.specs.len(),
+            self.trials,
+            self.base_seed
+        );
+        let ref_cells: Vec<String> = self
+            .axes
+            .iter()
+            .zip(&self.reference)
+            .map(|(a, v)| format!("{a} {}", fmt_val(*v)))
+            .collect();
+        let _ = writeln!(
+            out,
+            "reference point ({}): {}",
+            if self.reference_derived { "derived" } else { "pinned" },
+            ref_cells.join(", ")
+        );
+        out.push('\n');
+        let mut headers: Vec<&str> = vec!["spec"];
+        let axis_names: Vec<&str> = self.axes.iter().map(|a| a.name()).collect();
+        headers.extend(&axis_names);
+        headers.extend(["front", "hypervol", "coverage"]);
+        let mut table = TextTable::new(&headers);
+        for s in &self.specs {
+            let mut row: Vec<String> = vec![s.label.clone()];
+            row.extend(s.point.iter().map(|&v| fmt_val(v)));
+            row.push(if s.on_frontier { "*".to_string() } else { String::new() });
+            row.push(fmt_val(s.hypervolume));
+            row.push(format!("{:.2}", s.coverage));
+            table.row(&row);
+        }
+        out.push_str(&table.render());
+        out.push('\n');
+        let _ = writeln!(
+            out,
+            "frontier ({} of {}): {}",
+            self.frontier.len(),
+            self.specs.len(),
+            self.frontier.join(", ")
+        );
+        let _ = writeln!(out, "frontier hypervolume: {}", fmt_val(self.frontier_hypervolume));
+        let _ = writeln!(out, "auto-pick: {}", self.auto_pick);
+        out
+    }
+
+    /// Serialize as the stable `bas-portfolio/v1` JSON (module docs).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", json_string(SCHEMA));
+        let _ = writeln!(out, "  \"scenario\": {},", json_string(&self.scenario));
+        let _ = writeln!(out, "  \"base_seed\": {},", self.base_seed);
+        let _ = writeln!(out, "  \"trials\": {},", self.trials);
+        let _ = writeln!(out, "  \"pes\": {},", self.pes);
+        let axes: Vec<String> = self.axes.iter().map(|a| json_string(a.name())).collect();
+        let _ = writeln!(out, "  \"axes\": [{}],", axes.join(", "));
+        let _ = writeln!(out, "  \"reference\": {{{}}},", self.axis_map(&self.reference));
+        let _ = writeln!(out, "  \"reference_derived\": {},", self.reference_derived);
+        out.push_str("  \"specs\": [");
+        for (i, s) in self.specs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"label\": {}, \"point\": {{{}}}, \"on_frontier\": {}, \
+                 \"hypervolume\": {}, \"coverage\": {}}}",
+                json_string(&s.label),
+                self.axis_map(&s.point),
+                s.on_frontier,
+                json_number(s.hypervolume),
+                json_number(s.coverage),
+            );
+        }
+        out.push_str("\n  ],\n");
+        let frontier: Vec<String> = self.frontier.iter().map(|l| json_string(l)).collect();
+        let _ = writeln!(out, "  \"frontier\": [{}],", frontier.join(", "));
+        let _ = writeln!(
+            out,
+            "  \"frontier_hypervolume\": {},",
+            json_number(self.frontier_hypervolume)
+        );
+        let _ = writeln!(out, "  \"auto_pick\": {}", json_string(&self.auto_pick));
+        out.push_str("}\n");
+        out
+    }
+
+    /// `"axis": value` pairs in axis order, for JSON objects.
+    fn axis_map(&self, values: &[f64]) -> String {
+        self.axes
+            .iter()
+            .zip(values)
+            .map(|(a, &v)| format!("{}: {}", json_string(a.name()), json_number(v)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+/// A float as a JSON number; non-finite values become `null` (mirrors the
+/// `bas-report/v1` emitter).
+fn json_number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Compact fixed-point rendering for the text table.
+fn fmt_val(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    if v == v.trunc() && v.abs() < 1e9 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bas_core::{Scenario, ScenarioKind};
+
+    fn tiny_report() -> PortfolioReport {
+        let mut s = Scenario::preset(ScenarioKind::Portfolio);
+        s.set("trials", "2").unwrap();
+        s.set("specs", "EDF,BAS-2,laEDF").unwrap();
+        s.set("horizon", "200").unwrap();
+        crate::run_portfolio(&s).unwrap()
+    }
+
+    #[test]
+    fn report_carries_consistent_frontier_analytics() {
+        let r = tiny_report();
+        assert_eq!(r.specs.len(), 3);
+        assert_eq!(r.trials, 2);
+        assert!(!r.frontier.is_empty(), "a non-empty race always has a frontier");
+        assert!(r.frontier.contains(&r.auto_pick), "auto-pick must sit on the frontier");
+        for s in &r.specs {
+            assert_eq!(s.on_frontier, r.frontier.contains(&s.label));
+            assert_eq!(s.point.len(), r.axes.len());
+            assert!(s.hypervolume >= 0.0 && s.coverage >= 0.0 && s.coverage <= 1.0);
+        }
+        assert!(r.reference_derived, "preset pins no reference point");
+        assert!(
+            r.frontier_hypervolume >= r.specs.iter().map(|s| s.hypervolume).fold(0.0, f64::max),
+            "the union dominates every individual box"
+        );
+    }
+
+    #[test]
+    fn json_schema_has_the_pinned_shape() {
+        let r = tiny_report();
+        let json = r.to_json();
+        for needle in [
+            "\"schema\": \"bas-portfolio/v1\"",
+            "\"scenario\": \"portfolio\"",
+            "\"axes\": [\"energy_j\", \"deadline_misses\", \"makespan\"]",
+            "\"reference\": {\"energy_j\": ",
+            "\"reference_derived\": true",
+            "\"on_frontier\": ",
+            "\"frontier\": [",
+            "\"frontier_hypervolume\": ",
+            "\"auto_pick\": ",
+        ] {
+            assert!(json.contains(needle), "missing {needle:?} in:\n{json}");
+        }
+        // Deterministic: rendering twice gives the same bytes.
+        assert_eq!(json, r.to_json());
+    }
+
+    #[test]
+    fn text_rendering_names_the_frontier_and_pick() {
+        let r = tiny_report();
+        let text = r.to_text();
+        assert!(text.contains("portfolio: portfolio — 3 specs × 2 trials"), "{text}");
+        assert!(text.contains("reference point (derived)"), "{text}");
+        assert!(text.contains("auto-pick: "), "{text}");
+        for s in &r.specs {
+            assert!(text.contains(&s.label), "{text}");
+        }
+    }
+}

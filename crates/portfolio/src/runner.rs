@@ -1,0 +1,120 @@
+//! Racing the portfolio: expand the spec set, run one deterministic sweep
+//! over it, analyze the result.
+
+use crate::{PortfolioError, PortfolioReport};
+use bas_core::{expand_spec_patterns, Scenario, ScenarioKind, Sweep};
+use bas_sim::DeadlineMode;
+
+/// Convert a plain `sweep` scenario into its portfolio twin: the same
+/// workload, platform, battery, horizon and seeds, but racing the **whole
+/// grammar** (`specs = ["all"]`) over the default axes. A scenario already
+/// of the portfolio kind passes through unchanged; other kinds are
+/// rejected.
+pub fn adopt(mut scenario: Scenario) -> Result<Scenario, PortfolioError> {
+    match scenario.kind {
+        ScenarioKind::Portfolio => Ok(scenario),
+        ScenarioKind::Sweep => {
+            scenario.kind = ScenarioKind::Portfolio;
+            scenario.specs = vec!["all".to_string()];
+            let preset = Scenario::preset(ScenarioKind::Portfolio);
+            scenario.axes = preset.axes;
+            scenario.reference = Vec::new();
+            scenario.validate().map_err(|e| PortfolioError::Scenario(e.to_string()))?;
+            Ok(scenario)
+        }
+        other => Err(PortfolioError::Scenario(format!(
+            "kind `{other}` cannot race as a portfolio (expected portfolio or sweep)"
+        ))),
+    }
+}
+
+/// Race a `portfolio`-kind scenario: expand its spec patterns, run every
+/// spec through one deterministic [`Sweep`] (same trial seeds for every
+/// spec, bit-identical across thread counts, deadline misses counted
+/// rather than fatal), and analyze the frontier.
+pub fn run_portfolio(scenario: &Scenario) -> Result<PortfolioReport, PortfolioError> {
+    if scenario.kind != ScenarioKind::Portfolio {
+        return Err(PortfolioError::Scenario(format!(
+            "run_portfolio only runs `portfolio` scenarios, not `{}`",
+            scenario.kind
+        )));
+    }
+    scenario.validate().map_err(|e| PortfolioError::Scenario(e.to_string()))?;
+    let specs = expand_spec_patterns(&scenario.specs)
+        .map_err(|e| PortfolioError::Scenario(e.to_string()))?;
+    let config = scenario.workload_config().map_err(|e| PortfolioError::Scenario(e.to_string()))?;
+    let platform =
+        scenario.build_platform().map_err(|e| PortfolioError::Scenario(e.to_string()))?;
+    let mut sweep = Sweep::over_seeds(scenario.seed, scenario.trials)
+        .specs(specs)
+        .workload(config)
+        .platform(&platform)
+        .horizon(scenario.horizon)
+        .threads(scenario.threads)
+        .sampler(scenario.sampler)
+        .freq_policy(scenario.freq)
+        // A missed deadline is a coordinate, not an abort: the whole point
+        // is to see where aggressive slowdowns trade feasibility away.
+        .deadline_mode(DeadlineMode::DropAndCount);
+    if scenario.battery != "none" {
+        sweep = sweep
+            .battery(|seed| scenario.build_battery(seed).expect("battery name validated above"));
+    }
+    let report = sweep.run().map_err(|e| PortfolioError::Sweep(e.to_string()))?;
+    PortfolioReport::from_sweep(scenario, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(specs: &str) -> Scenario {
+        let mut s = Scenario::preset(ScenarioKind::Portfolio);
+        s.set("trials", "2").unwrap();
+        s.set("specs", specs).unwrap();
+        s.set("horizon", "200").unwrap();
+        s
+    }
+
+    #[test]
+    fn globs_race_their_whole_expansion() {
+        let r = run_portfolio(&tiny("laEDF+*/*")).unwrap();
+        assert_eq!(r.specs.len(), 8, "4 priorities × 2 scopes");
+        assert!(r.specs.iter().all(|s| s.label.starts_with("laEDF+")));
+    }
+
+    #[test]
+    fn all_races_the_whole_grammar() {
+        let r = run_portfolio(&tiny("all")).unwrap();
+        assert_eq!(r.specs.len(), 40, "5 governors × 4 priorities × 2 scopes");
+    }
+
+    #[test]
+    fn specs_share_trial_seeds() {
+        let r = run_portfolio(&tiny("EDF,BAS-2")).unwrap();
+        let seeds: Vec<Vec<u64>> =
+            r.sweep.specs.iter().map(|s| s.trials.iter().map(|t| t.seed).collect()).collect();
+        assert_eq!(seeds[0], seeds[1], "every spec races the same trials");
+    }
+
+    #[test]
+    fn adopt_turns_a_sweep_into_a_whole_grammar_portfolio() {
+        let mut sweep = Scenario::preset(ScenarioKind::Sweep);
+        sweep.set("trials", "2").unwrap();
+        let adopted = adopt(sweep).unwrap();
+        assert_eq!(adopted.kind, ScenarioKind::Portfolio);
+        assert_eq!(adopted.specs, vec!["all"]);
+        assert_eq!(adopted.trials, 2, "sweep knobs survive adoption");
+        assert_eq!(adopted.axes, vec!["energy_j", "deadline_misses", "makespan"]);
+
+        let portfolio = Scenario::preset(ScenarioKind::Portfolio);
+        assert_eq!(adopt(portfolio.clone()).unwrap(), portfolio, "pass-through");
+        assert!(adopt(Scenario::preset(ScenarioKind::Fig4)).is_err());
+    }
+
+    #[test]
+    fn non_portfolio_kinds_are_rejected() {
+        let e = run_portfolio(&Scenario::preset(ScenarioKind::Sweep)).unwrap_err();
+        assert!(e.to_string().contains("portfolio"), "{e}");
+    }
+}

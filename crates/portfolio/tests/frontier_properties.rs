@@ -1,0 +1,152 @@
+//! Property tests for the portfolio's frontier math, pinning the claims
+//! the report layer relies on:
+//!
+//! * no frontier point is dominated by any raced point, and every
+//!   dominated point is off the frontier;
+//! * the analysis is **bit-identical** under permutation of the specs and
+//!   under worker-thread count (f64s compared by `to_bits`);
+//! * hypervolume matches an independent 2-D staircase computation on
+//!   random point sets (the 3-D hand references live in the unit tests).
+
+use bas_portfolio::{analyze, dominates, frontier_flags, hypervolume, run_portfolio};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random point set: `n` points of dimension `d` on a coarse grid (so
+/// ties and duplicates actually happen).
+fn random_points(rng: &mut StdRng, n: usize, d: usize) -> Vec<Vec<f64>> {
+    (0..n).map(|_| (0..d).map(|_| rng.gen_range(0..20) as f64 / 2.0).collect()).collect()
+}
+
+/// Independent 2-D hypervolume: sort the frontier by x and sum the
+/// staircase rectangles against the reference corner.
+fn staircase_area_2d(points: &[Vec<f64>], reference: &[f64]) -> f64 {
+    let mut inside: Vec<&Vec<f64>> =
+        points.iter().filter(|p| p[0] < reference[0] && p[1] < reference[1]).collect();
+    inside.sort_by(|a, b| a[0].total_cmp(&b[0]).then(a[1].total_cmp(&b[1])));
+    let mut area = 0.0;
+    let mut ceiling = reference[1];
+    for p in inside {
+        if p[1] < ceiling {
+            area += (reference[0] - p[0]) * (ceiling - p[1]);
+            ceiling = p[1];
+        }
+    }
+    area
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn frontier_points_are_exactly_the_undominated_ones(seed in 0u64..u64::MAX / 2) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1..24usize);
+        let d = rng.gen_range(1..5usize);
+        let points = random_points(&mut rng, n, d);
+        let flags = frontier_flags(&points);
+        for (i, p) in points.iter().enumerate() {
+            let dominated = points.iter().any(|q| dominates(q, p));
+            prop_assert_eq!(flags[i], !dominated, "point {} of {:?}", i, points);
+            if !flags[i] {
+                // Every off-frontier point is beaten by some frontier point:
+                // dominance is transitive, so a maximal dominator is frontier.
+                let beaten_by_frontier = points
+                    .iter()
+                    .enumerate()
+                    .any(|(j, q)| flags[j] && dominates(q, p));
+                prop_assert!(beaten_by_frontier, "point {} of {:?}", i, points);
+            }
+        }
+        prop_assert!(flags.iter().any(|&f| f), "a non-empty set always has a frontier");
+    }
+
+    #[test]
+    fn analysis_is_bit_identical_under_permutation(seed in 0u64..u64::MAX / 2) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(2..16usize);
+        let d = rng.gen_range(1..4usize);
+        let points = random_points(&mut rng, n, d);
+        let base = analyze(&points, None);
+        // A deterministic pseudo-random permutation of the points.
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        let shuffled: Vec<Vec<f64>> = order.iter().map(|&i| points[i].clone()).collect();
+        let permuted = analyze(&shuffled, None);
+        prop_assert_eq!(
+            base.frontier_hypervolume.to_bits(),
+            permuted.frontier_hypervolume.to_bits(),
+            "frontier hypervolume drifted under permutation of {:?}", points
+        );
+        for (new_ix, &old_ix) in order.iter().enumerate() {
+            prop_assert_eq!(base.on_frontier[old_ix], permuted.on_frontier[new_ix]);
+            prop_assert_eq!(
+                base.hypervolume[old_ix].to_bits(),
+                permuted.hypervolume[new_ix].to_bits()
+            );
+            prop_assert_eq!(
+                base.coverage[old_ix].to_bits(),
+                permuted.coverage[new_ix].to_bits()
+            );
+        }
+        for (a, b) in base.reference.iter().zip(&permuted.reference) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // The auto-pick is the same *point* (ties broken by value, and by
+        // input order only between fully identical points).
+        prop_assert_eq!(
+            &points[base.auto_pick], &shuffled[permuted.auto_pick],
+            "auto-pick changed under permutation of {:?}", points
+        );
+    }
+
+    #[test]
+    fn hypervolume_matches_the_2d_staircase(seed in 0u64..u64::MAX / 2) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.gen_range(1..20usize);
+        let points = random_points(&mut rng, n, 2);
+        let reference = [10.5, 10.5];
+        let hv = hypervolume(&points, &reference);
+        let expected = staircase_area_2d(&points, &reference);
+        prop_assert!(
+            (hv - expected).abs() < 1e-9,
+            "HSO {} vs staircase {} on {:?}", hv, expected, points
+        );
+    }
+}
+
+/// The portfolio run itself is bit-identical across worker-thread counts,
+/// like every sweep in the repo: parallelism is a pure wall-clock
+/// optimization, and the analytics inherit that.
+#[test]
+fn portfolio_reports_are_bit_identical_across_thread_counts() {
+    use bas_core::{Scenario, ScenarioKind};
+    let run_with = |threads: &str| {
+        let mut s = Scenario::preset(ScenarioKind::Portfolio);
+        s.set("trials", "3").unwrap();
+        s.set("specs", "laEDF+*/*,BAS-soc,BAS-kv").unwrap();
+        s.set("horizon", "300").unwrap();
+        s.set("threads", threads).unwrap();
+        run_portfolio(&s).unwrap()
+    };
+    let one = run_with("1");
+    let four = run_with("4");
+    assert_eq!(one.frontier, four.frontier);
+    assert_eq!(one.auto_pick, four.auto_pick);
+    assert_eq!(one.frontier_hypervolume.to_bits(), four.frontier_hypervolume.to_bits());
+    for (a, b) in one.specs.iter().zip(&four.specs) {
+        assert_eq!(a.label, b.label);
+        assert_eq!(a.on_frontier, b.on_frontier);
+        assert_eq!(a.hypervolume.to_bits(), b.hypervolume.to_bits(), "{}", a.label);
+        assert_eq!(a.coverage.to_bits(), b.coverage.to_bits(), "{}", a.label);
+        for (x, y) in a.point.iter().zip(&b.point) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{}", a.label);
+        }
+    }
+    // And so is the serialized artifact, byte for byte.
+    assert_eq!(one.to_json(), four.to_json());
+    assert_eq!(one.to_text(), four.to_text());
+}

@@ -27,6 +27,13 @@ pub struct Metrics {
     pub decisions: u64,
     /// Preemptions (a running node was interrupted by a release).
     pub preemptions: u64,
+    /// Makespan, seconds: the worst release-to-last-completion span over all
+    /// completed graph instances (0 when none completed). Under DVS this is
+    /// the per-hyperperiod "how late does the schedule stretch" measure —
+    /// deadline-feasible schedules keep it at or below the relative
+    /// deadline, and slower (more battery-friendly) frequency choices push
+    /// it toward that bound.
+    pub makespan: f64,
 }
 
 impl Metrics {

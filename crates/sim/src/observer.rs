@@ -116,13 +116,17 @@ impl SimObserver for TraceRecorder {
 pub struct MetricsCollector {
     vbat: f64,
     metrics: Metrics,
+    /// Per-graph release time of the currently active instance (indexed by
+    /// `GraphId::index`), feeding the makespan accounting: a `Complete` with
+    /// `instance_done` closes the span opened by the graph's `Release`.
+    release_t: Vec<f64>,
 }
 
 impl MetricsCollector {
     /// A collector for a platform with battery voltage `vbat` (volts) —
     /// needed to integrate energy from the current-only slice stream.
     pub fn new(vbat: f64) -> Self {
-        MetricsCollector { vbat, metrics: Metrics::default() }
+        MetricsCollector { vbat, metrics: Metrics::default(), release_t: Vec::new() }
     }
 
     /// The metrics accumulated so far.
@@ -139,17 +143,29 @@ impl MetricsCollector {
 impl SimObserver for MetricsCollector {
     fn on_event(&mut self, _state: &SimState, event: &SimEvent) {
         match *event {
-            SimEvent::Release { .. } => self.metrics.instances_released += 1,
+            SimEvent::Release { t, graph, .. } => {
+                self.metrics.instances_released += 1;
+                let ix = graph.index();
+                if self.release_t.len() <= ix {
+                    self.release_t.resize(ix + 1, f64::NAN);
+                }
+                self.release_t[ix] = t;
+            }
             SimEvent::Decision { .. } => self.metrics.decisions += 1,
             SimEvent::Preempt { .. } => self.metrics.preemptions += 1,
             SimEvent::Progress { cycles, busy, .. } => {
                 self.metrics.busy_time += busy;
                 self.metrics.cycles_executed += cycles;
             }
-            SimEvent::Complete { instance_done, .. } => {
+            SimEvent::Complete { t, task, instance_done, .. } => {
                 self.metrics.nodes_completed += 1;
                 if instance_done {
                     self.metrics.instances_completed += 1;
+                    if let Some(release) = self.release_t.get(task.graph.index()) {
+                        if release.is_finite() {
+                            self.metrics.makespan = self.metrics.makespan.max(t - release);
+                        }
+                    }
                 }
             }
             SimEvent::DeadlineMiss { .. } => self.metrics.deadline_misses += 1,
@@ -213,6 +229,44 @@ mod tests {
         assert_eq!(m.busy_time, 4.0);
         assert_eq!(m.cycles_executed, 4.0);
         assert_eq!(m.idle_time, 1.0);
+        assert_eq!(m.makespan, 4.0, "release at 0, instance done at 4");
+    }
+
+    #[test]
+    fn makespan_is_the_worst_release_to_completion_span() {
+        let state = SimState::new(TaskSet::new());
+        let mut c = MetricsCollector::new(2.0);
+        let g0 = GraphId::from_index(0);
+        let g1 = GraphId::from_index(1);
+        let t0 = TaskRef::new(g0, NodeId::from_index(0));
+        let t1 = TaskRef::new(g1, NodeId::from_index(0));
+        // Instance 0 of g0: span 3. An intermediate node completion
+        // (instance_done: false) must not close a span.
+        c.on_event(&state, &SimEvent::Release { t: 0.0, graph: g0, instance: 0, deadline: 10.0 });
+        c.on_event(
+            &state,
+            &SimEvent::Complete { t: 2.0, pe: 0, task: t0, actual: 2.0, instance_done: false },
+        );
+        c.on_event(
+            &state,
+            &SimEvent::Complete { t: 3.0, pe: 0, task: t0, actual: 1.0, instance_done: true },
+        );
+        assert_eq!(c.metrics().makespan, 3.0);
+        // g1 released later, finishing 5 after its own release: worst span 5,
+        // measured from the *graph's* release, not g0's.
+        c.on_event(&state, &SimEvent::Release { t: 10.0, graph: g1, instance: 0, deadline: 20.0 });
+        c.on_event(
+            &state,
+            &SimEvent::Complete { t: 15.0, pe: 0, task: t1, actual: 5.0, instance_done: true },
+        );
+        assert_eq!(c.metrics().makespan, 5.0);
+        // A later, tighter instance does not shrink the recorded worst case.
+        c.on_event(&state, &SimEvent::Release { t: 20.0, graph: g0, instance: 1, deadline: 30.0 });
+        c.on_event(
+            &state,
+            &SimEvent::Complete { t: 21.0, pe: 0, task: t0, actual: 1.0, instance_done: true },
+        );
+        assert_eq!(c.metrics().makespan, 5.0);
     }
 
     #[test]
