@@ -2,7 +2,8 @@
 //! trajectory.
 //!
 //! Runs a **pinned suite** of end-to-end scenarios (smoke, sweep, mpsoc,
-//! battery-aware — each on 1 and 4 processing elements) through exactly the
+//! battery-aware, biglittle, big-dag — each on 1 and 4 processing
+//! elements) through exactly the
 //! sweep replay path (`Scenario::trial_set` / `trial_experiment` /
 //! `build_battery`), measures wall time per entry and reports throughput as
 //! **steps per second**, where a *step* is one scheduling decision (a
@@ -81,7 +82,7 @@ pub struct SuiteScenario {
 }
 
 /// The pinned suite, crossed with [`SUITE_PES`].
-pub const SUITE_SCENARIOS: [SuiteScenario; 4] = [
+pub const SUITE_SCENARIOS: [SuiteScenario; 6] = [
     // Unit-scale, no battery, seconds-long instances: many short trials, so
     // this entry also measures the Sweep layer's per-trial setup.
     // Quick budgets are sized so every entry takes ≥ ~100 ms of wall time
@@ -95,6 +96,17 @@ pub const SUITE_SCENARIOS: [SuiteScenario; 4] = [
     SuiteScenario { name: "mpsoc", quick: (96, 50_000.0), full: (128, 200_000.0) },
     // BAS-2 vs BAS-soc, paper scale, stochastic battery.
     SuiteScenario { name: "battery-aware", quick: (4, 2000.0), full: (8, 20_000.0) },
+    // Paper-scale big.LITTLE lineup (incl. BAS-soc/BAS-kv) over the shared
+    // KiBaM cell: the heterogeneity-aware mapper plus interconnect charging
+    // on cross-PE DAG edges. The 1-PE width measures the same lineup on a
+    // single `big` element (per-PE presets are width-bound, so the shared
+    // preset substitutes).
+    SuiteScenario { name: "biglittle", quick: (2, 2000.0), full: (6, 20_000.0) },
+    // The 10,000-node generated layered DAG, rebuilt per trial seed: one
+    // periodic instance per ~785k-second period, so the horizon carries
+    // the work. Measures the engine's O(n) scheduling paths and the
+    // mapper's load balancing at graph scale.
+    SuiteScenario { name: "big-dag", quick: (1, 1_000_000.0), full: (2, 2_000_000.0) },
 ];
 
 /// Platform widths every suite scenario is benchmarked on.
@@ -605,8 +617,8 @@ mod tests {
 
     #[test]
     fn suite_is_the_pinned_cross_product() {
-        // 4 scenarios × 2 widths, plus the portfolio and serve entries.
-        assert_eq!(SUITE_SCENARIOS.len() * SUITE_PES.len(), 8);
-        assert_eq!(SUITE_SCENARIOS.len() * SUITE_PES.len() + 2, 10, "portfolio + serve ride along");
+        // 6 scenarios × 2 widths, plus the portfolio and serve entries.
+        assert_eq!(SUITE_SCENARIOS.len() * SUITE_PES.len(), 12);
+        assert_eq!(SUITE_SCENARIOS.len() * SUITE_PES.len() + 2, 14, "portfolio + serve ride along");
     }
 }

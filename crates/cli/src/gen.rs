@@ -1,0 +1,255 @@
+//! `bas gen` — synthetic DAG generation and WfCommons import from the
+//! command line.
+//!
+//! ```text
+//! bas gen <layered|fork-join|random> [--nodes N] [--seed S]
+//! bas gen import <workflow.json> [--ref-speed CYCLES_PER_SEC]
+//! ```
+//!
+//! Both forms build a task graph and print a deterministic summary —
+//! node/edge counts, source/sink counts, total and critical-path WCET,
+//! total edge payload bytes — without running a simulation. The generator
+//! form is the same seeded machinery behind a scenario's `[workload]`
+//! block (same family + nodes + seed, same graph, bit for bit), so the
+//! summary here describes exactly what `bas run` will schedule.
+//! `--format json` emits the stable [`SCHEMA`] object CI's
+//! workload-import job validates fixture parses against.
+
+use crate::args::Args;
+use crate::{outln, CliError};
+use bas_core::report::json_string;
+use bas_taskgraph::TaskGraph;
+use bas_workload::{wfcommons, BigDagConfig, Family, ImportConfig};
+use std::path::Path;
+
+/// Stable schema tag of `bas gen --format json`.
+pub const SCHEMA: &str = "bas-graph/v1";
+
+/// Run `bas gen` on the parsed argument list.
+pub fn run(args: &Args) -> Result<(), CliError> {
+    let (payload, out_path) = render(args)?;
+    match out_path {
+        Some(path) => std::fs::write(&path, &payload)
+            .map_err(|e| CliError::Runtime(format!("writing {path}: {e}")))?,
+        None => print!("{payload}"),
+    }
+    Ok(())
+}
+
+/// Build the summary payload and the optional `--out` destination.
+fn render(args: &Args) -> Result<(String, Option<String>), CliError> {
+    let Some(target) = args.positional.get(1) else {
+        return Err(CliError::Usage(
+            "`bas gen` needs a DAG family (layered, fork-join, random) \
+             or `import <workflow.json>`"
+                .to_string(),
+        ));
+    };
+    if target == "import" {
+        render_import(args)
+    } else {
+        render_generate(target, args)
+    }
+}
+
+fn render_generate(family: &str, args: &Args) -> Result<(String, Option<String>), CliError> {
+    crate::expect_positionals(args, 2)?;
+    let family: Family = family.parse().map_err(crate::usage_err)?;
+    let mut config = BigDagConfig { family, ..BigDagConfig::default() };
+    let mut json = false;
+    let mut out_path = None;
+    for (key, value) in &args.flags {
+        match key.as_str() {
+            "nodes" => config.nodes = parse_flag(key, value)?,
+            "seed" => config.seed = parse_flag(key, value)?,
+            "format" => json = parse_format(value)?,
+            "out" => out_path = Some(value.clone()),
+            key => return Err(CliError::Usage(format!("`bas gen` takes no --{key} flag"))),
+        }
+    }
+    let graph = config.generate().map_err(crate::usage_err)?;
+    let payload = if json {
+        graph_json(
+            &graph,
+            &[
+                ("source", json_string("generated")),
+                ("family", json_string(family.name())),
+                ("seed", config.seed.to_string()),
+            ],
+        )
+    } else {
+        graph_text(
+            &graph,
+            &format!("{}: generated {} DAG, seed {}", graph.name(), family.name(), config.seed),
+        )
+    };
+    Ok((payload, out_path))
+}
+
+fn render_import(args: &Args) -> Result<(String, Option<String>), CliError> {
+    let path = args.positional.get(2).ok_or_else(|| {
+        CliError::Usage("`bas gen import` needs a WfCommons JSON file".to_string())
+    })?;
+    crate::expect_positionals(args, 3)?;
+    let mut config = ImportConfig::default();
+    let mut json = false;
+    let mut out_path = None;
+    for (key, value) in &args.flags {
+        match key.as_str() {
+            "ref-speed" | "ref_speed" => {
+                config.ref_speed = parse_flag(key, value)?;
+            }
+            "format" => json = parse_format(value)?,
+            "out" => out_path = Some(value.clone()),
+            key => {
+                return Err(CliError::Usage(format!("`bas gen import` takes no --{key} flag")));
+            }
+        }
+    }
+    // An unreadable file is a runtime failure; a file that reads but does
+    // not parse as a workflow instance is malformed input (exit 2), like
+    // a scenario file that fails validation.
+    let input = std::fs::read_to_string(Path::new(path))
+        .map_err(|e| CliError::Runtime(format!("{path}: {e}")))?;
+    let import = wfcommons::import_str(&input, &config)
+        .map_err(|e| CliError::Usage(format!("{path}: {e}")))?;
+    let payload = if json {
+        graph_json(
+            &import.graph,
+            &[
+                ("source", json_string("imported")),
+                ("file", json_string(path)),
+                ("ref_speed", format!("{}", config.ref_speed)),
+            ],
+        )
+    } else {
+        graph_text(
+            &import.graph,
+            &format!(
+                "{}: imported WfCommons workflow ({path}, {} cycles/s)",
+                import.name, config.ref_speed
+            ),
+        )
+    };
+    Ok((payload, out_path))
+}
+
+fn parse_flag<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, CliError> {
+    value.parse().map_err(|_| CliError::Usage(format!("--{key} {value:?} is not a valid value")))
+}
+
+fn parse_format(value: &str) -> Result<bool, CliError> {
+    match value {
+        "text" => Ok(false),
+        "json" => Ok(true),
+        other => {
+            Err(CliError::Usage(format!("`bas gen --format` must be text|json, got {other:?}")))
+        }
+    }
+}
+
+/// The `bas-graph/v1` summary: provenance head (pre-rendered JSON values),
+/// then the graph's structural numbers.
+fn graph_json(graph: &TaskGraph, head: &[(&str, String)]) -> String {
+    let mut out = String::from("{\n");
+    outln!(out, "  \"schema\": {},", json_string(SCHEMA));
+    for (key, value) in head {
+        outln!(out, "  {}: {},", json_string(key), value);
+    }
+    outln!(out, "  \"name\": {},", json_string(graph.name()));
+    outln!(out, "  \"nodes\": {},", graph.node_count());
+    outln!(out, "  \"edges\": {},", graph.edge_count());
+    outln!(out, "  \"roots\": {},", graph.sources().len());
+    outln!(out, "  \"leaves\": {},", graph.sinks().len());
+    outln!(out, "  \"total_wcet\": {},", graph.total_wcet());
+    outln!(out, "  \"critical_path\": {},", graph.critical_path());
+    outln!(out, "  \"total_edge_bytes\": {}", graph.total_edge_bytes());
+    out.push_str("}\n");
+    out
+}
+
+fn graph_text(graph: &TaskGraph, headline: &str) -> String {
+    let mut out = String::new();
+    outln!(out, "{headline}");
+    outln!(out, "  nodes            {}", graph.node_count());
+    outln!(out, "  edges            {}", graph.edge_count());
+    outln!(out, "  roots / leaves   {} / {}", graph.sources().len(), graph.sinks().len());
+    outln!(out, "  total WCET       {} cycles", graph.total_wcet());
+    outln!(out, "  critical path    {} cycles", graph.critical_path());
+    outln!(out, "  edge payload     {} bytes", graph.total_edge_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render_argv(argv: &[&str]) -> Result<String, CliError> {
+        let args = Args::parse(argv.iter().map(|s| s.to_string())).unwrap();
+        render(&args).map(|(payload, _)| payload)
+    }
+
+    const DIAMOND: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../workload/fixtures/diamond.json");
+
+    #[test]
+    fn generated_summary_is_deterministic_and_matches_the_generator() {
+        let argv = ["gen", "layered", "--nodes", "500", "--seed", "7", "--format", "json"];
+        let a = render_argv(&argv).unwrap();
+        let b = render_argv(&argv).unwrap();
+        assert_eq!(a, b, "same seed, same summary, bit for bit");
+        assert!(a.contains("\"schema\": \"bas-graph/v1\""), "{a}");
+        assert!(a.contains("\"nodes\": 500"), "{a}");
+        let graph = BigDagConfig {
+            family: Family::Layered,
+            nodes: 500,
+            seed: 7,
+            ..BigDagConfig::default()
+        }
+        .generate()
+        .unwrap();
+        assert!(a.contains(&format!("\"edges\": {}", graph.edge_count())), "{a}");
+        assert!(a.contains(&format!("\"critical_path\": {}", graph.critical_path())), "{a}");
+    }
+
+    #[test]
+    fn import_reports_the_golden_fixture_counts() {
+        let json = render_argv(&["gen", "import", DIAMOND, "--format", "json"]).unwrap();
+        assert!(json.contains("\"name\": \"diamond\""), "{json}");
+        assert!(json.contains("\"nodes\": 4"), "{json}");
+        assert!(json.contains("\"edges\": 4"), "{json}");
+        assert!(json.contains("\"total_edge_bytes\": 3932160"), "{json}");
+        // Halving the reference speed halves every WCET.
+        let text = render_argv(&["gen", "import", DIAMOND, "--ref-speed", "5e8"]).unwrap();
+        assert!(text.contains("total WCET       6125000000 cycles"), "{text}");
+    }
+
+    #[test]
+    fn text_summary_has_the_headline_and_rows() {
+        let text = render_argv(&["gen", "fork-join", "--nodes", "64", "--seed", "3"]).unwrap();
+        assert!(text.starts_with("fork-join-n64-s3: generated fork-join DAG, seed 3\n"), "{text}");
+        assert!(text.contains("  nodes            64\n"), "{text}");
+    }
+
+    #[test]
+    fn bad_invocations_are_usage_errors() {
+        for argv in [
+            &["gen"][..],
+            &["gen", "tree"],
+            &["gen", "layered", "--nodes", "zero"],
+            &["gen", "layered", "--format", "csv"],
+            &["gen", "layered", "--ref-speed", "1e9"],
+            &["gen", "import"],
+            &["gen", "layered", "extra"],
+        ] {
+            match render_argv(argv) {
+                Err(CliError::Usage(_)) => {}
+                other => panic!("{argv:?} should be a usage error, got {other:?}"),
+            }
+        }
+        // A missing import file is a runtime failure, not a usage error.
+        match render_argv(&["gen", "import", "/nonexistent/wf.json"]) {
+            Err(CliError::Runtime(_)) => {}
+            other => panic!("missing file should be a runtime error, got {other:?}"),
+        }
+    }
+}

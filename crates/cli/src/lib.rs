@@ -31,6 +31,7 @@ use std::path::Path;
 
 pub mod args;
 pub mod bench;
+pub mod gen;
 pub mod presets;
 pub mod serve;
 
@@ -45,6 +46,8 @@ USAGE:
     bas run <scenario.toml> [--key value ...] [--format text|json|csv] [--out FILE]
     bas portfolio [<scenario.toml>|<preset>] [--key value ...] [--format text|json] [--out FILE]
     bas scenario <preset> [--key value ...]   # print the preset as a scenario file
+    bas gen <layered|fork-join|random> [--nodes N] [--seed S] [--format text|json]
+    bas gen import <workflow.json> [--ref-speed HZ] [--format text|json]
     bas bench [--quick] [--format text|json] [--out FILE] [--scenarios DIR]
     bas serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--quiet]
     bas list [--format text|json]
@@ -69,10 +72,21 @@ OPTIONS:
     --key value      override a scenario knob, e.g. --trials 10 --seed 2
                      (run `bas list` for each preset's knobs)
 
+GEN:
+    `bas gen <family>` builds a synthetic big DAG (deterministic in
+    family + --nodes + --seed, up to 10k nodes) and prints its graph
+    summary — node/edge counts, roots/leaves, total and critical-path
+    WCET, edge payload bytes — without simulating. The same generators
+    back a scenario's `[workload]` block, so the summary describes
+    exactly what `bas run` schedules. `bas gen import <file.json>`
+    parses a WfCommons workflow instance instead (runtimes become WCET
+    cycles at --ref-speed cycles/s, default 1e9; file payloads become
+    edge bytes). --format json emits the stable bas-graph/v1 object.
+
 BENCH:
     `bas bench` runs the pinned perf suite (smoke, sweep, mpsoc,
-    battery-aware, each on 1 and 4 PEs) and reports steps-per-second per
-    entry; --format json emits the bas-bench/v1 schema CI's perf gate
+    battery-aware, biglittle, big-dag, each on 1 and 4 PEs) and reports
+    steps-per-second per entry; --format json emits the bas-bench/v1 schema CI's perf gate
     compares against BENCH_baseline.json. --quick pins each scenario's
     smaller CI budget (fewer trials, shorter horizons). A `portfolio`
     entry races the whole 40-spec grammar through the portfolio path,
@@ -182,6 +196,7 @@ fn dispatch(argv: Vec<String>) -> Result<(), CliError> {
             expect_positionals(&args, 1)?;
             serve::run(&args)
         }
+        "gen" => gen::run(&args),
         "run" => {
             let path = args
                 .positional

@@ -278,7 +278,7 @@ fn bench_rejects_bad_flags_with_usage() {
 
 #[test]
 fn bench_quick_emits_valid_bas_bench_v1_json() {
-    // Hermetic suite: point --scenarios at a directory whose four pinned
+    // Hermetic suite: point --scenarios at a directory whose six pinned
     // names all hold a tiny seconds-scale sweep, so the test measures the
     // harness (schema, flags, file output), not the real suite's runtime.
     // Pid-suffixed so concurrent checkouts sharing /tmp cannot interfere.
@@ -287,7 +287,7 @@ fn bench_quick_emits_valid_bas_bench_v1_json() {
     let tiny = "kind = \"sweep\"\ntrials = 1\nseed = 1\nhorizon = 50.0\n\
                 specs = [\"EDF\", \"BAS-2\"]\nworkload = \"unit\"\n\
                 processor = \"unit\"\nbattery = \"none\"\n";
-    for name in ["smoke", "sweep", "mpsoc", "battery-aware"] {
+    for name in ["smoke", "sweep", "mpsoc", "battery-aware", "biglittle", "big-dag"] {
         std::fs::write(dir.join(format!("{name}.toml")), format!("name = \"{name}\"\n{tiny}"))
             .unwrap();
     }
@@ -313,10 +313,10 @@ fn bench_quick_emits_valid_bas_bench_v1_json() {
     let json = std::fs::read_to_string(&out_file).unwrap();
     assert!(json.contains("\"schema\": \"bas-bench/v1\""), "{json}");
     assert!(json.contains("\"mode\": \"quick\""), "{json}");
-    // 4 scenarios x {1, 4} PEs, plus the portfolio and serve entries.
-    assert_eq!(json.matches("\"scenario\":").count(), 10, "{json}");
+    // 6 scenarios x {1, 4} PEs, plus the portfolio and serve entries.
+    assert_eq!(json.matches("\"scenario\":").count(), 14, "{json}");
     assert!(json.contains("\"scenario\": \"portfolio\""), "{json}");
-    assert_eq!(json.matches("\"pes\": 4").count(), 4, "{json}");
+    assert_eq!(json.matches("\"pes\": 4").count(), 6, "{json}");
     assert!(!json.contains("\"steps\": 0,"), "every entry took decisions: {json}");
     // The serve entry measures the daemon: 4x its cold submissions as
     // requests, 3/4 of them answered by the result cache.

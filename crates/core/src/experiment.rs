@@ -70,6 +70,24 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
 
+/// How DAG nodes are placed onto the PEs of a multi-PE platform when no
+/// explicit [`Experiment::mapping`] is given. Irrelevant on a 1-PE
+/// platform (everything runs on PE 0).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MapperKind {
+    /// Deterministic fmax-weighted list scheduling
+    /// ([`Mapping::list_schedule_weighted`]) — pure load balance, blind to
+    /// where a node's predecessors sit. The historical default.
+    #[default]
+    Weighted,
+    /// Heterogeneity-aware list scheduling
+    /// ([`Mapping::list_schedule_hetero`]): resulting-load scoring plus a
+    /// communication penalty for edges whose endpoints land on different
+    /// PEs, priced at the platform's interconnect. Without a mounted
+    /// interconnect the fabric is free and only the load term remains.
+    Hetero,
+}
+
 /// A single configured experiment run: scheduler spec × workload ×
 /// processor × seed, optionally co-simulated with a battery.
 ///
@@ -85,6 +103,7 @@ pub struct Experiment<'a> {
     processor: Option<&'a Processor>,
     platform: Option<&'a Platform>,
     mapping: Option<Mapping>,
+    mapper: MapperKind,
     seed: u64,
     horizon: Option<f64>,
     battery: Option<&'a mut dyn BatteryModel>,
@@ -105,6 +124,7 @@ impl<'a> Experiment<'a> {
             processor: None,
             platform: None,
             mapping: None,
+            mapper: MapperKind::default(),
             seed: 0,
             horizon: None,
             battery: None,
@@ -144,6 +164,14 @@ impl<'a> Experiment<'a> {
     /// ([`Mapping::list_schedule_weighted`]) otherwise.
     pub fn mapping(mut self, mapping: Mapping) -> Self {
         self.mapping = Some(mapping);
+        self
+    }
+
+    /// How unmapped nodes are placed on a multi-PE platform. Ignored when
+    /// an explicit [`mapping`](Self::mapping) is given or the platform has
+    /// a single PE. Default [`MapperKind::Weighted`].
+    pub fn mapper(mut self, mapper: MapperKind) -> Self {
+        self.mapper = mapper;
         self
     }
 
@@ -235,7 +263,23 @@ impl<'a> Experiment<'a> {
         let mapping = match self.mapping {
             Some(m) => m,
             None if platform.len() == 1 => Mapping::single_pe(self.set),
-            None => Mapping::list_schedule_weighted(self.set, &platform.fmax_per_pe()),
+            None => match self.mapper {
+                MapperKind::Weighted => {
+                    Mapping::list_schedule_weighted(self.set, &platform.fmax_per_pe())
+                }
+                MapperKind::Hetero => {
+                    let (latency, bytes_per_sec) = platform
+                        .interconnect()
+                        .map(|ic| (ic.latency, ic.bytes_per_sec))
+                        .unwrap_or((0.0, f64::INFINITY));
+                    Mapping::list_schedule_hetero(
+                        self.set,
+                        &platform.fmax_per_pe(),
+                        latency,
+                        bytes_per_sec,
+                    )
+                }
+            },
         };
         let mut governors = spec.build_governor_bank(platform);
         let mut policies = spec.build_policy_bank(self.seed, platform.len());
@@ -272,7 +316,12 @@ enum Workload<'a> {
     Fixed(&'a TaskSet),
     /// A fresh set generated per trial from the trial seed.
     Generated(TaskSetConfig),
+    /// A fresh set built per trial by an arbitrary factory (trial seed in).
+    Factory(SetFactory<'a>),
 }
+
+/// Per-trial workload factory: trial seed → fresh task set (or a reason).
+type SetFactory<'a> = Box<dyn Fn(u64) -> Result<TaskSet, String> + Sync + 'a>;
 
 /// Per-trial battery factory: trial seed → fresh model.
 type BatteryFactory<'a> = Box<dyn Fn(u64) -> Box<dyn BatteryModel> + Sync + 'a>;
@@ -294,6 +343,7 @@ pub struct Sweep<'a> {
     workload: Option<Workload<'a>>,
     processor: Option<&'a Processor>,
     platform: Option<&'a Platform>,
+    mapper: MapperKind,
     horizon: Option<f64>,
     sampler: SamplerKind,
     freq_policy: FreqPolicy,
@@ -312,6 +362,7 @@ impl<'a> Sweep<'a> {
             workload: None,
             processor: None,
             platform: None,
+            mapper: MapperKind::default(),
             horizon: None,
             sampler: SamplerKind::IidUniform,
             freq_policy: FreqPolicy::Interpolate,
@@ -359,6 +410,18 @@ impl<'a> Sweep<'a> {
         self
     }
 
+    /// Build each trial's task set with `factory` (trial seed in) — the
+    /// open-ended workload source behind the scenario layer's big-DAG
+    /// generators. The factory must be a pure function of the seed, or the
+    /// sweep's thread-count invariance is lost.
+    pub fn workload_with<F>(mut self, factory: F) -> Self
+    where
+        F: Fn(u64) -> Result<TaskSet, String> + Sync + 'a,
+    {
+        self.workload = Some(Workload::Factory(Box::new(factory)));
+        self
+    }
+
     /// The DVS processor model (this or [`platform`](Self::platform) is
     /// required).
     pub fn processor(mut self, processor: &'a Processor) -> Self {
@@ -372,6 +435,13 @@ impl<'a> Sweep<'a> {
     /// [`processor`](Self::processor).
     pub fn platform(mut self, platform: &'a Platform) -> Self {
         self.platform = Some(platform);
+        self
+    }
+
+    /// How each trial's nodes are placed on a multi-PE platform; see
+    /// [`Experiment::mapper`]. Default [`MapperKind::Weighted`].
+    pub fn mapper(mut self, mapper: MapperKind) -> Self {
+        self.mapper = mapper;
         self
     }
 
@@ -476,6 +546,16 @@ impl<'a> Sweep<'a> {
                             })?;
                         &generated
                     }
+                    Workload::Factory(factory) => {
+                        generated = factory(seed).map_err(|message| {
+                            fail_fast(SweepError {
+                                label: "<workload generation>".to_string(),
+                                seed,
+                                message,
+                            })
+                        })?;
+                        &generated
+                    }
                 };
                 self.specs
                     .iter()
@@ -484,6 +564,7 @@ impl<'a> Sweep<'a> {
                         let mut experiment = Experiment::new(set)
                             .spec(*spec)
                             .seed(seed)
+                            .mapper(self.mapper)
                             .horizon(horizon)
                             .sampler(self.sampler)
                             .freq_policy(self.freq_policy)

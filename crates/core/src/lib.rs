@@ -102,7 +102,9 @@ pub mod toml;
 pub mod workloads;
 
 pub use estimator::{CycleEstimator, EmaEstimator, MeanFraction, WorstCaseEstimate};
-pub use experiment::{Experiment, SpecReport, Sweep, SweepError, SweepReport, TrialRecord};
+pub use experiment::{
+    Experiment, MapperKind, SpecReport, Sweep, SweepError, SweepReport, TrialRecord,
+};
 pub use feasibility::{is_feasible, FeasibilityVariant};
 pub use parallel::parallel_map;
 pub use policy::{BasPolicy, ReadyScope};

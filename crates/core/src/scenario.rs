@@ -28,7 +28,7 @@
 //! the checked-in `scenarios/*.toml` files and the built-in presets are the
 //! same objects.
 
-use crate::experiment::{Experiment, Sweep, SweepReport};
+use crate::experiment::{Experiment, MapperKind, Sweep, SweepReport};
 use crate::runner::{expand_spec_patterns, SamplerKind, SchedulerSpec};
 use crate::toml::{self, Value};
 use crate::workloads::{paper_scale_config, unit_scale_config};
@@ -144,8 +144,13 @@ impl ScenarioKind {
                 "battery",
                 "sampler",
                 "freq",
+                "generator",
+                "nodes",
                 "pes",
                 "processors",
+                "latency",
+                "bandwidth",
+                "mapper",
             ],
             ScenarioKind::Table1 => {
                 &["trials", "seed", "threads", "util", "freq", "shape", "processor", "noise"]
@@ -178,8 +183,13 @@ impl ScenarioKind {
                 "battery",
                 "sampler",
                 "freq",
+                "generator",
+                "nodes",
                 "pes",
                 "processors",
+                "latency",
+                "bandwidth",
+                "mapper",
             ],
         }
     }
@@ -240,8 +250,19 @@ pub struct Scenario {
     /// inflated by 10% of the observed range). Portfolio kind only.
     pub reference: Vec<f64>,
     /// Workload family: `paper` (mega-cycle WCETs on the GHz platform) or
-    /// `unit` (dimensionless).
+    /// `unit` (dimensionless). Ignored while a big-DAG
+    /// [`generator`](Self::generator) is active.
     pub workload: String,
+    /// Big-DAG generator family (`[workload]` block's `generator` key):
+    /// `none` (default — use the TGFF-style [`workload`](Self::workload)
+    /// family) or one of `bas_workload`'s families (`layered`, `fork-join`,
+    /// `random`). When active, each trial runs one generated
+    /// [`nodes`](Self::nodes)-node DAG (seeded with the trial seed) under
+    /// the period envelope that hits the scenario's `util` on the
+    /// platform's fastest PE; the `graphs` knob is ignored.
+    pub generator: String,
+    /// Node count of generated big DAGs (`[workload]` block's `nodes` key).
+    pub nodes: usize,
     /// Processor preset name (`bas_cpu::presets::by_name`); on a multi-PE
     /// platform, the shared preset every element uses unless
     /// [`Scenario::processors`] lists per-PE presets.
@@ -253,6 +274,23 @@ pub struct Scenario {
     /// `processors` key): empty = every PE runs the shared
     /// [`Scenario::processor`] preset; otherwise one name per PE.
     pub processors: Vec<String>,
+    /// Interconnect startup latency, seconds (`[platform]` block's
+    /// `latency` key). Together with [`bandwidth`](Self::bandwidth): when
+    /// either is positive, an [`bas_cpu::Interconnect`] is mounted and
+    /// cross-PE DAG edges charge `latency + bytes / bandwidth` before the
+    /// successor becomes ready. Both zero (default) = free fabric, the
+    /// historical behaviour.
+    pub latency: f64,
+    /// Interconnect bandwidth, bytes/second (`[platform]` block's
+    /// `bandwidth` key). `0` with a positive latency = an infinitely fast
+    /// fabric that only charges its latency.
+    pub bandwidth: f64,
+    /// Multi-PE node placement (`[platform]` block's `mapper` key):
+    /// `weighted` (fmax-weighted list scheduling, the default) or `hetero`
+    /// (heterogeneity-aware: load + communication-penalty scoring at the
+    /// interconnect's prices — see
+    /// [`Mapping::list_schedule_hetero`](bas_taskgraph::Mapping::list_schedule_hetero)).
+    pub mapper: String,
     /// Battery preset name (`bas_battery::registry::by_name`), or `none`
     /// for horizon-only simulation.
     pub battery: String,
@@ -280,7 +318,12 @@ pub struct Scenario {
 
 /// The scenario knobs that live in the `[platform]` table of the
 /// serialized form rather than as flat keys.
-const PLATFORM_KEYS: &[&str] = &["pes", "processors"];
+const PLATFORM_KEYS: &[&str] = &["pes", "processors", "latency", "bandwidth", "mapper"];
+
+/// The scenario knobs that live in the `[workload]` table of the
+/// serialized form rather than as flat keys. (The flat `workload` key —
+/// the TGFF-style family — predates the table and stays flat.)
+const WORKLOAD_KEYS: &[&str] = &["generator", "nodes"];
 
 /// The metric axes a portfolio scenario may race on (its `axes` knob).
 /// `energy_j`, `deadline_misses`, `makespan` and `charge_c` are minimized;
@@ -317,9 +360,14 @@ impl Scenario {
                 .collect(),
             reference: Vec::new(),
             workload: "paper".to_string(),
+            generator: "none".to_string(),
+            nodes: 1000,
             processor: "paper".to_string(),
             pes: 1,
             processors: Vec::new(),
+            latency: 0.0,
+            bandwidth: 0.0,
+            mapper: "weighted".to_string(),
             battery: "stochastic".to_string(),
             sampler: SamplerKind::Persistent,
             freq: FreqPolicy::RoundUp,
@@ -358,24 +406,39 @@ impl Scenario {
     // ---------------------------------------------------------------- codec
 
     /// Serialize to the TOML subset of [`crate::toml`]: `name`, `kind`, then
-    /// the kind's fields in [`ScenarioKind::fields`] order. The platform
-    /// knobs (`pes`, `processors`) serialize as a trailing `[platform]`
-    /// table instead of flat keys.
+    /// the kind's fields in [`ScenarioKind::fields`] order. The workload
+    /// generator knobs (`generator`, `nodes`) serialize as a `[workload]`
+    /// table and the platform knobs (`pes`, `processors`, `latency`,
+    /// `bandwidth`, `mapper`) as a trailing `[platform]` table instead of
+    /// flat keys; table keys at their defaults are omitted, so scenarios
+    /// that predate them encode (and digest) exactly as before.
     pub fn to_toml(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("name = {}\n", Value::Str(self.name.clone()).render()));
         out.push_str(&format!("kind = {}\n", Value::Str(self.kind.name().into()).render()));
         for key in self.kind.fields() {
-            if PLATFORM_KEYS.contains(key) {
+            if PLATFORM_KEYS.contains(key) || WORKLOAD_KEYS.contains(key) {
                 continue;
             }
             out.push_str(&format!("{key} = {}\n", self.value_of(key).render()));
+        }
+        if self.kind.fields().contains(&"generator") && self.generator != "none" {
+            out.push_str("\n[workload]\n");
+            out.push_str(&format!("generator = {}\n", self.value_of("generator").render()));
+            out.push_str(&format!("nodes = {}\n", self.value_of("nodes").render()));
         }
         if self.kind.fields().contains(&"pes") {
             out.push_str("\n[platform]\n");
             out.push_str(&format!("pes = {}\n", self.value_of("pes").render()));
             if !self.processors.is_empty() {
                 out.push_str(&format!("processors = {}\n", self.value_of("processors").render()));
+            }
+            if self.latency > 0.0 || self.bandwidth > 0.0 {
+                out.push_str(&format!("latency = {}\n", self.value_of("latency").render()));
+                out.push_str(&format!("bandwidth = {}\n", self.value_of("bandwidth").render()));
+            }
+            if self.mapper != "weighted" {
+                out.push_str(&format!("mapper = {}\n", self.value_of("mapper").render()));
             }
         }
         out
@@ -394,9 +457,13 @@ impl Scenario {
             .parse()?;
         let mut s = Scenario::preset(kind);
         for (key, value) in &doc {
-            // The `[platform]` table's keys arrive dotted; they alias the
-            // flat platform knobs.
-            let key = key.strip_prefix("platform.").unwrap_or(key);
+            // The `[platform]`/`[workload]` tables' keys arrive dotted;
+            // they alias the flat knobs. (The flat `workload` key itself
+            // has no dot and passes through untouched.)
+            let key = key
+                .strip_prefix("platform.")
+                .or_else(|| key.strip_prefix("workload."))
+                .unwrap_or(key);
             match key {
                 "kind" => {}
                 "name" => {
@@ -570,9 +637,14 @@ impl Scenario {
             "axes" => Value::Array(self.axes.iter().cloned().map(Value::Str).collect()),
             "reference" => Value::Array(self.reference.iter().copied().map(Value::Float).collect()),
             "workload" => Value::Str(self.workload.clone()),
+            "generator" => Value::Str(self.generator.clone()),
+            "nodes" => Value::Int(self.nodes as i64),
             "processor" => Value::Str(self.processor.clone()),
             "pes" => Value::Int(self.pes as i64),
             "processors" => Value::Array(self.processors.iter().cloned().map(Value::Str).collect()),
+            "latency" => Value::Float(self.latency),
+            "bandwidth" => Value::Float(self.bandwidth),
+            "mapper" => Value::Str(self.mapper.clone()),
             "battery" => Value::Str(self.battery.clone()),
             "sampler" => Value::Str(self.sampler.to_string()),
             "freq" => Value::Str(self.freq.to_string()),
@@ -617,6 +689,17 @@ impl Scenario {
             }
             "workload" => {
                 self.workload = value.as_str().ok_or_else(|| bad("a string"))?.to_string();
+            }
+            "generator" => {
+                self.generator = value.as_str().ok_or_else(|| bad("a string"))?.to_string();
+            }
+            "nodes" => {
+                self.nodes = uint(value).ok_or_else(|| bad("a non-negative integer"))? as usize;
+            }
+            "latency" => self.latency = value.as_float().ok_or_else(|| bad("a number"))?,
+            "bandwidth" => self.bandwidth = value.as_float().ok_or_else(|| bad("a number"))?,
+            "mapper" => {
+                self.mapper = value.as_str().ok_or_else(|| bad("a string"))?.to_string();
             }
             "processor" => {
                 self.processor = value.as_str().ok_or_else(|| bad("a string"))?.to_string();
@@ -749,6 +832,29 @@ impl Scenario {
                 format!("unknown workload {:?}: expected paper|unit", self.workload),
             ));
         }
+        if uses("generator") && self.generator != "none" {
+            self.generator
+                .parse::<bas_workload::Family>()
+                .map_err(|e| ScenarioError::invalid("generator", e.to_string()))?;
+        }
+        if uses("nodes") && self.nodes == 0 {
+            return Err(ScenarioError::invalid("nodes", "must be >= 1"));
+        }
+        if uses("latency") && !(self.latency.is_finite() && self.latency >= 0.0) {
+            return Err(ScenarioError::invalid("latency", "must be finite and >= 0"));
+        }
+        if uses("bandwidth") && !(self.bandwidth.is_finite() && self.bandwidth >= 0.0) {
+            return Err(ScenarioError::invalid(
+                "bandwidth",
+                "must be finite and >= 0 (0 = unlimited)",
+            ));
+        }
+        if uses("mapper") && !matches!(self.mapper.as_str(), "weighted" | "hetero") {
+            return Err(ScenarioError::invalid(
+                "mapper",
+                format!("unknown mapper {:?}: expected weighted|hetero", self.mapper),
+            ));
+        }
         if uses("pes") && !(1..=64).contains(&self.pes) {
             return Err(ScenarioError::invalid("pes", "must be in 1..=64"));
         }
@@ -863,19 +969,38 @@ impl Scenario {
     /// `pes` copies of the shared [`Scenario::processor`] preset, or the
     /// per-PE [`Scenario::processors`] presets when listed.
     pub fn build_platform(&self) -> Result<Platform, ScenarioError> {
-        if self.processors.is_empty() {
-            return Ok(Platform::uniform(self.build_processor()?, self.pes.max(1)));
-        }
-        let pes: Result<Vec<Processor>, ScenarioError> = self
-            .processors
-            .iter()
-            .map(|name| {
-                bas_cpu::presets::by_name(name).ok_or_else(|| {
-                    ScenarioError::invalid("processors", format!("unknown processor {name:?}"))
+        let platform = if self.processors.is_empty() {
+            Platform::uniform(self.build_processor()?, self.pes.max(1))
+        } else {
+            let pes: Result<Vec<Processor>, ScenarioError> = self
+                .processors
+                .iter()
+                .map(|name| {
+                    bas_cpu::presets::by_name(name).ok_or_else(|| {
+                        ScenarioError::invalid("processors", format!("unknown processor {name:?}"))
+                    })
                 })
-            })
-            .collect();
-        Platform::new(pes?).map_err(|e| ScenarioError::invalid("processors", e.to_string()))
+                .collect();
+            Platform::new(pes?).map_err(|e| ScenarioError::invalid("processors", e.to_string()))?
+        };
+        if self.latency > 0.0 || self.bandwidth > 0.0 {
+            // `bandwidth = 0` with a positive latency: an infinitely fast
+            // fabric that only charges its startup cost.
+            let bps = if self.bandwidth > 0.0 { self.bandwidth } else { f64::INFINITY };
+            let ic = bas_cpu::Interconnect::new(self.latency, bps)
+                .map_err(|e| ScenarioError::invalid("latency", e.to_string()))?;
+            return Ok(platform.with_interconnect(ic));
+        }
+        Ok(platform)
+    }
+
+    /// The configured multi-PE node-placement strategy (`mapper` knob).
+    pub fn mapper_kind(&self) -> MapperKind {
+        if self.mapper == "hetero" {
+            MapperKind::Hetero
+        } else {
+            MapperKind::Weighted
+        }
     }
 
     /// Build a fresh battery for a trial seed, or `None` for `battery =
@@ -899,12 +1024,43 @@ impl Scenario {
         }
     }
 
+    /// Whether the `[workload]` block turns the big-DAG generator on
+    /// (`generator != "none"`); per-trial sets then come from
+    /// `bas-workload` instead of the TGFF-style family.
+    pub fn uses_generator(&self) -> bool {
+        self.generator != "none"
+    }
+
+    /// The big-DAG generator configuration of one trial, when
+    /// [`uses_generator`](Self::uses_generator): the scenario's family and
+    /// node count, seeded with the trial seed.
+    fn generator_config(
+        &self,
+        trial_seed: u64,
+    ) -> Result<bas_workload::BigDagConfig, ScenarioError> {
+        let family = self
+            .generator
+            .parse::<bas_workload::Family>()
+            .map_err(|e| ScenarioError::invalid("generator", e.to_string()))?;
+        Ok(bas_workload::BigDagConfig {
+            family,
+            nodes: self.nodes,
+            seed: trial_seed,
+            ..bas_workload::BigDagConfig::default()
+        })
+    }
+
     /// Run a [`ScenarioKind::Sweep`] scenario over its generated workload.
     ///
     /// The bespoke per-artifact kinds are run by the `bas` CLI (they need
     /// their historical text renderings); the generic sweep is runnable
     /// straight from the library — this is what the examples use.
     pub fn run_sweep(&self) -> Result<SweepReport, ScenarioError> {
+        if self.uses_generator() {
+            return self.run_sweep_inner(|sweep| {
+                sweep.workload_with(|seed| self.trial_set(seed).map_err(|e| e.to_string()))
+            });
+        }
         let config = self.workload_config()?;
         self.run_sweep_inner(|sweep| sweep.workload(config))
     }
@@ -919,6 +1075,20 @@ impl Scenario {
     /// [`Scenario::run_sweep`]'s trials do (`trial_seed` comes from
     /// [`Sweep::seed_for`]).
     pub fn trial_set(&self, trial_seed: u64) -> Result<TaskSet, ScenarioError> {
+        if self.uses_generator() {
+            let graph = self
+                .generator_config(trial_seed)?
+                .generate()
+                .map_err(|e| ScenarioError::Sweep(format!("generator (seed {trial_seed}): {e}")))?;
+            // The envelope targets the scenario's utilization on the
+            // platform's fastest PE; slower PEs just carry a lighter share.
+            let fmax = self.build_platform()?.fmax_any();
+            let periodic = bas_workload::wfcommons::periodic_envelope(graph, self.util, fmax)
+                .map_err(|e| ScenarioError::Sweep(format!("generator (seed {trial_seed}): {e}")))?;
+            let mut set = TaskSet::new();
+            set.push(periodic);
+            return Ok(set);
+        }
         self.workload_config()?
             .generate(&mut StdRng::seed_from_u64(trial_seed))
             .map_err(|e| ScenarioError::Sweep(format!("workload (seed {trial_seed}): {e}")))
@@ -940,6 +1110,7 @@ impl Scenario {
         Experiment::new(set)
             .spec(spec)
             .platform(platform)
+            .mapper(self.mapper_kind())
             .seed(trial_seed)
             .horizon(self.horizon)
             .sampler(self.sampler)
@@ -961,6 +1132,7 @@ impl Scenario {
         let mut sweep = attach_workload(Sweep::over_seeds(self.seed, self.trials))
             .specs(self.parsed_specs()?)
             .platform(&platform)
+            .mapper(self.mapper_kind())
             .horizon(self.horizon)
             .threads(self.threads)
             .sampler(self.sampler)
@@ -1074,6 +1246,11 @@ mod tests {
             ("kind = \"portfolio\"\naxes = [\"energy_j\", \"energy_j\"]\n", "axes"),
             ("kind = \"portfolio\"\naxes = [\"lifetime_min\"]\n", "axes"),
             ("kind = \"portfolio\"\nreference = [1.0, 2.0]\n", "reference"),
+            ("kind = \"sweep\"\n[workload]\ngenerator = \"tree\"\n", "generator"),
+            ("kind = \"sweep\"\n[workload]\ngenerator = \"layered\"\nnodes = 0\n", "nodes"),
+            ("kind = \"sweep\"\n[platform]\npes = 2\nlatency = -1.0\n", "latency"),
+            ("kind = \"sweep\"\n[platform]\npes = 2\nbandwidth = -1.0\n", "bandwidth"),
+            ("kind = \"sweep\"\n[platform]\npes = 2\nmapper = \"annealing\"\n", "mapper"),
         ] {
             let e = Scenario::from_toml(input).unwrap_err();
             assert!(e.to_string().contains(key), "{input:?} -> {e}");
@@ -1145,6 +1322,86 @@ mod tests {
     }
 
     #[test]
+    fn generator_and_interconnect_knobs_round_trip_in_their_tables() {
+        let mut s = Scenario::preset(ScenarioKind::Sweep);
+        s.set("generator", "fork-join").unwrap();
+        s.set("nodes", "500").unwrap();
+        s.set("pes", "4").unwrap();
+        s.set("processors", "big,big,little,little").unwrap();
+        s.set("latency", "0.0002").unwrap();
+        s.set("bandwidth", "1e8").unwrap();
+        s.set("mapper", "hetero").unwrap();
+        s.validate().unwrap();
+        let text = s.to_toml();
+        assert!(text.contains("[workload]"), "{text}");
+        assert!(text.contains("generator = \"fork-join\""), "{text}");
+        assert!(text.contains("mapper = \"hetero\""), "{text}");
+        let parsed = Scenario::from_toml(&text).unwrap();
+        assert_eq!(parsed, s, "{text}");
+        // At their defaults the new knobs stay silent, so pre-existing
+        // scenario encodings (and digests, and serve cache keys) are
+        // untouched by this layer's existence.
+        let preset = Scenario::preset(ScenarioKind::Sweep).to_toml();
+        for absent in ["generator", "nodes", "latency", "bandwidth", "mapper", "[workload]"] {
+            assert!(!preset.contains(absent), "{absent} leaked into the default encoding");
+        }
+    }
+
+    #[test]
+    fn generator_sweep_runs_end_to_end() {
+        let mut s = Scenario::preset(ScenarioKind::Sweep);
+        s.set("trials", "2").unwrap();
+        s.set("specs", "EDF,BAS-2").unwrap();
+        s.set("battery", "none").unwrap();
+        s.set("processor", "unit").unwrap();
+        s.set("generator", "layered").unwrap();
+        s.set("nodes", "200").unwrap();
+        // unit fmax = 1 cycle/s: a ~11k-cycle DAG at util 0.7 gets a
+        // ~16000 s period; two periods fit the horizon.
+        s.set("horizon", "40000").unwrap();
+        let report = s.run_sweep().unwrap();
+        assert_eq!(report.specs.len(), 2);
+        for spec in &report.specs {
+            assert_eq!(spec.trials.len(), 2);
+            assert!(spec.trials.iter().all(|t| t.instances_completed >= 1), "{}", spec.label);
+        }
+        // The factory path derives everything from the trial seed: the two
+        // trials generate different DAGs, so their makespans differ.
+        let t = &report.specs[0].trials;
+        assert_ne!(t[0].makespan, t[1].makespan, "per-trial DAGs must differ");
+        // Replay surfaces see the same sets the sweep ran.
+        let set = s.trial_set(Sweep::seed_for(s.seed, 0)).unwrap();
+        assert_eq!(set.iter().count(), 1);
+        assert_eq!(set.iter().next().unwrap().1.graph().node_count(), 200);
+    }
+
+    #[test]
+    fn hetero_mapper_changes_the_outcome_on_an_asymmetric_platform() {
+        let mut s = Scenario::preset(ScenarioKind::Sweep);
+        s.set("trials", "1").unwrap();
+        s.set("specs", "EDF").unwrap();
+        s.set("battery", "none").unwrap();
+        s.set("pes", "4").unwrap();
+        s.set("processors", "big,big,little,little").unwrap();
+        s.set("latency", "0.0001").unwrap();
+        s.set("bandwidth", "1e9").unwrap();
+        s.set("horizon", "30").unwrap();
+        let weighted = s.run_sweep().unwrap();
+        s.set("mapper", "hetero").unwrap();
+        let hetero = s.run_sweep().unwrap();
+        let w = &weighted.specs[0].trials[0];
+        let h = &hetero.specs[0].trials[0];
+        assert!(
+            w.energy != h.energy || w.makespan != h.makespan,
+            "hetero placement must change the execution (energy {} vs {}, makespan {} vs {})",
+            w.energy,
+            h.energy,
+            w.makespan,
+            h.makespan,
+        );
+    }
+
+    #[test]
     fn sweep_scenario_with_battery_reports_lifetime() {
         let mut s = Scenario::preset(ScenarioKind::Sweep);
         s.set("trials", "1").unwrap();
@@ -1198,7 +1455,11 @@ mod tests {
             ("battery", "kibam"),
             ("sampler", "iid"),
             ("freq", "interp"),
+            ("generator", "layered"),
             ("pes", "2"),
+            ("latency", "0.001"),
+            ("bandwidth", "1e8"),
+            ("mapper", "hetero"),
             ("name", "renamed"),
         ] {
             let mut tweaked = base.clone();
@@ -1214,6 +1475,12 @@ mod tests {
                 assert!(seen.insert(Scenario::preset(kind).digest()), "{kind}");
             }
         }
+        // `nodes` serializes (and feeds the digest) while a generator is on.
+        let mut gen = base.clone();
+        gen.set("generator", "layered").unwrap();
+        let mut bigger = gen.clone();
+        bigger.set("nodes", "5000").unwrap();
+        assert_ne!(gen.digest(), bigger.digest(), "nodes must feed the digest");
     }
 
     #[test]

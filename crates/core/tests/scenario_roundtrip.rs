@@ -61,6 +61,17 @@ fn randomize_field(s: &mut Scenario, field: &str, rng: &mut StdRng) {
             };
         }
         "workload" => s.workload = pick(rng, &["paper", "unit"]),
+        "generator" => s.generator = pick(rng, &["none", "layered", "fork-join", "random"]),
+        "nodes" => {
+            // Only serialized while a generator is active (`generator` is
+            // randomized before `nodes` in field order).
+            if s.generator != "none" {
+                s.nodes = rng.gen_range(1..20_000usize);
+            }
+        }
+        "latency" => s.latency = rng.gen_range(0.0..0.01),
+        "bandwidth" => s.bandwidth = rng.gen_range(0.0..1e9),
+        "mapper" => s.mapper = pick(rng, &["weighted", "hetero"]),
         "processor" => s.processor = pick(rng, bas_cpu::presets::NAMES),
         "battery" => {
             let mut names: Vec<&str> = bas_battery::registry::NAMES.to_vec();

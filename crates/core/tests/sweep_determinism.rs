@@ -3,7 +3,7 @@
 //! and every [`Summary`] — are **bit-identical** across worker-thread
 //! counts. Parallelism must stay a pure wall-clock optimization.
 
-use bas_core::{SchedulerSpec, Sweep, SweepReport};
+use bas_core::{Scenario, ScenarioKind, SchedulerSpec, Sweep, SweepReport};
 use bas_cpu::presets::unit_processor;
 use bas_taskgraph::{GeneratorConfig, GraphShape, TaskSetConfig};
 use proptest::prelude::*;
@@ -106,5 +106,35 @@ fn fixed_scenario_is_thread_count_invariant() {
             &run_sweep(1, 6, 4, 0.7, threads),
             &format!("threads={threads}"),
         );
+    }
+}
+
+/// The claim at workload scale: a sweep whose trials each rebuild a
+/// generated 10,000-node layered DAG (the `[workload]` generator path,
+/// per-trial seeded through `Sweep`'s workload factory) stays bit-identical
+/// across thread counts 1 / 2 / 8.
+#[test]
+fn generated_10k_node_sweep_is_thread_count_invariant() {
+    let mut scenario = Scenario::preset(ScenarioKind::Sweep);
+    for (key, value) in [
+        ("generator", "layered"),
+        ("nodes", "10000"),
+        ("trials", "2"),
+        ("specs", "EDF,BAS-2"),
+        ("workload", "unit"),
+        ("processor", "unit"),
+        ("battery", "none"),
+        // Half a period: enough simulated time to schedule thousands of
+        // nodes per trial without completing the ~785k-second instance.
+        ("horizon", "400000"),
+    ] {
+        scenario.set(key, value).unwrap();
+    }
+    scenario.set("threads", "1").unwrap();
+    let sequential = scenario.run_sweep().expect("10k-node sweep runs");
+    for threads in [2, 8] {
+        scenario.set("threads", &threads.to_string()).unwrap();
+        let parallel = scenario.run_sweep().expect("10k-node sweep runs");
+        assert_bit_identical(&sequential, &parallel, &format!("10k threads={threads}"));
     }
 }

@@ -41,5 +41,5 @@ pub mod presets;
 pub use error::CpuError;
 pub use freq::{FreqPolicy, ParseFreqPolicyError, Realization, Segment};
 pub use opp::{OperatingPoint, OppTable};
-pub use platform::Platform;
+pub use platform::{Interconnect, Platform};
 pub use power::{PowerModel, Processor, SupplyConfig};

@@ -24,6 +24,44 @@ use crate::error::CpuError;
 use crate::power::Processor;
 use std::sync::Arc;
 
+/// The shared interconnect moving DAG edge payloads between processing
+/// elements.
+///
+/// When a DAG edge's endpoints are mapped to *different* PEs, the successor
+/// may only start `latency + bytes / bytes_per_sec` seconds after the
+/// producer completes — the cost of shipping the edge's payload across the
+/// fabric. Transfers within one PE are free (the data is already local),
+/// and a platform without an interconnect charges nothing anywhere (the
+/// historical behaviour).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interconnect {
+    /// Fixed per-transfer startup cost, seconds (arbitration + routing).
+    pub latency: f64,
+    /// Sustained transfer bandwidth, bytes per second.
+    pub bytes_per_sec: f64,
+}
+
+impl Interconnect {
+    /// A validated interconnect. Fails when `latency` is negative or
+    /// non-finite, or `bytes_per_sec` is not positive (`f64::INFINITY` is
+    /// allowed: a zero-copy fabric that only charges its latency).
+    pub fn new(latency: f64, bytes_per_sec: f64) -> Result<Self, CpuError> {
+        if !(latency.is_finite() && latency >= 0.0) {
+            return Err(CpuError::InvalidParameter { name: "latency", value: latency });
+        }
+        if bytes_per_sec.is_nan() || bytes_per_sec <= 0.0 {
+            return Err(CpuError::InvalidParameter { name: "bytes_per_sec", value: bytes_per_sec });
+        }
+        Ok(Interconnect { latency, bytes_per_sec })
+    }
+
+    /// Seconds to move `bytes` across the fabric.
+    #[inline]
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.latency + bytes as f64 / self.bytes_per_sec
+    }
+}
+
 /// An execution platform: `N ≥ 1` processing elements over one battery.
 ///
 /// The PE list is immutable after construction and shared behind `Arc`, so
@@ -32,6 +70,7 @@ use std::sync::Arc;
 #[derive(Debug, Clone, PartialEq)]
 pub struct Platform {
     pes: Arc<[Processor]>,
+    interconnect: Option<Interconnect>,
 }
 
 impl Platform {
@@ -49,12 +88,12 @@ impl Platform {
                 return Err(CpuError::MismatchedSupplyVoltage { index, vbat: pe.supply().vbat });
             }
         }
-        Ok(Platform { pes: pes.into() })
+        Ok(Platform { pes: pes.into(), interconnect: None })
     }
 
     /// The canonical uniprocessor platform — the paper's own setting.
     pub fn single(pe: Processor) -> Self {
-        Platform { pes: Arc::new([pe]) }
+        Platform { pes: Arc::new([pe]), interconnect: None }
     }
 
     /// `n` identical copies of `pe` (the symmetric-MPSoC configuration).
@@ -63,7 +102,7 @@ impl Platform {
     /// Panics when `n == 0`.
     pub fn uniform(pe: Processor, n: usize) -> Self {
         assert!(n > 0, "a platform needs at least one processing element");
-        Platform { pes: vec![pe; n].into() }
+        Platform { pes: vec![pe; n].into(), interconnect: None }
     }
 
     /// Number of processing elements.
@@ -114,6 +153,21 @@ impl Platform {
     /// Total battery current while every PE idles, amperes.
     pub fn idle_current_total(&self) -> f64 {
         self.pes.iter().map(|p| p.supply().idle_current).sum()
+    }
+
+    /// Mount an [`Interconnect`]: cross-PE DAG edges now charge transfer
+    /// time before the successor becomes ready. Builder-style, applied
+    /// after any constructor.
+    pub fn with_interconnect(mut self, interconnect: Interconnect) -> Self {
+        self.interconnect = Some(interconnect);
+        self
+    }
+
+    /// The mounted interconnect, if any. `None` means cross-PE transfers
+    /// are free — the historical (and 1-PE) behaviour.
+    #[inline]
+    pub fn interconnect(&self) -> Option<Interconnect> {
+        self.interconnect
     }
 }
 
@@ -166,6 +220,31 @@ mod tests {
         .unwrap();
         let err = Platform::new(vec![unit_processor(), other]).unwrap_err();
         assert!(matches!(err, CpuError::MismatchedSupplyVoltage { index: 1, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn interconnect_defaults_off_and_mounts_builder_style() {
+        let p = Platform::uniform(unit_processor(), 2);
+        assert_eq!(p.interconnect(), None);
+        let ic = Interconnect::new(1e-4, 1e8).unwrap();
+        let p = p.with_interconnect(ic);
+        assert_eq!(p.interconnect(), Some(ic));
+        // transfer_time = latency + bytes / bandwidth.
+        assert!((ic.transfer_time(1_000_000) - (1e-4 + 0.01)).abs() < 1e-12);
+        assert!((ic.transfer_time(0) - 1e-4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn interconnect_rejects_bad_parameters() {
+        assert!(Interconnect::new(-1.0, 1e8).is_err());
+        assert!(Interconnect::new(f64::NAN, 1e8).is_err());
+        assert!(Interconnect::new(f64::INFINITY, 1e8).is_err());
+        assert!(Interconnect::new(0.0, 0.0).is_err());
+        assert!(Interconnect::new(0.0, -5.0).is_err());
+        assert!(Interconnect::new(0.0, f64::NAN).is_err());
+        // An infinitely fast fabric that only charges latency is legal.
+        let free = Interconnect::new(0.0, f64::INFINITY).unwrap();
+        assert_eq!(free.transfer_time(u64::MAX), 0.0);
     }
 
     #[test]

@@ -116,8 +116,65 @@ pub fn dense_dvs_processor(points: usize, fmin_fraction: f64) -> Processor {
     .expect("static supply is valid")
 }
 
+/// Full-speed battery draw of the [`big_processor`] core, amperes.
+pub const BIG_FULL_SPEED_CURRENT: f64 = 2.4;
+
+/// Full-speed battery draw of the [`little_processor`] core, amperes.
+pub const LITTLE_FULL_SPEED_CURRENT: f64 = 0.3;
+
+/// An out-of-order "big" core for the heterogeneous big.LITTLE platform:
+/// OPPs `[(0.6 GHz, 3.4 V), (1.2 GHz, 4.6 V), (1.8 GHz, 5.8 V)]` on the
+/// line `V(f) = 2f + 2.2` (f in GHz), `Ceff` calibrated for a 2.4 A
+/// full-speed battery draw — fast and power-hungry. Shares the paper's
+/// 1.2 V battery and 90 % converter so big and LITTLE cores can populate
+/// one [`crate::Platform`].
+pub fn big_processor() -> Processor {
+    let opps = OppTable::new(vec![
+        OperatingPoint::new(0.6e9, 3.4),
+        OperatingPoint::new(1.2e9, 4.6),
+        OperatingPoint::new(1.8e9, 5.8),
+    ])
+    .expect("static table is valid");
+    Processor::new(
+        opps,
+        SupplyConfig {
+            // Ibat = Ceff·V²·f / (η·Vbat) at (1.8 GHz, 5.8 V) ⇒ 2.4 A.
+            ceff: BIG_FULL_SPEED_CURRENT * PAPER_EFFICIENCY * PAPER_VBAT / (5.8 * 5.8 * 1.8e9),
+            efficiency: PAPER_EFFICIENCY,
+            vbat: PAPER_VBAT,
+            idle_current: 0.050,
+        },
+    )
+    .expect("static supply is valid")
+}
+
+/// An in-order "LITTLE" core for the heterogeneous big.LITTLE platform:
+/// OPPs `[(0.2 GHz, 2.0 V), (0.4 GHz, 2.4 V), (0.6 GHz, 2.8 V)]` on the
+/// line `V(f) = 2f + 1.6` (f in GHz), `Ceff` calibrated for a 0.3 A
+/// full-speed battery draw and a 10 mA idle floor — 3× slower than
+/// [`big_processor`] at peak but ~8× cheaper per cycle.
+pub fn little_processor() -> Processor {
+    let opps = OppTable::new(vec![
+        OperatingPoint::new(0.2e9, 2.0),
+        OperatingPoint::new(0.4e9, 2.4),
+        OperatingPoint::new(0.6e9, 2.8),
+    ])
+    .expect("static table is valid");
+    Processor::new(
+        opps,
+        SupplyConfig {
+            // Ibat = Ceff·V²·f / (η·Vbat) at (0.6 GHz, 2.8 V) ⇒ 0.3 A.
+            ceff: LITTLE_FULL_SPEED_CURRENT * PAPER_EFFICIENCY * PAPER_VBAT / (2.8 * 2.8 * 0.6e9),
+            efficiency: PAPER_EFFICIENCY,
+            vbat: PAPER_VBAT,
+            idle_current: 0.010,
+        },
+    )
+    .expect("static supply is valid")
+}
+
 /// The processor preset names scenario files may use; see [`by_name`].
-pub const NAMES: &[&str] = &["paper", "unit", "dense"];
+pub const NAMES: &[&str] = &["paper", "unit", "dense", "big", "little"];
 
 /// Look a processor preset up by its scenario-file name:
 ///
@@ -125,7 +182,9 @@ pub const NAMES: &[&str] = &["paper", "unit", "dense"];
 /// * `"unit"` (alias `"paper3"`) — [`unit_processor`], the dimensionless
 ///   3-OPP grid of the worked examples;
 /// * `"dense"` — [`dense_dvs_processor`]`(20, 0.05)`, the ideal-DVS grid of
-///   the energy-ordering studies.
+///   the energy-ordering studies;
+/// * `"big"` / `"little"` — [`big_processor`] / [`little_processor`], the
+///   asymmetric cores of the heterogeneous big.LITTLE platform.
 ///
 /// Returns `None` for unknown names so callers can report the valid set
 /// ([`NAMES`]) themselves.
@@ -134,6 +193,8 @@ pub fn by_name(name: &str) -> Option<Processor> {
         "paper" => Some(paper_processor()),
         "unit" | "paper3" => Some(unit_processor()),
         "dense" => Some(dense_dvs_processor(20, 0.05)),
+        "big" => Some(big_processor()),
+        "little" => Some(little_processor()),
         _ => None,
     }
 }
@@ -220,6 +281,40 @@ mod tests {
         let lo = e_cyc(0);
         let hi = e_cyc(19);
         assert!(hi / lo > 10.0, "dynamic range {} too small", hi / lo);
+    }
+
+    #[test]
+    fn big_and_little_share_the_battery_and_differ_in_speed_and_power() {
+        let big = big_processor();
+        let little = little_processor();
+        assert_eq!(big.supply().vbat, little.supply().vbat, "one battery feeds both");
+        assert_eq!(big.fmax(), 1.8e9);
+        assert_eq!(little.fmax(), 0.6e9);
+        // Calibrated full-speed draws.
+        let i_big = big.battery_current_at(2);
+        let i_little = little.battery_current_at(2);
+        assert!((i_big - BIG_FULL_SPEED_CURRENT).abs() < 1e-9, "big draw = {i_big} A");
+        assert!((i_little - LITTLE_FULL_SPEED_CURRENT).abs() < 1e-9, "little = {i_little} A");
+        // The LITTLE core is cheaper *per cycle* at peak, not just in watts.
+        let e_big = i_big / big.fmax();
+        let e_little = i_little / little.fmax();
+        assert!(e_big / e_little > 2.0, "per-cycle ratio {}", e_big / e_little);
+        assert!(little.idle_current() < big.idle_current());
+    }
+
+    #[test]
+    fn biglittle_presets_resolve_and_compose_into_a_platform() {
+        use crate::platform::Platform;
+        let p = Platform::new(vec![
+            by_name("big").unwrap(),
+            by_name("big").unwrap(),
+            by_name("little").unwrap(),
+            by_name("little").unwrap(),
+        ])
+        .unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.fmax_any(), 1.8e9);
+        assert_eq!(p.fmax_per_pe(), vec![1.8e9, 1.8e9, 0.6e9, 0.6e9]);
     }
 
     #[test]

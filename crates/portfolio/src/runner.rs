@@ -42,13 +42,12 @@ pub fn run_portfolio(scenario: &Scenario) -> Result<PortfolioReport, PortfolioEr
     scenario.validate().map_err(|e| PortfolioError::Scenario(e.to_string()))?;
     let specs = expand_spec_patterns(&scenario.specs)
         .map_err(|e| PortfolioError::Scenario(e.to_string()))?;
-    let config = scenario.workload_config().map_err(|e| PortfolioError::Scenario(e.to_string()))?;
     let platform =
         scenario.build_platform().map_err(|e| PortfolioError::Scenario(e.to_string()))?;
     let mut sweep = Sweep::over_seeds(scenario.seed, scenario.trials)
         .specs(specs)
-        .workload(config)
         .platform(&platform)
+        .mapper(scenario.mapper_kind())
         .horizon(scenario.horizon)
         .threads(scenario.threads)
         .sampler(scenario.sampler)
@@ -56,6 +55,13 @@ pub fn run_portfolio(scenario: &Scenario) -> Result<PortfolioReport, PortfolioEr
         // A missed deadline is a coordinate, not an abort: the whole point
         // is to see where aggressive slowdowns trade feasibility away.
         .deadline_mode(DeadlineMode::DropAndCount);
+    sweep = if scenario.uses_generator() {
+        sweep.workload_with(|seed| scenario.trial_set(seed).map_err(|e| e.to_string()))
+    } else {
+        let config =
+            scenario.workload_config().map_err(|e| PortfolioError::Scenario(e.to_string()))?;
+        sweep.workload(config)
+    };
     if scenario.battery != "none" {
         sweep = sweep
             .battery(|seed| scenario.build_battery(seed).expect("battery name validated above"));

@@ -285,8 +285,10 @@ impl<'a> Simulation<'a> {
         let recorder = cfg.record_trace.then(|| TraceRecorder::with_lanes(pes));
         let total_nodes = set.total_nodes();
         let max_nodes = set.iter().map(|(_, pg)| pg.graph().node_count()).max().unwrap_or(0);
+        let mut state = SimState::with_mapping(set, mapping);
+        state.set_transfer(cfg.platform.interconnect());
         Ok(Simulation {
-            state: SimState::with_mapping(set, mapping),
+            state,
             cfg,
             governors,
             policies,
@@ -356,7 +358,14 @@ impl<'a> Simulation<'a> {
             return Ok(Step::LimitReached);
         }
         self.process_releases(t)?;
-        let t_next = self.state.next_release_any().min(limit);
+        let mut t_next = self.state.next_release_any();
+        if self.state.transfer().is_some() {
+            // Successors whose cross-PE payload has landed become ready;
+            // in-flight arrivals bound the step like a release would.
+            self.state.promote_pending(t);
+            t_next = t_next.min(self.state.next_pending_any());
+        }
+        let t_next = t_next.min(limit);
         self.state.ready_tasks(&mut self.ready);
         let pes = self.governors.len();
 
@@ -729,7 +738,7 @@ impl<'a> Simulation<'a> {
     fn complete_if_done(&mut self, pe: usize, task: TaskRef, rem_actual: f64, t_complete: f64) {
         let actual = self
             .state
-            .advance(task, rem_actual)
+            .advance_at(task, rem_actual, t_complete)
             .expect("executing the full remaining actual must complete the node");
         let instance_done = !self.state.is_active(task.graph);
         self.state.refresh_edf();
@@ -770,6 +779,7 @@ mod tests {
     use crate::workload::{FixedFraction, WorstCase};
     use bas_battery::IdealModel;
     use bas_cpu::presets::unit_processor;
+    use bas_cpu::Interconnect;
     use bas_taskgraph::{PeriodicTaskGraph, TaskGraphBuilder, TaskSet};
 
     fn single_task_set(wc: u64, period: f64) -> TaskSet {
@@ -1168,6 +1178,91 @@ mod tests {
         let lane1 = trace.lane(1);
         // PE 1: idle [0, 4), run b [4, 6).
         assert!(matches!(lane1[0].kind, SliceKind::Idle), "{lane1:?}");
+        let run = lane1.iter().find(|s| matches!(s.kind, SliceKind::Run { .. })).unwrap();
+        assert!((run.start - 4.0).abs() < 1e-9 && (run.end - 6.0).abs() < 1e-9, "{run:?}");
+    }
+
+    /// Chain a(4) -> b(2) with a 500 kB edge payload, split across PEs.
+    fn transfer_chain_parts(bytes: u64, split: bool) -> (TaskSet, Mapping) {
+        let mut b = TaskGraphBuilder::new("T0");
+        let a = b.add_node("a", 4);
+        let c = b.add_node("b", 2);
+        b.add_edge_weighted(a, c, bytes).unwrap();
+        let mut set = TaskSet::new();
+        let gid = set.push(PeriodicTaskGraph::new(b.build().unwrap(), 10.0).unwrap());
+        let mut mapping = Mapping::single_pe(&set);
+        if split {
+            mapping.assign(gid, c, 1);
+        }
+        (set, mapping)
+    }
+
+    fn run_transfer_chain(set: TaskSet, mapping: Mapping, cfg: SimConfig) -> SimOutcome {
+        let (mut g0, mut g1) = (MaxSpeed, MaxSpeed);
+        let (mut p0, mut p1) = (EdfTopo, EdfTopo);
+        let mut s = WorstCase;
+        let mut sim = Simulation::with_platform(
+            set,
+            mapping,
+            cfg,
+            vec![&mut g0, &mut g1],
+            vec![&mut p0, &mut p1],
+            &mut s,
+        )
+        .unwrap();
+        sim.run_until(10.0).unwrap();
+        sim.finish()
+    }
+
+    #[test]
+    fn interconnect_delays_cross_pe_successors_by_the_transfer_time() {
+        // latency 0.5 s + 500 kB / 1 MB/s = 1.0 s in flight: b may only
+        // start at t = 5, so PE 1 runs it over [5, 7) instead of [4, 6).
+        let (set, mapping) = transfer_chain_parts(500_000, true);
+        let ic = Interconnect::new(0.5, 1e6).unwrap();
+        let cfg =
+            SimConfig::with_platform(Platform::uniform(unit_processor(), 2).with_interconnect(ic));
+        let out = run_transfer_chain(set, mapping, cfg);
+        assert_eq!(out.metrics.deadline_misses, 0);
+        assert_eq!(out.metrics.instances_completed, 1);
+        let trace = out.trace.unwrap();
+        trace.validate().unwrap();
+        let lane1 = trace.lane(1);
+        let run = lane1.iter().find(|s| matches!(s.kind, SliceKind::Run { .. })).unwrap();
+        assert!((run.start - 5.0).abs() < 1e-9 && (run.end - 7.0).abs() < 1e-9, "{run:?}");
+    }
+
+    #[test]
+    fn interconnect_charges_nothing_within_one_pe() {
+        // Same payload, both endpoints on PE 0: the data never crosses the
+        // fabric, so the run is identical to the interconnect-free one.
+        let ic = Interconnect::new(0.5, 1e6).unwrap();
+        let (set, mapping) = transfer_chain_parts(500_000, false);
+        let cfg =
+            SimConfig::with_platform(Platform::uniform(unit_processor(), 2).with_interconnect(ic));
+        let with_ic = run_transfer_chain(set, mapping, cfg);
+        let (set, mapping) = transfer_chain_parts(500_000, false);
+        let cfg = SimConfig::with_platform(Platform::uniform(unit_processor(), 2));
+        let without = run_transfer_chain(set, mapping, cfg);
+        assert_eq!(with_ic.metrics.busy_time, without.metrics.busy_time);
+        assert_eq!(with_ic.metrics.idle_time, without.metrics.idle_time);
+        assert_eq!(with_ic.metrics.instances_completed, without.metrics.instances_completed);
+        let run = with_ic.trace.unwrap();
+        let base = without.trace.unwrap();
+        assert_eq!(run.lane(0).len(), base.lane(0).len());
+    }
+
+    #[test]
+    fn zero_cost_interconnect_matches_the_bare_platform() {
+        // A free fabric (0 latency, infinite bandwidth) must reproduce the
+        // historical cross-PE blocking behaviour exactly.
+        let ic = Interconnect::new(0.0, f64::INFINITY).unwrap();
+        let (set, mapping) = transfer_chain_parts(500_000, true);
+        let cfg =
+            SimConfig::with_platform(Platform::uniform(unit_processor(), 2).with_interconnect(ic));
+        let with_ic = run_transfer_chain(set, mapping, cfg);
+        let trace = with_ic.trace.unwrap();
+        let lane1 = trace.lane(1);
         let run = lane1.iter().find(|s| matches!(s.kind, SliceKind::Run { .. })).unwrap();
         assert!((run.start - 4.0).abs() < 1e-9 && (run.end - 6.0).abs() < 1e-9, "{run:?}");
     }

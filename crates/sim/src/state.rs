@@ -31,6 +31,7 @@
 
 use crate::time;
 use crate::types::TaskRef;
+use bas_cpu::Interconnect;
 use bas_taskgraph::{GraphId, Mapping, NodeId, TaskSet};
 
 /// The scheduler-visible digest of a mounted battery.
@@ -76,6 +77,10 @@ pub(crate) struct NodeProgress {
     pub executed: f64,
     /// Completed flag.
     pub done: bool,
+    /// Earliest time every cross-PE input payload has arrived (0 until a
+    /// remote predecessor completes; only ever raised when an interconnect
+    /// is mounted).
+    pub data_ready: f64,
 }
 
 impl NodeProgress {
@@ -115,6 +120,11 @@ pub(crate) struct GraphProgress {
     /// node index — maintained incrementally on release/completion so the
     /// per-step ready scan is O(ready) instead of O(nodes × edges).
     pub ready: Vec<NodeId>,
+    /// Nodes whose predecessors are all complete but whose cross-PE input
+    /// payloads are still in flight, with their arrival times — sorted by
+    /// node index; promoted into `ready` once the clock reaches the
+    /// arrival. Always empty without a mounted interconnect.
+    pub pending: Vec<(NodeId, f64)>,
     /// Count of incomplete nodes in the active instance.
     pub unfinished: usize,
     /// ccEDF's `WCi`: Σ (done ? actual : wcet) over the instance (§4.1).
@@ -147,6 +157,11 @@ pub struct SimState {
     running: Vec<Option<TaskRef>>,
     /// Per-PE: the last reference frequency announced for the element.
     fref: Vec<Option<f64>>,
+    /// The platform's interconnect, when mounted: cross-PE DAG edges then
+    /// charge `latency + bytes/bandwidth` before the successor becomes
+    /// ready. `None` (the default) keeps the historical free-transfer
+    /// behaviour bit for bit.
+    transfer: Option<Interconnect>,
 }
 
 impl SimState {
@@ -176,6 +191,7 @@ impl SimState {
                 deadline: 0.0,
                 nodes: Vec::new(),
                 ready: Vec::new(),
+                pending: Vec::new(),
                 unfinished: 0,
                 // Before the first release the scheduler must budget the
                 // full worst case.
@@ -195,6 +211,7 @@ impl SimState {
             scope: None,
             running: vec![None; pes],
             fref: vec![None; pes],
+            transfer: None,
         }
     }
 
@@ -410,6 +427,24 @@ impl SimState {
         self.set.graph_ids().map(|g| self.next_release(g)).fold(f64::INFINITY, f64::min)
     }
 
+    /// The mounted interconnect, if any; see [`SimState::set_transfer`].
+    #[inline]
+    pub fn transfer(&self) -> Option<Interconnect> {
+        self.transfer
+    }
+
+    /// Earliest in-flight cross-PE payload arrival across all graphs —
+    /// `f64::INFINITY` when nothing is in flight. A scheduling point the
+    /// engine folds into its next-event bound so stalled successors wake
+    /// exactly when their data lands.
+    pub fn next_pending_any(&self) -> f64 {
+        self.graphs
+            .iter()
+            .filter(|g| g.active)
+            .flat_map(|g| g.pending.iter().map(|&(_, at)| at))
+            .fold(f64::INFINITY, f64::min)
+    }
+
     // ------------------------------------------------------------------
     // Mutation API (executor-internal)
     // ------------------------------------------------------------------
@@ -449,6 +484,36 @@ impl SimState {
         self.fref[pe] = Some(fref);
     }
 
+    /// Mount (or unmount) the platform's interconnect. Engine/test API —
+    /// the engine installs the platform's configured interconnect at
+    /// construction; `None` keeps cross-PE transfers free (the historical
+    /// behaviour, bit for bit).
+    pub fn set_transfer(&mut self, transfer: Option<Interconnect>) {
+        self.transfer = transfer;
+    }
+
+    /// Promote every pending successor whose cross-PE payload has arrived
+    /// by `t` into its graph's ready list. Engine/test API — a no-op
+    /// without a mounted interconnect (pending lists stay empty then).
+    pub fn promote_pending(&mut self, t: f64) {
+        for g in &mut self.graphs {
+            if !g.active || g.pending.is_empty() {
+                continue;
+            }
+            let mut i = 0;
+            while i < g.pending.len() {
+                if time::approx_le(g.pending[i].1, t) {
+                    let (node, _) = g.pending.remove(i);
+                    if let Err(pos) = g.ready.binary_search(&node) {
+                        g.ready.insert(pos, node);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+
     /// Release the next instance of `graph` with pre-sampled actuals.
     /// Returns the instance index released. Engine/test API.
     pub fn release(&mut self, graph: GraphId, actuals: Vec<f64>) -> u64 {
@@ -473,10 +538,11 @@ impl SimState {
         g.nodes.extend(graph_ref.node_ids().zip(actuals).map(|(n, &actual)| {
             let wcet = graph_ref.wcet(n) as f64;
             debug_assert!(actual > 0.0 && actual <= wcet + 1e-9);
-            NodeProgress { wcet, actual, executed: 0.0, done: false }
+            NodeProgress { wcet, actual, executed: 0.0, done: false, data_ready: 0.0 }
         }));
         g.ready.clear();
         g.ready.extend(graph_ref.node_ids().filter(|&n| graph_ref.predecessors(n).is_empty()));
+        g.pending.clear();
         g.unfinished = g.nodes.len();
         g.wci_effective = graph_ref.total_wcet() as f64;
         for (pe, wci) in g.wci_pe.iter_mut().enumerate() {
@@ -495,14 +561,26 @@ impl SimState {
         g.active = false;
         g.nodes.clear();
         g.ready.clear();
+        g.pending.clear();
         g.unfinished = 0;
         self.edf_dirty = true;
     }
 
     /// Advance `task` by `cycles` executed cycles; marks completion when the
     /// actual demand is reached. Returns `Some(actual)` on completion.
-    /// Engine/test API.
+    /// Engine/test API. Completion is stamped at the current clock — the
+    /// engine's completion path uses [`SimState::advance_at`] with the
+    /// exact completion time instead (the clock only advances at step end).
     pub fn advance(&mut self, task: TaskRef, cycles: f64) -> Option<f64> {
+        self.advance_at(task, cycles, self.now)
+    }
+
+    /// Like [`SimState::advance`], with an explicit completion timestamp:
+    /// when the node completes at `t_complete` and an interconnect is
+    /// mounted, every cross-PE successor's payload starts its transfer
+    /// there, and successors whose data is still in flight park in the
+    /// pending list instead of becoming ready.
+    pub fn advance_at(&mut self, task: TaskRef, cycles: f64, t_complete: f64) -> Option<f64> {
         let graph_ref = self.set[task.graph].graph();
         let g = &mut self.graphs[task.graph.index()];
         debug_assert!(g.active);
@@ -530,12 +608,34 @@ impl SimState {
                 if let Ok(pos) = g.ready.binary_search(&task.node) {
                     g.ready.remove(pos);
                 }
+                // With an interconnect mounted, every edge whose endpoints
+                // sit on different PEs ships its payload starting now: the
+                // successor cannot start before its latest cross-PE arrival.
+                if let Some(ic) = self.transfer {
+                    let from_pe = self.mapping.pe_of(task.graph, task.node);
+                    for (succ, bytes) in graph_ref.out_edges(task.node) {
+                        if self.mapping.pe_of(task.graph, succ) != from_pe {
+                            let arrival = t_complete + ic.transfer_time(bytes);
+                            let dr = &mut g.nodes[succ.index()].data_ready;
+                            if arrival > *dr {
+                                *dr = arrival;
+                            }
+                        }
+                    }
+                }
                 for &succ in graph_ref.successors(task.node) {
                     if g.nodes[succ.index()].done {
                         continue;
                     }
                     if graph_ref.predecessors(succ).iter().all(|p| g.nodes[p.index()].done) {
-                        if let Err(pos) = g.ready.binary_search(&succ) {
+                        let data_ready = g.nodes[succ.index()].data_ready;
+                        if self.transfer.is_some() && !time::approx_le(data_ready, t_complete) {
+                            // Payload still in flight: park until it lands.
+                            let pos = g.pending.partition_point(|&(n, _)| n < succ);
+                            if g.pending.get(pos).map(|&(n, _)| n) != Some(succ) {
+                                g.pending.insert(pos, (succ, data_ready));
+                            }
+                        } else if let Err(pos) = g.ready.binary_search(&succ) {
                             g.ready.insert(pos, succ);
                         }
                     }

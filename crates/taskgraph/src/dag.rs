@@ -38,6 +38,12 @@ pub struct TaskGraph {
     topo: Vec<NodeId>,
     /// Sum of all node WCETs — the `WCi` of the paper (§4.1).
     total_wcet: Cycles,
+    /// `edge_bytes[v][k]` = bytes `v` hands to `succs[v][k]` (index-aligned
+    /// with `succs`). Plain precedence edges carry 0 bytes; imported
+    /// workflows (WfCommons files) and explicit weighted edges carry the
+    /// payload the interconnect must move when the endpoints land on
+    /// different PEs.
+    edge_bytes: Vec<Vec<u64>>,
 }
 
 impl TaskGraph {
@@ -143,6 +149,25 @@ impl TaskGraph {
         })
     }
 
+    /// Bytes carried by the edge `from -> to`; `None` if there is no such
+    /// edge. Plain precedence edges carry 0.
+    pub fn edge_bytes(&self, from: NodeId, to: NodeId) -> Option<u64> {
+        let k = self.succs[from.index()].binary_search(&to).ok()?;
+        Some(self.edge_bytes[from.index()][k])
+    }
+
+    /// Every outgoing edge of `from` with its byte payload, in successor-id
+    /// order (index-aligned with [`successors`](Self::successors)).
+    #[inline]
+    pub fn out_edges(&self, from: NodeId) -> impl Iterator<Item = (NodeId, u64)> + '_ {
+        self.succs[from.index()].iter().copied().zip(self.edge_bytes[from.index()].iter().copied())
+    }
+
+    /// Sum of all edge payloads, bytes. 0 for plain precedence graphs.
+    pub fn total_edge_bytes(&self) -> u64 {
+        self.edge_bytes.iter().flatten().sum()
+    }
+
     /// Length (in cycles) of the longest WCET-weighted path — the graph's
     /// critical path. A lower bound on any instance's completion, useful for
     /// sanity-checking generated periods (`critical_path ≤ period · fmax`
@@ -160,7 +185,7 @@ impl TaskGraph {
 pub struct TaskGraphBuilder {
     name: String,
     nodes: Vec<TaskNode>,
-    edges: Vec<(NodeId, NodeId)>,
+    edges: Vec<(NodeId, NodeId, u64)>,
 }
 
 impl TaskGraphBuilder {
@@ -197,6 +222,19 @@ impl TaskGraphBuilder {
     /// cycles are only detectable (and rejected) at [`build`](Self::build)
     /// time.
     pub fn add_edge(&mut self, from: NodeId, to: NodeId) -> Result<(), GraphError> {
+        self.add_edge_weighted(from, to, 0)
+    }
+
+    /// Add a precedence edge `from -> to` carrying `bytes` of data — the
+    /// payload an interconnect must move when the two endpoints are mapped
+    /// onto different processing elements. Same validation as
+    /// [`add_edge`](Self::add_edge) (which is the `bytes = 0` shorthand).
+    pub fn add_edge_weighted(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+    ) -> Result<(), GraphError> {
         let n = self.nodes.len();
         if from.index() >= n {
             return Err(GraphError::UnknownNode(from));
@@ -207,10 +245,10 @@ impl TaskGraphBuilder {
         if from == to {
             return Err(GraphError::SelfLoop(from));
         }
-        if self.edges.contains(&(from, to)) {
+        if self.edges.iter().any(|&(f, t, _)| f == from && t == to) {
             return Err(GraphError::DuplicateEdge(from, to));
         }
-        self.edges.push((from, to));
+        self.edges.push((from, to, bytes));
         Ok(())
     }
 
@@ -227,19 +265,35 @@ impl TaskGraphBuilder {
             }
         }
         let n = self.nodes.len();
-        let mut succs: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut out: Vec<Vec<(NodeId, u64)>> = vec![Vec::new(); n];
         let mut preds: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        for &(from, to) in &self.edges {
-            succs[from.index()].push(to);
+        for &(from, to, bytes) in &self.edges {
+            out[from.index()].push((to, bytes));
             preds[to.index()].push(from);
         }
-        // Deterministic adjacency order regardless of edge insertion order.
-        for list in succs.iter_mut().chain(preds.iter_mut()) {
+        // Deterministic adjacency order regardless of edge insertion order;
+        // edge payloads stay index-aligned with their successor entries.
+        let mut succs: Vec<Vec<NodeId>> = Vec::with_capacity(n);
+        let mut edge_bytes: Vec<Vec<u64>> = Vec::with_capacity(n);
+        for mut list in out {
+            list.sort_unstable_by_key(|&(to, _)| to);
+            succs.push(list.iter().map(|&(to, _)| to).collect());
+            edge_bytes.push(list.iter().map(|&(_, b)| b).collect());
+        }
+        for list in preds.iter_mut() {
             list.sort_unstable();
         }
         let topo = algo::topological_sort(n, &succs, &preds)?;
         let total_wcet = self.nodes.iter().map(|t| t.wcet).sum();
-        Ok(TaskGraph { name: self.name, nodes: self.nodes, succs, preds, topo, total_wcet })
+        Ok(TaskGraph {
+            name: self.name,
+            nodes: self.nodes,
+            succs,
+            preds,
+            topo,
+            total_wcet,
+            edge_bytes,
+        })
     }
 }
 
@@ -387,6 +441,45 @@ mod tests {
             assert!(g.has_edge(f, t));
             assert!(!g.has_edge(t, f), "edges are directed");
         }
+    }
+
+    #[test]
+    fn edge_bytes_default_to_zero_and_follow_the_sorted_adjacency() {
+        let g = diamond();
+        let a = NodeId::from_index(0);
+        let b = NodeId::from_index(1);
+        let d = NodeId::from_index(3);
+        assert_eq!(g.edge_bytes(a, b), Some(0));
+        assert_eq!(g.edge_bytes(b, a), None, "no reverse edge");
+        assert_eq!(g.edge_bytes(a, d), None, "no such edge");
+        assert_eq!(g.total_edge_bytes(), 0);
+    }
+
+    #[test]
+    fn weighted_edges_keep_their_payload_after_adjacency_sorting() {
+        let mut b = TaskGraphBuilder::new("w");
+        let a = b.add_node("a", 1);
+        let x = b.add_node("x", 1);
+        let y = b.add_node("y", 1);
+        // Insert in reverse successor order so build() has to re-sort.
+        b.add_edge_weighted(a, y, 300).unwrap();
+        b.add_edge_weighted(a, x, 200).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.successors(a), &[x, y]);
+        assert_eq!(g.edge_bytes(a, x), Some(200));
+        assert_eq!(g.edge_bytes(a, y), Some(300));
+        assert_eq!(g.out_edges(a).collect::<Vec<_>>(), vec![(x, 200), (y, 300)]);
+        assert_eq!(g.total_edge_bytes(), 500);
+    }
+
+    #[test]
+    fn weighted_duplicate_edge_is_rejected_regardless_of_payload() {
+        let mut b = TaskGraphBuilder::new("wd");
+        let x = b.add_node("x", 1);
+        let y = b.add_node("y", 1);
+        b.add_edge_weighted(x, y, 5).unwrap();
+        assert_eq!(b.add_edge_weighted(x, y, 9).unwrap_err(), GraphError::DuplicateEdge(x, y));
+        assert_eq!(b.add_edge(x, y).unwrap_err(), GraphError::DuplicateEdge(x, y));
     }
 
     #[test]

@@ -83,6 +83,72 @@ impl Mapping {
         Mapping { assignment, pes }
     }
 
+    /// Heterogeneity- and communication-aware greedy list scheduling.
+    ///
+    /// Like [`Mapping::list_schedule_weighted`], nodes are visited in
+    /// deterministic topological order, but each placement is scored by the
+    /// **resulting** normalized load *plus* the communication it would
+    /// induce: every incoming edge whose producer sits on another PE
+    /// charges `(latency + bytes / bytes_per_sec) / period` — the
+    /// interconnect time the transfer costs, normalized like a utilization.
+    /// The node goes to the PE with the smallest score, ties to the lowest
+    /// index, so chains gravitate onto one (fast) element unless the load
+    /// imbalance outweighs the transfer cost.
+    ///
+    /// Unlike [`Mapping::list_schedule_weighted`] (which compares PEs by
+    /// their load *before* placement), the score includes the node's own
+    /// normalized demand, so an expensive node prefers the element where it
+    /// is cheap even when loads are equal. With a free interconnect
+    /// (`latency = 0`, `bytes_per_sec = f64::INFINITY`) and equal weights
+    /// the result is identical to [`Mapping::list_schedule`].
+    ///
+    /// # Panics
+    /// Panics when `weights` is empty or non-positive, `latency` is
+    /// negative/non-finite, or `bytes_per_sec` is not positive.
+    pub fn list_schedule_hetero(
+        set: &TaskSet,
+        weights: &[f64],
+        latency: f64,
+        bytes_per_sec: f64,
+    ) -> Self {
+        assert!(!weights.is_empty(), "a mapping needs at least one processing element");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "PE speed weights must be positive"
+        );
+        assert!(latency >= 0.0 && latency.is_finite(), "interconnect latency must be finite >= 0");
+        assert!(bytes_per_sec > 0.0, "interconnect bandwidth must be positive");
+        let pes = weights.len();
+        let mut load = vec![0.0f64; pes];
+        let mut assignment: Vec<Vec<usize>> =
+            set.iter().map(|(_, g)| vec![0; g.graph().node_count()]).collect();
+        for (gid, pg) in set.iter() {
+            let graph = pg.graph();
+            for &node in graph.topological_order() {
+                let mut best = 0;
+                let mut best_score = f64::INFINITY;
+                for pe in 0..pes {
+                    let compute = load[pe] + graph.wcet(node) as f64 / (pg.period() * weights[pe]);
+                    let mut comm = 0.0;
+                    for &p in graph.predecessors(node) {
+                        if assignment[gid.index()][p.index()] != pe {
+                            let bytes = graph.edge_bytes(p, node).unwrap_or(0) as f64;
+                            comm += (latency + bytes / bytes_per_sec) / pg.period();
+                        }
+                    }
+                    let score = compute + comm;
+                    if score < best_score {
+                        best = pe;
+                        best_score = score;
+                    }
+                }
+                assignment[gid.index()][node.index()] = best;
+                load[best] += graph.wcet(node) as f64 / (pg.period() * weights[best]);
+            }
+        }
+        Mapping { assignment, pes }
+    }
+
     /// Number of processing elements this mapping targets.
     #[inline]
     pub fn pes(&self) -> usize {
@@ -227,6 +293,67 @@ mod tests {
             })
             .sum();
         assert!(on_fast >= 2, "fast PE got {on_fast} of 3 nodes");
+    }
+
+    /// A chain with heavy edge payloads and one light independent task.
+    fn comm_heavy_set() -> TaskSet {
+        let mut b = TaskGraphBuilder::new("chain");
+        let a = b.add_node("a", 4);
+        let c = b.add_node("b", 4);
+        let d = b.add_node("c", 4);
+        b.add_edge_weighted(a, c, 1_000_000).unwrap();
+        b.add_edge_weighted(c, d, 1_000_000).unwrap();
+        let g0 = PeriodicTaskGraph::new(b.build().unwrap(), 20.0).unwrap();
+        let mut b = TaskGraphBuilder::new("solo");
+        b.add_node("s", 4);
+        let g1 = PeriodicTaskGraph::new(b.build().unwrap(), 20.0).unwrap();
+        let mut s = TaskSet::new();
+        s.push(g0);
+        s.push(g1);
+        s
+    }
+
+    #[test]
+    fn hetero_free_interconnect_equal_weights_matches_list_schedule() {
+        let s = set();
+        let free = Mapping::list_schedule_hetero(&s, &[1.0, 1.0], 0.0, f64::INFINITY);
+        assert_eq!(free, Mapping::list_schedule(&s, 2));
+    }
+
+    #[test]
+    fn hetero_mapper_keeps_heavy_chains_on_one_pe() {
+        let s = comm_heavy_set();
+        // A slow interconnect makes splitting the chain cost ~10s per hop
+        // (0.5 in normalized units, beating the 0.2 load delta); the chain
+        // must stay together, the solo task balances onto PE 1.
+        let m = Mapping::list_schedule_hetero(&s, &[1.0, 1.0], 1e-3, 1e5);
+        let chain_pes: Vec<usize> = (0..3).map(|n| m.pe_of(gid(0), nid(n))).collect();
+        assert!(
+            chain_pes.iter().all(|&pe| pe == chain_pes[0]),
+            "chain split across PEs: {chain_pes:?}"
+        );
+        // The communication-blind mapper does split the chain (it only sees
+        // load), so the two mappers genuinely differ on this workload.
+        let blind = Mapping::list_schedule(&s, 2);
+        assert_ne!(m, blind);
+    }
+
+    #[test]
+    fn hetero_mapper_sends_expensive_nodes_to_the_fast_pe() {
+        let s = set();
+        // PE 1 is 10x faster and the interconnect is free: every node is
+        // cheapest there until its accumulated load catches up.
+        let m = Mapping::list_schedule_hetero(&s, &[1.0, 10.0], 0.0, f64::INFINITY);
+        assert_eq!(m.pe_of(gid(0), nid(0)), 1, "first node belongs on the fast PE");
+    }
+
+    #[test]
+    fn hetero_mapper_is_deterministic() {
+        let s = comm_heavy_set();
+        assert_eq!(
+            Mapping::list_schedule_hetero(&s, &[1.0, 2.0, 1.0], 1e-4, 1e8),
+            Mapping::list_schedule_hetero(&s, &[1.0, 2.0, 1.0], 1e-4, 1e8)
+        );
     }
 
     #[test]

@@ -1,0 +1,33 @@
+//! Error type for workflow import and generation.
+
+use bas_taskgraph::GraphError;
+use std::fmt;
+
+/// Why a workload could not be imported or generated.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// The input was not well-formed JSON.
+    Json(String),
+    /// The JSON was well-formed but not a valid WfCommons instance.
+    Schema(String),
+    /// The described DAG is structurally invalid (cycle, duplicate edge…).
+    Graph(GraphError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Json(msg) => write!(f, "invalid JSON: {msg}"),
+            WorkloadError::Schema(msg) => write!(f, "invalid WfCommons instance: {msg}"),
+            WorkloadError::Graph(e) => write!(f, "invalid task graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+impl From<GraphError> for WorkloadError {
+    fn from(e: GraphError) -> Self {
+        WorkloadError::Graph(e)
+    }
+}

@@ -1,0 +1,340 @@
+//! Deterministic big-DAG generators.
+//!
+//! `bas-taskgraph`'s generator reproduces the paper's TGFF sweep — graphs
+//! of 5–15 nodes. This module targets the opposite regime: synthetic DAGs
+//! of 10³–10⁴ nodes for stress-testing the engine's scheduling paths, the
+//! mappers' load balancing, and the interconnect accounting at scale.
+//! Three structural families, all **O(n) edges** so 10k-node graphs build
+//! in milliseconds:
+//!
+//! * [`Family::Layered`] — nodes split into `⌈√n⌉` contiguous ranks; each
+//!   non-first-rank node draws 1–3 distinct parents from the previous
+//!   rank. The workhorse wide-DAG shape (BLAS-like wavefronts).
+//! * [`Family::ForkJoin`] — alternating fork/join blocks of width 2–8
+//!   threaded on a spine, the classic parallel-loop skeleton (every
+//!   OpenMP/Cilk program's shadow).
+//! * [`Family::Random`] — growing-network DAG: node `i` attaches to 1–3
+//!   distinct uniformly-drawn earlier nodes, giving heavy-tailed
+//!   out-degrees (preferential-attachment-ish without the bookkeeping).
+//!
+//! Node WCETs and edge payloads are drawn uniformly from configured
+//! ranges. Everything is a pure function of [`BigDagConfig`] — same
+//! config, same graph, bit for bit — which the scenario digest and the
+//! sweep's cross-thread determinism guarantees rely on.
+
+use crate::error::WorkloadError;
+use bas_taskgraph::{Cycles, NodeId, TaskGraph, TaskGraphBuilder};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::str::FromStr;
+
+/// Structural family of a generated big DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// `⌈√n⌉` ranks, 1–3 parents per node from the previous rank.
+    Layered,
+    /// Fork/join blocks of width 2–8 on a serial spine.
+    ForkJoin,
+    /// Growing-network DAG: 1–3 uniformly-drawn earlier parents.
+    Random,
+}
+
+impl Family {
+    /// All families, in canonical order (CLI listings, scenario docs).
+    pub const ALL: &'static [Family] = &[Family::Layered, Family::ForkJoin, Family::Random];
+
+    /// Canonical lowercase name (accepted back by [`FromStr`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Layered => "layered",
+            Family::ForkJoin => "fork-join",
+            Family::Random => "random",
+        }
+    }
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The string did not name a generator family.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFamilyError(pub String);
+
+impl fmt::Display for ParseFamilyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown DAG family {:?} (expected layered, fork-join or random)", self.0)
+    }
+}
+
+impl std::error::Error for ParseFamilyError {}
+
+impl FromStr for Family {
+    type Err = ParseFamilyError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "layered" => Ok(Family::Layered),
+            "fork-join" | "forkjoin" => Ok(Family::ForkJoin),
+            "random" => Ok(Family::Random),
+            other => Err(ParseFamilyError(other.to_string())),
+        }
+    }
+}
+
+/// Parameters for one generated big DAG.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BigDagConfig {
+    /// Structural family.
+    pub family: Family,
+    /// Exact node count (≥ 1).
+    pub nodes: usize,
+    /// Generator seed: same seed, same graph, bit for bit.
+    pub seed: u64,
+    /// Inclusive per-node WCET range in cycles, drawn uniformly.
+    pub wcet: (Cycles, Cycles),
+    /// Inclusive per-edge payload range in bytes, drawn uniformly.
+    pub payload: (u64, u64),
+}
+
+impl Default for BigDagConfig {
+    /// 1000-node layered graph with the paper's WCET scale and 4 KiB–1 MiB
+    /// edge payloads.
+    fn default() -> Self {
+        BigDagConfig {
+            family: Family::Layered,
+            nodes: 1000,
+            seed: 42,
+            wcet: (10, 100),
+            payload: (4 << 10, 1 << 20),
+        }
+    }
+}
+
+impl BigDagConfig {
+    /// Generate the graph. Deterministic in the config.
+    ///
+    /// # Errors
+    /// Rejects a zero node count and inverted WCET/payload ranges; a WCET
+    /// range must not contain 0.
+    pub fn generate(&self) -> Result<TaskGraph, WorkloadError> {
+        if self.nodes == 0 {
+            return Err(WorkloadError::Schema("node count must be at least 1".into()));
+        }
+        if self.wcet.0 < 1 || self.wcet.0 > self.wcet.1 {
+            return Err(WorkloadError::Schema(format!("invalid wcet range {:?}", self.wcet)));
+        }
+        if self.payload.0 > self.payload.1 {
+            return Err(WorkloadError::Schema(format!("invalid payload range {:?}", self.payload)));
+        }
+        let n = self.nodes;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let name = format!("{}-n{}-s{}", self.family, n, self.seed);
+        let mut b = TaskGraphBuilder::with_capacity(name, n, 2 * n);
+        for i in 0..n {
+            let w = rng.gen_range(self.wcet.0..=self.wcet.1);
+            b.add_node(format!("t{i}"), w);
+        }
+        match self.family {
+            Family::Layered => self.layered_edges(&mut b, n, &mut rng),
+            Family::ForkJoin => self.fork_join_edges(&mut b, n, &mut rng),
+            Family::Random => self.random_edges(&mut b, n, &mut rng),
+        }
+        Ok(b.build().expect("generated DAGs are acyclic by construction"))
+    }
+
+    fn draw_payload(&self, rng: &mut StdRng) -> u64 {
+        if self.payload.0 == self.payload.1 {
+            self.payload.0
+        } else {
+            rng.gen_range(self.payload.0..=self.payload.1)
+        }
+    }
+
+    fn edge(&self, b: &mut TaskGraphBuilder, from: usize, to: usize, rng: &mut StdRng) {
+        let bytes = self.draw_payload(rng);
+        b.add_edge_weighted(NodeId::from_index(from), NodeId::from_index(to), bytes)
+            .expect("generator never repeats an edge");
+    }
+
+    /// Contiguous ranks of near-equal size; each node of rank `r > 0`
+    /// draws 1–3 distinct parents from rank `r − 1`. Rank 0 nodes are the
+    /// roots; some last-rank nodes are guaranteed sinks.
+    fn layered_edges(&self, b: &mut TaskGraphBuilder, n: usize, rng: &mut StdRng) {
+        let layers = (n as f64).sqrt().ceil() as usize;
+        let bound = |l: usize| l * n / layers;
+        let mut scratch: Vec<usize> = Vec::new();
+        for l in 1..layers {
+            let (prev_lo, prev_hi) = (bound(l - 1), bound(l));
+            let (lo, hi) = (bound(l), bound(l + 1));
+            for child in lo..hi {
+                scratch.clear();
+                scratch.extend(prev_lo..prev_hi);
+                let k = rng.gen_range(1..=3usize.min(scratch.len()));
+                let (parents, _) = scratch.partial_shuffle(rng, k);
+                // Sort for a deterministic, index-ordered edge insertion.
+                parents.sort_unstable();
+                for &parent in parents.iter() {
+                    self.edge(b, parent, child, rng);
+                }
+            }
+        }
+    }
+
+    /// Fork/join blocks on a spine: spine node forks into `w ∈ [2, 8]`
+    /// workers, which join into the next spine node, until the node budget
+    /// is spent. Single root, single sink (the last spine node).
+    fn fork_join_edges(&self, b: &mut TaskGraphBuilder, n: usize, rng: &mut StdRng) {
+        let mut spine = 0usize; // current fork point
+        let mut next = 1usize; // first unused node id
+        while next < n {
+            // Need room for at least one worker and the join node.
+            let remaining = n - next;
+            if remaining < 3 {
+                // Tail too small for a block: chain the leftovers.
+                for i in next..n {
+                    self.edge(b, spine, i, rng);
+                    spine = i;
+                }
+                break;
+            }
+            let width = rng.gen_range(2..=8usize.min(remaining - 1));
+            let join = next + width;
+            for w in next..next + width {
+                self.edge(b, spine, w, rng);
+                self.edge(b, w, join, rng);
+            }
+            spine = join;
+            next = join + 1;
+        }
+    }
+
+    /// Growing network: node `i ≥ 1` draws `min(i, 1–3)` distinct parents
+    /// uniformly from `[0, i)`. Node 0 is the unique root.
+    fn random_edges(&self, b: &mut TaskGraphBuilder, n: usize, rng: &mut StdRng) {
+        let mut parents = [0usize; 3];
+        for child in 1..n {
+            let k = rng.gen_range(1..=3usize.min(child));
+            let mut picked = 0;
+            while picked < k {
+                let p = rng.gen_range(0..child);
+                if !parents[..picked].contains(&p) {
+                    parents[picked] = p;
+                    picked += 1;
+                }
+            }
+            parents[..k].sort_unstable();
+            for parent in parents.iter().copied().take(k) {
+                self.edge(b, parent, child, rng);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(family: Family, nodes: usize, seed: u64) -> BigDagConfig {
+        BigDagConfig { family, nodes, seed, ..BigDagConfig::default() }
+    }
+
+    #[test]
+    fn family_names_round_trip() {
+        for &f in Family::ALL {
+            assert_eq!(f.name().parse::<Family>().unwrap(), f);
+        }
+        assert_eq!("forkjoin".parse::<Family>().unwrap(), Family::ForkJoin);
+        assert!("tgff".parse::<Family>().is_err());
+    }
+
+    #[test]
+    fn same_seed_regenerates_the_identical_graph() {
+        for &f in Family::ALL {
+            let a = cfg(f, 500, 7).generate().unwrap();
+            let b = cfg(f, 500, 7).generate().unwrap();
+            assert_eq!(a, b, "{f}");
+            let c = cfg(f, 500, 8).generate().unwrap();
+            assert_ne!(a, c, "{f}: different seeds should differ");
+        }
+    }
+
+    #[test]
+    fn every_family_has_roots_and_sinks() {
+        for &f in Family::ALL {
+            for seed in 0..5 {
+                let g = cfg(f, 300, seed).generate().unwrap();
+                assert_eq!(g.node_count(), 300);
+                assert!(!g.sources().is_empty(), "{f}");
+                assert!(!g.sinks().is_empty(), "{f}");
+            }
+        }
+    }
+
+    #[test]
+    fn fork_join_is_single_rooted_and_single_sinked() {
+        for nodes in [2usize, 3, 4, 10, 97, 500] {
+            let g = cfg(Family::ForkJoin, nodes, 3).generate().unwrap();
+            assert_eq!(g.sources().len(), 1, "n={nodes}");
+            assert_eq!(g.sinks().len(), 1, "n={nodes}");
+        }
+    }
+
+    #[test]
+    fn random_family_is_single_rooted() {
+        let g = cfg(Family::Random, 400, 11).generate().unwrap();
+        assert_eq!(g.sources(), vec![NodeId::from_index(0)]);
+    }
+
+    #[test]
+    fn payloads_and_wcets_stay_in_range() {
+        let c = BigDagConfig {
+            family: Family::Layered,
+            nodes: 200,
+            seed: 1,
+            wcet: (7, 9),
+            payload: (100, 200),
+        };
+        let g = c.generate().unwrap();
+        for (_, node) in g.nodes() {
+            assert!((7..=9).contains(&node.wcet));
+        }
+        for (from, _) in g.edges() {
+            for (_, bytes) in g.out_edges(from) {
+                assert!((100..=200).contains(&bytes));
+            }
+        }
+    }
+
+    #[test]
+    fn ten_k_nodes_generate_quickly_with_linear_edges() {
+        let g = cfg(Family::Layered, 10_000, 42).generate().unwrap();
+        assert_eq!(g.node_count(), 10_000);
+        // 1-3 parents per non-root node: strictly linear edge growth.
+        assert!(g.edge_count() <= 3 * 10_000, "{}", g.edge_count());
+        assert!(g.edge_count() >= 10_000 - 100, "{}", g.edge_count());
+    }
+
+    #[test]
+    fn single_node_graphs_work_in_every_family() {
+        for &f in Family::ALL {
+            let g = cfg(f, 1, 0).generate().unwrap();
+            assert_eq!(g.node_count(), 1);
+            assert_eq!(g.edge_count(), 0);
+        }
+    }
+
+    #[test]
+    fn bad_configs_are_rejected() {
+        assert!(cfg(Family::Layered, 0, 0).generate().is_err());
+        let c = BigDagConfig { wcet: (0, 5), ..BigDagConfig::default() };
+        assert!(c.generate().is_err());
+        let c = BigDagConfig { wcet: (9, 5), ..BigDagConfig::default() };
+        assert!(c.generate().is_err());
+        let c = BigDagConfig { payload: (9, 5), ..BigDagConfig::default() };
+        assert!(c.generate().is_err());
+    }
+}

@@ -1,0 +1,57 @@
+//! Property tests over the big-DAG generator families: determinism under
+//! the seed, acyclicity, and the structural invariants each family
+//! advertises (roots and leaves always exist).
+
+use bas_workload::{BigDagConfig, Family};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generation_is_deterministic_acyclic_and_rooted(
+        seed in 0u64..10_000,
+        nodes in 1usize..400,
+        fam in 0usize..3,
+    ) {
+        let family = Family::ALL[fam];
+        let cfg = BigDagConfig { family, nodes, seed, ..BigDagConfig::default() };
+        let a = cfg.generate().unwrap();
+        let b = cfg.generate().unwrap();
+        // Same seed -> the identical graph, structure and weights included
+        // (TaskGraph equality covers names, WCETs and edge payloads).
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.node_count(), nodes);
+
+        // Acyclic: a full topological order exists and respects every edge.
+        let topo = a.topological_order();
+        prop_assert_eq!(topo.len(), nodes);
+        let mut position = vec![0usize; nodes];
+        for (pos, &v) in topo.iter().enumerate() {
+            position[v.index()] = pos;
+        }
+        for (from, to) in a.edges() {
+            prop_assert!(
+                position[from.index()] < position[to.index()],
+                "{family}: edge {from} -> {to} violates the topological order"
+            );
+        }
+
+        // Every family guarantees entry and exit points.
+        prop_assert!(!a.sources().is_empty(), "{family}: no root");
+        prop_assert!(!a.sinks().is_empty(), "{family}: no sink");
+    }
+
+    #[test]
+    fn seed_changes_the_graph(seed in 0u64..10_000, fam in 0usize..3) {
+        let family = Family::ALL[fam];
+        let a = BigDagConfig { family, nodes: 64, seed, ..BigDagConfig::default() }
+            .generate()
+            .unwrap();
+        let b = BigDagConfig { family, nodes: 64, seed: seed + 1, ..BigDagConfig::default() }
+            .generate()
+            .unwrap();
+        // WCET/payload draws make a collision astronomically unlikely.
+        prop_assert!(a != b, "seeds {seed} and {} collided", seed + 1);
+    }
+}

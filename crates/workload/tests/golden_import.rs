@@ -1,0 +1,102 @@
+//! Golden parse tests over the checked-in WfCommons fixtures: exact node,
+//! edge, WCET and payload counts. These pin the importer's observable
+//! mapping — if any number here moves, the change is a format-semantics
+//! change and must be deliberate.
+
+use bas_taskgraph::NodeId;
+use bas_workload::wfcommons::import_str;
+use bas_workload::ImportConfig;
+
+const DIAMOND: &str = include_str!("../fixtures/diamond.json");
+const MONTAGE: &str = include_str!("../fixtures/montage-tiny.json");
+const CHAIN: &str = include_str!("../fixtures/chain.json");
+
+fn id(i: usize) -> NodeId {
+    NodeId::from_index(i)
+}
+
+#[test]
+fn diamond_golden() {
+    let wf = import_str(DIAMOND, &ImportConfig::default()).unwrap();
+    assert_eq!(wf.name, "diamond");
+    let g = &wf.graph;
+    assert_eq!(g.node_count(), 4);
+    assert_eq!(g.edge_count(), 4);
+    // ref_speed 1 GHz: runtime seconds -> gigacycles.
+    assert_eq!(g.wcet(id(0)), 2_000_000_000);
+    assert_eq!(g.wcet(id(1)), 5_500_000_000);
+    assert_eq!(g.wcet(id(2)), 3_250_000_000);
+    assert_eq!(g.wcet(id(3)), 1_500_000_000);
+    assert_eq!(g.total_wcet(), 12_250_000_000);
+    // Edge payloads: the file each producer hands its consumer.
+    assert_eq!(g.edge_bytes(id(0), id(1)), Some(1_048_576), "split -> work_a");
+    assert_eq!(g.edge_bytes(id(0), id(2)), Some(2_097_152), "split -> work_b");
+    assert_eq!(g.edge_bytes(id(1), id(3)), Some(524_288), "work_a -> merge");
+    assert_eq!(g.edge_bytes(id(2), id(3)), Some(262_144), "work_b -> merge");
+    assert_eq!(g.total_edge_bytes(), 3_932_160);
+    // Structure: one root, one sink, critical path split -> work_a -> merge.
+    assert_eq!(g.sources(), vec![id(0)]);
+    assert_eq!(g.sinks(), vec![id(3)]);
+    assert_eq!(g.critical_path(), 9_000_000_000);
+}
+
+#[test]
+fn montage_tiny_golden() {
+    let wf = import_str(MONTAGE, &ImportConfig::default()).unwrap();
+    assert_eq!(wf.name, "montage-tiny");
+    let g = &wf.graph;
+    assert_eq!(g.node_count(), 9);
+    assert_eq!(g.edge_count(), 12);
+    // `runtimeInSeconds` spelling maps identically to `runtime`.
+    assert_eq!(g.wcet(id(0)), 12_000_000_000); // mProject_1
+    assert_eq!(g.wcet(id(8)), 1_000_000_000); // mJPEG
+                                              // The three mProject outputs feed both their mDiffFit and mAdd.
+    assert_eq!(g.edge_bytes(id(0), id(3)), Some(4_194_304), "proj_1 -> diff_12");
+    assert_eq!(g.edge_bytes(id(1), id(4)), Some(4_194_304), "proj_2 -> diff_23");
+    assert_eq!(g.edge_bytes(id(0), id(7)), Some(4_194_304), "proj_1 -> mAdd");
+    assert_eq!(g.edge_bytes(id(6), id(7)), Some(32_768), "mBgModel -> mAdd");
+    assert_eq!(g.edge_bytes(id(7), id(8)), Some(16_777_216), "mAdd -> mJPEG");
+    assert_eq!(g.total_edge_bytes(), 48_332_800);
+    // Three parallel roots (the projections), one sink (the JPEG).
+    assert_eq!(g.sources(), vec![id(0), id(1), id(2)]);
+    assert_eq!(g.sinks(), vec![id(8)]);
+    // Critical path: mProject_3 (13.5) -> mDiffFit_23 (3.5) -> mConcatFit
+    // (2) -> mBgModel (4) -> mAdd (8) -> mJPEG (1) = 32 s.
+    assert_eq!(g.critical_path(), 32_000_000_000);
+}
+
+#[test]
+fn chain_golden_with_legacy_spellings() {
+    // `jobs` + `children`-only + `size`: the oldest published spelling.
+    let wf = import_str(CHAIN, &ImportConfig { ref_speed: 1.0 }).unwrap();
+    assert_eq!(wf.name, "chain");
+    let g = &wf.graph;
+    assert_eq!(g.node_count(), 3);
+    assert_eq!(g.edge_count(), 2);
+    // Sub-cycle runtimes round UP and never hit zero.
+    assert_eq!(g.wcet(id(0)), 1);
+    assert_eq!(g.wcet(id(1)), 3);
+    assert_eq!(g.wcet(id(2)), 2);
+    assert_eq!(g.edge_bytes(id(0), id(1)), Some(1000));
+    assert_eq!(g.edge_bytes(id(1), id(2)), Some(500));
+}
+
+#[test]
+fn fixtures_import_deterministically() {
+    for fixture in [DIAMOND, MONTAGE, CHAIN] {
+        let a = import_str(fixture, &ImportConfig::default()).unwrap();
+        let b = import_str(fixture, &ImportConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn ref_speed_scales_wcets_linearly() {
+    let slow = import_str(DIAMOND, &ImportConfig { ref_speed: 1.0 }).unwrap();
+    let fast = import_str(DIAMOND, &ImportConfig { ref_speed: 1000.0 }).unwrap();
+    // 2.0 s -> 2 cycles vs 2000 cycles.
+    assert_eq!(slow.graph.wcet(id(0)), 2);
+    assert_eq!(fast.graph.wcet(id(0)), 2000);
+    // Payloads are independent of the reference speed.
+    assert_eq!(slow.graph.total_edge_bytes(), fast.graph.total_edge_bytes());
+}
