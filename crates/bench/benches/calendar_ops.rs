@@ -1,0 +1,109 @@
+//! Microbenchmarks of the event calendar — the engine's O(log n)
+//! next-event index (`bas_sim::Calendar`).
+//!
+//! Three access patterns, matching how the stepped engine actually drives
+//! the calendar:
+//!
+//! * `calendar/rekey-peek` — the raw heap cycle: re-key one entry
+//!   (`O(log n)` sift) then peek the minimum (`O(1)`). The unit cost every
+//!   other number decomposes into.
+//! * `calendar/release-heavy` — many graphs re-keying their next release
+//!   in period order with a `next_event` dispatch after each, the pattern
+//!   of a release-dominated workload (sweep/mpsoc scenarios).
+//! * `calendar/completion-heavy` — per-PE completion plans re-keyed every
+//!   step and cleared at the step boundary (`clear_step_entries`), the
+//!   pattern of the wide-DAG scenarios where releases are rare and every
+//!   step is plan → complete → replan.
+//!
+//! Sizes are chosen around the repo's real scales: 8 graphs × 4 PEs is the
+//! bench suite's sweep shape, 1024 graphs stresses the log factor.
+
+use bas_sim::Calendar;
+use bas_taskgraph::GraphId;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Deterministic 64-bit mixer (splitmix64) — cheap pseudo-random event
+/// times without an RNG dependency in the hot loop.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn rekey_peek(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calendar");
+    for &graphs in &[8usize, 64, 1024] {
+        let mut cal = Calendar::new(graphs, 4);
+        for g in 0..graphs {
+            cal.set_release(GraphId::from_index(g), mix(g as u64) as f64 / 1e15);
+        }
+        let mut tick = 0u64;
+        let n = graphs;
+        group.bench_function(format!("rekey-peek/{graphs}"), |b| {
+            b.iter(|| {
+                tick = tick.wrapping_add(1);
+                let g = (tick as usize * 7) % n;
+                // A fresh key each iteration so the sift distance varies.
+                cal.set_release(GraphId::from_index(g), mix(tick) as f64 / 1e15);
+                black_box(cal.next_release())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn release_heavy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calendar");
+    for &graphs in &[8usize, 64, 1024] {
+        let n = graphs;
+        group.bench_function(format!("release-heavy/{graphs}"), |b| {
+            b.iter(|| {
+                let mut cal = Calendar::new(n, 4);
+                // Every graph gets a period; walk 4 hyperperiod-ish rounds
+                // of releases in time order, dispatching after each re-key —
+                // the engine's process_releases + next_event cadence.
+                for round in 0..4u64 {
+                    for g in 0..n {
+                        let period = 1.0 + (g % 7) as f64;
+                        cal.set_release(GraphId::from_index(g), (round + 1) as f64 * period);
+                        black_box(cal.next_event(round as f64));
+                    }
+                }
+                black_box(cal.next_release())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn completion_heavy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calendar");
+    for &pes in &[1usize, 4, 16] {
+        let mut cal = Calendar::new(8, pes);
+        for g in 0..8 {
+            cal.set_release(GraphId::from_index(g), 1e9 + g as f64);
+        }
+        let mut tick = 0u64;
+        let n = pes;
+        group.bench_function(format!("completion-heavy/{pes}"), |b| {
+            b.iter(|| {
+                tick = tick.wrapping_add(1);
+                // One engine step: plan a completion and a battery leg per
+                // PE, take the earliest, then clear at the step boundary.
+                for pe in 0..n {
+                    cal.set_completion(pe, mix(tick ^ pe as u64) as f64 / 1e15);
+                    cal.set_leg(pe, mix(tick.wrapping_mul(31) ^ pe as u64) as f64 / 1e15);
+                }
+                let dt = cal.next_completion().min(cal.next_leg());
+                cal.clear_step_entries();
+                black_box(dt)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, rekey_peek, release_heavy, completion_heavy);
+criterion_main!(benches);

@@ -136,6 +136,25 @@ pub struct BenchEntry {
     /// An additive `bas-bench/v1` field: absent keys read as "not
     /// measured", so older reports stay valid.
     pub cache_hit_rate: Option<f64>,
+    /// Repeat statistics when the entry was measured more than once
+    /// (`bas bench --repeat N`): additive fields, omitted from JSON for
+    /// single-shot runs so older reports stay byte-stable.
+    pub repeat: Option<RepeatStats>,
+}
+
+/// Wall-time statistics over `--repeat N` measurements of one entry.
+/// `steps` is asserted identical across repeats (the engine is
+/// deterministic), so only the wall time varies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepeatStats {
+    /// Times the entry was measured.
+    pub repeats: usize,
+    /// Fastest measurement, nanoseconds (also what the entry's `wall_ns`
+    /// and `steps_per_sec` report: min is the standard low-noise estimator
+    /// for a deterministic workload).
+    pub wall_ns_min: u64,
+    /// Median measurement, nanoseconds (lower element for even `N`).
+    pub wall_ns_median: u64,
 }
 
 /// A full bench report.
@@ -185,6 +204,13 @@ impl BenchReport {
             if let Some(rate) = e.cache_hit_rate {
                 let _ = write!(out, ", \"cache_hit_rate\": {rate:.3}");
             }
+            if let Some(r) = &e.repeat {
+                let _ = write!(
+                    out,
+                    ", \"repeats\": {}, \"wall_ns_min\": {}, \"wall_ns_median\": {}",
+                    r.repeats, r.wall_ns_min, r.wall_ns_median
+                );
+            }
             out.push('}');
         }
         out.push_str("\n  ]\n}\n");
@@ -233,12 +259,18 @@ impl BenchReport {
 
 /// Run `bas bench` with parsed flags. Recognized: `--quick` (pin the quick
 /// budget), `--format text|json`, `--out FILE`, `--scenarios DIR` (where
-/// the suite's scenario files live, default `scenarios`).
+/// the suite's scenario files live, default `scenarios`), `--repeat N`
+/// (measure each entry N times; `wall_ns` reports the min and the entry
+/// grows additive `repeats`/`wall_ns_min`/`wall_ns_median` fields), and
+/// `--only LIST` (comma-separated entry names to run — suite scenario
+/// stems plus `portfolio` and `serve`).
 pub fn run(args: &Args) -> Result<(), CliError> {
     let mut quick = false;
     let mut json = false;
     let mut out_path: Option<&str> = None;
     let mut dir = "scenarios";
+    let mut repeat = 1usize;
+    let mut only: Option<Vec<String>> = None;
     for (key, value) in &args.flags {
         match (key.as_str(), value.as_str()) {
             ("quick", _) => quick = true,
@@ -251,12 +283,42 @@ pub fn run(args: &Args) -> Result<(), CliError> {
             }
             ("out", _) => out_path = Some(value),
             ("scenarios", _) => dir = value,
+            ("repeat", n) => {
+                repeat = n.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(|| {
+                    CliError::Usage(format!("`bas bench --repeat` needs a count >= 1, got {n:?}"))
+                })?;
+            }
+            ("only", list) => {
+                let names: Vec<String> = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+                if names.is_empty() {
+                    return Err(CliError::Usage(
+                        "`bas bench --only` needs a comma-separated entry list".to_string(),
+                    ));
+                }
+                for name in &names {
+                    let known = SUITE_SCENARIOS.iter().any(|s| s.name == name)
+                        || name == "portfolio"
+                        || name == "serve";
+                    if !known {
+                        return Err(CliError::Usage(format!(
+                            "`bas bench --only`: unknown entry {name:?}"
+                        )));
+                    }
+                }
+                only = Some(names);
+            }
             (key, _) => {
                 return Err(CliError::Usage(format!("`bas bench` takes no --{key} flag")));
             }
         }
     }
-    let report = run_suite(Path::new(dir), quick).map_err(CliError::Runtime)?;
+    let report = run_suite_filtered(Path::new(dir), quick, repeat, only.as_deref())
+        .map_err(CliError::Runtime)?;
     let payload = if json { report.to_json() } else { report.render_text() };
     match out_path {
         Some(path) => std::fs::write(path, &payload)
@@ -268,17 +330,38 @@ pub fn run(args: &Args) -> Result<(), CliError> {
 
 /// Measure the whole pinned suite.
 pub fn run_suite(dir: &Path, quick: bool) -> Result<BenchReport, String> {
+    run_suite_filtered(dir, quick, 1, None)
+}
+
+/// Measure the suite, repeating each entry `repeat` times (reporting the
+/// min wall time) and — when `only` is given — running just the named
+/// entries. `run_suite` is the unfiltered single-shot wrapper.
+pub fn run_suite_filtered(
+    dir: &Path,
+    quick: bool,
+    repeat: usize,
+    only: Option<&[String]>,
+) -> Result<BenchReport, String> {
+    assert!(repeat >= 1, "repeat count must be at least 1");
+    let wanted = |name: &str| only.is_none_or(|names| names.iter().any(|n| n == name));
     let mut suite = Vec::new();
     for entry in &SUITE_SCENARIOS {
+        if !wanted(entry.name) {
+            continue;
+        }
         let path = dir.join(format!("{}.toml", entry.name));
         let scenario = Scenario::load(&path).map_err(|e| format!("{}: {e}", path.display()))?;
         let (trials, horizon) = if quick { entry.quick } else { entry.full };
         for pes in SUITE_PES {
-            suite.push(bench_entry(&scenario, pes, trials, horizon)?);
+            suite.push(repeated(repeat, || bench_entry(&scenario, pes, trials, horizon))?);
         }
     }
-    suite.push(portfolio_entry(dir, quick)?);
-    suite.push(serve_entry(dir, quick)?);
+    if wanted("portfolio") {
+        suite.push(repeated(repeat, || portfolio_entry(dir, quick))?);
+    }
+    if wanted("serve") {
+        suite.push(repeated(repeat, || serve_entry(dir, quick))?);
+    }
     let created_unix = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
@@ -289,6 +372,38 @@ pub fn run_suite(dir: &Path, quick: bool) -> Result<BenchReport, String> {
         mode: if quick { "quick" } else { "full" }.to_string(),
         suite,
     })
+}
+
+/// Measure one entry `repeat` times. Steps must come out identical on
+/// every run (the engine is deterministic — a divergence is a bug worth
+/// failing loudly on); wall times are folded to min / median, and the
+/// entry's headline `wall_ns` / `steps_per_sec` switch to the min.
+fn repeated(
+    repeat: usize,
+    mut measure: impl FnMut() -> Result<BenchEntry, String>,
+) -> Result<BenchEntry, String> {
+    let mut entry = measure()?;
+    if repeat == 1 {
+        return Ok(entry);
+    }
+    let mut walls = vec![entry.wall_ns];
+    for _ in 1..repeat {
+        let again = measure()?;
+        if again.steps != entry.steps {
+            return Err(format!(
+                "{}[{}pe]: non-deterministic steps across repeats ({} vs {})",
+                entry.scenario, entry.pes, entry.steps, again.steps
+            ));
+        }
+        walls.push(again.wall_ns);
+    }
+    walls.sort_unstable();
+    let min = walls[0];
+    let median = walls[(walls.len() - 1) / 2];
+    entry.wall_ns = min;
+    entry.steps_per_sec = entry.steps as f64 / (min as f64 / 1e9);
+    entry.repeat = Some(RepeatStats { repeats: repeat, wall_ns_min: min, wall_ns_median: median });
+    Ok(entry)
 }
 
 /// Measure one scenario × platform-width entry: every trial × spec runs
@@ -340,6 +455,7 @@ fn bench_entry(
         wall_ns,
         steps_per_sec: steps as f64 / (wall_ns as f64 / 1e9),
         cache_hit_rate: None,
+        repeat: None,
     })
 }
 
@@ -394,6 +510,7 @@ fn portfolio_entry(dir: &Path, quick: bool) -> Result<BenchEntry, String> {
         wall_ns,
         steps_per_sec: steps as f64 / (wall_ns as f64 / 1e9),
         cache_hit_rate: None,
+        repeat: None,
     })
 }
 
@@ -517,6 +634,7 @@ fn serve_entry(dir: &Path, quick: bool) -> Result<BenchEntry, String> {
         wall_ns,
         steps_per_sec: requests as f64 / (wall_ns as f64 / 1e9),
         cache_hit_rate: Some(stats.cache_hits as f64 / stats.submitted as f64),
+        repeat: None,
     })
 }
 
@@ -588,6 +706,7 @@ mod tests {
                     wall_ns: 500_000_000,
                     steps_per_sec: 2000.0,
                     cache_hit_rate: None,
+                    repeat: None,
                 },
                 BenchEntry {
                     scenario: "serve".to_string(),
@@ -599,6 +718,11 @@ mod tests {
                     wall_ns: 100_000_000,
                     steps_per_sec: 8000.0,
                     cache_hit_rate: Some(0.75),
+                    repeat: Some(RepeatStats {
+                        repeats: 3,
+                        wall_ns_min: 100_000_000,
+                        wall_ns_median: 120_000_000,
+                    }),
                 },
             ],
         };

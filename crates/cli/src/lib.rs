@@ -48,7 +48,8 @@ USAGE:
     bas scenario <preset> [--key value ...]   # print the preset as a scenario file
     bas gen <layered|fork-join|random> [--nodes N] [--seed S] [--format text|json]
     bas gen import <workflow.json> [--ref-speed HZ] [--format text|json]
-    bas bench [--quick] [--format text|json] [--out FILE] [--scenarios DIR]
+    bas bench [--quick] [--repeat N] [--only LIST] [--format text|json]
+              [--out FILE] [--scenarios DIR]
     bas serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--quiet]
     bas list [--format text|json]
     bas help

@@ -1,0 +1,241 @@
+//! Bit-exactness goldens for the engine kernel.
+//!
+//! The event-calendar engine core (per-PE incremental ready queues, O(1)
+//! next-event peeks, observation memoization) is a pure performance
+//! refactor: every observable artifact — the JSONL event stream, the
+//! recorded `Trace`, `Metrics`, the battery lifetime report, and the
+//! parallel `Sweep` report — must stay **bit-identical** to the stepped
+//! rescan engine it replaced. These tests pin FNV-1a digests of those
+//! artifacts, for every expressible scheduler spec on 1 and 4 PEs over the
+//! paper-scale sweep workload, and for the 10k-node generated sweep across
+//! thread counts 1/2/8 (which also proves the report is independent of the
+//! worker count).
+//!
+//! Regenerate the tables after a *deliberate* behaviour change with:
+//!
+//! ```text
+//! BLESS_GOLDENS=1 cargo test -p bas-core --test engine_goldens -- --nocapture
+//! ```
+//!
+//! and audit the diff — a changed digest means scheduler-visible behaviour
+//! changed, never "just" performance.
+
+use bas_core::{all_specs, Scenario, Sweep};
+use bas_sim::{DeadlineMode, JsonlWriter};
+use std::path::Path;
+
+/// FNV-1a 64-bit, folded over every artifact of one run.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+fn scenario(path: &str) -> Scenario {
+    let full = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(path);
+    Scenario::load(&full).expect("scenario preset loads")
+}
+
+/// Run one spec on the sweep workload and digest JSONL + trace + metrics +
+/// battery report.
+fn run_digest(sc: &Scenario, spec: bas_core::SchedulerSpec) -> u64 {
+    let platform = sc.build_platform().unwrap();
+    let seed = Sweep::seed_for(sc.seed, 0);
+    let set = sc.trial_set(seed).unwrap();
+    let mut battery = sc.build_battery(seed);
+    let mut jsonl = JsonlWriter::new(Vec::<u8>::new());
+    let outcome = {
+        let mut experiment = sc
+            .trial_experiment(&set, spec, seed, &platform)
+            .trace(true)
+            .deadline_mode(DeadlineMode::DropAndCount)
+            .observer(&mut jsonl);
+        if let Some(cell) = battery.as_mut() {
+            experiment = experiment.battery(cell.as_mut());
+        }
+        experiment.run().expect("golden run succeeds")
+    };
+    let mut d = Digest::new();
+    d.update(&jsonl.into_inner().expect("in-memory sink cannot fail"));
+    d.update(format!("{:?}", outcome.metrics).as_bytes());
+    d.update(format!("{:?}", outcome.battery).as_bytes());
+    if let Some(trace) = &outcome.trace {
+        d.update(format!("{:?}", trace).as_bytes());
+    }
+    d.0
+}
+
+fn spec_goldens(pes: usize, golden: &[(&str, u64)]) {
+    let mut sc = scenario("scenarios/sweep.toml");
+    sc.trials = 1;
+    sc.horizon = 60.0;
+    sc.pes = pes;
+    if sc.processors.len() != pes {
+        sc.processors = Vec::new();
+    }
+    sc.validate().unwrap();
+    let bless = std::env::var_os("BLESS_GOLDENS").is_some();
+    let mut fresh = Vec::new();
+    for spec in all_specs() {
+        let label = spec.label();
+        let digest = run_digest(&sc, spec);
+        if bless {
+            println!("    (\"{label}\", 0x{digest:016x}),");
+        }
+        fresh.push((label, digest));
+    }
+    if bless {
+        return;
+    }
+    assert_eq!(fresh.len(), golden.len(), "spec grammar changed; re-bless");
+    for ((label, digest), (glabel, gdigest)) in fresh.iter().zip(golden) {
+        assert_eq!(label, glabel, "spec order changed; re-bless");
+        assert_eq!(
+            *digest, *gdigest,
+            "{label} on {pes} PE(s): artifact stream diverged from the stepped engine \
+             (digest 0x{digest:016x}, golden 0x{gdigest:016x})"
+        );
+    }
+}
+
+#[test]
+fn all_specs_bit_identical_on_1_pe() {
+    spec_goldens(1, GOLDEN_1PE);
+}
+
+#[test]
+fn all_specs_bit_identical_on_4_pes() {
+    spec_goldens(4, GOLDEN_4PE);
+}
+
+/// The 10k-node generated sweep must produce one bit-identical report
+/// regardless of the worker thread count (and identical to the golden).
+#[test]
+fn big_dag_sweep_identical_across_threads() {
+    let mut sc = scenario("scenarios/big-dag.toml");
+    sc.trials = 2;
+    sc.horizon = 60_000.0;
+    sc.validate().unwrap();
+    let bless = std::env::var_os("BLESS_GOLDENS").is_some();
+    let mut digests = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let mut sc = sc.clone();
+        sc.threads = threads;
+        let report = sc.run_sweep().expect("big-dag sweep runs");
+        let mut d = Digest::new();
+        d.update(format!("{report:?}").as_bytes());
+        digests.push((threads, d.0));
+    }
+    if bless {
+        for (threads, digest) in &digests {
+            println!("    ({threads}, 0x{digest:016x}),");
+        }
+        return;
+    }
+    for (threads, digest) in &digests {
+        assert_eq!(
+            *digest, GOLDEN_BIG_DAG,
+            "big-dag sweep with {threads} thread(s) diverged (0x{digest:016x})"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Golden tables (regenerate with BLESS_GOLDENS=1, see module docs).
+// ---------------------------------------------------------------------
+
+const GOLDEN_BIG_DAG: u64 = 0x598fc472039bf597;
+
+const GOLDEN_1PE: &[(&str, u64)] = &[
+    ("noDVS+random/imminent", 0xcb9e2f13e329ba17),
+    ("noDVS+random/all", 0xf7e5bbfd556fa1ee),
+    ("noDVS+LTF/imminent", 0xb1cdd07ba9f01668),
+    ("noDVS+LTF/all", 0xa07d1acaf3a3378a),
+    ("noDVS+STF/imminent", 0x5967766110582fc1),
+    ("noDVS+STF/all", 0x2edc9e49c9afe730),
+    ("noDVS+pUBS/imminent", 0xbecfe144c054c007),
+    ("noDVS+pUBS/all", 0xf5dd75f818247776),
+    ("ccEDF+random/imminent", 0xbaa9b7fb528a0160),
+    ("ccEDF+random/all", 0xfaff28357d37254d),
+    ("ccEDF+LTF/imminent", 0xe637f8754cbbfa14),
+    ("ccEDF+LTF/all", 0xdcf52e007f2cc2a1),
+    ("ccEDF+STF/imminent", 0xf4f9a47eca242fe2),
+    ("ccEDF+STF/all", 0x55c1ecac39cd7bc0),
+    ("ccEDF+pUBS/imminent", 0x5417d8b43b436ffb),
+    ("ccEDF+pUBS/all", 0x761de57e0c9acc26),
+    ("laEDF+random/imminent", 0x56ea3fa25741b195),
+    ("laEDF+random/all", 0x3b6d72a35dd8661e),
+    ("laEDF+LTF/imminent", 0xfb875962435b7d59),
+    ("laEDF+LTF/all", 0x12f601d2b05bb4b4),
+    ("laEDF+STF/imminent", 0xd4fdba602d8b938c),
+    ("laEDF+STF/all", 0x89b3907576ea207c),
+    ("laEDF+pUBS/imminent", 0xc64417c9dee42df9),
+    ("laEDF+pUBS/all", 0x14a723451a63e0d6),
+    ("socEDF+random/imminent", 0x56ea3fa25741b195),
+    ("socEDF+random/all", 0x3b6d72a35dd8661e),
+    ("socEDF+LTF/imminent", 0xfb875962435b7d59),
+    ("socEDF+LTF/all", 0x12f601d2b05bb4b4),
+    ("socEDF+STF/imminent", 0xd4fdba602d8b938c),
+    ("socEDF+STF/all", 0x89b3907576ea207c),
+    ("socEDF+pUBS/imminent", 0xc64417c9dee42df9),
+    ("socEDF+pUBS/all", 0x14a723451a63e0d6),
+    ("kvEDF+random/imminent", 0x56ea3fa25741b195),
+    ("kvEDF+random/all", 0x3b6d72a35dd8661e),
+    ("kvEDF+LTF/imminent", 0xfb875962435b7d59),
+    ("kvEDF+LTF/all", 0x12f601d2b05bb4b4),
+    ("kvEDF+STF/imminent", 0xd4fdba602d8b938c),
+    ("kvEDF+STF/all", 0x89b3907576ea207c),
+    ("kvEDF+pUBS/imminent", 0xc64417c9dee42df9),
+    ("kvEDF+pUBS/all", 0x14a723451a63e0d6),
+];
+
+const GOLDEN_4PE: &[(&str, u64)] = &[
+    ("noDVS+random/imminent", 0x416c5874d3950a1a),
+    ("noDVS+random/all", 0x2d73ad38c10a7845),
+    ("noDVS+LTF/imminent", 0x6b35c148a40bd04c),
+    ("noDVS+LTF/all", 0x8161f6e272d34f69),
+    ("noDVS+STF/imminent", 0xa2b3b99f81f04cbe),
+    ("noDVS+STF/all", 0x6ef718b7d9232243),
+    ("noDVS+pUBS/imminent", 0xeb6a7c4e5cc0c87d),
+    ("noDVS+pUBS/all", 0xc66000fba1a6d536),
+    ("ccEDF+random/imminent", 0x913f520ed2ffe6e2),
+    ("ccEDF+random/all", 0xfc73f1a088863b83),
+    ("ccEDF+LTF/imminent", 0x39814dd91b458c5b),
+    ("ccEDF+LTF/all", 0x9f7ccf6346b68e7a),
+    ("ccEDF+STF/imminent", 0xc639926f0342a2f4),
+    ("ccEDF+STF/all", 0x59eff3a47278344d),
+    ("ccEDF+pUBS/imminent", 0x9ad94efe70747e25),
+    ("ccEDF+pUBS/all", 0x5cc428105f49aaf7),
+    ("laEDF+random/imminent", 0x913f520ed2ffe6e2),
+    ("laEDF+random/all", 0xfc73f1a088863b83),
+    ("laEDF+LTF/imminent", 0x39814dd91b458c5b),
+    ("laEDF+LTF/all", 0x9f7ccf6346b68e7a),
+    ("laEDF+STF/imminent", 0xc639926f0342a2f4),
+    ("laEDF+STF/all", 0x59eff3a47278344d),
+    ("laEDF+pUBS/imminent", 0x9ad94efe70747e25),
+    ("laEDF+pUBS/all", 0x5cc428105f49aaf7),
+    ("socEDF+random/imminent", 0x913f520ed2ffe6e2),
+    ("socEDF+random/all", 0xfc73f1a088863b83),
+    ("socEDF+LTF/imminent", 0x39814dd91b458c5b),
+    ("socEDF+LTF/all", 0x9f7ccf6346b68e7a),
+    ("socEDF+STF/imminent", 0xc639926f0342a2f4),
+    ("socEDF+STF/all", 0x59eff3a47278344d),
+    ("socEDF+pUBS/imminent", 0x9ad94efe70747e25),
+    ("socEDF+pUBS/all", 0x5cc428105f49aaf7),
+    ("kvEDF+random/imminent", 0x913f520ed2ffe6e2),
+    ("kvEDF+random/all", 0xfc73f1a088863b83),
+    ("kvEDF+LTF/imminent", 0x39814dd91b458c5b),
+    ("kvEDF+LTF/all", 0x9f7ccf6346b68e7a),
+    ("kvEDF+STF/imminent", 0xc639926f0342a2f4),
+    ("kvEDF+STF/all", 0x59eff3a47278344d),
+    ("kvEDF+pUBS/imminent", 0x9ad94efe70747e25),
+    ("kvEDF+pUBS/all", 0x5cc428105f49aaf7),
+];

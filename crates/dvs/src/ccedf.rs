@@ -28,6 +28,12 @@ impl FrequencyGovernor for CcEdf {
     fn frequency(&mut self, state: &SimState) -> f64 {
         state.effective_utilization_hz()
     }
+
+    fn event_driven(&self) -> bool {
+        // `Σ WCi/Di` changes only at releases, abandons and completions —
+        // exactly the events the engine's consult cache is keyed on.
+        true
+    }
 }
 
 #[cfg(test)]

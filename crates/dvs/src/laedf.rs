@@ -29,14 +29,27 @@ use bas_sim::{FrequencyGovernor, SimState};
 use bas_taskgraph::GraphId;
 
 /// Look-ahead EDF governor.
+///
+/// The deadline order it defers against and the per-graph `Ci/Ti` quotients
+/// are cached between consults — the order stamped against the state's
+/// [`SimState::epoch`] (deadlines move only at releases, abandons and
+/// instance completions), the quotients against the ambient PE scope (they
+/// are static per scope). `c_left` is re-read fresh on every consult, so the
+/// governor still tracks progress continuously. Bind a fresh instance per
+/// simulation: the stamps are only meaningful against one state's counters.
 #[derive(Debug, Clone)]
 pub struct LaEdf {
     /// Processor peak frequency in Hz; deferral assumes later work can run at
     /// up to this speed. Set automatically from the first observed state when
     /// constructed via [`LaEdf::default`] is impossible — pass it explicitly.
     fmax: f64,
-    /// Scratch buffer (graph, deadline, c_left), reused across calls.
-    scratch: Vec<(GraphId, f64, f64)>,
+    /// Every graph with its (current or upcoming) absolute deadline, in
+    /// reverse-EDF order; valid while `order_epoch` matches the state's.
+    order: Vec<(GraphId, f64)>,
+    order_epoch: Option<u64>,
+    /// Per-graph `Ci/Ti` in Hz (graph-index order), under `quot_scope`.
+    quot: Vec<f64>,
+    quot_scope: Option<Option<usize>>,
 }
 
 impl LaEdf {
@@ -46,7 +59,7 @@ impl LaEdf {
     /// Panics unless `fmax` is positive and finite.
     pub fn with_fmax(fmax: f64) -> Self {
         assert!(fmax.is_finite() && fmax > 0.0, "fmax must be positive");
-        LaEdf { fmax, scratch: Vec::new() }
+        LaEdf { fmax, order: Vec::new(), order_epoch: None, quot: Vec::new(), quot_scope: None }
     }
 
     /// Governor for the paper's 1 GHz processor.
@@ -76,31 +89,45 @@ impl FrequencyGovernor for LaEdf {
         };
         let window = (d_n - now).max(1e-12);
 
-        // Gather every graph with its (current or upcoming) deadline and its
-        // remaining worst case (0 when between instances).
-        self.scratch.clear();
-        for (gid, pg) in state.set().iter() {
-            let (deadline, c_left) = if state.is_active(gid) {
-                (state.deadline(gid).expect("active"), state.remaining_wc(gid))
-            } else {
-                // Next instance's deadline; no work owed before it arrives.
-                (state.next_release(gid) + pg.period(), 0.0)
-            };
-            self.scratch.push((gid, deadline, c_left));
-        }
-        // Reverse EDF order: latest deadline first. Distinct graph ids make
-        // the comparator a strict total order, so the unstable sort (no
+        // Gather every graph with its (current or upcoming) deadline, in
+        // reverse EDF order: latest deadline first. Deadlines only move when
+        // the active-instance set changes, so the gathered order is reused
+        // until the state's epoch ticks. Distinct graph ids make the
+        // comparator a strict total order, so the unstable sort (no
         // temporary buffer) permutes exactly like the stable one.
-        self.scratch
-            .sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(b.0.cmp(&a.0)));
+        if self.order_epoch != Some(state.epoch()) {
+            self.order.clear();
+            for (gid, pg) in state.set().iter() {
+                let deadline = if state.is_active(gid) {
+                    state.deadline(gid).expect("active")
+                } else {
+                    // Next instance's deadline; no work owed before it arrives.
+                    state.next_release(gid) + pg.period()
+                };
+                self.order.push((gid, deadline));
+            }
+            self.order.sort_unstable_by(|a, b| {
+                b.1.partial_cmp(&a.1).expect("finite").then(b.0.cmp(&a.0))
+            });
+            self.order_epoch = Some(state.epoch());
+        }
+        // Scope-aware: on a multi-PE platform each laEDF instance defers
+        // only the work mapped to its own element. The `Ci/Ti` quotients are
+        // static per scope.
+        if self.quot_scope != Some(state.scope()) {
+            self.quot.clear();
+            self.quot
+                .extend(state.set().iter().map(|(gid, pg)| state.static_cycles(gid) / pg.period()));
+            self.quot_scope = Some(state.scope());
+        }
 
         let mut u: f64 = state.static_utilization_hz();
         let mut s = 0.0;
-        for &(gid, d_i, c_left) in &self.scratch {
-            let pg = &state.set()[gid];
-            // Scope-aware: on a multi-PE platform each laEDF instance
-            // defers only the work mapped to its own element.
-            u -= state.static_cycles(gid) / pg.period();
+        for &(gid, d_i) in &self.order {
+            // Remaining worst case, 0 when between instances — re-read
+            // fresh (it shrinks with every advance, not just at events).
+            let c_left = state.remaining_wc(gid);
+            u -= self.quot[gid.index()];
             let room = d_i - d_n;
             if room > 1e-12 {
                 // Cycles that fit between d_n and d_i if the processor gives

@@ -1,0 +1,461 @@
+//! The event calendar — the engine's O(log n) next-event index.
+//!
+//! The stepped engine used to find its next scheduling point by rescanning:
+//! every graph's next release, every graph's in-flight transfer arrivals,
+//! every PE's planned completion, every PE's constant-current leg boundary —
+//! each a linear fold per step. The [`Calendar`] replaces those folds with
+//! four **index-keyed binary min-heaps**, one per event kind, updated
+//! incrementally at the point where an event time actually changes:
+//!
+//! * **Releases** — one entry per graph, re-keyed when an instance is
+//!   released (`SimState::release_from`).
+//! * **Transfer arrivals** — one entry per graph holding the earliest
+//!   in-flight cross-PE payload arrival, re-keyed when a successor parks in
+//!   or leaves the pending list.
+//! * **Completions** — one entry per PE holding the planned completion of
+//!   the PE's committed pick, re-keyed once per step at plan time. Keys are
+//!   **step-relative durations** (the engine's step-length arithmetic works
+//!   in durations; keeping the exact operands keeps results bit-identical).
+//! * **Battery legs** — one entry per PE holding the remaining length of
+//!   the PE's current constant-current leg; the union of all PEs' leg
+//!   boundaries is the segmentation the battery absorbs. Step-relative,
+//!   like completions.
+//!
+//! Every heap is *index-keyed*: the entry universe is fixed at
+//! construction (graph count / PE count), entries are re-keyed in place
+//! (`O(log n)` sift), and an entry with no upcoming event carries
+//! `f64::INFINITY`. Peeking the earliest entry is `O(1)`.
+//!
+//! ## Deterministic tie-breaking
+//!
+//! Two events at the same time are ordered by **kind** (release, then
+//! transfer arrival, then completion, then battery leg — the order the
+//! engine handles coincident events in), then by the **stable graph/PE
+//! index**. Within one heap the comparator is `(time, index)`; across heaps
+//! [`Calendar::next_event`] applies the kind rank. No ordering decision
+//! ever depends on heap insertion history, so replays are bit-stable.
+
+use bas_taskgraph::GraphId;
+
+/// A fixed-universe binary min-heap keyed by `f64` event times.
+///
+/// All `n` entries are always resident (absent events carry
+/// `f64::INFINITY`); [`IndexHeap::set`] re-keys an entry in place and
+/// restores the heap in `O(log n)`. Ties order by entry index, so the heap
+/// root is a deterministic function of the key vector alone.
+#[derive(Debug, Clone)]
+pub(crate) struct IndexHeap {
+    /// Heap-ordered entry indices.
+    heap: Vec<u32>,
+    /// `pos[entry]` = slot of `entry` within `heap`.
+    pos: Vec<u32>,
+    /// `time[entry]` = the entry's key.
+    time: Vec<f64>,
+}
+
+impl IndexHeap {
+    /// A heap of `n` entries, all at `f64::INFINITY` (no event).
+    pub fn new(n: usize) -> Self {
+        IndexHeap {
+            heap: (0..n as u32).collect(),
+            pos: (0..n as u32).collect(),
+            time: vec![f64::INFINITY; n],
+        }
+    }
+
+    /// `(time, index)` strict order. Keys are event times — never NaN.
+    #[inline]
+    fn less(&self, a: u32, b: u32) -> bool {
+        let (ta, tb) = (self.time[a as usize], self.time[b as usize]);
+        ta < tb || (ta == tb && a < b)
+    }
+
+    /// The entry's current key.
+    #[inline]
+    pub fn get(&self, entry: usize) -> f64 {
+        self.time[entry]
+    }
+
+    /// Re-key `entry` to `t` and restore the heap, `O(log n)`.
+    pub fn set(&mut self, entry: usize, t: f64) {
+        debug_assert!(!t.is_nan(), "event times are never NaN");
+        let old = self.time[entry];
+        if old == t {
+            return;
+        }
+        self.time[entry] = t;
+        let slot = self.pos[entry] as usize;
+        if t < old {
+            self.sift_up(slot);
+        } else {
+            self.sift_down(slot);
+        }
+    }
+
+    /// Clear the entry's event (key back to `f64::INFINITY`).
+    #[inline]
+    pub fn clear(&mut self, entry: usize) {
+        self.set(entry, f64::INFINITY);
+    }
+
+    /// The earliest entry and its key — `O(1)`. `None` only for an empty
+    /// universe; an all-infinity heap returns its first entry (callers
+    /// treat an infinite key as "no event").
+    #[inline]
+    pub fn peek(&self) -> Option<(usize, f64)> {
+        self.heap.first().map(|&e| (e as usize, self.time[e as usize]))
+    }
+
+    /// The earliest key, `f64::INFINITY` when no event is scheduled.
+    #[inline]
+    pub fn peek_time(&self) -> f64 {
+        self.heap.first().map_or(f64::INFINITY, |&e| self.time[e as usize])
+    }
+
+    fn sift_up(&mut self, mut slot: usize) {
+        while slot > 0 {
+            let parent = (slot - 1) / 2;
+            if self.less(self.heap[slot], self.heap[parent]) {
+                self.swap_slots(slot, parent);
+                slot = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut slot: usize) {
+        let n = self.heap.len();
+        loop {
+            let mut best = slot;
+            for child in [2 * slot + 1, 2 * slot + 2] {
+                if child < n && self.less(self.heap[child], self.heap[best]) {
+                    best = child;
+                }
+            }
+            if best == slot {
+                return;
+            }
+            self.swap_slots(slot, best);
+            slot = best;
+        }
+    }
+
+    #[inline]
+    fn swap_slots(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a] as usize] = a as u32;
+        self.pos[self.heap[b] as usize] = b as u32;
+    }
+}
+
+/// The next scheduled occurrence on the calendar, as
+/// [`Calendar::next_event`] reports it (times absolute).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CalendarEvent {
+    /// The next instance release of `graph`.
+    Release {
+        /// Graph whose next instance releases.
+        graph: GraphId,
+        /// Absolute release time.
+        t: f64,
+    },
+    /// The earliest in-flight cross-PE payload of `graph` lands.
+    TransferArrival {
+        /// Graph whose pending successor becomes ready.
+        graph: GraphId,
+        /// Absolute arrival time.
+        t: f64,
+    },
+    /// The committed pick on `pe` runs to completion.
+    Completion {
+        /// Processing element the pick runs on.
+        pe: usize,
+        /// Absolute completion time.
+        t: f64,
+    },
+    /// The current constant-current leg of `pe` ends.
+    BatteryLeg {
+        /// Processing element whose drain leg ends.
+        pe: usize,
+        /// Absolute leg-boundary time.
+        t: f64,
+    },
+}
+
+impl CalendarEvent {
+    /// The event's absolute time.
+    pub fn time(&self) -> f64 {
+        match *self {
+            CalendarEvent::Release { t, .. }
+            | CalendarEvent::TransferArrival { t, .. }
+            | CalendarEvent::Completion { t, .. }
+            | CalendarEvent::BatteryLeg { t, .. } => t,
+        }
+    }
+
+    /// The kind's rank in the deterministic tie-break (the order the
+    /// engine handles coincident events in).
+    fn rank(&self) -> u8 {
+        match self {
+            CalendarEvent::Release { .. } => 0,
+            CalendarEvent::TransferArrival { .. } => 1,
+            CalendarEvent::Completion { .. } => 2,
+            CalendarEvent::BatteryLeg { .. } => 3,
+        }
+    }
+}
+
+/// The engine's event calendar: per-kind index-keyed min-heaps over the
+/// fixed graph/PE universe. See the module docs for which component keys
+/// which heap and in what time frame.
+#[derive(Debug, Clone)]
+pub struct Calendar {
+    releases: IndexHeap,
+    transfers: IndexHeap,
+    completions: IndexHeap,
+    legs: IndexHeap,
+}
+
+impl Calendar {
+    /// A calendar over `graphs` task graphs and `pes` processing elements,
+    /// with no events scheduled.
+    pub fn new(graphs: usize, pes: usize) -> Self {
+        Calendar {
+            releases: IndexHeap::new(graphs),
+            transfers: IndexHeap::new(graphs),
+            completions: IndexHeap::new(pes),
+            legs: IndexHeap::new(pes),
+        }
+    }
+
+    // ---- releases (absolute times) -----------------------------------
+
+    /// Schedule the next release of `graph` at absolute `t`.
+    #[inline]
+    pub fn set_release(&mut self, graph: GraphId, t: f64) {
+        self.releases.set(graph.index(), t);
+    }
+
+    /// Earliest upcoming release across all graphs, `O(1)`.
+    #[inline]
+    pub fn next_release(&self) -> f64 {
+        self.releases.peek_time()
+    }
+
+    // ---- transfer arrivals (absolute times) --------------------------
+
+    /// Schedule (or clear, with `f64::INFINITY`) the earliest in-flight
+    /// payload arrival of `graph`.
+    #[inline]
+    pub fn set_transfer(&mut self, graph: GraphId, t: f64) {
+        self.transfers.set(graph.index(), t);
+    }
+
+    /// The graph's earliest in-flight arrival (`f64::INFINITY` when none).
+    #[inline]
+    pub fn transfer_of(&self, graph: GraphId) -> f64 {
+        self.transfers.get(graph.index())
+    }
+
+    /// Earliest in-flight arrival across all graphs, `O(1)`.
+    #[inline]
+    pub fn next_transfer(&self) -> f64 {
+        self.transfers.peek_time()
+    }
+
+    // ---- completions (step-relative durations) -----------------------
+
+    /// Plan the committed pick on `pe` to complete `dur` after the step
+    /// start (`f64::INFINITY` = the PE has no plan this step).
+    #[inline]
+    pub fn set_completion(&mut self, pe: usize, dur: f64) {
+        self.completions.set(pe, dur);
+    }
+
+    /// The earliest planned completion across PEs as a step-relative
+    /// duration, `O(1)` (`f64::INFINITY` when every PE idles).
+    #[inline]
+    pub fn next_completion(&self) -> f64 {
+        self.completions.peek_time()
+    }
+
+    // ---- battery legs (step-relative durations) ----------------------
+
+    /// Key the remaining length of the current constant-current leg on
+    /// `pe` (`f64::INFINITY` once the PE's lane is exhausted).
+    #[inline]
+    pub fn set_leg(&mut self, pe: usize, remaining: f64) {
+        self.legs.set(pe, remaining);
+    }
+
+    /// The PE's current leg remainder.
+    #[inline]
+    pub fn leg_of(&self, pe: usize) -> f64 {
+        self.legs.get(pe)
+    }
+
+    /// The earliest leg boundary across PEs (step-relative), `O(1)` — the
+    /// length of the next summed-current segment the battery absorbs.
+    #[inline]
+    pub fn next_leg(&self) -> f64 {
+        self.legs.peek_time()
+    }
+
+    /// Clear every per-step entry (completions and legs) — called at step
+    /// end so a calendar snapshot between steps only shows durable events.
+    pub fn clear_step_entries(&mut self) {
+        for pe in 0..self.completions.time.len() {
+            self.completions.clear(pe);
+            self.legs.clear(pe);
+        }
+    }
+
+    /// The earliest scheduled occurrence across every kind, with times
+    /// made absolute against `now` for the step-relative kinds, or `None`
+    /// when nothing is scheduled. Coincident events order by kind rank
+    /// (release < transfer arrival < completion < battery leg), then by
+    /// graph/PE index — the engine's deterministic tie-break.
+    pub fn next_event(&self, now: f64) -> Option<CalendarEvent> {
+        let mut best: Option<CalendarEvent> = None;
+        let mut consider = |candidate: CalendarEvent| {
+            if !candidate.time().is_finite() {
+                return;
+            }
+            let better = match &best {
+                None => true,
+                Some(cur) => {
+                    candidate.time() < cur.time()
+                        || (candidate.time() == cur.time() && candidate.rank() < cur.rank())
+                }
+            };
+            if better {
+                best = Some(candidate);
+            }
+        };
+        if let Some((g, t)) = self.releases.peek() {
+            consider(CalendarEvent::Release { graph: GraphId::from_index(g), t });
+        }
+        if let Some((g, t)) = self.transfers.peek() {
+            consider(CalendarEvent::TransferArrival { graph: GraphId::from_index(g), t });
+        }
+        if let Some((pe, dur)) = self.completions.peek() {
+            consider(CalendarEvent::Completion { pe, t: now + dur });
+        }
+        if let Some((pe, dur)) = self.legs.peek() {
+            consider(CalendarEvent::BatteryLeg { pe, t: now + dur });
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gid(i: usize) -> GraphId {
+        GraphId::from_index(i)
+    }
+
+    #[test]
+    fn heap_pops_in_time_order_with_index_tiebreak() {
+        let mut h = IndexHeap::new(5);
+        h.set(3, 2.0);
+        h.set(1, 1.0);
+        h.set(4, 1.0); // ties with entry 1 — index 1 wins
+        h.set(0, 7.0);
+        assert_eq!(h.peek(), Some((1, 1.0)));
+        h.clear(1);
+        assert_eq!(h.peek(), Some((4, 1.0)));
+        h.clear(4);
+        assert_eq!(h.peek(), Some((3, 2.0)));
+        h.clear(3);
+        assert_eq!(h.peek(), Some((0, 7.0)));
+        h.clear(0);
+        assert_eq!(h.peek_time(), f64::INFINITY, "entry 2 never scheduled");
+    }
+
+    #[test]
+    fn rekeying_moves_entries_both_ways() {
+        let mut h = IndexHeap::new(4);
+        for (i, t) in [(0, 4.0), (1, 3.0), (2, 2.0), (3, 1.0)] {
+            h.set(i, t);
+        }
+        assert_eq!(h.peek(), Some((3, 1.0)));
+        h.set(3, 10.0); // push the root down
+        assert_eq!(h.peek(), Some((2, 2.0)));
+        h.set(0, 0.5); // pull a leaf up
+        assert_eq!(h.peek(), Some((0, 0.5)));
+        // Exhaustive drain stays sorted.
+        let mut order = Vec::new();
+        while h.peek_time().is_finite() {
+            let (e, t) = h.peek().unwrap();
+            order.push(t);
+            h.clear(e);
+        }
+        assert_eq!(order, vec![0.5, 2.0, 3.0, 10.0]);
+    }
+
+    #[test]
+    fn heap_root_is_a_function_of_keys_not_history() {
+        // Two different update histories, same final keys -> same root.
+        let keys = [5.0, 2.0, 2.0, 9.0, 2.0];
+        let mut a = IndexHeap::new(5);
+        for (i, &t) in keys.iter().enumerate() {
+            a.set(i, t);
+        }
+        let mut b = IndexHeap::new(5);
+        for (i, &t) in keys.iter().enumerate().rev() {
+            b.set(i, 100.0 + i as f64);
+            b.set(i, t);
+        }
+        assert_eq!(a.peek(), b.peek());
+        assert_eq!(a.peek(), Some((1, 2.0)), "lowest index wins the tie");
+    }
+
+    #[test]
+    fn calendar_merges_kinds_with_rank_tiebreak() {
+        let mut cal = Calendar::new(2, 2);
+        cal.set_release(gid(0), 10.0);
+        cal.set_transfer(gid(1), 10.0);
+        cal.set_completion(0, 4.0); // absolute 6 + 4 = 10 too
+        cal.set_leg(1, 4.0);
+        // All four coincide at t = 10: kind rank orders them.
+        assert_eq!(cal.next_event(6.0), Some(CalendarEvent::Release { graph: gid(0), t: 10.0 }));
+        cal.set_release(gid(0), 20.0);
+        assert_eq!(
+            cal.next_event(6.0),
+            Some(CalendarEvent::TransferArrival { graph: gid(1), t: 10.0 })
+        );
+        cal.set_transfer(gid(1), f64::INFINITY);
+        assert_eq!(cal.next_event(6.0), Some(CalendarEvent::Completion { pe: 0, t: 10.0 }));
+        cal.set_completion(0, f64::INFINITY);
+        assert_eq!(cal.next_event(6.0), Some(CalendarEvent::BatteryLeg { pe: 1, t: 10.0 }));
+    }
+
+    #[test]
+    fn step_entries_clear_together() {
+        let mut cal = Calendar::new(1, 3);
+        cal.set_release(gid(0), 50.0);
+        for pe in 0..3 {
+            cal.set_completion(pe, 1.0 + pe as f64);
+            cal.set_leg(pe, 0.5);
+        }
+        assert_eq!(cal.next_completion(), 1.0);
+        assert_eq!(cal.next_leg(), 0.5);
+        cal.clear_step_entries();
+        assert_eq!(cal.next_completion(), f64::INFINITY);
+        assert_eq!(cal.next_leg(), f64::INFINITY);
+        // Durable kinds survive.
+        assert_eq!(cal.next_release(), 50.0);
+        assert_eq!(cal.next_event(0.0), Some(CalendarEvent::Release { graph: gid(0), t: 50.0 }));
+    }
+
+    #[test]
+    fn empty_calendar_has_no_events() {
+        let cal = Calendar::new(2, 2);
+        assert_eq!(cal.next_event(0.0), None);
+        assert_eq!(cal.next_release(), f64::INFINITY);
+        assert_eq!(cal.next_transfer(), f64::INFINITY);
+    }
+}

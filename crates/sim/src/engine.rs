@@ -39,6 +39,7 @@
 //! react to state-of-charge (see `bas_dvs::SocFloor` for the canonical
 //! battery-aware governor).
 
+use crate::calendar::CalendarEvent;
 use crate::error::SimError;
 use crate::event::{SimEvent, SliceInfo};
 use crate::metrics::Metrics;
@@ -140,6 +141,22 @@ struct Plan {
     dur_complete: f64,
 }
 
+/// The memoized phase-1 consult of one PE, valid while the pair's inputs
+/// are unchanged (see [`FrequencyGovernor::event_driven`]): `stamp` is the
+/// `(consult_epoch, ready_epoch)` the pair was last consulted under.
+#[derive(Clone, Copy)]
+struct ConsultCache {
+    stamp: Option<(u64, u64)>,
+    fref: f64,
+    pick: Option<TaskRef>,
+}
+
+impl ConsultCache {
+    fn empty() -> Self {
+        ConsultCache { stamp: None, fref: 0.0, pick: None }
+    }
+}
+
 /// One constant-current stretch of one PE within a step.
 #[derive(Clone, Copy)]
 struct Leg {
@@ -187,13 +204,19 @@ pub struct Simulation<'a> {
     metrics: MetricsCollector,
     recorder: Option<TraceRecorder>,
     exhausted: bool,
+    // ---- consult-skip machinery (dirty-flag re-consultation) ------------
+    /// Bumped on every release, abandon and completion — the global half of
+    /// the "did this PE's consult inputs change?" stamp.
+    consult_epoch: u64,
+    /// Whether `governors[pe]` **and** `policies[pe]` both declared
+    /// themselves event-driven (precomputed; the pair never changes).
+    consult_skippable: Vec<bool>,
+    consult_cache: Vec<ConsultCache>,
     // ---- per-step scratch (reused to keep the hot loop allocation-free) --
-    ready: Vec<TaskRef>,
     ready_pe: Vec<TaskRef>,
     plans: Vec<Option<Plan>>,
     lanes: Vec<Vec<Leg>>,
     cursor: Vec<usize>,
-    remaining: Vec<f64>,
     cycles: Vec<f64>,
     advanced: Vec<f64>,
     /// Sampled actuals of the instance being released (refilled per release).
@@ -287,6 +310,11 @@ impl<'a> Simulation<'a> {
         let max_nodes = set.iter().map(|(_, pg)| pg.graph().node_count()).max().unwrap_or(0);
         let mut state = SimState::with_mapping(set, mapping);
         state.set_transfer(cfg.platform.interconnect());
+        let consult_skippable = governors
+            .iter()
+            .zip(policies.iter())
+            .map(|(g, p)| g.event_driven() && p.event_driven())
+            .collect();
         Ok(Simulation {
             state,
             cfg,
@@ -298,12 +326,13 @@ impl<'a> Simulation<'a> {
             metrics,
             recorder,
             exhausted: false,
-            ready: Vec::with_capacity(total_nodes),
+            consult_epoch: 0,
+            consult_skippable,
+            consult_cache: vec![ConsultCache::empty(); pes],
             ready_pe: Vec::with_capacity(total_nodes),
             plans: (0..pes).map(|_| None).collect(),
             lanes: vec![Vec::with_capacity(2); pes],
             cursor: vec![0; pes],
-            remaining: vec![0.0; pes],
             cycles: vec![0.0; pes],
             advanced: vec![0.0; pes],
             actuals: Vec::with_capacity(max_nodes),
@@ -339,6 +368,32 @@ impl<'a> Simulation<'a> {
         self.metrics.metrics()
     }
 
+    /// The next occurrence on the engine's event calendar: the earliest of
+    /// an instance release, an in-flight transfer arrival and — mid-step —
+    /// a committed completion or battery-leg boundary, under the engine's
+    /// deterministic tie-break (time, then kind, then graph/PE index).
+    /// Between steps only the persistent kinds are scheduled, so this
+    /// reports what bounds the *next* step; `None` once nothing is left.
+    ///
+    /// ```
+    /// # use bas_sim::policy::EdfTopo;
+    /// # use bas_sim::{CalendarEvent, MaxSpeed, SimConfig, Simulation, WorstCase};
+    /// # use bas_cpu::presets::unit_processor;
+    /// # use bas_taskgraph::{PeriodicTaskGraph, TaskGraphBuilder, TaskSet};
+    /// # let mut b = TaskGraphBuilder::new("T0");
+    /// # b.add_node("t", 4);
+    /// # let mut set = TaskSet::new();
+    /// # set.push(PeriodicTaskGraph::new(b.build().unwrap(), 10.0).unwrap());
+    /// # let (mut g, mut p, mut s) = (MaxSpeed, EdfTopo, WorstCase);
+    /// # let mut sim =
+    /// #     Simulation::new(set, SimConfig::new(unit_processor()), &mut g, &mut p, &mut s).unwrap();
+    /// // Before the first step, the calendar holds the first release at t=0.
+    /// assert!(matches!(sim.next_event(), Some(CalendarEvent::Release { t, .. }) if t == 0.0));
+    /// ```
+    pub fn next_event(&self) -> Option<CalendarEvent> {
+        self.state.calendar().next_event(self.state.now())
+    }
+
     /// Advance by one engine iteration (process due releases, take one
     /// scheduling decision per PE, execute to the next event boundary),
     /// unbounded in time.
@@ -366,26 +421,32 @@ impl<'a> Simulation<'a> {
             t_next = t_next.min(self.state.next_pending_any());
         }
         let t_next = t_next.min(limit);
-        self.state.ready_tasks(&mut self.ready);
         let pes = self.governors.len();
 
         // ---- Phase 1: one scheduling decision per PE, in PE order. ------
         for pe in 0..pes {
             self.plans[pe] = None;
+            self.state.calendar_mut().set_completion(pe, f64::INFINITY);
+            // The PE's ready queue is maintained incrementally by the state
+            // (partitioned at release/unlock/promotion time); copy it out so
+            // the consults below can re-borrow the state.
             self.ready_pe.clear();
-            if pes == 1 {
-                // Everything maps to PE 0 — skip the per-task mapping walk.
-                self.ready_pe.extend_from_slice(&self.ready);
-            } else {
-                let state = &self.state;
-                self.ready_pe
-                    .extend(self.ready.iter().copied().filter(|tr| state.pe_of(*tr) == pe));
-            }
+            self.ready_pe.extend_from_slice(self.state.ready_on(pe));
             let fmin = self.cfg.platform.pe(pe).fmin();
             let fmax = self.cfg.platform.pe(pe).fmax();
+            let stamp = (self.consult_epoch, self.state.ready_epoch(pe));
+            let cached = if self.consult_skippable[pe] && !self.ready_pe.is_empty() {
+                self.consult_cache[pe].stamp == Some(stamp)
+            } else {
+                false
+            };
             // Governor first (fref feeds the policy's feasibility checks).
             let fref = if self.ready_pe.is_empty() {
                 fmin // nothing to run on this PE; value is irrelevant
+            } else if cached {
+                // Both halves are event-driven and nothing they may read
+                // changed since the cached consult: replay its `fref`.
+                self.consult_cache[pe].fref
             } else {
                 self.state.set_scope(Some(pe));
                 let f = self.governors[pe].frequency(&self.state).clamp(fmin, fmax);
@@ -398,10 +459,15 @@ impl<'a> Simulation<'a> {
             }
             let pick = if self.ready_pe.is_empty() {
                 None
+            } else if cached {
+                self.consult_cache[pe].pick
             } else {
                 self.state.set_scope(Some(pe));
                 let pick = self.policies[pe].pick(&self.state, &self.ready_pe, fref);
                 self.state.set_scope(None);
+                if self.consult_skippable[pe] {
+                    self.consult_cache[pe] = ConsultCache { stamp: Some(stamp), fref, pick };
+                }
                 pick
             };
             self.dispatch_event(SimEvent::Decision { t, pe, fref, picked: pick });
@@ -427,16 +493,18 @@ impl<'a> Simulation<'a> {
                 // policy invocations, and these ran); on several PEs it
                 // extends to the other elements' discarded plans.
                 self.complete_if_done(pe, task, rem_actual, t);
+                self.state.calendar_mut().clear_step_entries();
                 return Ok(Step::Advanced);
             }
+            self.state.calendar_mut().set_completion(pe, dur_complete);
             self.plans[pe] = Some(Plan { task, realization, rem_actual, dur_complete });
         }
 
         // ---- Phase 2: the global step length — the earliest completion
-        // across PEs, capped at the next release boundary. --------------
+        // across PEs (the calendar's completion root), capped at the next
+        // release boundary. ----------------------------------------------
         let slack_to_event = t_next - t;
-        let busy_min =
-            self.plans.iter().flatten().map(|p| p.dur_complete).fold(f64::INFINITY, f64::min);
+        let busy_min = self.state.calendar().next_completion();
         let any_busy = busy_min.is_finite();
         let dt = if any_busy && busy_min <= slack_to_event + time::eps_for(t_next) {
             busy_min
@@ -445,6 +513,7 @@ impl<'a> Simulation<'a> {
         };
         if time::negligible(dt) {
             // Release boundary reached; go process it.
+            self.state.calendar_mut().clear_step_entries();
             self.state.set_now(t_next);
             return Ok(Step::Advanced);
         }
@@ -512,19 +581,18 @@ impl<'a> Simulation<'a> {
                 }
             }
             self.cursor[pe] = 0;
-            self.remaining[pe] = self.lanes[pe].first().map_or(0.0, |l| l.duration);
+            // Key the PE's battery-leg boundary on the calendar (exhausted
+            // lanes sit at infinity and never win the root).
+            let first = self.lanes[pe].first().map_or(f64::INFINITY, |l| l.duration);
+            self.state.calendar_mut().set_leg(pe, first);
         }
 
         let mut elapsed = 0.0;
         let mut died_at: Option<f64> = None;
         loop {
-            // The next segment runs until the earliest leg boundary.
-            let mut seg = f64::INFINITY;
-            for pe in 0..pes {
-                if self.cursor[pe] < self.lanes[pe].len() {
-                    seg = seg.min(self.remaining[pe]);
-                }
-            }
+            // The next segment runs until the earliest leg boundary — the
+            // calendar's battery-leg root.
+            let seg = self.state.calendar().next_leg();
             if !seg.is_finite() {
                 break;
             }
@@ -587,15 +655,21 @@ impl<'a> Simulation<'a> {
                 if self.cursor[pe] >= self.lanes[pe].len() {
                     continue;
                 }
-                if self.remaining[pe] <= seg {
+                let rem = self.state.calendar().leg_of(pe);
+                if rem <= seg {
                     self.cursor[pe] += 1;
-                    self.remaining[pe] =
-                        self.lanes[pe].get(self.cursor[pe]).map_or(0.0, |l| l.duration);
+                    let next =
+                        self.lanes[pe].get(self.cursor[pe]).map_or(f64::INFINITY, |l| l.duration);
+                    self.state.calendar_mut().set_leg(pe, next);
                 } else {
-                    self.remaining[pe] -= seg;
+                    self.state.calendar_mut().set_leg(pe, rem - seg);
                 }
             }
         }
+        // Completion and leg entries are step-scoped: drop them so a
+        // between-steps [`Simulation::next_event`] only reports the
+        // persistent kinds (releases, in-flight transfer arrivals).
+        self.state.calendar_mut().clear_step_entries();
 
         // ---- Phase 4: per-PE accounting events, in PE order. ------------
         for pe in 0..pes {
@@ -687,10 +761,18 @@ impl<'a> Simulation<'a> {
     // ------------------------------------------------------------------
 
     /// Process all releases due at or before the current time.
+    ///
+    /// O(1) when nothing is due: the calendar's release root bounds every
+    /// graph's next release, and `approx_le` is monotone in its first
+    /// argument, so a root that is still in the future clears the whole set.
     fn process_releases(&mut self, t: f64) -> Result<(), SimError> {
+        if !time::approx_le(self.state.next_release_any(), t) {
+            return Ok(());
+        }
         for index in 0..self.state.set().len() {
             let gid = bas_taskgraph::GraphId::from_index(index);
             while time::approx_le(self.state.next_release(gid), t) {
+                self.consult_epoch += 1;
                 if self.state.is_active(gid) {
                     // Deadline == release time of the next instance.
                     let deadline = self.state.deadline(gid).expect("active");
@@ -736,6 +818,9 @@ impl<'a> Simulation<'a> {
     /// Mark `task` complete after having run its full actual demand at time
     /// `t_complete` on `pe`, and fire the completion hooks.
     fn complete_if_done(&mut self, pe: usize, task: TaskRef, rem_actual: f64, t_complete: f64) {
+        // A completion changes `WCi` (and possibly the active set), so every
+        // event-driven consult memo is stale from here on.
+        self.consult_epoch += 1;
         let actual = self
             .state
             .advance_at(task, rem_actual, t_complete)
@@ -1054,6 +1139,95 @@ mod tests {
         let (ta, tb) = (whole.trace.unwrap(), pieces.trace.unwrap());
         assert_eq!(ta.execution_order(), tb.execution_order());
         assert_eq!(ta.len(), tb.len(), "cut slices must re-merge in the trace");
+    }
+
+    #[test]
+    fn event_driven_pair_skips_redundant_consults() {
+        // A limit cut re-opens the scheduling point without any release,
+        // completion or ready-queue change: an event-driven pair must be
+        // replayed from the consult cache, not re-consulted — while the
+        // emitted schedule stays identical to the always-consult run.
+        struct CountingGov(u32);
+        impl FrequencyGovernor for CountingGov {
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+            fn frequency(&mut self, _: &SimState) -> f64 {
+                self.0 += 1;
+                f64::INFINITY
+            }
+            fn event_driven(&self) -> bool {
+                true
+            }
+        }
+        struct CountingPolicy(u32, bool);
+        impl TaskPolicy for CountingPolicy {
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+            fn pick(&mut self, _: &SimState, ready: &[TaskRef], _: f64) -> Option<TaskRef> {
+                self.0 += 1;
+                ready.first().copied()
+            }
+            fn event_driven(&self) -> bool {
+                self.1
+            }
+        }
+        let run = |event_driven: bool| {
+            let mut g = CountingGov(0);
+            let mut p = CountingPolicy(0, event_driven);
+            let mut s = WorstCase;
+            let mut sim =
+                Simulation::new(single_task_set(4, 10.0), cfg(), &mut g, &mut p, &mut s).unwrap();
+            // The cut at t=2 forces a second decision at an unchanged state.
+            sim.run_until(2.0).unwrap();
+            sim.run_until(10.0).unwrap();
+            let out = sim.finish();
+            (g.0, p.0, out.metrics)
+        };
+        let (gov_skip, pol_skip, m_skip) = run(true);
+        let (gov_full, pol_full, m_full) = run(false);
+        // The opted-out pair is consulted at t=0 and again at t=2.
+        assert_eq!((gov_full, pol_full), (2, 2));
+        // The event-driven pair replays the cached decision at t=2.
+        assert_eq!((gov_skip, pol_skip), (1, 1));
+        // Both runs schedule identically (decisions count both, ran or
+        // replayed).
+        assert_eq!(m_skip.decisions, m_full.decisions);
+        assert_eq!(m_skip.nodes_completed, m_full.nodes_completed);
+        assert!((m_skip.busy_time - m_full.busy_time).abs() < 1e-12);
+        assert!((m_skip.charge - m_full.charge).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completion_invalidates_the_consult_cache() {
+        // Two instances back to back: the release of instance 2 (and the
+        // completion of instance 1) must re-consult even an event-driven
+        // pair — only *redundant* consults may be skipped.
+        struct CountingGov(u32);
+        impl FrequencyGovernor for CountingGov {
+            fn name(&self) -> &'static str {
+                "counting"
+            }
+            fn frequency(&mut self, _: &SimState) -> f64 {
+                self.0 += 1;
+                f64::INFINITY
+            }
+            fn event_driven(&self) -> bool {
+                true
+            }
+        }
+        let mut g = CountingGov(0);
+        let mut p = EdfTopo;
+        let mut s = WorstCase;
+        let mut sim =
+            Simulation::new(single_task_set(2, 5.0), cfg(), &mut g, &mut p, &mut s).unwrap();
+        sim.run_until(10.0).unwrap();
+        let out = sim.finish();
+        assert_eq!(out.metrics.instances_completed, 2);
+        // One consult per instance — no skips happened (every decision here
+        // follows a release), and no consult was lost either.
+        assert_eq!(g.0, 2);
     }
 
     #[test]

@@ -47,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod engine;
 pub mod error;
 pub mod event;
@@ -61,6 +62,7 @@ pub mod traits;
 pub mod types;
 pub mod workload;
 
+pub use calendar::{Calendar, CalendarEvent};
 pub use engine::{DeadlineMode, SimConfig, SimOutcome, Simulation, Step};
 pub use error::SimError;
 pub use event::{SimEvent, SliceInfo};

@@ -33,6 +33,12 @@ impl TaskPolicy for EdfTopo {
             })
             .copied()
     }
+
+    fn event_driven(&self) -> bool {
+        // A pure function of the EDF order (release/completion-driven) and
+        // the ready list, over a static topological order.
+        true
+    }
 }
 
 #[cfg(test)]

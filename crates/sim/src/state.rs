@@ -29,10 +29,45 @@
 //! global views are bit-identical — the compatibility guarantee the whole
 //! refactor rests on.
 
+use crate::calendar::Calendar;
 use crate::time;
 use crate::types::TaskRef;
 use bas_cpu::Interconnect;
 use bas_taskgraph::{GraphId, Mapping, NodeId, TaskSet};
+use std::cell::Cell;
+
+/// A lazily recomputed `f64` observation.
+///
+/// The cached fold is recomputed — with **exactly** the historical term
+/// sequence, so results stay bit-identical — only after a mutation marked
+/// it dirty. Interior mutability keeps the observation API `&self` (the
+/// whole point: governors and policies re-read these many times between
+/// mutations).
+#[derive(Debug, Clone)]
+struct Memo {
+    value: Cell<f64>,
+    dirty: Cell<bool>,
+}
+
+impl Memo {
+    fn new() -> Self {
+        Memo { value: Cell::new(0.0), dirty: Cell::new(true) }
+    }
+
+    #[inline]
+    fn invalidate(&self) {
+        self.dirty.set(true);
+    }
+
+    #[inline]
+    fn get_or(&self, fold: impl FnOnce() -> f64) -> f64 {
+        if self.dirty.get() {
+            self.value.set(fold());
+            self.dirty.set(false);
+        }
+        self.value.get()
+    }
+}
 
 /// The scheduler-visible digest of a mounted battery.
 ///
@@ -162,6 +197,39 @@ pub struct SimState {
     /// ready. `None` (the default) keeps the historical free-transfer
     /// behaviour bit for bit.
     transfer: Option<Interconnect>,
+    /// The event calendar: next release per graph and earliest in-flight
+    /// transfer arrival per graph are maintained here incrementally (the
+    /// engine additionally keys its per-step completion/leg entries).
+    cal: Calendar,
+    /// Per-PE ready queues — `ready_pe[pe]` holds exactly the tasks of
+    /// [`SimState::ready_tasks`] mapped to the PE, sorted `(graph, node)`,
+    /// partitioned incrementally at release/unlock/promotion time instead
+    /// of filtered per PE per step.
+    ready_pe: Vec<Vec<TaskRef>>,
+    /// Per-PE monotone counter, bumped on every `ready_pe[pe]` mutation —
+    /// the engine's dirty flag for "this PE's ready queue changed".
+    ready_epoch: Vec<u64>,
+    /// Monotone counter bumped whenever the active-instance set or a
+    /// deadline changes (release, abandon, instance completion) — the
+    /// exact invalidation points of anything derived from the EDF order.
+    epoch: u64,
+    /// Per-graph memo of the global remaining-worst-case fold.
+    rem_wc: Vec<Memo>,
+    /// `rem_wc_pe[graph][pe]`: memo of the scoped fold. Empty on 1-PE
+    /// platforms (the scoped read is the global one there).
+    rem_wc_pe: Vec<Vec<Memo>>,
+    /// `pe_nodes[graph][pe]`: the graph's nodes mapped to the PE in node
+    /// order — the exact term sequence of the historical scoped filter.
+    /// Empty on 1-PE platforms.
+    pe_nodes: Vec<Vec<Vec<NodeId>>>,
+    /// Memo of the global effective-utilization fold.
+    eff_util: Memo,
+    /// Per-PE memos of the scoped effective-utilization fold. Empty on
+    /// 1-PE platforms.
+    eff_util_pe: Vec<Memo>,
+    /// The static utilization folds — constants of the set and mapping.
+    static_util: f64,
+    static_util_pe: Vec<f64>,
 }
 
 impl SimState {
@@ -199,7 +267,51 @@ impl SimState {
                 wci_pe: static_pe[gid.index()].iter().map(|&c| c as f64).collect(),
             })
             .collect();
+        let mut cal = Calendar::new(set.len(), pes);
+        for (gid, pg) in set.iter() {
+            cal.set_release(gid, pg.release_time(0));
+        }
+        // The scoped folds only differ from the global ones on a multi-PE
+        // platform; a 1-PE scope routes to the global path (bit-identical
+        // by the wci invariant), so skip the per-PE structures there.
+        let (rem_wc_pe, pe_nodes) = if pes > 1 {
+            let rem: Vec<Vec<Memo>> =
+                set.iter().map(|_| (0..pes).map(|_| Memo::new()).collect()).collect();
+            let nodes: Vec<Vec<Vec<NodeId>>> = set
+                .iter()
+                .map(|(gid, pg)| {
+                    let mut per: Vec<Vec<NodeId>> = vec![Vec::new(); pes];
+                    for n in pg.graph().node_ids() {
+                        per[mapping.pe_of(gid, n)].push(n);
+                    }
+                    per
+                })
+                .collect();
+            (rem, nodes)
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        // The static utilizations never change: fold them once, with the
+        // identical expressions the scoped observation used per call.
+        let static_util: f64 =
+            set.graph_ids().map(|g| set[g].graph().total_wcet() as f64 / set[g].period()).sum();
+        let static_util_pe: Vec<f64> = (0..pes)
+            .map(|pe| {
+                set.graph_ids().map(|g| static_pe[g.index()][pe] as f64 / set[g].period()).sum()
+            })
+            .collect();
         SimState {
+            rem_wc: set.iter().map(|_| Memo::new()).collect(),
+            rem_wc_pe,
+            pe_nodes,
+            eff_util: Memo::new(),
+            eff_util_pe: if pes > 1 { (0..pes).map(|_| Memo::new()).collect() } else { Vec::new() },
+            static_util,
+            static_util_pe,
+            cal,
+            ready_pe: vec![Vec::new(); pes],
+            ready_epoch: vec![0; pes],
+            epoch: 0,
             set,
             mapping,
             static_pe,
@@ -289,25 +401,26 @@ impl SimState {
     /// (0 when inactive) — the `WCj` of the feasibility check and laEDF's
     /// `c_left`. Scope-aware: under an ambient PE scope only nodes mapped
     /// to that PE count.
+    /// Both fold variants are memoized per graph (and per PE for the
+    /// scoped one) and recomputed only after an instance of the graph
+    /// progressed — between mutations every re-read is O(1). The refold
+    /// adds the same terms in the same order as the historical rescan, so
+    /// the cached value is bit-identical to it.
     pub fn remaining_wc(&self, graph: GraphId) -> f64 {
-        let g = &self.graphs[graph.index()];
+        let gi = graph.index();
+        let g = &self.graphs[gi];
         if !g.active {
             return 0.0;
         }
         match self.scope {
-            // A 1-PE scope sees every node: the filter below would pass all
-            // of them and add the same values in the same order, so the
-            // global sum is bit-identical and skips the per-node mapping
-            // lookups (this is the uniprocessor hot path).
-            None => g.nodes.iter().map(NodeProgress::remaining_wc).sum(),
-            Some(_) if self.num_pes() == 1 => g.nodes.iter().map(NodeProgress::remaining_wc).sum(),
-            Some(pe) => g
-                .nodes
-                .iter()
-                .enumerate()
-                .filter(|(ix, _)| self.mapping.pe_of(graph, NodeId::from_index(*ix)) == pe)
-                .map(|(_, np)| np.remaining_wc())
-                .sum(),
+            // A 1-PE scope sees every node: the scoped filter would pass
+            // all of them and add the same values in the same order, so
+            // the global memo serves it bit-identically (this is the
+            // uniprocessor hot path; `pe_nodes` is only built multi-PE).
+            Some(pe) if !self.pe_nodes.is_empty() => self.rem_wc_pe[gi][pe].get_or(|| {
+                self.pe_nodes[gi][pe].iter().map(|&n| g.nodes[n.index()].remaining_wc()).sum()
+            }),
+            _ => self.rem_wc[gi].get_or(|| g.nodes.iter().map(NodeProgress::remaining_wc).sum()),
         }
     }
 
@@ -357,15 +470,28 @@ impl SimState {
     }
 
     /// ccEDF's effective utilization `Σ WCi/Di` in Hz (cycles per second).
-    /// Scope-aware through [`SimState::wci_effective`].
+    /// Scope-aware through [`SimState::wci_effective`]. Memoized — the
+    /// fold only reruns after a completion or release changed a `WCi`
+    /// (with the historical term order, so the value is bit-identical).
     pub fn effective_utilization_hz(&self) -> f64 {
-        self.set.graph_ids().map(|g| self.wci_effective(g) / self.set[g].period()).sum()
+        let fold =
+            || self.set.graph_ids().map(|g| self.wci_effective(g) / self.set[g].period()).sum();
+        match self.scope {
+            // A 1-PE scope reads `wci_pe[0]`, which equals the global
+            // `wci_effective` bit for bit, so the global memo serves it.
+            Some(pe) if !self.eff_util_pe.is_empty() => self.eff_util_pe[pe].get_or(fold),
+            _ => self.eff_util.get_or(fold),
+        }
     }
 
     /// Static worst-case utilization in Hz. Scope-aware through
-    /// [`SimState::static_cycles`].
+    /// [`SimState::static_cycles`]. A constant of the set and mapping,
+    /// folded once at construction.
     pub fn static_utilization_hz(&self) -> f64 {
-        self.set.graph_ids().map(|g| self.static_cycles(g) / self.set[g].period()).sum()
+        match self.scope {
+            None => self.static_util,
+            Some(pe) => self.static_util_pe[pe],
+        }
     }
 
     /// Active graphs ordered by absolute deadline (ties broken by id) — the
@@ -422,9 +548,10 @@ impl SimState {
         self.set[graph].release_time(self.graphs[graph.index()].next_instance)
     }
 
-    /// Earliest upcoming release across all graphs.
+    /// Earliest upcoming release across all graphs — an O(1) peek at the
+    /// event calendar's release heap (re-keyed at each release).
     pub fn next_release_any(&self) -> f64 {
-        self.set.graph_ids().map(|g| self.next_release(g)).fold(f64::INFINITY, f64::min)
+        self.cal.next_release()
     }
 
     /// The mounted interconnect, if any; see [`SimState::set_transfer`].
@@ -438,11 +565,49 @@ impl SimState {
     /// engine folds into its next-event bound so stalled successors wake
     /// exactly when their data lands.
     pub fn next_pending_any(&self) -> f64 {
-        self.graphs
-            .iter()
-            .filter(|g| g.active)
-            .flat_map(|g| g.pending.iter().map(|&(_, at)| at))
-            .fold(f64::INFINITY, f64::min)
+        // O(1): the calendar keys each graph's earliest in-flight arrival
+        // (min-updated on park, recomputed on promotion, cleared with the
+        // instance), so the heap root is the global minimum.
+        self.cal.next_transfer()
+    }
+
+    /// The PE's ready queue: the tasks of [`SimState::ready_tasks`] mapped
+    /// to `pe`, sorted `(graph, node)` — partitioned incrementally at
+    /// release/unlock/promotion time, not filtered per step.
+    #[inline]
+    pub fn ready_on(&self, pe: usize) -> &[TaskRef] {
+        &self.ready_pe[pe]
+    }
+
+    /// Monotone counter bumped on every mutation of `pe`'s ready queue —
+    /// the engine's per-PE dirty flag ("did this element's schedulable set
+    /// change since I last consulted its governor/policy pair?").
+    #[inline]
+    pub fn ready_epoch(&self, pe: usize) -> u64 {
+        self.ready_epoch[pe]
+    }
+
+    /// Monotone counter bumped whenever the active-instance set or an
+    /// absolute deadline changes (release, abandon, instance completion) —
+    /// exactly the events that can reorder anything derived from the EDF
+    /// order, so schedulers may cache such derivations against it.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The event calendar (next release per graph, earliest in-flight
+    /// transfer arrival per graph, and — within a step — the engine's
+    /// planned completion and battery-leg entries).
+    #[inline]
+    pub fn calendar(&self) -> &Calendar {
+        &self.cal
+    }
+
+    /// Mutable calendar access for the engine's per-step entries.
+    #[inline]
+    pub(crate) fn calendar_mut(&mut self) -> &mut Calendar {
+        &mut self.cal
     }
 
     // ------------------------------------------------------------------
@@ -496,20 +661,41 @@ impl SimState {
     /// by `t` into its graph's ready list. Engine/test API — a no-op
     /// without a mounted interconnect (pending lists stay empty then).
     pub fn promote_pending(&mut self, t: f64) {
-        for g in &mut self.graphs {
+        // O(1) early exit off the calendar: its transfer root is the
+        // minimum over every in-flight arrival, so nothing is due unless
+        // the root is (the overwhelmingly common case per step).
+        if !time::approx_le(self.cal.next_transfer(), t) {
+            return;
+        }
+        let single_pe = self.ready_pe.len() == 1;
+        for (index, g) in self.graphs.iter_mut().enumerate() {
             if !g.active || g.pending.is_empty() {
                 continue;
             }
+            let gid = GraphId::from_index(index);
+            let mut promoted = false;
             let mut i = 0;
             while i < g.pending.len() {
                 if time::approx_le(g.pending[i].1, t) {
                     let (node, _) = g.pending.remove(i);
                     if let Err(pos) = g.ready.binary_search(&node) {
                         g.ready.insert(pos, node);
+                        let pe = if single_pe { 0 } else { self.mapping.pe_of(gid, node) };
+                        let task = TaskRef::new(gid, node);
+                        if let Err(qpos) = self.ready_pe[pe].binary_search(&task) {
+                            self.ready_pe[pe].insert(qpos, task);
+                        }
+                        self.ready_epoch[pe] += 1;
                     }
+                    promoted = true;
                 } else {
                     i += 1;
                 }
+            }
+            if promoted {
+                // Re-key the graph's calendar entry to the arrivals left.
+                let min = g.pending.iter().map(|&(_, at)| at).fold(f64::INFINITY, f64::min);
+                self.cal.set_transfer(gid, min);
             }
         }
     }
@@ -550,6 +736,32 @@ impl SimState {
         }
         g.active = true;
         g.next_instance += 1;
+        // Partition the roots into their PEs' ready queues.
+        let single_pe = self.ready_pe.len() == 1;
+        for &n in &g.ready {
+            let pe = if single_pe { 0 } else { self.mapping.pe_of(graph, n) };
+            let task = TaskRef::new(graph, n);
+            if let Err(pos) = self.ready_pe[pe].binary_search(&task) {
+                self.ready_pe[pe].insert(pos, task);
+            }
+            self.ready_epoch[pe] += 1;
+        }
+        // Re-key the calendar (the next release moved one period out; the
+        // pending list was cleared) and drop every memo the reset
+        // progress/WCi invalidates.
+        self.cal.set_release(graph, pg.release_time(g.next_instance));
+        self.cal.set_transfer(graph, f64::INFINITY);
+        self.rem_wc[graph.index()].invalidate();
+        if let Some(per) = self.rem_wc_pe.get(graph.index()) {
+            for memo in per {
+                memo.invalidate();
+            }
+        }
+        self.eff_util.invalidate();
+        for memo in &self.eff_util_pe {
+            memo.invalidate();
+        }
+        self.epoch += 1;
         self.edf_dirty = true;
         instance
     }
@@ -557,13 +769,27 @@ impl SimState {
     /// Drop the active instance (deadline-miss recovery in lenient mode).
     /// Engine/test API.
     pub fn abandon(&mut self, graph: GraphId) {
+        let single_pe = self.ready_pe.len() == 1;
+        {
+            // Retire the instance's ready tasks from their PE queues.
+            let g = &self.graphs[graph.index()];
+            for &n in &g.ready {
+                let pe = if single_pe { 0 } else { self.mapping.pe_of(graph, n) };
+                if let Ok(pos) = self.ready_pe[pe].binary_search(&TaskRef::new(graph, n)) {
+                    self.ready_pe[pe].remove(pos);
+                }
+                self.ready_epoch[pe] += 1;
+            }
+        }
         let g = &mut self.graphs[graph.index()];
         g.active = false;
         g.nodes.clear();
         g.ready.clear();
         g.pending.clear();
         g.unfinished = 0;
+        self.cal.set_transfer(graph, f64::INFINITY);
         self.edf_dirty = true;
+        self.epoch += 1;
     }
 
     /// Advance `task` by `cycles` executed cycles; marks completion when the
@@ -581,12 +807,20 @@ impl SimState {
     /// there, and successors whose data is still in flight park in the
     /// pending list instead of becoming ready.
     pub fn advance_at(&mut self, task: TaskRef, cycles: f64, t_complete: f64) -> Option<f64> {
+        let gi = task.graph.index();
         let graph_ref = self.set[task.graph].graph();
-        let g = &mut self.graphs[task.graph.index()];
+        let single_pe = self.ready_pe.len() == 1;
+        let task_pe = if single_pe { 0 } else { self.mapping.pe_of(task.graph, task.node) };
+        let g = &mut self.graphs[gi];
         debug_assert!(g.active);
         let np = &mut g.nodes[task.node.index()];
         debug_assert!(!np.done);
         np.executed += cycles;
+        // Any progress shrinks the remaining worst case: drop the memos.
+        self.rem_wc[gi].invalidate();
+        if let Some(per) = self.rem_wc_pe.get(gi) {
+            per[task_pe].invalidate();
+        }
         if np.executed + 1e-6 >= np.actual {
             np.executed = np.actual;
             np.done = true;
@@ -596,25 +830,43 @@ impl SimState {
             // ccEDF §4.1: WCi := WCi + ac − wc on node completion — applied
             // identically to the global value and the owning PE's share.
             g.wci_effective += actual - wcet;
-            g.wci_pe[self.mapping.pe_of(task.graph, task.node)] += actual - wcet;
+            g.wci_pe[task_pe] += actual - wcet;
+            self.eff_util.invalidate();
+            if let Some(memo) = self.eff_util_pe.get(task_pe) {
+                memo.invalidate();
+            }
             if g.unfinished == 0 {
+                // The last incomplete node just finished, so the ready
+                // list holds `task` alone — retire it from its PE queue.
+                debug_assert!(g.pending.is_empty());
+                for &n in &g.ready {
+                    let pe = if single_pe { 0 } else { self.mapping.pe_of(task.graph, n) };
+                    if let Ok(pos) = self.ready_pe[pe].binary_search(&TaskRef::new(task.graph, n)) {
+                        self.ready_pe[pe].remove(pos);
+                    }
+                    self.ready_epoch[pe] += 1;
+                }
                 g.active = false;
                 g.nodes.clear();
                 g.ready.clear();
                 self.edf_dirty = true;
+                self.epoch += 1;
             } else {
                 // Retire the node from the ready list and unlock any
                 // successor whose predecessors are now all complete.
                 if let Ok(pos) = g.ready.binary_search(&task.node) {
                     g.ready.remove(pos);
+                    if let Ok(qpos) = self.ready_pe[task_pe].binary_search(&task) {
+                        self.ready_pe[task_pe].remove(qpos);
+                    }
+                    self.ready_epoch[task_pe] += 1;
                 }
                 // With an interconnect mounted, every edge whose endpoints
                 // sit on different PEs ships its payload starting now: the
                 // successor cannot start before its latest cross-PE arrival.
                 if let Some(ic) = self.transfer {
-                    let from_pe = self.mapping.pe_of(task.graph, task.node);
                     for (succ, bytes) in graph_ref.out_edges(task.node) {
-                        if self.mapping.pe_of(task.graph, succ) != from_pe {
+                        if self.mapping.pe_of(task.graph, succ) != task_pe {
                             let arrival = t_complete + ic.transfer_time(bytes);
                             let dr = &mut g.nodes[succ.index()].data_ready;
                             if arrival > *dr {
@@ -634,9 +886,21 @@ impl SimState {
                             let pos = g.pending.partition_point(|&(n, _)| n < succ);
                             if g.pending.get(pos).map(|&(n, _)| n) != Some(succ) {
                                 g.pending.insert(pos, (succ, data_ready));
+                                // A parked arrival can only lower the
+                                // graph's calendar entry: min-update it.
+                                if data_ready < self.cal.transfer_of(task.graph) {
+                                    self.cal.set_transfer(task.graph, data_ready);
+                                }
                             }
                         } else if let Err(pos) = g.ready.binary_search(&succ) {
                             g.ready.insert(pos, succ);
+                            let succ_pe =
+                                if single_pe { 0 } else { self.mapping.pe_of(task.graph, succ) };
+                            let succ_task = TaskRef::new(task.graph, succ);
+                            if let Err(qpos) = self.ready_pe[succ_pe].binary_search(&succ_task) {
+                                self.ready_pe[succ_pe].insert(qpos, succ_task);
+                            }
+                            self.ready_epoch[succ_pe] += 1;
                         }
                     }
                 }

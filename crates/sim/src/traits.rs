@@ -34,6 +34,22 @@ pub trait FrequencyGovernor: Send {
     fn on_completion(&mut self, state: &SimState, task: TaskRef, actual: f64) {
         let _ = (state, task, actual);
     }
+
+    /// Declare that [`FrequencyGovernor::frequency`] is a pure function of
+    /// **event-driven** state only: values that change exclusively at
+    /// releases, abandons and completions (the active set, deadlines,
+    /// `WCi`, the ready queues). The engine then skips re-consulting the
+    /// governor on a PE whose inputs did not change since its last
+    /// decision and replays the cached `fref` (the emitted event stream is
+    /// unchanged).
+    ///
+    /// **Must stay `false`** (the default) for any governor that reads
+    /// `state.now()`, the battery view, per-node progress of *running*
+    /// nodes, an RNG, or mutable internal state from `frequency` — skipping
+    /// a consult would then change behaviour, not just cost.
+    fn event_driven(&self) -> bool {
+        false
+    }
 }
 
 /// Local order selection — which ready node runs next.
@@ -58,6 +74,19 @@ pub trait TaskPolicy: Send {
     fn on_completion(&mut self, state: &SimState, task: TaskRef, actual: f64) {
         let _ = (state, task, actual);
     }
+
+    /// Declare that [`TaskPolicy::pick`] is a pure function of the ready
+    /// list and event-driven state (see
+    /// [`FrequencyGovernor::event_driven`]). With both halves of a PE's
+    /// pair event-driven, the engine re-consults them only when the pair's
+    /// inputs changed (a release/abandon/completion happened anywhere, or
+    /// this PE's ready queue mutated) and otherwise replays the cached
+    /// pick. `false` (the default) is always safe; it must stay `false`
+    /// for time-, battery-, progress- or RNG-dependent policies (Random,
+    /// LTF/STF, pUBS, the feasibility-checked BAS lists).
+    fn event_driven(&self) -> bool {
+        false
+    }
 }
 
 /// A trivial governor that always runs flat out — the "EDF, no DVS" baseline
@@ -79,6 +108,10 @@ impl FrequencyGovernor for MaxSpeed {
 
     fn frequency(&mut self, _state: &SimState) -> f64 {
         f64::INFINITY // clamped to fmax by the executor
+    }
+
+    fn event_driven(&self) -> bool {
+        true // a constant is trivially event-driven
     }
 }
 
