@@ -20,10 +20,13 @@
 //! `bas portfolio` executes per trial × spec.
 //!
 //! The suite ends with one `serve` entry that measures the `bas serve`
-//! daemon end to end (in-process server, real TCP): for it a *step* is one
-//! HTTP request, `steps_per_sec` reads as requests per second, and the
-//! additive `cache_hit_rate` field records the fraction of submissions the
-//! result cache answered.
+//! daemon end to end (in-process server, real TCP, a temp `--state-dir`
+//! store): for it a *step* is one HTTP request, `steps_per_sec` reads as
+//! requests per second, the additive `cache_hit_rate` field records the
+//! fraction of submissions the result cache answered, and the additive
+//! `restart_hit_rate` field records the fraction of submissions a
+//! restarted daemon answered from the on-disk store (1.0 = warm restart
+//! recomputed nothing).
 //!
 //! ## The `bas-bench/v1` JSON schema
 //!
@@ -136,6 +139,11 @@ pub struct BenchEntry {
     /// An additive `bas-bench/v1` field: absent keys read as "not
     /// measured", so older reports stay valid.
     pub cache_hit_rate: Option<f64>,
+    /// Fraction of the post-restart submissions answered from the on-disk
+    /// result store (so 1.0 means a warm restart recomputed nothing) —
+    /// only the `serve` entry measures this. Additive like
+    /// `cache_hit_rate`.
+    pub restart_hit_rate: Option<f64>,
     /// Repeat statistics when the entry was measured more than once
     /// (`bas bench --repeat N`): additive fields, omitted from JSON for
     /// single-shot runs so older reports stay byte-stable.
@@ -203,6 +211,9 @@ impl BenchReport {
             );
             if let Some(rate) = e.cache_hit_rate {
                 let _ = write!(out, ", \"cache_hit_rate\": {rate:.3}");
+            }
+            if let Some(rate) = e.restart_hit_rate {
+                let _ = write!(out, ", \"restart_hit_rate\": {rate:.3}");
             }
             if let Some(r) = &e.repeat {
                 let _ = write!(
@@ -455,6 +466,7 @@ fn bench_entry(
         wall_ns,
         steps_per_sec: steps as f64 / (wall_ns as f64 / 1e9),
         cache_hit_rate: None,
+        restart_hit_rate: None,
         repeat: None,
     })
 }
@@ -510,6 +522,7 @@ fn portfolio_entry(dir: &Path, quick: bool) -> Result<BenchEntry, String> {
         wall_ns,
         steps_per_sec: steps as f64 / (wall_ns as f64 / 1e9),
         cache_hit_rate: None,
+        restart_hit_rate: None,
         repeat: None,
     })
 }
@@ -523,16 +536,21 @@ const SERVE_WARM_FACTOR: usize = 3;
 const SERVE_CLIENTS: usize = 4;
 
 /// Measure the `bas serve` daemon end to end: an in-process server (2
-/// workers, [`crate::serve::CliService`] backend) takes `cold` distinct
-/// smoke-scenario submissions over real TCP from [`SERVE_CLIENTS`] client
-/// threads, drains, then takes [`SERVE_WARM_FACTOR`] warm passes of the
-/// same submissions — pure cache hits. For this entry a *step* is one
+/// workers, [`crate::serve::CliService`] backend, a temp `--state-dir`
+/// store) takes `cold` distinct smoke-scenario submissions over real TCP
+/// from [`SERVE_CLIENTS`] client threads, drains, takes
+/// [`SERVE_WARM_FACTOR`] warm passes of the same submissions — pure
+/// memory-cache hits — then **restarts**: the daemon shuts down, a second
+/// daemon opens the same state directory, and one more pass of the same
+/// submissions must be answered entirely from the on-disk store with zero
+/// recompute (`restart_hit_rate` 1.0). For this entry a *step* is one
 /// HTTP request, so `steps_per_sec` reads as requests per second, and
-/// both `steps` and `cache_hit_rate` are deterministic (the perf gate
-/// pins them like any other entry).
+/// `steps`, `cache_hit_rate` and `restart_hit_rate` are all deterministic
+/// (the perf gate pins them like any other entry).
 fn serve_entry(dir: &Path, quick: bool) -> Result<BenchEntry, String> {
     use bas_serve::{ServeConfig, Server};
     use std::io::{Read as _, Write as _};
+    use std::net::SocketAddr;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     let path = dir.join("smoke.toml");
@@ -548,23 +566,23 @@ fn serve_entry(dir: &Path, quick: bool) -> Result<BenchEntry, String> {
         })
         .collect();
 
+    // A fresh per-process store: stale blobs from an earlier bench would
+    // turn cold submissions into disk hits and void the measurement.
+    let state_dir = std::env::temp_dir().join(format!("bas-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
     let config = ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         workers: 2,
         queue_depth: cold + 8,
         cache_capacity: cold + 8,
+        state_dir: Some(state_dir.clone()),
         quiet: true,
         ..ServeConfig::default()
     };
-    let server = Server::bind(config, std::sync::Arc::new(crate::serve::CliService))
-        .map_err(|e| format!("serve bench: bind: {e}"))?;
-    let addr = server.local_addr().map_err(|e| format!("serve bench: {e}"))?;
-    let handle = server.handle();
-    let server_thread = std::thread::spawn(move || server.run());
 
     // Round-robin the bodies across SERVE_CLIENTS threads; every response
     // must be 2xx or the measurement is void.
-    let submit_pass = |bodies: &[String]| -> Result<(), String> {
+    let submit_pass = |addr: SocketAddr, bodies: &[String]| -> Result<(), String> {
         let next = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             let threads: Vec<_> = (0..SERVE_CLIENTS)
@@ -602,26 +620,59 @@ fn serve_entry(dir: &Path, quick: bool) -> Result<BenchEntry, String> {
         })
     };
 
+    let server = Server::bind(config.clone(), std::sync::Arc::new(crate::serve::CliService))
+        .map_err(|e| format!("serve bench: bind: {e}"))?;
+    let addr = server.local_addr().map_err(|e| format!("serve bench: {e}"))?;
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+
     let start = Instant::now();
-    submit_pass(&bodies)?;
+    submit_pass(addr, &bodies)?;
     while !handle.is_idle() {
         std::thread::sleep(std::time::Duration::from_millis(1));
     }
     for _ in 0..SERVE_WARM_FACTOR {
-        submit_pass(&bodies)?;
+        submit_pass(addr, &bodies)?;
     }
-    let wall_ns = start.elapsed().as_nanos().max(1) as u64;
 
+    // Restart: drain the daemon, reopen the same store in a fresh one, and
+    // resubmit everything once. The journal replay and the `cold` disk
+    // hits land inside the measured wall time — they are the cost the
+    // durability buys, so the entry prices them.
     handle.shutdown();
     server_thread
         .join()
         .map_err(|_| "serve bench: server panicked".to_string())?
         .map_err(|e| format!("serve bench: {e}"))?;
-    let stats = handle.stats();
-    let requests = (cold * (1 + SERVE_WARM_FACTOR)) as u64;
-    if stats.executed != cold as u64 || stats.submitted != requests {
+    let warm_stats = handle.stats();
+
+    let server = Server::bind(config, std::sync::Arc::new(crate::serve::CliService))
+        .map_err(|e| format!("serve bench: rebind: {e}"))?;
+    let addr = server.local_addr().map_err(|e| format!("serve bench: {e}"))?;
+    let handle = server.handle();
+    let server_thread = std::thread::spawn(move || server.run());
+    submit_pass(addr, &bodies)?;
+    let wall_ns = start.elapsed().as_nanos().max(1) as u64;
+
+    handle.shutdown();
+    server_thread
+        .join()
+        .map_err(|_| "serve bench: restarted server panicked".to_string())?
+        .map_err(|e| format!("serve bench: {e}"))?;
+    let restart_stats = handle.stats();
+    let _ = std::fs::remove_dir_all(&state_dir);
+
+    let requests = (cold * (2 + SERVE_WARM_FACTOR)) as u64;
+    let warm_requests = (cold * (1 + SERVE_WARM_FACTOR)) as u64;
+    if warm_stats.executed != cold as u64 || warm_stats.submitted != warm_requests {
         return Err(format!(
-            "serve bench: expected {cold} runs / {requests} submissions, measured {stats:?}"
+            "serve bench: expected {cold} runs / {warm_requests} submissions, \
+             measured {warm_stats:?}"
+        ));
+    }
+    if restart_stats.executed != 0 || restart_stats.cache_hits != cold as u64 {
+        return Err(format!(
+            "serve bench: restart pass must be pure store hits, measured {restart_stats:?}"
         ));
     }
     Ok(BenchEntry {
@@ -633,7 +684,8 @@ fn serve_entry(dir: &Path, quick: bool) -> Result<BenchEntry, String> {
         steps: requests,
         wall_ns,
         steps_per_sec: requests as f64 / (wall_ns as f64 / 1e9),
-        cache_hit_rate: Some(stats.cache_hits as f64 / stats.submitted as f64),
+        cache_hit_rate: Some(warm_stats.cache_hits as f64 / warm_stats.submitted as f64),
+        restart_hit_rate: Some(restart_stats.cache_hits as f64 / restart_stats.submitted as f64),
         repeat: None,
     })
 }
@@ -706,6 +758,7 @@ mod tests {
                     wall_ns: 500_000_000,
                     steps_per_sec: 2000.0,
                     cache_hit_rate: None,
+                    restart_hit_rate: None,
                     repeat: None,
                 },
                 BenchEntry {
@@ -718,6 +771,7 @@ mod tests {
                     wall_ns: 100_000_000,
                     steps_per_sec: 8000.0,
                     cache_hit_rate: Some(0.75),
+                    restart_hit_rate: Some(1.0),
                     repeat: Some(RepeatStats {
                         repeats: 3,
                         wall_ns_min: 100_000_000,
@@ -734,9 +788,12 @@ mod tests {
             assert!(json.contains(&format!("\"{key}\":")), "missing {key}: {json}");
         }
         assert!(json.contains("\"steps_per_sec\": 2000.0"), "{json}");
-        // `cache_hit_rate` is additive: present on the serve entry only.
+        // `cache_hit_rate` / `restart_hit_rate` are additive: present on
+        // the serve entry only.
         assert_eq!(json.matches("\"cache_hit_rate\":").count(), 1, "{json}");
         assert!(json.contains("\"cache_hit_rate\": 0.750"), "{json}");
+        assert_eq!(json.matches("\"restart_hit_rate\":").count(), 1, "{json}");
+        assert!(json.contains("\"restart_hit_rate\": 1.000"), "{json}");
     }
 
     #[test]

@@ -50,7 +50,8 @@ USAGE:
     bas gen import <workflow.json> [--ref-speed HZ] [--format text|json]
     bas bench [--quick] [--repeat N] [--only LIST] [--format text|json]
               [--out FILE] [--scenarios DIR]
-    bas serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--quiet]
+    bas serve [--addr HOST:PORT] [--workers N] [--queue-depth N]
+              [--state-dir DIR] [--quiet]
     bas list [--format text|json]
     bas help
 
@@ -114,6 +115,12 @@ SERVE:
     the catalog and counters. Completed reports are cached by scenario
     digest (identical submissions coalesce onto one run); a full queue
     answers 429 with Retry-After. SIGINT/SIGTERM drain gracefully.
+    With --state-dir the result cache is durable: completed reports and
+    event streams are checksummed onto disk and survive restarts (warm
+    digests are served byte-identical with zero recompute; torn or
+    corrupt entries are quarantined, never served). Add ?follow=1 to the
+    events URL of a queued/running job for a live subscription that
+    converges byte-identically with the replay.
     --addr HOST:PORT   bind address (default 127.0.0.1:7878; port 0 picks
                        an ephemeral port, printed on the listening line)
     --workers N        worker threads (default 0 = all cores)
@@ -122,6 +129,10 @@ SERVE:
     --max-trials N     per-request trials budget, 422 beyond (default 10000)
     --max-horizon S    per-request horizon budget, seconds (default 1e9)
     --max-body-bytes N request body cap, 413 beyond (default 1 MiB)
+    --state-dir DIR    persist results to DIR (journal + checksummed blobs)
+    --state-max-bytes N on-disk store budget, LRU-evicted (default 256 MiB)
+    --follow-buffer-bytes N per-follower live buffer before lines are
+                       dropped with a follow_drop marker (default 1 MiB)
     --quiet            suppress the stderr access log
 ";
 

@@ -31,7 +31,8 @@ impl ScenarioService for CliService {
 
 /// Run `bas serve` with parsed flags. Recognized: `--addr HOST:PORT`,
 /// `--workers N`, `--queue-depth N`, `--cache N`, `--max-trials N`,
-/// `--max-horizon SECONDS`, `--max-body-bytes N`, `--quiet`.
+/// `--max-horizon SECONDS`, `--max-body-bytes N`, `--state-dir DIR`,
+/// `--state-max-bytes N`, `--follow-buffer-bytes N`, `--quiet`.
 pub fn run(args: &Args) -> Result<(), CliError> {
     let mut config = ServeConfig::default();
     for (key, value) in &args.flags {
@@ -50,6 +51,31 @@ pub fn run(args: &Args) -> Result<(), CliError> {
                     })?;
             }
             "max-body-bytes" => config.max_body_bytes = parse_count(key, value)?,
+            "state-dir" => {
+                if value.is_empty() {
+                    return Err(CliError::Usage(
+                        "`bas serve --state-dir` needs a directory path".into(),
+                    ));
+                }
+                config.state_dir = Some(value.into());
+            }
+            "state-max-bytes" => {
+                config.state_max_bytes = value.parse::<u64>().ok().filter(|n| *n > 0).ok_or_else(
+                    || {
+                        CliError::Usage(format!(
+                            "`bas serve --state-max-bytes` needs a positive byte count, got {value:?}"
+                        ))
+                    },
+                )?;
+            }
+            "follow-buffer-bytes" => {
+                config.follow_buffer_bytes =
+                    value.parse::<usize>().ok().filter(|n| *n > 0).ok_or_else(|| {
+                        CliError::Usage(format!(
+                            "`bas serve --follow-buffer-bytes` needs a positive byte count, got {value:?}"
+                        ))
+                    })?;
+            }
             "quiet" => config.quiet = true,
             key => {
                 return Err(CliError::Usage(format!("`bas serve` takes no --{key} flag")));

@@ -318,10 +318,13 @@ fn bench_quick_emits_valid_bas_bench_v1_json() {
     assert!(json.contains("\"scenario\": \"portfolio\""), "{json}");
     assert_eq!(json.matches("\"pes\": 4").count(), 6, "{json}");
     assert!(!json.contains("\"steps\": 0,"), "every entry took decisions: {json}");
-    // The serve entry measures the daemon: 4x its cold submissions as
-    // requests, 3/4 of them answered by the result cache.
+    // The serve entry measures the daemon: 5x its cold submissions as
+    // requests (cold + 3 warm passes + 1 post-restart pass), 3/4 of the
+    // pre-restart ones answered by the result cache and the whole restart
+    // pass answered from the on-disk store.
     assert!(json.contains("\"scenario\": \"serve\""), "{json}");
     assert!(json.contains("\"cache_hit_rate\": 0.750"), "{json}");
+    assert!(json.contains("\"restart_hit_rate\": 1.000"), "{json}");
     // The text rendering works against the same directory.
     let text = bas(&["bench", "--quick", "--scenarios", dir.to_str().unwrap()]);
     assert_eq!(text.status.code(), Some(0), "{text:?}");
@@ -334,12 +337,15 @@ fn bench_quick_emits_valid_bas_bench_v1_json() {
 #[test]
 fn serve_rejects_bad_flags_with_usage() {
     for args in [
-        &["serve", "--workers"][..],       // flag without a value
-        &["serve", "--workers", "lots"],   // non-numeric value
-        &["serve", "--queue-depth", "-1"], // negative count
-        &["serve", "--max-horizon", "0"],  // non-positive budget
-        &["serve", "--frobnicate", "x"],   // unknown flag
-        &["serve", "extra"],               // stray positional
+        &["serve", "--workers"][..],                 // flag without a value
+        &["serve", "--workers", "lots"],             // non-numeric value
+        &["serve", "--queue-depth", "-1"],           // negative count
+        &["serve", "--max-horizon", "0"],            // non-positive budget
+        &["serve", "--state-dir", ""],               // empty path
+        &["serve", "--state-max-bytes", "0"],        // non-positive budget
+        &["serve", "--follow-buffer-bytes", "none"], // non-numeric value
+        &["serve", "--frobnicate", "x"],             // unknown flag
+        &["serve", "extra"],                         // stray positional
     ] {
         let out = bas(args);
         assert_eq!(out.status.code(), Some(2), "{args:?}: {out:?}");

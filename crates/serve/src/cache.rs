@@ -46,6 +46,26 @@ impl<K: PartialEq> Lru<K> {
         }
     }
 
+    /// Remove and return the least recently used key, if any. The on-disk
+    /// result store drives this directly: its budget is bytes, not key
+    /// count, so it pops oldest entries until the byte total fits rather
+    /// than relying on capacity-based eviction.
+    pub fn pop_oldest(&mut self) -> Option<K> {
+        self.order.pop_back()
+    }
+
+    /// Forget `key` without treating it as an eviction (e.g. the store
+    /// quarantined its payload). Returns whether it was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        match self.order.iter().position(|k| k == key) {
+            Some(ix) => {
+                self.order.remove(ix);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Insert (or refresh) `key` as most recently used, returning any keys
     /// evicted to stay within capacity (oldest first).
     pub fn insert(&mut self, key: K) -> Vec<K> {
@@ -100,5 +120,28 @@ mod tests {
         let mut lru: Lru<u64> = Lru::new(4);
         assert!(!lru.touch(&9));
         assert!(lru.is_empty());
+    }
+
+    #[test]
+    fn pop_oldest_walks_from_least_recent() {
+        let mut lru = Lru::new(8);
+        lru.insert(1);
+        lru.insert(2);
+        lru.insert(3);
+        lru.touch(&1); // order (most → least recent): 1, 3, 2
+        assert_eq!(lru.pop_oldest(), Some(2));
+        assert_eq!(lru.pop_oldest(), Some(3));
+        assert_eq!(lru.pop_oldest(), Some(1));
+        assert_eq!(lru.pop_oldest(), None);
+    }
+
+    #[test]
+    fn remove_forgets_without_eviction() {
+        let mut lru = Lru::new(2);
+        lru.insert(1);
+        lru.insert(2);
+        assert!(lru.remove(&1));
+        assert!(!lru.remove(&1), "already gone");
+        assert!(lru.insert(3).is_empty(), "slot freed by remove");
     }
 }

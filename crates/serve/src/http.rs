@@ -16,17 +16,29 @@ const MAX_HEADERS: usize = 64;
 /// response reaches clients that only read after writing everything.
 const DRAIN_CAP_BYTES: usize = 1024 * 1024;
 
-/// A parsed request: method, path and body (headers are consumed during
-/// parsing; only the ones the server acts on are kept).
+/// A parsed request: method, path, query and body (headers are consumed
+/// during parsing; only the ones the server acts on are kept).
 #[derive(Debug)]
 pub struct Request {
     /// Request method (`GET`, `POST`, ...), as sent.
     pub method: String,
-    /// Request target path (query strings are not used by this API and
-    /// arrive as part of the path).
+    /// Request target path, without the query string.
     pub path: String,
+    /// The raw query string (after `?`), empty if none was sent.
+    pub query: String,
     /// Request body (empty unless `Content-Length` said otherwise).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Whether the query string carries `name` as a truthy flag
+    /// (`name=1`, `name=true`, or bare `name`).
+    pub fn query_flag(&self, name: &str) -> bool {
+        self.query.split('&').any(|pair| {
+            let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+            key == name && matches!(value, "" | "1" | "true")
+        })
+    }
 }
 
 /// A request that could not be parsed, mapped to the HTTP status the
@@ -98,7 +110,16 @@ pub fn read_request(
         };
         if header.is_empty() {
             let body = read_body(reader, content_length, max_body)?;
-            return Ok(Some(Request { method: method.to_string(), path: path.to_string(), body }));
+            let (path, query) = match path.split_once('?') {
+                Some((p, q)) => (p, q),
+                None => (path, ""),
+            };
+            return Ok(Some(Request {
+                method: method.to_string(),
+                path: path.to_string(),
+                query: query.to_string(),
+                body,
+            }));
         }
         let Some((name, value)) = header.split_once(':') else {
             return Err(bad(format!("malformed header {header:?}")));
@@ -319,6 +340,22 @@ mod tests {
     #[test]
     fn empty_connection_is_not_an_error() {
         assert!(parse("").unwrap().is_none());
+    }
+
+    #[test]
+    fn query_string_is_split_off_the_path() {
+        let req = parse("GET /v1/jobs/1/events?follow=1 HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.path, "/v1/jobs/1/events");
+        assert_eq!(req.query, "follow=1");
+        assert!(req.query_flag("follow"));
+        assert!(!req.query_flag("fol"));
+
+        let req = parse("GET /v1/healthz HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(req.query, "");
+        assert!(!req.query_flag("follow"));
+
+        let req = parse("GET /x?a=0&follow HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert!(req.query_flag("follow") && !req.query_flag("a"));
     }
 
     #[test]

@@ -16,14 +16,21 @@
 //! | `GET /v1/jobs/<id>` | Job status; embeds the `bas-report/v1` report once done. |
 //! | `GET /v1/jobs/<id>/report` | The raw report, byte-for-byte what `bas run <scenario> --format json` prints. |
 //! | `GET /v1/jobs/<id>/events` | Chunked `bas-events/v2` JSONL first-trial replay, byte-for-byte what `bas run --events` writes. |
+//! | `GET /v1/jobs/<id>/events?follow=1` | Live subscription to a queued/running job's stream (see [`hub`]); converges byte-identically with the replay once the job finishes. |
 //! | `GET /v1/presets` | The preset catalog. |
-//! | `GET /v1/healthz` | Counters + drain state. |
+//! | `GET /v1/healthz` | Counters + drain state (+ [`store`] counters when persistence is on). |
 //!
 //! Backpressure is explicit: the submission queue is bounded
 //! (`--queue-depth`) and a full queue answers `429` with `Retry-After`;
 //! per-request budgets (`--max-trials`, `--max-horizon`, body size cap)
 //! answer `422`/`413`. SIGINT/SIGTERM drain gracefully: stop accepting,
 //! finish queued jobs, exit 0.
+//!
+//! With `--state-dir` the result cache is **durable**: completed reports
+//! and event streams are written through to a checksummed on-disk [`store`]
+//! and survive restarts — a warm daemon serves previously computed digests
+//! byte-identical with zero recomputation, and crash recovery quarantines
+//! (never serves) anything torn or corrupt.
 //!
 //! The crate deliberately does not depend on `bas-cli` (which depends on
 //! it): executors plug in through [`ScenarioService`], with
@@ -34,10 +41,12 @@
 
 pub mod cache;
 pub mod http;
+pub mod hub;
 pub mod json;
 mod server;
 mod service;
 pub mod signal;
+pub mod store;
 
 pub use server::{ServeConfig, ServeStats, Server, ServerHandle, SCHEMA};
 pub use service::{ScenarioService, SweepService};

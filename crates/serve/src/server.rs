@@ -15,6 +15,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
@@ -24,7 +25,9 @@ use bas_core::{Scenario, ScenarioKind};
 
 use crate::cache::Lru;
 use crate::http;
+use crate::hub::{EventHub, HubSink};
 use crate::service::ScenarioService;
+use crate::store::{BlobKind, Store};
 
 /// Schema tag of every JSON document the daemon itself emits (reports keep
 /// their own `bas-report/v1`, event streams their `bas-events/v2`).
@@ -49,6 +52,16 @@ pub struct ServeConfig {
     pub max_body_bytes: usize,
     /// Suppress the per-request access log on stderr.
     pub quiet: bool,
+    /// Directory for the persistent result store ([`crate::store`]);
+    /// `None` keeps the cache in-memory only.
+    pub state_dir: Option<PathBuf>,
+    /// Byte budget of the on-disk store; least-recently-used digests are
+    /// evicted (and the eviction journaled) beyond it.
+    pub state_max_bytes: u64,
+    /// Bytes of recent event-stream lines a `?follow=1` subscriber may lag
+    /// behind before lines are dropped (with a marker) rather than ever
+    /// backpressuring the worker.
+    pub follow_buffer_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +75,9 @@ impl Default for ServeConfig {
             max_horizon: 1e9,
             max_body_bytes: 1024 * 1024,
             quiet: false,
+            state_dir: None,
+            state_max_bytes: 256 * 1024 * 1024,
+            follow_buffer_bytes: 1024 * 1024,
         }
     }
 }
@@ -89,6 +105,10 @@ enum JobStatus {
     /// The run failed; carries the error message. Failures are cached like
     /// results (same digest → same failure) until evicted.
     Failed(Arc<str>),
+    /// Completed in a previous life of the daemon: the report lives in the
+    /// persistent store and hydrates lazily on first access. Externally
+    /// indistinguishable from `Done` until read.
+    Stored,
 }
 
 impl JobStatus {
@@ -96,13 +116,13 @@ impl JobStatus {
         match self {
             JobStatus::Queued => "queued",
             JobStatus::Running => "running",
-            JobStatus::Done(_) => "done",
+            JobStatus::Done(_) | JobStatus::Stored => "done",
             JobStatus::Failed(_) => "failed",
         }
     }
 
     fn is_finished(&self) -> bool {
-        matches!(self, JobStatus::Done(_) | JobStatus::Failed(_))
+        matches!(self, JobStatus::Done(_) | JobStatus::Failed(_) | JobStatus::Stored)
     }
 }
 
@@ -122,8 +142,11 @@ struct Registry {
     by_digest: HashMap<String, u64>,
     queue: VecDeque<u64>,
     /// Finished job ids in recency order; eviction drops them from `jobs`
-    /// and `by_digest`.
+    /// and `by_digest` (the persistent store, when configured, keeps its
+    /// own copy — a later resubmission of an evicted digest rehydrates).
     done_lru: Lru<u64>,
+    /// Live-subscription fan-out points for queued/running sweep jobs.
+    hubs: HashMap<u64, Arc<EventHub>>,
     next_id: u64,
     running: usize,
     submitted: u64,
@@ -138,6 +161,7 @@ impl Registry {
             by_digest: HashMap::new(),
             queue: VecDeque::new(),
             done_lru: Lru::new(cache_capacity),
+            hubs: HashMap::new(),
             next_id: 1,
             running: 0,
             submitted: 0,
@@ -154,6 +178,7 @@ impl Registry {
                     self.by_digest.remove(&job.digest);
                 }
             }
+            self.hubs.remove(&evicted);
         }
     }
 }
@@ -191,6 +216,10 @@ struct Shared {
     /// thread's blocked write immediately.
     conn_streams: Mutex<HashMap<u64, TcpStream>>,
     next_conn_id: AtomicUsize,
+    /// The persistent result store (`--state-dir`), when configured. Its
+    /// lock is never held while the registry lock is held: probe/commit
+    /// first, then update the registry.
+    store: Option<Mutex<Store>>,
 }
 
 /// How long graceful drain waits for in-flight responses/streams to end
@@ -303,11 +332,17 @@ pub struct Server {
 }
 
 impl Server {
-    /// Bind `config.addr` and prepare the daemon around `service`.
+    /// Bind `config.addr` and prepare the daemon around `service`. With
+    /// `state_dir` set this also opens (and crash-recovers) the persistent
+    /// store before any request can race in.
     pub fn bind(config: ServeConfig, service: Arc<dyn ScenarioService>) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let worker_count = config.resolved_workers();
         let registry = Mutex::new(Registry::new(config.cache_capacity));
+        let store = match &config.state_dir {
+            Some(dir) => Some(Mutex::new(Store::open(dir, config.state_max_bytes, config.quiet)?)),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             config,
             worker_count,
@@ -318,6 +353,7 @@ impl Server {
             replays_active: AtomicUsize::new(0),
             conn_streams: Mutex::new(HashMap::new()),
             next_conn_id: AtomicUsize::new(0),
+            store,
         });
         Ok(Server { listener, shared })
     }
@@ -394,14 +430,16 @@ impl Server {
 /// Pop and execute jobs until shutdown with an empty queue.
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
-        let (id, scenario) = {
+        let (id, scenario, digest, hub) = {
             let mut reg = shared.registry.lock().expect("registry poisoned");
             loop {
                 if let Some(id) = reg.queue.pop_front() {
                     reg.running += 1;
                     let job = reg.jobs.get_mut(&id).expect("queued job is registered");
                     job.status = JobStatus::Running;
-                    break (id, job.scenario.clone());
+                    let (scenario, digest) = (job.scenario.clone(), job.digest.clone());
+                    let hub = reg.hubs.get(&id).cloned();
+                    break (id, scenario, digest, hub);
                 }
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -421,16 +459,54 @@ fn worker_loop(shared: &Arc<Shared>) {
         if run_scenario.kind == ScenarioKind::Sweep {
             run_scenario.threads = shared.worker_count;
         }
-        let result = shared.service.run(&run_scenario);
+        // Generate the deterministic first-trial event stream through the
+        // hub — the exact bytes `/events` replays — so followers watch it
+        // live and the store keeps it for replay-free serving. Skipped when
+        // nobody can use it (no store, no follower attached yet).
+        if let Some(hub) = &hub {
+            let wanted = shared.store.is_some() || hub.skip_unless_followed();
+            if wanted {
+                let ok = run_scenario.stream_events(HubSink(Arc::clone(hub))).is_ok();
+                let persist = hub.finish(ok);
+                if let (Some(store), Some(bytes)) = (&shared.store, persist) {
+                    let committed = store.lock().expect("store poisoned").commit(
+                        &digest,
+                        BlobKind::Events,
+                        &bytes,
+                    );
+                    if let Err(e) = committed {
+                        store_log(shared, &format!("events commit failed for {digest}: {e}"));
+                    }
+                }
+            }
+        }
+        let result = shared.service.run(&run_scenario).map(|report| report.to_json());
+        if let (Some(store), Ok(json)) = (&shared.store, &result) {
+            let committed = store.lock().expect("store poisoned").commit(
+                &digest,
+                BlobKind::Report,
+                json.as_bytes(),
+            );
+            if let Err(e) = committed {
+                store_log(shared, &format!("report commit failed for {digest}: {e}"));
+            }
+        }
         let mut reg = shared.registry.lock().expect("registry poisoned");
         reg.running -= 1;
         reg.executed += 1;
         let job = reg.jobs.get_mut(&id).expect("running job is registered");
         job.status = match result {
-            Ok(report) => JobStatus::Done(Arc::from(report.to_json())),
+            Ok(json) => JobStatus::Done(Arc::from(json)),
             Err(message) => JobStatus::Failed(Arc::from(message)),
         };
+        reg.hubs.remove(&id);
         reg.finish(id);
+    }
+}
+
+fn store_log(shared: &Shared, message: &str) {
+    if !shared.config.quiet {
+        eprintln!("bas serve store: {message}");
     }
 }
 
@@ -486,7 +562,9 @@ fn route(shared: &Arc<Shared>, mut stream: TcpStream, request: http::Request) ->
         ("GET", "/v1/healthz") => respond(&mut stream, 200, &healthz_json(shared), &[]),
         ("GET", "/v1/presets") => respond(&mut stream, 200, &shared.service.presets_json(), &[]),
         ("POST", "/v1/jobs") => handle_submit(shared, stream, &request.body),
-        ("GET", path) if path.starts_with("/v1/jobs/") => handle_job_get(shared, stream, path),
+        ("GET", path) if path.starts_with("/v1/jobs/") => {
+            handle_job_get(shared, stream, path, request.query_flag("follow"))
+        }
         (_, "/v1/healthz" | "/v1/presets" | "/v1/jobs") => respond(
             &mut stream,
             405,
@@ -570,6 +648,14 @@ fn submit(shared: &Arc<Shared>, mut scenario: Scenario) -> Submitted {
         scenario.threads = 0;
     }
     let digest = scenario.digest();
+    // Probe the persistent store before taking the registry lock (the two
+    // locks are never nested). A hit turns the submission into a lazily
+    // hydrated completed job — no queue slot, no recompute.
+    let stored_hit = match &shared.store {
+        Some(store) => store.lock().expect("store poisoned").has(&digest, BlobKind::Report),
+        None => false,
+    };
+    let is_sweep = scenario.kind == ScenarioKind::Sweep;
     let mut reg = shared.registry.lock().expect("registry poisoned");
     if shared.shutdown.load(Ordering::SeqCst) {
         return Submitted::Draining;
@@ -588,6 +674,16 @@ fn submit(shared: &Arc<Shared>, mut scenario: Scenario) -> Submitted {
             cached: status.is_finished(),
         };
     }
+    if stored_hit {
+        let id = reg.next_id;
+        reg.next_id += 1;
+        reg.jobs.insert(id, Job { digest: digest.clone(), scenario, status: JobStatus::Stored });
+        reg.by_digest.insert(digest.clone(), id);
+        reg.submitted += 1;
+        reg.cache_hits += 1;
+        reg.finish(id);
+        return Submitted::Existing { id, digest, status: "done", cached: true };
+    }
     if reg.queue.len() >= shared.config.queue_depth {
         return Submitted::QueueFull;
     }
@@ -597,13 +693,24 @@ fn submit(shared: &Arc<Shared>, mut scenario: Scenario) -> Submitted {
     reg.by_digest.insert(digest.clone(), id);
     reg.queue.push_back(id);
     reg.submitted += 1;
+    if is_sweep {
+        // Sweep jobs get a broadcast hub so `?follow=1` can attach before
+        // or during execution; the persist half feeds the events blob.
+        let persist_cap = match &shared.store {
+            Some(_) => {
+                usize::try_from(shared.config.state_max_bytes / 2).unwrap_or(usize::MAX).max(1)
+            }
+            None => 0,
+        };
+        reg.hubs.insert(id, EventHub::new(shared.config.follow_buffer_bytes, persist_cap));
+    }
     drop(reg);
     shared.work_ready.notify_one();
     Submitted::New { id, digest }
 }
 
-/// `GET /v1/jobs/<id>[/report|/events]`.
-fn handle_job_get(shared: &Arc<Shared>, mut stream: TcpStream, path: &str) -> u16 {
+/// `GET /v1/jobs/<id>[/report|/events[?follow=1]]`.
+fn handle_job_get(shared: &Arc<Shared>, mut stream: TcpStream, path: &str, follow: bool) -> u16 {
     let respond = |stream: &mut TcpStream, status: u16, body: &str| {
         let _ = http::write_response(stream, status, "application/json", body.as_bytes(), &[]);
         status
@@ -626,18 +733,37 @@ fn handle_job_get(shared: &Arc<Shared>, mut stream: TcpStream, path: &str) -> u1
                 if snap.2.is_finished() {
                     reg.done_lru.touch(&id);
                 }
-                Some(snap)
+                let hub = reg.hubs.get(&id).cloned();
+                Some((snap, hub))
             }
             None => None,
         }
     };
-    let Some((digest, scenario, status)) = snapshot else {
+    let Some(((digest, scenario, mut status), hub)) = snapshot else {
         return respond(
             &mut stream,
             404,
             &error_json(&format!("no job {id} (unknown, or evicted from the result cache)")),
         );
     };
+    // A `Stored` job hydrates lazily: the report blob is read back and
+    // checksum-verified on first access. A corrupt blob was quarantined by
+    // the load and behaves like an evicted cache entry.
+    if matches!(status, JobStatus::Stored) && tail != "events" {
+        match hydrate(shared, id, &digest) {
+            Some(hydrated) => status = hydrated,
+            None => {
+                return respond(
+                    &mut stream,
+                    404,
+                    &error_json(&format!(
+                        "job {id}'s stored result was corrupt and has been quarantined; \
+                         resubmit to recompute"
+                    )),
+                );
+            }
+        }
+    }
     match tail {
         "" => respond(&mut stream, 200, &job_json(id, &digest, &scenario, &status)),
         "report" => match &status {
@@ -652,7 +778,7 @@ fn handle_job_get(shared: &Arc<Shared>, mut stream: TcpStream, path: &str) -> u1
                 200
             }
             JobStatus::Failed(message) => respond(&mut stream, 500, &error_json(message)),
-            JobStatus::Queued | JobStatus::Running => respond(
+            JobStatus::Queued | JobStatus::Running | JobStatus::Stored => respond(
                 &mut stream,
                 409,
                 &error_json(&format!("job {id} is {}; report not ready", status.name())),
@@ -669,6 +795,32 @@ fn handle_job_get(shared: &Arc<Shared>, mut stream: TcpStream, path: &str) -> u1
                     )),
                 );
             }
+            // Live subscription: attach to the running/queued job's hub and
+            // stream lines as the worker produces them. No permit needed —
+            // the worker is doing the computing, this thread only copies.
+            if follow && !status.is_finished() {
+                if let Some(hub) = &hub {
+                    if hub.attach() {
+                        let code = stream_follow(stream, hub);
+                        hub.detach();
+                        return code;
+                    }
+                }
+                // Generation was skipped (or the job predates hubs): fall
+                // through to the on-demand replay, which serves the same
+                // bytes — just not incrementally.
+            }
+            // A finished job's stream may be on disk already — serve the
+            // stored bytes without recomputing anything.
+            if status.is_finished() {
+                if let Some(store) = &shared.store {
+                    let bytes =
+                        store.lock().expect("store poisoned").load(&digest, BlobKind::Events);
+                    if let Some(bytes) = bytes {
+                        return stream_stored_events(stream, &bytes);
+                    }
+                }
+            }
             // Replays bypass the worker queue, so they carry their own
             // admission control: at most `worker_count` at once.
             let Some(_permit) = ReplayPermit::acquire(shared) else {
@@ -684,6 +836,36 @@ fn handle_job_get(shared: &Arc<Shared>, mut stream: TcpStream, path: &str) -> u1
             stream_job_events(stream, &scenario)
         }
         other => respond(&mut stream, 404, &error_json(&format!("no job endpoint {other:?}"))),
+    }
+}
+
+/// Resolve a [`JobStatus::Stored`] job to `Done` by reading its report
+/// blob back from the store. `None` means the blob failed verification and
+/// was quarantined: the job and its digest mapping are dropped so a
+/// resubmission recomputes cleanly.
+fn hydrate(shared: &Arc<Shared>, id: u64, digest: &str) -> Option<JobStatus> {
+    let store = shared.store.as_ref()?;
+    let loaded = store.lock().expect("store poisoned").load(digest, BlobKind::Report);
+    match loaded.and_then(|bytes| String::from_utf8(bytes).ok()) {
+        Some(json) => {
+            let status = JobStatus::Done(Arc::from(json));
+            let mut reg = shared.registry.lock().expect("registry poisoned");
+            if let Some(job) = reg.jobs.get_mut(&id) {
+                if matches!(job.status, JobStatus::Stored) {
+                    job.status = status.clone();
+                }
+            }
+            Some(status)
+        }
+        None => {
+            let mut reg = shared.registry.lock().expect("registry poisoned");
+            if reg.by_digest.get(digest) == Some(&id) {
+                reg.by_digest.remove(digest);
+            }
+            reg.jobs.remove(&id);
+            reg.done_lru.remove(&id);
+            None
+        }
     }
 }
 
@@ -709,6 +891,63 @@ fn stream_job_events(mut stream: TcpStream, scenario: &Scenario) -> u16 {
         }
     }
     200
+}
+
+/// Serve a finished job's event stream from its stored bytes — same
+/// chunked framing as a replay, zero recomputation.
+fn stream_stored_events(mut stream: TcpStream, bytes: &[u8]) -> u16 {
+    if http::write_chunked_head(&mut stream, "application/x-ndjson").is_err() {
+        return 200;
+    }
+    let mut sink = BufWriter::with_capacity(8192, http::ChunkedWriter::new(stream));
+    if sink.write_all(bytes).and_then(|()| sink.flush()).is_ok() {
+        if let Ok(chunker) = sink.into_inner() {
+            let _ = chunker.finish();
+        }
+    }
+    200
+}
+
+/// Stream a job's event lines live from its [`EventHub`] (`?follow=1`).
+///
+/// The subscriber runs at its own pace: lines it missed (evicted from the
+/// hub's bounded window) are acknowledged with a `follow_drop` marker
+/// line, and the worker is never blocked. A stream the producer aborted
+/// ends without the terminating chunk so clients can detect truncation —
+/// exactly like a failed replay.
+fn stream_follow(mut stream: TcpStream, hub: &Arc<EventHub>) -> u16 {
+    if http::write_chunked_head(&mut stream, "application/x-ndjson").is_err() {
+        return 200;
+    }
+    let mut out = BufWriter::with_capacity(8192, http::ChunkedWriter::new(stream));
+    let mut cursor = 0u64;
+    loop {
+        let batch = hub.next_batch(cursor, Duration::from_millis(200));
+        if batch.dropped > 0 {
+            let marker =
+                format!("{{\"type\": \"follow_drop\", \"dropped_lines\": {}}}\n", batch.dropped);
+            if out.write_all(marker.as_bytes()).is_err() {
+                return 200;
+            }
+        }
+        for line in &batch.lines {
+            if out.write_all(line).is_err() {
+                return 200;
+            }
+        }
+        cursor = batch.next_cursor;
+        if (!batch.lines.is_empty() || batch.dropped > 0) && out.flush().is_err() {
+            return 200;
+        }
+        if batch.drained {
+            if !batch.aborted {
+                if let Ok(chunker) = out.into_inner() {
+                    let _ = chunker.finish();
+                }
+            }
+            return 200;
+        }
+    }
 }
 
 fn error_json(message: &str) -> String {
@@ -741,18 +980,30 @@ fn job_json(id: u64, digest: &str, scenario: &Scenario, status: &JobStatus) -> S
             out.push_str(", \"error\": ");
             out.push_str(&json_string(message));
         }
-        JobStatus::Queued | JobStatus::Running => {}
+        // `Stored` reaches here only for the status view of a job the
+        // handler chose not to hydrate; it reads as "done" without the
+        // embedded report.
+        JobStatus::Queued | JobStatus::Running | JobStatus::Stored => {}
     }
     out.push_str("}\n");
     out
 }
 
 fn healthz_json(shared: &Arc<Shared>) -> String {
+    // Store stats first — the store and registry locks are never nested.
+    let store = shared.store.as_ref().map(|s| s.lock().expect("store poisoned").stats());
     let reg = shared.registry.lock().expect("registry poisoned");
     let draining = shared.shutdown.load(Ordering::SeqCst);
     let idle = reg.queue.is_empty() && reg.running == 0;
+    let store_field = match store {
+        Some(s) => format!(
+            ", \"store\": {{\"bytes\": {}, \"entries\": {}, \"hydrations\": {}, \"quarantines\": {}, \"evictions\": {}}}",
+            s.bytes, s.entries, s.hydrations, s.quarantines, s.evictions,
+        ),
+        None => String::new(),
+    };
     format!(
-        "{{\"schema\": {}, \"status\": {}, \"workers\": {}, \"queued\": {}, \"running\": {}, \"jobs\": {}, \"submitted\": {}, \"executed\": {}, \"cache_hits\": {}, \"idle\": {idle}}}\n",
+        "{{\"schema\": {}, \"status\": {}, \"workers\": {}, \"queued\": {}, \"running\": {}, \"jobs\": {}, \"submitted\": {}, \"executed\": {}, \"cache_hits\": {}{store_field}, \"idle\": {idle}}}\n",
         json_string(SCHEMA),
         json_string(if draining { "draining" } else { "ok" }),
         shared.worker_count,

@@ -454,6 +454,238 @@ fn lru_evicts_oldest_results_and_404s_them() {
     assert_ne!(fourth, first);
 }
 
+/// A pid+tag-keyed scratch state directory (fresh on every call).
+fn tmp_state_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("bas-serve-bb-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A sweep whose **job** takes a second or so (many trials) while its
+/// first-trial event stream stays small — the shape the `?follow=1` tests
+/// need: the stream is generated instantly at dequeue, the job keeps the
+/// worker busy long enough to observe the live path.
+fn follow_body(tag: u64, trials: usize) -> String {
+    format!(
+        "kind = \"sweep\"\nname = \"follow-{tag}\"\ntrials = {trials}\nhorizon = 2000.0\nworkload = \"unit\"\nprocessor = \"unit\"\nbattery = \"none\"\nspecs = [\"EDF\"]\n"
+    )
+}
+
+#[test]
+fn state_dir_restart_serves_byte_identical_results_with_zero_recompute() {
+    let dir = tmp_state_dir("restart");
+    let config = || ServeConfig { state_dir: Some(dir.clone()), ..ServeConfig::default() };
+
+    let (digest, report_bytes, events_bytes) = {
+        let daemon = Daemon::start(config());
+        let addr = daemon.addr;
+        let (status, _, body) = post(addr, SMOKE);
+        let body = body_text(&body);
+        assert_eq!(status, 202, "{body}");
+        let id = json_field(&body, "job");
+        let digest = json_field(&body, "digest");
+        wait_done(addr, &id);
+        let (status, _, report) = get(addr, &format!("/v1/jobs/{id}/report"));
+        assert_eq!(status, 200);
+        let (status, _, chunked) = get(addr, &format!("/v1/jobs/{id}/events"));
+        assert_eq!(status, 200);
+        let events = http::decode_chunked(&chunked).expect("well-formed chunking");
+        (digest, report, events)
+    }; // graceful shutdown: journal + blobs are on disk
+
+    let daemon = Daemon::start(config());
+    let addr = daemon.addr;
+    // The resubmission is answered from the store: done, cached, no queue.
+    let (status, _, body) = post(addr, SMOKE);
+    let body = body_text(&body);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(json_field(&body, "cached"), "true");
+    assert_eq!(json_field(&body, "status"), "done");
+    assert_eq!(json_field(&body, "digest"), digest);
+    let id = json_field(&body, "job");
+
+    let (status, _, report) = get(addr, &format!("/v1/jobs/{id}/report"));
+    assert_eq!(status, 200);
+    assert_eq!(report, report_bytes, "restarted report must be byte-identical");
+    let (status, _, chunked) = get(addr, &format!("/v1/jobs/{id}/events"));
+    assert_eq!(status, 200);
+    let events = http::decode_chunked(&chunked).expect("well-formed chunking");
+    assert_eq!(events, events_bytes, "restarted events must be byte-identical");
+
+    // Zero recompute, and the healthz store block says why: live entries,
+    // checksum-verified hydrations, nothing quarantined.
+    let (_, _, health) = get(addr, "/v1/healthz");
+    let health = body_text(&health);
+    assert_eq!(json_field(&health, "executed"), "0", "{health}");
+    assert_eq!(json_field(&health, "cache_hits"), "1", "{health}");
+    assert_eq!(json_field(&health, "entries"), "2", "report + events blobs: {health}");
+    assert_ne!(json_field(&health, "bytes"), "0", "{health}");
+    assert_ne!(json_field(&health, "hydrations"), "0", "{health}");
+    assert_eq!(json_field(&health, "quarantines"), "0", "{health}");
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn memory_evicted_results_are_reserved_from_disk() {
+    let dir = tmp_state_dir("evict");
+    let config = ServeConfig {
+        cache_capacity: 2,
+        workers: 1,
+        state_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let daemon = Daemon::start(config);
+    let addr = daemon.addr;
+
+    let submit = |seed: u64| {
+        let body = format!(
+            "kind = \"sweep\"\ntrials = 1\nseed = {seed}\nhorizon = 100.0\nworkload = \"unit\"\nprocessor = \"unit\"\nbattery = \"none\"\nspecs = [\"EDF\"]\n"
+        );
+        let (status, _, response) = post(addr, &body);
+        (status, body_text(&response))
+    };
+    for seed in 1..=3 {
+        let (_, body) = submit(seed);
+        wait_done(addr, &json_field(&body, "job"));
+    }
+    // Capacity 2: job 1 fell out of the in-memory registry — but with a
+    // store behind it the result is not lost: resubmission is a disk hit,
+    // not a recompute (without --state-dir this same sequence re-executes;
+    // `lru_evicts_oldest_results_and_404s_them` pins that).
+    let (status, body) = submit(1);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(json_field(&body, "cached"), "true");
+    assert_eq!(json_field(&body, "status"), "done");
+    let (_, _, health) = get(addr, "/v1/healthz");
+    assert_eq!(json_field(&body_text(&health), "executed"), "3", "no fourth run");
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_report_blob_is_quarantined_on_restart_and_recomputed() {
+    let dir = tmp_state_dir("torn");
+    let config = || ServeConfig { state_dir: Some(dir.clone()), ..ServeConfig::default() };
+
+    let digest = {
+        let daemon = Daemon::start(config());
+        let (status, _, body) = post(daemon.addr, SMOKE);
+        let body = body_text(&body);
+        assert_eq!(status, 202, "{body}");
+        wait_done(daemon.addr, &json_field(&body, "job"));
+        json_field(&body, "digest")
+    };
+
+    // Tear the report blob mid-payload — what a crash between the journal
+    // fsync and the blob fsync leaves behind.
+    let blob = dir.join("blobs").join(format!("{digest}.report"));
+    let len = std::fs::metadata(&blob).expect("blob on disk").len();
+    bas_serve::store::truncate_file(&blob, len / 2).expect("truncate blob");
+
+    let daemon = Daemon::start(config());
+    let addr = daemon.addr;
+    // Open-time verification quarantined the torn blob: the resubmission
+    // is a fresh run, never a serve of corrupt bytes.
+    let (status, _, body) = post(addr, SMOKE);
+    let body = body_text(&body);
+    assert_eq!(status, 202, "torn blob must not read as a store hit: {body}");
+    assert_eq!(json_field(&body, "cached"), "false");
+    let id = json_field(&body, "job");
+    let (_, _, health) = get(addr, "/v1/healthz");
+    let health = body_text(&health);
+    assert_ne!(json_field(&health, "quarantines"), "0", "{health}");
+
+    // The daemon keeps serving: the recompute completes and is stored again.
+    wait_done(addr, &id);
+    let (status, _, _) = get(addr, &format!("/v1/jobs/{id}/report"));
+    assert_eq!(status, 200);
+    assert!(dir.join("quarantine").read_dir().expect("quarantine dir").next().is_some());
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn follow_stream_converges_byte_identically_with_the_replay() {
+    let dir = tmp_state_dir("follow");
+    let daemon =
+        Daemon::start(ServeConfig { state_dir: Some(dir.clone()), ..ServeConfig::default() });
+    let addr = daemon.addr;
+
+    let body = follow_body(1, 2000);
+    let (status, _, response) = post(addr, &body);
+    assert_eq!(status, 202, "{}", body_text(&response));
+    let id = json_field(&body_text(&response), "job");
+
+    // Subscribe immediately: the connection stays open until the worker's
+    // first-trial stream completes, delivering it incrementally.
+    let (status, head, chunked) = get(addr, &format!("/v1/jobs/{id}/events?follow=1"));
+    assert_eq!(status, 200);
+    assert!(head.contains("Transfer-Encoding: chunked"), "{head}");
+    let followed = http::decode_chunked(&chunked).expect("well-formed chunking");
+
+    let direct =
+        Scenario::from_toml(&body).unwrap().stream_events(Vec::new()).expect("local replay");
+    assert_eq!(followed, direct, "live subscription must converge with the replay bytes");
+    assert!(
+        !String::from_utf8_lossy(&followed).contains("follow_drop"),
+        "a keeping-up follower sees no drop markers"
+    );
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn slow_follower_gets_a_drop_marker_never_backpressure() {
+    let dir = tmp_state_dir("drop");
+    // A 512-byte live window is far smaller than the ~tens-of-KB stream,
+    // so a follower attaching after generation has already raced ahead
+    // must be told what it missed.
+    let config = ServeConfig {
+        follow_buffer_bytes: 512,
+        workers: 1,
+        state_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let daemon = Daemon::start(config);
+    let addr = daemon.addr;
+
+    let body = follow_body(2, 10_000);
+    let (status, _, response) = post(addr, &body);
+    assert_eq!(status, 202, "{}", body_text(&response));
+    let id = json_field(&body_text(&response), "job");
+
+    // The worker generates the stream the moment it dequeues; wait for
+    // that moment, then attach late — lines have already left the window.
+    wait_until("worker to pick the job up", Duration::from_secs(30), || {
+        let (_, _, health) = get(addr, "/v1/healthz");
+        json_field(&body_text(&health), "running") == "1"
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    let (status, _, chunked) = get(addr, &format!("/v1/jobs/{id}/events?follow=1"));
+    assert_eq!(status, 200);
+    let followed = http::decode_chunked(&chunked).expect("well-formed chunking");
+    let text = String::from_utf8(followed.clone()).expect("UTF-8 stream");
+
+    // First line is the marker: `bas-events/v2` consumers skip unknown
+    // types, so the stream stays schema-valid NDJSON.
+    let (marker, tail) = text.split_once('\n').expect("marker line");
+    assert!(marker.contains("\"type\": \"follow_drop\""), "{marker}");
+    let dropped: u64 = json_field(marker, "dropped_lines").parse().expect("drop count");
+    assert!(dropped > 0, "{marker}");
+
+    // Whatever survives is a byte-exact suffix of the replay, and the
+    // arithmetic closes: delivered + dropped = every line of the stream.
+    let direct =
+        Scenario::from_toml(&body).unwrap().stream_events(Vec::new()).expect("local replay");
+    assert!(direct.ends_with(tail.as_bytes()), "tail must be a suffix of the replay");
+    let total = direct.iter().filter(|&&b| b == b'\n').count() as u64;
+    let delivered = tail.bytes().filter(|&b| b == b'\n').count() as u64;
+    assert_eq!(delivered + dropped, total);
+    drop(daemon);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn graceful_shutdown_drains_the_queue() {
     let mut daemon = Daemon::start(ServeConfig { workers: 1, ..ServeConfig::default() });

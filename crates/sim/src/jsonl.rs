@@ -67,13 +67,17 @@ pub const EVENTS_SCHEMA: &str = "bas-events/v2";
 pub struct JsonlWriter<W: io::Write> {
     sink: W,
     error: Option<io::Error>,
+    /// Scratch for assembling `line + "\n"` so each line reaches the sink
+    /// as a single write (reused across lines; no per-line allocation in
+    /// steady state).
+    buf: String,
 }
 
 impl<W: io::Write> JsonlWriter<W> {
     /// Wrap a sink. Nothing is written until events arrive (or
     /// [`JsonlWriter::header`] is called).
     pub fn new(sink: W) -> Self {
-        JsonlWriter { sink, error: None }
+        JsonlWriter { sink, error: None, buf: String::new() }
     }
 
     /// Write a run-header line announcing the schema and which run follows.
@@ -118,8 +122,14 @@ impl<W: io::Write> JsonlWriter<W> {
         if self.error.is_some() {
             return;
         }
-        if let Err(e) = self.sink.write_all(s.as_bytes()).and_then(|()| self.sink.write_all(b"\n"))
-        {
+        // One `write_all` per line, newline included: sinks that frame or
+        // broadcast each write (the HTTP chunk writer, the serve event hub)
+        // then always see whole NDJSON lines, never a line split from its
+        // terminator.
+        self.buf.clear();
+        self.buf.push_str(s);
+        self.buf.push('\n');
+        if let Err(e) = self.sink.write_all(self.buf.as_bytes()) {
             self.error = Some(e);
         }
     }
